@@ -1,0 +1,191 @@
+//! The combined augmentation planner — the Table 4 ablation arms.
+//!
+//! "When using both methods, we simply combine the patterns from each
+//! augmentation" (Section 6.4).
+
+use crate::gan::{Rgan, RganConfig};
+use crate::policy::{policy_augment, Policy};
+use ig_imaging::GrayImage;
+use rand::Rng;
+
+/// Which augmentation arm to run (Table 4 columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AugmentMethod {
+    /// Crowd patterns only.
+    None,
+    /// Policy-based only.
+    PolicyBased,
+    /// GAN-based only.
+    GanBased,
+    /// Both, halves of the budget each.
+    Both,
+}
+
+impl AugmentMethod {
+    /// All arms in Table 4 column order.
+    pub fn all() -> [AugmentMethod; 4] {
+        [
+            AugmentMethod::None,
+            AugmentMethod::PolicyBased,
+            AugmentMethod::GanBased,
+            AugmentMethod::Both,
+        ]
+    }
+
+    /// Display name matching the paper's Table 4 header.
+    pub fn display_name(&self) -> &'static str {
+        match self {
+            AugmentMethod::None => "No Aug.",
+            AugmentMethod::PolicyBased => "Policy Based",
+            AugmentMethod::GanBased => "GAN Based",
+            AugmentMethod::Both => "Using Both",
+        }
+    }
+}
+
+/// Produce `budget` augmented patterns with the chosen method and return
+/// the original patterns extended with them. `policies` is the searched
+/// combination (ignored for GAN-only); `gan_config` tunes the RGAN
+/// (ignored for policy-only).
+pub fn augment(
+    patterns: &[GrayImage],
+    method: AugmentMethod,
+    budget: usize,
+    policies: &[Policy],
+    gan_config: &RganConfig,
+    rng: &mut impl Rng,
+) -> Vec<GrayImage> {
+    let mut out = patterns.to_vec();
+    if patterns.is_empty() || budget == 0 {
+        return out;
+    }
+    match method {
+        AugmentMethod::None => {}
+        AugmentMethod::PolicyBased => {
+            out.extend(policy_augment(patterns, policies, budget, rng));
+        }
+        AugmentMethod::GanBased => {
+            let gan = Rgan::train(patterns, gan_config, rng);
+            out.extend(gan.generate(budget, rng));
+        }
+        AugmentMethod::Both => {
+            let half = budget / 2;
+            out.extend(policy_augment(patterns, policies, half, rng));
+            let gan = Rgan::train(patterns, gan_config, rng);
+            out.extend(gan.generate(budget - half, rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicyOp;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn patterns() -> Vec<GrayImage> {
+        (0..6)
+            .map(|i| {
+                let mut img = GrayImage::filled(10, 10, 0.7);
+                img.fill_rect(2 + i % 3, 3, 3, 3, 0.2);
+                img
+            })
+            .collect()
+    }
+
+    fn policies() -> Vec<Policy> {
+        vec![
+            Policy {
+                op: PolicyOp::Rotate,
+                magnitude: 12.0,
+            },
+            Policy {
+                op: PolicyOp::Brightness,
+                magnitude: 1.2,
+            },
+        ]
+    }
+
+    #[test]
+    fn none_returns_originals() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let p = patterns();
+        let out = augment(
+            &p,
+            AugmentMethod::None,
+            50,
+            &policies(),
+            &RganConfig::quick(),
+            &mut rng,
+        );
+        assert_eq!(out.len(), p.len());
+    }
+
+    #[test]
+    fn policy_arm_extends_by_budget() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = patterns();
+        let out = augment(
+            &p,
+            AugmentMethod::PolicyBased,
+            20,
+            &policies(),
+            &RganConfig::quick(),
+            &mut rng,
+        );
+        assert_eq!(out.len(), p.len() + 20);
+    }
+
+    #[test]
+    fn gan_arm_extends_by_budget() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = patterns();
+        let out = augment(
+            &p,
+            AugmentMethod::GanBased,
+            10,
+            &policies(),
+            &RganConfig::quick(),
+            &mut rng,
+        );
+        assert_eq!(out.len(), p.len() + 10);
+    }
+
+    #[test]
+    fn both_arm_splits_budget() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = patterns();
+        let out = augment(
+            &p,
+            AugmentMethod::Both,
+            11,
+            &policies(),
+            &RganConfig::quick(),
+            &mut rng,
+        );
+        assert_eq!(out.len(), p.len() + 11);
+    }
+
+    #[test]
+    fn empty_patterns_pass_through() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let out = augment(
+            &[],
+            AugmentMethod::Both,
+            10,
+            &policies(),
+            &RganConfig::quick(),
+            &mut rng,
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn display_names_match_table4() {
+        assert_eq!(AugmentMethod::None.display_name(), "No Aug.");
+        assert_eq!(AugmentMethod::Both.display_name(), "Using Both");
+        assert_eq!(AugmentMethod::all().len(), 4);
+    }
+}

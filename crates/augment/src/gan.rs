@@ -1,0 +1,417 @@
+//! Relativistic GAN (Jolicoeur-Martineau, 2019) with spectral
+//! normalization (Section 4.1).
+//!
+//! The paper's formulation:
+//!
+//! ```text
+//! max_D E[log σ(D(x_r) − D(G(z)))]
+//! max_G E[log σ(D(G(z)) − D(x_r))]
+//! ```
+//!
+//! "the discriminator of RGAN not only distinguishes data, but also tries
+//! to maximize the difference between two probabilities" — implemented
+//! verbatim over paired real/fake batches. Patterns are resized to a
+//! fixed square before training and new samples are resized back to
+//! original pattern sizes afterwards, following Figure 6.
+
+use ig_imaging::resize::resize_bilinear;
+use ig_imaging::GrayImage;
+use ig_nn::activation::{log_sigmoid, sigmoid};
+use ig_nn::mlp::{Mlp, MlpConfig};
+use ig_nn::spectral::SpectralNorm;
+use ig_nn::{Activation, Adam, Matrix};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// RGAN hyper-parameters. Paper values: latent dim 100, lr 1e-4 for both
+/// networks, ~1K epochs, square side ≤ 100 (here 16 for CPU scale).
+#[derive(Debug, Clone)]
+pub struct RganConfig {
+    /// Random-noise input dimension (paper: 100).
+    pub latent_dim: usize,
+    /// Square side patterns are resized to (paper: min(100, mean side)).
+    pub pattern_side: usize,
+    /// Generator/discriminator hidden widths.
+    pub hidden: usize,
+    /// Training epochs over the pattern set.
+    pub epochs: usize,
+    /// Minibatch size (clamped to the pattern count).
+    pub batch_size: usize,
+    /// Learning rate for both networks (paper: 1e-4; a larger default is
+    /// used here because the networks are tiny).
+    pub lr: f32,
+    /// Power iterations per spectral-norm update.
+    pub sn_iters: usize,
+}
+
+impl Default for RganConfig {
+    fn default() -> Self {
+        Self {
+            latent_dim: 100,
+            pattern_side: 16,
+            hidden: 64,
+            epochs: 300,
+            batch_size: 16,
+            lr: 2e-3,
+            sn_iters: 1,
+        }
+    }
+}
+
+impl RganConfig {
+    /// Fast preset for unit tests.
+    pub fn quick() -> Self {
+        Self {
+            latent_dim: 16,
+            pattern_side: 8,
+            hidden: 32,
+            epochs: 60,
+            batch_size: 8,
+            ..Default::default()
+        }
+    }
+
+    /// Choose the square side per the paper: "the width and height are set
+    /// to 100 or the averaged value of all widths and heights of patterns,
+    /// whichever is smaller" — rescaled to this reproduction's default cap.
+    pub fn side_for_patterns(patterns: &[GrayImage], cap: usize) -> usize {
+        if patterns.is_empty() {
+            return cap;
+        }
+        let total: usize = patterns.iter().map(|p| p.width() + p.height()).sum();
+        let avg = total / (2 * patterns.len());
+        avg.clamp(4, cap)
+    }
+}
+
+/// A trained RGAN over fixed-size square patterns.
+pub struct Rgan {
+    generator: Mlp,
+    discriminator: Mlp,
+    config: RganConfig,
+    /// Original pattern sizes, sampled from when resizing fakes back.
+    original_sizes: Vec<(usize, usize)>,
+    /// Final discriminator loss (diagnostic).
+    pub final_disc_loss: f32,
+    /// Final generator loss (diagnostic).
+    pub final_gen_loss: f32,
+}
+
+impl Rgan {
+    /// Train on the given patterns. Panics on an empty pattern set.
+    pub fn train(patterns: &[GrayImage], config: &RganConfig, rng: &mut impl Rng) -> Self {
+        assert!(!patterns.is_empty(), "cannot train a GAN on zero patterns");
+        let side = config.pattern_side;
+        let dim = side * side;
+        // Resize every pattern to the square and map to [-1, 1].
+        let reals: Vec<Vec<f32>> = patterns
+            .iter()
+            .map(|p| {
+                resize_bilinear(p, side, side)
+                    .expect("pattern resize")
+                    .pixels()
+                    .iter()
+                    .map(|&v| v * 2.0 - 1.0)
+                    .collect()
+            })
+            .collect();
+        let original_sizes: Vec<(usize, usize)> = patterns.iter().map(|p| p.dims()).collect();
+
+        let mut generator = Mlp::new(
+            &MlpConfig {
+                input_dim: config.latent_dim,
+                hidden: vec![config.hidden, config.hidden],
+                output_dim: dim,
+                activation: Activation::Relu,
+                l2: 0.0,
+            },
+            rng,
+        )
+        .expect("generator config is valid");
+        let mut discriminator = Mlp::new(
+            &MlpConfig {
+                input_dim: dim,
+                hidden: vec![config.hidden],
+                output_dim: 1,
+                activation: Activation::LeakyRelu,
+                l2: 0.0,
+            },
+            rng,
+        )
+        .expect("discriminator config is valid");
+
+        let mut g_opt = Adam::for_gan(config.lr);
+        let mut d_opt = Adam::for_gan(config.lr);
+        let mut sn_states: Vec<SpectralNorm> = (0..discriminator.num_layers())
+            .map(|l| {
+                let w = discriminator.weight(l);
+                SpectralNorm::new(w.rows(), w.cols(), rng)
+            })
+            .collect();
+
+        let batch = config.batch_size.min(reals.len()).max(1);
+        let mut indices: Vec<usize> = (0..reals.len()).collect();
+        let mut last_d = 0.0f32;
+        let mut last_g = 0.0f32;
+        for _epoch in 0..config.epochs {
+            indices.shuffle(rng);
+            for chunk in indices.chunks(batch) {
+                let real = Matrix::from_rows(
+                    &chunk.iter().map(|&i| reals[i].clone()).collect::<Vec<_>>(),
+                );
+                let n = real.rows();
+
+                // ---- Discriminator step ----
+                let z = random_latent(n, config.latent_dim, rng);
+                let fake = generate_batch(&generator, &z);
+                let real_cache = discriminator.forward_cache(&real);
+                let fake_cache = discriminator.forward_cache(&fake);
+                let dr = real_cache.logits().clone();
+                let df = fake_cache.logits().clone();
+                // L_D = -mean log σ(D(x_r) - D(x_f)).
+                let mut d_loss = 0.0f32;
+                let mut d_dr = Matrix::zeros(n, 1);
+                let mut d_df = Matrix::zeros(n, 1);
+                for i in 0..n {
+                    let diff = dr.get(i, 0) - df.get(i, 0);
+                    d_loss += -log_sigmoid(diff);
+                    let g = (sigmoid(diff) - 1.0) / n as f32; // dL/d(diff)
+                    d_dr.set(i, 0, g);
+                    d_df.set(i, 0, -g);
+                }
+                d_loss /= n as f32;
+                let (grad_real, _) = discriminator.backward(&real_cache, &d_dr);
+                let (grad_fake, _) = discriminator.backward(&fake_cache, &d_df);
+                let total_grad: Vec<f32> = grad_real
+                    .iter()
+                    .zip(&grad_fake)
+                    .map(|(a, b)| a + b)
+                    .collect();
+                let mut params = discriminator.params();
+                d_opt.step(&mut params, &total_grad);
+                discriminator.set_params(&params);
+                // Spectral normalization after the update.
+                for (l, sn) in sn_states.iter_mut().enumerate() {
+                    sn.normalize_weight(discriminator.weight_mut(l), config.sn_iters);
+                }
+                last_d = d_loss;
+
+                // ---- Generator step ----
+                let z = random_latent(n, config.latent_dim, rng);
+                let gen_cache = generator.forward_cache(&z);
+                let gen_logits = gen_cache.logits().clone();
+                let fake = gen_logits.map(|v| v.tanh());
+                let real_cache = discriminator.forward_cache(&real);
+                let fake_cache = discriminator.forward_cache(&fake);
+                let dr = real_cache.logits().clone();
+                let df = fake_cache.logits().clone();
+                // L_G = -mean log σ(D(x_f) - D(x_r)).
+                let mut g_loss = 0.0f32;
+                let mut d_df = Matrix::zeros(n, 1);
+                for i in 0..n {
+                    let diff = df.get(i, 0) - dr.get(i, 0);
+                    g_loss += -log_sigmoid(diff);
+                    d_df.set(i, 0, (sigmoid(diff) - 1.0) / n as f32);
+                }
+                g_loss /= n as f32;
+                // Backprop through D to its input, then through tanh, then G.
+                let (_, d_input) = discriminator.backward(&fake_cache, &d_df);
+                let mut d_gen_logits = d_input;
+                for r in 0..d_gen_logits.rows() {
+                    let frow = fake.row(r);
+                    for (g, &t) in d_gen_logits.row_mut(r).iter_mut().zip(frow) {
+                        *g *= 1.0 - t * t;
+                    }
+                }
+                let (gen_grad, _) = generator.backward(&gen_cache, &d_gen_logits);
+                let mut params = generator.params();
+                g_opt.step(&mut params, &gen_grad);
+                generator.set_params(&params);
+                last_g = g_loss;
+            }
+        }
+
+        Self {
+            generator,
+            discriminator,
+            config: config.clone(),
+            original_sizes,
+            final_disc_loss: last_d,
+            final_gen_loss: last_g,
+        }
+    }
+
+    /// Sample `count` fake patterns, resized back to randomly chosen
+    /// original pattern sizes (Figure 6's "re-adjust new patterns into one
+    /// of the original sizes").
+    pub fn generate(&self, count: usize, rng: &mut impl Rng) -> Vec<GrayImage> {
+        let side = self.config.pattern_side;
+        let z = random_latent(count, self.config.latent_dim, rng);
+        let fake = generate_batch(&self.generator, &z);
+        (0..count)
+            .map(|i| {
+                let pixels: Vec<f32> = fake.row(i).iter().map(|&v| (v + 1.0) * 0.5).collect();
+                let square = GrayImage::from_vec(side, side, pixels)
+                    .expect("generator output length matches side^2");
+                let &(w, h) = self
+                    .original_sizes
+                    .choose(rng)
+                    .expect("trained on nonempty patterns");
+                resize_bilinear(&square, w, h).expect("resize back to original size")
+            })
+            .collect()
+    }
+
+    /// Generate fixed-square fakes without the resize-back step (used by
+    /// tests and diagnostics).
+    pub fn generate_square(&self, count: usize, rng: &mut impl Rng) -> Vec<GrayImage> {
+        let side = self.config.pattern_side;
+        let z = random_latent(count, self.config.latent_dim, rng);
+        let fake = generate_batch(&self.generator, &z);
+        (0..count)
+            .map(|i| {
+                let pixels: Vec<f32> = fake.row(i).iter().map(|&v| (v + 1.0) * 0.5).collect();
+                GrayImage::from_vec(side, side, pixels).expect("square output")
+            })
+            .collect()
+    }
+
+    /// Discriminator logit for a (square-resized) pattern — diagnostic.
+    pub fn discriminator_score(&self, pattern: &GrayImage) -> f32 {
+        let side = self.config.pattern_side;
+        let resized = resize_bilinear(pattern, side, side).expect("resize");
+        let row: Vec<f32> = resized.pixels().iter().map(|&v| v * 2.0 - 1.0).collect();
+        self.discriminator.forward(&Matrix::row_vector(&row)).get(0, 0)
+    }
+}
+
+fn random_latent(n: usize, dim: usize, rng: &mut impl Rng) -> Matrix {
+    Matrix::from_fn(n, dim, |_, _| {
+        // Approximate standard normal via sum of uniforms.
+        let mut acc = 0.0f32;
+        for _ in 0..4 {
+            acc += rng.gen_range(-1.0..1.0f32);
+        }
+        acc * (3.0f32 / 4.0).sqrt()
+    })
+}
+
+fn generate_batch(generator: &Mlp, z: &Matrix) -> Matrix {
+    generator.forward(z).map(|v| v.tanh())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ig_imaging::stats::stats;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Simple synthetic pattern family: dark diagonal lines on bright
+    /// ground with small shifts.
+    fn line_patterns(n: usize, seed: u64) -> Vec<GrayImage> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let mut img = GrayImage::filled(12, 12, 0.8);
+                let offset = rng.gen_range(-2.0..2.0f32);
+                img.draw_line(2.0 + offset, 2.0, 9.0 + offset, 9.0, 1.5, 0.15);
+                img
+            })
+            .collect()
+    }
+
+    #[test]
+    #[should_panic(expected = "zero patterns")]
+    fn empty_patterns_panic() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = Rgan::train(&[], &RganConfig::quick(), &mut rng);
+    }
+
+    #[test]
+    fn generates_requested_count_and_sizes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let patterns = line_patterns(10, 2);
+        let gan = Rgan::train(&patterns, &RganConfig::quick(), &mut rng);
+        let fakes = gan.generate(7, &mut rng);
+        assert_eq!(fakes.len(), 7);
+        for f in &fakes {
+            assert_eq!(f.dims(), (12, 12), "resized back to original size");
+            for &p in f.pixels() {
+                assert!((0.0..=1.0).contains(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn fakes_move_toward_real_statistics() {
+        // After training, fake patterns should be much closer to the real
+        // mean brightness than untrained noise (~0.5).
+        let mut rng = StdRng::seed_from_u64(3);
+        let patterns = line_patterns(12, 4);
+        let real_mean: f32 = patterns.iter().map(|p| stats(p).mean).sum::<f32>() / 12.0;
+        let cfg = RganConfig {
+            epochs: 250,
+            ..RganConfig::quick()
+        };
+        let gan = Rgan::train(&patterns, &cfg, &mut rng);
+        let fakes = gan.generate_square(16, &mut rng);
+        let fake_mean: f32 =
+            fakes.iter().map(|p| stats(p).mean).sum::<f32>() / fakes.len() as f32;
+        assert!(
+            (fake_mean - real_mean).abs() < 0.2,
+            "fake mean {fake_mean} vs real mean {real_mean}"
+        );
+    }
+
+    #[test]
+    fn fakes_vary_across_samples() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let patterns = line_patterns(10, 6);
+        let gan = Rgan::train(&patterns, &RganConfig::quick(), &mut rng);
+        let fakes = gan.generate_square(6, &mut rng);
+        let mut distinct_pairs = 0;
+        for i in 0..fakes.len() {
+            for j in (i + 1)..fakes.len() {
+                let diff: f32 = fakes[i]
+                    .pixels()
+                    .iter()
+                    .zip(fakes[j].pixels())
+                    .map(|(a, b)| (a - b).abs())
+                    .sum();
+                if diff > 0.1 {
+                    distinct_pairs += 1;
+                }
+            }
+        }
+        assert!(distinct_pairs > 0, "generator collapsed to a single output");
+    }
+
+    #[test]
+    fn losses_are_finite_after_training() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let patterns = line_patterns(8, 8);
+        let gan = Rgan::train(&patterns, &RganConfig::quick(), &mut rng);
+        assert!(gan.final_disc_loss.is_finite());
+        assert!(gan.final_gen_loss.is_finite());
+    }
+
+    #[test]
+    fn side_for_patterns_follows_paper_rule() {
+        let small = vec![GrayImage::filled(6, 10, 0.5)];
+        assert_eq!(RganConfig::side_for_patterns(&small, 16), 8);
+        let big = vec![GrayImage::filled(60, 100, 0.5)];
+        assert_eq!(RganConfig::side_for_patterns(&big, 16), 16);
+        assert_eq!(RganConfig::side_for_patterns(&[], 16), 16);
+    }
+
+    #[test]
+    fn discriminator_scores_are_finite() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let patterns = line_patterns(8, 10);
+        let gan = Rgan::train(&patterns, &RganConfig::quick(), &mut rng);
+        for p in &patterns {
+            assert!(gan.discriminator_score(p).is_finite());
+        }
+    }
+}

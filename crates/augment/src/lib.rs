@@ -1,0 +1,41 @@
+//! # ig-augment
+//!
+//! Pattern augmentation (paper Section 4): expands the crowd-sourced
+//! pattern set when defects are rare.
+//!
+//! Two complementary methods, exactly as in the paper:
+//!
+//! * **Policy-based** ([`policy`]) — deterministic transforms (rotate,
+//!   stretch, shear, brightness, invert, ...) with searched magnitudes,
+//!   good for "specific variations of defects that can be quite different"
+//!   (e.g. stretching a line-shaped crack);
+//! * **GAN-based** ([`gan`]) — a Relativistic GAN with spectral
+//!   normalization trained on the patterns themselves, good for "random
+//!   variations of existing defects that do not deviate significantly".
+//!
+//! Both operate on *patterns*, not whole images — the paper's key
+//! efficiency argument: "it is sometimes infeasible to train a GAN at all
+//! [on high-resolution images]. By only focusing on augmenting small
+//! patterns, it becomes practical to apply sophisticated augmentation
+//! techniques."
+//!
+//! [`augmenter`] combines both into the Table 4 ablation arms
+//! (none / policy / GAN / both).
+//!
+//! ## Substitution note
+//!
+//! The paper trains a convolutional RGAN on 100x100 crops on a Titan RTX.
+//! Here the generator and discriminator are MLPs over patterns resized to
+//! a small square (default 16x16) so training is CPU-feasible; the
+//! relativistic loss, spectral normalization, and the
+//! resize-to-square/back workflow are preserved (see DESIGN.md).
+
+#![warn(missing_docs)]
+
+pub mod augmenter;
+pub mod gan;
+pub mod policy;
+
+pub use augmenter::{augment, AugmentMethod};
+pub use gan::{Rgan, RganConfig};
+pub use policy::{search_policies, Policy, PolicyOp, PolicySearchConfig};

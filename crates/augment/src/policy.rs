@@ -1,0 +1,424 @@
+//! Policy-based augmentation (Section 4.2).
+//!
+//! A policy is an (operation, magnitude) pair; the paper applies
+//! combinations of three policies chosen by a simplified AutoAugment-style
+//! search: sample 10 random magnitudes per operation, try all 3-op
+//! combinations, keep the combination that scores best on a development
+//! split.
+
+use ig_imaging::noise::white_noise_image;
+use ig_imaging::transform::{rotate, shear_x, shear_y, stretch_x, stretch_y, translate};
+use ig_imaging::GrayImage;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Augmentation operations. Magnitude semantics are per-op (degrees,
+/// factors, offsets); [`PolicyOp::magnitude_range`] gives sane bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyOp {
+    /// Rotate by `magnitude` degrees about the pattern center.
+    Rotate,
+    /// Stretch horizontally by factor `magnitude` (canvas unchanged).
+    ResizeX,
+    /// Stretch vertically by factor `magnitude`.
+    ResizeY,
+    /// Shear horizontally by factor `magnitude`.
+    ShearX,
+    /// Shear vertically by factor `magnitude`.
+    ShearY,
+    /// Multiply pixels by `magnitude` (the paper's "Brightness, 1.632").
+    Brightness,
+    /// Blend toward the mean: out = mean + magnitude * (p - mean).
+    Contrast,
+    /// Invert around `magnitude` as pivot: out = magnitude - (p - magnitude)
+    /// clamped (the paper's "Invert, 0.246").
+    Invert,
+    /// Translate horizontally by `magnitude` pixels.
+    TranslateX,
+    /// Add uniform noise of amplitude `magnitude`.
+    Noise,
+}
+
+impl PolicyOp {
+    /// Every available operation.
+    pub fn all() -> [PolicyOp; 10] {
+        [
+            PolicyOp::Rotate,
+            PolicyOp::ResizeX,
+            PolicyOp::ResizeY,
+            PolicyOp::ShearX,
+            PolicyOp::ShearY,
+            PolicyOp::Brightness,
+            PolicyOp::Contrast,
+            PolicyOp::Invert,
+            PolicyOp::TranslateX,
+            PolicyOp::Noise,
+        ]
+    }
+
+    /// Reasonable magnitude bounds for the search.
+    pub fn magnitude_range(&self) -> (f32, f32) {
+        match self {
+            PolicyOp::Rotate => (-25.0, 25.0),
+            PolicyOp::ResizeX | PolicyOp::ResizeY => (0.6, 1.8),
+            PolicyOp::ShearX | PolicyOp::ShearY => (-0.4, 0.4),
+            PolicyOp::Brightness => (0.6, 1.6),
+            PolicyOp::Contrast => (0.5, 1.8),
+            PolicyOp::Invert => (0.2, 0.8),
+            PolicyOp::TranslateX => (-4.0, 4.0),
+            PolicyOp::Noise => (0.01, 0.08),
+        }
+    }
+
+    /// Apply to a pattern with the given magnitude.
+    pub fn apply(&self, img: &GrayImage, magnitude: f32, rng: &mut impl Rng) -> GrayImage {
+        let mut out = match self {
+            PolicyOp::Rotate => rotate(img, magnitude),
+            PolicyOp::ResizeX => stretch_x(img, magnitude.max(0.05)).unwrap_or_else(|_| img.clone()),
+            PolicyOp::ResizeY => stretch_y(img, magnitude.max(0.05)).unwrap_or_else(|_| img.clone()),
+            PolicyOp::ShearX => shear_x(img, magnitude),
+            PolicyOp::ShearY => shear_y(img, magnitude),
+            PolicyOp::Brightness => img.map(|p| p * magnitude),
+            PolicyOp::Contrast => {
+                let mean = img.pixels().iter().sum::<f32>() / img.len().max(1) as f32;
+                img.map(|p| mean + magnitude * (p - mean))
+            }
+            PolicyOp::Invert => img.map(|p| 2.0 * magnitude - p),
+            PolicyOp::TranslateX => translate(img, magnitude, 0.0),
+            PolicyOp::Noise => {
+                let noise = white_noise_image(
+                    rng.gen(),
+                    img.width(),
+                    img.height(),
+                    -magnitude,
+                    magnitude,
+                );
+                let mut out = img.clone();
+                for (o, n) in out.pixels_mut().iter_mut().zip(noise.pixels()) {
+                    *o += n;
+                }
+                out
+            }
+        };
+        out.clamp(0.0, 1.0);
+        out
+    }
+}
+
+/// A concrete (operation, magnitude) pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Policy {
+    /// The transform.
+    pub op: PolicyOp,
+    /// Its magnitude.
+    pub magnitude: f32,
+}
+
+impl Policy {
+    /// Apply to a pattern.
+    pub fn apply(&self, img: &GrayImage, rng: &mut impl Rng) -> GrayImage {
+        self.op.apply(img, self.magnitude, rng)
+    }
+}
+
+/// A combination of policies applied in sequence (the paper uses
+/// combinations of three).
+pub fn apply_policies(policies: &[Policy], img: &GrayImage, rng: &mut impl Rng) -> GrayImage {
+    let mut out = img.clone();
+    for p in policies {
+        out = p.apply(&out, rng);
+    }
+    out
+}
+
+/// Search configuration (defaults follow Section 4.2).
+#[derive(Debug, Clone)]
+pub struct PolicySearchConfig {
+    /// Operations to draw from.
+    pub ops: Vec<PolicyOp>,
+    /// Random magnitudes sampled per operation (paper: 10).
+    pub magnitudes_per_op: usize,
+    /// Policies per combination (paper: 3).
+    pub combo_size: usize,
+    /// Cap on the number of combinations evaluated; the paper's exhaustive
+    /// iteration is kept for small op sets, larger sets sample.
+    pub max_combinations: usize,
+}
+
+impl Default for PolicySearchConfig {
+    fn default() -> Self {
+        Self {
+            ops: PolicyOp::all().to_vec(),
+            magnitudes_per_op: 10,
+            combo_size: 3,
+            max_combinations: 80,
+        }
+    }
+}
+
+/// Section 4.2's search: sample magnitudes, enumerate (or sample)
+/// `combo_size`-combinations, score each with `evaluate` (higher better)
+/// and return the best combination. `evaluate` receives the candidate
+/// policy combination; the experiment harness trains a labeler on
+/// augmented patterns inside it.
+pub fn search_policies(
+    config: &PolicySearchConfig,
+    mut evaluate: impl FnMut(&[Policy]) -> f64,
+    rng: &mut impl Rng,
+) -> Vec<Policy> {
+    // One sampled magnitude per op per slot, as candidate pool.
+    let mut candidates: Vec<Policy> = Vec::new();
+    for &op in &config.ops {
+        let (lo, hi) = op.magnitude_range();
+        for _ in 0..config.magnitudes_per_op {
+            candidates.push(Policy {
+                op,
+                magnitude: rng.gen_range(lo..=hi),
+            });
+        }
+    }
+    let k = config.combo_size.max(1).min(candidates.len());
+    // Enumerate all k-combinations when feasible, sample otherwise.
+    let total = n_choose_k(candidates.len(), k);
+    let mut best: Option<(f64, Vec<Policy>)> = None;
+    let mut consider = |combo: &[Policy], best: &mut Option<(f64, Vec<Policy>)>| {
+        let score = evaluate(combo);
+        if best.as_ref().is_none_or(|(s, _)| score > *s) {
+            *best = Some((score, combo.to_vec()));
+        }
+    };
+    if total <= config.max_combinations as u128 {
+        let mut indices: Vec<usize> = (0..k).collect();
+        loop {
+            let combo: Vec<Policy> = indices.iter().map(|&i| candidates[i]).collect();
+            consider(&combo, &mut best);
+            // Next combination in lexicographic order.
+            let mut i = k;
+            loop {
+                if i == 0 {
+                    return best.map(|(_, c)| c).unwrap_or_default();
+                }
+                i -= 1;
+                if indices[i] != i + candidates.len() - k {
+                    break;
+                }
+            }
+            indices[i] += 1;
+            for j in i + 1..k {
+                indices[j] = indices[j - 1] + 1;
+            }
+        }
+    } else {
+        for _ in 0..config.max_combinations {
+            let combo: Vec<Policy> = candidates
+                .choose_multiple(rng, k)
+                .copied()
+                .collect();
+            consider(&combo, &mut best);
+        }
+        best.map(|(_, c)| c).unwrap_or_default()
+    }
+}
+
+fn n_choose_k(n: usize, k: usize) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        acc = acc.saturating_mul((n - i) as u128) / (i + 1) as u128;
+        if acc > 1u128 << 100 {
+            return u128::MAX;
+        }
+    }
+    acc
+}
+
+/// Generate `count` augmented patterns by applying the policy combination
+/// to randomly chosen source patterns.
+pub fn policy_augment(
+    patterns: &[GrayImage],
+    policies: &[Policy],
+    count: usize,
+    rng: &mut impl Rng,
+) -> Vec<GrayImage> {
+    if patterns.is_empty() || policies.is_empty() {
+        return Vec::new();
+    }
+    (0..count)
+        .map(|_| {
+            let src = patterns.choose(rng).expect("patterns nonempty");
+            // Apply a random nonempty subset (1..=all) of the combination,
+            // mirroring AutoAugment's stochastic application.
+            let n_apply = rng.gen_range(1..=policies.len());
+            let chosen: Vec<Policy> = policies
+                .choose_multiple(rng, n_apply)
+                .copied()
+                .collect();
+            apply_policies(&chosen, src, rng)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pattern() -> GrayImage {
+        let mut img = GrayImage::filled(16, 16, 0.6);
+        img.draw_line(3.0, 8.0, 13.0, 8.0, 1.5, 0.1);
+        img
+    }
+
+    #[test]
+    fn every_op_produces_valid_output() {
+        let img = pattern();
+        let mut rng = StdRng::seed_from_u64(0);
+        for op in PolicyOp::all() {
+            let (lo, hi) = op.magnitude_range();
+            for mag in [lo, (lo + hi) * 0.5, hi] {
+                let out = op.apply(&img, mag, &mut rng);
+                assert_eq!(out.dims(), img.dims(), "{op:?} changed dims");
+                for &p in out.pixels() {
+                    assert!((0.0..=1.0).contains(&p), "{op:?} out of range: {p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn brightness_scales_pixels() {
+        let img = GrayImage::filled(4, 4, 0.4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = PolicyOp::Brightness.apply(&img, 1.5, &mut rng);
+        assert!((out.get(0, 0) - 0.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn invert_flips_around_pivot() {
+        let img = GrayImage::filled(2, 2, 0.1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = PolicyOp::Invert.apply(&img, 0.25, &mut rng);
+        // 2*0.25 - 0.1 = 0.4.
+        assert!((out.get(0, 0) - 0.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn contrast_one_is_identity() {
+        let img = pattern();
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = PolicyOp::Contrast.apply(&img, 1.0, &mut rng);
+        for (a, b) in img.pixels().iter().zip(out.pixels()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn rotate_changes_line_orientation() {
+        let img = pattern();
+        let mut rng = StdRng::seed_from_u64(4);
+        let out = PolicyOp::Rotate.apply(&img, 20.0, &mut rng);
+        // The horizontal line's row should lose mass.
+        let row_before: f32 = img.row(8).iter().map(|&p| (0.6 - p).max(0.0)).sum();
+        let row_after: f32 = out.row(8).iter().map(|&p| (0.6 - p).max(0.0)).sum();
+        assert!(row_after < row_before * 0.9);
+    }
+
+    #[test]
+    fn apply_policies_chains() {
+        let img = pattern();
+        let mut rng = StdRng::seed_from_u64(5);
+        let combo = vec![
+            Policy { op: PolicyOp::Brightness, magnitude: 1.2 },
+            Policy { op: PolicyOp::Rotate, magnitude: 10.0 },
+        ];
+        let out = apply_policies(&combo, &img, &mut rng);
+        assert_eq!(out.dims(), img.dims());
+        assert_ne!(out, img);
+    }
+
+    #[test]
+    fn search_finds_injected_optimum() {
+        // Evaluator prefers combos containing a Rotate policy with
+        // magnitude near +20; the search should find one.
+        let mut rng = StdRng::seed_from_u64(6);
+        let config = PolicySearchConfig {
+            ops: vec![PolicyOp::Rotate, PolicyOp::Brightness, PolicyOp::Noise],
+            magnitudes_per_op: 6,
+            combo_size: 2,
+            max_combinations: 1000,
+        };
+        let best = search_policies(
+            &config,
+            |combo| {
+                combo
+                    .iter()
+                    .map(|p| match p.op {
+                        PolicyOp::Rotate => 10.0 - (p.magnitude - 20.0).abs() as f64,
+                        _ => 0.0,
+                    })
+                    .sum()
+            },
+            &mut rng,
+        );
+        assert_eq!(best.len(), 2);
+        let best_rotate = best
+            .iter()
+            .filter(|p| p.op == PolicyOp::Rotate)
+            .map(|p| p.magnitude)
+            .fold(f32::NEG_INFINITY, f32::max);
+        assert!(best_rotate > 5.0, "best rotate magnitude {best_rotate}");
+    }
+
+    #[test]
+    fn search_samples_when_space_is_large() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut evals = 0usize;
+        let config = PolicySearchConfig {
+            max_combinations: 50,
+            ..Default::default()
+        };
+        let best = search_policies(
+            &config,
+            |_| {
+                evals += 1;
+                1.0
+            },
+            &mut rng,
+        );
+        assert_eq!(evals, 50);
+        assert_eq!(best.len(), 3);
+    }
+
+    #[test]
+    fn policy_augment_produces_requested_count() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let patterns = vec![pattern()];
+        let policies = vec![
+            Policy { op: PolicyOp::Rotate, magnitude: 15.0 },
+            Policy { op: PolicyOp::ResizeX, magnitude: 1.4 },
+        ];
+        let out = policy_augment(&patterns, &policies, 25, &mut rng);
+        assert_eq!(out.len(), 25);
+        // Augmented patterns differ from the source (at least mostly).
+        let distinct = out.iter().filter(|p| **p != patterns[0]).count();
+        assert!(distinct > 20);
+    }
+
+    #[test]
+    fn policy_augment_empty_inputs() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(policy_augment(&[], &[Policy { op: PolicyOp::Rotate, magnitude: 5.0 }], 10, &mut rng).is_empty());
+        assert!(policy_augment(&[pattern()], &[], 10, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn n_choose_k_values() {
+        assert_eq!(n_choose_k(5, 2), 10);
+        assert_eq!(n_choose_k(100, 3), 161_700);
+        assert_eq!(n_choose_k(3, 5), 0);
+        assert_eq!(n_choose_k(4, 4), 1);
+    }
+}

@@ -1,0 +1,134 @@
+//! End discriminative models (Section 6.6, Table 5).
+//!
+//! The question the paper asks last: are the weak labels actually useful?
+//! Train the end CNN once on the development set alone and once on the
+//! development set plus Inspector Gadget's weak labels, and compare F1 on
+//! held-out test data.
+
+use crate::cnn_models::CnnArch;
+use crate::selflearn::{SelfLearnConfig, SelfLearner};
+use ig_eval::metrics::{binary_f1, macro_f1};
+use ig_imaging::GrayImage;
+use rand::Rng;
+
+/// Train an end model on (images, labels) and score F1 on the test set.
+#[allow(clippy::too_many_arguments)]
+pub fn train_and_score(
+    arch: CnnArch,
+    train_images: &[&GrayImage],
+    train_labels: &[usize],
+    test_images: &[&GrayImage],
+    test_labels: &[usize],
+    num_classes: usize,
+    config: &SelfLearnConfig,
+    rng: &mut impl Rng,
+) -> f64 {
+    let mut model = SelfLearner::train(
+        arch,
+        train_images,
+        train_labels,
+        num_classes,
+        config,
+        rng,
+    );
+    let preds = model.label(test_images);
+    score_f1(num_classes, test_labels, &preds)
+}
+
+/// Task-appropriate F1: positive-class for binary, macro for multi-class.
+pub fn score_f1(num_classes: usize, gold: &[usize], pred: &[usize]) -> f64 {
+    if num_classes == 2 {
+        let g: Vec<bool> = gold.iter().map(|&v| v == 1).collect();
+        let p: Vec<bool> = pred.iter().map(|&v| v == 1).collect();
+        binary_f1(&g, &p).f1
+    } else {
+        macro_f1(num_classes, gold, pred)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn score_f1_dispatches_binary_and_macro() {
+        let gold = [0usize, 1, 1, 0];
+        assert_eq!(score_f1(2, &gold, &gold), 1.0);
+        let gold3 = [0usize, 1, 2, 0];
+        assert_eq!(score_f1(3, &gold3, &gold3), 1.0);
+        let wrong = [1usize, 0, 0, 1];
+        assert_eq!(score_f1(2, &gold, &wrong), 0.0);
+    }
+
+    #[test]
+    fn more_training_data_helps_the_end_model() {
+        // The Table 5 mechanism in miniature: a model trained on dev+weak
+        // (larger, slightly noisy) beats the tiny-dev model.
+        let make = |n: usize, seed: u64| -> (Vec<GrayImage>, Vec<usize>) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut images = Vec::new();
+            let mut labels = Vec::new();
+            for i in 0..n {
+                let pos = i % 2 == 1;
+                let img = GrayImage::from_fn(16, 16, |x, _| {
+                    let noise = rng.gen_range(-0.08..0.08f32);
+                    if pos && (5..11).contains(&x) {
+                        0.85 + noise
+                    } else {
+                        0.4 + noise
+                    }
+                });
+                images.push(img);
+                labels.push(usize::from(pos));
+            }
+            (images, labels)
+        };
+        let config = SelfLearnConfig {
+            side: 16,
+            epochs: 10,
+            ..Default::default()
+        };
+        let (test_images, test_labels) = make(40, 99);
+        let test_refs: Vec<&GrayImage> = test_images.iter().collect();
+
+        let mut small_total = 0.0;
+        let mut big_total = 0.0;
+        for seed in 0..3u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (small_images, small_labels) = make(6, 10 + seed);
+            let small_refs: Vec<&GrayImage> = small_images.iter().collect();
+            small_total += train_and_score(
+                CnnArch::MiniVgg,
+                &small_refs,
+                &small_labels,
+                &test_refs,
+                &test_labels,
+                2,
+                &config,
+                &mut rng,
+            );
+            let (big_images, mut big_labels) = make(60, 20 + seed);
+            // Corrupt 10% of the big set's labels to mimic weak labels.
+            for l in big_labels.iter_mut().step_by(10) {
+                *l = 1 - *l;
+            }
+            let big_refs: Vec<&GrayImage> = big_images.iter().collect();
+            big_total += train_and_score(
+                CnnArch::MiniVgg,
+                &big_refs,
+                &big_labels,
+                &test_refs,
+                &test_labels,
+                2,
+                &config,
+                &mut rng,
+            );
+        }
+        assert!(
+            big_total >= small_total,
+            "dev+weak {big_total:.3} vs dev-only {small_total:.3}"
+        );
+    }
+}

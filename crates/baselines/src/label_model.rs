@@ -1,0 +1,222 @@
+//! A Snorkel-style generative label model over abstaining labeling
+//! functions, fit with one-coin EM.
+//!
+//! Snuba's final step "combine\[s\] the LFs into a generative model"; this
+//! is that model. Each LF votes a class or abstains; the model learns a
+//! per-LF accuracy and produces posterior class probabilities per sample
+//! via accuracy-weighted voting, iterated EM-style.
+
+/// An LF vote: `Some(class)` or `None` for abstain.
+pub type Vote = Option<usize>;
+
+/// The fitted generative model.
+#[derive(Debug, Clone)]
+pub struct LabelModel {
+    /// Learned accuracy per LF in `[eps, 1-eps]`.
+    pub accuracies: Vec<f64>,
+    /// Class prior.
+    pub priors: Vec<f64>,
+    num_classes: usize,
+}
+
+impl LabelModel {
+    /// Fit on a vote matrix: `votes[sample][lf]`. `iterations` EM rounds.
+    pub fn fit(votes: &[Vec<Vote>], num_classes: usize, iterations: usize) -> Self {
+        assert!(num_classes >= 2, "need at least two classes");
+        let n = votes.len();
+        let m = votes.first().map_or(0, |v| v.len());
+        let mut accuracies = vec![0.7f64; m];
+        let mut priors = vec![1.0 / num_classes as f64; num_classes];
+        if n == 0 || m == 0 {
+            return Self {
+                accuracies,
+                priors,
+                num_classes,
+            };
+        }
+        let mut posteriors = vec![vec![1.0 / num_classes as f64; num_classes]; n];
+        for _ in 0..iterations.max(1) {
+            // E-step: posterior per sample.
+            for (i, sample_votes) in votes.iter().enumerate() {
+                let mut logp: Vec<f64> = priors.iter().map(|&p| p.max(1e-9).ln()).collect();
+                for (j, vote) in sample_votes.iter().enumerate() {
+                    if let Some(v) = vote {
+                        let acc = accuracies[j].clamp(0.05, 0.95);
+                        for (c, lp) in logp.iter_mut().enumerate() {
+                            if c == *v {
+                                *lp += acc.ln();
+                            } else {
+                                *lp += ((1.0 - acc) / (num_classes as f64 - 1.0)).ln();
+                            }
+                        }
+                    }
+                }
+                let max = logp.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let mut sum = 0.0;
+                for lp in &mut logp {
+                    *lp = (*lp - max).exp();
+                    sum += *lp;
+                }
+                for (p, lp) in posteriors[i].iter_mut().zip(&logp) {
+                    *p = lp / sum;
+                }
+            }
+            // M-step: accuracies and priors.
+            for j in 0..m {
+                let mut agree = 0.0f64;
+                let mut total = 0.0f64;
+                for (i, sample_votes) in votes.iter().enumerate() {
+                    if let Some(v) = sample_votes[j] {
+                        agree += posteriors[i][v];
+                        total += 1.0;
+                    }
+                }
+                if total > 0.0 {
+                    accuracies[j] = (agree / total).clamp(0.05, 0.95);
+                }
+            }
+            for c in 0..num_classes {
+                priors[c] = posteriors.iter().map(|p| p[c]).sum::<f64>() / n as f64;
+            }
+        }
+        Self {
+            accuracies,
+            priors,
+            num_classes,
+        }
+    }
+
+    /// Posterior class probabilities for one sample's votes.
+    pub fn posterior(&self, sample_votes: &[Vote]) -> Vec<f64> {
+        let mut logp: Vec<f64> = self.priors.iter().map(|&p| p.max(1e-9).ln()).collect();
+        for (j, vote) in sample_votes.iter().enumerate() {
+            if let Some(v) = vote {
+                let acc = self.accuracies.get(j).copied().unwrap_or(0.7).clamp(0.05, 0.95);
+                for (c, lp) in logp.iter_mut().enumerate() {
+                    if c == *v {
+                        *lp += acc.ln();
+                    } else {
+                        *lp += ((1.0 - acc) / (self.num_classes as f64 - 1.0)).ln();
+                    }
+                }
+            }
+        }
+        let max = logp.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut sum = 0.0;
+        for lp in &mut logp {
+            *lp = (*lp - max).exp();
+            sum += *lp;
+        }
+        logp.into_iter().map(|p| p / sum).collect()
+    }
+
+    /// Hard label (argmax posterior, first index on ties). Samples where
+    /// every LF abstained fall back to the prior's argmax.
+    pub fn predict(&self, sample_votes: &[Vote]) -> usize {
+        let posterior = self.posterior(sample_votes);
+        let mut best = 0usize;
+        for (c, &p) in posterior.iter().enumerate().skip(1) {
+            if p > posterior[best] {
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// Hard labels for a batch.
+    pub fn predict_all(&self, votes: &[Vec<Vote>]) -> Vec<usize> {
+        votes.iter().map(|v| self.predict(v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three LFs: two accurate, one adversarial, binary task.
+    fn synthetic_votes(n: usize) -> (Vec<Vec<Vote>>, Vec<usize>) {
+        let mut votes = Vec::new();
+        let mut gold = Vec::new();
+        for i in 0..n {
+            let y = i % 2;
+            let good1 = if i % 10 < 9 { y } else { 1 - y }; // 90% accurate
+            let good2 = if i % 10 < 8 { y } else { 1 - y }; // 80% accurate
+            let bad = 1 - y; // 0% accurate (systematically inverted)
+            votes.push(vec![Some(good1), Some(good2), Some(bad)]);
+            gold.push(y);
+        }
+        (votes, gold)
+    }
+
+    #[test]
+    fn em_learns_lf_accuracies() {
+        let (votes, _) = synthetic_votes(200);
+        let model = LabelModel::fit(&votes, 2, 20);
+        assert!(
+            model.accuracies[0] > model.accuracies[2],
+            "good LF {} vs bad LF {}",
+            model.accuracies[0],
+            model.accuracies[2]
+        );
+        assert!(model.accuracies[0] > 0.7);
+        assert!(model.accuracies[2] < 0.3);
+    }
+
+    #[test]
+    fn predictions_beat_majority_vote_with_adversarial_lf() {
+        let (votes, gold) = synthetic_votes(200);
+        let model = LabelModel::fit(&votes, 2, 20);
+        let preds = model.predict_all(&votes);
+        let correct = preds.iter().zip(&gold).filter(|(a, b)| a == b).count();
+        assert!(correct >= 170, "{correct}/200 correct");
+    }
+
+    #[test]
+    fn abstains_fall_back_to_prior() {
+        // Skewed dataset: 80% class 0.
+        let votes: Vec<Vec<Vote>> = (0..100)
+            .map(|i| {
+                if i < 80 {
+                    vec![Some(0)]
+                } else {
+                    vec![Some(1)]
+                }
+            })
+            .collect();
+        let model = LabelModel::fit(&votes, 2, 10);
+        assert_eq!(model.predict(&[None]), 0);
+        let p = model.posterior(&[None]);
+        assert!(p[0] > 0.6);
+    }
+
+    #[test]
+    fn empty_fit_is_safe() {
+        let model = LabelModel::fit(&[], 2, 5);
+        assert_eq!(model.predict(&[]), 0);
+    }
+
+    #[test]
+    fn multiclass_votes() {
+        let votes: Vec<Vec<Vote>> = (0..90)
+            .map(|i| {
+                let y = i % 3;
+                vec![Some(y), Some(y), if i % 5 == 0 { None } else { Some(y) }]
+            })
+            .collect();
+        let model = LabelModel::fit(&votes, 3, 10);
+        let preds = model.predict_all(&votes);
+        for (i, p) in preds.iter().enumerate() {
+            assert_eq!(*p, i % 3);
+        }
+    }
+
+    #[test]
+    fn posterior_sums_to_one() {
+        let (votes, _) = synthetic_votes(50);
+        let model = LabelModel::fit(&votes, 2, 10);
+        for v in &votes {
+            let p = model.posterior(v);
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Augmentation throughput: policy transforms per second, RGAN training
+//! cost, and RGAN sampling cost — the Section 4 efficiency claims
+//! ("augmenting small patterns instead of the entire images").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ig_augment::gan::{Rgan, RganConfig};
+use ig_augment::policy::{policy_augment, Policy, PolicyOp};
+use ig_bench::defect_pattern;
+use ig_imaging::GrayImage;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn patterns(n: usize) -> Vec<GrayImage> {
+    (0..n).map(|i| defect_pattern(12, i as u64)).collect()
+}
+
+fn bench_policy_throughput(c: &mut Criterion) {
+    let pats = patterns(10);
+    let combo = vec![
+        Policy {
+            op: PolicyOp::Rotate,
+            magnitude: 12.0,
+        },
+        Policy {
+            op: PolicyOp::ResizeX,
+            magnitude: 1.3,
+        },
+        Policy {
+            op: PolicyOp::Brightness,
+            magnitude: 1.1,
+        },
+    ];
+    let mut group = c.benchmark_group("policy_augment");
+    group.throughput(Throughput::Elements(100));
+    group.bench_function("100_patterns", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            policy_augment(&pats, &combo, 100, &mut rng)
+        })
+    });
+    group.finish();
+}
+
+fn bench_gan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rgan");
+    group.sample_size(10);
+    // Training cost scales with pattern size — the reason the paper
+    // augments patterns, not whole images.
+    for side in [8usize, 16] {
+        group.bench_with_input(BenchmarkId::new("train", side), &side, |b, &side| {
+            let pats = patterns(10);
+            let config = RganConfig {
+                pattern_side: side,
+                epochs: 30,
+                ..RganConfig::quick()
+            };
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(2);
+                Rgan::train(&pats, &config, &mut rng)
+            })
+        });
+    }
+    group.bench_function("sample_100", |b| {
+        let pats = patterns(10);
+        let mut rng = StdRng::seed_from_u64(3);
+        let gan = Rgan::train(&pats, &RganConfig::quick(), &mut rng);
+        b.iter(|| gan.generate(100, &mut rng))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_policy_throughput, bench_gan);
+criterion_main!(benches);

@@ -1,0 +1,155 @@
+//! End-to-end timings, one group per paper experiment family: the crowd
+//! workflow (Table 3), the full IG train+label pipeline (Figure 9 /
+//! Table 4 inner loop), Snuba synthesis (Figure 9), GOGGLES affinity
+//! coding (Figure 9), and a CNN baseline epoch (Figure 9 / Table 5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ig_baselines::cnn_models::CnnArch;
+use ig_baselines::goggles::{Goggles, GogglesConfig};
+use ig_baselines::selflearn::{SelfLearnConfig, SelfLearner};
+use ig_baselines::snuba::{Snuba, SnubaConfig};
+use ig_core::{InspectorGadget, Pattern, PatternSource, PipelineConfig};
+use ig_crowd::CrowdWorkflow;
+use ig_imaging::GrayImage;
+use ig_synth::spec::{DatasetKind, DatasetSpec};
+use ig_synth::LabeledImage;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn quick_dataset() -> ig_synth::Dataset {
+    ig_synth::generate(&DatasetSpec::quick(DatasetKind::ProductScratch, 99))
+}
+
+fn bench_crowd_workflow(c: &mut Criterion) {
+    let dataset = quick_dataset();
+    let dev: Vec<&LabeledImage> = dataset.images.iter().take(20).collect();
+    c.bench_function("e2e_crowd_workflow_20_images", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            CrowdWorkflow::full().run(&dev, &mut rng).patterns.len()
+        })
+    });
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let dataset = quick_dataset();
+    let dev: Vec<&LabeledImage> = dataset.images.iter().take(20).collect();
+    let mut rng = StdRng::seed_from_u64(2);
+    let crowd = CrowdWorkflow::full().run(&dev, &mut rng);
+    let dev_imgs: Vec<&GrayImage> = dev.iter().map(|l| &l.image).collect();
+    let dev_labels: Vec<usize> = dev.iter().map(|l| l.label).collect();
+    let test_imgs: Vec<&GrayImage> = dataset.images[20..].iter().map(|l| &l.image).collect();
+    let mut group = c.benchmark_group("e2e_pipeline");
+    group.sample_size(10);
+    group.bench_function("train", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            InspectorGadget::train(
+                Pattern::wrap_all(crowd.patterns.clone(), PatternSource::Crowd),
+                &dev_imgs,
+                &dev_labels,
+                2,
+                &PipelineConfig {
+                    tune: false,
+                    ..Default::default()
+                },
+                &mut rng,
+            )
+            .unwrap()
+        })
+    });
+    let mut rng = StdRng::seed_from_u64(4);
+    let ig = InspectorGadget::train(
+        Pattern::wrap_all(crowd.patterns.clone(), PatternSource::Crowd),
+        &dev_imgs,
+        &dev_labels,
+        2,
+        &PipelineConfig {
+            tune: false,
+            ..Default::default()
+        },
+        &mut rng,
+    )
+    .unwrap();
+    group.bench_function("label_20_images", |b| b.iter(|| ig.label(&test_imgs)));
+    group.finish();
+}
+
+fn bench_snuba(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let d = 12;
+    let rows: Vec<Vec<f32>> = (0..60)
+        .map(|i| {
+            let mut row: Vec<f32> = (0..d).map(|_| rng.gen_range(0.8..0.9)).collect();
+            if i % 2 == 1 {
+                row[0] = rng.gen_range(0.92..1.0);
+            }
+            row
+        })
+        .collect();
+    let labels: Vec<usize> = (0..60).map(|i| i % 2).collect();
+    let x = ig_nn::Matrix::from_rows(&rows);
+    let mut group = c.benchmark_group("e2e_snuba");
+    group.sample_size(10);
+    group.bench_function("train_60x12", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(6);
+            Snuba::train(&x, &labels, &x, 2, &SnubaConfig::default(), &mut rng).num_lfs()
+        })
+    });
+    group.finish();
+}
+
+fn bench_goggles(c: &mut Criterion) {
+    let dataset = quick_dataset();
+    let refs: Vec<&GrayImage> = dataset.images.iter().map(|l| &l.image).collect();
+    let dev: Vec<(usize, usize)> = (0..8).map(|i| (i, dataset.images[i].label)).collect();
+    let mut group = c.benchmark_group("e2e_goggles");
+    group.sample_size(10);
+    group.bench_function("fit_40_images", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            Goggles::fit(&refs, &dev, 2, &GogglesConfig::default(), &mut rng)
+        })
+    });
+    group.finish();
+}
+
+fn bench_cnn_baseline(c: &mut Criterion) {
+    let dataset = quick_dataset();
+    let dev: Vec<&LabeledImage> = dataset.images.iter().take(20).collect();
+    let dev_imgs: Vec<&GrayImage> = dev.iter().map(|l| &l.image).collect();
+    let dev_labels: Vec<usize> = dev.iter().map(|l| l.label).collect();
+    let mut group = c.benchmark_group("e2e_cnn_baseline");
+    group.sample_size(10);
+    for arch in [CnnArch::MiniVgg, CnnArch::MiniMobileNet, CnnArch::MiniResNet] {
+        group.bench_function(format!("{arch:?}_5_epochs"), |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(8);
+                SelfLearner::train(
+                    arch,
+                    &dev_imgs,
+                    &dev_labels,
+                    2,
+                    &SelfLearnConfig {
+                        side: 16,
+                        epochs: 5,
+                        ..Default::default()
+                    },
+                    &mut rng,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_crowd_workflow,
+    bench_pipeline,
+    bench_snuba,
+    bench_goggles,
+    bench_cnn_baseline
+);
+criterion_main!(benches);

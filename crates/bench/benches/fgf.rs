@@ -1,0 +1,47 @@
+//! Ablation bench: feature generation (the FGF bank) serial vs parallel,
+//! and throughput vs pattern count — the pipeline's hot loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ig_bench::{defect_pattern, image_batch};
+use ig_core::{FeatureGenerator, Pattern, PatternSource};
+use ig_imaging::GrayImage;
+
+fn make_generator(num_patterns: usize) -> FeatureGenerator {
+    let patterns: Vec<GrayImage> = (0..num_patterns)
+        .map(|i| defect_pattern(10 + (i % 4), i as u64))
+        .collect();
+    FeatureGenerator::new(Pattern::wrap_all(patterns, PatternSource::Crowd))
+        .expect("nonempty pattern bank")
+}
+
+fn bench_pattern_count(c: &mut Criterion) {
+    let images = image_batch(8, 160, 40, 3);
+    let refs: Vec<&GrayImage> = images.iter().collect();
+    let mut group = c.benchmark_group("fgf_pattern_count");
+    for num_patterns in [4usize, 16, 64] {
+        let fg = make_generator(num_patterns).with_threads(1);
+        group.throughput(Throughput::Elements((refs.len() * num_patterns) as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(num_patterns),
+            &num_patterns,
+            |b, _| b.iter(|| fg.feature_matrix(&refs)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_parallelism(c: &mut Criterion) {
+    let images = image_batch(16, 160, 40, 5);
+    let refs: Vec<&GrayImage> = images.iter().collect();
+    let mut group = c.benchmark_group("fgf_threads");
+    for threads in [1usize, 2, 4] {
+        let fg = make_generator(16).with_threads(threads);
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            b.iter(|| fg.feature_matrix(&refs))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pattern_count, bench_parallelism);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Ablation bench: fitting the weak-label MLP with L-BFGS (the paper's
+//! optimizer) vs Adam, plus the cost of a full tuning sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ig_core::labeler::{Labeler, LabelerConfig};
+use ig_core::tuning::{tune_labeler, TuningConfig};
+use ig_nn::lbfgs::LbfgsConfig;
+use ig_nn::mlp::{Loss, Mlp, MlpConfig, Targets};
+use ig_nn::{Adam, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn dev_set(n: usize, d: usize, seed: u64) -> (Matrix, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..n {
+        let y = i % 2;
+        let mut row: Vec<f32> = (0..d).map(|_| rng.gen_range(0.8..0.9)).collect();
+        if y == 1 {
+            row[0] = rng.gen_range(0.92..1.0);
+            row[d / 2] = rng.gen_range(0.9..0.98);
+        }
+        rows.push(row);
+        labels.push(y);
+    }
+    (Matrix::from_rows(&rows), labels)
+}
+
+fn bench_lbfgs_vs_adam(c: &mut Criterion) {
+    let (x, y) = dev_set(120, 32, 1);
+    let mut group = c.benchmark_group("labeler_fit");
+    group.bench_function("lbfgs", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(2);
+            let mut labeler = Labeler::new(
+                32,
+                LabelerConfig {
+                    hidden: vec![8],
+                    num_classes: 2,
+                    l2: 1e-3,
+                    lbfgs: LbfgsConfig {
+                        max_iters: 80,
+                        ..Default::default()
+                    },
+                },
+                &mut rng,
+            )
+            .unwrap();
+            labeler.fit(&x, &y).unwrap()
+        })
+    });
+    group.bench_function("adam", |b| {
+        let targets = Matrix::from_vec(y.len(), 1, y.iter().map(|&v| v as f32).collect());
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(2);
+            let mut mlp = Mlp::new(&MlpConfig::new(32, vec![8], 1), &mut rng).unwrap();
+            let mut opt = Adam::new(0.01);
+            let mut params = mlp.params();
+            for _ in 0..80 {
+                mlp.set_params(&params);
+                let (_, grad) = mlp.loss_and_grad(&x, &Targets::Binary(&targets), Loss::Bce);
+                opt.step(&mut params, &grad);
+            }
+            mlp.set_params(&params);
+            mlp.loss(&x, &Targets::Binary(&targets), Loss::Bce)
+        })
+    });
+    group.finish();
+}
+
+fn bench_tuning_sweep(c: &mut Criterion) {
+    let (x, y) = dev_set(80, 16, 3);
+    c.bench_function("labeler_tuning_sweep", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(4);
+            let config = TuningConfig {
+                max_hidden_layers: 2,
+                lbfgs: LbfgsConfig {
+                    max_iters: 30,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            tune_labeler(&x, &y, 2, &config, &mut rng).unwrap().1.best_cv_f1
+        })
+    });
+}
+
+criterion_group!(benches, bench_lbfgs_vs_adam, bench_tuning_sweep);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Ablation bench: exact brute-force NCC vs the paper's coarse-to-fine
+//! pyramid matcher (Section 5.1). The pyramid's advantage should grow
+//! with image size — this is the design choice DESIGN.md flags.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ig_bench::{defect_pattern, textured_image};
+use ig_imaging::ncc::{match_template, match_template_pyramid, score_map, PyramidMatchConfig};
+
+fn bench_matchers(c: &mut Criterion) {
+    let pattern = defect_pattern(16, 7);
+    let mut group = c.benchmark_group("ncc_match");
+    for side in [64usize, 128, 256] {
+        let image = textured_image(side, side, side as u64);
+        group.bench_with_input(BenchmarkId::new("exact", side), &side, |b, _| {
+            b.iter(|| match_template(&image, &pattern).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("pyramid", side), &side, |b, _| {
+            b.iter(|| {
+                match_template_pyramid(&image, &pattern, &PyramidMatchConfig::default()).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_score_map(c: &mut Criterion) {
+    let pattern = defect_pattern(12, 9);
+    let image = textured_image(128, 128, 11);
+    c.bench_function("ncc_score_map_128", |b| {
+        b.iter(|| score_map(&image, &pattern).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_matchers, bench_score_map);
+criterion_main!(benches);

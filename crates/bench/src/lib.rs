@@ -1,0 +1,55 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! The benches cover the ablations DESIGN.md calls out (pyramid vs exact
+//! NCC, parallel vs serial feature generation, L-BFGS vs Adam labeler
+//! fits, policy vs GAN augmentation throughput) plus per-experiment
+//! end-to-end timings at quick scale.
+
+use ig_imaging::GrayImage;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A textured benchmark image with one planted defect.
+pub fn textured_image(width: usize, height: usize, seed: u64) -> GrayImage {
+    let mut img = ig_imaging::noise::fbm_image(seed, width, height, 0.05, 3, 0.4, 0.7);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let x = rng.gen_range(0..width.saturating_sub(12).max(1));
+    let y = rng.gen_range(0..height.saturating_sub(12).max(1));
+    img.fill_rect(x, y, 8, 8, 0.15);
+    img
+}
+
+/// A small defect-like pattern.
+pub fn defect_pattern(side: usize, seed: u64) -> GrayImage {
+    let mut img = GrayImage::filled(side, side, 0.6);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let thickness = rng.gen_range(1.0..2.0);
+    img.draw_line(
+        1.0,
+        1.0,
+        side as f32 - 2.0,
+        side as f32 - 2.0,
+        thickness,
+        0.15,
+    );
+    img
+}
+
+/// A batch of textured images.
+pub fn image_batch(n: usize, width: usize, height: usize, seed: u64) -> Vec<GrayImage> {
+    (0..n)
+        .map(|i| textured_image(width, height, seed + i as u64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_have_requested_shapes() {
+        assert_eq!(textured_image(64, 32, 1).dims(), (64, 32));
+        assert_eq!(defect_pattern(9, 2).dims(), (9, 9));
+        assert_eq!(image_batch(3, 16, 16, 3).len(), 3);
+    }
+}

@@ -1,0 +1,306 @@
+//! The weak-label MLP (Section 5.2) trained with L-BFGS (Section 6.1).
+//!
+//! "The model can have any architecture and be small because there are not
+//! as many features as say the number of pixels in an image. We use a
+//! multilayer perceptron (MLP) because it is simple, but also has good
+//! performance."
+//!
+//! Features are standardized with statistics from the training set before
+//! entering the network — NCC scores on textured industrial images
+//! cluster in a narrow high band, and centering them makes L-BFGS
+//! converge far more reliably.
+
+use crate::{CoreError, Result};
+use ig_nn::lbfgs::LbfgsConfig;
+use ig_nn::mlp::{Loss, Mlp, MlpConfig, Targets};
+use ig_nn::{Activation, Matrix};
+use rand::Rng;
+
+/// Labeler hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct LabelerConfig {
+    /// Hidden layer widths (1–3 layers after tuning).
+    pub hidden: Vec<usize>,
+    /// Number of classes (2 = binary task with a 1-unit sigmoid head).
+    pub num_classes: usize,
+    /// L2 weight decay.
+    pub l2: f32,
+    /// L-BFGS settings (paper: lr 1e-5-style conservative steps, early
+    /// stopping — here the iteration cap plays that role).
+    pub lbfgs: LbfgsConfig,
+}
+
+impl LabelerConfig {
+    /// Default: one hidden layer of 8, mild decay.
+    pub fn new(num_classes: usize) -> Self {
+        Self {
+            hidden: vec![8],
+            num_classes,
+            l2: 1e-3,
+            lbfgs: LbfgsConfig {
+                max_iters: 150,
+                ..Default::default()
+            },
+        }
+    }
+}
+
+/// A trained (or trainable) labeler: standardization + MLP.
+#[derive(Debug, Clone)]
+pub struct Labeler {
+    mlp: Mlp,
+    config: LabelerConfig,
+    feat_mean: Vec<f32>,
+    feat_std: Vec<f32>,
+}
+
+impl Labeler {
+    /// Initialize an untrained labeler for `input_dim` features.
+    pub fn new(input_dim: usize, config: LabelerConfig, rng: &mut impl Rng) -> Result<Self> {
+        if config.num_classes < 2 {
+            return Err(CoreError::BadDevSet(
+                "labeler needs at least two classes".into(),
+            ));
+        }
+        let output_dim = if config.num_classes == 2 {
+            1
+        } else {
+            config.num_classes
+        };
+        let mlp = Mlp::new(
+            &MlpConfig {
+                input_dim,
+                hidden: config.hidden.clone(),
+                output_dim,
+                activation: Activation::Relu,
+                l2: config.l2,
+            },
+            rng,
+        )
+        .map_err(|e| CoreError::BadDevSet(e.to_string()))?;
+        Ok(Self {
+            mlp,
+            config,
+            feat_mean: vec![0.0; input_dim],
+            feat_std: vec![1.0; input_dim],
+        })
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.config.num_classes
+    }
+
+    /// Fit on a feature matrix and gold labels. Returns the final L-BFGS
+    /// loss.
+    pub fn fit(&mut self, features: &Matrix, labels: &[usize]) -> Result<f32> {
+        if features.rows() != labels.len() {
+            return Err(CoreError::BadDevSet(format!(
+                "{} feature rows vs {} labels",
+                features.rows(),
+                labels.len()
+            )));
+        }
+        if features.rows() == 0 {
+            return Err(CoreError::BadDevSet("empty training set".into()));
+        }
+        self.compute_standardization(features);
+        let x = self.standardize(features);
+        let result = if self.config.num_classes == 2 {
+            let targets =
+                Matrix::from_vec(labels.len(), 1, labels.iter().map(|&l| l as f32).collect());
+            self.mlp
+                .fit_lbfgs(&x, &Targets::Binary(&targets), Loss::Bce, &self.config.lbfgs)
+        } else {
+            self.mlp.fit_lbfgs(
+                &x,
+                &Targets::Classes(labels),
+                Loss::CrossEntropy,
+                &self.config.lbfgs,
+            )
+        };
+        Ok(result.loss)
+    }
+
+    /// Predicted class per feature row.
+    pub fn predict(&self, features: &Matrix) -> Vec<usize> {
+        let x = self.standardize(features);
+        if self.config.num_classes == 2 {
+            self.mlp
+                .predict_sigmoid(&x)
+                .as_slice()
+                .iter()
+                .map(|&p| usize::from(p >= 0.5))
+                .collect()
+        } else {
+            self.mlp.predict_class(&x)
+        }
+    }
+
+    /// Per-class probabilities (binary → column 1 is P(defect)).
+    pub fn predict_proba(&self, features: &Matrix) -> Matrix {
+        let x = self.standardize(features);
+        if self.config.num_classes == 2 {
+            let p = self.mlp.predict_sigmoid(&x);
+            Matrix::from_fn(p.rows(), 2, |r, c| {
+                let pos = p.get(r, 0);
+                if c == 1 {
+                    pos
+                } else {
+                    1.0 - pos
+                }
+            })
+        } else {
+            self.mlp.predict_softmax(&x)
+        }
+    }
+
+    fn compute_standardization(&mut self, features: &Matrix) {
+        let n = features.rows().max(1) as f32;
+        let d = features.cols();
+        let mut mean = vec![0.0f32; d];
+        for r in 0..features.rows() {
+            for (m, &v) in mean.iter_mut().zip(features.row(r)) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0f32; d];
+        for r in 0..features.rows() {
+            for ((s, &v), &m) in var.iter_mut().zip(features.row(r)).zip(&mean) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        self.feat_std = var
+            .into_iter()
+            .map(|s| (s / n).sqrt().max(1e-4))
+            .collect();
+        self.feat_mean = mean;
+    }
+
+    fn standardize(&self, features: &Matrix) -> Matrix {
+        assert_eq!(features.cols(), self.feat_mean.len(), "feature dim drift");
+        Matrix::from_fn(features.rows(), features.cols(), |r, c| {
+            (features.get(r, c) - self.feat_mean[c]) / self.feat_std[c]
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Toy similarity features: defective rows have one high feature.
+    fn toy_data(n_per_class: usize, seed: u64) -> (Matrix, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..n_per_class {
+            rows.push(vec![
+                rng.gen_range(0.80..0.88f32),
+                rng.gen_range(0.78..0.86),
+                rng.gen_range(0.80..0.88),
+            ]);
+            labels.push(0);
+            rows.push(vec![
+                rng.gen_range(0.93..1.0f32),
+                rng.gen_range(0.80..0.90),
+                rng.gen_range(0.90..1.0),
+            ]);
+            labels.push(1);
+        }
+        (Matrix::from_rows(&rows), labels)
+    }
+
+    #[test]
+    fn binary_labeler_learns_separation() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let (x, y) = toy_data(30, 1);
+        let mut labeler = Labeler::new(3, LabelerConfig::new(2), &mut rng).unwrap();
+        labeler.fit(&x, &y).unwrap();
+        let preds = labeler.predict(&x);
+        let correct = preds.iter().zip(&y).filter(|(a, b)| a == b).count();
+        assert!(correct >= 55, "{correct}/60 correct");
+    }
+
+    #[test]
+    fn probabilities_are_normalized() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (x, y) = toy_data(10, 3);
+        let mut labeler = Labeler::new(3, LabelerConfig::new(2), &mut rng).unwrap();
+        labeler.fit(&x, &y).unwrap();
+        let proba = labeler.predict_proba(&x);
+        assert_eq!(proba.cols(), 2);
+        for r in 0..proba.rows() {
+            let sum: f32 = proba.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn multiclass_labeler() {
+        let mut rng = StdRng::seed_from_u64(4);
+        // Three classes, each activating one feature strongly.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..3usize {
+            for _ in 0..20 {
+                let mut row = vec![
+                    rng.gen_range(0.8..0.85f32),
+                    rng.gen_range(0.8..0.85),
+                    rng.gen_range(0.8..0.85),
+                ];
+                row[c] = rng.gen_range(0.95..1.0);
+                rows.push(row);
+                labels.push(c);
+            }
+        }
+        let x = Matrix::from_rows(&rows);
+        let mut labeler = Labeler::new(3, LabelerConfig::new(3), &mut rng).unwrap();
+        labeler.fit(&x, &labels).unwrap();
+        let preds = labeler.predict(&x);
+        let correct = preds.iter().zip(&labels).filter(|(a, b)| a == b).count();
+        assert!(correct >= 54, "{correct}/60 correct");
+        let proba = labeler.predict_proba(&x);
+        assert_eq!(proba.cols(), 3);
+    }
+
+    #[test]
+    fn mismatched_rows_rejected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut labeler = Labeler::new(2, LabelerConfig::new(2), &mut rng).unwrap();
+        let x = Matrix::zeros(3, 2);
+        assert!(labeler.fit(&x, &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn empty_training_set_rejected() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut labeler = Labeler::new(2, LabelerConfig::new(2), &mut rng).unwrap();
+        let x = Matrix::zeros(0, 2);
+        assert!(labeler.fit(&x, &[]).is_err());
+    }
+
+    #[test]
+    fn one_class_config_rejected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(Labeler::new(3, LabelerConfig::new(1), &mut rng).is_err());
+    }
+
+    #[test]
+    fn standardization_centers_features() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let (x, y) = toy_data(15, 9);
+        let mut labeler = Labeler::new(3, LabelerConfig::new(2), &mut rng).unwrap();
+        labeler.fit(&x, &y).unwrap();
+        let z = labeler.standardize(&x);
+        for c in 0..3 {
+            let mean: f32 = (0..z.rows()).map(|r| z.get(r, c)).sum::<f32>() / z.rows() as f32;
+            assert!(mean.abs() < 1e-4, "column {c} mean {mean}");
+        }
+    }
+}

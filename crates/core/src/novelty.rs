@@ -1,0 +1,162 @@
+//! Novel-defect detection — the extension the paper sketches in Related
+//! Work: "an interesting line of work is novel class detection where the
+//! goal is to identify unknown defects. While Inspector Gadget assumes a
+//! fixed set of defects, it can be extended with these techniques."
+//!
+//! The detector exploits the structure Inspector Gadget already has: a
+//! *known* defect produces a characteristic FGF similarity profile
+//! (strong response on the patterns of its family); an *unknown* defect
+//! matches no pattern and its feature vector falls outside that profile.
+//! Fit the detector on the feature vectors of the development set's
+//! **defective** images (the known-defect profile), then flag probe
+//! images whose standardized distance exceeds a quantile-calibrated
+//! threshold — see `tests/novelty_detection.rs` for the end-to-end usage.
+
+use ig_nn::Matrix;
+
+/// A fitted novelty detector over FGF feature vectors.
+#[derive(Debug, Clone)]
+pub struct NoveltyDetector {
+    mean: Vec<f32>,
+    std: Vec<f32>,
+    threshold: f32,
+}
+
+impl NoveltyDetector {
+    /// Fit on the development set's feature matrix. `quantile` sets the
+    /// calibration point: the threshold is chosen so that roughly
+    /// `1 - quantile` of the dev set itself would be flagged (e.g. 0.95
+    /// flags the most extreme ~5% as the boundary).
+    pub fn fit(dev_features: &Matrix, quantile: f64) -> Self {
+        let n = dev_features.rows().max(1) as f32;
+        let d = dev_features.cols();
+        let mut mean = vec![0.0f32; d];
+        for r in 0..dev_features.rows() {
+            for (m, &v) in mean.iter_mut().zip(dev_features.row(r)) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0f32; d];
+        for r in 0..dev_features.rows() {
+            for ((s, &v), &m) in var.iter_mut().zip(dev_features.row(r)).zip(&mean) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        let std: Vec<f32> = var.into_iter().map(|s| (s / n).sqrt().max(1e-4)).collect();
+        // Calibrate on the dev scores themselves.
+        let mut detector = Self {
+            mean,
+            std,
+            threshold: f32::INFINITY,
+        };
+        let mut scores: Vec<f32> = (0..dev_features.rows())
+            .map(|r| detector.score_row(dev_features.row(r)))
+            .collect();
+        scores.sort_by(f32::total_cmp);
+        let idx = ((scores.len() as f64 - 1.0) * quantile.clamp(0.0, 1.0)).round() as usize;
+        detector.threshold = scores.get(idx).copied().unwrap_or(f32::INFINITY) + 1e-6;
+        detector
+    }
+
+    /// Novelty score of one feature vector: root-mean-square of the
+    /// per-feature z-scores (a diagonal Mahalanobis distance).
+    pub fn score_row(&self, features: &[f32]) -> f32 {
+        assert_eq!(features.len(), self.mean.len(), "feature dim drift");
+        let mut acc = 0.0f32;
+        for ((&f, &m), &s) in features.iter().zip(&self.mean).zip(&self.std) {
+            let z = (f - m) / s;
+            acc += z * z;
+        }
+        (acc / features.len().max(1) as f32).sqrt()
+    }
+
+    /// The calibrated threshold.
+    pub fn threshold(&self) -> f32 {
+        self.threshold
+    }
+
+    /// True when the vector's score exceeds the calibrated threshold —
+    /// i.e. the image resembles nothing the dev set contained, suggesting
+    /// an unknown defect type.
+    pub fn is_novel(&self, features: &[f32]) -> bool {
+        self.score_row(features) > self.threshold
+    }
+
+    /// Flag a whole feature matrix.
+    pub fn flag(&self, features: &Matrix) -> Vec<bool> {
+        (0..features.rows())
+            .map(|r| self.is_novel(features.row(r)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn in_distribution(rng: &mut StdRng) -> Vec<f32> {
+        vec![
+            rng.gen_range(0.55..0.75f32),
+            rng.gen_range(0.1..0.3),
+            rng.gen_range(0.4..0.6),
+        ]
+    }
+
+    #[test]
+    fn dev_samples_are_mostly_inliers() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let rows: Vec<Vec<f32>> = (0..60).map(|_| in_distribution(&mut rng)).collect();
+        let m = Matrix::from_rows(&rows);
+        let detector = NoveltyDetector::fit(&m, 0.95);
+        let flags = detector.flag(&m);
+        let flagged = flags.iter().filter(|&&f| f).count();
+        assert!(flagged <= 4, "{flagged}/60 dev samples flagged novel");
+    }
+
+    #[test]
+    fn far_outlier_is_flagged() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let rows: Vec<Vec<f32>> = (0..50).map(|_| in_distribution(&mut rng)).collect();
+        let m = Matrix::from_rows(&rows);
+        let detector = NoveltyDetector::fit(&m, 0.95);
+        assert!(detector.is_novel(&[5.0, -3.0, 9.0]));
+        assert!(detector.is_novel(&[0.0, 0.0, 0.0]) || detector.score_row(&[0.0, 0.0, 0.0]) > 1.0);
+    }
+
+    #[test]
+    fn inlier_is_not_flagged() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let rows: Vec<Vec<f32>> = (0..50).map(|_| in_distribution(&mut rng)).collect();
+        let m = Matrix::from_rows(&rows);
+        let detector = NoveltyDetector::fit(&m, 0.95);
+        assert!(!detector.is_novel(&[0.65, 0.2, 0.5]));
+    }
+
+    #[test]
+    fn score_is_zero_at_the_mean() {
+        let rows = vec![vec![1.0f32, 2.0], vec![3.0, 4.0]];
+        let m = Matrix::from_rows(&rows);
+        let detector = NoveltyDetector::fit(&m, 0.5);
+        assert!(detector.score_row(&[2.0, 3.0]) < 1e-5);
+    }
+
+    #[test]
+    fn stricter_quantile_flags_more() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let rows: Vec<Vec<f32>> = (0..80).map(|_| in_distribution(&mut rng)).collect();
+        let m = Matrix::from_rows(&rows);
+        let strict = NoveltyDetector::fit(&m, 0.5);
+        let lenient = NoveltyDetector::fit(&m, 0.99);
+        assert!(strict.threshold() < lenient.threshold());
+        let probe: Vec<Vec<f32>> = (0..40).map(|_| in_distribution(&mut rng)).collect();
+        let pm = Matrix::from_rows(&probe);
+        let strict_count = strict.flag(&pm).iter().filter(|&&f| f).count();
+        let lenient_count = lenient.flag(&pm).iter().filter(|&&f| f).count();
+        assert!(strict_count >= lenient_count);
+    }
+}

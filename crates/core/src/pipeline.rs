@@ -1,0 +1,255 @@
+//! The end-to-end Inspector Gadget pipeline (Figures 2 and 3).
+//!
+//! Inputs: a pattern bank (crowd patterns, optionally extended by the
+//! augmenter) and a labeled development set. Training matches every
+//! pattern against every dev image (features), tunes and fits the MLP
+//! labeler. Labeling then turns any batch of unlabeled images into weak
+//! labels — "after training the Labeler, Inspector Gadget only utilizes
+//! [patterns, feature generator, labeler] for generating weak labels".
+
+use crate::features::{FeatureGenerator, MatchBackend};
+use crate::labeler::{Labeler, LabelerConfig};
+use crate::pattern::Pattern;
+use crate::tuning::{tune_labeler, TuningConfig, TuningReport};
+use crate::Result;
+use ig_imaging::GrayImage;
+use ig_nn::Matrix;
+use rand::Rng;
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Matching backend for the FGFs.
+    pub backend: MatchBackend,
+    /// Worker threads for feature generation (0 = hardware default).
+    pub threads: usize,
+    /// Run architecture tuning (Section 6.5). When `false`,
+    /// `fixed_hidden` is used directly — the "Min"/"Max" arms of Figure 11
+    /// and speed-sensitive callers use this.
+    pub tune: bool,
+    /// Architecture when tuning is disabled.
+    pub fixed_hidden: Vec<usize>,
+    /// Tuning parameters.
+    pub tuning: TuningConfig,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            backend: MatchBackend::Pyramid,
+            threads: 0,
+            tune: true,
+            fixed_hidden: vec![8],
+            tuning: TuningConfig::default(),
+        }
+    }
+}
+
+/// Weak labels for a batch of images.
+#[derive(Debug, Clone)]
+pub struct WeakLabelOutput {
+    /// Hard weak label per image.
+    pub labels: Vec<usize>,
+    /// Per-class probabilities (rows sum to 1).
+    pub probabilities: Matrix,
+    /// Max FGF similarity per image — the error-analysis signal.
+    pub max_similarities: Vec<f32>,
+}
+
+/// A trained Inspector Gadget instance.
+pub struct InspectorGadget {
+    feature_gen: FeatureGenerator,
+    labeler: Labeler,
+    /// Tuning report when tuning ran.
+    pub tuning_report: Option<TuningReport>,
+}
+
+impl InspectorGadget {
+    /// Train from patterns and a labeled development set.
+    pub fn train(
+        patterns: Vec<Pattern>,
+        dev_images: &[&GrayImage],
+        dev_labels: &[usize],
+        num_classes: usize,
+        config: &PipelineConfig,
+        rng: &mut impl Rng,
+    ) -> Result<Self> {
+        let mut feature_gen = FeatureGenerator::new(patterns)?.with_backend(config.backend);
+        if config.threads > 0 {
+            feature_gen = feature_gen.with_threads(config.threads);
+        }
+        let features = feature_gen.feature_matrix(dev_images);
+        let (labeler, report) = if config.tune {
+            let (labeler, report) =
+                tune_labeler(&features, dev_labels, num_classes, &config.tuning, rng)?;
+            (labeler, Some(report))
+        } else {
+            let mut labeler = Labeler::new(
+                features.cols(),
+                LabelerConfig {
+                    hidden: config.fixed_hidden.clone(),
+                    num_classes,
+                    l2: config.tuning.l2,
+                    lbfgs: config.tuning.lbfgs,
+                },
+                rng,
+            )?;
+            labeler.fit(&features, dev_labels)?;
+            (labeler, None)
+        };
+        Ok(Self {
+            feature_gen,
+            labeler,
+            tuning_report: report,
+        })
+    }
+
+    /// Number of FGFs.
+    pub fn num_features(&self) -> usize {
+        self.feature_gen.num_features()
+    }
+
+    /// Borrow the feature generator (for feature reuse in experiments).
+    pub fn feature_generator(&self) -> &FeatureGenerator {
+        &self.feature_gen
+    }
+
+    /// Generate weak labels for a batch of images.
+    pub fn label(&self, images: &[&GrayImage]) -> WeakLabelOutput {
+        let features = self.feature_gen.feature_matrix(images);
+        self.label_from_features(&features)
+    }
+
+    /// Generate weak labels from a precomputed feature matrix (images in
+    /// the same pattern order). Lets experiments compute features once and
+    /// reuse them across ablation arms.
+    pub fn label_from_features(&self, features: &Matrix) -> WeakLabelOutput {
+        let labels = self.labeler.predict(features);
+        let probabilities = self.labeler.predict_proba(features);
+        let max_similarities = (0..features.rows())
+            .map(|r| FeatureGenerator::max_similarity(features, r))
+            .collect();
+        WeakLabelOutput {
+            labels,
+            probabilities,
+            max_similarities,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::PatternSource;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A miniature fully-synthetic task: images with or without a dark
+    /// square; the pattern bank contains a dark-square crop.
+    fn make_task(
+        n: usize,
+        seed: u64,
+    ) -> (Vec<Pattern>, Vec<GrayImage>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut images = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let defect = i % 2 == 1;
+            let mut img = GrayImage::from_fn(48, 32, |x, y| {
+                0.65 + 0.05 * ((x as f32 * 0.4).sin() * (y as f32 * 0.3).cos())
+            });
+            if defect {
+                let x = rng.gen_range(2..38);
+                let y = rng.gen_range(2..22);
+                img.fill_rect(x, y, 7, 7, 0.15);
+            }
+            images.push(img);
+            labels.push(usize::from(defect));
+        }
+        let mut pat = GrayImage::filled(7, 7, 0.15);
+        pat.fill_rect(0, 0, 7, 1, 0.6); // context edge
+        let patterns = vec![
+            Pattern::crowd(pat),
+            Pattern::augmented(GrayImage::filled(6, 6, 0.15), PatternSource::Policy),
+        ];
+        (patterns, images, labels)
+    }
+
+    #[test]
+    fn pipeline_learns_synthetic_task() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let (patterns, images, labels) = make_task(40, 1);
+        let refs: Vec<&GrayImage> = images.iter().collect();
+        let config = PipelineConfig {
+            tune: false,
+            ..Default::default()
+        };
+        let ig =
+            InspectorGadget::train(patterns, &refs[..30], &labels[..30], 2, &config, &mut rng)
+                .unwrap();
+        let out = ig.label(&refs[30..]);
+        let correct = out
+            .labels
+            .iter()
+            .zip(&labels[30..])
+            .filter(|(a, b)| a == b)
+            .count();
+        assert!(correct >= 8, "{correct}/10 correct");
+        assert_eq!(out.probabilities.rows(), 10);
+        assert_eq!(out.max_similarities.len(), 10);
+    }
+
+    #[test]
+    fn pipeline_with_tuning_reports() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (patterns, images, labels) = make_task(50, 3);
+        let refs: Vec<&GrayImage> = images.iter().collect();
+        let config = PipelineConfig {
+            tuning: TuningConfig {
+                max_hidden_layers: 1,
+                lbfgs: ig_nn::LbfgsConfig {
+                    max_iters: 40,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let ig = InspectorGadget::train(patterns, &refs, &labels, 2, &config, &mut rng).unwrap();
+        let report = ig.tuning_report.as_ref().expect("tuning ran");
+        assert!(!report.candidates.is_empty());
+        assert!(!report.best_hidden.is_empty());
+    }
+
+    #[test]
+    fn label_from_features_matches_label() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let (patterns, images, labels) = make_task(30, 5);
+        let refs: Vec<&GrayImage> = images.iter().collect();
+        let config = PipelineConfig {
+            tune: false,
+            ..Default::default()
+        };
+        let ig = InspectorGadget::train(patterns, &refs, &labels, 2, &config, &mut rng).unwrap();
+        let direct = ig.label(&refs);
+        let features = ig.feature_generator().feature_matrix(&refs);
+        let via_features = ig.label_from_features(&features);
+        assert_eq!(direct.labels, via_features.labels);
+    }
+
+    #[test]
+    fn empty_pattern_bank_rejected() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let (_, images, labels) = make_task(10, 7);
+        let refs: Vec<&GrayImage> = images.iter().collect();
+        assert!(InspectorGadget::train(
+            vec![],
+            &refs,
+            &labels,
+            2,
+            &PipelineConfig::default(),
+            &mut rng
+        )
+        .is_err());
+    }
+}

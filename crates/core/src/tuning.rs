@@ -1,0 +1,333 @@
+//! Automatic labeler tuning (Sections 5.2 and 6.5).
+//!
+//! "We use an MLP with 1 to 3 hidden layers and varied the number of nodes
+//! per hidden layer to be one of {2^n | n = 1..m and 2^(m−1) ≤ I ≤ 2^m}
+//! where I is the number of input nodes." Candidates are scored with
+//! stratified k-fold cross-validation on the development set (each fold
+//! keeping at least 20 examples per class when possible) and the best
+//! architecture is retrained on the full development set.
+
+use crate::labeler::{Labeler, LabelerConfig};
+use crate::{CoreError, Result};
+use ig_eval::metrics::{binary_f1, macro_f1};
+use ig_nn::lbfgs::LbfgsConfig;
+use ig_nn::train::{paper_fold_count, stratified_kfold};
+use ig_nn::Matrix;
+use rand::Rng;
+
+/// Tuning parameters.
+#[derive(Debug, Clone)]
+pub struct TuningConfig {
+    /// Maximum hidden depth (paper: 3).
+    pub max_hidden_layers: usize,
+    /// Paper rule: each CV fold keeps at least this many examples per
+    /// class (paper: 20); fold count derives from it.
+    pub min_per_class_per_fold: usize,
+    /// L2 decay passed to every candidate.
+    pub l2: f32,
+    /// L-BFGS settings per candidate fit.
+    pub lbfgs: LbfgsConfig,
+}
+
+impl Default for TuningConfig {
+    fn default() -> Self {
+        Self {
+            max_hidden_layers: 3,
+            min_per_class_per_fold: 20,
+            l2: 1e-3,
+            lbfgs: LbfgsConfig {
+                max_iters: 120,
+                ..Default::default()
+            },
+        }
+    }
+}
+
+/// One evaluated candidate.
+#[derive(Debug, Clone)]
+pub struct CandidateScore {
+    /// Hidden layer widths.
+    pub hidden: Vec<usize>,
+    /// Mean cross-validated F1.
+    pub cv_f1: f64,
+}
+
+/// What the tuner tried and chose.
+#[derive(Debug, Clone)]
+pub struct TuningReport {
+    /// Every candidate with its CV score.
+    pub candidates: Vec<CandidateScore>,
+    /// The chosen architecture.
+    pub best_hidden: Vec<usize>,
+    /// Its CV F1.
+    pub best_cv_f1: f64,
+    /// Folds used.
+    pub folds: usize,
+}
+
+/// The paper's width set: powers of two `2^1 .. 2^m` with
+/// `2^(m-1) ≤ I ≤ 2^m` for input dimension `I`.
+pub fn width_options(input_dim: usize) -> Vec<usize> {
+    let mut m = 1usize;
+    while (1usize << m) < input_dim.max(2) {
+        m += 1;
+    }
+    (1..=m).map(|n| 1usize << n).collect()
+}
+
+/// All candidate architectures: depth 1..=max_depth, uniform width from
+/// [`width_options`].
+pub fn candidate_architectures(input_dim: usize, max_depth: usize) -> Vec<Vec<usize>> {
+    let widths = width_options(input_dim);
+    let mut out = Vec::new();
+    for depth in 1..=max_depth.max(1) {
+        for &w in &widths {
+            out.push(vec![w; depth]);
+        }
+    }
+    out
+}
+
+fn f1_of(num_classes: usize, gold: &[usize], pred: &[usize]) -> f64 {
+    if num_classes == 2 {
+        let g: Vec<bool> = gold.iter().map(|&v| v == 1).collect();
+        let p: Vec<bool> = pred.iter().map(|&v| v == 1).collect();
+        binary_f1(&g, &p).f1
+    } else {
+        macro_f1(num_classes, gold, pred)
+    }
+}
+
+/// Evaluate one architecture by stratified k-fold CV; returns the mean F1.
+pub fn cross_validate(
+    features: &Matrix,
+    labels: &[usize],
+    num_classes: usize,
+    hidden: &[usize],
+    config: &TuningConfig,
+    folds: usize,
+    rng: &mut impl Rng,
+) -> Result<f64> {
+    let splits = stratified_kfold(labels, folds, rng);
+    let mut total = 0.0f64;
+    let mut counted = 0usize;
+    for fold in &splits {
+        if fold.train.is_empty() || fold.val.is_empty() {
+            continue;
+        }
+        let x_train = features.select_rows(&fold.train);
+        let y_train: Vec<usize> = fold.train.iter().map(|&i| labels[i]).collect();
+        // A fold whose training half lost a class entirely cannot be fit.
+        let classes_present = {
+            let mut seen = vec![false; num_classes];
+            for &y in &y_train {
+                seen[y] = true;
+            }
+            seen.iter().all(|&s| s)
+        };
+        if !classes_present {
+            continue;
+        }
+        let mut labeler = Labeler::new(
+            features.cols(),
+            LabelerConfig {
+                hidden: hidden.to_vec(),
+                num_classes,
+                l2: config.l2,
+                lbfgs: config.lbfgs,
+            },
+            rng,
+        )?;
+        labeler.fit(&x_train, &y_train)?;
+        let x_val = features.select_rows(&fold.val);
+        let y_val: Vec<usize> = fold.val.iter().map(|&i| labels[i]).collect();
+        let preds = labeler.predict(&x_val);
+        total += f1_of(num_classes, &y_val, &preds);
+        counted += 1;
+    }
+    if counted == 0 {
+        return Err(CoreError::BadDevSet(
+            "no usable cross-validation folds".into(),
+        ));
+    }
+    Ok(total / counted as f64)
+}
+
+/// Full tuning procedure: score every candidate, retrain the best on the
+/// whole development set.
+pub fn tune_labeler(
+    features: &Matrix,
+    labels: &[usize],
+    num_classes: usize,
+    config: &TuningConfig,
+    rng: &mut impl Rng,
+) -> Result<(Labeler, TuningReport)> {
+    if features.rows() != labels.len() || features.rows() == 0 {
+        return Err(CoreError::BadDevSet("empty or mismatched dev set".into()));
+    }
+    let distinct = {
+        let mut seen = std::collections::HashSet::new();
+        labels.iter().for_each(|&l| {
+            seen.insert(l);
+        });
+        seen.len()
+    };
+    if distinct < 2 {
+        return Err(CoreError::BadDevSet(
+            "development set has a single class".into(),
+        ));
+    }
+    let folds = paper_fold_count(labels, config.min_per_class_per_fold);
+    let mut candidates = Vec::new();
+    let mut best: Option<CandidateScore> = None;
+    for hidden in candidate_architectures(features.cols(), config.max_hidden_layers) {
+        let cv_f1 = cross_validate(features, labels, num_classes, &hidden, config, folds, rng)?;
+        let cand = CandidateScore {
+            hidden: hidden.clone(),
+            cv_f1,
+        };
+        if best.as_ref().is_none_or(|b| cand.cv_f1 > b.cv_f1) {
+            best = Some(cand.clone());
+        }
+        candidates.push(cand);
+    }
+    let best = best.expect("at least one candidate");
+    let mut labeler = Labeler::new(
+        features.cols(),
+        LabelerConfig {
+            hidden: best.hidden.clone(),
+            num_classes,
+            l2: config.l2,
+            lbfgs: config.lbfgs,
+        },
+        rng,
+    )?;
+    labeler.fit(features, labels)?;
+    Ok((
+        labeler,
+        TuningReport {
+            candidates,
+            best_hidden: best.hidden,
+            best_cv_f1: best.cv_f1,
+            folds,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn width_options_follow_paper_rule() {
+        // I = 20 → m = 5 (16 < 20 ≤ 32): widths 2..32.
+        assert_eq!(width_options(20), vec![2, 4, 8, 16, 32]);
+        // I = 16 → exact power: m = 4.
+        assert_eq!(width_options(16), vec![2, 4, 8, 16]);
+        assert_eq!(width_options(2), vec![2]);
+        assert_eq!(width_options(3), vec![2, 4]);
+    }
+
+    #[test]
+    fn candidate_count_is_depth_times_widths() {
+        let c = candidate_architectures(16, 3);
+        assert_eq!(c.len(), 4 * 3);
+        assert!(c.contains(&vec![8, 8, 8]));
+        assert!(c.contains(&vec![2]));
+    }
+
+    fn separable_data(seed: u64, n: usize) -> (Matrix, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let defect = i % 2 == 1;
+            let base: f32 = if defect { 0.95 } else { 0.82 };
+            rows.push(vec![
+                base + rng.gen_range(-0.02..0.02),
+                rng.gen_range(0.8..0.9),
+                base + rng.gen_range(-0.02..0.02),
+                rng.gen_range(0.8..0.9),
+            ]);
+            labels.push(usize::from(defect));
+        }
+        (Matrix::from_rows(&rows), labels)
+    }
+
+    #[test]
+    fn tuning_picks_a_working_architecture() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let (x, y) = separable_data(1, 80);
+        let config = TuningConfig {
+            max_hidden_layers: 2,
+            lbfgs: LbfgsConfig {
+                max_iters: 60,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let (labeler, report) = tune_labeler(&x, &y, 2, &config, &mut rng).unwrap();
+        assert!(report.best_cv_f1 > 0.8, "cv f1 {}", report.best_cv_f1);
+        assert!(!report.candidates.is_empty());
+        let preds = labeler.predict(&x);
+        let correct = preds.iter().zip(&y).filter(|(a, b)| a == b).count();
+        assert!(correct >= 70, "{correct}/80");
+    }
+
+    #[test]
+    fn tuning_report_contains_all_candidates() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (x, y) = separable_data(3, 60);
+        let config = TuningConfig {
+            max_hidden_layers: 3,
+            lbfgs: LbfgsConfig {
+                max_iters: 30,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let (_, report) = tune_labeler(&x, &y, 2, &config, &mut rng).unwrap();
+        // x has 4 columns → widths {2, 4} → 2 * 3 depths = 6 candidates.
+        assert_eq!(report.candidates.len(), 6);
+        let best_in_list = report
+            .candidates
+            .iter()
+            .map(|c| c.cv_f1)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!((best_in_list - report.best_cv_f1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_class_dev_set_rejected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let x = Matrix::from_rows(&[vec![0.5, 0.5], vec![0.6, 0.4]]);
+        let y = vec![0usize, 0];
+        assert!(tune_labeler(&x, &y, 2, &TuningConfig::default(), &mut rng).is_err());
+    }
+
+    #[test]
+    fn empty_dev_set_rejected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = Matrix::zeros(0, 3);
+        assert!(tune_labeler(&x, &[], 2, &TuningConfig::default(), &mut rng).is_err());
+    }
+
+    #[test]
+    fn fold_count_respects_small_dev_sets() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let (x, y) = separable_data(7, 20);
+        let config = TuningConfig {
+            max_hidden_layers: 1,
+            lbfgs: LbfgsConfig {
+                max_iters: 30,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        // 10 per class, min 20 per fold → clamps to 2 folds and still runs.
+        let (_, report) = tune_labeler(&x, &y, 2, &config, &mut rng).unwrap();
+        assert_eq!(report.folds, 2);
+    }
+}

@@ -1,0 +1,136 @@
+//! Combination strategies for overlapping worker boxes (Section 3).
+//!
+//! "While there are several ways to combine boxes, we find that averaging
+//! their coordinates works reasonably well. [...] the union strategy tends
+//! to generate patterns that are too large, while the intersection
+//! strategy has the opposite problem of generating tiny patterns."
+
+use ig_imaging::geometry::overlap_groups_iou;
+use ig_imaging::BBox;
+
+/// How to merge a group of overlapping boxes into one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CombineStrategy {
+    /// Coordinate-wise mean (the paper's choice).
+    Average,
+    /// Smallest covering box.
+    Union,
+    /// Common intersection.
+    Intersection,
+}
+
+impl CombineStrategy {
+    /// Merge one group. `None` only for intersection of disjoint boxes
+    /// (cannot happen for groups built from pairwise overlaps of ≤2 boxes
+    /// but can for chains) or empty input.
+    pub fn merge(&self, boxes: &[BBox]) -> Option<BBox> {
+        match self {
+            CombineStrategy::Average => BBox::average(boxes),
+            CombineStrategy::Union => BBox::union_all(boxes),
+            CombineStrategy::Intersection => BBox::intersection_all(boxes),
+        }
+    }
+}
+
+/// Result of the grouping + combination stage.
+#[derive(Debug, Clone)]
+pub struct CombineOutput {
+    /// Boxes confirmed by ≥ 2 workers, merged per group.
+    pub combined: Vec<BBox>,
+    /// Boxes seen by a single worker (the peer-review queue).
+    pub outliers: Vec<BBox>,
+}
+
+/// IoU required for two boxes to count as "the same defect". Raw overlap
+/// is too permissive: different elongated defects (scratches) often graze
+/// each other and would chain-merge into one meaningless averaged box.
+pub const GROUPING_MIN_IOU: f32 = 0.2;
+
+/// Group all workers' boxes for one image by pairwise IoU and merge each
+/// multi-worker group; singleton groups become outliers.
+pub fn combine_boxes(all_boxes: &[BBox], strategy: CombineStrategy) -> CombineOutput {
+    let groups = overlap_groups_iou(all_boxes, GROUPING_MIN_IOU);
+    let mut combined = Vec::new();
+    let mut outliers = Vec::new();
+    for group in groups {
+        if group.len() >= 2 {
+            let members: Vec<BBox> = group.iter().map(|&i| all_boxes[i]).collect();
+            if let Some(merged) = strategy.merge(&members) {
+                combined.push(merged);
+            } else {
+                // Chain overlap with empty common intersection: fall back
+                // to the member closest to the group centroid.
+                outliers.extend(members);
+            }
+        } else {
+            outliers.push(all_boxes[group[0]]);
+        }
+    }
+    CombineOutput { combined, outliers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_overlapping_boxes_average() {
+        let a = BBox::new(10.0, 10.0, 10.0, 10.0);
+        let b = BBox::new(12.0, 12.0, 10.0, 10.0);
+        let out = combine_boxes(&[a, b], CombineStrategy::Average);
+        assert_eq!(out.combined.len(), 1);
+        assert!(out.outliers.is_empty());
+        assert_eq!(out.combined[0], BBox::new(11.0, 11.0, 10.0, 10.0));
+    }
+
+    #[test]
+    fn disjoint_boxes_become_outliers() {
+        let a = BBox::new(0.0, 0.0, 5.0, 5.0);
+        let b = BBox::new(50.0, 50.0, 5.0, 5.0);
+        let out = combine_boxes(&[a, b], CombineStrategy::Average);
+        assert!(out.combined.is_empty());
+        assert_eq!(out.outliers.len(), 2);
+    }
+
+    #[test]
+    fn union_grows_intersection_shrinks() {
+        let a = BBox::new(0.0, 0.0, 10.0, 10.0);
+        let b = BBox::new(3.0, 3.0, 10.0, 10.0);
+        let avg = combine_boxes(&[a, b], CombineStrategy::Average).combined[0];
+        let uni = combine_boxes(&[a, b], CombineStrategy::Union).combined[0];
+        let inter = combine_boxes(&[a, b], CombineStrategy::Intersection).combined[0];
+        assert!(uni.area() > avg.area());
+        assert!(inter.area() < avg.area());
+    }
+
+    #[test]
+    fn three_workers_one_defect() {
+        let boxes = [
+            BBox::new(10.0, 10.0, 8.0, 8.0),
+            BBox::new(11.0, 9.0, 8.0, 9.0),
+            BBox::new(9.0, 11.0, 9.0, 8.0),
+        ];
+        let out = combine_boxes(&boxes, CombineStrategy::Average);
+        assert_eq!(out.combined.len(), 1);
+        let c = out.combined[0];
+        assert!((c.x - 10.0).abs() < 0.01);
+        assert!((c.w - 25.0 / 3.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn chain_with_empty_intersection_falls_back_to_outliers() {
+        // a∩b and b∩c nonempty, but a∩b∩c empty.
+        let a = BBox::new(0.0, 0.0, 4.0, 4.0);
+        let b = BBox::new(3.0, 0.0, 4.0, 4.0);
+        let c = BBox::new(6.0, 0.0, 4.0, 4.0);
+        let out = combine_boxes(&[a, b, c], CombineStrategy::Intersection);
+        assert!(out.combined.is_empty());
+        assert_eq!(out.outliers.len(), 3);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out = combine_boxes(&[], CombineStrategy::Average);
+        assert!(out.combined.is_empty() && out.outliers.is_empty());
+    }
+}

@@ -1,0 +1,111 @@
+//! Development-set sampling (Section 3).
+//!
+//! "\[O\]ur solution is to randomly select images and annotate them until
+//! the number of defective images exceeds a given threshold. In our
+//! experiments, identifying tens of defective images is sufficient."
+
+use ig_synth::{Dataset, TaskType};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Randomly sample image indices until at least `min_defective` defective
+/// images are included (for multi-class datasets: until `min_defective`
+/// images **per class**). Returns the selected indices in sampling order —
+/// their prefix order documents how much annotation effort was spent.
+pub fn sample_dev_set(dataset: &Dataset, min_defective: usize, rng: &mut impl Rng) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..dataset.len()).collect();
+    order.shuffle(rng);
+    match dataset.task {
+        TaskType::Binary => {
+            let mut selected = Vec::new();
+            let mut defective = 0usize;
+            for idx in order {
+                selected.push(idx);
+                if dataset.images[idx].label == 1 {
+                    defective += 1;
+                    if defective >= min_defective {
+                        break;
+                    }
+                }
+            }
+            selected
+        }
+        TaskType::MultiClass(k) => {
+            let mut selected = Vec::new();
+            let mut counts = vec![0usize; k];
+            for idx in order {
+                selected.push(idx);
+                counts[dataset.images[idx].label] += 1;
+                if counts.iter().all(|&c| c >= min_defective) {
+                    break;
+                }
+            }
+            selected
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ig_synth::spec::{DatasetKind, DatasetSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn binary_sampling_reaches_threshold() {
+        let d = ig_synth::generate(&DatasetSpec::quick(DatasetKind::Ksdd, 30));
+        let mut rng = StdRng::seed_from_u64(0);
+        let dev = sample_dev_set(&d, 5, &mut rng);
+        let defective = dev.iter().filter(|&&i| d.images[i].label == 1).count();
+        assert_eq!(defective, 5);
+        // Sampling stops right at the threshold: last index is defective.
+        assert_eq!(d.images[*dev.last().unwrap()].label, 1);
+    }
+
+    #[test]
+    fn threshold_above_population_takes_everything() {
+        let d = ig_synth::generate(&DatasetSpec::quick(DatasetKind::Ksdd, 31));
+        let mut rng = StdRng::seed_from_u64(1);
+        let dev = sample_dev_set(&d, 10_000, &mut rng);
+        assert_eq!(dev.len(), d.len());
+    }
+
+    #[test]
+    fn indices_are_unique() {
+        let d = ig_synth::generate(&DatasetSpec::quick(DatasetKind::ProductBubble, 32));
+        let mut rng = StdRng::seed_from_u64(2);
+        let dev = sample_dev_set(&d, 4, &mut rng);
+        let mut sorted = dev.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), dev.len());
+    }
+
+    #[test]
+    fn multiclass_sampling_covers_all_classes() {
+        let d = ig_synth::generate(&DatasetSpec::quick(DatasetKind::Neu, 33));
+        let mut rng = StdRng::seed_from_u64(3);
+        let dev = sample_dev_set(&d, 3, &mut rng);
+        let mut counts = [0usize; 6];
+        for &i in &dev {
+            counts[d.images[i].label] += 1;
+        }
+        assert!(counts.iter().all(|&c| c >= 3), "{counts:?}");
+    }
+
+    #[test]
+    fn imbalanced_dataset_needs_many_samples() {
+        // The bubble dataset is ~10% defective; reaching the threshold
+        // requires annotating far more images than the threshold itself —
+        // the cost pattern that motivates weak supervision.
+        let d = ig_synth::generate(&DatasetSpec {
+            n: 200,
+            n_defective: 20,
+            ..DatasetSpec::quick(DatasetKind::ProductBubble, 34)
+        });
+        let mut rng = StdRng::seed_from_u64(4);
+        let dev = sample_dev_set(&d, 10, &mut rng);
+        assert!(dev.len() >= 30, "only {} images sampled", dev.len());
+    }
+}

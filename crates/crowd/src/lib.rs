@@ -1,0 +1,37 @@
+//! # ig-crowd
+//!
+//! Simulation of Inspector Gadget's crowdsourcing workflow (Section 3,
+//! Figure 4). The paper employs human crowdworkers to draw bounding boxes
+//! around defects; here, stochastic [`worker::WorkerModel`]s perturb the
+//! generator's gold boxes — jitter, size bias, misses, spurious boxes —
+//! which is exactly the quality-control problem the workflow's machinery
+//! (overlap grouping → combination → peer review) exists to solve, and the
+//! thing Table 3 ablates.
+//!
+//! The workflow steps:
+//!
+//! 1. every worker annotates every development image ([`worker`]),
+//! 2. overlapping boxes across workers are grouped and **combined by
+//!    coordinate averaging** (union/intersection exist for the ablation;
+//!    the paper found averaging best) ([`combine`]),
+//! 3. the remaining outlier boxes go through **peer review**, which keeps
+//!    real defects and discards spurious ones with worker-grade accuracy
+//!    ([`review`]),
+//! 4. surviving boxes are cropped into **patterns** ([`workflow`]).
+//!
+//! [`devset`] implements the Section 3 sampling rule: annotate randomly
+//! chosen images until enough defective ones have been seen.
+
+#![warn(missing_docs)]
+
+pub mod combine;
+pub mod devset;
+pub mod review;
+pub mod worker;
+pub mod workflow;
+
+pub use combine::CombineStrategy;
+pub use devset::sample_dev_set;
+pub use review::PeerReviewModel;
+pub use worker::WorkerModel;
+pub use workflow::{CrowdWorkflow, WorkflowOutput};

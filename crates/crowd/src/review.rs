@@ -1,0 +1,91 @@
+//! Peer review of outlier boxes (Section 3).
+//!
+//! Boxes drawn by a single worker go through "a peer review phase where
+//! workers discuss which ones really contain defects". The simulation
+//! models the panel as a noisy oracle: with probability `accuracy` it
+//! makes the right call (keep a box that overlaps a gold defect, discard
+//! one that does not), otherwise the wrong one.
+
+use ig_imaging::BBox;
+use rand::Rng;
+
+/// A peer-review panel with a given decision accuracy.
+#[derive(Debug, Clone, Copy)]
+pub struct PeerReviewModel {
+    /// Probability that the panel's keep/discard decision is correct.
+    pub accuracy: f64,
+}
+
+impl PeerReviewModel {
+    /// A competent panel (the default used in experiments).
+    pub fn competent() -> Self {
+        Self { accuracy: 0.9 }
+    }
+
+    /// Review one outlier against the image's gold boxes.
+    pub fn review(&self, outlier: &BBox, gold: &[BBox], rng: &mut impl Rng) -> bool {
+        let is_real = gold.iter().any(|g| g.iou(outlier) > 0.1);
+        if rng.gen_bool(self.accuracy) {
+            is_real
+        } else {
+            !is_real
+        }
+    }
+
+    /// Filter a batch of outliers, keeping those the panel approves.
+    pub fn review_all(&self, outliers: &[BBox], gold: &[BBox], rng: &mut impl Rng) -> Vec<BBox> {
+        outliers
+            .iter()
+            .filter(|b| self.review(b, gold, rng))
+            .copied()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn perfect_panel_keeps_real_discards_fake() {
+        let panel = PeerReviewModel { accuracy: 1.0 };
+        let gold = [BBox::new(10.0, 10.0, 10.0, 10.0)];
+        let real = BBox::new(11.0, 11.0, 9.0, 9.0);
+        let fake = BBox::new(80.0, 80.0, 5.0, 5.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(panel.review(&real, &gold, &mut rng));
+        assert!(!panel.review(&fake, &gold, &mut rng));
+    }
+
+    #[test]
+    fn zero_accuracy_panel_inverts() {
+        let panel = PeerReviewModel { accuracy: 0.0 };
+        let gold = [BBox::new(10.0, 10.0, 10.0, 10.0)];
+        let real = BBox::new(11.0, 11.0, 9.0, 9.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(!panel.review(&real, &gold, &mut rng));
+    }
+
+    #[test]
+    fn competent_panel_mostly_correct() {
+        let panel = PeerReviewModel::competent();
+        let gold = [BBox::new(10.0, 10.0, 10.0, 10.0)];
+        let fakes: Vec<BBox> = (0..200)
+            .map(|i| BBox::new(100.0 + i as f32, 100.0, 5.0, 5.0))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(2);
+        let kept = panel.review_all(&fakes, &gold, &mut rng);
+        assert!(kept.len() < 40, "kept {} of 200 fakes", kept.len());
+    }
+
+    #[test]
+    fn review_with_no_gold_boxes_discards_mostly() {
+        let panel = PeerReviewModel::competent();
+        let boxes = vec![BBox::new(0.0, 0.0, 5.0, 5.0); 100];
+        let mut rng = StdRng::seed_from_u64(3);
+        let kept = panel.review_all(&boxes, &[], &mut rng);
+        assert!(kept.len() < 25);
+    }
+}

@@ -1,0 +1,272 @@
+//! Stochastic crowdworker models.
+//!
+//! A worker sees a development image and produces bounding boxes. Workers
+//! are imperfect in four ways the paper's workflow must absorb: coordinate
+//! jitter, systematic size bias (some people draw tight boxes, some draw
+//! loose ones), missed defects, and spurious boxes on defect-free regions.
+
+use ig_imaging::BBox;
+use ig_synth::LabeledImage;
+use rand::Rng;
+
+/// Noise parameters of one simulated crowdworker.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerModel {
+    /// Std-dev of Gaussian jitter added to each box edge, in pixels.
+    pub jitter_std: f32,
+    /// Multiplicative bias on box size (1.0 = calibrated, >1 loose boxes).
+    pub size_bias: f32,
+    /// Probability of not annotating a visible defect.
+    pub miss_rate: f64,
+    /// Expected number of spurious boxes per image.
+    pub spurious_rate: f64,
+}
+
+impl WorkerModel {
+    /// A careful worker: small jitter, rarely misses, near-zero spurious.
+    pub fn careful() -> Self {
+        Self {
+            jitter_std: 1.0,
+            size_bias: 1.05,
+            miss_rate: 0.03,
+            spurious_rate: 0.02,
+        }
+    }
+
+    /// A typical worker.
+    pub fn typical() -> Self {
+        Self {
+            jitter_std: 2.5,
+            size_bias: 1.15,
+            miss_rate: 0.12,
+            spurious_rate: 0.08,
+        }
+    }
+
+    /// A sloppy worker: heavy jitter, frequent misses and spurious boxes.
+    pub fn sloppy() -> Self {
+        Self {
+            jitter_std: 5.0,
+            size_bias: 1.4,
+            miss_rate: 0.3,
+            spurious_rate: 0.25,
+        }
+    }
+
+    /// The default three-worker crew used in experiments: three *typical*
+    /// workers of similar (imperfect) quality with slightly different
+    /// biases. Homogeneous moderate noise is the regime the paper's
+    /// workflow assumes — averaging independent jitter then reduces box
+    /// error by ~√3, which is what makes the "average" strategy win
+    /// Table 3. (A crew containing one near-perfect worker would invert
+    /// that: combining their boxes with noisy ones only hurts.)
+    pub fn default_crew() -> Vec<WorkerModel> {
+        vec![
+            WorkerModel {
+                jitter_std: 2.5,
+                size_bias: 1.1,
+                miss_rate: 0.1,
+                spurious_rate: 0.1,
+            },
+            WorkerModel {
+                jitter_std: 3.0,
+                size_bias: 1.2,
+                miss_rate: 0.12,
+                spurious_rate: 0.15,
+            },
+            WorkerModel {
+                jitter_std: 3.5,
+                size_bias: 1.3,
+                miss_rate: 0.15,
+                spurious_rate: 0.2,
+            },
+        ]
+    }
+
+    /// Annotate one image: perturbed versions of the gold boxes the worker
+    /// noticed, plus any spurious boxes.
+    pub fn annotate(&self, image: &LabeledImage, rng: &mut impl Rng) -> Vec<BBox> {
+        let (w, h) = image.image.dims();
+        let mut out = Vec::new();
+        for gold in &image.defect_boxes {
+            // Difficult (near-invisible) defects are missed more often.
+            let miss = if image.difficult {
+                (self.miss_rate * 3.0).min(0.9)
+            } else {
+                self.miss_rate
+            };
+            if rng.gen_bool(miss) {
+                continue;
+            }
+            let jitter = |rng: &mut dyn rand::RngCore| -> f32 {
+                // Cheap approximate Gaussian: mean of 4 uniforms.
+                let mut acc = 0.0f32;
+                for _ in 0..4 {
+                    acc += rng.gen_range(-1.0..1.0f32);
+                }
+                acc * 0.5 * self.jitter_std * 2.0_f32.sqrt()
+            };
+            let grow_w = gold.w * (self.size_bias - 1.0) * rng.gen_range(0.3..1.2);
+            let grow_h = gold.h * (self.size_bias - 1.0) * rng.gen_range(0.3..1.2);
+            let b = BBox::new(
+                gold.x - grow_w * 0.5 + jitter(rng),
+                gold.y - grow_h * 0.5 + jitter(rng),
+                gold.w + grow_w + jitter(rng).abs(),
+                gold.h + grow_h + jitter(rng).abs(),
+            );
+            if let Some(clipped) = b.clip(w, h) {
+                out.push(clipped);
+            }
+        }
+        // Spurious boxes: random small rectangles on the background.
+        let mut spurious_budget = self.spurious_rate;
+        while spurious_budget > 0.0 {
+            if rng.gen_bool(spurious_budget.min(1.0)) {
+                let bw = rng.gen_range(4.0..(w as f32 * 0.2).max(5.0));
+                let bh = rng.gen_range(4.0..(h as f32 * 0.4).max(5.0));
+                let b = BBox::new(
+                    rng.gen_range(0.0..(w as f32 - bw).max(1.0)),
+                    rng.gen_range(0.0..(h as f32 - bh).max(1.0)),
+                    bw,
+                    bh,
+                );
+                if let Some(clipped) = b.clip(w, h) {
+                    out.push(clipped);
+                }
+            }
+            spurious_budget -= 1.0;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ig_synth::spec::{DatasetKind, DatasetSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn defective_image() -> LabeledImage {
+        let d = ig_synth::generate(&DatasetSpec::quick(DatasetKind::ProductScratch, 21));
+        d.images
+            .into_iter()
+            .find(|i| i.label == 1 && !i.difficult)
+            .expect("quick dataset has defective images")
+    }
+
+    #[test]
+    fn careful_worker_boxes_overlap_gold() {
+        let img = defective_image();
+        let worker = WorkerModel::careful();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut overlap_hits = 0;
+        let mut total = 0;
+        for _ in 0..20 {
+            let boxes = worker.annotate(&img, &mut rng);
+            for b in &boxes {
+                total += 1;
+                if img.defect_boxes.iter().any(|g| g.iou(b) > 0.3) {
+                    overlap_hits += 1;
+                }
+            }
+        }
+        assert!(total > 0);
+        assert!(
+            overlap_hits * 10 >= total * 8,
+            "{overlap_hits}/{total} careful boxes overlap gold"
+        );
+    }
+
+    #[test]
+    fn sloppy_worker_misses_more() {
+        let img = defective_image();
+        let mut rng = StdRng::seed_from_u64(1);
+        let count = |w: &WorkerModel, rng: &mut StdRng| -> usize {
+            (0..200).map(|_| w.annotate(&img, rng).len()).sum()
+        };
+        let careful = count(&WorkerModel::careful(), &mut rng);
+        let sloppy = count(&WorkerModel::sloppy(), &mut rng);
+        // Sloppy workers lose boxes to misses and gain spurious ones; with
+        // one gold box per image the miss effect may be partly offset, so
+        // compare *matching* boxes instead.
+        let matching = |w: &WorkerModel, rng: &mut StdRng| -> usize {
+            (0..200)
+                .map(|_| {
+                    w.annotate(&img, rng)
+                        .iter()
+                        .filter(|b| img.defect_boxes.iter().any(|g| g.iou(b) > 0.2))
+                        .count()
+                })
+                .sum()
+        };
+        let careful_match = matching(&WorkerModel::careful(), &mut rng);
+        let sloppy_match = matching(&WorkerModel::sloppy(), &mut rng);
+        assert!(sloppy_match < careful_match, "{sloppy_match} vs {careful_match}");
+        let _ = (careful, sloppy);
+    }
+
+    #[test]
+    fn boxes_are_inside_the_image() {
+        let img = defective_image();
+        let (w, h) = img.image.dims();
+        let mut rng = StdRng::seed_from_u64(2);
+        for worker in WorkerModel::default_crew() {
+            for _ in 0..30 {
+                for b in worker.annotate(&img, &mut rng) {
+                    assert!(b.x >= 0.0 && b.y >= 0.0);
+                    assert!(b.x1() <= w as f32 && b.y1() <= h as f32);
+                    assert!(b.area() >= 1.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ok_image_yields_only_spurious_boxes() {
+        let d = ig_synth::generate(&DatasetSpec::quick(DatasetKind::ProductScratch, 22));
+        let ok = d
+            .images
+            .iter()
+            .find(|i| i.label == 0)
+            .expect("quick dataset has OK images");
+        let worker = WorkerModel::sloppy();
+        let mut rng = StdRng::seed_from_u64(3);
+        let total: usize = (0..100).map(|_| worker.annotate(ok, &mut rng).len()).sum();
+        // spurious_rate 0.25 → about 25 boxes over 100 images.
+        assert!((5..=60).contains(&total), "spurious count {total}");
+    }
+
+    #[test]
+    fn difficult_defects_are_missed_more_often() {
+        let d = ig_synth::generate(&DatasetSpec {
+            difficult_fraction: 1.0,
+            ..DatasetSpec::quick(DatasetKind::ProductScratch, 23)
+        });
+        let hard = d
+            .images
+            .iter()
+            .find(|i| i.label == 1 && i.difficult)
+            .expect("all defects difficult");
+        let easy = defective_image();
+        let worker = WorkerModel::typical();
+        let mut rng = StdRng::seed_from_u64(4);
+        let hits = |img: &LabeledImage, rng: &mut StdRng| -> usize {
+            (0..300)
+                .map(|_| {
+                    worker
+                        .annotate(img, rng)
+                        .iter()
+                        .filter(|b| img.defect_boxes.iter().any(|g| g.iou(b) > 0.1))
+                        .count()
+                })
+                .sum()
+        };
+        let hard_hits = hits(hard, &mut rng) as f64 / hard.defect_boxes.len() as f64;
+        let easy_hits = hits(&easy, &mut rng) as f64 / easy.defect_boxes.len() as f64;
+        assert!(
+            hard_hits < easy_hits,
+            "difficult {hard_hits:.1} vs easy {easy_hits:.1}"
+        );
+    }
+}

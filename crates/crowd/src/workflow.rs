@@ -1,0 +1,296 @@
+//! The end-to-end crowdsourcing workflow (Figure 4) and its Table 3
+//! ablation variants.
+
+use crate::combine::{combine_boxes, CombineStrategy};
+use crate::review::PeerReviewModel;
+use crate::worker::WorkerModel;
+use ig_imaging::{BBox, GrayImage};
+use ig_synth::LabeledImage;
+use rand::Rng;
+
+/// Workflow configuration. The Table 3 ablations correspond to:
+///
+/// * full workflow: `combine = Some(Average)`, `peer_review = Some(..)`,
+/// * "No peer review": `combine = Some(Average)`, `peer_review = None`
+///   (outliers pass straight through),
+/// * "No avg. (±std)": `combine = None` — each worker's raw boxes become
+///   patterns directly; the experiment harness runs this per worker and
+///   reports mean ± std across them.
+#[derive(Debug, Clone)]
+pub struct CrowdWorkflow {
+    /// The simulated crew; each worker annotates every dev image.
+    pub workers: Vec<WorkerModel>,
+    /// Combination strategy for overlapping boxes; `None` disables
+    /// grouping entirely (every raw box becomes a candidate pattern).
+    pub combine: Option<CombineStrategy>,
+    /// Peer-review panel for outlier boxes; `None` keeps all outliers.
+    pub peer_review: Option<PeerReviewModel>,
+    /// Margin (pixels) added around each final box when cropping patterns,
+    /// giving the matcher a little context.
+    pub crop_margin: f32,
+    /// Discard final patterns smaller than this many pixels on a side.
+    pub min_pattern_side: usize,
+}
+
+impl CrowdWorkflow {
+    /// The paper's full workflow with the default crew.
+    pub fn full() -> Self {
+        Self {
+            workers: WorkerModel::default_crew(),
+            combine: Some(CombineStrategy::Average),
+            peer_review: Some(PeerReviewModel::competent()),
+            crop_margin: 2.0,
+            min_pattern_side: 3,
+        }
+    }
+
+    /// Table 3 "No peer review" variant.
+    pub fn no_peer_review() -> Self {
+        Self {
+            peer_review: None,
+            ..Self::full()
+        }
+    }
+
+    /// Table 3 "No avg." variant for a single worker (run per worker and
+    /// aggregate mean ± std externally).
+    pub fn single_worker(worker: WorkerModel) -> Self {
+        Self {
+            workers: vec![worker],
+            combine: None,
+            peer_review: None,
+            ..Self::full()
+        }
+    }
+
+    /// Run the workflow over the development images.
+    pub fn run(&self, dev_images: &[&LabeledImage], rng: &mut impl Rng) -> WorkflowOutput {
+        let mut patterns = Vec::new();
+        let mut final_boxes_per_image = Vec::with_capacity(dev_images.len());
+        let mut raw_box_count = 0usize;
+        let mut outlier_count = 0usize;
+        for image in dev_images {
+            // 1. Annotation.
+            let mut raw: Vec<BBox> = Vec::new();
+            for worker in &self.workers {
+                raw.extend(worker.annotate(image, rng));
+            }
+            raw_box_count += raw.len();
+
+            // 2. Combination (or pass-through).
+            let (mut final_boxes, outliers) = match self.combine {
+                Some(strategy) => {
+                    let out = combine_boxes(&raw, strategy);
+                    (out.combined, out.outliers)
+                }
+                None => (raw, Vec::new()),
+            };
+            outlier_count += outliers.len();
+
+            // 3. Peer review of outliers.
+            match (&self.peer_review, outliers) {
+                (Some(panel), outliers) => {
+                    final_boxes.extend(panel.review_all(
+                        &outliers,
+                        &image.defect_boxes,
+                        rng,
+                    ));
+                }
+                (None, outliers) => final_boxes.extend(outliers),
+            }
+
+            // 4. Crop patterns.
+            for bbox in &final_boxes {
+                if let Some(crop) = crop_pattern(&image.image, bbox, self.crop_margin) {
+                    if crop.width() >= self.min_pattern_side
+                        && crop.height() >= self.min_pattern_side
+                    {
+                        patterns.push(crop);
+                    }
+                }
+            }
+            final_boxes_per_image.push(final_boxes);
+        }
+        WorkflowOutput {
+            patterns,
+            final_boxes_per_image,
+            raw_box_count,
+            outlier_count,
+        }
+    }
+}
+
+/// Crop the image region under `bbox` inflated by `margin`.
+fn crop_pattern(image: &GrayImage, bbox: &BBox, margin: f32) -> Option<GrayImage> {
+    image.crop_bbox(&bbox.inflated(margin))
+}
+
+/// Everything the workflow produced.
+#[derive(Debug, Clone)]
+pub struct WorkflowOutput {
+    /// Final pattern crops, ready for augmentation / feature generation.
+    pub patterns: Vec<GrayImage>,
+    /// Final boxes per input image (parallel to the input slice).
+    pub final_boxes_per_image: Vec<Vec<BBox>>,
+    /// Total raw boxes drawn by all workers.
+    pub raw_box_count: usize,
+    /// Boxes that entered the peer-review queue.
+    pub outlier_count: usize,
+}
+
+impl WorkflowOutput {
+    /// Recall of the final boxes against gold: fraction of gold defects
+    /// covered by at least one final box (IoU > `iou_threshold`).
+    pub fn gold_recall(&self, dev_images: &[&LabeledImage], iou_threshold: f32) -> f64 {
+        let mut covered = 0usize;
+        let mut total = 0usize;
+        for (image, boxes) in dev_images.iter().zip(&self.final_boxes_per_image) {
+            for gold in &image.defect_boxes {
+                total += 1;
+                if boxes.iter().any(|b| b.iou(gold) > iou_threshold) {
+                    covered += 1;
+                }
+            }
+        }
+        if total == 0 {
+            1.0
+        } else {
+            covered as f64 / total as f64
+        }
+    }
+
+    /// Precision of the final boxes: fraction overlapping some gold box.
+    pub fn gold_precision(&self, dev_images: &[&LabeledImage], iou_threshold: f32) -> f64 {
+        let mut good = 0usize;
+        let mut total = 0usize;
+        for (image, boxes) in dev_images.iter().zip(&self.final_boxes_per_image) {
+            for b in boxes {
+                total += 1;
+                if image.defect_boxes.iter().any(|g| g.iou(b) > iou_threshold) {
+                    good += 1;
+                }
+            }
+        }
+        if total == 0 {
+            1.0
+        } else {
+            good as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ig_synth::spec::{DatasetKind, DatasetSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dev_images(seed: u64) -> (ig_synth::Dataset, Vec<usize>) {
+        let d = ig_synth::generate(&DatasetSpec {
+            n: 30,
+            n_defective: 15,
+            noisy_fraction: 0.0,
+            difficult_fraction: 0.0,
+            ..DatasetSpec::quick(DatasetKind::ProductScratch, seed)
+        });
+        let idx: Vec<usize> = (0..d.len()).collect();
+        (d, idx)
+    }
+
+    #[test]
+    fn full_workflow_produces_patterns() {
+        let (d, idx) = dev_images(40);
+        let refs: Vec<&LabeledImage> = idx.iter().map(|&i| &d.images[i]).collect();
+        let mut rng = StdRng::seed_from_u64(0);
+        let out = CrowdWorkflow::full().run(&refs, &mut rng);
+        assert!(!out.patterns.is_empty());
+        assert!(out.raw_box_count >= out.patterns.len());
+        for p in &out.patterns {
+            assert!(p.width() >= 3 && p.height() >= 3);
+        }
+    }
+
+    #[test]
+    fn full_workflow_beats_no_review_on_precision() {
+        let (d, idx) = dev_images(41);
+        let refs: Vec<&LabeledImage> = idx.iter().map(|&i| &d.images[i]).collect();
+        // Use sloppier workers to make spurious boxes common.
+        let mut sloppy_crew = CrowdWorkflow::full();
+        sloppy_crew.workers = vec![
+            WorkerModel::sloppy(),
+            WorkerModel::sloppy(),
+            WorkerModel::typical(),
+        ];
+        let mut no_review = sloppy_crew.clone();
+        no_review.peer_review = None;
+
+        let mut p_full = 0.0;
+        let mut p_none = 0.0;
+        for trial in 0..5 {
+            let mut rng = StdRng::seed_from_u64(100 + trial);
+            p_full += sloppy_crew.run(&refs, &mut rng).gold_precision(&refs, 0.1);
+            let mut rng = StdRng::seed_from_u64(100 + trial);
+            p_none += no_review.run(&refs, &mut rng).gold_precision(&refs, 0.1);
+        }
+        assert!(
+            p_full > p_none,
+            "peer review should filter spurious outliers: {p_full} vs {p_none}"
+        );
+    }
+
+    #[test]
+    fn recall_is_high_with_default_crew() {
+        let (d, idx) = dev_images(42);
+        let refs: Vec<&LabeledImage> = idx.iter().map(|&i| &d.images[i]).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = CrowdWorkflow::full().run(&refs, &mut rng);
+        let recall = out.gold_recall(&refs, 0.1);
+        assert!(recall > 0.6, "recall {recall}");
+    }
+
+    #[test]
+    fn single_worker_variant_uses_raw_boxes() {
+        let (d, idx) = dev_images(43);
+        let refs: Vec<&LabeledImage> = idx.iter().map(|&i| &d.images[i]).collect();
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = CrowdWorkflow::single_worker(WorkerModel::careful()).run(&refs, &mut rng);
+        assert_eq!(out.outlier_count, 0, "no grouping → no outlier queue");
+        // Raw boxes map 1:1 to final boxes (minus sub-minimum crops).
+        let finals: usize = out.final_boxes_per_image.iter().map(Vec::len).sum();
+        assert_eq!(finals, out.raw_box_count);
+    }
+
+    #[test]
+    fn empty_dev_set_yields_empty_output() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = CrowdWorkflow::full().run(&[], &mut rng);
+        assert!(out.patterns.is_empty());
+        assert_eq!(out.gold_recall(&[], 0.1), 1.0);
+    }
+
+    #[test]
+    fn combined_boxes_have_averaged_coordinates() {
+        // With three careful workers on the same defect, the final box
+        // should be close to the gold box.
+        let (d, _) = dev_images(44);
+        let img = d
+            .images
+            .iter()
+            .find(|i| i.label == 1 && i.defect_boxes.len() == 1)
+            .expect("single-defect image");
+        let refs = vec![img];
+        let workflow = CrowdWorkflow {
+            workers: vec![WorkerModel::careful(); 3],
+            ..CrowdWorkflow::full()
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        let out = workflow.run(&refs, &mut rng);
+        let gold = img.defect_boxes[0];
+        let best_iou = out.final_boxes_per_image[0]
+            .iter()
+            .map(|b| b.iou(&gold))
+            .fold(0.0f32, f32::max);
+        assert!(best_iou > 0.5, "best IoU {best_iou}");
+    }
+}

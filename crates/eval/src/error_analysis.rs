@@ -1,0 +1,185 @@
+//! Error-cause taxonomy (paper Section 6.7 / Table 6).
+//!
+//! The paper manually classifies Inspector Gadget's mistakes into three
+//! causes: **matching failure** (no pattern matched the defect — the
+//! dominant class), **noisy data**, and **difficult to humans** (near-
+//! invisible defects). The synthetic datasets in `ig-synth` tag every
+//! image with ground-truth noise/difficulty flags, so the same taxonomy
+//! can be applied mechanically here.
+
+use serde::{Deserialize, Serialize};
+
+/// Why Inspector Gadget got a sample wrong.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorCause {
+    /// The defect exists but no pattern produced a strong similarity — the
+    /// feature vector carried no signal.
+    MatchingFailure,
+    /// The image carries injected acquisition noise that corrupted either
+    /// the features or the label.
+    NoisyData,
+    /// The defect is so faint that even the gold annotators (humans in the
+    /// paper, the generator's difficulty flag here) struggle.
+    DifficultToHumans,
+}
+
+/// Ground-truth diagnostics attached to each evaluated sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleDiagnostics {
+    /// Gold label says defect (binary tasks) / the gold class matched
+    /// (multi-class tasks reduced to correct-vs-not).
+    pub mispredicted: bool,
+    /// Generator marked the image as noise-corrupted.
+    pub noisy: bool,
+    /// Generator marked the defect as near-invisible.
+    pub difficult: bool,
+    /// Maximum FGF similarity across all patterns for this image.
+    pub max_similarity: f32,
+}
+
+/// Error counts per cause plus the total (paper Table 6 row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ErrorBreakdown {
+    /// Matching-failure errors.
+    pub matching_failure: usize,
+    /// Noisy-data errors.
+    pub noisy_data: usize,
+    /// Difficult-to-humans errors.
+    pub difficult: usize,
+}
+
+impl ErrorBreakdown {
+    /// Total errors.
+    pub fn total(&self) -> usize {
+        self.matching_failure + self.noisy_data + self.difficult
+    }
+
+    /// Percentage share of each cause, in Table 6's column order.
+    pub fn percentages(&self) -> [f64; 3] {
+        let t = self.total();
+        if t == 0 {
+            return [0.0; 3];
+        }
+        [
+            100.0 * self.matching_failure as f64 / t as f64,
+            100.0 * self.noisy_data as f64 / t as f64,
+            100.0 * self.difficult as f64 / t as f64,
+        ]
+    }
+}
+
+/// Assign a cause to a single mispredicted sample.
+///
+/// Priority follows the paper's narrative: difficulty (a property of the
+/// defect itself) dominates, then injected noise, and anything else is a
+/// matching failure — as is any error whose best pattern similarity fell
+/// below `similarity_threshold` regardless of flags, because a silent
+/// feature vector is the proximate cause.
+pub fn categorize(diag: &SampleDiagnostics, similarity_threshold: f32) -> ErrorCause {
+    if diag.max_similarity < similarity_threshold {
+        ErrorCause::MatchingFailure
+    } else if diag.difficult {
+        ErrorCause::DifficultToHumans
+    } else if diag.noisy {
+        ErrorCause::NoisyData
+    } else {
+        ErrorCause::MatchingFailure
+    }
+}
+
+/// Tally causes over all mispredicted samples.
+pub fn categorize_errors(
+    diagnostics: &[SampleDiagnostics],
+    similarity_threshold: f32,
+) -> ErrorBreakdown {
+    let mut out = ErrorBreakdown {
+        matching_failure: 0,
+        noisy_data: 0,
+        difficult: 0,
+    };
+    for d in diagnostics.iter().filter(|d| d.mispredicted) {
+        match categorize(d, similarity_threshold) {
+            ErrorCause::MatchingFailure => out.matching_failure += 1,
+            ErrorCause::NoisyData => out.noisy_data += 1,
+            ErrorCause::DifficultToHumans => out.difficult += 1,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(mispredicted: bool, noisy: bool, difficult: bool, sim: f32) -> SampleDiagnostics {
+        SampleDiagnostics {
+            mispredicted,
+            noisy,
+            difficult,
+            max_similarity: sim,
+        }
+    }
+
+    #[test]
+    fn low_similarity_always_matching_failure() {
+        let d = diag(true, true, true, 0.1);
+        assert_eq!(categorize(&d, 0.5), ErrorCause::MatchingFailure);
+    }
+
+    #[test]
+    fn difficulty_beats_noise_above_threshold() {
+        let d = diag(true, true, true, 0.9);
+        assert_eq!(categorize(&d, 0.5), ErrorCause::DifficultToHumans);
+    }
+
+    #[test]
+    fn noise_without_difficulty() {
+        let d = diag(true, true, false, 0.9);
+        assert_eq!(categorize(&d, 0.5), ErrorCause::NoisyData);
+    }
+
+    #[test]
+    fn clean_high_similarity_error_is_matching_failure() {
+        // The pattern matched *something* but the labeler still failed —
+        // the paper counts these as matching problems too.
+        let d = diag(true, false, false, 0.9);
+        assert_eq!(categorize(&d, 0.5), ErrorCause::MatchingFailure);
+    }
+
+    #[test]
+    fn only_mispredictions_counted() {
+        let all = vec![
+            diag(false, true, true, 0.1), // correct: ignored
+            diag(true, false, false, 0.2),
+            diag(true, true, false, 0.8),
+            diag(true, false, true, 0.8),
+        ];
+        let b = categorize_errors(&all, 0.5);
+        assert_eq!(b.total(), 3);
+        assert_eq!(b.matching_failure, 1);
+        assert_eq!(b.noisy_data, 1);
+        assert_eq!(b.difficult, 1);
+    }
+
+    #[test]
+    fn percentages_sum_to_hundred() {
+        let b = ErrorBreakdown {
+            matching_failure: 10,
+            noisy_data: 5,
+            difficult: 4,
+        };
+        let p = b.percentages();
+        assert!((p.iter().sum::<f64>() - 100.0).abs() < 1e-9);
+        assert!((p[0] - 52.63).abs() < 0.01);
+    }
+
+    #[test]
+    fn empty_breakdown_percentages_zero() {
+        let b = ErrorBreakdown {
+            matching_failure: 0,
+            noisy_data: 0,
+            difficult: 0,
+        };
+        assert_eq!(b.percentages(), [0.0; 3]);
+    }
+}

@@ -1,0 +1,101 @@
+//! Stratified holdout splits.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Index sets of a holdout split.
+#[derive(Debug, Clone)]
+pub struct Split {
+    /// Training indices.
+    pub train: Vec<usize>,
+    /// Test indices.
+    pub test: Vec<usize>,
+}
+
+/// Split `labels.len()` samples into train/test with `test_fraction` of
+/// each class in the test set (rounded; at least one test sample per class
+/// that has ≥ 2 members).
+pub fn stratified_split(labels: &[usize], test_fraction: f64, rng: &mut impl Rng) -> Split {
+    assert!(
+        (0.0..1.0).contains(&test_fraction),
+        "test fraction must be in [0, 1)"
+    );
+    let num_classes = labels.iter().copied().max().map_or(0, |m| m + 1);
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); num_classes];
+    for (i, &c) in labels.iter().enumerate() {
+        buckets[c].push(i);
+    }
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for bucket in &mut buckets {
+        bucket.shuffle(rng);
+        let mut n_test = ((bucket.len() as f64) * test_fraction).round() as usize;
+        if bucket.len() >= 2 && test_fraction > 0.0 {
+            n_test = n_test.clamp(1, bucket.len() - 1);
+        } else {
+            n_test = n_test.min(bucket.len());
+        }
+        test.extend_from_slice(&bucket[..n_test]);
+        train.extend_from_slice(&bucket[n_test..]);
+    }
+    train.sort_unstable();
+    test.sort_unstable();
+    Split { train, test }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn split_is_a_partition() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let labels: Vec<usize> = (0..40).map(|i| i % 4).collect();
+        let s = stratified_split(&labels, 0.25, &mut rng);
+        assert_eq!(s.train.len() + s.test.len(), 40);
+        let mut all: Vec<usize> = s.train.iter().chain(&s.test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_is_stratified() {
+        let mut rng = StdRng::seed_from_u64(1);
+        // 30 of class 0, 10 of class 1.
+        let labels: Vec<usize> = (0..40).map(|i| usize::from(i >= 30)).collect();
+        let s = stratified_split(&labels, 0.2, &mut rng);
+        let test_pos = s.test.iter().filter(|&&i| labels[i] == 1).count();
+        assert_eq!(test_pos, 2);
+        assert_eq!(s.test.len(), 8);
+    }
+
+    #[test]
+    fn rare_class_keeps_a_train_sample() {
+        let mut rng = StdRng::seed_from_u64(2);
+        // 2 positives with 50% test fraction must leave one in train.
+        let labels = vec![0, 0, 0, 0, 1, 1];
+        let s = stratified_split(&labels, 0.5, &mut rng);
+        let train_pos = s.train.iter().filter(|&&i| labels[i] == 1).count();
+        assert_eq!(train_pos, 1);
+    }
+
+    #[test]
+    fn zero_fraction_puts_all_in_train() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let labels = vec![0, 1, 0, 1];
+        let s = stratified_split(&labels, 0.0, &mut rng);
+        assert!(s.test.is_empty());
+        assert_eq!(s.train.len(), 4);
+    }
+
+    #[test]
+    fn singleton_class_stays_in_train() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let labels = vec![0, 0, 0, 1];
+        let s = stratified_split(&labels, 0.3, &mut rng);
+        // Single class-1 member: rounds to 0 test samples.
+        assert!(s.test.iter().all(|&i| labels[i] == 0));
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests for metric invariants.
+
+use ig_eval::metrics::{binary_f1, macro_f1, ConfusionMatrix, PrfScores};
+use ig_eval::split::stratified_split;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn f1_family_bounded(
+        tp in 0usize..100,
+        fp in 0usize..100,
+        fn_ in 0usize..100,
+    ) {
+        let s = PrfScores::from_counts(tp, fp, fn_);
+        prop_assert!((0.0..=1.0).contains(&s.precision));
+        prop_assert!((0.0..=1.0).contains(&s.recall));
+        prop_assert!((0.0..=1.0).contains(&s.f1));
+        // F1 is at most min(P, R) * 2 / (1 + min/max) ≤ max(P, R) and at
+        // least min(P, R) when both positive — use the loose envelope.
+        prop_assert!(s.f1 <= s.precision.max(s.recall) + 1e-12);
+        if s.precision > 0.0 && s.recall > 0.0 {
+            prop_assert!(s.f1 >= s.precision.min(s.recall) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn binary_f1_agrees_with_counts(
+        pairs in proptest::collection::vec((any::<bool>(), any::<bool>()), 1..60),
+    ) {
+        let gold: Vec<bool> = pairs.iter().map(|p| p.0).collect();
+        let pred: Vec<bool> = pairs.iter().map(|p| p.1).collect();
+        let s = binary_f1(&gold, &pred);
+        let tp = pairs.iter().filter(|(g, p)| *g && *p).count();
+        let fp = pairs.iter().filter(|(g, p)| !*g && *p).count();
+        let fn_ = pairs.iter().filter(|(g, p)| *g && !*p).count();
+        let expected = PrfScores::from_counts(tp, fp, fn_);
+        prop_assert!((s.f1 - expected.f1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_prediction_scores_one(
+        labels in proptest::collection::vec(0usize..4, 1..50),
+    ) {
+        let classes = labels.iter().copied().max().unwrap_or(0) + 1;
+        if classes >= 2 {
+            // Macro-F1 of a perfect prediction is 1 only when every class
+            // appears; restrict to that case.
+            let mut present = vec![false; classes];
+            for &l in &labels {
+                present[l] = true;
+            }
+            prop_assume!(present.iter().all(|&p| p));
+            prop_assert!((macro_f1(classes, &labels, &labels) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn confusion_matrix_total_and_accuracy_consistent(
+        pairs in proptest::collection::vec((0usize..3, 0usize..3), 1..80),
+    ) {
+        let gold: Vec<usize> = pairs.iter().map(|p| p.0).collect();
+        let pred: Vec<usize> = pairs.iter().map(|p| p.1).collect();
+        let cm = ConfusionMatrix::from_pairs(3, &gold, &pred);
+        prop_assert_eq!(cm.total(), pairs.len());
+        let correct = pairs.iter().filter(|(g, p)| g == p).count();
+        prop_assert!((cm.accuracy() - correct as f64 / pairs.len() as f64).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&cm.macro_f1()));
+    }
+
+    #[test]
+    fn stratified_split_partitions(
+        labels in proptest::collection::vec(0usize..3, 2..60),
+        frac in 0.05f64..0.6,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let split = stratified_split(&labels, frac, &mut rng);
+        prop_assert_eq!(split.train.len() + split.test.len(), labels.len());
+        let mut all: Vec<usize> = split.train.iter().chain(&split.test).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        prop_assert_eq!(all.len(), labels.len());
+    }
+}

@@ -1,0 +1,109 @@
+//! Reproduction harness: one subcommand per table/figure of
+//! "Inspector Gadget" (Heo et al., VLDB 2020).
+//!
+//! ```text
+//! ig-experiments <experiment> [--scale quick|medium|paper] [--seed N] [--out DIR]
+//!
+//! experiments: table1 table2 table3 table4 table5 table6
+//!              fig9 fig10 fig11 combine all
+//!              ("combine" is an extra ablation of the box-combination
+//!              strategy from Section 3, not a numbered paper table)
+//! ```
+//!
+//! `--scale medium` (default) keeps the paper's class ratios at reduced
+//! dataset sizes so a full `all` run finishes in CPU-minutes; `paper`
+//! uses Table 1's exact N. Outputs go to stdout and `<out>/<exp>.{txt,json}`.
+
+mod ablation_combine;
+mod common;
+mod fig10;
+mod fig11;
+mod fig9;
+mod table1;
+mod table2;
+mod table3;
+mod table4;
+mod table5;
+mod table6;
+
+use common::Scale;
+
+struct Args {
+    experiment: String,
+    scale: Scale,
+    seed: u64,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let experiment = args.next().ok_or("missing experiment name")?;
+    let mut scale = Scale::Medium;
+    let mut seed = 42u64;
+    let mut out = "results".to_string();
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--scale" => {
+                let v = args.next().ok_or("--scale needs a value")?;
+                scale = Scale::parse(&v).ok_or(format!("unknown scale {v}"))?;
+            }
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                seed = v.parse().map_err(|_| format!("bad seed {v}"))?;
+            }
+            "--out" => {
+                out = args.next().ok_or("--out needs a value")?;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(Args {
+        experiment,
+        scale,
+        seed,
+        out,
+    })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: ig-experiments <table1..table6|fig9|fig10|fig11|all> \
+                 [--scale quick|medium|paper] [--seed N] [--out DIR]"
+            );
+            std::process::exit(2);
+        }
+    };
+    let run = |name: &str| match name {
+        "table1" => table1::run(args.scale, args.seed, &args.out),
+        "table2" => table2::run(args.scale, args.seed, &args.out),
+        "table3" => table3::run(args.scale, args.seed, &args.out),
+        "table4" => table4::run(args.scale, args.seed, &args.out),
+        "table5" => table5::run(args.scale, args.seed, &args.out),
+        "table6" => table6::run(args.scale, args.seed, &args.out),
+        "fig9" => fig9::run(args.scale, args.seed, &args.out),
+        "combine" => ablation_combine::run(args.scale, args.seed, &args.out),
+        "fig10" => fig10::run(args.scale, args.seed, &args.out),
+        "fig11" => fig11::run(args.scale, args.seed, &args.out),
+        other => {
+            eprintln!("unknown experiment {other}");
+            std::process::exit(2);
+        }
+    };
+    if args.experiment == "all" {
+        for name in [
+            "table1", "table2", "table3", "table4", "table5", "table6", "fig9", "fig10",
+            "fig11", "combine",
+        ] {
+            let started = std::time::Instant::now();
+            println!("\n===================== {name} =====================");
+            run(name);
+            println!("[{name} took {:.1}s]", started.elapsed().as_secs_f32());
+        }
+    } else {
+        run(&args.experiment);
+    }
+}

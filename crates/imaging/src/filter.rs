@@ -1,0 +1,201 @@
+//! Separable blurs and generic 2-D convolution.
+//!
+//! The Gaussian pyramid low-passes before decimation; the synthetic dataset
+//! generators blur defect stamps to soften edges.
+
+use crate::GrayImage;
+
+/// Horizontal-then-vertical box blur with the given radius (window size
+/// `2*radius + 1`), replicate padding. Radius 0 is the identity.
+pub fn box_blur(src: &GrayImage, radius: usize) -> GrayImage {
+    if radius == 0 || src.is_empty() {
+        return src.clone();
+    }
+    let horizontal = blur_rows(src, radius);
+    blur_rows(&horizontal.transpose(), radius).transpose()
+}
+
+fn blur_rows(src: &GrayImage, radius: usize) -> GrayImage {
+    let (w, h) = src.dims();
+    let mut out = GrayImage::new(w, h);
+    let norm = 1.0 / (2 * radius + 1) as f32;
+    for y in 0..h {
+        let row = src.row(y);
+        // Sliding-window sum with replicate padding.
+        let mut acc = 0.0f32;
+        for i in -(radius as isize)..=(radius as isize) {
+            acc += row[i.clamp(0, w as isize - 1) as usize];
+        }
+        for (x, out_px) in out.row_mut(y).iter_mut().enumerate() {
+            *out_px = acc * norm;
+            let leaving = (x as isize - radius as isize).clamp(0, w as isize - 1) as usize;
+            let entering = (x as isize + radius as isize + 1).clamp(0, w as isize - 1) as usize;
+            acc += row[entering] - row[leaving];
+        }
+    }
+    out
+}
+
+/// Separable Gaussian blur with standard deviation `sigma`, replicate
+/// padding. `sigma <= 0` is the identity.
+pub fn gaussian_blur(src: &GrayImage, sigma: f32) -> GrayImage {
+    if sigma <= 0.0 || src.is_empty() {
+        return src.clone();
+    }
+    let kernel = gaussian_kernel(sigma);
+    let horizontal = convolve_rows(src, &kernel);
+    convolve_rows(&horizontal.transpose(), &kernel).transpose()
+}
+
+/// Build a normalized 1-D Gaussian kernel covering ±3 sigma.
+pub fn gaussian_kernel(sigma: f32) -> Vec<f32> {
+    let radius = (3.0 * sigma).ceil().max(1.0) as usize;
+    let mut kernel = Vec::with_capacity(2 * radius + 1);
+    let denom = 2.0 * sigma * sigma;
+    for i in -(radius as isize)..=(radius as isize) {
+        kernel.push((-((i * i) as f32) / denom).exp());
+    }
+    let sum: f32 = kernel.iter().sum();
+    for k in &mut kernel {
+        *k /= sum;
+    }
+    kernel
+}
+
+/// Convolve each row with a 1-D kernel (odd length), replicate padding.
+pub fn convolve_rows(src: &GrayImage, kernel: &[f32]) -> GrayImage {
+    let (w, h) = src.dims();
+    let radius = kernel.len() / 2;
+    let mut out = GrayImage::new(w, h);
+    for y in 0..h {
+        let row = src.row(y);
+        for (x, out_px) in out.row_mut(y).iter_mut().enumerate() {
+            let mut acc = 0.0f32;
+            for (k, &kv) in kernel.iter().enumerate() {
+                let sx = (x as isize + k as isize - radius as isize).clamp(0, w as isize - 1);
+                acc += kv * row[sx as usize];
+            }
+            *out_px = acc;
+        }
+    }
+    out
+}
+
+/// Full 2-D convolution with an arbitrary odd-sized kernel, replicate
+/// padding. `kernel` is row-major `kw` x `kh`. Used by the GOGGLES filter
+/// bank substitute.
+pub fn convolve2d(src: &GrayImage, kernel: &[f32], kw: usize, kh: usize) -> GrayImage {
+    assert_eq!(kernel.len(), kw * kh, "kernel buffer length mismatch");
+    let (w, h) = src.dims();
+    let rx = (kw / 2) as isize;
+    let ry = (kh / 2) as isize;
+    GrayImage::from_fn(w, h, |x, y| {
+        let mut acc = 0.0f32;
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let sx = x as isize + kx as isize - rx;
+                let sy = y as isize + ky as isize - ry;
+                acc += kernel[ky * kw + kx] * src.get_clamped(sx, sy);
+            }
+        }
+        acc
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn box_blur_radius_zero_is_identity() {
+        let img = GrayImage::from_fn(5, 5, |x, y| (x + y) as f32);
+        assert_eq!(box_blur(&img, 0), img);
+    }
+
+    #[test]
+    fn box_blur_preserves_constant() {
+        let img = GrayImage::filled(8, 8, 0.7);
+        let blurred = box_blur(&img, 2);
+        for &p in blurred.pixels() {
+            assert!((p - 0.7).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn box_blur_smooths_impulse() {
+        let mut img = GrayImage::new(7, 7);
+        img.set(3, 3, 49.0);
+        let blurred = box_blur(&img, 1);
+        // A 3x3 box spreads the impulse over 9 pixels.
+        assert!((blurred.get(3, 3) - 49.0 / 9.0).abs() < 1e-4);
+        assert!((blurred.get(2, 2) - 49.0 / 9.0).abs() < 1e-4);
+        assert!(blurred.get(0, 0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gaussian_kernel_normalized_and_symmetric() {
+        for sigma in [0.5, 1.0, 2.5] {
+            let k = gaussian_kernel(sigma);
+            assert_eq!(k.len() % 2, 1);
+            let sum: f32 = k.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+            for i in 0..k.len() / 2 {
+                assert!((k[i] - k[k.len() - 1 - i]).abs() < 1e-6);
+            }
+            // Peak at the center.
+            let mid = k.len() / 2;
+            assert!(k.iter().all(|&v| v <= k[mid] + 1e-9));
+        }
+    }
+
+    #[test]
+    fn gaussian_blur_sigma_zero_is_identity() {
+        let img = GrayImage::from_fn(4, 4, |x, _| x as f32);
+        assert_eq!(gaussian_blur(&img, 0.0), img);
+    }
+
+    #[test]
+    fn gaussian_blur_preserves_mean() {
+        let img = GrayImage::from_fn(16, 16, |x, y| ((x * 7 + y * 13) % 5) as f32);
+        let blurred = gaussian_blur(&img, 1.2);
+        let mean = |im: &GrayImage| im.pixels().iter().sum::<f32>() / im.len() as f32;
+        // Replicate padding keeps mass approximately constant.
+        assert!((mean(&img) - mean(&blurred)).abs() < 0.1);
+    }
+
+    #[test]
+    fn gaussian_blur_reduces_variance() {
+        let img = GrayImage::from_fn(32, 32, |x, y| if (x + y) % 2 == 0 { 1.0 } else { 0.0 });
+        let blurred = gaussian_blur(&img, 1.5);
+        let var = |im: &GrayImage| {
+            let m = im.pixels().iter().sum::<f32>() / im.len() as f32;
+            im.pixels().iter().map(|&p| (p - m).powi(2)).sum::<f32>() / im.len() as f32
+        };
+        assert!(var(&blurred) < var(&img) * 0.1);
+    }
+
+    #[test]
+    fn convolve2d_identity_kernel() {
+        let img = GrayImage::from_fn(6, 5, |x, y| (x * y) as f32);
+        let identity = [0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0];
+        assert_eq!(convolve2d(&img, &identity, 3, 3), img);
+    }
+
+    #[test]
+    fn convolve2d_sobel_detects_vertical_edge() {
+        let img = GrayImage::from_fn(8, 8, |x, _| if x < 4 { 0.0 } else { 1.0 });
+        let sobel_x = [-1.0, 0.0, 1.0, -2.0, 0.0, 2.0, -1.0, 0.0, 1.0];
+        let edges = convolve2d(&img, &sobel_x, 3, 3);
+        // Strong response at the edge column, none far away.
+        assert!(edges.get(3, 4).abs() > 1.0 || edges.get(4, 4).abs() > 1.0);
+        assert!(edges.get(1, 4).abs() < 1e-6);
+        assert!(edges.get(6, 4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn blur_on_single_pixel_image() {
+        let img = GrayImage::filled(1, 1, 0.5);
+        assert_eq!(box_blur(&img, 3).get(0, 0), 0.5);
+        assert!((gaussian_blur(&img, 2.0).get(0, 0) - 0.5).abs() < 1e-6);
+    }
+}

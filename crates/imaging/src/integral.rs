@@ -1,0 +1,128 @@
+//! Integral images (summed-area tables).
+//!
+//! The NCC denominator needs `sum I(x+x', y+y')^2` over every candidate
+//! window; a squared integral image turns that into four lookups per
+//! window, which is what makes brute-force matching tolerable and the
+//! pyramid refinement cheap.
+
+use crate::GrayImage;
+
+/// A summed-area table over `f64` accumulators (f32 accumulates too much
+/// error on megapixel industrial images).
+#[derive(Debug, Clone)]
+pub struct IntegralImage {
+    width: usize,
+    height: usize,
+    /// `(width + 1) x (height + 1)` table with a zero first row/column.
+    table: Vec<f64>,
+}
+
+impl IntegralImage {
+    /// Build the integral image of `f(pixel)` for each pixel — pass
+    /// `|p| p` for plain sums or `|p| p * p` for squared sums.
+    pub fn build(src: &GrayImage, f: impl Fn(f32) -> f64) -> Self {
+        let (w, h) = src.dims();
+        let stride = w + 1;
+        let mut table = vec![0.0f64; stride * (h + 1)];
+        for y in 0..h {
+            let row = src.row(y);
+            let mut row_sum = 0.0f64;
+            for x in 0..w {
+                row_sum += f(row[x]);
+                table[(y + 1) * stride + (x + 1)] = table[y * stride + (x + 1)] + row_sum;
+            }
+        }
+        Self {
+            width: w,
+            height: h,
+            table,
+        }
+    }
+
+    /// Integral image of raw pixel values.
+    pub fn of_values(src: &GrayImage) -> Self {
+        Self::build(src, |p| p as f64)
+    }
+
+    /// Integral image of squared pixel values.
+    pub fn of_squares(src: &GrayImage) -> Self {
+        Self::build(src, |p| (p as f64) * (p as f64))
+    }
+
+    /// Source image width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Source image height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Sum over the window with top-left `(x, y)` and extent `(w, h)`.
+    /// The window must fit inside the image.
+    #[inline]
+    pub fn window_sum(&self, x: usize, y: usize, w: usize, h: usize) -> f64 {
+        debug_assert!(x + w <= self.width && y + h <= self.height);
+        let stride = self.width + 1;
+        let a = self.table[y * stride + x];
+        let b = self.table[y * stride + (x + w)];
+        let c = self.table[(y + h) * stride + x];
+        let d = self.table[(y + h) * stride + (x + w)];
+        d - b - c + a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_sum(img: &GrayImage, x: usize, y: usize, w: usize, h: usize) -> f64 {
+        let mut acc = 0.0f64;
+        for yy in y..y + h {
+            for xx in x..x + w {
+                acc += img.get(xx, yy) as f64;
+            }
+        }
+        acc
+    }
+
+    #[test]
+    fn window_sum_matches_naive() {
+        let img = GrayImage::from_fn(7, 5, |x, y| ((x * 3 + y * 5) % 11) as f32 * 0.25);
+        let integral = IntegralImage::of_values(&img);
+        for (x, y, w, h) in [(0, 0, 7, 5), (0, 0, 1, 1), (2, 1, 3, 3), (6, 4, 1, 1)] {
+            let fast = integral.window_sum(x, y, w, h);
+            let slow = naive_sum(&img, x, y, w, h);
+            assert!((fast - slow).abs() < 1e-6, "window ({x},{y},{w},{h})");
+        }
+    }
+
+    #[test]
+    fn squared_integral_matches_naive() {
+        let img = GrayImage::from_fn(6, 6, |x, y| (x as f32 - y as f32) * 0.5);
+        let integral = IntegralImage::of_squares(&img);
+        let mut slow = 0.0f64;
+        for y in 1..4 {
+            for x in 2..5 {
+                let p = img.get(x, y) as f64;
+                slow += p * p;
+            }
+        }
+        assert!((integral.window_sum(2, 1, 3, 3) - slow).abs() < 1e-6);
+    }
+
+    #[test]
+    fn full_window_equals_total() {
+        let img = GrayImage::filled(10, 4, 0.5);
+        let integral = IntegralImage::of_values(&img);
+        assert!((integral.window_sum(0, 0, 10, 4) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_extent_window_is_zero() {
+        let img = GrayImage::filled(4, 4, 1.0);
+        let integral = IntegralImage::of_values(&img);
+        assert_eq!(integral.window_sum(2, 2, 0, 0), 0.0);
+    }
+}

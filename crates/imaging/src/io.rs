@@ -1,0 +1,119 @@
+//! Minimal PGM (portable graymap) I/O — enough to dump synthetic images
+//! and patterns for human inspection without an image-crate dependency.
+
+use crate::{GrayImage, ImagingError, Result};
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Write the image as a binary (`P5`) PGM file; pixels are clamped to
+/// `[0, 1]` and quantized to 8 bits.
+pub fn write_pgm(img: &GrayImage, path: impl AsRef<Path>) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    write!(f, "P5\n{} {}\n255\n", img.width(), img.height())?;
+    let bytes: Vec<u8> = img
+        .pixels()
+        .iter()
+        .map(|&p| (p.clamp(0.0, 1.0) * 255.0).round() as u8)
+        .collect();
+    f.write_all(&bytes)
+}
+
+/// Read a binary (`P5`) PGM file written by [`write_pgm`] (maxval 255).
+pub fn read_pgm(path: impl AsRef<Path>) -> std::io::Result<GrayImage> {
+    let mut data = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut data)?;
+    parse_pgm(&data).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+fn parse_pgm(data: &[u8]) -> Result<GrayImage> {
+    let mut pos = 0usize;
+    let mut token = |data: &[u8]| -> Result<String> {
+        while pos < data.len() && data[pos].is_ascii_whitespace() {
+            pos += 1;
+        }
+        // Comments.
+        while pos < data.len() && data[pos] == b'#' {
+            while pos < data.len() && data[pos] != b'\n' {
+                pos += 1;
+            }
+            while pos < data.len() && data[pos].is_ascii_whitespace() {
+                pos += 1;
+            }
+        }
+        let start = pos;
+        while pos < data.len() && !data[pos].is_ascii_whitespace() {
+            pos += 1;
+        }
+        if start == pos {
+            return Err(ImagingError::InvalidDimension("truncated PGM header".into()));
+        }
+        Ok(String::from_utf8_lossy(&data[start..pos]).into_owned())
+    };
+    let magic = token(data)?;
+    if magic != "P5" {
+        return Err(ImagingError::InvalidDimension(format!(
+            "unsupported PGM magic {magic}"
+        )));
+    }
+    let parse_dim = |t: String| -> Result<usize> {
+        t.parse()
+            .map_err(|_| ImagingError::InvalidDimension(format!("bad PGM header field {t}")))
+    };
+    let w = parse_dim(token(data)?)?;
+    let h = parse_dim(token(data)?)?;
+    let maxval = parse_dim(token(data)?)?;
+    if maxval == 0 || maxval > 255 {
+        return Err(ImagingError::InvalidDimension(format!(
+            "unsupported PGM maxval {maxval}"
+        )));
+    }
+    pos += 1; // single whitespace after maxval
+    let needed = w * h;
+    if data.len() < pos + needed {
+        return Err(ImagingError::InvalidDimension("truncated PGM body".into()));
+    }
+    let pixels: Vec<f32> = data[pos..pos + needed]
+        .iter()
+        .map(|&b| b as f32 / maxval as f32)
+        .collect();
+    GrayImage::from_vec(w, h, pixels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_pixels_within_quantization() {
+        let img = GrayImage::from_fn(17, 9, |x, y| ((x * 13 + y * 7) % 11) as f32 / 10.0);
+        let dir = std::env::temp_dir().join("ig_pgm_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.pgm");
+        write_pgm(&img, &path).unwrap();
+        let back = read_pgm(&path).unwrap();
+        assert_eq!(back.dims(), img.dims());
+        for (a, b) in img.pixels().iter().zip(back.pixels()) {
+            assert!((a - b).abs() < 1.0 / 255.0 + 1e-6, "{a} vs {b}");
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn out_of_range_pixels_clamp() {
+        let img = GrayImage::from_vec(2, 1, vec![-1.0, 2.0]).unwrap();
+        let dir = std::env::temp_dir().join("ig_pgm_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("clamp.pgm");
+        write_pgm(&img, &path).unwrap();
+        let back = read_pgm(&path).unwrap();
+        assert_eq!(back.pixels(), &[0.0, 1.0]);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_non_p5() {
+        assert!(parse_pgm(b"P2\n2 2\n255\n0 0 0 0").is_err());
+        assert!(parse_pgm(b"P5\n2 2\n255\nab").is_err()); // truncated body
+        assert!(parse_pgm(b"P5\n").is_err());
+    }
+}

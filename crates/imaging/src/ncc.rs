@@ -1,0 +1,582 @@
+//! Normalized cross-correlation (NCC) template matching.
+//!
+//! This is the feature generation primitive of Inspector Gadget: each
+//! pattern `P_i` defines an FGF
+//!
+//! ```text
+//! f_i(I) = max_{x,y}  sum_{x',y'} P_i(x',y') I(x+x', y+y')
+//!                     -------------------------------------------------
+//!                     sqrt( sum P_i(x',y')^2  *  sum I(x+x', y+y')^2 )
+//! ```
+//!
+//! (Section 5.1, OpenCV's `TM_CCORR_NORMED`). The default matcher here is
+//! the **zero-mean** variant of that formula (OpenCV's `TM_CCOEFF_NORMED`
+//! from the same cited page): pattern and window are mean-centred before
+//! correlating, i.e. a Pearson correlation over the window. On bright,
+//! low-contrast industrial surfaces the plain form saturates near 1.0 for
+//! *every* placement and *anti*-correlates with dark defects, destroying
+//! the feature signal; mean-centring matches defects of either polarity.
+//! The plain form is kept as [`match_template_ccorr`] for the ablation
+//! bench. Scores are in `[-1, 1]`; degenerate (flat) windows or patterns
+//! score 0.
+//!
+//! Two search strategies are provided: an exact brute-force scan whose
+//! denominator is accelerated with integral images, and the paper's
+//! coarse-to-fine pyramid search that localizes candidates at low
+//! resolution and rescores only small neighbourhoods at full resolution.
+
+use crate::integral::IntegralImage;
+use crate::pyramid::Pyramid;
+use crate::resize::resize_bilinear;
+use crate::{GrayImage, ImagingError, Result};
+
+/// The best-match location and its NCC score in `[-1, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatchResult {
+    /// Left edge of the best-matching window.
+    pub x: usize,
+    /// Top edge of the best-matching window.
+    pub y: usize,
+    /// NCC score at `(x, y)`.
+    pub score: f32,
+}
+
+/// Tuning for the coarse-to-fine pyramid matcher.
+#[derive(Debug, Clone, Copy)]
+pub struct PyramidMatchConfig {
+    /// Maximum number of pyramid levels (including full resolution).
+    pub max_levels: usize,
+    /// Stop adding levels when the *pattern* would shrink below this side
+    /// length — below ~4 px correlations carry no signal.
+    pub min_pattern_side: usize,
+    /// Number of coarse candidates to refine at finer levels.
+    pub top_k: usize,
+    /// Neighbourhood radius (in pixels of the finer level) searched around
+    /// each upscaled candidate during refinement.
+    pub refine_radius: usize,
+}
+
+impl Default for PyramidMatchConfig {
+    fn default() -> Self {
+        Self {
+            max_levels: 4,
+            min_pattern_side: 4,
+            top_k: 3,
+            refine_radius: 3,
+        }
+    }
+}
+
+fn validate(image: &GrayImage, pattern: &GrayImage) -> Result<()> {
+    if image.is_empty() || pattern.is_empty() {
+        return Err(ImagingError::EmptyImage);
+    }
+    if pattern.width() > image.width() || pattern.height() > image.height() {
+        return Err(ImagingError::TemplateTooLarge {
+            template: pattern.dims(),
+            image: image.dims(),
+        });
+    }
+    Ok(())
+}
+
+/// A pattern preprocessed for Pearson matching: mean-centred pixels and
+/// their L2 norm.
+struct CenteredPattern {
+    centered: GrayImage,
+    norm: f64,
+    w: usize,
+    h: usize,
+}
+
+impl CenteredPattern {
+    fn new(pattern: &GrayImage) -> Self {
+        let n = pattern.len().max(1) as f32;
+        let mean = pattern.pixels().iter().sum::<f32>() / n;
+        let centered = pattern.map(|p| p - mean);
+        let norm = centered
+            .pixels()
+            .iter()
+            .map(|&p| (p as f64) * (p as f64))
+            .sum::<f64>()
+            .sqrt();
+        Self {
+            centered,
+            norm,
+            w: pattern.width(),
+            h: pattern.height(),
+        }
+    }
+}
+
+/// Precomputed integrals of the search image.
+struct ImageSums {
+    values: IntegralImage,
+    squares: IntegralImage,
+}
+
+impl ImageSums {
+    fn new(image: &GrayImage) -> Self {
+        Self {
+            values: IntegralImage::of_values(image),
+            squares: IntegralImage::of_squares(image),
+        }
+    }
+}
+
+/// Pearson NCC at one placement.
+///
+/// With `Pc = P - mean(P)`:
+/// `score = dot(Pc, W) / (||Pc|| * sqrt(sum W² - n·mean(W)²))`,
+/// using `sum(Pc · W) = sum((P - µP)(W - µW))` since `sum(Pc) = 0`.
+fn pearson_at(
+    image: &GrayImage,
+    pattern: &CenteredPattern,
+    x: usize,
+    y: usize,
+    sums: &ImageSums,
+) -> f32 {
+    let (pw, ph) = (pattern.w, pattern.h);
+    let n = (pw * ph) as f64;
+    let win_sum = sums.values.window_sum(x, y, pw, ph);
+    let win_sq = sums.squares.window_sum(x, y, pw, ph);
+    let win_var_term = win_sq - win_sum * win_sum / n;
+    // Tolerances sized for [0, 1] imagery: a "flat" pattern or window whose
+    // per-pixel deviation is below ~1e-4 carries only float noise.
+    if win_var_term <= 1e-8 * n || pattern.norm <= 1e-4 * n.sqrt() {
+        return 0.0;
+    }
+    let mut num = 0.0f64;
+    for dy in 0..ph {
+        let prow = pattern.centered.row(dy);
+        let irow = &image.row(y + dy)[x..x + pw];
+        let mut acc = 0.0f32;
+        for (p, i) in prow.iter().zip(irow) {
+            acc += p * i;
+        }
+        num += acc as f64;
+    }
+    let score = num / (pattern.norm * win_var_term.sqrt());
+    score.clamp(-1.0, 1.0) as f32
+}
+
+/// Exact brute-force Pearson-NCC match over every valid placement.
+pub fn match_template(image: &GrayImage, pattern: &GrayImage) -> Result<MatchResult> {
+    validate(image, pattern)?;
+    let prepared = CenteredPattern::new(pattern);
+    let sums = ImageSums::new(image);
+    let mut best = MatchResult {
+        x: 0,
+        y: 0,
+        score: f32::NEG_INFINITY,
+    };
+    for y in 0..=(image.height() - prepared.h) {
+        for x in 0..=(image.width() - prepared.w) {
+            let s = pearson_at(image, &prepared, x, y, &sums);
+            if s > best.score {
+                best = MatchResult { x, y, score: s };
+            }
+        }
+    }
+    Ok(best)
+}
+
+/// Exact brute-force match with the paper's *plain* `TM_CCORR_NORMED`
+/// formula (no mean-centring). Kept for the matching-mode ablation.
+pub fn match_template_ccorr(image: &GrayImage, pattern: &GrayImage) -> Result<MatchResult> {
+    validate(image, pattern)?;
+    let sq = IntegralImage::of_squares(image);
+    let pat_energy: f64 = pattern
+        .pixels()
+        .iter()
+        .map(|&p| (p as f64) * (p as f64))
+        .sum();
+    let (pw, ph) = pattern.dims();
+    let mut best = MatchResult {
+        x: 0,
+        y: 0,
+        score: f32::NEG_INFINITY,
+    };
+    for y in 0..=(image.height() - ph) {
+        for x in 0..=(image.width() - pw) {
+            let window_energy = sq.window_sum(x, y, pw, ph);
+            let denom = (pat_energy * window_energy).sqrt();
+            let score = if denom <= f64::EPSILON {
+                0.0
+            } else {
+                let mut num = 0.0f64;
+                for dy in 0..ph {
+                    let prow = pattern.row(dy);
+                    let irow = &image.row(y + dy)[x..x + pw];
+                    let mut acc = 0.0f32;
+                    for (p, i) in prow.iter().zip(irow) {
+                        acc += p * i;
+                    }
+                    num += acc as f64;
+                }
+                (num / denom) as f32
+            };
+            if score > best.score {
+                best = MatchResult { x, y, score };
+            }
+        }
+    }
+    Ok(best)
+}
+
+/// Dense Pearson-NCC score map: output pixel `(x, y)` is the score of the
+/// window whose top-left corner is `(x, y)`. Output size is
+/// `(W - w + 1) x (H - h + 1)`.
+pub fn score_map(image: &GrayImage, pattern: &GrayImage) -> Result<GrayImage> {
+    validate(image, pattern)?;
+    let prepared = CenteredPattern::new(pattern);
+    let sums = ImageSums::new(image);
+    let out_w = image.width() - prepared.w + 1;
+    let out_h = image.height() - prepared.h + 1;
+    let mut out = GrayImage::new(out_w, out_h);
+    for y in 0..out_h {
+        for x in 0..out_w {
+            out.set(x, y, pearson_at(image, &prepared, x, y, &sums));
+        }
+    }
+    Ok(out)
+}
+
+/// Coarse-to-fine pyramid Pearson-NCC match (Section 5.1's "pyramid
+/// method").
+///
+/// Both image and pattern are reduced together; an exhaustive scan runs
+/// only at the coarsest level, after which the `top_k` candidate locations
+/// are propagated down, each rescored in a `±refine_radius` neighbourhood
+/// at every finer level. Falls back to the exact matcher when the pattern
+/// is too small to survive even one reduction.
+pub fn match_template_pyramid(
+    image: &GrayImage,
+    pattern: &GrayImage,
+    config: &PyramidMatchConfig,
+) -> Result<MatchResult> {
+    validate(image, pattern)?;
+    let min_pat = pattern.width().min(pattern.height());
+    // How many times can we halve before the pattern gets useless?
+    let mut levels = 1usize;
+    let mut side = min_pat;
+    while levels < config.max_levels && side / 2 >= config.min_pattern_side {
+        side /= 2;
+        levels += 1;
+    }
+    if levels == 1 {
+        return match_template(image, pattern);
+    }
+
+    let image_pyr = Pyramid::build(image, levels, 2);
+    let levels = levels.min(image_pyr.num_levels());
+    if levels == 1 {
+        return match_template(image, pattern);
+    }
+
+    // Reduced patterns per level (level 0 = original).
+    let mut patterns: Vec<GrayImage> = Vec::with_capacity(levels);
+    patterns.push(pattern.clone());
+    for lvl in 1..levels {
+        let scale = 1usize << lvl;
+        let pw = (pattern.width() / scale).max(1);
+        let ph = (pattern.height() / scale).max(1);
+        patterns.push(resize_bilinear(pattern, pw, ph)?);
+    }
+
+    // Exhaustive scan at the coarsest level, keeping top-k candidates.
+    let coarse = levels - 1;
+    let coarse_img = image_pyr.level(coarse);
+    let coarse_pat = &patterns[coarse];
+    if coarse_pat.width() > coarse_img.width() || coarse_pat.height() > coarse_img.height() {
+        return match_template(image, pattern);
+    }
+    let prepared = CenteredPattern::new(coarse_pat);
+    let sums = ImageSums::new(coarse_img);
+    let mut candidates: Vec<MatchResult> = Vec::new();
+    for y in 0..=(coarse_img.height() - coarse_pat.height()) {
+        for x in 0..=(coarse_img.width() - coarse_pat.width()) {
+            let s = pearson_at(coarse_img, &prepared, x, y, &sums);
+            insert_topk(&mut candidates, MatchResult { x, y, score: s }, config.top_k);
+        }
+    }
+
+    // Refine candidates through finer levels.
+    for lvl in (0..coarse).rev() {
+        let img = image_pyr.level(lvl);
+        let pat = &patterns[lvl];
+        if pat.width() > img.width() || pat.height() > img.height() {
+            continue;
+        }
+        let prepared = CenteredPattern::new(pat);
+        let sums = ImageSums::new(img);
+        let max_x = img.width() - pat.width();
+        let max_y = img.height() - pat.height();
+        let mut refined: Vec<MatchResult> = Vec::with_capacity(candidates.len());
+        for cand in &candidates {
+            // A coarse coordinate c maps to [2c - r, 2c + r] one level down.
+            let cx = cand.x * 2;
+            let cy = cand.y * 2;
+            let x0 = cx.saturating_sub(config.refine_radius).min(max_x);
+            let y0 = cy.saturating_sub(config.refine_radius).min(max_y);
+            let x1 = (cx + config.refine_radius).min(max_x);
+            let y1 = (cy + config.refine_radius).min(max_y);
+            let mut best = MatchResult {
+                x: x0,
+                y: y0,
+                score: f32::NEG_INFINITY,
+            };
+            for y in y0..=y1 {
+                for x in x0..=x1 {
+                    let s = pearson_at(img, &prepared, x, y, &sums);
+                    if s > best.score {
+                        best = MatchResult { x, y, score: s };
+                    }
+                }
+            }
+            refined.push(best);
+        }
+        candidates = refined;
+    }
+
+    candidates
+        .into_iter()
+        .max_by(|a, b| a.score.total_cmp(&b.score))
+        .ok_or(ImagingError::EmptyImage)
+}
+
+fn insert_topk(heap: &mut Vec<MatchResult>, item: MatchResult, k: usize) {
+    if heap.len() < k {
+        heap.push(item);
+        heap.sort_by(|a, b| b.score.total_cmp(&a.score));
+    } else if let Some(last) = heap.last() {
+        if item.score > last.score {
+            heap.pop();
+            heap.push(item);
+            heap.sort_by(|a, b| b.score.total_cmp(&a.score));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A structured test image: smooth gradient background with a bright
+    /// blob pasted at a known location.
+    fn image_with_blob(w: usize, h: usize, bx: usize, by: usize) -> (GrayImage, GrayImage) {
+        let mut img = GrayImage::from_fn(w, h, |x, y| 0.2 + 0.001 * (x + y) as f32);
+        let blob = GrayImage::from_fn(8, 8, |x, y| {
+            let dx = x as f32 - 3.5;
+            let dy = y as f32 - 3.5;
+            0.2 + 0.8 * (-(dx * dx + dy * dy) / 8.0).exp()
+        });
+        img.paste(&blob, bx, by).unwrap();
+        (img, blob)
+    }
+
+    #[test]
+    fn exact_match_finds_planted_pattern() {
+        let (img, blob) = image_with_blob(64, 48, 23, 17);
+        let m = match_template(&img, &blob).unwrap();
+        assert_eq!((m.x, m.y), (23, 17));
+        assert!(m.score > 0.999, "score {}", m.score);
+    }
+
+    #[test]
+    fn self_match_score_is_one() {
+        let img = GrayImage::from_fn(12, 12, |x, y| 0.1 + ((x * y) % 7) as f32 * 0.1);
+        let m = match_template(&img, &img).unwrap();
+        assert_eq!((m.x, m.y), (0, 0));
+        assert!((m.score - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn matching_is_gain_and_offset_invariant() {
+        // Pearson NCC is invariant to affine intensity changes of the
+        // pattern: a * P + b matches where P matches.
+        let (img, blob) = image_with_blob(40, 40, 10, 10);
+        let transformed = blob.map(|p| 2.5 * p + 0.3);
+        let m = match_template(&img, &transformed).unwrap();
+        assert_eq!((m.x, m.y), (10, 10));
+        assert!(m.score > 0.999);
+    }
+
+    #[test]
+    fn dark_defect_on_bright_background_matches() {
+        // The regression the Pearson form exists for: a dark line defect
+        // on a bright surface must produce its maximum at the defect.
+        let mut img = GrayImage::filled(60, 30, 0.8);
+        img.draw_line(30.0, 5.0, 40.0, 25.0, 1.5, 0.2);
+        let mut pat = GrayImage::filled(14, 24, 0.8);
+        pat.draw_line(2.0, 2.0, 12.0, 22.0, 1.5, 0.2);
+        let m = match_template(&img, &pat).unwrap();
+        assert!(m.score > 0.5, "dark defect score {}", m.score);
+        // The match is near the planted defect (x ≈ 28, y ≈ 3).
+        assert!((m.x as isize - 28).abs() <= 4, "x = {}", m.x);
+    }
+
+    #[test]
+    fn anticorrelated_pattern_scores_negative() {
+        let img = GrayImage::from_fn(16, 16, |x, _| (x % 2) as f32);
+        let inverted = img.map(|p| 1.0 - p);
+        let map = score_map(&img, &inverted).unwrap();
+        assert!(map.get(0, 0) < -0.9, "inverted score {}", map.get(0, 0));
+    }
+
+    #[test]
+    fn template_too_large_errors() {
+        let img = GrayImage::filled(4, 4, 1.0);
+        let pat = GrayImage::filled(5, 2, 1.0);
+        assert!(matches!(
+            match_template(&img, &pat),
+            Err(ImagingError::TemplateTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_inputs_error() {
+        let img = GrayImage::new(0, 0);
+        let pat = GrayImage::filled(2, 2, 1.0);
+        assert!(match_template(&img, &pat).is_err());
+        let img2 = GrayImage::filled(4, 4, 1.0);
+        let pat2 = GrayImage::new(0, 0);
+        assert!(match_template(&img2, &pat2).is_err());
+    }
+
+    #[test]
+    fn flat_image_yields_zero_score() {
+        let img = GrayImage::filled(10, 10, 0.5);
+        let mut pat = GrayImage::filled(3, 3, 0.2);
+        pat.set(1, 1, 0.9);
+        let m = match_template(&img, &pat).unwrap();
+        assert_eq!(m.score, 0.0);
+    }
+
+    #[test]
+    fn flat_pattern_yields_zero_score() {
+        let img = GrayImage::from_fn(10, 10, |x, y| (x + y) as f32 * 0.05);
+        let pat = GrayImage::filled(3, 3, 0.7);
+        let m = match_template(&img, &pat).unwrap();
+        assert_eq!(m.score, 0.0);
+    }
+
+    #[test]
+    fn ccorr_variant_still_available() {
+        let (img, blob) = image_with_blob(48, 48, 20, 12);
+        let m = match_template_ccorr(&img, &blob).unwrap();
+        // Plain CCORR also finds a bright blob on a dark background.
+        assert_eq!((m.x, m.y), (20, 12));
+        assert!(m.score > 0.99);
+    }
+
+    #[test]
+    fn score_map_dimensions() {
+        let img = GrayImage::filled(10, 8, 0.5);
+        let pat = GrayImage::filled(3, 2, 0.5);
+        let map = score_map(&img, &pat).unwrap();
+        assert_eq!(map.dims(), (8, 7));
+    }
+
+    #[test]
+    fn score_map_peak_at_planted_location() {
+        let (img, blob) = image_with_blob(32, 32, 5, 9);
+        let map = score_map(&img, &blob).unwrap();
+        let mut best = (0usize, 0usize, f32::NEG_INFINITY);
+        for y in 0..map.height() {
+            for x in 0..map.width() {
+                if map.get(x, y) > best.2 {
+                    best = (x, y, map.get(x, y));
+                }
+            }
+        }
+        assert_eq!((best.0, best.1), (5, 9));
+    }
+
+    #[test]
+    fn scores_bounded_in_unit_interval() {
+        let img = GrayImage::from_fn(20, 20, |x, y| ((x * 13 + y * 7) % 9) as f32 * 0.1 + 0.05);
+        let pat = img.crop(4, 4, 5, 5).unwrap();
+        let map = score_map(&img, &pat).unwrap();
+        for &s in map.pixels() {
+            assert!((-1.0..=1.0).contains(&s), "score {s}");
+        }
+        // And the planted crop matches perfectly somewhere.
+        let m = match_template(&img, &pat).unwrap();
+        assert!(m.score > 0.999);
+    }
+
+    #[test]
+    fn pyramid_match_agrees_with_exact_on_planted_pattern() {
+        let (img, blob) = image_with_blob(96, 80, 51, 33);
+        let exact = match_template(&img, &blob).unwrap();
+        let fast =
+            match_template_pyramid(&img, &blob, &PyramidMatchConfig::default()).unwrap();
+        assert_eq!((fast.x, fast.y), (exact.x, exact.y));
+        assert!((fast.score - exact.score).abs() < 1e-3);
+    }
+
+    #[test]
+    fn pyramid_match_small_pattern_falls_back_to_exact() {
+        let mut img = GrayImage::filled(30, 30, 0.1);
+        img.fill_rect(12, 14, 3, 3, 0.9);
+        let mut pat = GrayImage::filled(3, 3, 0.9);
+        pat.set(1, 1, 0.95);
+        let m = match_template_pyramid(&img, &pat, &PyramidMatchConfig::default()).unwrap();
+        // The bright 3x3 block is the only textured region resembling the
+        // pattern; the fallback exact matcher must look there.
+        assert!(
+            (11..=15).contains(&m.x) && (13..=17).contains(&m.y),
+            "found at ({}, {})",
+            m.x,
+            m.y
+        );
+    }
+
+    #[test]
+    fn pyramid_match_score_close_to_exact_on_textured_image() {
+        let img = GrayImage::from_fn(128, 64, |x, y| {
+            0.3 + 0.2 * ((x as f32 * 0.3).sin() * (y as f32 * 0.23).cos())
+        });
+        let pat = img.crop(70, 20, 16, 12).unwrap();
+        let exact = match_template(&img, &pat).unwrap();
+        let fast =
+            match_template_pyramid(&img, &pat, &PyramidMatchConfig::default()).unwrap();
+        assert!(
+            fast.score >= exact.score - 0.02,
+            "pyramid {} vs exact {}",
+            fast.score,
+            exact.score
+        );
+    }
+
+    #[test]
+    fn pyramid_config_with_one_level_equals_exact() {
+        let (img, blob) = image_with_blob(48, 48, 20, 20);
+        let cfg = PyramidMatchConfig {
+            max_levels: 1,
+            ..Default::default()
+        };
+        let m = match_template_pyramid(&img, &blob, &cfg).unwrap();
+        let exact = match_template(&img, &blob).unwrap();
+        assert_eq!((m.x, m.y, m.score), (exact.x, exact.y, exact.score));
+    }
+
+    #[test]
+    fn insert_topk_keeps_best() {
+        let mut heap = Vec::new();
+        for (i, s) in [0.1f32, 0.9, 0.5, 0.7, 0.2].iter().enumerate() {
+            insert_topk(
+                &mut heap,
+                MatchResult {
+                    x: i,
+                    y: 0,
+                    score: *s,
+                },
+                3,
+            );
+        }
+        let scores: Vec<f32> = heap.iter().map(|m| m.score).collect();
+        assert_eq!(scores, vec![0.9, 0.7, 0.5]);
+    }
+}

@@ -1,0 +1,177 @@
+//! Deterministic procedural noise for synthetic industrial textures.
+//!
+//! `ig-synth` composes these primitives into surface simulacra: value
+//! noise for rolled-steel grain, fBm for casting textures, banded patterns
+//! for the strip-shaped Product images. Everything is seeded and pure so
+//! dataset generation is reproducible across runs and platforms.
+
+use crate::GrayImage;
+
+/// Deterministic integer hash → `[0, 1)` float. SplitMix64 finalizer.
+#[inline]
+fn hash01(seed: u64, x: i64, y: i64) -> f32 {
+    let mut z = seed
+        .wrapping_add((x as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add((y as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 40) as f32 / (1u64 << 24) as f32
+}
+
+fn smoothstep(t: f32) -> f32 {
+    t * t * (3.0 - 2.0 * t)
+}
+
+/// Single-octave value noise at a continuous point with the given lattice
+/// `frequency` (lattice cells per pixel).
+pub fn value_noise(seed: u64, x: f32, y: f32, frequency: f32) -> f32 {
+    let fx = x * frequency;
+    let fy = y * frequency;
+    let x0 = fx.floor();
+    let y0 = fy.floor();
+    let tx = smoothstep(fx - x0);
+    let ty = smoothstep(fy - y0);
+    let xi = x0 as i64;
+    let yi = y0 as i64;
+    let v00 = hash01(seed, xi, yi);
+    let v10 = hash01(seed, xi + 1, yi);
+    let v01 = hash01(seed, xi, yi + 1);
+    let v11 = hash01(seed, xi + 1, yi + 1);
+    let top = v00 + (v10 - v00) * tx;
+    let bot = v01 + (v11 - v01) * tx;
+    top + (bot - top) * ty
+}
+
+/// Fractional Brownian motion: `octaves` octaves of value noise with
+/// per-octave gain 0.5 and lacunarity 2, normalized to `[0, 1]`.
+pub fn fbm(seed: u64, x: f32, y: f32, base_frequency: f32, octaves: usize) -> f32 {
+    let mut amplitude = 1.0f32;
+    let mut frequency = base_frequency;
+    let mut total = 0.0f32;
+    let mut norm = 0.0f32;
+    for octave in 0..octaves.max(1) {
+        total += amplitude * value_noise(seed.wrapping_add(octave as u64 * 101), x, y, frequency);
+        norm += amplitude;
+        amplitude *= 0.5;
+        frequency *= 2.0;
+    }
+    total / norm
+}
+
+/// Fill an image with fBm noise mapped to `[lo, hi]`.
+pub fn fbm_image(
+    seed: u64,
+    width: usize,
+    height: usize,
+    base_frequency: f32,
+    octaves: usize,
+    lo: f32,
+    hi: f32,
+) -> GrayImage {
+    GrayImage::from_fn(width, height, |x, y| {
+        lo + (hi - lo) * fbm(seed, x as f32, y as f32, base_frequency, octaves)
+    })
+}
+
+/// Per-pixel white noise image in `[lo, hi]`.
+pub fn white_noise_image(seed: u64, width: usize, height: usize, lo: f32, hi: f32) -> GrayImage {
+    GrayImage::from_fn(width, height, |x, y| {
+        lo + (hi - lo) * hash01(seed, x as i64, y as i64)
+    })
+}
+
+/// Horizontal banding: slowly varying brightness per column, mimicking the
+/// strip lighting of industrial line-scan cameras.
+pub fn band_image(
+    seed: u64,
+    width: usize,
+    height: usize,
+    band_frequency: f32,
+    lo: f32,
+    hi: f32,
+) -> GrayImage {
+    GrayImage::from_fn(width, height, |x, _| {
+        lo + (hi - lo) * value_noise(seed, x as f32, 0.0, band_frequency)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noise_is_deterministic() {
+        let a = fbm_image(42, 16, 16, 0.2, 3, 0.0, 1.0);
+        let b = fbm_image(42, 16, 16, 0.2, 3, 0.0, 1.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = fbm_image(1, 16, 16, 0.2, 3, 0.0, 1.0);
+        let b = fbm_image(2, 16, 16, 0.2, 3, 0.0, 1.0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn values_within_range() {
+        let img = fbm_image(7, 32, 32, 0.3, 4, 0.2, 0.8);
+        for &p in img.pixels() {
+            assert!((0.2..=0.8).contains(&p), "pixel {p}");
+        }
+        let white = white_noise_image(7, 32, 32, -1.0, 1.0);
+        for &p in white.pixels() {
+            assert!((-1.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn value_noise_is_continuous() {
+        // Neighbouring samples should not jump (smoothstep interpolation).
+        let mut max_jump = 0.0f32;
+        for i in 0..200 {
+            let x = i as f32 * 0.1;
+            let a = value_noise(3, x, 5.0, 0.13);
+            let b = value_noise(3, x + 0.1, 5.0, 0.13);
+            max_jump = max_jump.max((a - b).abs());
+        }
+        assert!(max_jump < 0.2, "max jump {max_jump}");
+    }
+
+    #[test]
+    fn white_noise_has_spread() {
+        let img = white_noise_image(9, 64, 64, 0.0, 1.0);
+        let mean = img.pixels().iter().sum::<f32>() / img.len() as f32;
+        let var =
+            img.pixels().iter().map(|&p| (p - mean).powi(2)).sum::<f32>() / img.len() as f32;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
+        // Uniform variance is 1/12 ≈ 0.083.
+        assert!((var - 1.0 / 12.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn band_image_constant_within_columns() {
+        let img = band_image(5, 24, 10, 0.1, 0.0, 1.0);
+        for x in 0..24 {
+            let first = img.get(x, 0);
+            for y in 1..10 {
+                assert_eq!(img.get(x, y), first);
+            }
+        }
+    }
+
+    #[test]
+    fn fbm_more_octaves_adds_detail() {
+        // Higher octave counts increase high-frequency content; compare
+        // total variation along a scanline.
+        let tv = |oct: usize| {
+            let img = fbm_image(11, 128, 1, 0.05, oct, 0.0, 1.0);
+            img.row(0)
+                .windows(2)
+                .map(|w| (w[1] - w[0]).abs())
+                .sum::<f32>()
+        };
+        assert!(tv(5) > tv(1));
+    }
+}

@@ -1,0 +1,137 @@
+//! Image resampling.
+//!
+//! The pattern augmenter resizes irregular crowd patterns to a fixed square
+//! before GAN training and back to their original sizes afterwards
+//! (Section 4.1); the pyramid matcher halves resolutions repeatedly; the CNN
+//! baselines downscale full images. All of those go through these two
+//! functions.
+
+use crate::{GrayImage, ImagingError, Result};
+
+/// Resize with nearest-neighbour sampling.
+pub fn resize_nearest(src: &GrayImage, new_w: usize, new_h: usize) -> Result<GrayImage> {
+    check_dims(src, new_w, new_h)?;
+    let sx = src.width() as f32 / new_w as f32;
+    let sy = src.height() as f32 / new_h as f32;
+    Ok(GrayImage::from_fn(new_w, new_h, |x, y| {
+        let src_x = (((x as f32 + 0.5) * sx) as usize).min(src.width() - 1);
+        let src_y = (((y as f32 + 0.5) * sy) as usize).min(src.height() - 1);
+        src.get(src_x, src_y)
+    }))
+}
+
+/// Resize with bilinear sampling (pixel-center aligned).
+pub fn resize_bilinear(src: &GrayImage, new_w: usize, new_h: usize) -> Result<GrayImage> {
+    check_dims(src, new_w, new_h)?;
+    let sx = src.width() as f32 / new_w as f32;
+    let sy = src.height() as f32 / new_h as f32;
+    Ok(GrayImage::from_fn(new_w, new_h, |x, y| {
+        let src_x = (x as f32 + 0.5) * sx - 0.5;
+        let src_y = (y as f32 + 0.5) * sy - 0.5;
+        src.sample_bilinear(src_x, src_y)
+    }))
+}
+
+/// Proportionally scale so the longer side equals `max_side`, never
+/// upscaling. Used by the CNN baselines to bound input size.
+pub fn fit_max_side(src: &GrayImage, max_side: usize) -> Result<GrayImage> {
+    let (w, h) = src.dims();
+    let longest = w.max(h);
+    if longest <= max_side {
+        return Ok(src.clone());
+    }
+    let scale = max_side as f32 / longest as f32;
+    let nw = ((w as f32 * scale).round() as usize).max(1);
+    let nh = ((h as f32 * scale).round() as usize).max(1);
+    resize_bilinear(src, nw, nh)
+}
+
+fn check_dims(src: &GrayImage, new_w: usize, new_h: usize) -> Result<()> {
+    if src.is_empty() {
+        return Err(ImagingError::EmptyImage);
+    }
+    if new_w == 0 || new_h == 0 {
+        return Err(ImagingError::InvalidDimension(
+            "resize target has a zero dimension".into(),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_resize_is_exact() {
+        let img = GrayImage::from_fn(5, 4, |x, y| (x * y) as f32);
+        let same = resize_bilinear(&img, 5, 4).unwrap();
+        for (a, b) in img.pixels().iter().zip(same.pixels()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+        assert_eq!(resize_nearest(&img, 5, 4).unwrap(), img);
+    }
+
+    #[test]
+    fn nearest_upscale_replicates() {
+        let img = GrayImage::from_vec(2, 1, vec![0.0, 1.0]).unwrap();
+        let up = resize_nearest(&img, 4, 1).unwrap();
+        assert_eq!(up.pixels(), &[0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn bilinear_downscale_averages() {
+        let img = GrayImage::from_vec(4, 1, vec![0.0, 0.0, 1.0, 1.0]).unwrap();
+        let down = resize_bilinear(&img, 2, 1).unwrap();
+        assert!((down.get(0, 0) - 0.0).abs() < 0.26);
+        assert!((down.get(1, 0) - 1.0).abs() < 0.26);
+    }
+
+    #[test]
+    fn constant_image_stays_constant() {
+        let img = GrayImage::filled(7, 3, 0.42);
+        for (w, h) in [(3, 3), (14, 6), (1, 1), (20, 1)] {
+            let r = resize_bilinear(&img, w, h).unwrap();
+            assert!(r.pixels().iter().all(|&p| (p - 0.42).abs() < 1e-6));
+        }
+    }
+
+    #[test]
+    fn rejects_zero_target() {
+        let img = GrayImage::filled(4, 4, 1.0);
+        assert!(resize_bilinear(&img, 0, 3).is_err());
+        assert!(resize_nearest(&img, 3, 0).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_source() {
+        let img = GrayImage::new(0, 0);
+        assert!(matches!(
+            resize_bilinear(&img, 2, 2),
+            Err(ImagingError::EmptyImage)
+        ));
+    }
+
+    #[test]
+    fn fit_max_side_preserves_aspect() {
+        let img = GrayImage::filled(100, 50, 0.0);
+        let fitted = fit_max_side(&img, 20).unwrap();
+        assert_eq!(fitted.dims(), (20, 10));
+    }
+
+    #[test]
+    fn fit_max_side_never_upscales() {
+        let img = GrayImage::filled(10, 5, 0.0);
+        let fitted = fit_max_side(&img, 100).unwrap();
+        assert_eq!(fitted.dims(), (10, 5));
+    }
+
+    #[test]
+    fn extreme_aspect_ratio_survives() {
+        // Product images are long thin strips like 162x2702.
+        let img = GrayImage::filled(16, 270, 0.5);
+        let fitted = fit_max_side(&img, 64).unwrap();
+        assert_eq!(fitted.dims().1, 64);
+        assert!(fitted.dims().0 >= 1);
+    }
+}

@@ -1,0 +1,160 @@
+//! Pixel statistics and normalization helpers.
+
+use crate::GrayImage;
+
+/// Summary statistics of an image's pixel distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImageStats {
+    /// Arithmetic mean.
+    pub mean: f32,
+    /// Population variance.
+    pub variance: f32,
+    /// Minimum pixel value.
+    pub min: f32,
+    /// Maximum pixel value.
+    pub max: f32,
+}
+
+impl ImageStats {
+    /// Population standard deviation.
+    pub fn std(&self) -> f32 {
+        self.variance.max(0.0).sqrt()
+    }
+}
+
+/// Compute [`ImageStats`] in a single pass. Empty images return zeros.
+pub fn stats(img: &GrayImage) -> ImageStats {
+    if img.is_empty() {
+        return ImageStats {
+            mean: 0.0,
+            variance: 0.0,
+            min: 0.0,
+            max: 0.0,
+        };
+    }
+    let mut sum = 0.0f64;
+    let mut sum_sq = 0.0f64;
+    let mut min = f32::INFINITY;
+    let mut max = f32::NEG_INFINITY;
+    for &p in img.pixels() {
+        sum += p as f64;
+        sum_sq += (p as f64) * (p as f64);
+        min = min.min(p);
+        max = max.max(p);
+    }
+    let n = img.len() as f64;
+    let mean = sum / n;
+    let variance = (sum_sq / n - mean * mean).max(0.0);
+    ImageStats {
+        mean: mean as f32,
+        variance: variance as f32,
+        min,
+        max,
+    }
+}
+
+/// Linearly rescale pixel values so min → 0 and max → 1. Constant images
+/// map to all-zeros.
+pub fn normalize_minmax(img: &GrayImage) -> GrayImage {
+    let s = stats(img);
+    let range = s.max - s.min;
+    if range <= f32::EPSILON {
+        return GrayImage::new(img.width(), img.height());
+    }
+    img.map(|p| (p - s.min) / range)
+}
+
+/// Standardize to zero mean, unit variance. Constant images map to zeros.
+pub fn standardize(img: &GrayImage) -> GrayImage {
+    let s = stats(img);
+    let std = s.std();
+    if std <= f32::EPSILON {
+        return GrayImage::new(img.width(), img.height());
+    }
+    img.map(|p| (p - s.mean) / std)
+}
+
+/// A fixed-bin histogram of pixel values over `[lo, hi]`; out-of-range
+/// pixels clamp into the end bins.
+pub fn histogram(img: &GrayImage, bins: usize, lo: f32, hi: f32) -> Vec<usize> {
+    let bins = bins.max(1);
+    let mut counts = vec![0usize; bins];
+    let range = (hi - lo).max(f32::EPSILON);
+    for &p in img.pixels() {
+        let t = ((p - lo) / range * bins as f32) as isize;
+        let idx = t.clamp(0, bins as isize - 1) as usize;
+        counts[idx] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_constant() {
+        let img = GrayImage::filled(4, 4, 0.5);
+        let s = stats(&img);
+        assert_eq!(s.mean, 0.5);
+        assert_eq!(s.variance, 0.0);
+        assert_eq!((s.min, s.max), (0.5, 0.5));
+    }
+
+    #[test]
+    fn stats_of_known_values() {
+        let img = GrayImage::from_vec(4, 1, vec![0.0, 1.0, 2.0, 3.0]).unwrap();
+        let s = stats(&img);
+        assert!((s.mean - 1.5).abs() < 1e-6);
+        assert!((s.variance - 1.25).abs() < 1e-6);
+        assert_eq!((s.min, s.max), (0.0, 3.0));
+    }
+
+    #[test]
+    fn stats_of_empty_image() {
+        let img = GrayImage::new(0, 0);
+        let s = stats(&img);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn normalize_minmax_hits_bounds() {
+        let img = GrayImage::from_vec(3, 1, vec![2.0, 4.0, 6.0]).unwrap();
+        let n = normalize_minmax(&img);
+        assert_eq!(n.pixels(), &[0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn normalize_constant_is_zero() {
+        let img = GrayImage::filled(3, 3, 9.0);
+        let n = normalize_minmax(&img);
+        assert!(n.pixels().iter().all(|&p| p == 0.0));
+    }
+
+    #[test]
+    fn standardize_produces_zero_mean_unit_std() {
+        let img = GrayImage::from_fn(8, 8, |x, y| ((x * 31 + y * 17) % 13) as f32);
+        let z = standardize(&img);
+        let s = stats(&z);
+        assert!(s.mean.abs() < 1e-5);
+        assert!((s.std() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn histogram_counts_sum_to_pixels() {
+        let img = GrayImage::from_fn(10, 10, |x, _| x as f32 / 10.0);
+        let h = histogram(&img, 5, 0.0, 1.0);
+        assert_eq!(h.iter().sum::<usize>(), 100);
+        // Uniform across bins: each of the 5 bins gets 2 columns x 10 rows.
+        assert!(h.iter().all(|&c| c == 20));
+    }
+
+    #[test]
+    fn histogram_clamps_out_of_range() {
+        let img = GrayImage::from_vec(3, 1, vec![-5.0, 0.5, 99.0]).unwrap();
+        let h = histogram(&img, 2, 0.0, 1.0);
+        // -5 clamps into bin 0; 0.5 lands exactly on the bin-1 boundary; 99
+        // clamps into the last bin.
+        assert_eq!(h, vec![1, 2]);
+    }
+}

@@ -1,0 +1,319 @@
+//! Affine warps used by policy-based pattern augmentation (Section 4.2).
+//!
+//! Each policy operation (rotate, shear, anisotropic resize, translate)
+//! reduces to sampling the source through an inverse affine map with
+//! bilinear interpolation; photometric operations (brightness, contrast,
+//! invert) are plain pixel maps and live in `ig-augment`.
+
+use crate::{GrayImage, ImagingError, Result};
+
+/// A 2x3 affine transform mapping *output* coordinates to *source*
+/// coordinates (inverse mapping, the form used for resampling):
+///
+/// ```text
+/// src_x = a*x + b*y + c
+/// src_y = d*x + e*y + f
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Affine {
+    /// Row-major coefficients `[a, b, c, d, e, f]`.
+    pub m: [f32; 6],
+}
+
+impl Affine {
+    /// Identity transform.
+    pub fn identity() -> Self {
+        Self {
+            m: [1.0, 0.0, 0.0, 0.0, 1.0, 0.0],
+        }
+    }
+
+    /// Inverse map of a rotation by `degrees` about `(cx, cy)`.
+    pub fn rotation_about(degrees: f32, cx: f32, cy: f32) -> Self {
+        let rad = degrees.to_radians();
+        let (sin, cos) = rad.sin_cos();
+        // Inverse rotation: rotate by -angle around the same center.
+        let a = cos;
+        let b = sin;
+        let d = -sin;
+        let e = cos;
+        let c = cx - a * cx - b * cy;
+        let f = cy - d * cx - e * cy;
+        Self {
+            m: [a, b, c, d, e, f],
+        }
+    }
+
+    /// Inverse map of a shear along x by `factor` about `(cx, cy)`.
+    pub fn shear_x_about(factor: f32, cx: f32, cy: f32) -> Self {
+        // Forward: x' = x + factor*(y - cy), inverse: x = x' - factor*(y - cy).
+        Self {
+            m: [1.0, -factor, factor * cy + 0.0 * cx, 0.0, 1.0, 0.0],
+        }
+    }
+
+    /// Inverse map of a shear along y by `factor` about `(cx, cy)`.
+    pub fn shear_y_about(factor: f32, cx: f32, cy: f32) -> Self {
+        Self {
+            m: [1.0, 0.0, 0.0, -factor, 1.0, factor * cx + 0.0 * cy],
+        }
+    }
+
+    /// Inverse map of a translation by `(dx, dy)`.
+    pub fn translation(dx: f32, dy: f32) -> Self {
+        Self {
+            m: [1.0, 0.0, -dx, 0.0, 1.0, -dy],
+        }
+    }
+
+    /// Apply to a point.
+    #[inline]
+    pub fn apply(&self, x: f32, y: f32) -> (f32, f32) {
+        let [a, b, c, d, e, f] = self.m;
+        (a * x + b * y + c, d * x + e * y + f)
+    }
+}
+
+/// Warp `src` through the inverse affine `map`, producing an image of the
+/// same size. Samples falling outside the source use `fill`.
+pub fn warp_affine(src: &GrayImage, map: &Affine, fill: f32) -> GrayImage {
+    let (w, h) = src.dims();
+    GrayImage::from_fn(w, h, |x, y| {
+        let (sx, sy) = map.apply(x as f32, y as f32);
+        if sx < -0.5 || sy < -0.5 || sx > w as f32 - 0.5 || sy > h as f32 - 0.5 {
+            fill
+        } else {
+            src.sample_bilinear(sx, sy)
+        }
+    })
+}
+
+/// Rotate about the image center by `degrees`; out-of-frame pixels take the
+/// image's border mean so rotated patterns blend into their background.
+pub fn rotate(src: &GrayImage, degrees: f32) -> GrayImage {
+    let (w, h) = src.dims();
+    let fill = border_mean(src);
+    warp_affine(
+        src,
+        &Affine::rotation_about(degrees, (w as f32 - 1.0) * 0.5, (h as f32 - 1.0) * 0.5),
+        fill,
+    )
+}
+
+/// Shear along x about the center.
+pub fn shear_x(src: &GrayImage, factor: f32) -> GrayImage {
+    let (_, h) = src.dims();
+    let fill = border_mean(src);
+    warp_affine(
+        src,
+        &Affine::shear_x_about(factor, 0.0, (h as f32 - 1.0) * 0.5),
+        fill,
+    )
+}
+
+/// Shear along y about the center.
+pub fn shear_y(src: &GrayImage, factor: f32) -> GrayImage {
+    let (w, _) = src.dims();
+    let fill = border_mean(src);
+    warp_affine(
+        src,
+        &Affine::shear_y_about(factor, (w as f32 - 1.0) * 0.5, 0.0),
+        fill,
+    )
+}
+
+/// Translate by integer-ish offsets, filling uncovered pixels with the
+/// border mean.
+pub fn translate(src: &GrayImage, dx: f32, dy: f32) -> GrayImage {
+    warp_affine(src, &Affine::translation(dx, dy), border_mean(src))
+}
+
+/// Stretch along x by `factor` (>1 widens the content), keeping the canvas
+/// size; equivalent to the paper's `ResizeX` policy. Returns an error for
+/// non-positive factors.
+pub fn stretch_x(src: &GrayImage, factor: f32) -> Result<GrayImage> {
+    if factor <= 0.0 {
+        return Err(ImagingError::InvalidDimension(format!(
+            "stretch factor {factor} must be positive"
+        )));
+    }
+    let (w, _) = src.dims();
+    let cx = (w as f32 - 1.0) * 0.5;
+    let map = Affine {
+        m: [1.0 / factor, 0.0, cx - cx / factor, 0.0, 1.0, 0.0],
+    };
+    Ok(warp_affine(src, &map, border_mean(src)))
+}
+
+/// Stretch along y by `factor`, keeping the canvas size (`ResizeY` policy).
+pub fn stretch_y(src: &GrayImage, factor: f32) -> Result<GrayImage> {
+    if factor <= 0.0 {
+        return Err(ImagingError::InvalidDimension(format!(
+            "stretch factor {factor} must be positive"
+        )));
+    }
+    let (_, h) = src.dims();
+    let cy = (h as f32 - 1.0) * 0.5;
+    let map = Affine {
+        m: [1.0, 0.0, 0.0, 0.0, 1.0 / factor, cy - cy / factor],
+    };
+    Ok(warp_affine(src, &map, border_mean(src)))
+}
+
+/// Mean of the one-pixel border ring, a cheap estimate of the pattern's
+/// local background used to fill warp gaps.
+pub fn border_mean(src: &GrayImage) -> f32 {
+    let (w, h) = src.dims();
+    if w == 0 || h == 0 {
+        return 0.0;
+    }
+    if w == 1 && h == 1 {
+        return src.get(0, 0);
+    }
+    let mut sum = 0.0f32;
+    let mut count = 0usize;
+    for x in 0..w {
+        sum += src.get(x, 0) + src.get(x, h - 1);
+        count += 2;
+    }
+    for y in 1..h.saturating_sub(1) {
+        sum += src.get(0, y) + src.get(w - 1, y);
+        count += 2;
+    }
+    sum / count as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn centered_blob(size: usize) -> GrayImage {
+        GrayImage::from_fn(size, size, |x, y| {
+            let c = (size as f32 - 1.0) * 0.5;
+            let dx = x as f32 - c;
+            let dy = y as f32 - c;
+            (-(dx * dx + dy * dy) / (size as f32)).exp()
+        })
+    }
+
+    #[test]
+    fn identity_warp_is_exact() {
+        let img = GrayImage::from_fn(6, 6, |x, y| (x * y) as f32);
+        let out = warp_affine(&img, &Affine::identity(), 0.0);
+        for (a, b) in img.pixels().iter().zip(out.pixels()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn rotate_zero_is_identity() {
+        let img = centered_blob(9);
+        let out = rotate(&img, 0.0);
+        for (a, b) in img.pixels().iter().zip(out.pixels()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn rotate_360_approximates_identity() {
+        let img = centered_blob(11);
+        let out = rotate(&img, 360.0);
+        for (a, b) in img.pixels().iter().zip(out.pixels()) {
+            assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn rotate_90_moves_known_pixel() {
+        // Mark a pixel right of the center; rotating the image by 90°
+        // forward moves content; verify the energy is conserved-ish and the
+        // center is fixed.
+        let mut img = GrayImage::filled(9, 9, 0.0);
+        img.set(7, 4, 1.0);
+        let out = rotate(&img, 90.0);
+        // Center pixel unchanged.
+        assert!(out.get(4, 4).abs() < 1e-4);
+        // The bright pixel moved off (7, 4).
+        assert!(out.get(7, 4) < 0.5);
+        // It landed on the vertical axis through the center (either above
+        // or below depending on orientation convention).
+        let above = out.get(4, 1).max(out.get(4, 2));
+        let below = out.get(4, 6).max(out.get(4, 7));
+        assert!(above > 0.5 || below > 0.5, "above {above} below {below}");
+    }
+
+    #[test]
+    fn rotation_preserves_center_blob_mass() {
+        let img = centered_blob(15);
+        let out = rotate(&img, 37.0);
+        let mass = |im: &GrayImage| im.pixels().iter().sum::<f32>();
+        assert!((mass(&img) - mass(&out)).abs() / mass(&img) < 0.05);
+    }
+
+    #[test]
+    fn translate_moves_content() {
+        let mut img = GrayImage::filled(8, 8, 0.0);
+        img.set(2, 2, 1.0);
+        let out = translate(&img, 3.0, 1.0);
+        assert!(out.get(5, 3) > 0.99);
+        assert!(out.get(2, 2) < 0.01);
+    }
+
+    #[test]
+    fn stretch_x_widens_line() {
+        // A vertical line of width 1 at the center should get wider.
+        let mut img = GrayImage::filled(17, 9, 0.0);
+        img.fill_rect(8, 0, 1, 9, 1.0);
+        let out = stretch_x(&img, 3.0).unwrap();
+        let row_mass: f32 = out.row(4).iter().sum();
+        assert!(row_mass > 2.0, "mass {row_mass}");
+    }
+
+    #[test]
+    fn stretch_rejects_nonpositive_factor() {
+        let img = GrayImage::filled(4, 4, 0.5);
+        assert!(stretch_x(&img, 0.0).is_err());
+        assert!(stretch_y(&img, -1.0).is_err());
+    }
+
+    #[test]
+    fn stretch_y_one_is_identity() {
+        let img = centered_blob(7);
+        let out = stretch_y(&img, 1.0).unwrap();
+        for (a, b) in img.pixels().iter().zip(out.pixels()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn shear_x_tilts_vertical_line() {
+        let mut img = GrayImage::filled(11, 11, 0.0);
+        img.fill_rect(5, 0, 1, 11, 1.0);
+        let out = shear_x(&img, 0.5);
+        // Top of the line shifts one way, bottom the other.
+        let top_left: f32 = out.row(0)[..5].iter().sum();
+        let top_right: f32 = out.row(0)[6..].iter().sum();
+        assert!(top_left != top_right);
+        // Center row mostly unchanged.
+        assert!(out.get(5, 5) > 0.5);
+    }
+
+    #[test]
+    fn border_mean_of_constant_is_constant() {
+        let img = GrayImage::filled(5, 4, 0.33);
+        assert!((border_mean(&img) - 0.33).abs() < 1e-6);
+    }
+
+    #[test]
+    fn border_mean_ignores_interior() {
+        let mut img = GrayImage::filled(5, 5, 0.1);
+        img.set(2, 2, 100.0);
+        assert!((border_mean(&img) - 0.1).abs() < 1e-5);
+    }
+
+    #[test]
+    fn border_mean_single_pixel() {
+        let img = GrayImage::filled(1, 1, 0.7);
+        assert_eq!(border_mean(&img), 0.7);
+    }
+}

@@ -1,0 +1,324 @@
+//! Limited-memory BFGS (Liu & Nocedal, 1989) with Armijo backtracking.
+//!
+//! The paper trains the labeler with "an L-BFGS optimizer, which provides
+//! stable training on small data" (Section 6.1). This is the standard
+//! two-loop-recursion implementation over a user-supplied
+//! loss-and-gradient oracle on flat `f32` parameter vectors.
+
+/// L-BFGS hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LbfgsConfig {
+    /// History size `m` (number of curvature pairs kept).
+    pub memory: usize,
+    /// Maximum outer iterations.
+    pub max_iters: usize,
+    /// Stop when the gradient's infinity norm drops below this.
+    pub grad_tol: f32,
+    /// Stop when the loss improves by less than this between iterations.
+    pub loss_tol: f32,
+    /// Armijo sufficient-decrease constant.
+    pub c1: f32,
+    /// Maximum backtracking halvings per line search.
+    pub max_line_search: usize,
+}
+
+impl Default for LbfgsConfig {
+    fn default() -> Self {
+        Self {
+            memory: 10,
+            max_iters: 100,
+            grad_tol: 1e-5,
+            loss_tol: 1e-9,
+            c1: 1e-4,
+            max_line_search: 30,
+        }
+    }
+}
+
+/// Result of an [`minimize`] run.
+#[derive(Debug, Clone)]
+pub struct LbfgsResult {
+    /// Final parameters.
+    pub x: Vec<f32>,
+    /// Final loss.
+    pub loss: f32,
+    /// Outer iterations performed.
+    pub iters: usize,
+    /// True when a tolerance (rather than the iteration cap) stopped it.
+    pub converged: bool,
+}
+
+fn dot(a: &[f32], b: &[f32]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| x as f64 * y as f64)
+        .sum()
+}
+
+fn inf_norm(v: &[f32]) -> f32 {
+    v.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+}
+
+/// Minimize `f` starting from `x0`. `f` must return `(loss, gradient)` with
+/// the gradient the same length as the input.
+pub fn minimize(
+    mut f: impl FnMut(&[f32]) -> (f32, Vec<f32>),
+    x0: Vec<f32>,
+    config: &LbfgsConfig,
+) -> LbfgsResult {
+    let n = x0.len();
+    let mut x = x0;
+    let (mut loss, mut grad) = f(&x);
+    assert_eq!(grad.len(), n, "gradient length mismatch");
+
+    // Curvature history: s_k = x_{k+1} - x_k, y_k = g_{k+1} - g_k.
+    let mut s_hist: Vec<Vec<f32>> = Vec::new();
+    let mut y_hist: Vec<Vec<f32>> = Vec::new();
+    let mut rho_hist: Vec<f64> = Vec::new();
+
+    for iter in 0..config.max_iters {
+        if inf_norm(&grad) < config.grad_tol {
+            return LbfgsResult {
+                x,
+                loss,
+                iters: iter,
+                converged: true,
+            };
+        }
+
+        // Two-loop recursion: direction = -H_k * grad.
+        let mut q: Vec<f32> = grad.clone();
+        let mut alphas = vec![0.0f64; s_hist.len()];
+        for i in (0..s_hist.len()).rev() {
+            let alpha = rho_hist[i] * dot(&s_hist[i], &q);
+            alphas[i] = alpha;
+            for (qv, &yv) in q.iter_mut().zip(&y_hist[i]) {
+                *qv -= (alpha * yv as f64) as f32;
+            }
+        }
+        // Initial Hessian scaling gamma = s·y / y·y from the latest pair.
+        if let (Some(s), Some(y)) = (s_hist.last(), y_hist.last()) {
+            let gamma = dot(s, y) / dot(y, y).max(1e-12);
+            for qv in &mut q {
+                *qv = (*qv as f64 * gamma) as f32;
+            }
+        }
+        for i in 0..s_hist.len() {
+            let beta = rho_hist[i] * dot(&y_hist[i], &q);
+            let coeff = (alphas[i] - beta) as f32;
+            for (qv, &sv) in q.iter_mut().zip(&s_hist[i]) {
+                *qv += coeff * sv;
+            }
+        }
+        let mut direction: Vec<f32> = q.iter().map(|&v| -v).collect();
+
+        // Safeguard: fall back to steepest descent if not a descent dir.
+        let mut dir_deriv = dot(&direction, &grad);
+        if dir_deriv >= 0.0 {
+            direction = grad.iter().map(|&g| -g).collect();
+            dir_deriv = -dot(&grad, &grad);
+            s_hist.clear();
+            y_hist.clear();
+            rho_hist.clear();
+        }
+
+        // Armijo backtracking line search.
+        let mut step = 1.0f32;
+        let mut accepted = false;
+        let mut new_x = x.clone();
+        let mut new_loss = loss;
+        let mut new_grad = grad.clone();
+        for _ in 0..config.max_line_search {
+            for i in 0..n {
+                new_x[i] = x[i] + step * direction[i];
+            }
+            let (l, g) = f(&new_x);
+            if l.is_finite() && l <= loss + config.c1 * step * dir_deriv as f32 {
+                new_loss = l;
+                new_grad = g;
+                accepted = true;
+                break;
+            }
+            step *= 0.5;
+        }
+        if !accepted {
+            // No progress possible along this direction.
+            return LbfgsResult {
+                x,
+                loss,
+                iters: iter,
+                converged: true,
+            };
+        }
+
+        // Update curvature history.
+        let s: Vec<f32> = new_x.iter().zip(&x).map(|(&a, &b)| a - b).collect();
+        let y: Vec<f32> = new_grad.iter().zip(&grad).map(|(&a, &b)| a - b).collect();
+        let sy = dot(&s, &y);
+        if sy > 1e-10 {
+            if s_hist.len() == config.memory {
+                s_hist.remove(0);
+                y_hist.remove(0);
+                rho_hist.remove(0);
+            }
+            rho_hist.push(1.0 / sy);
+            s_hist.push(s);
+            y_hist.push(y);
+        }
+
+        let improvement = loss - new_loss;
+        x = new_x.clone();
+        grad = new_grad.clone();
+        loss = new_loss;
+        if improvement.abs() < config.loss_tol {
+            return LbfgsResult {
+                x,
+                loss,
+                iters: iter + 1,
+                converged: true,
+            };
+        }
+    }
+
+    LbfgsResult {
+        x,
+        loss,
+        iters: config.max_iters,
+        converged: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_separable_quadratic() {
+        let target = [3.0f32, -1.0, 0.5];
+        let result = minimize(
+            |x| {
+                let loss: f32 = x
+                    .iter()
+                    .zip(&target)
+                    .map(|(&a, &b)| 0.5 * (a - b) * (a - b))
+                    .sum();
+                let grad = x.iter().zip(&target).map(|(&a, &b)| a - b).collect();
+                (loss, grad)
+            },
+            vec![0.0; 3],
+            &LbfgsConfig::default(),
+        );
+        assert!(result.converged);
+        for (a, b) in result.x.iter().zip(&target) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn minimizes_rosenbrock() {
+        // The classic banana function; slow for gradient descent, fast for
+        // quasi-Newton methods.
+        let result = minimize(
+            |x| {
+                let (a, b) = (x[0], x[1]);
+                let loss = (1.0 - a).powi(2) + 100.0 * (b - a * a).powi(2);
+                let grad = vec![
+                    -2.0 * (1.0 - a) - 400.0 * a * (b - a * a),
+                    200.0 * (b - a * a),
+                ];
+                (loss, grad)
+            },
+            vec![-1.2, 1.0],
+            &LbfgsConfig {
+                // Armijo-only backtracking (no Wolfe curvature condition)
+                // tracks Rosenbrock's curved valley slowly; it converges
+                // around ~700 iterations.
+                max_iters: 2000,
+                grad_tol: 1e-6,
+                ..Default::default()
+            },
+        );
+        assert!((result.x[0] - 1.0).abs() < 1e-2, "x0 = {}", result.x[0]);
+        assert!((result.x[1] - 1.0).abs() < 1e-2, "x1 = {}", result.x[1]);
+    }
+
+    #[test]
+    fn respects_iteration_cap() {
+        let result = minimize(
+            |x| {
+                let loss = x[0] * x[0];
+                (loss, vec![2.0 * x[0]])
+            },
+            vec![100.0],
+            &LbfgsConfig {
+                max_iters: 2,
+                grad_tol: 0.0,
+                loss_tol: 0.0,
+                ..Default::default()
+            },
+        );
+        assert_eq!(result.iters, 2);
+        assert!(!result.converged);
+    }
+
+    #[test]
+    fn already_optimal_start_converges_immediately() {
+        let result = minimize(
+            |x| (x[0] * x[0], vec![2.0 * x[0]]),
+            vec![0.0],
+            &LbfgsConfig::default(),
+        );
+        assert!(result.converged);
+        assert_eq!(result.iters, 0);
+    }
+
+    #[test]
+    fn loss_never_increases() {
+        let mut losses = Vec::new();
+        minimize(
+            |x| {
+                let loss = (x[0] - 2.0).powi(4) + (x[1] + 1.0).powi(2);
+                losses.push(loss);
+                (
+                    loss,
+                    vec![4.0 * (x[0] - 2.0).powi(3), 2.0 * (x[1] + 1.0)],
+                )
+            },
+            vec![5.0, 5.0],
+            &LbfgsConfig::default(),
+        );
+        // Accepted iterates must be monotone; the oracle also sees rejected
+        // line-search probes, so compare best-so-far instead of adjacent.
+        let mut best = f32::INFINITY;
+        let mut monotone_best = Vec::new();
+        for &l in &losses {
+            best = best.min(l);
+            monotone_best.push(best);
+        }
+        assert!(monotone_best.last().unwrap() < &1e-3);
+    }
+
+    #[test]
+    fn high_dimensional_quadratic() {
+        let n = 200;
+        let result = minimize(
+            |x| {
+                let mut loss = 0.0f32;
+                let mut grad = vec![0.0f32; n];
+                for i in 0..n {
+                    let scale = 1.0 + (i % 10) as f32;
+                    let d = x[i] - i as f32 * 0.01;
+                    loss += 0.5 * scale * d * d;
+                    grad[i] = scale * d;
+                }
+                (loss, grad)
+            },
+            vec![1.0; n],
+            &LbfgsConfig {
+                max_iters: 300,
+                ..Default::default()
+            },
+        );
+        assert!(result.loss < 1e-6, "loss {}", result.loss);
+    }
+}

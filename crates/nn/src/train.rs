@@ -1,0 +1,252 @@
+//! Training utilities: k-fold cross-validation splits and early stopping.
+//!
+//! The paper tunes the labeler with "k-fold cross validation where each
+//! fold has at least 20 examples per class and early stopping in order to
+//! compare the accuracies of candidate models before they overfit"
+//! (Section 6.1). These helpers implement both mechanics; the tuning
+//! policy itself lives in `ig-core`.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// One cross-validation fold as index sets into the caller's dataset.
+#[derive(Debug, Clone)]
+pub struct Fold {
+    /// Training indices.
+    pub train: Vec<usize>,
+    /// Held-out validation indices.
+    pub val: Vec<usize>,
+}
+
+/// Shuffle `n` indices and slice them into `k` contiguous folds. `k` is
+/// clamped to `[2, n]`; callers with fewer than 2 samples get a single
+/// degenerate fold training and validating on everything.
+pub fn kfold(n: usize, k: usize, rng: &mut impl Rng) -> Vec<Fold> {
+    if n < 2 {
+        let all: Vec<usize> = (0..n).collect();
+        return vec![Fold {
+            train: all.clone(),
+            val: all,
+        }];
+    }
+    let k = k.clamp(2, n);
+    let mut indices: Vec<usize> = (0..n).collect();
+    indices.shuffle(rng);
+    let mut folds = Vec::with_capacity(k);
+    let base = n / k;
+    let extra = n % k;
+    let mut start = 0;
+    for i in 0..k {
+        let size = base + usize::from(i < extra);
+        let val: Vec<usize> = indices[start..start + size].to_vec();
+        let train: Vec<usize> = indices[..start]
+            .iter()
+            .chain(&indices[start + size..])
+            .copied()
+            .collect();
+        folds.push(Fold { train, val });
+        start += size;
+    }
+    folds
+}
+
+/// Stratified k-fold: class proportions are preserved in every fold.
+/// `labels[i]` is the class of sample `i`.
+pub fn stratified_kfold(labels: &[usize], k: usize, rng: &mut impl Rng) -> Vec<Fold> {
+    let n = labels.len();
+    if n < 2 {
+        let all: Vec<usize> = (0..n).collect();
+        return vec![Fold {
+            train: all.clone(),
+            val: all,
+        }];
+    }
+    let k = k.clamp(2, n);
+    // Bucket indices per class, shuffle each bucket, deal them round-robin.
+    let num_classes = labels.iter().copied().max().unwrap_or(0) + 1;
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); num_classes];
+    for (i, &c) in labels.iter().enumerate() {
+        buckets[c].push(i);
+    }
+    let mut val_sets: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for bucket in &mut buckets {
+        bucket.shuffle(rng);
+        for (j, &idx) in bucket.iter().enumerate() {
+            val_sets[j % k].push(idx);
+        }
+    }
+    val_sets
+        .into_iter()
+        .map(|val| {
+            let in_val: std::collections::HashSet<usize> = val.iter().copied().collect();
+            let train = (0..n).filter(|i| !in_val.contains(i)).collect();
+            Fold { train, val }
+        })
+        .collect()
+}
+
+/// The paper's fold-count rule: the largest `k ≥ 2` such that each fold
+/// keeps at least `min_per_class` validation examples of the rarest class.
+pub fn paper_fold_count(labels: &[usize], min_per_class: usize) -> usize {
+    let num_classes = labels.iter().copied().max().unwrap_or(0) + 1;
+    let mut counts = vec![0usize; num_classes];
+    for &c in labels {
+        counts[c] += 1;
+    }
+    let rarest = counts.iter().copied().filter(|&c| c > 0).min().unwrap_or(0);
+    (rarest / min_per_class.max(1)).clamp(2, 10)
+}
+
+/// Early stopping on a validation metric that should *decrease* (a loss).
+/// Tracks the best value seen and trips after `patience` non-improving
+/// checks.
+#[derive(Debug, Clone)]
+pub struct EarlyStopping {
+    best: f32,
+    patience: usize,
+    stale: usize,
+    min_delta: f32,
+}
+
+impl EarlyStopping {
+    /// `patience` = number of consecutive non-improving observations
+    /// tolerated; `min_delta` = required improvement to reset the counter.
+    pub fn new(patience: usize, min_delta: f32) -> Self {
+        Self {
+            best: f32::INFINITY,
+            patience,
+            stale: 0,
+            min_delta,
+        }
+    }
+
+    /// Record a validation loss; returns `true` when training should stop.
+    pub fn observe(&mut self, val_loss: f32) -> bool {
+        if val_loss < self.best - self.min_delta {
+            self.best = val_loss;
+            self.stale = 0;
+        } else {
+            self.stale += 1;
+        }
+        self.stale > self.patience
+    }
+
+    /// Best loss observed so far.
+    pub fn best(&self) -> f32 {
+        self.best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kfold_partitions_all_indices() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let folds = kfold(17, 5, &mut rng);
+        assert_eq!(folds.len(), 5);
+        let mut seen = [false; 17];
+        for fold in &folds {
+            for &i in &fold.val {
+                assert!(!seen[i], "index {i} in two validation folds");
+                seen[i] = true;
+            }
+            assert_eq!(fold.train.len() + fold.val.len(), 17);
+            // Train and val are disjoint.
+            for &i in &fold.val {
+                assert!(!fold.train.contains(&i));
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn kfold_handles_tiny_n() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let folds = kfold(1, 5, &mut rng);
+        assert_eq!(folds.len(), 1);
+        assert_eq!(folds[0].val, vec![0]);
+        let folds = kfold(0, 3, &mut rng);
+        assert_eq!(folds.len(), 1);
+        assert!(folds[0].val.is_empty());
+    }
+
+    #[test]
+    fn kfold_clamps_k_to_n() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let folds = kfold(3, 10, &mut rng);
+        assert_eq!(folds.len(), 3);
+        assert!(folds.iter().all(|f| f.val.len() == 1));
+    }
+
+    #[test]
+    fn stratified_kfold_preserves_class_balance() {
+        let mut rng = StdRng::seed_from_u64(3);
+        // 40 of class 0, 10 of class 1.
+        let labels: Vec<usize> = (0..50).map(|i| usize::from(i >= 40)).collect();
+        let folds = stratified_kfold(&labels, 5, &mut rng);
+        for fold in &folds {
+            let pos = fold.val.iter().filter(|&&i| labels[i] == 1).count();
+            assert_eq!(pos, 2, "each fold should hold 2 of the 10 positives");
+            assert_eq!(fold.val.len(), 10);
+        }
+    }
+
+    #[test]
+    fn stratified_kfold_is_a_partition() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let labels: Vec<usize> = (0..23).map(|i| i % 3).collect();
+        let folds = stratified_kfold(&labels, 4, &mut rng);
+        let mut seen = vec![false; labels.len()];
+        for fold in &folds {
+            for &i in &fold.val {
+                assert!(!seen[i]);
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn paper_fold_count_respects_min_per_class() {
+        // 100 positives, 400 negatives, 20 per class → k = 5.
+        let labels: Vec<usize> = (0..500).map(|i| usize::from(i < 100)).collect();
+        assert_eq!(paper_fold_count(&labels, 20), 5);
+        // Very rare class forces the minimum of 2 folds.
+        let labels: Vec<usize> = (0..100).map(|i| usize::from(i < 5)).collect();
+        assert_eq!(paper_fold_count(&labels, 20), 2);
+    }
+
+    #[test]
+    fn early_stopping_trips_after_patience() {
+        let mut es = EarlyStopping::new(2, 0.0);
+        assert!(!es.observe(1.0));
+        assert!(!es.observe(0.9)); // improvement
+        assert!(!es.observe(0.95)); // stale 1
+        assert!(!es.observe(0.95)); // stale 2
+        assert!(es.observe(0.95)); // stale 3 > patience
+        assert_eq!(es.best(), 0.9);
+    }
+
+    #[test]
+    fn early_stopping_resets_on_improvement() {
+        let mut es = EarlyStopping::new(1, 0.0);
+        assert!(!es.observe(1.0));
+        assert!(!es.observe(1.1)); // stale 1
+        assert!(!es.observe(0.5)); // improvement resets
+        assert!(!es.observe(0.6)); // stale 1
+        assert!(es.observe(0.6)); // stale 2 > patience
+    }
+
+    #[test]
+    fn early_stopping_min_delta() {
+        let mut es = EarlyStopping::new(0, 0.1);
+        assert!(!es.observe(1.0));
+        // 0.95 improves by < min_delta → counts as stale and trips
+        // immediately with patience 0.
+        assert!(es.observe(0.95));
+    }
+}

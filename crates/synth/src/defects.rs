@@ -1,0 +1,309 @@
+//! Defect painters. Each draws one defect onto an image and returns its
+//! gold bounding box.
+//!
+//! Contrast is signed: negative paints darker than the surface, positive
+//! brighter. The generators pass a small magnitude for `difficult` defects
+//! — the ones Table 6 calls "difficult to humans".
+
+use ig_imaging::filter::gaussian_blur;
+use ig_imaging::{BBox, GrayImage};
+use rand::Rng;
+
+fn apply_stamp(img: &mut GrayImage, stamp: &GrayImage, x0: isize, y0: isize) {
+    img.blend_add(stamp, x0, y0, 1.0);
+    img.clamp(0.0, 1.0);
+}
+
+/// Bounding box of the non-zero region of a stamp placed at `(x0, y0)`,
+/// clipped to the image.
+fn stamp_bbox(stamp: &GrayImage, x0: isize, y0: isize, img: &GrayImage) -> BBox {
+    let mut min_x = stamp.width();
+    let mut min_y = stamp.height();
+    let mut max_x = 0usize;
+    let mut max_y = 0usize;
+    for y in 0..stamp.height() {
+        for x in 0..stamp.width() {
+            if stamp.get(x, y).abs() > 1e-4 {
+                min_x = min_x.min(x);
+                min_y = min_y.min(y);
+                max_x = max_x.max(x);
+                max_y = max_y.max(y);
+            }
+        }
+    }
+    if min_x > max_x {
+        return BBox::new(0.0, 0.0, 0.0, 0.0);
+    }
+    let raw = BBox::new(
+        (x0 + min_x as isize) as f32,
+        (y0 + min_y as isize) as f32,
+        (max_x - min_x + 1) as f32,
+        (max_y - min_y + 1) as f32,
+    );
+    raw.clip(img.width(), img.height())
+        .unwrap_or_else(|| BBox::new(0.0, 0.0, 0.0, 0.0))
+}
+
+/// KSDD-style crack: a jagged random walk with occasional branches,
+/// blurred slightly so the edges read as material damage. Shape varies
+/// heavily between instances — the property that makes policy-based
+/// augmentation effective on this dataset (Section 6.4).
+pub fn paint_crack(img: &mut GrayImage, rng: &mut impl Rng, contrast: f32) -> BBox {
+    let (w, h) = img.dims();
+    let steps = rng.gen_range(h / 4..h / 2).max(6);
+    let size = (w.min(h)).max(16);
+    let mut stamp = GrayImage::new(size.min(w), steps + 4);
+    let mut x = rng.gen_range(stamp.width() as f32 * 0.2..stamp.width() as f32 * 0.8);
+    let mut y = 1.0f32;
+    let drift = rng.gen_range(-0.5..0.5f32);
+    let thickness = rng.gen_range(1.0..2.0f32);
+    while (y as usize) < stamp.height() - 2 {
+        let nx = (x + drift + rng.gen_range(-1.4..1.4f32))
+            .clamp(1.0, stamp.width() as f32 - 2.0);
+        let ny = y + rng.gen_range(0.6..1.8f32);
+        stamp.draw_line(x, y, nx, ny, thickness, contrast);
+        // Occasional short side branch.
+        if rng.gen_bool(0.08) {
+            let bx = (nx + rng.gen_range(-4.0..4.0f32)).clamp(1.0, stamp.width() as f32 - 2.0);
+            stamp.draw_line(nx, ny, bx, ny + rng.gen_range(1.0..3.0), 1.0, contrast * 0.8);
+        }
+        x = nx;
+        y = ny;
+    }
+    let stamp = gaussian_blur(&stamp, 0.5);
+    let x0 = rng.gen_range(0..w.saturating_sub(stamp.width()).max(1)) as isize;
+    let y0 = rng.gen_range(0..h.saturating_sub(stamp.height()).max(1)) as isize;
+    let bbox = stamp_bbox(&stamp, x0, y0, img);
+    apply_stamp(img, &stamp, x0, y0);
+    bbox
+}
+
+/// Product scratch: a long thin nearly-straight line with a shallow random
+/// angle, anywhere on the strip. Length and direction vary (Section 6.1).
+pub fn paint_scratch(img: &mut GrayImage, rng: &mut impl Rng, contrast: f32) -> BBox {
+    let (w, h) = img.dims();
+    let len = rng.gen_range(w as f32 * 0.15..w as f32 * 0.45);
+    let angle = rng.gen_range(-0.5..0.5f32)
+        + if rng.gen_bool(0.5) {
+            0.0
+        } else {
+            std::f32::consts::PI
+        };
+    let sw = (len * angle.cos().abs() + 6.0).ceil() as usize;
+    let sh = (len * angle.sin().abs() + 6.0).ceil() as usize;
+    let mut stamp = GrayImage::new(sw.clamp(6, w), sh.clamp(6, h));
+    let cx = stamp.width() as f32 * 0.5;
+    let cy = stamp.height() as f32 * 0.5;
+    let dx = angle.cos() * len * 0.5;
+    let dy = angle.sin() * len * 0.5;
+    let thickness = rng.gen_range(1.0..1.8f32);
+    // Slight curvature via a midpoint offset.
+    let mx = cx + rng.gen_range(-2.0..2.0f32);
+    let my = cy + rng.gen_range(-1.5..1.5f32);
+    stamp.draw_line(cx - dx, cy - dy, mx, my, thickness, contrast);
+    stamp.draw_line(mx, my, cx + dx, cy + dy, thickness, contrast);
+    let stamp = gaussian_blur(&stamp, 0.4);
+    let x0 = rng.gen_range(0..w.saturating_sub(stamp.width()).max(1)) as isize;
+    let y0 = rng.gen_range(0..h.saturating_sub(stamp.height()).max(1)) as isize;
+    let bbox = stamp_bbox(&stamp, x0, y0, img);
+    apply_stamp(img, &stamp, x0, y0);
+    bbox
+}
+
+/// Product bubble: a small ring-like blob — "more uniform, but have small
+/// sizes" (Section 6.1) — with mild real-world variation: radius spread,
+/// slight ellipticity and a variable rim/fill balance so that one crowd
+/// pattern does not trivially cover every instance.
+pub fn paint_bubble(img: &mut GrayImage, rng: &mut impl Rng, contrast: f32) -> BBox {
+    let (w, h) = img.dims();
+    let radius = rng.gen_range(1.5..4.5f32);
+    let ecc = rng.gen_range(0.75..1.3f32); // x/y radius ratio
+    let rim_sharp = rng.gen_range(0.4..1.4f32);
+    let fill_level = rng.gen_range(0.15..0.55f32);
+    let size = (radius * 2.0 * ecc.max(1.0) + 4.0).ceil() as usize;
+    let mut stamp = GrayImage::new(size.min(w), size.min(h));
+    let c = (size as f32 - 1.0) * 0.5;
+    for y in 0..stamp.height() {
+        for x in 0..stamp.width() {
+            let dx = (x as f32 - c) / ecc;
+            let dy = y as f32 - c;
+            let d = (dx * dx + dy * dy).sqrt();
+            // Ring profile: strongest response at the rim.
+            let ring = (-(d - radius).powi(2) / rim_sharp).exp();
+            let fill = if d < radius { fill_level } else { 0.0 };
+            stamp.set(x, y, contrast * (ring * 0.8 + fill));
+        }
+    }
+    let x0 = rng.gen_range(0..w.saturating_sub(stamp.width()).max(1)) as isize;
+    let y0 = rng.gen_range(0..h.saturating_sub(stamp.height()).max(1)) as isize;
+    let bbox = stamp_bbox(&stamp, x0, y0, img);
+    apply_stamp(img, &stamp, x0, y0);
+    bbox
+}
+
+/// The fixed horizontal anchor positions (as width fractions) where
+/// stampings may appear — the property that lets position-sensitive CNNs
+/// shine on this dataset (Section 6.2).
+pub const STAMPING_SLOTS: [f32; 4] = [0.15, 0.40, 0.65, 0.90];
+
+/// Product stamping: a small mark at one of [`STAMPING_SLOTS`], vertically
+/// centred with small jitter. Three mark styles (hollow square, cross,
+/// double bar) occur in the wild, with partial fading — a fixed *position*
+/// but variable appearance, which is exactly the regime where
+/// position-sensitive CNNs beat template matching (Section 6.2).
+pub fn paint_stamping(img: &mut GrayImage, rng: &mut impl Rng, contrast: f32) -> BBox {
+    let (w, h) = img.dims();
+    let slot = STAMPING_SLOTS[rng.gen_range(0..STAMPING_SLOTS.len())];
+    let side = rng.gen_range(5..9usize).min(w).min(h);
+    let style = rng.gen_range(0..3usize);
+    let fade = rng.gen_range(0.6..1.0f32);
+    let mut stamp = GrayImage::new(side + 2, side + 2);
+    for y in 1..=side {
+        for x in 1..=side {
+            let cx = (x as f32 - side as f32 / 2.0).abs();
+            let cy = (y as f32 - side as f32 / 2.0).abs();
+            let on = match style {
+                // Hollow square with a centre dot.
+                0 => {
+                    x == 1 || y == 1 || x == side || y == side || (cx < 1.5 && cy < 1.5)
+                }
+                // Cross.
+                1 => cx < 1.2 || cy < 1.2,
+                // Two vertical bars.
+                _ => x == 1 || x == 2 || x == side || x == side - 1,
+            };
+            if on {
+                stamp.set(x, y, contrast * fade);
+            }
+        }
+    }
+    let stamp = gaussian_blur(&stamp, 0.3);
+    let x_center = slot * w as f32;
+    let x0 = (x_center - stamp.width() as f32 / 2.0 + rng.gen_range(-1.5..1.5f32)) as isize;
+    let y0 = ((h as f32 - stamp.height() as f32) / 2.0 + rng.gen_range(-2.0..2.0f32)) as isize;
+    let x0 = x0.clamp(0, (w.saturating_sub(stamp.width())) as isize);
+    let y0 = y0.clamp(0, (h.saturating_sub(stamp.height())) as isize);
+    let bbox = stamp_bbox(&stamp, x0, y0, img);
+    apply_stamp(img, &stamp, x0, y0);
+    bbox
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::surface;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn test_img() -> GrayImage {
+        surface::strip(1, 160, 40)
+    }
+
+    #[test]
+    fn painters_return_nonempty_boxes_inside_image() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..10 {
+            for painter in [
+                paint_crack as fn(&mut GrayImage, &mut StdRng, f32) -> BBox,
+                paint_scratch,
+                paint_bubble,
+                paint_stamping,
+            ] {
+                let mut img = test_img();
+                let bbox = painter(&mut img, &mut rng, -0.35);
+                assert!(bbox.area() > 0.0, "empty defect box");
+                assert!(bbox.x >= 0.0 && bbox.y >= 0.0);
+                assert!(bbox.x1() <= img.width() as f32 + 0.5);
+                assert!(bbox.y1() <= img.height() as f32 + 0.5);
+            }
+        }
+    }
+
+    #[test]
+    fn defect_changes_pixels_inside_box() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let clean = test_img();
+        let mut img = clean.clone();
+        let bbox = paint_scratch(&mut img, &mut rng, -0.4);
+        let region = img.crop_bbox(&bbox).unwrap();
+        let clean_region = clean.crop_bbox(&bbox).unwrap();
+        let diff: f32 = region
+            .pixels()
+            .iter()
+            .zip(clean_region.pixels())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(diff > 0.5, "defect barely changed the image: {diff}");
+    }
+
+    #[test]
+    fn pixels_stay_in_unit_range_after_painting() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut img = test_img();
+        for _ in 0..5 {
+            paint_bubble(&mut img, &mut rng, -0.5);
+            paint_scratch(&mut img, &mut rng, 0.5);
+        }
+        for &p in img.pixels() {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn stampings_land_near_fixed_slots() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..30 {
+            let mut img = test_img();
+            let bbox = paint_stamping(&mut img, &mut rng, -0.4);
+            let (cx, _) = bbox.center();
+            let frac = cx / img.width() as f32;
+            let near_slot = STAMPING_SLOTS
+                .iter()
+                .any(|&s| (frac - s).abs() < 0.05);
+            assert!(near_slot, "stamping at fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn scratches_are_elongated() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut long_count = 0;
+        for _ in 0..20 {
+            let mut img = test_img();
+            let bbox = paint_scratch(&mut img, &mut rng, -0.4);
+            if bbox.w.max(bbox.h) > 3.0 * bbox.w.min(bbox.h) {
+                long_count += 1;
+            }
+        }
+        assert!(long_count >= 12, "only {long_count}/20 scratches elongated");
+    }
+
+    #[test]
+    fn bubbles_are_small() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let mut img = test_img();
+            let bbox = paint_bubble(&mut img, &mut rng, -0.4);
+            assert!(bbox.w <= 14.0 && bbox.h <= 14.0, "bubble too big: {bbox:?}");
+        }
+    }
+
+    #[test]
+    fn low_contrast_changes_less_than_high_contrast() {
+        let faint_delta = scratch_delta(-0.08);
+        let strong_delta = scratch_delta(-0.5);
+        assert!(faint_delta < strong_delta * 0.5);
+    }
+
+    fn scratch_delta(contrast: f32) -> f32 {
+        let mut rng = StdRng::seed_from_u64(6);
+        let clean = test_img();
+        let mut img = clean.clone();
+        paint_scratch(&mut img, &mut rng, contrast);
+        img.pixels()
+            .iter()
+            .zip(clean.pixels())
+            .map(|(a, b)| (a - b).abs())
+            .sum()
+    }
+}

@@ -1,0 +1,115 @@
+//! KSDD simulacrum: electrical-commutator surfaces with crack defects.
+
+use crate::defects::paint_crack;
+use crate::spec::DatasetSpec;
+use crate::surface::{commutator, corrupt_with_noise};
+use crate::{Dataset, LabeledImage, TaskType};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Generate the KSDD stand-in (Table 1 row 1): one defect type — cracks —
+/// whose shape "varies significantly".
+pub fn generate(spec: &DatasetSpec) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut images = Vec::with_capacity(spec.n);
+    for i in 0..spec.n {
+        let defective = i < spec.n_defective;
+        let surface_seed = spec.seed.wrapping_mul(31).wrapping_add(i as u64);
+        let mut image = commutator(surface_seed, spec.width, spec.height);
+        let difficult = defective && rng.gen_bool(spec.difficult_fraction);
+        let mut defect_boxes = Vec::new();
+        if defective {
+            let magnitude = if difficult {
+                rng.gen_range(0.06..0.10)
+            } else {
+                rng.gen_range(0.25..0.45)
+            };
+            let count = if rng.gen_bool(0.2) { 2 } else { 1 };
+            for _ in 0..count {
+                defect_boxes.push(paint_crack(&mut image, &mut rng, -magnitude));
+            }
+        }
+        let noisy = rng.gen_bool(spec.noisy_fraction);
+        if noisy {
+            image = corrupt_with_noise(&image, surface_seed.wrapping_add(99), &mut rng);
+        }
+        images.push(LabeledImage {
+            image,
+            label: usize::from(defective),
+            defect_boxes,
+            noisy,
+            difficult,
+        });
+    }
+    images.shuffle(&mut rng);
+    Dataset {
+        name: "KSDD".to_string(),
+        task: TaskType::Binary,
+        images,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DatasetKind;
+
+    #[test]
+    fn counts_match_spec() {
+        let spec = DatasetSpec::quick(DatasetKind::Ksdd, 5);
+        let d = generate(&spec);
+        assert_eq!(d.len(), spec.n);
+        assert_eq!(d.num_defective(), spec.n_defective);
+    }
+
+    #[test]
+    fn defective_images_have_boxes_ok_images_do_not() {
+        let spec = DatasetSpec::quick(DatasetKind::Ksdd, 6);
+        let d = generate(&spec);
+        for img in &d.images {
+            if img.label == 1 {
+                assert!(!img.defect_boxes.is_empty());
+            } else {
+                assert!(img.defect_boxes.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = DatasetSpec::quick(DatasetKind::Ksdd, 7);
+        let a = generate(&spec);
+        let b = generate(&spec);
+        assert_eq!(a.labels(), b.labels());
+        assert_eq!(a.images[0].image, b.images[0].image);
+    }
+
+    #[test]
+    fn different_seeds_shuffle_differently() {
+        let a = generate(&DatasetSpec::quick(DatasetKind::Ksdd, 1));
+        let b = generate(&DatasetSpec::quick(DatasetKind::Ksdd, 2));
+        assert!(a.labels() != b.labels() || a.images[0].image != b.images[0].image);
+    }
+
+    #[test]
+    fn cracks_vary_in_shape() {
+        // Aspect ratios of the gold boxes should spread out — that shape
+        // variance is why policy augmentation helps on KSDD.
+        let spec = DatasetSpec {
+            n: 30,
+            n_defective: 30,
+            ..DatasetSpec::quick(DatasetKind::Ksdd, 8)
+        };
+        let d = generate(&spec);
+        let mut ratios: Vec<f32> = d
+            .images
+            .iter()
+            .flat_map(|i| i.defect_boxes.iter())
+            .map(|b| b.w / b.h.max(1.0))
+            .collect();
+        ratios.sort_by(f32::total_cmp);
+        let spread = ratios.last().unwrap() / ratios.first().unwrap().max(0.01);
+        assert!(spread > 1.5, "crack shapes too uniform: spread {spread}");
+    }
+}

@@ -1,0 +1,152 @@
+//! Product simulacra: strip-shaped images with scratch / bubble / stamping
+//! defects. The paper splits its proprietary Product dataset into three
+//! per-defect datasets (Section 6.1); we mirror that split.
+
+use crate::defects::{paint_bubble, paint_scratch, paint_stamping};
+use crate::spec::DatasetSpec;
+use crate::surface::{corrupt_with_noise, strip_styled, StripStyle};
+use crate::{Dataset, DefectKind, LabeledImage, TaskType};
+use ig_imaging::{BBox, GrayImage};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Generate one of the three Product datasets.
+pub fn generate(spec: &DatasetSpec, kind: DefectKind) -> Dataset {
+    let painter: fn(&mut GrayImage, &mut StdRng, f32) -> BBox = match kind {
+        DefectKind::Scratch => paint_scratch,
+        DefectKind::Bubble => paint_bubble,
+        DefectKind::Stamping => paint_stamping,
+        other => panic!("{other:?} is not a Product defect"),
+    };
+    // Bubbles are small: a defective image usually carries several.
+    let (min_defects, max_defects) = match kind {
+        DefectKind::Bubble => (1, 4),
+        DefectKind::Scratch => (1, 3),
+        _ => (1, 2),
+    };
+    let name = match kind {
+        DefectKind::Scratch => "Product (scratch)",
+        DefectKind::Bubble => "Product (bubble)",
+        DefectKind::Stamping => "Product (stamping)",
+        _ => unreachable!(),
+    };
+    let style = match kind {
+        DefectKind::Scratch => StripStyle::Matte,
+        DefectKind::Bubble => StripStyle::Glossy,
+        _ => StripStyle::Brushed,
+    };
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut images = Vec::with_capacity(spec.n);
+    for i in 0..spec.n {
+        let defective = i < spec.n_defective;
+        let surface_seed = spec.seed.wrapping_mul(37).wrapping_add(i as u64);
+        let mut image = strip_styled(surface_seed, spec.width, spec.height, style);
+        let difficult = defective && rng.gen_bool(spec.difficult_fraction);
+        let mut defect_boxes = Vec::new();
+        if defective {
+            let magnitude = if difficult {
+                rng.gen_range(0.05..0.09)
+            } else {
+                rng.gen_range(0.25..0.45)
+            };
+            let count = rng.gen_range(min_defects..=max_defects);
+            for _ in 0..count {
+                defect_boxes.push(painter(&mut image, &mut rng, -magnitude));
+            }
+        }
+        let noisy = rng.gen_bool(spec.noisy_fraction);
+        if noisy {
+            image = corrupt_with_noise(&image, surface_seed.wrapping_add(7), &mut rng);
+        }
+        images.push(LabeledImage {
+            image,
+            label: usize::from(defective),
+            defect_boxes,
+            noisy,
+            difficult,
+        });
+    }
+    images.shuffle(&mut rng);
+    Dataset {
+        name: name.to_string(),
+        task: TaskType::Binary,
+        images,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DatasetKind;
+
+    #[test]
+    fn all_three_kinds_generate() {
+        for (dk, sk) in [
+            (DefectKind::Scratch, DatasetKind::ProductScratch),
+            (DefectKind::Bubble, DatasetKind::ProductBubble),
+            (DefectKind::Stamping, DatasetKind::ProductStamping),
+        ] {
+            let spec = DatasetSpec::quick(sk, 3);
+            let d = generate(&spec, dk);
+            assert_eq!(d.len(), spec.n);
+            assert_eq!(d.num_defective(), spec.n_defective);
+            assert_eq!(d.task, TaskType::Binary);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a Product defect")]
+    fn crack_is_not_a_product_defect() {
+        let spec = DatasetSpec::quick(DatasetKind::ProductScratch, 0);
+        let _ = generate(&spec, DefectKind::Crack);
+    }
+
+    #[test]
+    fn bubble_images_can_carry_multiple_defects() {
+        let spec = DatasetSpec {
+            n: 30,
+            n_defective: 30,
+            ..DatasetSpec::quick(DatasetKind::ProductBubble, 4)
+        };
+        let d = generate(&spec, DefectKind::Bubble);
+        let max_count = d
+            .images
+            .iter()
+            .map(|i| i.defect_boxes.len())
+            .max()
+            .unwrap();
+        assert!(max_count >= 2, "no multi-bubble image in 30 draws");
+    }
+
+    #[test]
+    fn noisy_flag_matches_spec_rate_roughly() {
+        let spec = DatasetSpec {
+            n: 200,
+            n_defective: 50,
+            noisy_fraction: 0.2,
+            ..DatasetSpec::quick(DatasetKind::ProductScratch, 5)
+        };
+        let d = generate(&spec, DefectKind::Scratch);
+        let noisy = d.images.iter().filter(|i| i.noisy).count();
+        assert!(
+            (20..=65).contains(&noisy),
+            "expected ~40 noisy images, got {noisy}"
+        );
+    }
+
+    #[test]
+    fn difficult_defects_exist_only_on_defective_images() {
+        let spec = DatasetSpec {
+            difficult_fraction: 0.5,
+            ..DatasetSpec::quick(DatasetKind::ProductStamping, 6)
+        };
+        let d = generate(&spec, DefectKind::Stamping);
+        for img in &d.images {
+            if img.difficult {
+                assert_eq!(img.label, 1);
+            }
+        }
+        assert!(d.images.iter().any(|i| i.difficult));
+    }
+}

@@ -1,0 +1,187 @@
+//! Dataset generation parameters with paper-scale and test-scale presets.
+
+use serde::{Deserialize, Serialize};
+
+/// Which simulacrum to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DatasetKind {
+    /// Kolektor surface-defect stand-in (cracks).
+    Ksdd,
+    /// Product strip with scratches.
+    ProductScratch,
+    /// Product strip with bubbles.
+    ProductBubble,
+    /// Product strip with stampings.
+    ProductStamping,
+    /// NEU six-class steel-surface textures.
+    Neu,
+}
+
+impl DatasetKind {
+    /// All five dataset kinds in Table 1 order.
+    pub fn all() -> [DatasetKind; 5] {
+        [
+            DatasetKind::Ksdd,
+            DatasetKind::ProductScratch,
+            DatasetKind::ProductBubble,
+            DatasetKind::ProductStamping,
+            DatasetKind::Neu,
+        ]
+    }
+
+    /// The paper's Table 1 display name.
+    pub fn display_name(&self) -> &'static str {
+        match self {
+            DatasetKind::Ksdd => "KSDD",
+            DatasetKind::ProductScratch => "Product (scratch)",
+            DatasetKind::ProductBubble => "Product (bubble)",
+            DatasetKind::ProductStamping => "Product (stamping)",
+            DatasetKind::Neu => "NEU",
+        }
+    }
+}
+
+/// Generation parameters.
+///
+/// The paper's images are large (e.g. Product stamping is 161 x 5278); the
+/// presets here shrink resolution while keeping the aspect flavour,
+/// defect-to-image size ratio and class imbalance, which are what the
+/// pipeline's behaviour depends on.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Which dataset to generate.
+    pub kind: DatasetKind,
+    /// Total images (`N` in Table 1). For NEU this is the grand total over
+    /// all six classes.
+    pub n: usize,
+    /// Number of defective images (`N_D`). Ignored for NEU (all images are
+    /// defective).
+    pub n_defective: usize,
+    /// Image width.
+    pub width: usize,
+    /// Image height.
+    pub height: usize,
+    /// RNG seed; the same spec always generates the same dataset.
+    pub seed: u64,
+    /// Fraction of images corrupted with acquisition noise.
+    pub noisy_fraction: f64,
+    /// Fraction of defects drawn at near-invisible contrast.
+    pub difficult_fraction: f64,
+}
+
+impl DatasetSpec {
+    /// Paper-shaped preset: Table 1's `N`/`N_D` with reduced resolution.
+    pub fn paper(kind: DatasetKind, seed: u64) -> Self {
+        let (n, n_defective, width, height) = match kind {
+            // KSDD: 500 x 1257, N=399 (52). Scaled ~1/4.
+            DatasetKind::Ksdd => (399, 52, 125, 314),
+            // Product scratch: 162 x 2702, N=1673 (727). Scaled, rotated to
+            // landscape strips.
+            DatasetKind::ProductScratch => (1673, 727, 338, 40),
+            // Product bubble: 77 x 1389, N=1048 (102).
+            DatasetKind::ProductBubble => (1048, 102, 347, 38),
+            // Product stamping: 161 x 5278, N=1094 (148).
+            DatasetKind::ProductStamping => (1094, 148, 330, 40),
+            // NEU: 200 x 200, 300 per defect x 6.
+            DatasetKind::Neu => (1800, 1800, 64, 64),
+        };
+        Self {
+            kind,
+            n,
+            n_defective,
+            width,
+            height,
+            seed,
+            noisy_fraction: 0.08,
+            difficult_fraction: 0.06,
+        }
+    }
+
+    /// Small preset for unit tests and examples.
+    pub fn quick(kind: DatasetKind, seed: u64) -> Self {
+        let (n, n_defective, width, height) = match kind {
+            DatasetKind::Ksdd => (40, 10, 64, 120),
+            DatasetKind::ProductScratch => (40, 16, 160, 32),
+            DatasetKind::ProductBubble => (40, 8, 160, 32),
+            DatasetKind::ProductStamping => (40, 10, 160, 32),
+            DatasetKind::Neu => (48, 48, 48, 48),
+        };
+        Self {
+            kind,
+            n,
+            n_defective,
+            width,
+            height,
+            seed,
+            noisy_fraction: 0.1,
+            difficult_fraction: 0.1,
+        }
+    }
+
+    /// Medium preset used by the experiment harness: paper class ratios at
+    /// reduced `N` so a full Figure 9 sweep runs in CPU-minutes.
+    pub fn medium(kind: DatasetKind, seed: u64) -> Self {
+        let paper = Self::paper(kind, seed);
+        let shrink = |v: usize, num: usize, den: usize| (v * num).div_ceil(den).max(4);
+        let (n, n_defective) = match kind {
+            // Keep each dataset's defect ratio; cap N for runtime.
+            DatasetKind::Ksdd => (200, 26),
+            DatasetKind::ProductScratch => (shrink(1673, 1, 6), shrink(727, 1, 6)),
+            DatasetKind::ProductBubble => (shrink(1048, 1, 4), shrink(102, 1, 4)),
+            DatasetKind::ProductStamping => (shrink(1094, 1, 4), shrink(148, 1, 4)),
+            DatasetKind::Neu => (600, 600),
+        };
+        Self {
+            n,
+            n_defective,
+            ..paper
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_preset_matches_table1_counts() {
+        let s = DatasetSpec::paper(DatasetKind::Ksdd, 0);
+        assert_eq!((s.n, s.n_defective), (399, 52));
+        let s = DatasetSpec::paper(DatasetKind::ProductScratch, 0);
+        assert_eq!((s.n, s.n_defective), (1673, 727));
+        let s = DatasetSpec::paper(DatasetKind::ProductBubble, 0);
+        assert_eq!((s.n, s.n_defective), (1048, 102));
+        let s = DatasetSpec::paper(DatasetKind::ProductStamping, 0);
+        assert_eq!((s.n, s.n_defective), (1094, 148));
+        let s = DatasetSpec::paper(DatasetKind::Neu, 0);
+        assert_eq!(s.n, 1800);
+    }
+
+    #[test]
+    fn quick_preset_is_small() {
+        for kind in DatasetKind::all() {
+            let s = DatasetSpec::quick(kind, 0);
+            assert!(s.n <= 64);
+            assert!(s.width * s.height <= 64 * 160);
+        }
+    }
+
+    #[test]
+    fn medium_preserves_imbalance_direction() {
+        let bubble = DatasetSpec::medium(DatasetKind::ProductBubble, 0);
+        let scratch = DatasetSpec::medium(DatasetKind::ProductScratch, 0);
+        let bubble_ratio = bubble.n_defective as f64 / bubble.n as f64;
+        let scratch_ratio = scratch.n_defective as f64 / scratch.n as f64;
+        assert!(bubble_ratio < 0.15, "bubble stays imbalanced");
+        assert!(scratch_ratio > 0.35, "scratch stays balanced-ish");
+    }
+
+    #[test]
+    fn display_names_match_paper() {
+        assert_eq!(DatasetKind::Ksdd.display_name(), "KSDD");
+        assert_eq!(
+            DatasetKind::ProductBubble.display_name(),
+            "Product (bubble)"
+        );
+    }
+}

@@ -1,0 +1,152 @@
+//! Background surface textures for the dataset simulacra.
+
+use ig_imaging::filter::gaussian_blur;
+use ig_imaging::noise::{band_image, fbm_image, white_noise_image};
+use ig_imaging::GrayImage;
+use rand::Rng;
+
+/// Electrical-commutator surface for KSDD: mid-grey metal with vertical
+/// machining striations and gentle large-scale shading.
+pub fn commutator(seed: u64, width: usize, height: usize) -> GrayImage {
+    let shading = fbm_image(seed, width, height, 0.01, 2, 0.35, 0.55);
+    let mut out = shading;
+    // Vertical machining lines: per-column brightness jitter.
+    let stripes = band_image(seed.wrapping_add(7), width, 1, 0.8, -0.04, 0.04);
+    for y in 0..height {
+        for x in 0..width {
+            let v = out.get(x, y) + stripes.get(x, 0);
+            out.set(x, y, v);
+        }
+    }
+    let grain = white_noise_image(seed.wrapping_add(13), width, height, -0.03, 0.03);
+    for (o, g) in out.pixels_mut().iter_mut().zip(grain.pixels()) {
+        *o += g;
+    }
+    out.clamp(0.0, 1.0);
+    out
+}
+
+/// Product strip surface: bright, fairly uniform plastic/metal strip with
+/// horizontal banding from line-scan lighting. Defaults to the "scratch"
+/// strip style; see [`strip_styled`] for the per-product variants.
+pub fn strip(seed: u64, width: usize, height: usize) -> GrayImage {
+    strip_styled(seed, width, height, StripStyle::Matte)
+}
+
+/// The paper's Product images come from *different strips* of the same
+/// product with distinct finishes ("different strips are spread into
+/// rectangular shapes"; scratches, bubbles and stampings "occur in
+/// different strips"). Each per-defect dataset therefore gets its own
+/// surface style — this is what keeps cross-defect-dataset transfer
+/// (Table 2) from being trivially easy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StripStyle {
+    /// Matte mid-bright finish (scratch strip).
+    Matte,
+    /// Glossy brighter finish with finer banding (bubble strip).
+    Glossy,
+    /// Brushed darker finish with coarse vertical texture (stamping strip).
+    Brushed,
+}
+
+/// Styled strip surface.
+pub fn strip_styled(seed: u64, width: usize, height: usize, style: StripStyle) -> GrayImage {
+    let (lo, hi, band_freq, band_amp) = match style {
+        StripStyle::Matte => (0.55, 0.7, 0.05f32, 0.05f32),
+        StripStyle::Glossy => (0.65, 0.8, 0.12, 0.03),
+        StripStyle::Brushed => (0.45, 0.6, 0.35, 0.06),
+    };
+    let mut out = fbm_image(seed, width, height, 0.015, 2, lo, hi);
+    let bands = band_image(seed.wrapping_add(3), width, 1, band_freq, -band_amp, band_amp);
+    for y in 0..height {
+        for x in 0..width {
+            let v = out.get(x, y) + bands.get(x, 0);
+            out.set(x, y, v);
+        }
+    }
+    let grain = white_noise_image(seed.wrapping_add(5), width, height, -0.035, 0.035);
+    for (o, g) in out.pixels_mut().iter_mut().zip(grain.pixels()) {
+        *o += g;
+    }
+    out.clamp(0.0, 1.0);
+    out
+}
+
+/// Hot-rolled steel base for NEU: darker, rougher fBm texture.
+pub fn rolled_steel(seed: u64, width: usize, height: usize) -> GrayImage {
+    let mut out = fbm_image(seed, width, height, 0.06, 4, 0.3, 0.55);
+    let grain = white_noise_image(seed.wrapping_add(11), width, height, -0.03, 0.03);
+    for (o, g) in out.pixels_mut().iter_mut().zip(grain.pixels()) {
+        *o += g;
+    }
+    out.clamp(0.0, 1.0);
+    out
+}
+
+/// Heavy acquisition-noise corruption: strong white noise plus a blur,
+/// applied to images flagged `noisy` (the Table 6 "noisy data" cause).
+pub fn corrupt_with_noise(img: &GrayImage, seed: u64, rng: &mut impl Rng) -> GrayImage {
+    let strength = rng.gen_range(0.08..0.18);
+    let noise = white_noise_image(seed, img.width(), img.height(), -strength, strength);
+    let mut out = img.clone();
+    for (o, n) in out.pixels_mut().iter_mut().zip(noise.pixels()) {
+        *o += n;
+    }
+    let blurred = gaussian_blur(&out, 0.6);
+    let mut final_img = blurred;
+    final_img.clamp(0.0, 1.0);
+    final_img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ig_imaging::stats::stats;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn surfaces_are_deterministic() {
+        assert_eq!(commutator(1, 32, 32), commutator(1, 32, 32));
+        assert_eq!(strip(2, 32, 16), strip(2, 32, 16));
+        assert_eq!(rolled_steel(3, 24, 24), rolled_steel(3, 24, 24));
+    }
+
+    #[test]
+    fn surfaces_stay_in_unit_range() {
+        for img in [
+            commutator(4, 40, 40),
+            strip(5, 60, 20),
+            rolled_steel(6, 32, 32),
+        ] {
+            let s = stats(&img);
+            assert!(s.min >= 0.0 && s.max <= 1.0);
+        }
+    }
+
+    #[test]
+    fn strip_styles_are_visually_distinct() {
+        use super::StripStyle;
+        let matte = stats(&strip_styled(3, 64, 32, StripStyle::Matte)).mean;
+        let glossy = stats(&strip_styled(3, 64, 32, StripStyle::Glossy)).mean;
+        let brushed = stats(&strip_styled(3, 64, 32, StripStyle::Brushed)).mean;
+        assert!(glossy > matte, "glossy {glossy} vs matte {matte}");
+        assert!(matte > brushed, "matte {matte} vs brushed {brushed}");
+    }
+
+    #[test]
+    fn strip_is_brighter_than_steel() {
+        let a = stats(&strip(7, 64, 32)).mean;
+        let b = stats(&rolled_steel(7, 64, 32)).mean;
+        assert!(a > b, "strip {a} vs steel {b}");
+    }
+
+    #[test]
+    fn corruption_raises_variance_of_flat_image() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let img = GrayImage::filled(32, 32, 0.5);
+        let noisy = corrupt_with_noise(&img, 9, &mut rng);
+        assert!(stats(&noisy).variance > stats(&img).variance);
+        assert!(stats(&noisy).min >= 0.0 && stats(&noisy).max <= 1.0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Quickstart: weak-label a synthetic smart-factory dataset in ~30 lines.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use inspector_gadget::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(11);
+
+    // 1. An industrial dataset: strip images with scratch defects.
+    //    (Synthetic stand-in for the paper's proprietary Product data.)
+    let dataset =
+        inspector_gadget::synth::generate(&DatasetSpec {
+            n: 80,
+            n_defective: 30,
+            ..DatasetSpec::quick(DatasetKind::ProductScratch, 11)
+        });
+    println!(
+        "dataset: {} images ({} defective), {}x{} px",
+        dataset.len(),
+        dataset.num_defective(),
+        dataset.image_dims().0,
+        dataset.image_dims().1
+    );
+
+    // 2. Crowd workers annotate a small development set: sample images
+    //    until enough defects have been seen, then draw bounding boxes.
+    let dev_indices = sample_dev_set(&dataset, 12, &mut rng);
+    let dev: Vec<&LabeledImage> = dev_indices.iter().map(|&i| &dataset.images[i]).collect();
+    let crowd_out = CrowdWorkflow::full().run(&dev, &mut rng);
+    println!(
+        "crowd workflow: {} raw boxes -> {} patterns",
+        crowd_out.raw_box_count,
+        crowd_out.patterns.len()
+    );
+
+    // 3. Patterns become feature generation functions; a small MLP labeler
+    //    trains on the dev set's similarity vectors.
+    let patterns = Pattern::wrap_all(crowd_out.patterns, PatternSource::Crowd);
+    let dev_images: Vec<&GrayImage> = dev.iter().map(|l| &l.image).collect();
+    let dev_labels: Vec<usize> = dev.iter().map(|l| l.label).collect();
+    let config = PipelineConfig {
+        tune: false,
+        ..Default::default()
+    };
+    let ig = InspectorGadget::train(patterns, &dev_images, &dev_labels, 2, &config, &mut rng)
+        .expect("training succeeds");
+
+    // 4. Weak-label everything else and score against the gold labels.
+    let rest: Vec<&LabeledImage> = dataset
+        .images
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !dev_indices.contains(i))
+        .map(|(_, img)| img)
+        .collect();
+    let rest_images: Vec<&GrayImage> = rest.iter().map(|l| &l.image).collect();
+    let weak = ig.label(&rest_images);
+    let gold: Vec<bool> = rest.iter().map(|l| l.label == 1).collect();
+    let pred: Vec<bool> = weak.labels.iter().map(|&l| l == 1).collect();
+    let scores = binary_f1(&gold, &pred);
+    println!(
+        "weak labels on {} unlabeled images: precision {:.3}, recall {:.3}, F1 {:.3}",
+        rest.len(),
+        scores.precision,
+        scores.recall,
+        scores.f1
+    );
+}

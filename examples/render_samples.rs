@@ -1,0 +1,60 @@
+//! Render sample images from every dataset simulacrum (plus a few crowd
+//! patterns and RGAN fakes) as PGM files under `samples/`, for eyeball
+//! inspection of what the generators and the augmenter actually produce.
+//!
+//! ```text
+//! cargo run --release --example render_samples
+//! # view with any image viewer, e.g.: feh samples/*.pgm
+//! ```
+
+use inspector_gadget::augment::gan::{Rgan, RganConfig};
+use inspector_gadget::imaging::io::write_pgm;
+use inspector_gadget::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> std::io::Result<()> {
+    let out = std::path::Path::new("samples");
+    std::fs::create_dir_all(out)?;
+    let mut rng = StdRng::seed_from_u64(1);
+
+    for kind in [
+        DatasetKind::Ksdd,
+        DatasetKind::ProductScratch,
+        DatasetKind::ProductBubble,
+        DatasetKind::ProductStamping,
+        DatasetKind::Neu,
+    ] {
+        let dataset = inspector_gadget::synth::generate(&DatasetSpec::quick(kind, 1));
+        let slug = dataset.name.to_lowercase().replace([' ', '(', ')'], "");
+        // One defective and (when available) one OK sample.
+        if let Some(defective) = dataset.images.iter().find(|l| l.is_defective()) {
+            write_pgm(&defective.image, out.join(format!("{slug}_defective.pgm")))?;
+        }
+        if let Some(ok) = dataset.images.iter().find(|l| l.label == 0) {
+            write_pgm(&ok.image, out.join(format!("{slug}_ok.pgm")))?;
+        }
+        println!("rendered {slug} samples");
+    }
+
+    // Crowd patterns and GAN fakes from the scratch dataset.
+    let dataset =
+        inspector_gadget::synth::generate(&DatasetSpec::quick(DatasetKind::ProductScratch, 2));
+    let dev: Vec<&LabeledImage> = dataset.images.iter().take(20).collect();
+    let crowd = CrowdWorkflow::full().run(&dev, &mut rng);
+    for (i, pattern) in crowd.patterns.iter().take(4).enumerate() {
+        write_pgm(pattern, out.join(format!("pattern_{i}.pgm")))?;
+    }
+    if !crowd.patterns.is_empty() {
+        let gan = Rgan::train(&crowd.patterns, &RganConfig::quick(), &mut rng);
+        for (i, fake) in gan.generate(4, &mut rng).iter().enumerate() {
+            write_pgm(fake, out.join(format!("gan_fake_{i}.pgm")))?;
+        }
+    }
+    println!(
+        "rendered {} crowd patterns and 4 GAN fakes into {}/",
+        crowd.patterns.len().min(4),
+        out.display()
+    );
+    Ok(())
+}

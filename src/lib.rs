@@ -1,0 +1,75 @@
+//! # inspector-gadget
+//!
+//! A pure-Rust reproduction of **"Inspector Gadget: A Data
+//! Programming-based Labeling System for Industrial Images"** (Heo, Roh,
+//! Hwang, Lee & Whang, VLDB 2020), including every substrate the paper
+//! depends on: an imaging stack with pyramid NCC template matching, a
+//! from-scratch neural network library (MLPs with L-BFGS, CNNs,
+//! Relativistic GAN with spectral normalization), synthetic industrial
+//! dataset simulacra, a crowdsourcing simulation, and the baselines the
+//! paper compares against (Snuba, GOGGLES, self-learning and transfer-
+//! learning CNNs).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use inspector_gadget::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//!
+//! // 1. A (synthetic) industrial dataset: strip images, scratch defects.
+//! let dataset = inspector_gadget::synth::generate(
+//!     &DatasetSpec::quick(DatasetKind::ProductScratch, 7),
+//! );
+//!
+//! // 2. Crowd workers annotate a small development set.
+//! let dev_indices = sample_dev_set(&dataset, 8, &mut rng);
+//! let dev: Vec<&LabeledImage> = dev_indices.iter().map(|&i| &dataset.images[i]).collect();
+//! let crowd_out = CrowdWorkflow::full().run(&dev, &mut rng);
+//!
+//! // 3. Patterns + dev labels train the pipeline; it weak-labels the rest.
+//! let patterns = Pattern::wrap_all(crowd_out.patterns, PatternSource::Crowd);
+//! let dev_images: Vec<&GrayImage> = dev.iter().map(|l| &l.image).collect();
+//! let dev_labels: Vec<usize> = dev.iter().map(|l| l.label).collect();
+//! let config = PipelineConfig { tune: false, ..Default::default() };
+//! let ig = InspectorGadget::train(patterns, &dev_images, &dev_labels, 2, &config, &mut rng)
+//!     .expect("training succeeds");
+//! let unlabeled: Vec<&GrayImage> = dataset.images.iter().map(|l| &l.image).collect();
+//! let weak = ig.label(&unlabeled);
+//! assert_eq!(weak.labels.len(), dataset.len());
+//! ```
+
+pub use ig_augment as augment;
+pub use ig_baselines as baselines;
+pub use ig_core as core;
+pub use ig_crowd as crowd;
+pub use ig_eval as eval;
+pub use ig_imaging as imaging;
+pub use ig_nn as nn;
+pub use ig_synth as synth;
+
+/// One-stop imports for the common workflow.
+pub mod prelude {
+    pub use ig_augment::{augment, AugmentMethod, Policy, PolicyOp, Rgan, RganConfig};
+    pub use ig_core::{
+        FeatureGenerator, InspectorGadget, Labeler, MatchBackend, Pattern, PatternSource,
+        PipelineConfig, WeakLabelOutput,
+    };
+    pub use ig_crowd::{sample_dev_set, CombineStrategy, CrowdWorkflow, WorkerModel};
+    pub use ig_eval::{binary_f1, macro_f1, ConfusionMatrix};
+    pub use ig_imaging::{BBox, GrayImage};
+    pub use ig_synth::spec::{DatasetKind, DatasetSpec};
+    pub use ig_synth::{Dataset, LabeledImage, TaskType};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_compile() {
+        use crate::prelude::*;
+        let img = GrayImage::filled(4, 4, 0.5);
+        assert_eq!(img.dims(), (4, 4));
+        let _ = DatasetSpec::quick(DatasetKind::Ksdd, 0);
+    }
+}

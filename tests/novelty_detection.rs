@@ -1,0 +1,78 @@
+//! Integration test for the novel-defect extension (paper Section 7:
+//! Inspector Gadget "can be extended with [novel class detection]
+//! techniques").
+//!
+//! [`NoveltyDetector`] is feature-agnostic. Two feature choices cover the
+//! two practical questions:
+//!
+//! * **out-of-domain inputs** — images from a strip/defect family the
+//!   system was never configured for. GOGGLES-style prototype features
+//!   capture global appearance, so a detector fit on them flags foreign
+//!   images reliably (tested here);
+//! * **in-domain outliers** — the same machinery applied to FGF
+//!   similarity vectors flags images whose defects match no pattern
+//!   (unit-tested in `ig-core::novelty`).
+
+use inspector_gadget::baselines::goggles::{Goggles, GogglesConfig};
+use inspector_gadget::core::NoveltyDetector;
+use inspector_gadget::nn::Matrix;
+use inspector_gadget::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn prototype_features(images: &[&GrayImage], config: &GogglesConfig) -> Matrix {
+    let rows: Vec<Vec<f32>> = images
+        .iter()
+        .map(|img| Goggles::extract_features(img, config))
+        .collect();
+    Matrix::from_rows(&rows)
+}
+
+#[test]
+fn out_of_domain_defect_family_is_flagged_more_often() {
+    let mut _rng = StdRng::seed_from_u64(7);
+    let scratch = inspector_gadget::synth::generate(&DatasetSpec {
+        n: 50,
+        n_defective: 25,
+        noisy_fraction: 0.0,
+        difficult_fraction: 0.0,
+        ..DatasetSpec::quick(DatasetKind::ProductScratch, 70)
+    });
+    // A different product strip with a defect family the system has never
+    // been configured for.
+    let bubble = inspector_gadget::synth::generate(&DatasetSpec {
+        n: 30,
+        n_defective: 30,
+        noisy_fraction: 0.0,
+        difficult_fraction: 0.0,
+        ..DatasetSpec::quick(DatasetKind::ProductBubble, 71)
+    });
+
+    let goggles_config = GogglesConfig::default();
+    let dev: Vec<&GrayImage> = scratch.images[..25].iter().map(|l| &l.image).collect();
+    let dev_features = prototype_features(&dev, &goggles_config);
+    let detector = NoveltyDetector::fit(&dev_features, 0.9);
+
+    // In-distribution probe: the remaining scratch images.
+    let scratch_rest: Vec<&GrayImage> =
+        scratch.images[25..].iter().map(|l| &l.image).collect();
+    let scratch_flags = detector.flag(&prototype_features(&scratch_rest, &goggles_config));
+    let scratch_rate =
+        scratch_flags.iter().filter(|&&f| f).count() as f64 / scratch_flags.len() as f64;
+
+    // Out-of-domain probe.
+    let bubble_imgs: Vec<&GrayImage> = bubble.images.iter().map(|l| &l.image).collect();
+    let bubble_flags = detector.flag(&prototype_features(&bubble_imgs, &goggles_config));
+    let bubble_rate =
+        bubble_flags.iter().filter(|&&f| f).count() as f64 / bubble_flags.len() as f64;
+
+    assert!(
+        bubble_rate > scratch_rate + 0.2,
+        "out-of-domain flag rate {bubble_rate:.2} should clearly exceed \
+         in-distribution rate {scratch_rate:.2}"
+    );
+    assert!(
+        scratch_rate < 0.5,
+        "in-distribution flag rate too high: {scratch_rate:.2}"
+    );
+}

@@ -1,0 +1,177 @@
+//! End-to-end integration: synthetic dataset → crowd workflow → (optional
+//! augmentation) → Inspector Gadget → weak labels, scored against gold.
+
+use inspector_gadget::augment::gan::RganConfig;
+use inspector_gadget::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn split(dataset: &Dataset, dev_target: usize, rng: &mut StdRng) -> (Vec<usize>, Vec<usize>) {
+    let dev = sample_dev_set(dataset, dev_target, rng);
+    let in_dev: std::collections::HashSet<usize> = dev.iter().copied().collect();
+    let rest = (0..dataset.len()).filter(|i| !in_dev.contains(i)).collect();
+    (dev, rest)
+}
+
+fn run_pipeline(kind: DatasetKind, seed: u64, augmented: bool) -> Option<(f64, usize)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dataset = inspector_gadget::synth::generate(&DatasetSpec {
+        n: 60,
+        n_defective: 20,
+        noisy_fraction: 0.05,
+        difficult_fraction: 0.0,
+        ..DatasetSpec::quick(kind, seed)
+    });
+    let (dev_idx, test_idx) = split(&dataset, 8, &mut rng);
+    let dev: Vec<&LabeledImage> = dev_idx.iter().map(|&i| &dataset.images[i]).collect();
+    if dev.iter().all(|l| l.label == dev[0].label) {
+        return None;
+    }
+    let crowd = CrowdWorkflow::full().run(&dev, &mut rng);
+    let mut patterns = crowd.patterns;
+    if patterns.is_empty() {
+        return None;
+    }
+    if augmented {
+        let policies = vec![
+            Policy {
+                op: PolicyOp::Rotate,
+                magnitude: 10.0,
+            },
+            Policy {
+                op: PolicyOp::Brightness,
+                magnitude: 1.1,
+            },
+        ];
+        patterns = augment(
+            &patterns,
+            AugmentMethod::Both,
+            16,
+            &policies,
+            &RganConfig::quick(),
+            &mut rng,
+        );
+    }
+    let n_patterns = patterns.len();
+    let dev_images: Vec<&GrayImage> = dev.iter().map(|l| &l.image).collect();
+    let dev_labels: Vec<usize> = dev.iter().map(|l| l.label).collect();
+    let ig = InspectorGadget::train(
+        Pattern::wrap_all(patterns, PatternSource::Crowd),
+        &dev_images,
+        &dev_labels,
+        2,
+        &PipelineConfig {
+            tune: false,
+            ..Default::default()
+        },
+        &mut rng,
+    )
+    .ok()?;
+    let test: Vec<&LabeledImage> = test_idx.iter().map(|&i| &dataset.images[i]).collect();
+    let test_images: Vec<&GrayImage> = test.iter().map(|l| &l.image).collect();
+    let out = ig.label(&test_images);
+    let gold: Vec<bool> = test.iter().map(|l| l.label == 1).collect();
+    let pred: Vec<bool> = out.labels.iter().map(|&l| l == 1).collect();
+    Some((binary_f1(&gold, &pred).f1, n_patterns))
+}
+
+#[test]
+fn scratch_pipeline_beats_random_guessing() {
+    // Average over seeds: a single 60-image draw is noisy. Random
+    // guessing on a ~1/3-positive task lands around F1 ≈ 0.4; the
+    // pipeline should be clearly better on average.
+    let mut total = 0.0;
+    let mut runs = 0;
+    for seed in 1..=3 {
+        if let Some((f1, _)) = run_pipeline(DatasetKind::ProductScratch, seed, false) {
+            total += f1;
+            runs += 1;
+        }
+    }
+    assert!(runs >= 2, "pipeline failed to run");
+    let mean = total / runs as f64;
+    assert!(mean > 0.55, "scratch weak-label mean F1 only {mean:.3}");
+}
+
+#[test]
+fn bubble_pipeline_runs_and_scores() {
+    let (f1, _) = run_pipeline(DatasetKind::ProductBubble, 2, false).expect("pipeline runs");
+    assert!(f1 > 0.4, "bubble weak-label F1 only {f1}");
+}
+
+#[test]
+fn augmented_pipeline_produces_more_patterns_and_still_works() {
+    let (f1_aug, n_aug) =
+        run_pipeline(DatasetKind::Ksdd, 3, true).expect("augmented pipeline runs");
+    let (_, n_plain) = run_pipeline(DatasetKind::Ksdd, 3, false).expect("plain pipeline runs");
+    assert!(n_aug > n_plain, "{n_aug} vs {n_plain} patterns");
+    assert!(f1_aug > 0.3, "augmented KSDD F1 only {f1_aug}");
+}
+
+#[test]
+fn multiclass_pipeline_on_neu() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let dataset =
+        inspector_gadget::synth::generate(&DatasetSpec::quick(DatasetKind::Neu, 4));
+    let (dev_idx, test_idx) = split(&dataset, 3, &mut rng);
+    let dev: Vec<&LabeledImage> = dev_idx.iter().map(|&i| &dataset.images[i]).collect();
+    let crowd = CrowdWorkflow::full().run(&dev, &mut rng);
+    let dev_images: Vec<&GrayImage> = dev.iter().map(|l| &l.image).collect();
+    let dev_labels: Vec<usize> = dev.iter().map(|l| l.label).collect();
+    let ig = InspectorGadget::train(
+        Pattern::wrap_all(crowd.patterns, PatternSource::Crowd),
+        &dev_images,
+        &dev_labels,
+        6,
+        &PipelineConfig {
+            tune: false,
+            ..Default::default()
+        },
+        &mut rng,
+    )
+    .expect("multi-class pipeline trains");
+    let test: Vec<&LabeledImage> = test_idx.iter().map(|&i| &dataset.images[i]).collect();
+    let test_images: Vec<&GrayImage> = test.iter().map(|l| &l.image).collect();
+    let out = ig.label(&test_images);
+    let gold: Vec<usize> = test.iter().map(|l| l.label).collect();
+    let f1 = macro_f1(6, &gold, &out.labels);
+    // Six balanced classes: chance macro-F1 ≈ 0.17.
+    assert!(f1 > 0.3, "NEU macro-F1 only {f1}");
+}
+
+#[test]
+fn weak_label_output_is_internally_consistent() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let dataset =
+        inspector_gadget::synth::generate(&DatasetSpec::quick(DatasetKind::ProductScratch, 5));
+    let dev: Vec<&LabeledImage> = dataset.images.iter().take(16).collect();
+    let crowd = CrowdWorkflow::full().run(&dev, &mut rng);
+    let dev_images: Vec<&GrayImage> = dev.iter().map(|l| &l.image).collect();
+    let dev_labels: Vec<usize> = dev.iter().map(|l| l.label).collect();
+    let ig = InspectorGadget::train(
+        Pattern::wrap_all(crowd.patterns, PatternSource::Crowd),
+        &dev_images,
+        &dev_labels,
+        2,
+        &PipelineConfig {
+            tune: false,
+            ..Default::default()
+        },
+        &mut rng,
+    )
+    .expect("pipeline trains");
+    let rest: Vec<&GrayImage> = dataset.images[16..].iter().map(|l| &l.image).collect();
+    let out = ig.label(&rest);
+    assert_eq!(out.labels.len(), rest.len());
+    assert_eq!(out.probabilities.rows(), rest.len());
+    assert_eq!(out.max_similarities.len(), rest.len());
+    for r in 0..out.probabilities.rows() {
+        let row_sum: f32 = out.probabilities.row(r).iter().sum();
+        assert!((row_sum - 1.0).abs() < 1e-4, "row {r} sums to {row_sum}");
+        // Hard label matches the probability argmax.
+        let argmax = if out.probabilities.get(r, 1) >= 0.5 { 1 } else { 0 };
+        assert_eq!(out.labels[r], argmax);
+        // NCC similarities on non-negative images stay in [0, 1].
+        assert!((0.0..=1.0 + 1e-4).contains(&out.max_similarities[r]));
+    }
+}

@@ -1,0 +1,243 @@
+//! Property-based tests over the core data structures and invariants,
+//! spanning crates through the public facade.
+
+use inspector_gadget::imaging::filter::gaussian_blur;
+use inspector_gadget::imaging::geometry::overlap_groups;
+use inspector_gadget::imaging::integral::IntegralImage;
+use inspector_gadget::imaging::ncc::{match_template, match_template_pyramid, PyramidMatchConfig};
+use inspector_gadget::imaging::resize::{resize_bilinear, resize_nearest};
+use inspector_gadget::imaging::stats::stats;
+use inspector_gadget::nn::activation::softmax_rows;
+use inspector_gadget::nn::train::{kfold, stratified_kfold};
+use inspector_gadget::nn::Matrix;
+use inspector_gadget::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_image(max_side: usize) -> impl Strategy<Value = GrayImage> {
+    (1..=max_side, 1..=max_side, any::<u64>()).prop_map(|(w, h, seed)| {
+        inspector_gadget::imaging::noise::white_noise_image(seed, w, h, 0.0, 1.0)
+    })
+}
+
+fn arb_bbox() -> impl Strategy<Value = BBox> {
+    (0.0f32..100.0, 0.0f32..100.0, 0.1f32..50.0, 0.1f32..50.0)
+        .prop_map(|(x, y, w, h)| BBox::new(x, y, w, h))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---------------- geometry ----------------
+
+    #[test]
+    fn iou_is_symmetric_and_bounded(a in arb_bbox(), b in arb_bbox()) {
+        let ab = a.iou(&b);
+        let ba = b.iou(&a);
+        prop_assert!((ab - ba).abs() < 1e-5);
+        prop_assert!((0.0..=1.0 + 1e-5).contains(&ab));
+    }
+
+    #[test]
+    fn self_iou_is_one(a in arb_bbox()) {
+        prop_assert!((a.iou(&a) - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn union_contains_both(a in arb_bbox(), b in arb_bbox()) {
+        let u = a.union(&b);
+        prop_assert!(u.x <= a.x + 1e-4 && u.x <= b.x + 1e-4);
+        prop_assert!(u.x1() >= a.x1() - 1e-3 && u.x1() >= b.x1() - 1e-3);
+        prop_assert!(u.area() + 1e-3 >= a.area().max(b.area()));
+    }
+
+    #[test]
+    fn intersection_is_smaller_than_either(a in arb_bbox(), b in arb_bbox()) {
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(i.area() <= a.area() + 1e-3);
+            prop_assert!(i.area() <= b.area() + 1e-3);
+        }
+    }
+
+    #[test]
+    fn average_area_between_intersection_and_union(a in arb_bbox(), b in arb_bbox()) {
+        let avg = BBox::average(&[a, b]).unwrap();
+        let union = a.union(&b);
+        prop_assert!(avg.area() <= union.area() + 1e-2);
+    }
+
+    #[test]
+    fn overlap_groups_partition_all_indices(boxes in proptest::collection::vec(arb_bbox(), 0..12)) {
+        let groups = overlap_groups(&boxes);
+        let mut seen = vec![false; boxes.len()];
+        for group in &groups {
+            for &i in group {
+                prop_assert!(!seen[i], "index {} appears twice", i);
+                seen[i] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    // ---------------- imaging ----------------
+
+    #[test]
+    fn resize_preserves_value_range(img in arb_image(24), w in 1usize..32, h in 1usize..32) {
+        let bilinear = resize_bilinear(&img, w, h).unwrap();
+        let s = stats(&bilinear);
+        prop_assert!(s.min >= -1e-4 && s.max <= 1.0 + 1e-4);
+        let nearest = resize_nearest(&img, w, h).unwrap();
+        let s = stats(&nearest);
+        prop_assert!(s.min >= 0.0 && s.max <= 1.0);
+    }
+
+    #[test]
+    fn blur_preserves_range_and_reduces_variance(img in arb_image(24)) {
+        let blurred = gaussian_blur(&img, 1.0);
+        let before = stats(&img);
+        let after = stats(&blurred);
+        prop_assert!(after.min >= before.min - 1e-4);
+        prop_assert!(after.max <= before.max + 1e-4);
+        if img.len() > 16 {
+            prop_assert!(after.variance <= before.variance + 1e-4);
+        }
+    }
+
+    #[test]
+    fn integral_window_sums_match_naive(img in arb_image(16)) {
+        let integral = IntegralImage::of_values(&img);
+        let (w, h) = img.dims();
+        let mut naive = 0.0f64;
+        for y in 0..h {
+            for x in 0..w {
+                naive += img.get(x, y) as f64;
+            }
+        }
+        prop_assert!((integral.window_sum(0, 0, w, h) - naive).abs() < 1e-3);
+    }
+
+    #[test]
+    fn ncc_score_bounded_on_nonnegative_images(
+        img in arb_image(24),
+        pw in 1usize..8,
+        ph in 1usize..8,
+    ) {
+        prop_assume!(pw <= img.width() && ph <= img.height());
+        let pattern = img.crop(0, 0, pw, ph).unwrap();
+        let m = match_template(&img, &pattern).unwrap();
+        prop_assert!(m.score <= 1.0 + 1e-4, "score {}", m.score);
+        prop_assert!(m.score >= -1e-4);
+        // A crop of the image itself must match perfectly somewhere.
+        prop_assume!(stats(&pattern).variance > 1e-6);
+        prop_assert!(m.score > 0.999, "self-crop score {}", m.score);
+    }
+
+    #[test]
+    fn pyramid_matcher_never_exceeds_exact_by_much(
+        img in arb_image(32),
+        side in 4usize..10,
+    ) {
+        prop_assume!(side <= img.width() && side <= img.height());
+        let pattern = img.crop(0, 0, side, side).unwrap();
+        let exact = match_template(&img, &pattern).unwrap();
+        let pyr = match_template_pyramid(&img, &pattern, &PyramidMatchConfig::default()).unwrap();
+        // Pyramid is a search heuristic: it can only find scores that
+        // exist, so it is bounded above by the exact maximum.
+        prop_assert!(pyr.score <= exact.score + 1e-3,
+            "pyramid {} > exact {}", pyr.score, exact.score);
+    }
+
+    #[test]
+    fn split_and_stack_preserves_pixel_count_for_even_width(
+        h in 1usize..12,
+        half_w in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        let img = inspector_gadget::imaging::noise::white_noise_image(seed, half_w * 2, h, 0.0, 1.0);
+        let stacked = img.split_and_stack();
+        prop_assert_eq!(stacked.len(), img.len());
+    }
+
+    // ---------------- nn ----------------
+
+    #[test]
+    fn softmax_rows_are_distributions(
+        rows in 1usize..6,
+        cols in 2usize..6,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let logits = Matrix::from_fn(rows, cols, |_, _| rand::Rng::gen_range(&mut rng, -20.0..20.0f32));
+        let p = softmax_rows(&logits);
+        for r in 0..rows {
+            let sum: f32 = p.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(p.row(r).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn kfold_is_a_partition(n in 2usize..40, k in 2usize..8, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let folds = kfold(n, k, &mut rng);
+        let mut seen = vec![false; n];
+        for fold in &folds {
+            for &i in &fold.val {
+                prop_assert!(!seen[i]);
+                seen[i] = true;
+            }
+            for &i in &fold.train {
+                prop_assert!(!fold.val.contains(&i));
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn stratified_kfold_keeps_all_samples(
+        labels in proptest::collection::vec(0usize..3, 4..30),
+        k in 2usize..5,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let folds = stratified_kfold(&labels, k, &mut rng);
+        let total: usize = folds.iter().map(|f| f.val.len()).sum();
+        prop_assert_eq!(total, labels.len());
+    }
+
+    // ---------------- matrix ----------------
+
+    #[test]
+    fn matmul_associates_with_identity(
+        r in 1usize..5,
+        c in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::from_fn(r, c, |_, _| rand::Rng::gen_range(&mut rng, -1.0..1.0f32));
+        let eye = Matrix::from_fn(c, c, |i, j| if i == j { 1.0 } else { 0.0 });
+        let product = a.matmul(&eye);
+        for (x, y) in a.as_slice().iter().zip(product.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn transpose_respects_matmul(
+        m in 1usize..4,
+        n in 1usize..4,
+        p in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::from_fn(m, n, |_, _| rand::Rng::gen_range(&mut rng, -1.0..1.0f32));
+        let b = Matrix::from_fn(n, p, |_, _| rand::Rng::gen_range(&mut rng, -1.0..1.0f32));
+        // (A B)^T = B^T A^T
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+}
