@@ -4,7 +4,8 @@
 //! augmentation" (Section 6.4).
 
 use crate::gan::{Rgan, RganConfig};
-use crate::policy::{policy_augment, Policy};
+use crate::policy::{policy_augment, Policy, PolicyOp};
+use ig_faults::{FaultPlan, HealthReport, RecoveryAction, Stage};
 use ig_imaging::GrayImage;
 use rand::Rng;
 
@@ -55,6 +56,33 @@ pub fn augment(
     gan_config: &RganConfig,
     rng: &mut impl Rng,
 ) -> Vec<GrayImage> {
+    augment_with_health(
+        patterns,
+        method,
+        budget,
+        policies,
+        gan_config,
+        rng,
+        None,
+        &HealthReport::new(),
+    )
+}
+
+/// [`augment`] with health monitoring and optional fault injection. When
+/// GAN training ends degenerate (no healthy epoch to roll back to), its
+/// share of the budget is produced by policy augmentation instead and a
+/// [`RecoveryAction::PolicyOnlyAugmentation`] event is recorded.
+#[allow(clippy::too_many_arguments)]
+pub fn augment_with_health(
+    patterns: &[GrayImage],
+    method: AugmentMethod,
+    budget: usize,
+    policies: &[Policy],
+    gan_config: &RganConfig,
+    rng: &mut impl Rng,
+    plan: Option<&FaultPlan>,
+    health: &HealthReport,
+) -> Vec<GrayImage> {
     let mut out = patterns.to_vec();
     if patterns.is_empty() || budget == 0 {
         return out;
@@ -65,17 +93,74 @@ pub fn augment(
             out.extend(policy_augment(patterns, policies, budget, rng));
         }
         AugmentMethod::GanBased => {
-            let gan = Rgan::train(patterns, gan_config, rng);
-            out.extend(gan.generate(budget, rng));
+            out.extend(gan_or_policy(
+                patterns, budget, policies, gan_config, rng, plan, health,
+            ));
         }
         AugmentMethod::Both => {
             let half = budget / 2;
             out.extend(policy_augment(patterns, policies, half, rng));
-            let gan = Rgan::train(patterns, gan_config, rng);
-            out.extend(gan.generate(budget - half, rng));
+            out.extend(gan_or_policy(
+                patterns,
+                budget - half,
+                policies,
+                gan_config,
+                rng,
+                plan,
+                health,
+            ));
         }
     }
     out
+}
+
+/// Train the RGAN and sample `count` patterns; fall back to policy-based
+/// augmentation when training is degenerate. If the caller supplied no
+/// policies (GAN arms normally ignore them), a small default combination
+/// keeps the budget honored.
+fn gan_or_policy(
+    patterns: &[GrayImage],
+    count: usize,
+    policies: &[Policy],
+    gan_config: &RganConfig,
+    rng: &mut impl Rng,
+    plan: Option<&FaultPlan>,
+    health: &HealthReport,
+) -> Vec<GrayImage> {
+    let gan = Rgan::train_with_health(patterns, gan_config, rng, plan, health);
+    match gan.degenerate {
+        None => gan.generate(count, rng),
+        Some(kind) => {
+            health.record(
+                Stage::Augmentation,
+                kind,
+                RecoveryAction::PolicyOnlyAugmentation,
+                format!("GAN unusable after {kind}; {count} samples from policy augmentation"),
+            );
+            let fallback = fallback_policies(policies);
+            policy_augment(patterns, &fallback, count, rng)
+        }
+    }
+}
+
+fn fallback_policies(policies: &[Policy]) -> Vec<Policy> {
+    if !policies.is_empty() {
+        return policies.to_vec();
+    }
+    vec![
+        Policy {
+            op: PolicyOp::Rotate,
+            magnitude: 10.0,
+        },
+        Policy {
+            op: PolicyOp::Brightness,
+            magnitude: 1.2,
+        },
+        Policy {
+            op: PolicyOp::Noise,
+            magnitude: 0.03,
+        },
+    ]
 }
 
 #[cfg(test)]
@@ -180,6 +265,35 @@ mod tests {
             &mut rng,
         );
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn degenerate_gan_falls_back_to_policy() {
+        use ig_faults::{FaultPlan, GanFault, RecoveryAction};
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = patterns();
+        // Fault at epoch 0: no healthy snapshot ever exists.
+        let plan = FaultPlan {
+            gan_fault_epoch: Some(0),
+            gan_fault: GanFault::Diverge,
+            ..FaultPlan::default()
+        };
+        let health = HealthReport::new();
+        let out = augment_with_health(
+            &p,
+            AugmentMethod::GanBased,
+            10,
+            &[],
+            &RganConfig::quick(),
+            &mut rng,
+            Some(&plan),
+            &health,
+        );
+        assert_eq!(out.len(), p.len() + 10, "budget still honored");
+        assert_eq!(
+            health.count_action(RecoveryAction::PolicyOnlyAugmentation),
+            1
+        );
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! fixed square before training and new samples are resized back to
 //! original pattern sizes afterwards, following Figure 6.
 
+use ig_faults::{FaultKind, FaultPlan, GanFault, HealthReport, RecoveryAction, Stage};
 use ig_imaging::resize::resize_bilinear;
 use ig_imaging::GrayImage;
 use ig_nn::activation::{log_sigmoid, sigmoid};
@@ -22,6 +23,15 @@ use ig_nn::spectral::SpectralNorm;
 use ig_nn::{Activation, Adam, Matrix};
 use rand::seq::SliceRandom;
 use rand::Rng;
+
+/// Epoch losses past this magnitude count as divergence even when finite.
+const LOSS_EXPLOSION: f32 = 1e4;
+/// Probe samples drawn per epoch by the mode-collapse monitor.
+const COLLAPSE_PROBE: usize = 6;
+/// Mean per-pixel pairwise distance below which the probe batch counts as
+/// collapsed. Healthy generators (even untrained ones) sit orders of
+/// magnitude above this.
+const COLLAPSE_EPS: f32 = 1e-4;
 
 /// RGAN hyper-parameters. Paper values: latent dim 100, lr 1e-4 for both
 /// networks, ~1K epochs, square side ≤ 100 (here 16 for CPU scale).
@@ -95,11 +105,36 @@ pub struct Rgan {
     pub final_disc_loss: f32,
     /// Final generator loss (diagnostic).
     pub final_gen_loss: f32,
+    /// Set when training misbehaved before any healthy epoch completed, so
+    /// there was no snapshot to roll back to. The parameters are restored
+    /// to their (finite) initial values, but samples are untrained noise —
+    /// callers should prefer policy-based augmentation instead.
+    pub degenerate: Option<FaultKind>,
 }
 
 impl Rgan {
     /// Train on the given patterns. Panics on an empty pattern set.
     pub fn train(patterns: &[GrayImage], config: &RganConfig, rng: &mut impl Rng) -> Self {
+        Self::train_with_health(patterns, config, rng, None, &HealthReport::new())
+    }
+
+    /// [`Rgan::train`] with per-epoch health monitoring and optional fault
+    /// injection.
+    ///
+    /// After every epoch the monitor checks for divergence (non-finite or
+    /// exploding losses, non-finite parameters) and mode collapse (probe
+    /// samples nearly identical). A healthy epoch snapshots both networks;
+    /// a faulty one rolls back to the last snapshot, records the event on
+    /// `health`, and stops training. The monitor draws its probe latents
+    /// from an internal deterministic stream, so with an empty `plan` this
+    /// is bit-for-bit identical to [`Rgan::train`].
+    pub fn train_with_health(
+        patterns: &[GrayImage],
+        config: &RganConfig,
+        rng: &mut impl Rng,
+        plan: Option<&FaultPlan>,
+        health: &HealthReport,
+    ) -> Self {
         assert!(!patterns.is_empty(), "cannot train a GAN on zero patterns");
         let side = config.pattern_side;
         let dim = side * side;
@@ -153,12 +188,20 @@ impl Rgan {
         let mut indices: Vec<usize> = (0..reals.len()).collect();
         let mut last_d = 0.0f32;
         let mut last_g = 0.0f32;
-        for _epoch in 0..config.epochs {
+        // Initial parameters, restored if training faults before any
+        // healthy epoch; (gen, disc, d_loss, g_loss) of the last healthy
+        // epoch otherwise.
+        let init_params = (generator.params(), discriminator.params());
+        let mut snapshot: Option<(Vec<f32>, Vec<f32>, f32, f32)> = None;
+        let mut degenerate: Option<FaultKind> = None;
+        for epoch in 0..config.epochs {
+            if let Some(fault) = plan.and_then(|p| p.gan_fault_at(epoch)) {
+                inject_gan_fault(fault, &mut generator, &mut discriminator);
+            }
             indices.shuffle(rng);
             for chunk in indices.chunks(batch) {
-                let real = Matrix::from_rows(
-                    &chunk.iter().map(|&i| reals[i].clone()).collect::<Vec<_>>(),
-                );
+                let real =
+                    Matrix::from_rows(&chunk.iter().map(|&i| reals[i].clone()).collect::<Vec<_>>());
                 let n = real.rows();
 
                 // ---- Discriminator step ----
@@ -229,6 +272,52 @@ impl Rgan {
                 generator.set_params(&params);
                 last_g = g_loss;
             }
+
+            match detect_gan_fault(
+                &generator,
+                &discriminator,
+                last_d,
+                last_g,
+                config.latent_dim,
+                epoch,
+            ) {
+                None => {
+                    snapshot = Some((generator.params(), discriminator.params(), last_d, last_g));
+                }
+                Some(kind) => {
+                    match snapshot.as_ref() {
+                        Some((g, d, dl, gl)) => {
+                            generator.set_params(g);
+                            discriminator.set_params(d);
+                            last_d = *dl;
+                            last_g = *gl;
+                            health.record(
+                                Stage::Augmentation,
+                                kind,
+                                RecoveryAction::RolledBackSnapshot,
+                                format!("epoch {epoch}: rolled back to last healthy snapshot"),
+                            );
+                        }
+                        None => {
+                            generator.set_params(&init_params.0);
+                            discriminator.set_params(&init_params.1);
+                            last_d = 0.0;
+                            last_g = 0.0;
+                            degenerate = Some(kind);
+                            health.record(
+                                Stage::Augmentation,
+                                kind,
+                                RecoveryAction::NoneRequired,
+                                format!(
+                                    "epoch {epoch}: no healthy snapshot to roll back to; \
+                                     initial parameters restored, GAN marked degenerate"
+                                ),
+                            );
+                        }
+                    }
+                    break;
+                }
+            }
         }
 
         Self {
@@ -238,6 +327,7 @@ impl Rgan {
             original_sizes,
             final_disc_loss: last_d,
             final_gen_loss: last_g,
+            degenerate,
         }
     }
 
@@ -281,7 +371,9 @@ impl Rgan {
         let side = self.config.pattern_side;
         let resized = resize_bilinear(pattern, side, side).expect("resize");
         let row: Vec<f32> = resized.pixels().iter().map(|&v| v * 2.0 - 1.0).collect();
-        self.discriminator.forward(&Matrix::row_vector(&row)).get(0, 0)
+        self.discriminator
+            .forward(&Matrix::row_vector(&row))
+            .get(0, 0)
     }
 }
 
@@ -298,6 +390,93 @@ fn random_latent(n: usize, dim: usize, rng: &mut impl Rng) -> Matrix {
 
 fn generate_batch(generator: &Mlp, z: &Matrix) -> Matrix {
     generator.forward(z).map(|v| v.tanh())
+}
+
+/// Force the scheduled fault onto the networks (see [`GanFault`]).
+fn inject_gan_fault(fault: GanFault, generator: &mut Mlp, discriminator: &mut Mlp) {
+    match fault {
+        GanFault::Diverge => {
+            // NaN parameters poison every forward pass; losses and
+            // gradients go non-finite within one batch.
+            let poison = |net: &mut Mlp| {
+                let mut p = net.params();
+                p.iter_mut().for_each(|v| *v = f32::NAN);
+                net.set_params(&p);
+            };
+            poison(generator);
+            poison(discriminator);
+        }
+        GanFault::Collapse => {
+            // A zeroed generator emits one constant output for every
+            // latent — the textbook collapsed mode.
+            let zeros = vec![0.0; generator.params().len()];
+            generator.set_params(&zeros);
+        }
+    }
+}
+
+/// End-of-epoch monitor: divergence first (non-finite or exploding state),
+/// then mode collapse via a deterministic probe batch.
+fn detect_gan_fault(
+    generator: &Mlp,
+    discriminator: &Mlp,
+    d_loss: f32,
+    g_loss: f32,
+    latent_dim: usize,
+    epoch: usize,
+) -> Option<FaultKind> {
+    let diverged = !d_loss.is_finite()
+        || !g_loss.is_finite()
+        || d_loss.abs() > LOSS_EXPLOSION
+        || g_loss.abs() > LOSS_EXPLOSION
+        || !all_finite(&generator.params())
+        || !all_finite(&discriminator.params());
+    if diverged {
+        return Some(FaultKind::GanDivergence);
+    }
+    let z = probe_latent(COLLAPSE_PROBE, latent_dim, epoch);
+    let out = generate_batch(generator, &z);
+    let mut total = 0.0f32;
+    let mut pairs = 0usize;
+    for i in 0..COLLAPSE_PROBE {
+        for j in (i + 1)..COLLAPSE_PROBE {
+            let diff: f32 = out
+                .row(i)
+                .iter()
+                .zip(out.row(j))
+                .map(|(a, b)| (a - b).abs())
+                .sum();
+            total += diff / out.cols().max(1) as f32;
+            pairs += 1;
+        }
+    }
+    if total / (pairs as f32) < COLLAPSE_EPS {
+        return Some(FaultKind::GanModeCollapse);
+    }
+    None
+}
+
+fn all_finite(values: &[f32]) -> bool {
+    values.iter().all(|v| v.is_finite())
+}
+
+/// Probe latents for the collapse monitor. Drawn from an internal
+/// SplitMix64 stream so monitoring never consumes the caller's RNG —
+/// monitored training stays bit-identical to unmonitored training.
+fn probe_latent(n: usize, dim: usize, epoch: usize) -> Matrix {
+    Matrix::from_fn(n, dim, |r, c| {
+        let h = splitmix64(
+            0x6A09_E667_F3BC_C909 ^ ((epoch as u64) << 40) ^ ((r as u64) << 20) ^ c as u64,
+        );
+        ((((h >> 11) as f64) * (1.0 / (1u64 << 53) as f64)) * 2.0 - 1.0) as f32
+    })
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 #[cfg(test)]
@@ -356,8 +535,7 @@ mod tests {
         };
         let gan = Rgan::train(&patterns, &cfg, &mut rng);
         let fakes = gan.generate_square(16, &mut rng);
-        let fake_mean: f32 =
-            fakes.iter().map(|p| stats(p).mean).sum::<f32>() / fakes.len() as f32;
+        let fake_mean: f32 = fakes.iter().map(|p| stats(p).mean).sum::<f32>() / fakes.len() as f32;
         assert!(
             (fake_mean - real_mean).abs() < 0.2,
             "fake mean {fake_mean} vs real mean {real_mean}"
@@ -403,6 +581,120 @@ mod tests {
         let big = vec![GrayImage::filled(60, 100, 0.5)];
         assert_eq!(RganConfig::side_for_patterns(&big, 16), 16);
         assert_eq!(RganConfig::side_for_patterns(&[], 16), 16);
+    }
+
+    #[test]
+    fn injected_divergence_rolls_back_to_snapshot() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let patterns = line_patterns(10, 12);
+        let plan = FaultPlan {
+            gan_fault_epoch: Some(5),
+            gan_fault: GanFault::Diverge,
+            ..FaultPlan::default()
+        };
+        let health = HealthReport::new();
+        let gan = Rgan::train_with_health(
+            &patterns,
+            &RganConfig::quick(),
+            &mut rng,
+            Some(&plan),
+            &health,
+        );
+        assert_eq!(health.count(FaultKind::GanDivergence), 1);
+        assert_eq!(health.count_action(RecoveryAction::RolledBackSnapshot), 1);
+        assert!(gan.degenerate.is_none(), "snapshot existed, not degenerate");
+        assert!(gan.final_disc_loss.is_finite());
+        assert!(gan.final_gen_loss.is_finite());
+        for f in gan.generate(4, &mut rng) {
+            for &p in f.pixels() {
+                assert!(p.is_finite() && (0.0..=1.0).contains(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn injected_collapse_is_detected_and_rolled_back() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let patterns = line_patterns(10, 14);
+        let plan = FaultPlan {
+            gan_fault_epoch: Some(5),
+            gan_fault: GanFault::Collapse,
+            ..FaultPlan::default()
+        };
+        let health = HealthReport::new();
+        let gan = Rgan::train_with_health(
+            &patterns,
+            &RganConfig::quick(),
+            &mut rng,
+            Some(&plan),
+            &health,
+        );
+        assert_eq!(health.count(FaultKind::GanModeCollapse), 1);
+        assert_eq!(health.count_action(RecoveryAction::RolledBackSnapshot), 1);
+        assert!(gan.degenerate.is_none());
+        // Post-rollback samples come from the healthy snapshot and vary.
+        let fakes = gan.generate_square(6, &mut rng);
+        let max_diff: f32 = (1..fakes.len())
+            .map(|i| {
+                fakes[0]
+                    .pixels()
+                    .iter()
+                    .zip(fakes[i].pixels())
+                    .map(|(a, b)| (a - b).abs())
+                    .sum()
+            })
+            .fold(0.0, f32::max);
+        assert!(max_diff > 0.01, "rolled-back generator still collapsed");
+    }
+
+    #[test]
+    fn fault_before_any_snapshot_marks_degenerate() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let patterns = line_patterns(10, 16);
+        let plan = FaultPlan {
+            gan_fault_epoch: Some(0),
+            gan_fault: GanFault::Diverge,
+            ..FaultPlan::default()
+        };
+        let health = HealthReport::new();
+        let gan = Rgan::train_with_health(
+            &patterns,
+            &RganConfig::quick(),
+            &mut rng,
+            Some(&plan),
+            &health,
+        );
+        assert_eq!(gan.degenerate, Some(FaultKind::GanDivergence));
+        assert_eq!(health.count(FaultKind::GanDivergence), 1);
+        // Initial parameters were restored, so sampling still works.
+        for f in gan.generate(3, &mut rng) {
+            for &p in f.pixels() {
+                assert!(p.is_finite() && (0.0..=1.0).contains(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_plan_matches_plain_train() {
+        let patterns = line_patterns(8, 18);
+        let cfg = RganConfig::quick();
+        let mut rng_a = StdRng::seed_from_u64(17);
+        let plain = Rgan::train(&patterns, &cfg, &mut rng_a);
+        let mut rng_b = StdRng::seed_from_u64(17);
+        let health = HealthReport::new();
+        let monitored = Rgan::train_with_health(
+            &patterns,
+            &cfg,
+            &mut rng_b,
+            Some(&FaultPlan::none(99)),
+            &health,
+        );
+        assert!(health.is_clean());
+        let a = plain.generate_square(4, &mut rng_a);
+        let b = monitored.generate_square(4, &mut rng_b);
+        for (fa, fb) in a.iter().zip(&b) {
+            assert_eq!(fa.pixels(), fb.pixels(), "empty plan changed training");
+        }
     }
 
     #[test]

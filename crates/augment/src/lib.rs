@@ -36,6 +36,6 @@ pub mod augmenter;
 pub mod gan;
 pub mod policy;
 
-pub use augmenter::{augment, AugmentMethod};
+pub use augmenter::{augment, augment_with_health, AugmentMethod};
 pub use gan::{Rgan, RganConfig};
 pub use policy::{search_policies, Policy, PolicyOp, PolicySearchConfig};

@@ -74,8 +74,12 @@ impl PolicyOp {
     pub fn apply(&self, img: &GrayImage, magnitude: f32, rng: &mut impl Rng) -> GrayImage {
         let mut out = match self {
             PolicyOp::Rotate => rotate(img, magnitude),
-            PolicyOp::ResizeX => stretch_x(img, magnitude.max(0.05)).unwrap_or_else(|_| img.clone()),
-            PolicyOp::ResizeY => stretch_y(img, magnitude.max(0.05)).unwrap_or_else(|_| img.clone()),
+            PolicyOp::ResizeX => {
+                stretch_x(img, magnitude.max(0.05)).unwrap_or_else(|_| img.clone())
+            }
+            PolicyOp::ResizeY => {
+                stretch_y(img, magnitude.max(0.05)).unwrap_or_else(|_| img.clone())
+            }
             PolicyOp::ShearX => shear_x(img, magnitude),
             PolicyOp::ShearY => shear_y(img, magnitude),
             PolicyOp::Brightness => img.map(|p| p * magnitude),
@@ -86,13 +90,8 @@ impl PolicyOp {
             PolicyOp::Invert => img.map(|p| 2.0 * magnitude - p),
             PolicyOp::TranslateX => translate(img, magnitude, 0.0),
             PolicyOp::Noise => {
-                let noise = white_noise_image(
-                    rng.gen(),
-                    img.width(),
-                    img.height(),
-                    -magnitude,
-                    magnitude,
-                );
+                let noise =
+                    white_noise_image(rng.gen(), img.width(), img.height(), -magnitude, magnitude);
                 let mut out = img.clone();
                 for (o, n) in out.pixels_mut().iter_mut().zip(noise.pixels()) {
                     *o += n;
@@ -210,10 +209,7 @@ pub fn search_policies(
         }
     } else {
         for _ in 0..config.max_combinations {
-            let combo: Vec<Policy> = candidates
-                .choose_multiple(rng, k)
-                .copied()
-                .collect();
+            let combo: Vec<Policy> = candidates.choose_multiple(rng, k).copied().collect();
             consider(&combo, &mut best);
         }
         best.map(|(_, c)| c).unwrap_or_default()
@@ -251,10 +247,7 @@ pub fn policy_augment(
             // Apply a random nonempty subset (1..=all) of the combination,
             // mirroring AutoAugment's stochastic application.
             let n_apply = rng.gen_range(1..=policies.len());
-            let chosen: Vec<Policy> = policies
-                .choose_multiple(rng, n_apply)
-                .copied()
-                .collect();
+            let chosen: Vec<Policy> = policies.choose_multiple(rng, n_apply).copied().collect();
             apply_policies(&chosen, src, rng)
         })
         .collect()
@@ -331,8 +324,14 @@ mod tests {
         let img = pattern();
         let mut rng = StdRng::seed_from_u64(5);
         let combo = vec![
-            Policy { op: PolicyOp::Brightness, magnitude: 1.2 },
-            Policy { op: PolicyOp::Rotate, magnitude: 10.0 },
+            Policy {
+                op: PolicyOp::Brightness,
+                magnitude: 1.2,
+            },
+            Policy {
+                op: PolicyOp::Rotate,
+                magnitude: 10.0,
+            },
         ];
         let out = apply_policies(&combo, &img, &mut rng);
         assert_eq!(out.dims(), img.dims());
@@ -397,8 +396,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let patterns = vec![pattern()];
         let policies = vec![
-            Policy { op: PolicyOp::Rotate, magnitude: 15.0 },
-            Policy { op: PolicyOp::ResizeX, magnitude: 1.4 },
+            Policy {
+                op: PolicyOp::Rotate,
+                magnitude: 15.0,
+            },
+            Policy {
+                op: PolicyOp::ResizeX,
+                magnitude: 1.4,
+            },
         ];
         let out = policy_augment(&patterns, &policies, 25, &mut rng);
         assert_eq!(out.len(), 25);
@@ -410,7 +415,16 @@ mod tests {
     #[test]
     fn policy_augment_empty_inputs() {
         let mut rng = StdRng::seed_from_u64(9);
-        assert!(policy_augment(&[], &[Policy { op: PolicyOp::Rotate, magnitude: 5.0 }], 10, &mut rng).is_empty());
+        assert!(policy_augment(
+            &[],
+            &[Policy {
+                op: PolicyOp::Rotate,
+                magnitude: 5.0
+            }],
+            10,
+            &mut rng
+        )
+        .is_empty());
         assert!(policy_augment(&[pattern()], &[], 10, &mut rng).is_empty());
     }
 

@@ -11,7 +11,7 @@ use ig_imaging::resize::resize_bilinear;
 use ig_imaging::stats::standardize;
 use ig_imaging::GrayImage;
 use ig_nn::conv::{
-    Cnn, Conv2d, DenseLayer, DepthwiseConv2d, GlobalAvgPool, Layer, MaxPool2, Residual, ReluLayer,
+    Cnn, Conv2d, DenseLayer, DepthwiseConv2d, GlobalAvgPool, Layer, MaxPool2, ReluLayer, Residual,
     Tensor4,
 };
 use rand::Rng;
@@ -135,8 +135,7 @@ pub fn images_to_tensor(images: &[&GrayImage], side: usize) -> Tensor4 {
         } else {
             (*img).clone()
         };
-        let resized =
-            resize_bilinear(&squared, side, side).expect("cnn preprocessing resize");
+        let resized = resize_bilinear(&squared, side, side).expect("cnn preprocessing resize");
         let standardized = standardize(&resized);
         let base = i * side * side;
         out.as_mut_slice()[base..base + side * side].copy_from_slice(standardized.pixels());
@@ -154,7 +153,11 @@ mod tests {
     fn all_architectures_forward_correct_shape() {
         let mut rng = StdRng::seed_from_u64(0);
         let x = Tensor4::zeros(2, 1, 16, 16);
-        for arch in [CnnArch::MiniVgg, CnnArch::MiniMobileNet, CnnArch::MiniResNet] {
+        for arch in [
+            CnnArch::MiniVgg,
+            CnnArch::MiniMobileNet,
+            CnnArch::MiniResNet,
+        ] {
             let mut cnn = arch.build(3, 0.01, &mut rng);
             let logits = cnn.forward_logits(&x, false);
             assert_eq!(logits.shape(), (2, 3), "{arch:?}");
@@ -171,7 +174,11 @@ mod tests {
             16,
             (0..512).map(|i| (i % 7) as f32 * 0.1).collect(),
         );
-        for arch in [CnnArch::MiniVgg, CnnArch::MiniMobileNet, CnnArch::MiniResNet] {
+        for arch in [
+            CnnArch::MiniVgg,
+            CnnArch::MiniMobileNet,
+            CnnArch::MiniResNet,
+        ] {
             let mut cnn = arch.build(2, 0.01, &mut rng);
             let loss1 = cnn.train_batch(&x, &[0, 1]);
             let loss2 = cnn.train_batch(&x, &[0, 1]);

@@ -23,14 +23,7 @@ pub fn train_and_score(
     config: &SelfLearnConfig,
     rng: &mut impl Rng,
 ) -> f64 {
-    let mut model = SelfLearner::train(
-        arch,
-        train_images,
-        train_labels,
-        num_classes,
-        config,
-        rng,
-    );
+    let mut model = SelfLearner::train(arch, train_images, train_labels, num_classes, config, rng);
     let preds = model.label(test_images);
     score_f1(num_classes, test_labels, &preds)
 }

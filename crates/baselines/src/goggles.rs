@@ -83,8 +83,7 @@ impl Goggles {
             for kernel in &bank {
                 let response = convolve2d(level, kernel, 3, 3);
                 // Top-k absolute activations, averaged.
-                let mut values: Vec<f32> =
-                    response.pixels().iter().map(|&v| v.abs()).collect();
+                let mut values: Vec<f32> = response.pixels().iter().map(|&v| v.abs()).collect();
                 let k = config.top_k.min(values.len()).max(1);
                 values.sort_by(|a, b| b.total_cmp(a));
                 let proto: f32 = values[..k].iter().sum::<f32>() / k as f32;
@@ -125,7 +124,11 @@ impl Goggles {
         // Affinity rows as clustering space (GOGGLES clusters the affinity
         // matrix). For large n this is O(n²) but n is dataset-sized.
         let rows: Vec<Vec<f32>> = (0..n)
-            .map(|i| (0..n).map(|j| Self::affinity(&feats[i], &feats[j])).collect())
+            .map(|i| {
+                (0..n)
+                    .map(|j| Self::affinity(&feats[i], &feats[j]))
+                    .collect()
+            })
             .collect();
         let assignments = kmeans(&rows, num_classes, config.kmeans_iters, rng);
 
@@ -185,9 +188,7 @@ impl Goggles {
                     .centroids
                     .iter()
                     .enumerate()
-                    .max_by(|a, b| {
-                        Self::affinity(&f, a.1).total_cmp(&Self::affinity(&f, b.1))
-                    })
+                    .max_by(|a, b| Self::affinity(&f, a.1).total_cmp(&Self::affinity(&f, b.1)))
                     .map(|(i, _)| i)
                     .unwrap_or(0);
                 self.cluster_class[cluster]
@@ -298,12 +299,7 @@ mod tests {
             } else {
                 let mut img = GrayImage::filled(32, 32, 0.3);
                 for _ in 0..4 {
-                    img.fill_disk(
-                        rng.gen_range(4.0..28.0),
-                        rng.gen_range(4.0..28.0),
-                        3.0,
-                        0.9,
-                    );
+                    img.fill_disk(rng.gen_range(4.0..28.0), rng.gen_range(4.0..28.0), 3.0, 0.9);
                 }
                 img
             };
@@ -354,8 +350,7 @@ mod tests {
             // Grainy industrial-style background: pixel-scale noise whose
             // own max activations dominate the prototypes, the way real
             // surface grain does.
-            let mut img =
-                ig_imaging::noise::white_noise_image(100 + i as u64, 48, 48, 0.35, 0.75);
+            let mut img = ig_imaging::noise::white_noise_image(100 + i as u64, 48, 48, 0.35, 0.75);
             let defect = i % 2 == 1;
             if defect {
                 // A faint 3px dot, well inside the grain's dynamic range.
@@ -383,10 +378,7 @@ mod tests {
         let mut points: Vec<Vec<f32>> = Vec::new();
         for i in 0..20 {
             let offset = if i % 2 == 0 { 0.0 } else { 10.0 };
-            points.push(vec![
-                offset + (i as f32 * 0.01),
-                offset - (i as f32 * 0.01),
-            ]);
+            points.push(vec![offset + (i as f32 * 0.01), offset - (i as f32 * 0.01)]);
         }
         let assign = kmeans(&points, 2, 20, &mut rng);
         // All even-index points in one cluster, odd in the other.

@@ -91,7 +91,12 @@ impl LabelModel {
         let mut logp: Vec<f64> = self.priors.iter().map(|&p| p.max(1e-9).ln()).collect();
         for (j, vote) in sample_votes.iter().enumerate() {
             if let Some(v) = vote {
-                let acc = self.accuracies.get(j).copied().unwrap_or(0.7).clamp(0.05, 0.95);
+                let acc = self
+                    .accuracies
+                    .get(j)
+                    .copied()
+                    .unwrap_or(0.7)
+                    .clamp(0.05, 0.95);
                 for (c, lp) in logp.iter_mut().enumerate() {
                     if c == *v {
                         *lp += acc.ln();
@@ -175,13 +180,7 @@ mod tests {
     fn abstains_fall_back_to_prior() {
         // Skewed dataset: 80% class 0.
         let votes: Vec<Vec<Vote>> = (0..100)
-            .map(|i| {
-                if i < 80 {
-                    vec![Some(0)]
-                } else {
-                    vec![Some(1)]
-                }
-            })
+            .map(|i| if i < 80 { vec![Some(0)] } else { vec![Some(1)] })
             .collect();
         let model = LabelModel::fit(&votes, 2, 10);
         assert_eq!(model.predict(&[None]), 0);

@@ -127,9 +127,15 @@ impl Snuba {
 
             let mut best: Option<(f64, HeuristicLf)> = None;
             for subset in &subsets {
-                if let Some((score, lf)) =
-                    fit_candidate(dev_features, dev_labels, subset, num_classes, config, &uncovered, rng)
-                {
+                if let Some((score, lf)) = fit_candidate(
+                    dev_features,
+                    dev_labels,
+                    subset,
+                    num_classes,
+                    config,
+                    &uncovered,
+                    rng,
+                ) {
                     if best.as_ref().is_none_or(|(s, _)| score > *s) {
                         best = Some((score, lf));
                     }
@@ -154,7 +160,11 @@ impl Snuba {
 
         // Generative model fit on the unlabeled votes (Snuba's final step).
         let votes: Vec<Vec<Vote>> = (0..unlabeled_features.rows())
-            .map(|r| lfs.iter().map(|lf| lf.vote(unlabeled_features, r)).collect())
+            .map(|r| {
+                lfs.iter()
+                    .map(|lf| lf.vote(unlabeled_features, r))
+                    .collect()
+            })
             .collect();
         let label_model = LabelModel::fit(&votes, num_classes, config.em_iterations);
         Self {
@@ -301,7 +311,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let (dev_x, dev_y) = feature_task(60, 5, 1);
         let (test_x, test_y) = feature_task(80, 5, 2);
-        let snuba = Snuba::train(&dev_x, &dev_y, &test_x, 2, &SnubaConfig::default(), &mut rng);
+        let snuba = Snuba::train(
+            &dev_x,
+            &dev_y,
+            &test_x,
+            2,
+            &SnubaConfig::default(),
+            &mut rng,
+        );
         assert!(snuba.num_lfs() >= 1);
         let preds = snuba.label(&test_x);
         let correct = preds.iter().zip(&test_y).filter(|(a, b)| a == b).count();

@@ -98,7 +98,14 @@ mod tests {
             epochs: 3,
             ..Default::default()
         };
-        let learner = pretrain(CnnArch::MiniVgg, &src_refs, &src_labels, 2, &config, &mut rng);
+        let learner = pretrain(
+            CnnArch::MiniVgg,
+            &src_refs,
+            &src_labels,
+            2,
+            &config,
+            &mut rng,
+        );
         let (tgt_images, tgt_labels) = striped_task(16, 2, false);
         let tgt_refs: Vec<&GrayImage> = tgt_images.iter().collect();
         // Target task has 3 classes (artificial) to prove head swap works.
@@ -130,7 +137,14 @@ mod tests {
             let (test_images, test_labels) = striped_task(30, 30 + seed, true);
             let test_refs: Vec<&GrayImage> = test_images.iter().collect();
 
-            let pre = pretrain(CnnArch::MiniVgg, &src_refs, &src_labels, 2, &config, &mut rng);
+            let pre = pretrain(
+                CnnArch::MiniVgg,
+                &src_refs,
+                &src_labels,
+                2,
+                &config,
+                &mut rng,
+            );
             let mut tuned = fine_tune(pre, &dev_refs, &dev_labels, 2, &config, &mut rng);
             transfer_correct += tuned
                 .label(&test_refs)

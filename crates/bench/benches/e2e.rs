@@ -122,7 +122,11 @@ fn bench_cnn_baseline(c: &mut Criterion) {
     let dev_labels: Vec<usize> = dev.iter().map(|l| l.label).collect();
     let mut group = c.benchmark_group("e2e_cnn_baseline");
     group.sample_size(10);
-    for arch in [CnnArch::MiniVgg, CnnArch::MiniMobileNet, CnnArch::MiniResNet] {
+    for arch in [
+        CnnArch::MiniVgg,
+        CnnArch::MiniMobileNet,
+        CnnArch::MiniResNet,
+    ] {
         group.bench_function(format!("{arch:?}_5_epochs"), |b| {
             b.iter(|| {
                 let mut rng = StdRng::seed_from_u64(8);

@@ -82,7 +82,10 @@ fn bench_tuning_sweep(c: &mut Criterion) {
                 },
                 ..Default::default()
             };
-            tune_labeler(&x, &y, 2, &config, &mut rng).unwrap().1.best_cv_f1
+            tune_labeler(&x, &y, 2, &config, &mut rng)
+                .unwrap()
+                .1
+                .best_cv_f1
         })
     });
 }

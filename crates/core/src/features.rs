@@ -9,10 +9,26 @@
 
 use crate::pattern::Pattern;
 use crate::{CoreError, Result};
+use ig_faults::{FaultKind, FaultPlan, HealthReport, RecoveryAction, Stage};
 use ig_imaging::ncc::{match_template, match_template_pyramid, PyramidMatchConfig};
 use ig_imaging::resize::resize_bilinear;
 use ig_imaging::GrayImage;
 use ig_nn::Matrix;
+
+/// Pixel variance below which a pattern is degenerate: NCC normalizes by
+/// the pattern's standard deviation, so a (near-)constant pattern can
+/// never produce a meaningful score.
+const DEGENERATE_VARIANCE: f32 = 1e-10;
+
+fn pixel_variance(img: &GrayImage) -> f32 {
+    let px = img.pixels();
+    if px.is_empty() {
+        return 0.0;
+    }
+    let n = px.len() as f32;
+    let mean = px.iter().sum::<f32>() / n;
+    px.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n
+}
 
 /// Which matcher the FGFs use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,6 +43,10 @@ pub enum MatchBackend {
 #[derive(Debug, Clone)]
 pub struct FeatureGenerator {
     patterns: Vec<Pattern>,
+    /// Per-pattern quarantine mask: `false` = degenerate (zero variance),
+    /// its FGF always emits 0.0 without touching the matcher. Feature
+    /// dimensionality stays equal to the pattern count either way.
+    active: Vec<bool>,
     backend: MatchBackend,
     pyramid: PyramidMatchConfig,
     threads: usize,
@@ -35,17 +55,61 @@ pub struct FeatureGenerator {
 impl FeatureGenerator {
     /// Build with the pyramid backend and hardware parallelism.
     pub fn new(patterns: Vec<Pattern>) -> Result<Self> {
+        Self::new_with_health(patterns, None, &HealthReport::new())
+    }
+
+    /// [`FeatureGenerator::new`] with chaos-plan injection and health
+    /// reporting. Patterns the plan marks degenerate are flattened to
+    /// constant gray before detection runs; every quarantined pattern is
+    /// recorded on `health`. A quarantined pattern keeps its feature
+    /// column (constant 0.0) so feature dimensions never shift — which is
+    /// also what a degenerate pattern produced before quarantining
+    /// existed, since NCC on zero variance errors out into a 0.0 score.
+    pub fn new_with_health(
+        mut patterns: Vec<Pattern>,
+        plan: Option<&FaultPlan>,
+        health: &HealthReport,
+    ) -> Result<Self> {
         if patterns.is_empty() {
             return Err(CoreError::NoPatterns);
         }
+        if let Some(plan) = plan {
+            for (i, p) in patterns.iter_mut().enumerate() {
+                if plan.degenerate_pattern(i) {
+                    p.image.map_in_place(|_| 0.5);
+                }
+            }
+        }
+        let active: Vec<bool> = patterns
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let ok = pixel_variance(&p.image) > DEGENERATE_VARIANCE;
+                if !ok {
+                    health.record(
+                        Stage::Features,
+                        FaultKind::DegeneratePattern,
+                        RecoveryAction::QuarantinedPattern,
+                        format!("pattern {i}: zero pixel variance, FGF pinned to 0.0"),
+                    );
+                }
+                ok
+            })
+            .collect();
         Ok(Self {
             patterns,
+            active,
             backend: MatchBackend::Pyramid,
             pyramid: PyramidMatchConfig::default(),
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
         })
+    }
+
+    /// Number of non-quarantined patterns.
+    pub fn num_active(&self) -> usize {
+        self.active.iter().filter(|&&a| a).count()
     }
 
     /// Override the matching backend.
@@ -73,14 +137,66 @@ impl FeatureGenerator {
     /// Feature vector of one image: max NCC score per pattern. Patterns
     /// larger than the image are shrunk to fit (keeping aspect) before
     /// matching, mirroring the paper's re-adjustment of pattern sizes.
+    /// Quarantined patterns contribute a constant 0.0.
     pub fn features_for(&self, image: &GrayImage) -> Vec<f32> {
         self.patterns
             .iter()
-            .map(|p| self.match_one(image, &p.image))
+            .zip(&self.active)
+            .map(|(p, &active)| {
+                if active {
+                    self.match_one(image, &p.image).0
+                } else {
+                    0.0
+                }
+            })
             .collect()
     }
 
-    fn match_one(&self, image: &GrayImage, pattern: &GrayImage) -> f32 {
+    /// `features_for` with fault injection and per-value health events:
+    /// matcher errors and non-finite scores are recorded (and sanitized
+    /// to 0.0) instead of silently swallowed.
+    fn features_for_health(
+        &self,
+        image: &GrayImage,
+        row: usize,
+        plan: Option<&FaultPlan>,
+        health: &HealthReport,
+    ) -> Vec<f32> {
+        self.patterns
+            .iter()
+            .zip(&self.active)
+            .enumerate()
+            .map(|(col, (p, &active))| {
+                if !active {
+                    return 0.0;
+                }
+                let (mut v, error) = self.match_one(image, &p.image);
+                if let Some(msg) = error {
+                    health.record(
+                        Stage::Features,
+                        FaultKind::MatchError,
+                        RecoveryAction::SanitizedValue,
+                        format!("image {row}, pattern {col}: {msg}"),
+                    );
+                }
+                if let Some(plan) = plan {
+                    v = plan.corrupt_feature(row, col, v);
+                }
+                if !v.is_finite() {
+                    health.record(
+                        Stage::Features,
+                        FaultKind::NonFiniteFeature,
+                        RecoveryAction::SanitizedValue,
+                        format!("image {row}, pattern {col}: {v} replaced with 0.0"),
+                    );
+                    v = 0.0;
+                }
+                v
+            })
+            .collect()
+    }
+
+    fn match_one(&self, image: &GrayImage, pattern: &GrayImage) -> (f32, Option<String>) {
         let fitted;
         let pattern = if pattern.width() > image.width() || pattern.height() > image.height() {
             let sx = image.width() as f32 / pattern.width() as f32;
@@ -93,7 +209,7 @@ impl FeatureGenerator {
                     fitted = img;
                     &fitted
                 }
-                Err(_) => return 0.0,
+                Err(e) => return (0.0, Some(format!("pattern resize failed: {e}"))),
             }
         } else {
             pattern
@@ -102,44 +218,99 @@ impl FeatureGenerator {
             MatchBackend::Exact => match_template(image, pattern),
             MatchBackend::Pyramid => match_template_pyramid(image, pattern, &self.pyramid),
         };
-        result.map(|m| m.score).unwrap_or(0.0)
+        match result {
+            Ok(m) => (m.score, None),
+            Err(e) => (0.0, Some(format!("template match failed: {e}"))),
+        }
     }
 
     /// Feature matrix for a batch of images (rows = images), computed in
-    /// parallel across images with scoped threads.
+    /// parallel across images with scoped threads. A panicking worker no
+    /// longer aborts the batch — its chunk is recomputed serially.
     pub fn feature_matrix(&self, images: &[&GrayImage]) -> Matrix {
+        self.feature_matrix_with_health(images, None, &HealthReport::new())
+    }
+
+    /// [`FeatureGenerator::feature_matrix`] with fault injection and
+    /// health reporting. Recovery ladder per chunk: a worker thread that
+    /// panics (injected or real) is joined individually, the panic is
+    /// contained, and its rows are recomputed serially on the calling
+    /// thread, so one bad thread costs latency instead of the batch.
+    pub fn feature_matrix_with_health(
+        &self,
+        images: &[&GrayImage],
+        plan: Option<&FaultPlan>,
+        health: &HealthReport,
+    ) -> Matrix {
         let n = images.len();
         if n == 0 {
             return Matrix::zeros(0, self.num_features());
         }
         let threads = self.threads.min(n);
         if threads <= 1 {
-            let rows: Vec<Vec<f32>> =
-                images.iter().map(|img| self.features_for(img)).collect();
+            let rows: Vec<Vec<f32>> = images
+                .iter()
+                .enumerate()
+                .map(|(r, img)| self.features_for_health(img, r, plan, health))
+                .collect();
             return Matrix::from_rows(&rows);
         }
         let mut rows: Vec<Vec<f32>> = vec![Vec::new(); n];
         let chunk = n.div_ceil(threads);
-        crossbeam::thread::scope(|scope| {
-            for (slot, img_chunk) in rows.chunks_mut(chunk).zip(images.chunks(chunk)) {
-                scope.spawn(move |_| {
-                    for (row, img) in slot.iter_mut().zip(img_chunk) {
-                        *row = self.features_for(img);
+        let mut failed_chunks: Vec<usize> = Vec::new();
+        let scope_result = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (ci, (slot, img_chunk)) in
+                rows.chunks_mut(chunk).zip(images.chunks(chunk)).enumerate()
+            {
+                let handle = scope.spawn(move |_| {
+                    if plan.is_some_and(|p| p.worker_panic(ci)) {
+                        panic!("injected fault: feature worker {ci} panicked");
+                    }
+                    for (i, (row, img)) in slot.iter_mut().zip(img_chunk).enumerate() {
+                        *row = self.features_for_health(img, ci * chunk + i, plan, health);
                     }
                 });
+                handles.push((ci, handle));
             }
-        })
-        .expect("feature worker panicked");
+            // Join each worker individually: a panic surfaces as Err here
+            // instead of tearing down the scope.
+            for (ci, handle) in handles {
+                if handle.join().is_err() {
+                    failed_chunks.push(ci);
+                }
+            }
+        });
+        debug_assert!(scope_result.is_ok(), "all workers were joined in-scope");
+        for ci in failed_chunks {
+            health.record(
+                Stage::Features,
+                FaultKind::WorkerPanic,
+                RecoveryAction::SerialRecompute,
+                format!("feature worker chunk {ci} panicked; rows recomputed serially"),
+            );
+            let start = ci * chunk;
+            let end = (start + chunk).min(n);
+            for r in start..end {
+                rows[r] = self.features_for_health(images[r], r, plan, health);
+            }
+        }
         Matrix::from_rows(&rows)
     }
 
     /// Per-image maximum over all features — the "did anything match at
-    /// all" signal used by the Table 6 error analysis.
+    /// all" signal used by the Table 6 error analysis. An image with no
+    /// features (empty pattern row) reports 0.0, not `-inf`.
     pub fn max_similarity(features: &Matrix, row: usize) -> f32 {
-        features
+        let max = features
             .row(row)
             .iter()
-            .fold(f32::NEG_INFINITY, |m, &v| m.max(v))
+            .fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        if max.is_finite() {
+            max
+        } else {
+            0.0
+        }
     }
 }
 
@@ -260,5 +431,94 @@ mod tests {
         let m = Matrix::from_rows(&[vec![0.1, 0.9, 0.4], vec![0.2, 0.1, 0.3]]);
         assert_eq!(FeatureGenerator::max_similarity(&m, 0), 0.9);
         assert_eq!(FeatureGenerator::max_similarity(&m, 1), 0.3);
+    }
+
+    #[test]
+    fn max_similarity_empty_row_is_zero() {
+        // Regression: an empty feature row used to report -inf, which
+        // poisoned every downstream threshold comparison.
+        let m = Matrix::zeros(2, 0);
+        assert_eq!(FeatureGenerator::max_similarity(&m, 0), 0.0);
+        assert_eq!(FeatureGenerator::max_similarity(&m, 1), 0.0);
+    }
+
+    #[test]
+    fn degenerate_pattern_is_quarantined() {
+        use ig_faults::{FaultKind, HealthReport, RecoveryAction};
+        let health = HealthReport::new();
+        let flat = Pattern::crowd(GrayImage::filled(8, 8, 0.5));
+        let fg =
+            FeatureGenerator::new_with_health(vec![defect_pattern(), flat], None, &health).unwrap();
+        assert_eq!(fg.num_features(), 2, "feature dim must not shift");
+        assert_eq!(fg.num_active(), 1);
+        assert_eq!(health.count(FaultKind::DegeneratePattern), 1);
+        assert_eq!(health.count_action(RecoveryAction::QuarantinedPattern), 1);
+        let f = fg.features_for(&image_with_defect((10, 10)));
+        assert_eq!(f[1], 0.0, "quarantined FGF pinned to 0.0");
+        assert!(f[0] > 0.9, "live FGF unaffected: {}", f[0]);
+    }
+
+    #[test]
+    fn worker_panic_recovers_to_serial_result() {
+        use ig_faults::{FaultKind, FaultPlan, HealthReport, RecoveryAction};
+        let pats = vec![defect_pattern(), defect_pattern()];
+        let images: Vec<GrayImage> = (0..8).map(|i| image_with_defect((i * 4, 8))).collect();
+        let refs: Vec<&GrayImage> = images.iter().collect();
+        let serial = FeatureGenerator::new(pats.clone())
+            .unwrap()
+            .with_threads(1)
+            .feature_matrix(&refs);
+        let plan = FaultPlan {
+            seed: 5,
+            worker_panic_rate: 1.0, // every worker chunk panics
+            ..FaultPlan::default()
+        };
+        let health = HealthReport::new();
+        let parallel = FeatureGenerator::new(pats)
+            .unwrap()
+            .with_threads(4)
+            .feature_matrix_with_health(&refs, Some(&plan), &health);
+        assert_eq!(serial.shape(), parallel.shape());
+        for (a, b) in serial.as_slice().iter().zip(parallel.as_slice()) {
+            assert_eq!(a, b, "recovered result differs from serial");
+        }
+        assert!(health.count(FaultKind::WorkerPanic) >= 1);
+        assert!(health.count_action(RecoveryAction::SerialRecompute) >= 1);
+    }
+
+    #[test]
+    fn injected_non_finite_features_are_sanitized() {
+        use ig_faults::{FaultKind, FaultPlan, HealthReport};
+        let pats = vec![defect_pattern(), defect_pattern(), defect_pattern()];
+        let images: Vec<GrayImage> = (0..12).map(|i| image_with_defect((i * 3, 6))).collect();
+        let refs: Vec<&GrayImage> = images.iter().collect();
+        let plan = FaultPlan {
+            seed: 9,
+            nan_feature_rate: 0.2,
+            inf_feature_rate: 0.1,
+            ..FaultPlan::default()
+        };
+        let health = HealthReport::new();
+        let m = FeatureGenerator::new(pats)
+            .unwrap()
+            .with_threads(2)
+            .feature_matrix_with_health(&refs, Some(&plan), &health);
+        assert!(m.as_slice().iter().all(|v| v.is_finite()));
+        assert!(health.count(FaultKind::NonFiniteFeature) >= 1);
+    }
+
+    #[test]
+    fn empty_plan_matches_no_plan() {
+        use ig_faults::{FaultPlan, HealthReport};
+        let pats = vec![defect_pattern()];
+        let images: Vec<GrayImage> = (0..5).map(|i| image_with_defect((i * 6, 4))).collect();
+        let refs: Vec<&GrayImage> = images.iter().collect();
+        let fg = FeatureGenerator::new(pats).unwrap().with_threads(2);
+        let plain = fg.feature_matrix(&refs);
+        let health = HealthReport::new();
+        let with_empty_plan =
+            fg.feature_matrix_with_health(&refs, Some(&FaultPlan::none(3)), &health);
+        assert_eq!(plain.as_slice(), with_empty_plan.as_slice());
+        assert!(health.is_clean());
     }
 }

@@ -11,10 +11,17 @@
 //! converge far more reliably.
 
 use crate::{CoreError, Result};
-use ig_nn::lbfgs::LbfgsConfig;
+use ig_faults::{FaultKind, FaultPlan, HealthReport, RecoveryAction, Stage};
+use ig_nn::lbfgs::{minimize_robust, LbfgsConfig, RestartConfig};
 use ig_nn::mlp::{Loss, Mlp, MlpConfig, Targets};
 use ig_nn::{Activation, Matrix};
 use rand::Rng;
+
+/// Standardized features are clamped to this magnitude before entering
+/// the MLP. Genuine NCC features standardize to a few units at most, so
+/// the clamp only ever fires on pathological (hostile) inputs, where it
+/// keeps logits — and therefore probabilities — finite.
+const STANDARDIZED_CLAMP: f32 = 1e4;
 
 /// Labeler hyper-parameters.
 #[derive(Debug, Clone)]
@@ -92,8 +99,37 @@ impl Labeler {
     }
 
     /// Fit on a feature matrix and gold labels. Returns the final L-BFGS
-    /// loss.
+    /// loss. Non-finite feature values are sanitized to 0.0 before
+    /// standardization, and optimizer divergence triggers jittered
+    /// restarts; the fitted parameters are always finite.
     pub fn fit(&mut self, features: &Matrix, labels: &[usize]) -> Result<f32> {
+        self.fit_with_health(features, labels, None)
+    }
+
+    /// [`Labeler::fit`] recording every fault and recovery on `health`.
+    /// Returns `Err` only when the optimizer still diverges after
+    /// exhausting its restart budget (the caller's ladder then falls back
+    /// to a class-prior labeler).
+    pub fn fit_with_health(
+        &mut self,
+        features: &Matrix,
+        labels: &[usize],
+        health: Option<&HealthReport>,
+    ) -> Result<f32> {
+        self.fit_with_plan(features, labels, None, health)
+    }
+
+    /// [`Labeler::fit_with_health`] under an optional chaos plan: planned
+    /// objective evaluations return a poisoned (NaN) loss, exercising the
+    /// optimizer's reject/restart ladder end to end. Every non-finite
+    /// evaluation — injected or natural — is recorded on `health`.
+    pub fn fit_with_plan(
+        &mut self,
+        features: &Matrix,
+        labels: &[usize],
+        plan: Option<&FaultPlan>,
+        health: Option<&HealthReport>,
+    ) -> Result<f32> {
         if features.rows() != labels.len() {
             return Err(CoreError::BadDevSet(format!(
                 "{} feature rows vs {} labels",
@@ -106,20 +142,108 @@ impl Labeler {
         }
         self.compute_standardization(features);
         let x = self.standardize(features);
-        let result = if self.config.num_classes == 2 {
-            let targets =
+        let restart = RestartConfig::default();
+        let binary_targets;
+        let (targets, loss) = if self.config.num_classes == 2 {
+            binary_targets =
                 Matrix::from_vec(labels.len(), 1, labels.iter().map(|&l| l as f32).collect());
-            self.mlp
-                .fit_lbfgs(&x, &Targets::Binary(&targets), Loss::Bce, &self.config.lbfgs)
+            (Targets::Binary(&binary_targets), Loss::Bce)
         } else {
-            self.mlp.fit_lbfgs(
-                &x,
-                &Targets::Classes(labels),
-                Loss::CrossEntropy,
-                &self.config.lbfgs,
-            )
+            (Targets::Classes(labels), Loss::CrossEntropy)
         };
+        let x0 = self.mlp.params();
+        let model = self.mlp.clone();
+        let mut evals = 0usize;
+        let (result, restarts) = minimize_robust(
+            |p| {
+                let mut m = model.clone();
+                m.set_params(p);
+                let (mut l, g) = m.loss_and_grad(&x, &targets, loss);
+                let i = evals;
+                evals += 1;
+                if plan.is_some_and(|pl| pl.poison_loss(i)) {
+                    l = f32::NAN;
+                }
+                if !l.is_finite() || g.iter().any(|v| !v.is_finite()) {
+                    if let Some(h) = health {
+                        h.record(
+                            Stage::Training,
+                            FaultKind::LbfgsDivergence,
+                            RecoveryAction::NoneRequired,
+                            format!("non-finite loss/grad at objective evaluation {i}"),
+                        );
+                    }
+                }
+                (l, g)
+            },
+            x0,
+            &self.config.lbfgs,
+            &restart,
+        );
+        self.mlp.set_params(&result.x);
+        if restarts > 0 {
+            if let Some(h) = health {
+                h.record(
+                    Stage::Training,
+                    FaultKind::LbfgsDivergence,
+                    RecoveryAction::RestartedWithJitter,
+                    format!("labeler fit needed {restarts} jittered restart(s)"),
+                );
+            }
+        }
+        if result.diverged {
+            if let Some(h) = health {
+                h.record(
+                    Stage::Training,
+                    FaultKind::TrainingFailure,
+                    RecoveryAction::NoneRequired,
+                    "labeler fit diverged after exhausting restarts".into(),
+                );
+            }
+            return Err(CoreError::BadDevSet(
+                "labeler training diverged after exhausting restarts".into(),
+            ));
+        }
         Ok(result.loss)
+    }
+
+    /// A degenerate labeler that ignores features and always predicts the
+    /// class priors observed in `labels` — the last rung of the training
+    /// recovery ladder. Implemented as a zero-weight linear head whose
+    /// biases encode the priors, so every predict path (and its output
+    /// shape) is identical to a trained labeler's.
+    pub fn class_prior(
+        input_dim: usize,
+        config: LabelerConfig,
+        labels: &[usize],
+        rng: &mut impl Rng,
+    ) -> Result<Self> {
+        let num_classes = config.num_classes;
+        let mut counts = vec![1.0f64; num_classes]; // add-one smoothing
+        for &l in labels {
+            if l < num_classes {
+                counts[l] += 1.0;
+            }
+        }
+        let total: f64 = counts.iter().sum();
+        let head_config = LabelerConfig {
+            hidden: Vec::new(),
+            ..config
+        };
+        let mut labeler = Self::new(input_dim, head_config, rng)?;
+        let mut params = vec![0.0f32; labeler.mlp.num_params()];
+        let n_biases = labeler.mlp.output_dim();
+        let bias_start = params.len() - n_biases;
+        if num_classes == 2 {
+            let p1 = counts[1] / total;
+            params[bias_start] = (p1.ln() - (1.0 - p1).ln()) as f32; // logit
+        } else {
+            for (i, &c) in counts.iter().enumerate() {
+                params[bias_start + i] = (c / total).ln() as f32;
+            }
+        }
+        labeler.mlp.set_params(&params);
+        Ok(labeler)
     }
 
     /// Predicted class per feature row.
@@ -156,12 +280,16 @@ impl Labeler {
     }
 
     fn compute_standardization(&mut self, features: &Matrix) {
+        // Non-finite values are treated as 0.0 so one poisoned cell
+        // cannot turn a column's statistics (and with them every
+        // prediction) into NaN.
+        let clean = |v: f32| if v.is_finite() { v } else { 0.0 };
         let n = features.rows().max(1) as f32;
         let d = features.cols();
         let mut mean = vec![0.0f32; d];
         for r in 0..features.rows() {
             for (m, &v) in mean.iter_mut().zip(features.row(r)) {
-                *m += v;
+                *m += clean(v);
             }
         }
         for m in &mut mean {
@@ -170,20 +298,21 @@ impl Labeler {
         let mut var = vec![0.0f32; d];
         for r in 0..features.rows() {
             for ((s, &v), &m) in var.iter_mut().zip(features.row(r)).zip(&mean) {
+                let v = clean(v);
                 *s += (v - m) * (v - m);
             }
         }
-        self.feat_std = var
-            .into_iter()
-            .map(|s| (s / n).sqrt().max(1e-4))
-            .collect();
+        self.feat_std = var.into_iter().map(|s| (s / n).sqrt().max(1e-4)).collect();
         self.feat_mean = mean;
     }
 
     fn standardize(&self, features: &Matrix) -> Matrix {
         assert_eq!(features.cols(), self.feat_mean.len(), "feature dim drift");
         Matrix::from_fn(features.rows(), features.cols(), |r, c| {
-            (features.get(r, c) - self.feat_mean[c]) / self.feat_std[c]
+            let v = features.get(r, c);
+            let v = if v.is_finite() { v } else { 0.0 };
+            ((v - self.feat_mean[c]) / self.feat_std[c])
+                .clamp(-STANDARDIZED_CLAMP, STANDARDIZED_CLAMP)
         })
     }
 }
@@ -289,6 +418,59 @@ mod tests {
     fn one_class_config_rejected() {
         let mut rng = StdRng::seed_from_u64(7);
         assert!(Labeler::new(3, LabelerConfig::new(1), &mut rng).is_err());
+    }
+
+    #[test]
+    fn non_finite_features_never_poison_predictions() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let (mut x, y) = toy_data(20, 11);
+        // Poison a scattering of training cells.
+        x.set(0, 0, f32::NAN);
+        x.set(3, 1, f32::INFINITY);
+        x.set(7, 2, f32::NEG_INFINITY);
+        let mut labeler = Labeler::new(3, LabelerConfig::new(2), &mut rng).unwrap();
+        labeler.fit(&x, &y).unwrap();
+        // Poison the inference batch too.
+        let hostile = Matrix::from_rows(&[
+            vec![f32::NAN, f32::INFINITY, 1e30],
+            vec![f32::NEG_INFINITY, 0.5, f32::NAN],
+        ]);
+        let proba = labeler.predict_proba(&hostile);
+        for v in proba.as_slice() {
+            assert!(v.is_finite(), "probability {v} not finite");
+            assert!((0.0..=1.0).contains(v));
+        }
+        let preds = labeler.predict(&hostile);
+        assert!(preds.iter().all(|&p| p < 2));
+    }
+
+    #[test]
+    fn class_prior_labeler_predicts_majority() {
+        let mut rng = StdRng::seed_from_u64(12);
+        // 3:1 imbalance toward class 0.
+        let labels = vec![0, 0, 0, 1, 0, 0, 0, 1];
+        let labeler = Labeler::class_prior(4, LabelerConfig::new(2), &labels, &mut rng).unwrap();
+        let x = Matrix::from_rows(&[vec![0.9, 0.1, f32::NAN, 0.5], vec![0.0, 0.0, 0.0, 0.0]]);
+        let preds = labeler.predict(&x);
+        assert_eq!(preds, vec![0, 0], "majority class regardless of features");
+        let proba = labeler.predict_proba(&x);
+        for r in 0..proba.rows() {
+            // Smoothed prior: (2+1)/(8+2) = 0.3 for class 1.
+            assert!((proba.get(r, 1) - 0.3).abs() < 1e-3, "{}", proba.get(r, 1));
+            assert!(proba.as_slice().iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn class_prior_labeler_multiclass() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let labels = vec![2, 2, 2, 2, 0, 1];
+        let labeler = Labeler::class_prior(3, LabelerConfig::new(3), &labels, &mut rng).unwrap();
+        let x = Matrix::from_rows(&[vec![1.0, 2.0, 3.0]]);
+        assert_eq!(labeler.predict(&x), vec![2]);
+        let proba = labeler.predict_proba(&x);
+        let sum: f32 = proba.row(0).iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
     }
 
     #[test]

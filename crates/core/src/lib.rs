@@ -32,7 +32,11 @@ pub use labeler::{Labeler, LabelerConfig};
 pub use novelty::NoveltyDetector;
 pub use pattern::{Pattern, PatternSource};
 pub use pipeline::{InspectorGadget, PipelineConfig, WeakLabelOutput};
-pub use tuning::{tune_labeler, TuningConfig, TuningReport};
+pub use tuning::{tune_labeler, tune_labeler_with_health, TuningConfig, TuningReport};
+
+// Chaos-plan and health-report types, re-exported so pipeline callers
+// don't need a direct `ig-faults` dependency.
+pub use ig_faults::{FaultKind, FaultPlan, HealthEvent, HealthReport, RecoveryAction, Stage};
 
 /// Errors from the core pipeline.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -10,8 +10,9 @@
 use crate::features::{FeatureGenerator, MatchBackend};
 use crate::labeler::{Labeler, LabelerConfig};
 use crate::pattern::Pattern;
-use crate::tuning::{tune_labeler, TuningConfig, TuningReport};
+use crate::tuning::{tune_labeler_with_health, TuningConfig, TuningReport};
 use crate::Result;
+use ig_faults::{FaultKind, FaultPlan, HealthReport, RecoveryAction, Stage};
 use ig_imaging::GrayImage;
 use ig_nn::Matrix;
 use rand::Rng;
@@ -62,6 +63,8 @@ pub struct InspectorGadget {
     labeler: Labeler,
     /// Tuning report when tuning ran.
     pub tuning_report: Option<TuningReport>,
+    /// Every fault detected and recovery taken during training.
+    pub health: HealthReport,
 }
 
 impl InspectorGadget {
@@ -74,33 +77,96 @@ impl InspectorGadget {
         config: &PipelineConfig,
         rng: &mut impl Rng,
     ) -> Result<Self> {
-        let mut feature_gen = FeatureGenerator::new(patterns)?.with_backend(config.backend);
+        Self::train_with_plan(
+            patterns,
+            dev_images,
+            dev_labels,
+            num_classes,
+            config,
+            rng,
+            None,
+        )
+    }
+
+    /// [`InspectorGadget::train`] under an optional chaos plan, with the
+    /// full training recovery ladder:
+    ///
+    /// 1. degenerate patterns are quarantined, non-finite / errored
+    ///    features sanitized, panicked feature workers recomputed serially;
+    /// 2. tuning skips failing candidates; if tuning fails outright, the
+    ///    fixed `config.fixed_hidden` architecture is trained instead;
+    /// 3. if that fit also fails (diverged after restarts), the labeler
+    ///    degrades to the class-prior predictor.
+    ///
+    /// The resulting [`HealthReport`] is attached to the returned model.
+    /// `plan: None` (or an empty plan) changes nothing about training.
+    #[allow(clippy::too_many_arguments)]
+    pub fn train_with_plan(
+        patterns: Vec<Pattern>,
+        dev_images: &[&GrayImage],
+        dev_labels: &[usize],
+        num_classes: usize,
+        config: &PipelineConfig,
+        rng: &mut impl Rng,
+        plan: Option<&FaultPlan>,
+    ) -> Result<Self> {
+        let health = HealthReport::new();
+        let mut feature_gen = FeatureGenerator::new_with_health(patterns, plan, &health)?
+            .with_backend(config.backend);
         if config.threads > 0 {
             feature_gen = feature_gen.with_threads(config.threads);
         }
-        let features = feature_gen.feature_matrix(dev_images);
+        let features = feature_gen.feature_matrix_with_health(dev_images, plan, &health);
+
         let (labeler, report) = if config.tune {
-            let (labeler, report) =
-                tune_labeler(&features, dev_labels, num_classes, &config.tuning, rng)?;
-            (labeler, Some(report))
-        } else {
-            let mut labeler = Labeler::new(
-                features.cols(),
-                LabelerConfig {
-                    hidden: config.fixed_hidden.clone(),
-                    num_classes,
-                    l2: config.tuning.l2,
-                    lbfgs: config.tuning.lbfgs,
-                },
+            match tune_labeler_with_health(
+                &features,
+                dev_labels,
+                num_classes,
+                &config.tuning,
                 rng,
+                Some(&health),
+            ) {
+                Ok((labeler, report)) => (labeler, Some(report)),
+                Err(e) => {
+                    health.record(
+                        Stage::Tuning,
+                        FaultKind::TuningFailure,
+                        RecoveryAction::FallbackFixedArchitecture,
+                        format!(
+                            "tuning failed ({e}); training fixed {:?}",
+                            config.fixed_hidden
+                        ),
+                    );
+                    let labeler = fit_fixed_or_prior(
+                        &features,
+                        dev_labels,
+                        num_classes,
+                        config,
+                        rng,
+                        plan,
+                        &health,
+                    )?;
+                    (labeler, None)
+                }
+            }
+        } else {
+            let labeler = fit_fixed_or_prior(
+                &features,
+                dev_labels,
+                num_classes,
+                config,
+                rng,
+                plan,
+                &health,
             )?;
-            labeler.fit(&features, dev_labels)?;
             (labeler, None)
         };
         Ok(Self {
             feature_gen,
             labeler,
             tuning_report: report,
+            health,
         })
     }
 
@@ -137,6 +203,56 @@ impl InspectorGadget {
     }
 }
 
+/// Rungs 2 and 3 of the training recovery ladder: fit the fixed fallback
+/// architecture; if that fails too, degrade to the class-prior labeler.
+#[allow(clippy::too_many_arguments)]
+fn fit_fixed_or_prior(
+    features: &Matrix,
+    dev_labels: &[usize],
+    num_classes: usize,
+    config: &PipelineConfig,
+    rng: &mut impl Rng,
+    plan: Option<&FaultPlan>,
+    health: &HealthReport,
+) -> Result<Labeler> {
+    let fixed = Labeler::new(
+        features.cols(),
+        LabelerConfig {
+            hidden: config.fixed_hidden.clone(),
+            num_classes,
+            l2: config.tuning.l2,
+            lbfgs: config.tuning.lbfgs,
+        },
+        rng,
+    )
+    .and_then(|mut labeler| {
+        labeler.fit_with_plan(features, dev_labels, plan, Some(health))?;
+        Ok(labeler)
+    });
+    match fixed {
+        Ok(labeler) => Ok(labeler),
+        Err(e) => {
+            health.record(
+                Stage::Training,
+                FaultKind::TrainingFailure,
+                RecoveryAction::FallbackClassPrior,
+                format!("fixed-architecture fit failed ({e}); using class priors"),
+            );
+            Labeler::class_prior(
+                features.cols(),
+                LabelerConfig {
+                    hidden: Vec::new(),
+                    num_classes,
+                    l2: config.tuning.l2,
+                    lbfgs: config.tuning.lbfgs,
+                },
+                dev_labels,
+                rng,
+            )
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,10 +262,7 @@ mod tests {
 
     /// A miniature fully-synthetic task: images with or without a dark
     /// square; the pattern bank contains a dark-square crop.
-    fn make_task(
-        n: usize,
-        seed: u64,
-    ) -> (Vec<Pattern>, Vec<GrayImage>, Vec<usize>) {
+    fn make_task(n: usize, seed: u64) -> (Vec<Pattern>, Vec<GrayImage>, Vec<usize>) {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut images = Vec::new();
         let mut labels = Vec::new();
@@ -184,9 +297,8 @@ mod tests {
             tune: false,
             ..Default::default()
         };
-        let ig =
-            InspectorGadget::train(patterns, &refs[..30], &labels[..30], 2, &config, &mut rng)
-                .unwrap();
+        let ig = InspectorGadget::train(patterns, &refs[..30], &labels[..30], 2, &config, &mut rng)
+            .unwrap();
         let out = ig.label(&refs[30..]);
         let correct = out
             .labels
@@ -235,6 +347,97 @@ mod tests {
         let features = ig.feature_generator().feature_matrix(&refs);
         let via_features = ig.label_from_features(&features);
         assert_eq!(direct.labels, via_features.labels);
+    }
+
+    #[test]
+    fn clean_run_reports_clean_health() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let (mut patterns, images, labels) = make_task(40, 9);
+        // The second fixture pattern is constant by construction and
+        // would (correctly) trigger a quarantine event; drop it to test
+        // the genuinely clean path.
+        patterns.truncate(1);
+        let refs: Vec<&GrayImage> = images.iter().collect();
+        let config = PipelineConfig {
+            tune: false,
+            ..Default::default()
+        };
+        let ig = InspectorGadget::train(patterns, &refs, &labels, 2, &config, &mut rng).unwrap();
+        assert!(ig.health.is_clean(), "{}", ig.health.render());
+    }
+
+    #[test]
+    fn empty_plan_matches_train_without_plan() {
+        let (mut patterns, images, labels) = make_task(40, 11);
+        patterns.truncate(1); // drop the constant fixture pattern
+        let refs: Vec<&GrayImage> = images.iter().collect();
+        let config = PipelineConfig {
+            tune: false,
+            ..Default::default()
+        };
+        let mut rng_a = StdRng::seed_from_u64(12);
+        let plain = InspectorGadget::train(
+            patterns.clone(),
+            &refs[..30],
+            &labels[..30],
+            2,
+            &config,
+            &mut rng_a,
+        )
+        .unwrap();
+        let mut rng_b = StdRng::seed_from_u64(12);
+        let plan = FaultPlan::none(99);
+        let planned = InspectorGadget::train_with_plan(
+            patterns,
+            &refs[..30],
+            &labels[..30],
+            2,
+            &config,
+            &mut rng_b,
+            Some(&plan),
+        )
+        .unwrap();
+        assert!(planned.health.is_clean());
+        let out_a = plain.label(&refs[30..]);
+        let out_b = planned.label(&refs[30..]);
+        assert_eq!(out_a.labels, out_b.labels);
+        assert_eq!(
+            out_a.probabilities.as_slice(),
+            out_b.probabilities.as_slice()
+        );
+    }
+
+    #[test]
+    fn chaos_plan_survives_and_reports() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let (patterns, images, labels) = make_task(40, 15);
+        let refs: Vec<&GrayImage> = images.iter().collect();
+        let config = PipelineConfig {
+            tune: false,
+            threads: 4,
+            ..Default::default()
+        };
+        let plan = ig_faults::FaultPlan {
+            seed: 21,
+            nan_feature_rate: 0.05,
+            inf_feature_rate: 0.02,
+            degenerate_pattern_rate: 0.6,
+            worker_panic_rate: 0.5,
+            ..ig_faults::FaultPlan::default()
+        };
+        let ig = InspectorGadget::train_with_plan(
+            patterns,
+            &refs,
+            &labels,
+            2,
+            &config,
+            &mut rng,
+            Some(&plan),
+        )
+        .unwrap();
+        assert!(!ig.health.is_clean());
+        let out = ig.label(&refs);
+        assert!(out.probabilities.as_slice().iter().all(|v| v.is_finite()));
     }
 
     #[test]

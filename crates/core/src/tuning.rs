@@ -10,6 +10,7 @@
 use crate::labeler::{Labeler, LabelerConfig};
 use crate::{CoreError, Result};
 use ig_eval::metrics::{binary_f1, macro_f1};
+use ig_faults::{FaultKind, HealthReport, RecoveryAction, Stage};
 use ig_nn::lbfgs::LbfgsConfig;
 use ig_nn::train::{paper_fold_count, stratified_kfold};
 use ig_nn::Matrix;
@@ -162,6 +163,22 @@ pub fn tune_labeler(
     config: &TuningConfig,
     rng: &mut impl Rng,
 ) -> Result<(Labeler, TuningReport)> {
+    tune_labeler_with_health(features, labels, num_classes, config, rng, None)
+}
+
+/// [`tune_labeler`] with a recovery ladder: a candidate whose
+/// cross-validation fails (diverged fits, unusable folds) is skipped and
+/// recorded on `health` instead of aborting the whole search. Tuning
+/// only errors when *no* candidate survives — callers then fall back to
+/// a fixed architecture or a class-prior labeler.
+pub fn tune_labeler_with_health(
+    features: &Matrix,
+    labels: &[usize],
+    num_classes: usize,
+    config: &TuningConfig,
+    rng: &mut impl Rng,
+    health: Option<&HealthReport>,
+) -> Result<(Labeler, TuningReport)> {
     if features.rows() != labels.len() || features.rows() == 0 {
         return Err(CoreError::BadDevSet("empty or mismatched dev set".into()));
     }
@@ -181,7 +198,21 @@ pub fn tune_labeler(
     let mut candidates = Vec::new();
     let mut best: Option<CandidateScore> = None;
     for hidden in candidate_architectures(features.cols(), config.max_hidden_layers) {
-        let cv_f1 = cross_validate(features, labels, num_classes, &hidden, config, folds, rng)?;
+        let cv_f1 = match cross_validate(features, labels, num_classes, &hidden, config, folds, rng)
+        {
+            Ok(f1) => f1,
+            Err(e) => {
+                if let Some(h) = health {
+                    h.record(
+                        Stage::Tuning,
+                        FaultKind::TuningFailure,
+                        RecoveryAction::NoneRequired,
+                        format!("candidate {hidden:?} skipped: {e}"),
+                    );
+                }
+                continue;
+            }
+        };
         let cand = CandidateScore {
             hidden: hidden.clone(),
             cv_f1,
@@ -191,7 +222,11 @@ pub fn tune_labeler(
         }
         candidates.push(cand);
     }
-    let best = best.expect("at least one candidate");
+    let Some(best) = best else {
+        return Err(CoreError::BadDevSet(
+            "every tuning candidate failed cross-validation".into(),
+        ));
+    };
     let mut labeler = Labeler::new(
         features.cols(),
         LabelerConfig {
@@ -202,7 +237,7 @@ pub fn tune_labeler(
         },
         rng,
     )?;
-    labeler.fit(features, labels)?;
+    labeler.fit_with_health(features, labels, health)?;
     Ok((
         labeler,
         TuningReport {

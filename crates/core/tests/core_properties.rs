@@ -1,0 +1,149 @@
+//! Property tests for the labeler's robustness guarantees: no matter how
+//! hostile the feature matrix (NaN, +/-Inf, huge, denormal cells from the
+//! `ig-faults` adversarial generators), fitting never panics and
+//! predictions are always finite, valid probability distributions.
+
+use ig_core::{FaultKind, HealthReport, Labeler, LabelerConfig, RecoveryAction};
+use ig_faults::inject::{adversarial_labels, adversarial_matrix, corrupt_matrix};
+use ig_faults::FaultPlan;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Probabilities must be finite, in [0, 1], and sum to 1 per row.
+fn assert_valid_distributions(proba: &ig_nn::Matrix) {
+    for r in 0..proba.rows() {
+        let mut sum = 0.0f32;
+        for &v in proba.row(r) {
+            assert!(v.is_finite(), "probability {v} not finite");
+            assert!(
+                (-1e-5..=1.0 + 1e-5).contains(&v),
+                "probability {v} out of range"
+            );
+            sum += v;
+        }
+        assert!((sum - 1.0).abs() < 1e-4, "row {r} sums to {sum}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn labeler_never_emits_non_finite_probabilities(
+        rows in 4usize..16,
+        cols in 1usize..5,
+        seed in any::<u64>(),
+        hostile_rate in 0.0f64..0.5,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = adversarial_matrix(rows, cols, seed, hostile_rate);
+        let labels = adversarial_labels(rows, seed ^ 0xabcd);
+        let mut labeler = Labeler::new(cols, LabelerConfig::new(2), &mut rng).unwrap();
+        // Fitting may legitimately fail (divergence after restarts), but the
+        // labeler's parameters stay finite either way, so inference on a
+        // second hostile batch must still produce valid distributions.
+        let _ = labeler.fit(&x, &labels);
+        let hostile = adversarial_matrix(rows, cols, seed ^ 0x77, 0.6);
+        assert_valid_distributions(&labeler.predict_proba(&hostile));
+        prop_assert!(labeler.predict(&hostile).iter().all(|&p| p < 2));
+    }
+
+    #[test]
+    fn multiclass_labeler_survives_adversarial_features(
+        labels in proptest::collection::vec(0usize..3, 6..20),
+        seed in any::<u64>(),
+        hostile_rate in 0.0f64..0.4,
+    ) {
+        // Ensure all three classes appear so the fit is well-posed.
+        let mut labels = labels;
+        labels[0] = 0;
+        labels[1] = 1;
+        labels[2] = 2;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = adversarial_matrix(labels.len(), 4, seed, hostile_rate);
+        let mut labeler = Labeler::new(4, LabelerConfig::new(3), &mut rng).unwrap();
+        let _ = labeler.fit(&x, &labels);
+        assert_valid_distributions(&labeler.predict_proba(&x));
+        prop_assert!(labeler.predict(&x).iter().all(|&p| p < 3));
+    }
+
+    #[test]
+    fn poisoned_lbfgs_evaluations_are_recorded_and_survived(
+        seed in any::<u64>(),
+        poison_rate in 0.05f64..0.5,
+    ) {
+        // Clean, separable data; the only hostility is the plan poisoning
+        // a fraction of objective evaluations with NaN losses.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<Vec<f32>> = (0..20)
+            .map(|i| {
+                let hi = if i % 2 == 0 { 0.95 } else { 0.82 };
+                vec![hi, 0.84, hi - 0.02]
+            })
+            .collect();
+        let labels: Vec<usize> = (0..20).map(|i| i % 2).collect();
+        let x = ig_nn::Matrix::from_rows(&rows);
+        let plan = FaultPlan {
+            seed,
+            lbfgs_poison_rate: poison_rate,
+            ..FaultPlan::default()
+        };
+        let health = HealthReport::new();
+        let mut labeler = Labeler::new(3, LabelerConfig::new(2), &mut rng).unwrap();
+        let outcome = labeler.fit_with_plan(&x, &labels, Some(&plan), Some(&health));
+        // Every injected poison shows up as a divergence event, and the
+        // parameters survive regardless of the fit outcome.
+        if outcome.is_err() {
+            prop_assert!(health.count(FaultKind::TrainingFailure) >= 1);
+        }
+        prop_assert!(
+            health.count(FaultKind::LbfgsDivergence) >= 1
+                || health.count_action(RecoveryAction::RestartedWithJitter) == 0
+        );
+        assert_valid_distributions(&labeler.predict_proba(&x));
+    }
+
+    #[test]
+    fn plan_corrupted_features_never_poison_predictions(
+        rows in 4usize..16,
+        cols in 1usize..5,
+        seed in any::<u64>(),
+        nan_rate in 0.0f64..0.4,
+        inf_rate in 0.0f64..0.3,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = adversarial_matrix(rows, cols, seed, 0.0); // benign base
+        let plan = FaultPlan {
+            seed: seed ^ 0x1234,
+            nan_feature_rate: nan_rate,
+            inf_feature_rate: inf_rate,
+            ..FaultPlan::default()
+        };
+        let cells = corrupt_matrix(&mut x, &plan);
+        for &(r, c) in &cells {
+            prop_assert!(!x.get(r, c).is_finite());
+        }
+        let labels = adversarial_labels(rows, seed ^ 0x9999);
+        let mut labeler = Labeler::new(cols, LabelerConfig::new(2), &mut rng).unwrap();
+        let _ = labeler.fit(&x, &labels);
+        assert_valid_distributions(&labeler.predict_proba(&x));
+    }
+
+    #[test]
+    fn class_prior_labeler_ignores_hostile_features(
+        rows in 2usize..10,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let labels = adversarial_labels(rows, seed);
+        let labeler = Labeler::class_prior(3, LabelerConfig::new(2), &labels, &mut rng).unwrap();
+        let hostile = adversarial_matrix(rows, 3, seed ^ 0x4242, 0.7);
+        let proba = labeler.predict_proba(&hostile);
+        assert_valid_distributions(&proba);
+        // Priors depend only on the labels: every row gets the same P(1).
+        for r in 1..proba.rows() {
+            prop_assert!((proba.get(r, 1) - proba.get(0, 1)).abs() < 1e-6);
+        }
+    }
+}

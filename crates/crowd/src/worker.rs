@@ -202,7 +202,10 @@ mod tests {
         };
         let careful_match = matching(&WorkerModel::careful(), &mut rng);
         let sloppy_match = matching(&WorkerModel::sloppy(), &mut rng);
-        assert!(sloppy_match < careful_match, "{sloppy_match} vs {careful_match}");
+        assert!(
+            sloppy_match < careful_match,
+            "{sloppy_match} vs {careful_match}"
+        );
         let _ = (careful, sloppy);
     }
 

@@ -4,9 +4,20 @@
 use crate::combine::{combine_boxes, CombineStrategy};
 use crate::review::PeerReviewModel;
 use crate::worker::WorkerModel;
+use ig_faults::{FaultKind, FaultPlan, HealthReport, RecoveryAction, Stage};
 use ig_imaging::{BBox, GrayImage};
 use ig_synth::LabeledImage;
 use rand::Rng;
+
+/// IoU above which two workers' boxes count as corroborating each other.
+const AGREEMENT_IOU: f32 = 0.1;
+/// Minimum boxes a worker must have drawn before the spammer screen can
+/// fire (protects tiny dev sets from false positives).
+const SPAM_MIN_BOXES: usize = 5;
+/// Corroboration fraction below which a worker counts as a spammer.
+/// Honest workers mostly annotate the same gold defects and land well
+/// above this; random spam almost never overlaps another worker's boxes.
+const SPAM_AGREEMENT_MIN: f64 = 0.2;
 
 /// Workflow configuration. The Table 3 ablations correspond to:
 ///
@@ -65,64 +76,214 @@ impl CrowdWorkflow {
 
     /// Run the workflow over the development images.
     pub fn run(&self, dev_images: &[&LabeledImage], rng: &mut impl Rng) -> WorkflowOutput {
-        let mut patterns = Vec::new();
-        let mut final_boxes_per_image = Vec::with_capacity(dev_images.len());
-        let mut raw_box_count = 0usize;
-        let mut outlier_count = 0usize;
+        self.run_with_health(dev_images, rng, None, &HealthReport::new())
+    }
+
+    /// [`CrowdWorkflow::run`] with crew health screening and optional fault
+    /// injection.
+    ///
+    /// After annotation the crew is screened: a worker who produced no
+    /// boxes at all while others did is flagged as a no-show; a worker
+    /// whose boxes are almost never corroborated by another worker is
+    /// flagged as a spammer and their boxes are excluded from combination.
+    /// Both are recorded on `health` with
+    /// [`RecoveryAction::ExcludedWorker`]. The screen needs at least two
+    /// workers — the single-worker ablation passes through untouched.
+    pub fn run_with_health(
+        &self,
+        dev_images: &[&LabeledImage],
+        rng: &mut impl Rng,
+        plan: Option<&FaultPlan>,
+        health: &HealthReport,
+    ) -> WorkflowOutput {
+        // First pass in the workflow's original per-image order —
+        // annotation, combination and peer review interleaved — so a run
+        // with no plan (or an empty one) consumes the RNG stream exactly
+        // as `run` always has and produces bit-identical output. Raw
+        // annotations are retained per worker so the crew can be screened
+        // afterwards.
+        let mut boxes_per_image: Vec<Vec<Vec<BBox>>> = Vec::with_capacity(dev_images.len());
+        let mut out = WorkflowOutput {
+            patterns: Vec::new(),
+            final_boxes_per_image: Vec::with_capacity(dev_images.len()),
+            raw_box_count: 0,
+            outlier_count: 0,
+        };
         for image in dev_images {
-            // 1. Annotation.
-            let mut raw: Vec<BBox> = Vec::new();
-            for worker in &self.workers {
-                raw.extend(worker.annotate(image, rng));
+            // 1. Annotation (with optional injected crew faults).
+            let mut per_worker = Vec::with_capacity(self.workers.len());
+            for (widx, worker) in self.workers.iter().enumerate() {
+                let boxes = match plan {
+                    Some(p) if p.crowd_no_show(widx) => Vec::new(),
+                    Some(p) if p.crowd_spammer(widx) => spam_boxes(image, rng),
+                    _ => worker.annotate(image, rng),
+                };
+                per_worker.push(boxes);
             }
-            raw_box_count += raw.len();
+            let raw: Vec<BBox> = per_worker.iter().flatten().copied().collect();
+            out.raw_box_count += raw.len();
+            let (final_boxes, mut patterns, n_outliers) = self.assemble_image(image, raw, rng);
+            out.outlier_count += n_outliers;
+            out.patterns.append(&mut patterns);
+            out.final_boxes_per_image.push(final_boxes);
+            boxes_per_image.push(per_worker);
+        }
 
-            // 2. Combination (or pass-through).
-            let (mut final_boxes, outliers) = match self.combine {
-                Some(strategy) => {
-                    let out = combine_boxes(&raw, strategy);
-                    (out.combined, out.outliers)
-                }
-                None => (raw, Vec::new()),
+        // Screen the crew on what it actually produced (not on the plan:
+        // natural no-shows and spammers are caught the same way). Only a
+        // flagged worker triggers the redo below — the clean path returns
+        // the first pass untouched.
+        let excluded = screen_crew(&boxes_per_image, self.workers.len(), health);
+        if excluded.iter().any(|&e| e) {
+            let mut redone = WorkflowOutput {
+                patterns: Vec::new(),
+                final_boxes_per_image: Vec::with_capacity(dev_images.len()),
+                // Keep the "boxes drawn" semantics: exclusion drops boxes
+                // from combination, not from the drawing tally.
+                raw_box_count: out.raw_box_count,
+                outlier_count: 0,
             };
-            outlier_count += outliers.len();
-
-            // 3. Peer review of outliers.
-            match (&self.peer_review, outliers) {
-                (Some(panel), outliers) => {
-                    final_boxes.extend(panel.review_all(
-                        &outliers,
-                        &image.defect_boxes,
-                        rng,
-                    ));
-                }
-                (None, outliers) => final_boxes.extend(outliers),
+            for (image, per_worker) in dev_images.iter().zip(&boxes_per_image) {
+                let raw: Vec<BBox> = per_worker
+                    .iter()
+                    .enumerate()
+                    .filter(|&(w, _)| !excluded[w])
+                    .flat_map(|(_, boxes)| boxes.iter().copied())
+                    .collect();
+                let (final_boxes, mut patterns, n_outliers) = self.assemble_image(image, raw, rng);
+                redone.outlier_count += n_outliers;
+                redone.patterns.append(&mut patterns);
+                redone.final_boxes_per_image.push(final_boxes);
             }
+            out = redone;
+        }
+        out
+    }
 
-            // 4. Crop patterns.
-            for bbox in &final_boxes {
-                if let Some(crop) = crop_pattern(&image.image, bbox, self.crop_margin) {
-                    if crop.width() >= self.min_pattern_side
-                        && crop.height() >= self.min_pattern_side
-                    {
-                        patterns.push(crop);
-                    }
+    /// Combine, peer-review and crop one image's raw boxes. Returns the
+    /// final boxes, the cropped patterns and the outlier-queue size.
+    fn assemble_image(
+        &self,
+        image: &LabeledImage,
+        raw: Vec<BBox>,
+        rng: &mut impl Rng,
+    ) -> (Vec<BBox>, Vec<GrayImage>, usize) {
+        // 2. Combination (or pass-through).
+        let (mut final_boxes, outliers) = match self.combine {
+            Some(strategy) => {
+                let out = combine_boxes(&raw, strategy);
+                (out.combined, out.outliers)
+            }
+            None => (raw, Vec::new()),
+        };
+        let n_outliers = outliers.len();
+
+        // 3. Peer review of outliers.
+        match (&self.peer_review, outliers) {
+            (Some(panel), outliers) => {
+                final_boxes.extend(panel.review_all(&outliers, &image.defect_boxes, rng));
+            }
+            (None, outliers) => final_boxes.extend(outliers),
+        }
+
+        // 4. Crop patterns.
+        let mut patterns = Vec::new();
+        for bbox in &final_boxes {
+            if let Some(crop) = crop_pattern(&image.image, bbox, self.crop_margin) {
+                if crop.width() >= self.min_pattern_side && crop.height() >= self.min_pattern_side {
+                    patterns.push(crop);
                 }
             }
-            final_boxes_per_image.push(final_boxes);
         }
-        WorkflowOutput {
-            patterns,
-            final_boxes_per_image,
-            raw_box_count,
-            outlier_count,
-        }
+        (final_boxes, patterns, n_outliers)
     }
 }
 
 /// Crop the image region under `bbox` inflated by `margin`.
 fn crop_pattern(image: &GrayImage, bbox: &BBox, margin: f32) -> Option<GrayImage> {
     image.crop_bbox(&bbox.inflated(margin))
+}
+
+/// Random garbage boxes an injected spammer draws instead of annotating.
+/// Small sides keep chance overlap with honest boxes rare, which is what
+/// the agreement screen keys on.
+fn spam_boxes(image: &LabeledImage, rng: &mut impl Rng) -> Vec<BBox> {
+    let (w, h) = image.image.dims();
+    let count = rng.gen_range(3..=8);
+    (0..count)
+        .filter_map(|_| {
+            let bw = rng.gen_range(3.0..9.0f32);
+            let bh = rng.gen_range(3.0..9.0f32);
+            BBox::new(
+                rng.gen_range(0.0..(w as f32 - bw).max(1.0)),
+                rng.gen_range(0.0..(h as f32 - bh).max(1.0)),
+                bw,
+                bh,
+            )
+            .clip(w, h)
+        })
+        .collect()
+}
+
+/// Flag no-shows (zero boxes while others produced some) and spammers
+/// (boxes almost never corroborated by a different worker). Returns the
+/// per-worker exclusion mask.
+fn screen_crew(
+    boxes_per_image: &[Vec<Vec<BBox>>],
+    n_workers: usize,
+    health: &HealthReport,
+) -> Vec<bool> {
+    let mut excluded = vec![false; n_workers];
+    if n_workers < 2 || boxes_per_image.is_empty() {
+        return excluded;
+    }
+    let mut totals = vec![0usize; n_workers];
+    let mut corroborated = vec![0usize; n_workers];
+    for per_worker in boxes_per_image {
+        for w in 0..n_workers {
+            for b in &per_worker[w] {
+                totals[w] += 1;
+                let agrees = per_worker
+                    .iter()
+                    .enumerate()
+                    .any(|(o, boxes)| o != w && boxes.iter().any(|ob| ob.iou(b) > AGREEMENT_IOU));
+                if agrees {
+                    corroborated[w] += 1;
+                }
+            }
+        }
+    }
+    let any_boxes = totals.iter().any(|&t| t > 0);
+    for w in 0..n_workers {
+        if totals[w] == 0 {
+            if any_boxes {
+                excluded[w] = true;
+                health.record(
+                    Stage::Crowd,
+                    FaultKind::CrowdNoShow,
+                    RecoveryAction::ExcludedWorker,
+                    format!(
+                        "worker {w} produced no annotations across {} images",
+                        boxes_per_image.len()
+                    ),
+                );
+            }
+        } else if totals[w] >= SPAM_MIN_BOXES
+            && (corroborated[w] as f64 / totals[w] as f64) < SPAM_AGREEMENT_MIN
+        {
+            excluded[w] = true;
+            health.record(
+                Stage::Crowd,
+                FaultKind::CrowdSpammer,
+                RecoveryAction::ExcludedWorker,
+                format!(
+                    "worker {w}: only {}/{} boxes corroborated by another worker",
+                    corroborated[w], totals[w]
+                ),
+            );
+        }
+    }
+    excluded
 }
 
 /// Everything the workflow produced.
@@ -267,6 +428,72 @@ mod tests {
         let out = CrowdWorkflow::full().run(&[], &mut rng);
         assert!(out.patterns.is_empty());
         assert_eq!(out.gold_recall(&[], 0.1), 1.0);
+    }
+
+    #[test]
+    fn injected_no_show_is_detected_and_reported() {
+        use ig_faults::{FaultKind, FaultPlan, RecoveryAction};
+        let (d, idx) = dev_images(45);
+        let refs: Vec<&LabeledImage> = idx.iter().map(|&i| &d.images[i]).collect();
+        // Find a seed where exactly one of the three workers no-shows.
+        let plan = (0..200)
+            .map(|s| FaultPlan {
+                seed: s,
+                crowd_no_show_rate: 0.3,
+                ..FaultPlan::default()
+            })
+            .find(|p| (0..3).filter(|&i| p.crowd_no_show(i)).count() == 1)
+            .expect("some seed singles out one worker");
+        let health = HealthReport::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let out = CrowdWorkflow::full().run_with_health(&refs, &mut rng, Some(&plan), &health);
+        assert_eq!(health.count(FaultKind::CrowdNoShow), 1);
+        assert_eq!(health.count_action(RecoveryAction::ExcludedWorker), 1);
+        assert!(!out.patterns.is_empty(), "two workers still cover the set");
+    }
+
+    #[test]
+    fn injected_spammer_is_detected_and_excluded() {
+        use ig_faults::{FaultKind, FaultPlan, RecoveryAction};
+        let (d, idx) = dev_images(46);
+        let refs: Vec<&LabeledImage> = idx.iter().map(|&i| &d.images[i]).collect();
+        let plan = (0..200)
+            .map(|s| FaultPlan {
+                seed: s,
+                crowd_spammer_rate: 0.3,
+                ..FaultPlan::default()
+            })
+            .find(|p| (0..3).filter(|&i| p.crowd_spammer(i)).count() == 1)
+            .expect("some seed singles out one worker");
+        let health = HealthReport::new();
+        let mut rng = StdRng::seed_from_u64(6);
+        let workflow = CrowdWorkflow::full();
+        let out = workflow.run_with_health(&refs, &mut rng, Some(&plan), &health);
+        assert_eq!(health.count(FaultKind::CrowdSpammer), 1);
+        assert!(health.count_action(RecoveryAction::ExcludedWorker) >= 1);
+        // Spam was dropped before combination, so precision holds up.
+        let precision = out.gold_precision(&refs, 0.1);
+        assert!(precision > 0.5, "precision {precision} after exclusion");
+    }
+
+    #[test]
+    fn empty_plan_matches_plain_run() {
+        use ig_faults::FaultPlan;
+        let (d, idx) = dev_images(47);
+        let refs: Vec<&LabeledImage> = idx.iter().map(|&i| &d.images[i]).collect();
+        let workflow = CrowdWorkflow::full();
+        let mut rng_a = StdRng::seed_from_u64(7);
+        let plain = workflow.run(&refs, &mut rng_a);
+        let mut rng_b = StdRng::seed_from_u64(7);
+        let health = HealthReport::new();
+        let screened =
+            workflow.run_with_health(&refs, &mut rng_b, Some(&FaultPlan::none(5)), &health);
+        assert_eq!(plain.raw_box_count, screened.raw_box_count);
+        assert_eq!(plain.patterns, screened.patterns);
+        assert_eq!(
+            plain.final_boxes_per_image.len(),
+            screened.final_boxes_per_image.len()
+        );
     }
 
     #[test]

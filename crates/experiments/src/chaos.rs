@@ -1,0 +1,245 @@
+//! Chaos experiment: end-to-end fault injection and recovery.
+//!
+//! Not a paper table — a robustness harness for this reproduction. Two
+//! arms run the full pipeline (crowd → augmentation → features → labeler)
+//! on the same data and seeds: a *clean* arm under an empty [`FaultPlan`]
+//! and a *chaos* arm under [`FaultPlan::chaos`], which injects every fault
+//! class the plan supports (no-show and spamming crowdworkers, degenerate
+//! patterns, NaN/Inf features, panicking feature workers, poisoned L-BFGS
+//! evaluations, a diverging GAN epoch). The chaos arm must still return a
+//! trained model; its [`HealthReport`] enumerates every fault detected and
+//! the recovery applied.
+
+use crate::common::{default_policies, f1, gan_config, Prepared, Report, Scale};
+use ig_augment::{augment_with_health, AugmentMethod};
+use ig_core::{
+    FaultPlan, HealthEvent, HealthReport, InspectorGadget, MatchBackend, Pattern, PatternSource,
+    PipelineConfig,
+};
+use ig_crowd::{CrowdWorkflow, WorkerModel};
+use ig_synth::spec::DatasetKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ArmRecord {
+    arm: String,
+    f1: f64,
+    fault_events: usize,
+    events: Vec<HealthEvent>,
+}
+
+/// Run the chaos experiment.
+pub fn run(scale: Scale, seed: u64, out: &str) {
+    let mut report = Report::new("chaos", out);
+    report.line("Chaos: fault injection and recovery across the full pipeline");
+    report.line(format!("{:<8} {:>8} {:>8}", "arm", "F1", "faults"));
+    let kind = DatasetKind::ProductScratch;
+    let prepared = Prepared::new(kind, scale, seed);
+    let mut records = Vec::new();
+    for (arm, plan) in [
+        ("clean", FaultPlan::none(seed)),
+        ("chaos", FaultPlan::chaos(seed)),
+    ] {
+        let health = HealthReport::new();
+        match run_arm(&prepared, kind, scale, seed, Some(&plan), &health) {
+            Some(score) => {
+                report.line(format!("{arm:<8} {score:>8.3} {:>8}", health.len()));
+                for line in health.render().lines() {
+                    report.line(format!("    {line}"));
+                }
+                records.push(ArmRecord {
+                    arm: arm.to_string(),
+                    f1: score,
+                    fault_events: health.len(),
+                    events: health.events(),
+                });
+            }
+            None => {
+                // Even a failed arm explains itself: the health events up
+                // to the bail-out point say why the pipeline fell over.
+                report.line(format!("{arm:<8} {:>8} (pipeline unavailable)", "-"));
+                for line in health.render().lines() {
+                    report.line(format!("    {line}"));
+                }
+            }
+        }
+    }
+    report.finish(&records);
+}
+
+/// A five-worker crew: large enough that an injected no-show plus an
+/// injected spammer still leave an honest, mutually-corroborating
+/// majority for the screening step to lean on.
+fn chaos_crew() -> CrowdWorkflow {
+    let mut workflow = CrowdWorkflow::full();
+    workflow.workers.push(WorkerModel::typical());
+    workflow.workers.push(WorkerModel::careful());
+    workflow
+}
+
+/// One full pipeline run under an optional plan. Returns the test-set F1;
+/// every stage's fault events are merged into `health` (also on failure,
+/// so a bailed-out arm still carries its diagnosis).
+fn run_arm(
+    prepared: &Prepared,
+    kind: DatasetKind,
+    scale: Scale,
+    seed: u64,
+    plan: Option<&FaultPlan>,
+    health: &HealthReport,
+) -> Option<f64> {
+    let dev = prepared.dev_images();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let crowd_out = chaos_crew().run_with_health(&dev, &mut rng, plan, health);
+    if crowd_out.patterns.is_empty() {
+        return None;
+    }
+    let policies = default_policies(kind);
+    let all_patterns = augment_with_health(
+        &crowd_out.patterns,
+        AugmentMethod::Both,
+        scale.augment_budget(),
+        &policies,
+        &gan_config(scale),
+        &mut rng,
+        plan,
+        health,
+    );
+    let dev_images: Vec<&ig_imaging::GrayImage> = dev.iter().map(|l| &l.image).collect();
+    let dev_labels: Vec<usize> = dev.iter().map(|l| l.label).collect();
+    let patterns = Pattern::wrap_all(all_patterns, PatternSource::Crowd);
+    // Fixed architecture (tuning has its own ladder, exercised in unit
+    // tests) and exactly two feature workers so chunk indices — and hence
+    // planned worker panics — are stable across machines.
+    let config = PipelineConfig {
+        backend: MatchBackend::Pyramid,
+        tune: false,
+        threads: 2,
+        ..Default::default()
+    };
+    let ig = InspectorGadget::train_with_plan(
+        patterns,
+        &dev_images,
+        &dev_labels,
+        prepared.num_classes(),
+        &config,
+        &mut rng,
+        plan,
+    )
+    .ok()?;
+    health.absorb(&ig.health);
+    let test = prepared.test_images();
+    let test_refs: Vec<&ig_imaging::GrayImage> = test.iter().map(|l| &l.image).collect();
+    let out = ig.label(&test_refs);
+    let score = f1(prepared.num_classes(), &prepared.test_labels(), &out.labels);
+    Some(score)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ig_core::{FaultKind, RecoveryAction};
+    use ig_faults::GanFault;
+
+    /// The acceptance test for the fault subsystem: every fault class the
+    /// plan supports fires in one run, training still returns a model, and
+    /// the health report enumerates each fault with its recovery.
+    #[test]
+    fn chaos_run_survives_every_fault_class() {
+        // Probe for a plan seed whose deterministic decisions hit exactly
+        // one no-show and one spammer in the five-worker crew (leaving an
+        // honest majority) and poison the first L-BFGS evaluation.
+        let plan = (0..50_000u64)
+            .map(|s| FaultPlan {
+                seed: s,
+                nan_feature_rate: 0.05,
+                inf_feature_rate: 0.02,
+                degenerate_pattern_rate: 0.3,
+                crowd_no_show_rate: 0.25,
+                crowd_spammer_rate: 0.25,
+                worker_panic_rate: 0.9,
+                lbfgs_poison_rate: 0.02,
+                gan_fault_epoch: Some(1),
+                gan_fault: GanFault::Diverge,
+            })
+            .find(|p| {
+                (0..5).filter(|&i| p.crowd_no_show(i)).count() == 1
+                    && (0..5).filter(|&i| p.crowd_spammer(i)).count() == 1
+                    && p.poison_loss(0)
+                    && (0..2).any(|i| p.worker_panic(i))
+                    && (0..20).any(|i| p.degenerate_pattern(i))
+                    && (0..10).any(|r| (0..10).any(|c| !p.corrupt_feature(r, c, 1.0).is_finite()))
+            })
+            .expect("some seed hits the target fault pattern");
+
+        let prepared = Prepared::new(DatasetKind::ProductScratch, Scale::Quick, 7);
+        let health = HealthReport::new();
+        let score = run_arm(
+            &prepared,
+            DatasetKind::ProductScratch,
+            Scale::Quick,
+            7,
+            Some(&plan),
+            &health,
+        )
+        .expect("chaos run still trains");
+        assert!(score.is_finite());
+
+        for kind in [
+            FaultKind::CrowdNoShow,
+            FaultKind::CrowdSpammer,
+            FaultKind::GanDivergence,
+            FaultKind::DegeneratePattern,
+            FaultKind::NonFiniteFeature,
+            FaultKind::WorkerPanic,
+            FaultKind::LbfgsDivergence,
+        ] {
+            assert!(health.count(kind) >= 1, "no {kind} event recorded");
+        }
+        for action in [
+            RecoveryAction::ExcludedWorker,
+            RecoveryAction::RolledBackSnapshot,
+            RecoveryAction::QuarantinedPattern,
+            RecoveryAction::SanitizedValue,
+            RecoveryAction::SerialRecompute,
+            RecoveryAction::RestartedWithJitter,
+        ] {
+            assert!(
+                health.count_action(action) >= 1,
+                "no {action} recovery recorded"
+            );
+        }
+    }
+
+    /// Empty plan and no plan must be indistinguishable end to end: same
+    /// RNG stream, same weak labels, same F1, clean health.
+    #[test]
+    fn empty_plan_leaves_accuracy_unchanged() {
+        let prepared = Prepared::new(DatasetKind::ProductScratch, Scale::Quick, 9);
+        let h_none = HealthReport::new();
+        let f1_none = run_arm(
+            &prepared,
+            DatasetKind::ProductScratch,
+            Scale::Quick,
+            9,
+            None,
+            &h_none,
+        )
+        .expect("clean run trains");
+        let empty = FaultPlan::none(9);
+        let h_empty = HealthReport::new();
+        let f1_empty = run_arm(
+            &prepared,
+            DatasetKind::ProductScratch,
+            Scale::Quick,
+            9,
+            Some(&empty),
+            &h_empty,
+        )
+        .expect("clean run trains");
+        assert_eq!(f1_none, f1_empty, "empty plan changed the outcome");
+        assert!(h_none.is_clean() && h_empty.is_clean());
+    }
+}

@@ -132,8 +132,7 @@ impl Prepared {
             in_dev.insert(next);
             dev_order.push(next);
         }
-        let test_indices: Vec<usize> =
-            (0..dataset.len()).filter(|i| !in_dev.contains(i)).collect();
+        let test_indices: Vec<usize> = (0..dataset.len()).filter(|i| !in_dev.contains(i)).collect();
         Prepared {
             dataset,
             dev_order,
@@ -148,7 +147,10 @@ impl Prepared {
 
     /// Dev images (full dev set).
     pub fn dev_images(&self) -> Vec<&LabeledImage> {
-        self.dev_order.iter().map(|&i| &self.dataset.images[i]).collect()
+        self.dev_order
+            .iter()
+            .map(|&i| &self.dataset.images[i])
+            .collect()
     }
 
     /// A prefix of the dev set of size `k` (clamped).
@@ -195,29 +197,74 @@ pub fn default_policies(kind: DatasetKind) -> Vec<Policy> {
     match kind {
         // Cracks: stretch + rotate (line-shaped defects).
         DatasetKind::Ksdd => vec![
-            Policy { op: PolicyOp::Rotate, magnitude: 12.0 },
-            Policy { op: PolicyOp::ResizeY, magnitude: 1.4 },
-            Policy { op: PolicyOp::Brightness, magnitude: 1.15 },
+            Policy {
+                op: PolicyOp::Rotate,
+                magnitude: 12.0,
+            },
+            Policy {
+                op: PolicyOp::ResizeY,
+                magnitude: 1.4,
+            },
+            Policy {
+                op: PolicyOp::Brightness,
+                magnitude: 1.15,
+            },
         ],
         DatasetKind::ProductScratch => vec![
-            Policy { op: PolicyOp::Rotate, magnitude: 8.0 },
-            Policy { op: PolicyOp::ResizeX, magnitude: 1.5 },
-            Policy { op: PolicyOp::Brightness, magnitude: 0.9 },
+            Policy {
+                op: PolicyOp::Rotate,
+                magnitude: 8.0,
+            },
+            Policy {
+                op: PolicyOp::ResizeX,
+                magnitude: 1.5,
+            },
+            Policy {
+                op: PolicyOp::Brightness,
+                magnitude: 0.9,
+            },
         ],
         DatasetKind::ProductBubble => vec![
-            Policy { op: PolicyOp::ResizeX, magnitude: 1.2 },
-            Policy { op: PolicyOp::Brightness, magnitude: 0.85 },
-            Policy { op: PolicyOp::Noise, magnitude: 0.03 },
+            Policy {
+                op: PolicyOp::ResizeX,
+                magnitude: 1.2,
+            },
+            Policy {
+                op: PolicyOp::Brightness,
+                magnitude: 0.85,
+            },
+            Policy {
+                op: PolicyOp::Noise,
+                magnitude: 0.03,
+            },
         ],
         DatasetKind::ProductStamping => vec![
-            Policy { op: PolicyOp::TranslateX, magnitude: 2.0 },
-            Policy { op: PolicyOp::Brightness, magnitude: 1.1 },
-            Policy { op: PolicyOp::Contrast, magnitude: 1.3 },
+            Policy {
+                op: PolicyOp::TranslateX,
+                magnitude: 2.0,
+            },
+            Policy {
+                op: PolicyOp::Brightness,
+                magnitude: 1.1,
+            },
+            Policy {
+                op: PolicyOp::Contrast,
+                magnitude: 1.3,
+            },
         ],
         DatasetKind::Neu => vec![
-            Policy { op: PolicyOp::Rotate, magnitude: 15.0 },
-            Policy { op: PolicyOp::Contrast, magnitude: 1.3 },
-            Policy { op: PolicyOp::Noise, magnitude: 0.04 },
+            Policy {
+                op: PolicyOp::Rotate,
+                magnitude: 15.0,
+            },
+            Policy {
+                op: PolicyOp::Contrast,
+                magnitude: 1.3,
+            },
+            Policy {
+                op: PolicyOp::Noise,
+                magnitude: 0.04,
+            },
         ],
     }
 }

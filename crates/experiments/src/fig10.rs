@@ -61,7 +61,10 @@ Figure 10 (reproduction, scale={scale:?}): F1 vs #augmented patterns on {}",
     let mut rng = StdRng::seed_from_u64(seed ^ 0xf11);
     let gan = Rgan::train(&base_patterns, &gan_config(scale), &mut rng);
 
-    report.line(format!("{:>12} {:>14} {:>14}", "#augmented", "Policy-based", "GAN-based"));
+    report.line(format!(
+        "{:>12} {:>14} {:>14}",
+        "#augmented", "Policy-based", "GAN-based"
+    ));
     let mut points = Vec::new();
     for &count in &counts {
         let mut rng = StdRng::seed_from_u64(seed ^ 0xf12 ^ count as u64);
@@ -101,7 +104,10 @@ Figure 10 (reproduction, scale={scale:?}): F1 vs #augmented patterns on {}",
             .find(|p| p.augmented_patterns == 0)
             .map(|p| p.f1)
             .unwrap_or(0.0);
-        let best = series.iter().map(|p| p.f1).fold(f64::NEG_INFINITY, f64::max);
+        let best = series
+            .iter()
+            .map(|p| p.f1)
+            .fold(f64::NEG_INFINITY, f64::max);
         report.line(format!(
             "{method}: F1 {at_zero:.3} with no augmentation → best {best:.3} \
              (paper: adding patterns helps, then plateaus)"

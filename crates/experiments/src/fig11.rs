@@ -51,7 +51,10 @@ pub fn run(scale: Scale, seed: u64, out: &str) {
         let mut rng = StdRng::seed_from_u64(seed ^ 0xf11a);
         let base = crowd_patterns(&dev, &CrowdWorkflow::full(), seed ^ 0xf11b);
         if base.is_empty() {
-            report.line(format!("{:<22} (skipped: no patterns)", kind.display_name()));
+            report.line(format!(
+                "{:<22} (skipped: no patterns)",
+                kind.display_name()
+            ));
             continue;
         }
         let patterns = augment(

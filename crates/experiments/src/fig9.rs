@@ -60,7 +60,10 @@ pub fn run(scale: Scale, seed: u64, out: &str) {
         report.line(format!(
             "{:>8} {}",
             "dev",
-            METHODS.iter().map(|m| format!("{m:>26}")).collect::<String>()
+            METHODS
+                .iter()
+                .map(|m| format!("{m:>26}"))
+                .collect::<String>()
         ));
 
         // GOGGLES: clusters the whole corpus; dev labels only name the
@@ -70,9 +73,8 @@ pub fn run(scale: Scale, seed: u64, out: &str) {
             let mut rng = StdRng::seed_from_u64(seed ^ 0x90);
             let all_imgs: Vec<&GrayImage> =
                 prepared.dataset.images.iter().map(|l| &l.image).collect();
-            let dev_small = prepared.dev_prefix(
-                ((prepared.dev_order.len() as f64) * fractions[0]) as usize,
-            );
+            let dev_small =
+                prepared.dev_prefix(((prepared.dev_order.len() as f64) * fractions[0]) as usize);
             let dev_pairs: Vec<(usize, usize)> = prepared
                 .dev_order
                 .iter()
@@ -164,8 +166,7 @@ pub fn run(scale: Scale, seed: u64, out: &str) {
                     Scale::Paper => 640,
                 };
                 let synthnet = ig_synth::synthnet::generate(corpus_n, 32, seed ^ 0x71);
-                let src_imgs: Vec<&GrayImage> =
-                    synthnet.images.iter().map(|l| &l.image).collect();
+                let src_imgs: Vec<&GrayImage> = synthnet.images.iter().map(|l| &l.image).collect();
                 let src_labels = synthnet.labels();
                 let pretrain_config = ig_baselines::selflearn::SelfLearnConfig {
                     epochs: (cnn_config.epochs / 2).max(3),
@@ -194,7 +195,10 @@ pub fn run(scale: Scale, seed: u64, out: &str) {
             report.line(format!(
                 "{:>8} {}",
                 dev_size,
-                scores.iter().map(|s| format!("{s:>26.3}")).collect::<String>()
+                scores
+                    .iter()
+                    .map(|s| format!("{s:>26.3}"))
+                    .collect::<String>()
             ));
             for (m, &s) in METHODS.iter().zip(&scores) {
                 points.push(Point {

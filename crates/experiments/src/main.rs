@@ -5,9 +5,10 @@
 //! ig-experiments <experiment> [--scale quick|medium|paper] [--seed N] [--out DIR]
 //!
 //! experiments: table1 table2 table3 table4 table5 table6
-//!              fig9 fig10 fig11 combine all
+//!              fig9 fig10 fig11 combine chaos all
 //!              ("combine" is an extra ablation of the box-combination
-//!              strategy from Section 3, not a numbered paper table)
+//!              strategy from Section 3, not a numbered paper table;
+//!              "chaos" is the fault-injection / recovery harness)
 //! ```
 //!
 //! `--scale medium` (default) keeps the paper's class ratios at reduced
@@ -15,6 +16,7 @@
 //! uses Table 1's exact N. Outputs go to stdout and `<out>/<exp>.{txt,json}`.
 
 mod ablation_combine;
+mod chaos;
 mod common;
 mod fig10;
 mod fig11;
@@ -71,7 +73,7 @@ fn main() {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: ig-experiments <table1..table6|fig9|fig10|fig11|all> \
+                "usage: ig-experiments <table1..table6|fig9|fig10|fig11|combine|chaos|all> \
                  [--scale quick|medium|paper] [--seed N] [--out DIR]"
             );
             std::process::exit(2);
@@ -88,6 +90,7 @@ fn main() {
         "combine" => ablation_combine::run(args.scale, args.seed, &args.out),
         "fig10" => fig10::run(args.scale, args.seed, &args.out),
         "fig11" => fig11::run(args.scale, args.seed, &args.out),
+        "chaos" => chaos::run(args.scale, args.seed, &args.out),
         other => {
             eprintln!("unknown experiment {other}");
             std::process::exit(2);
@@ -95,8 +98,8 @@ fn main() {
     };
     if args.experiment == "all" {
         for name in [
-            "table1", "table2", "table3", "table4", "table5", "table6", "fig9", "fig10",
-            "fig11", "combine",
+            "table1", "table2", "table3", "table4", "table5", "table6", "fig9", "fig10", "fig11",
+            "combine", "chaos",
         ] {
             let started = std::time::Instant::now();
             println!("\n===================== {name} =====================");

@@ -31,11 +31,10 @@ pub fn run(scale: Scale, seed: u64, out: &str) {
         let dev = prepared.dev_images();
         let mut scores = [0.0f64; 4];
         for (i, method) in AugmentMethod::all().into_iter().enumerate() {
-            scores[i] = run_inspector_gadget(
-                &prepared, &dev, method, budget, scale, false, kind, seed,
-            )
-            .map(|r| r.f1)
-            .unwrap_or(0.0);
+            scores[i] =
+                run_inspector_gadget(&prepared, &dev, method, budget, scale, false, kind, seed)
+                    .map(|r| r.f1)
+                    .unwrap_or(0.0);
         }
         report.line(format!(
             "{:<22} {:>9.3} {:>13.3} {:>11.3} {:>11.3}",

@@ -66,7 +66,10 @@ pub fn run(scale: Scale, seed: u64, out: &str) {
             seed,
         );
         let Some(ig_run) = ig_run else {
-            report.line(format!("{:<22} (skipped: no patterns)", kind.display_name()));
+            report.line(format!(
+                "{:<22} (skipped: no patterns)",
+                kind.display_name()
+            ));
             continue;
         };
         let weak_labels: Vec<usize> = ig_run.weak_labels[..half].to_vec();

@@ -40,7 +40,10 @@ pub fn run(scale: Scale, seed: u64, out: &str) {
             kind,
             seed,
         ) else {
-            report.line(format!("{:<22} (skipped: no patterns)", kind.display_name()));
+            report.line(format!(
+                "{:<22} (skipped: no patterns)",
+                kind.display_name()
+            ));
             continue;
         };
         let test = prepared.test_images();
@@ -91,9 +94,7 @@ pub fn run(scale: Scale, seed: u64, out: &str) {
     }
     let matching_dominant = rows
         .iter()
-        .filter(|r| {
-            r.matching_failure >= r.noisy_data && r.matching_failure >= r.difficult
-        })
+        .filter(|r| r.matching_failure >= r.noisy_data && r.matching_failure >= r.difficult)
         .count();
     report.line(format!(
         "Matching failure is the most common cause on {matching_dominant}/{} datasets \

@@ -1,0 +1,315 @@
+//! Health events and the thread-safe report that collects them.
+
+use std::fmt;
+use std::sync::Mutex;
+
+use serde::Serialize;
+
+/// Pipeline stage where a fault was detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Stage {
+    /// Crowd annotation / combination / peer review.
+    Crowd,
+    /// Pattern augmentation (policies and GAN).
+    Augmentation,
+    /// Feature generation (template matching).
+    Features,
+    /// Architecture tuning / cross-validation.
+    Tuning,
+    /// Labeler training (L-BFGS).
+    Training,
+    /// End-to-end pipeline orchestration.
+    Pipeline,
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Stage::Crowd => "crowd",
+            Stage::Augmentation => "augmentation",
+            Stage::Features => "features",
+            Stage::Tuning => "tuning",
+            Stage::Training => "training",
+            Stage::Pipeline => "pipeline",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Class of fault detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum FaultKind {
+    /// A feature value came back NaN or infinite.
+    NonFiniteFeature,
+    /// A pattern has (near-)zero variance and can never match anything.
+    DegeneratePattern,
+    /// A parallel feature worker thread panicked.
+    WorkerPanic,
+    /// Template matching returned an error for an image/pattern pair.
+    MatchError,
+    /// A crowd worker produced no annotations at all.
+    CrowdNoShow,
+    /// A crowd worker produced garbage (spam) annotations.
+    CrowdSpammer,
+    /// L-BFGS hit a non-finite loss or gradient.
+    LbfgsDivergence,
+    /// Architecture tuning failed outright.
+    TuningFailure,
+    /// Labeler training failed even after retries.
+    TrainingFailure,
+    /// GAN losses diverged (exploded or went non-finite).
+    GanDivergence,
+    /// GAN generator collapsed to near-identical outputs.
+    GanModeCollapse,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FaultKind::NonFiniteFeature => "non-finite feature",
+            FaultKind::DegeneratePattern => "degenerate pattern",
+            FaultKind::WorkerPanic => "worker panic",
+            FaultKind::MatchError => "match error",
+            FaultKind::CrowdNoShow => "crowd no-show",
+            FaultKind::CrowdSpammer => "crowd spammer",
+            FaultKind::LbfgsDivergence => "l-bfgs divergence",
+            FaultKind::TuningFailure => "tuning failure",
+            FaultKind::TrainingFailure => "training failure",
+            FaultKind::GanDivergence => "gan divergence",
+            FaultKind::GanModeCollapse => "gan mode collapse",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Recovery action taken in response to a fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum RecoveryAction {
+    /// Replaced the offending value with a safe default.
+    SanitizedValue,
+    /// Removed the pattern from the working set.
+    QuarantinedPattern,
+    /// Recomputed the affected chunk serially on the calling thread.
+    SerialRecompute,
+    /// Dropped the worker's annotations from combination.
+    ExcludedWorker,
+    /// Restarted optimization from jittered parameters.
+    RestartedWithJitter,
+    /// Skipped tuning and used the fixed fallback architecture.
+    FallbackFixedArchitecture,
+    /// Fell back to the class-prior labeler (no trained MLP).
+    FallbackClassPrior,
+    /// Rolled GAN parameters back to the best recorded snapshot.
+    RolledBackSnapshot,
+    /// Dropped GAN output and used policy-based augmentation only.
+    PolicyOnlyAugmentation,
+    /// Fault was recorded but needed no intervention.
+    NoneRequired,
+}
+
+impl fmt::Display for RecoveryAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RecoveryAction::SanitizedValue => "sanitized value",
+            RecoveryAction::QuarantinedPattern => "quarantined pattern",
+            RecoveryAction::SerialRecompute => "serial recompute",
+            RecoveryAction::ExcludedWorker => "excluded worker",
+            RecoveryAction::RestartedWithJitter => "restarted with jitter",
+            RecoveryAction::FallbackFixedArchitecture => "fallback fixed architecture",
+            RecoveryAction::FallbackClassPrior => "fallback class prior",
+            RecoveryAction::RolledBackSnapshot => "rolled back snapshot",
+            RecoveryAction::PolicyOnlyAugmentation => "policy-only augmentation",
+            RecoveryAction::NoneRequired => "none required",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One detected fault and the recovery applied to it.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct HealthEvent {
+    /// Stage that detected the fault.
+    pub stage: Stage,
+    /// Fault class.
+    pub kind: FaultKind,
+    /// Recovery taken.
+    pub action: RecoveryAction,
+    /// Human-readable context (pattern index, iteration number, ...).
+    pub detail: String,
+}
+
+impl fmt::Display for HealthEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} -> {} ({})",
+            self.stage, self.kind, self.action, self.detail
+        )
+    }
+}
+
+/// Thread-safe sink of [`HealthEvent`]s produced during a pipeline run.
+///
+/// Recording takes `&self` so the report can be shared across parallel
+/// feature workers. A lock poisoned by a panicking worker is recovered
+/// rather than propagated — losing a report line is better than losing
+/// the run.
+#[derive(Debug, Default)]
+pub struct HealthReport {
+    events: Mutex<Vec<HealthEvent>>,
+}
+
+impl HealthReport {
+    /// Empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one event.
+    pub fn record(&self, stage: Stage, kind: FaultKind, action: RecoveryAction, detail: String) {
+        self.lock().push(HealthEvent {
+            stage,
+            kind,
+            action,
+            detail,
+        });
+    }
+
+    /// Snapshot of all events in recording order.
+    pub fn events(&self) -> Vec<HealthEvent> {
+        self.lock().clone()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// True when no fault has been recorded.
+    pub fn is_clean(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Alias of [`HealthReport::is_clean`] (pairs with [`HealthReport::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.is_clean()
+    }
+
+    /// Number of events of the given fault class.
+    pub fn count(&self, kind: FaultKind) -> usize {
+        self.lock().iter().filter(|e| e.kind == kind).count()
+    }
+
+    /// Number of events that applied the given recovery.
+    pub fn count_action(&self, action: RecoveryAction) -> usize {
+        self.lock().iter().filter(|e| e.action == action).count()
+    }
+
+    /// Move all events from `other` into `self` (in order).
+    pub fn absorb(&self, other: &HealthReport) {
+        let mut moved = std::mem::take(&mut *other.lock());
+        self.lock().append(&mut moved);
+    }
+
+    /// Multi-line human-readable rendering.
+    pub fn render(&self) -> String {
+        let events = self.lock();
+        if events.is_empty() {
+            return "health: clean (no faults detected)".to_string();
+        }
+        let mut out = format!("health: {} fault(s) detected\n", events.len());
+        for e in events.iter() {
+            out.push_str(&format!("  {e}\n"));
+        }
+        out
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<HealthEvent>> {
+        self.events.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+impl Clone for HealthReport {
+    fn clone(&self) -> Self {
+        Self {
+            events: Mutex::new(self.events()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let report = HealthReport::new();
+        assert!(report.is_clean());
+        report.record(
+            Stage::Features,
+            FaultKind::NonFiniteFeature,
+            RecoveryAction::SanitizedValue,
+            "row 3 col 1".into(),
+        );
+        report.record(
+            Stage::Training,
+            FaultKind::LbfgsDivergence,
+            RecoveryAction::RestartedWithJitter,
+            "iter 7".into(),
+        );
+        assert!(!report.is_clean());
+        assert_eq!(report.len(), 2);
+        assert_eq!(report.count(FaultKind::NonFiniteFeature), 1);
+        assert_eq!(report.count_action(RecoveryAction::RestartedWithJitter), 1);
+        assert_eq!(report.count(FaultKind::GanDivergence), 0);
+    }
+
+    #[test]
+    fn absorb_moves_events() {
+        let a = HealthReport::new();
+        let b = HealthReport::new();
+        b.record(
+            Stage::Crowd,
+            FaultKind::CrowdNoShow,
+            RecoveryAction::ExcludedWorker,
+            "worker 2".into(),
+        );
+        a.absorb(&b);
+        assert_eq!(a.len(), 1);
+        assert!(b.is_clean());
+    }
+
+    #[test]
+    fn render_mentions_every_event() {
+        let report = HealthReport::new();
+        assert!(report.render().contains("clean"));
+        report.record(
+            Stage::Augmentation,
+            FaultKind::GanModeCollapse,
+            RecoveryAction::PolicyOnlyAugmentation,
+            "epoch 12".into(),
+        );
+        let text = report.render();
+        assert!(text.contains("gan mode collapse"));
+        assert!(text.contains("policy-only augmentation"));
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let report = std::sync::Arc::new(HealthReport::new());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let r = std::sync::Arc::clone(&report);
+                s.spawn(move || {
+                    r.record(
+                        Stage::Features,
+                        FaultKind::MatchError,
+                        RecoveryAction::SanitizedValue,
+                        format!("thread {t}"),
+                    );
+                });
+            }
+        });
+        assert_eq!(report.len(), 4);
+    }
+}

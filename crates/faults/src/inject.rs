@@ -1,0 +1,134 @@
+//! Adversarial input generators for property tests.
+//!
+//! These build feature matrices seeded deterministically, with a
+//! controllable fraction of hostile entries (NaN, +/-Inf, huge, denormal),
+//! so `ig-core` and `ig-nn` properties can assert that labelers and
+//! optimizers never leak non-finite values no matter what comes in.
+
+use ig_nn::Matrix;
+
+use crate::plan::FaultPlan;
+
+/// Deterministic adversarial matrix: mostly moderate values with a
+/// `hostile_rate` fraction of NaN / +/-Inf / 1e30 / -1e30 / denormals.
+pub fn adversarial_matrix(rows: usize, cols: usize, seed: u64, hostile_rate: f64) -> Matrix {
+    let mut state = seed ^ 0xA076_1D64_78BD_642F;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    };
+    Matrix::from_fn(rows, cols, |_, _| {
+        let roll = (next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        if roll < hostile_rate {
+            match next() % 6 {
+                0 => f32::NAN,
+                1 => f32::INFINITY,
+                2 => f32::NEG_INFINITY,
+                3 => 1e30,
+                4 => -1e30,
+                _ => f32::MIN_POSITIVE / 2.0,
+            }
+        } else {
+            let unit = (next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            (unit * 2.0 - 1.0) as f32 * 10.0
+        }
+    })
+}
+
+/// Apply a plan's NaN/Inf feature faults to a matrix in place. Returns
+/// the `(row, col)` cells that were corrupted.
+pub fn corrupt_matrix(m: &mut Matrix, plan: &FaultPlan) -> Vec<(usize, usize)> {
+    let mut corrupted = Vec::new();
+    for r in 0..m.rows() {
+        for c in 0..m.cols() {
+            let v = m.get(r, c);
+            let cv = plan.corrupt_feature(r, c, v);
+            if cv.to_bits() != v.to_bits() {
+                m.set(r, c, cv);
+                corrupted.push((r, c));
+            }
+        }
+    }
+    corrupted
+}
+
+/// Binary labels (0/1) matching `rows`, deterministic in `seed`, with
+/// both classes guaranteed present when `rows >= 2`.
+pub fn adversarial_labels(rows: usize, seed: u64) -> Vec<usize> {
+    let mut labels: Vec<usize> = (0..rows)
+        .map(|i| {
+            let z = crate::plan::FaultPlan {
+                seed,
+                ..Default::default()
+            };
+            usize::from(z.decide("labels", i as u64, 0.5))
+        })
+        .collect();
+    if rows >= 2 {
+        labels[0] = 0;
+        labels[1] = 1;
+    }
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adversarial_matrix_is_deterministic() {
+        let a = adversarial_matrix(8, 5, 9, 0.3);
+        let b = adversarial_matrix(8, 5, 9, 0.3);
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn adversarial_matrix_contains_hostile_values() {
+        let m = adversarial_matrix(40, 10, 3, 0.3);
+        assert!(m.as_slice().iter().any(|v| !v.is_finite()));
+        assert!(m.as_slice().iter().any(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn zero_rate_is_benign() {
+        let m = adversarial_matrix(20, 6, 5, 0.0);
+        assert!(m
+            .as_slice()
+            .iter()
+            .all(|v| v.is_finite() && v.abs() <= 10.0));
+    }
+
+    #[test]
+    fn corrupt_matrix_reports_cells() {
+        let plan = FaultPlan {
+            seed: 1,
+            nan_feature_rate: 0.2,
+            ..FaultPlan::default()
+        };
+        let mut m = Matrix::zeros(30, 4);
+        let cells = corrupt_matrix(&mut m, &plan);
+        assert!(!cells.is_empty());
+        for &(r, c) in &cells {
+            assert!(m.get(r, c).is_nan());
+        }
+        let clean: usize = (0..m.rows())
+            .flat_map(|r| (0..m.cols()).map(move |c| (r, c)))
+            .filter(|rc| !cells.contains(rc))
+            .map(|(r, c)| usize::from(m.get(r, c) == 0.0))
+            .sum();
+        assert_eq!(clean, m.len() - cells.len());
+    }
+
+    #[test]
+    fn labels_have_both_classes() {
+        let labels = adversarial_labels(16, 2);
+        assert!(labels.contains(&0));
+        assert!(labels.contains(&1));
+        assert!(labels.iter().all(|&l| l <= 1));
+    }
+}

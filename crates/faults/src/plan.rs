@@ -1,0 +1,253 @@
+//! Deterministic, seeded chaos plans.
+
+/// Fault forced onto a GAN training epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GanFault {
+    /// Make the losses explode / go non-finite.
+    Diverge,
+    /// Collapse the generator onto a single output mode.
+    Collapse,
+}
+
+/// A deterministic chaos plan.
+///
+/// Every decision is a pure function of `(seed, site, index)` via a
+/// SplitMix64 hash, so a plan injects the *same* faults on every run and
+/// on every thread — no shared RNG, no ordering sensitivity. The default
+/// plan has every rate at zero and every switch off: it injects nothing,
+/// and pipelines treat `Some(&FaultPlan::default())` identically to
+/// `None`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed mixed into every decision.
+    pub seed: u64,
+    /// Probability a computed feature value is replaced by NaN.
+    pub nan_feature_rate: f64,
+    /// Probability a computed feature value is replaced by +/- infinity.
+    pub inf_feature_rate: f64,
+    /// Probability a crowd pattern is flattened to constant gray
+    /// (zero variance — it can never match anything).
+    pub degenerate_pattern_rate: f64,
+    /// Probability a crowd worker silently produces no annotations.
+    pub crowd_no_show_rate: f64,
+    /// Probability a crowd worker is a spammer emitting random boxes.
+    pub crowd_spammer_rate: f64,
+    /// Probability a parallel feature-worker chunk panics mid-compute.
+    pub worker_panic_rate: f64,
+    /// Probability an L-BFGS evaluation returns a non-finite loss.
+    pub lbfgs_poison_rate: f64,
+    /// Epoch at which GAN training is forced to misbehave, if any.
+    pub gan_fault_epoch: Option<usize>,
+    /// What the GAN fault looks like when `gan_fault_epoch` fires.
+    pub gan_fault: GanFault,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            nan_feature_rate: 0.0,
+            inf_feature_rate: 0.0,
+            degenerate_pattern_rate: 0.0,
+            crowd_no_show_rate: 0.0,
+            crowd_spammer_rate: 0.0,
+            worker_panic_rate: 0.0,
+            lbfgs_poison_rate: 0.0,
+            gan_fault_epoch: None,
+            gan_fault: GanFault::Diverge,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Empty plan: injects nothing.
+    pub fn none(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Preset exercising every fault class at moderate rates.
+    pub fn chaos(seed: u64) -> Self {
+        Self {
+            seed,
+            nan_feature_rate: 0.02,
+            inf_feature_rate: 0.01,
+            degenerate_pattern_rate: 0.15,
+            crowd_no_show_rate: 0.25,
+            crowd_spammer_rate: 0.25,
+            worker_panic_rate: 0.25,
+            lbfgs_poison_rate: 0.02,
+            gan_fault_epoch: Some(1),
+            gan_fault: GanFault::Diverge,
+        }
+    }
+
+    /// True when the plan can never inject anything.
+    pub fn is_empty(&self) -> bool {
+        self.nan_feature_rate == 0.0
+            && self.inf_feature_rate == 0.0
+            && self.degenerate_pattern_rate == 0.0
+            && self.crowd_no_show_rate == 0.0
+            && self.crowd_spammer_rate == 0.0
+            && self.worker_panic_rate == 0.0
+            && self.lbfgs_poison_rate == 0.0
+            && self.gan_fault_epoch.is_none()
+    }
+
+    /// Deterministic biased coin for `(site, index)` at probability `rate`.
+    pub fn decide(&self, site: &str, index: u64, rate: f64) -> bool {
+        if rate <= 0.0 {
+            return false;
+        }
+        if rate >= 1.0 {
+            return true;
+        }
+        let mut h = self.seed ^ 0x9E3779B97F4A7C15;
+        for b in site.bytes() {
+            h = h.wrapping_mul(0x100000001B3) ^ b as u64;
+        }
+        h ^= index.wrapping_mul(0xD1B54A32D192ED03);
+        let unit = (splitmix64(h) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < rate
+    }
+
+    /// Corrupt one feature value per the NaN/Inf rates. Returns the value
+    /// unchanged when no fault fires for this `(row, col)` cell.
+    pub fn corrupt_feature(&self, row: usize, col: usize, value: f32) -> f32 {
+        let index = (row as u64) << 32 | col as u64;
+        if self.decide("feature-nan", index, self.nan_feature_rate) {
+            f32::NAN
+        } else if self.decide("feature-inf", index, self.inf_feature_rate) {
+            if index & 1 == 0 {
+                f32::INFINITY
+            } else {
+                f32::NEG_INFINITY
+            }
+        } else {
+            value
+        }
+    }
+
+    /// Should pattern `idx` be flattened to constant gray?
+    pub fn degenerate_pattern(&self, idx: usize) -> bool {
+        self.decide(
+            "degenerate-pattern",
+            idx as u64,
+            self.degenerate_pattern_rate,
+        )
+    }
+
+    /// Should crowd worker `idx` be a no-show?
+    pub fn crowd_no_show(&self, idx: usize) -> bool {
+        self.decide("crowd-no-show", idx as u64, self.crowd_no_show_rate)
+    }
+
+    /// Should crowd worker `idx` be a spammer? (No-show wins when both fire.)
+    pub fn crowd_spammer(&self, idx: usize) -> bool {
+        !self.crowd_no_show(idx)
+            && self.decide("crowd-spammer", idx as u64, self.crowd_spammer_rate)
+    }
+
+    /// Should feature-worker chunk `idx` panic?
+    pub fn worker_panic(&self, idx: usize) -> bool {
+        self.decide("worker-panic", idx as u64, self.worker_panic_rate)
+    }
+
+    /// Should L-BFGS evaluation `iter` return a poisoned (NaN) loss?
+    pub fn poison_loss(&self, iter: usize) -> bool {
+        self.decide("lbfgs-poison", iter as u64, self.lbfgs_poison_rate)
+    }
+
+    /// GAN fault scheduled for `epoch`, if any.
+    pub fn gan_fault_at(&self, epoch: usize) -> Option<GanFault> {
+        match self.gan_fault_epoch {
+            Some(e) if e == epoch => Some(self.gan_fault),
+            _ => None,
+        }
+    }
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_injects_nothing() {
+        let plan = FaultPlan::default();
+        assert!(plan.is_empty());
+        for i in 0..1000 {
+            assert!(!plan.degenerate_pattern(i));
+            assert!(!plan.worker_panic(i));
+            assert!(!plan.poison_loss(i));
+            assert!(plan.corrupt_feature(i, i, 0.5).is_finite());
+        }
+        assert_eq!(plan.gan_fault_at(0), None);
+    }
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let a = FaultPlan::chaos(42);
+        let b = FaultPlan::chaos(42);
+        for i in 0..500 {
+            assert_eq!(a.decide("site", i, 0.3), b.decide("site", i, 0.3));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultPlan::chaos(1);
+        let b = FaultPlan::chaos(2);
+        let disagreements = (0..500)
+            .filter(|&i| a.decide("site", i, 0.5) != b.decide("site", i, 0.5))
+            .count();
+        assert!(disagreements > 50, "seeds should decorrelate decisions");
+    }
+
+    #[test]
+    fn rates_are_roughly_honored() {
+        let plan = FaultPlan::chaos(7);
+        let hits = (0..10_000)
+            .filter(|&i| plan.decide("rate-check", i, 0.2))
+            .count();
+        assert!(
+            (1500..2500).contains(&hits),
+            "expected ~2000 hits at rate 0.2, got {hits}"
+        );
+    }
+
+    #[test]
+    fn no_show_and_spammer_are_exclusive() {
+        let plan = FaultPlan {
+            seed: 3,
+            crowd_no_show_rate: 0.5,
+            crowd_spammer_rate: 0.5,
+            ..FaultPlan::default()
+        };
+        for i in 0..200 {
+            assert!(!(plan.crowd_no_show(i) && plan.crowd_spammer(i)));
+        }
+    }
+
+    #[test]
+    fn chaos_preset_fires_every_class() {
+        let plan = FaultPlan::chaos(11);
+        assert!((0..50).any(|i| plan.degenerate_pattern(i)));
+        assert!((0..50).any(|i| plan.crowd_no_show(i)));
+        assert!((0..50).any(|i| plan.crowd_spammer(i)));
+        assert!((0..50).any(|i| plan.worker_panic(i)));
+        assert!((0..500).any(|i| plan.poison_loss(i)));
+        assert!((0..2000)
+            .flat_map(|r| (0..8).map(move |c| (r, c)))
+            .any(|(r, c)| !plan.corrupt_feature(r, c, 0.5).is_finite()));
+        assert_eq!(plan.gan_fault_at(1), Some(GanFault::Diverge));
+    }
+}

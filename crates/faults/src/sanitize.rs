@@ -1,0 +1,67 @@
+//! Small helpers for scrubbing non-finite values out of numeric data.
+
+use ig_nn::Matrix;
+
+/// Replace a non-finite value with `fallback`. Returns the cleaned value
+/// and whether a replacement happened.
+#[inline]
+pub fn finite_or(value: f32, fallback: f32) -> (f32, bool) {
+    if value.is_finite() {
+        (value, false)
+    } else {
+        (fallback, true)
+    }
+}
+
+/// Scrub non-finite entries from a slice in place. Returns how many
+/// entries were replaced.
+pub fn scrub_slice(values: &mut [f32], fallback: f32) -> usize {
+    let mut replaced = 0;
+    for v in values {
+        if !v.is_finite() {
+            *v = fallback;
+            replaced += 1;
+        }
+    }
+    replaced
+}
+
+/// Scrub non-finite entries from a matrix in place. Returns how many
+/// entries were replaced.
+pub fn scrub_matrix(m: &mut Matrix, fallback: f32) -> usize {
+    scrub_slice(m.as_mut_slice(), fallback)
+}
+
+/// True when every entry of the slice is finite.
+#[inline]
+pub fn all_finite(values: &[f32]) -> bool {
+    values.iter().all(|v| v.is_finite())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finite_or_passes_and_replaces() {
+        assert_eq!(finite_or(1.5, 0.0), (1.5, false));
+        assert_eq!(finite_or(f32::NAN, 0.0), (0.0, true));
+        assert_eq!(finite_or(f32::INFINITY, -1.0), (-1.0, true));
+    }
+
+    #[test]
+    fn scrub_counts_replacements() {
+        let mut v = vec![1.0, f32::NAN, 2.0, f32::NEG_INFINITY];
+        assert_eq!(scrub_slice(&mut v, 0.0), 2);
+        assert_eq!(v, vec![1.0, 0.0, 2.0, 0.0]);
+        assert!(all_finite(&v));
+    }
+
+    #[test]
+    fn scrub_matrix_cleans_everything() {
+        let mut m = Matrix::from_vec(2, 2, vec![f32::NAN, 1.0, f32::INFINITY, 4.0]);
+        assert_eq!(scrub_matrix(&mut m, 0.5), 2);
+        assert!(all_finite(m.as_slice()));
+        assert_eq!(m.get(0, 1), 1.0);
+    }
+}

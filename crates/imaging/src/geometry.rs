@@ -130,10 +130,7 @@ impl BBox {
     /// The smallest box covering all boxes (the "union" strategy applied to
     /// a group). Returns `None` for an empty slice.
     pub fn union_all(boxes: &[BBox]) -> Option<BBox> {
-        boxes
-            .iter()
-            .copied()
-            .reduce(|acc, b| acc.union(&b))
+        boxes.iter().copied().reduce(|acc, b| acc.union(&b))
     }
 
     /// The common intersection of all boxes (the "intersection" strategy).

@@ -228,8 +228,8 @@ impl GrayImage {
             });
         }
         for dy in 0..src.height {
-            let dst = &mut self.data
-                [(y + dy) * self.width + x..(y + dy) * self.width + x + src.width];
+            let dst =
+                &mut self.data[(y + dy) * self.width + x..(y + dy) * self.width + x + src.width];
             dst.copy_from_slice(src.row(dy));
         }
         Ok(())

@@ -45,7 +45,9 @@ fn parse_pgm(data: &[u8]) -> Result<GrayImage> {
             pos += 1;
         }
         if start == pos {
-            return Err(ImagingError::InvalidDimension("truncated PGM header".into()));
+            return Err(ImagingError::InvalidDimension(
+                "truncated PGM header".into(),
+            ));
         }
         Ok(String::from_utf8_lossy(&data[start..pos]).into_owned())
     };

@@ -297,7 +297,11 @@ pub fn match_template_pyramid(
     for y in 0..=(coarse_img.height() - coarse_pat.height()) {
         for x in 0..=(coarse_img.width() - coarse_pat.width()) {
             let s = pearson_at(coarse_img, &prepared, x, y, &sums);
-            insert_topk(&mut candidates, MatchResult { x, y, score: s }, config.top_k);
+            insert_topk(
+                &mut candidates,
+                MatchResult { x, y, score: s },
+                config.top_k,
+            );
         }
     }
 
@@ -510,8 +514,7 @@ mod tests {
     fn pyramid_match_agrees_with_exact_on_planted_pattern() {
         let (img, blob) = image_with_blob(96, 80, 51, 33);
         let exact = match_template(&img, &blob).unwrap();
-        let fast =
-            match_template_pyramid(&img, &blob, &PyramidMatchConfig::default()).unwrap();
+        let fast = match_template_pyramid(&img, &blob, &PyramidMatchConfig::default()).unwrap();
         assert_eq!((fast.x, fast.y), (exact.x, exact.y));
         assert!((fast.score - exact.score).abs() < 1e-3);
     }
@@ -540,8 +543,7 @@ mod tests {
         });
         let pat = img.crop(70, 20, 16, 12).unwrap();
         let exact = match_template(&img, &pat).unwrap();
-        let fast =
-            match_template_pyramid(&img, &pat, &PyramidMatchConfig::default()).unwrap();
+        let fast = match_template_pyramid(&img, &pat, &PyramidMatchConfig::default()).unwrap();
         assert!(
             fast.score >= exact.score - 0.02,
             "pyramid {} vs exact {}",

@@ -143,8 +143,12 @@ mod tests {
     fn white_noise_has_spread() {
         let img = white_noise_image(9, 64, 64, 0.0, 1.0);
         let mean = img.pixels().iter().sum::<f32>() / img.len() as f32;
-        let var =
-            img.pixels().iter().map(|&p| (p - mean).powi(2)).sum::<f32>() / img.len() as f32;
+        let var = img
+            .pixels()
+            .iter()
+            .map(|&p| (p - mean).powi(2))
+            .sum::<f32>()
+            / img.len() as f32;
         assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
         // Uniform variance is 1/12 ≈ 0.083.
         assert!((var - 1.0 / 12.0).abs() < 0.02, "var {var}");

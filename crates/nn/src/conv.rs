@@ -196,8 +196,7 @@ impl Layer for Conv2d {
                                     continue;
                                 }
                                 for kx in 0..self.k {
-                                    let ix =
-                                        (ox * self.stride + kx) as isize - self.pad as isize;
+                                    let ix = (ox * self.stride + kx) as isize - self.pad as isize;
                                     if ix < 0 || ix >= x.w as isize {
                                         continue;
                                     }
@@ -236,8 +235,7 @@ impl Layer for Conv2d {
                                     continue;
                                 }
                                 for kx in 0..self.k {
-                                    let ix =
-                                        (ox * self.stride + kx) as isize - self.pad as isize;
+                                    let ix = (ox * self.stride + kx) as isize - self.pad as isize;
                                     if ix < 0 || ix >= x.w as isize {
                                         continue;
                                     }
@@ -371,8 +369,7 @@ impl Layer for DepthwiseConv2d {
                                     continue;
                                 }
                                 let wi = (c * self.k + ky) * self.k + kx;
-                                self.weights.grad[wi] +=
-                                    g * x.get(n, c, iy as usize, ix as usize);
+                                self.weights.grad[wi] += g * x.get(n, c, iy as usize, ix as usize);
                                 let di = dx.idx(n, c, iy as usize, ix as usize);
                                 dx.as_mut_slice()[di] += g * self.weights.value[wi];
                             }
@@ -520,7 +517,10 @@ impl Layer for MaxPool2 {
     }
 
     fn backward(&mut self, dy: &Tensor4) -> Tensor4 {
-        let argmax = self.argmax.as_ref().expect("backward before forward(train)");
+        let argmax = self
+            .argmax
+            .as_ref()
+            .expect("backward before forward(train)");
         let (n, c, h, w) = self.in_shape.expect("backward before forward(train)");
         let mut dx = Tensor4::zeros(n, c, h, w);
         for (&idx, &g) in argmax.iter().zip(dy.as_slice()) {
@@ -769,7 +769,8 @@ impl Cnn {
         let logits = self.forward_logits(x, false);
         (0..logits.rows())
             .map(|r| {
-                logits.row(r)
+                logits
+                    .row(r)
                     .iter()
                     .enumerate()
                     .max_by(|a, b| a.1.total_cmp(b.1))
@@ -1081,9 +1082,7 @@ mod tests {
         for i in 0..16 {
             let bright = i % 2 == 1;
             let base = if bright { 0.8 } else { 0.2 };
-            let img = tensor_from(1, 1, 8, 8, |j| {
-                base + ((j * 31 + i) % 7) as f32 * 0.01
-            });
+            let img = tensor_from(1, 1, 8, 8, |j| base + ((j * 31 + i) % 7) as f32 * 0.01);
             images.push(img);
             labels.push(bright as usize);
         }

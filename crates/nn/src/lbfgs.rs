@@ -35,28 +35,63 @@ impl Default for LbfgsConfig {
     }
 }
 
+/// Restart policy for [`minimize_robust`].
+#[derive(Debug, Clone, Copy)]
+pub struct RestartConfig {
+    /// Maximum restarts after a diverged run (0 = plain [`minimize`]).
+    pub max_restarts: usize,
+    /// Base magnitude of the uniform jitter added to the start point.
+    /// Doubles on every retry, backing the restart away from the
+    /// poisoned region a little further each time.
+    pub jitter: f32,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RestartConfig {
+    fn default() -> Self {
+        Self {
+            max_restarts: 3,
+            jitter: 0.1,
+            seed: 0x1bf65,
+        }
+    }
+}
+
 /// Result of an [`minimize`] run.
 #[derive(Debug, Clone)]
 pub struct LbfgsResult {
-    /// Final parameters.
+    /// Final parameters. Always entirely finite, even on divergence.
     pub x: Vec<f32>,
-    /// Final loss.
+    /// Final loss. Non-finite only when the very first evaluation was
+    /// already poisoned (see [`LbfgsResult::diverged`]).
     pub loss: f32,
     /// Outer iterations performed.
     pub iters: usize,
     /// True when a tolerance (rather than the iteration cap) stopped it.
     pub converged: bool,
+    /// True when a non-finite loss or gradient was encountered and the
+    /// run had to stop at the last finite iterate.
+    pub diverged: bool,
 }
 
 fn dot(a: &[f32], b: &[f32]) -> f64 {
-    a.iter()
-        .zip(b)
-        .map(|(&x, &y)| x as f64 * y as f64)
-        .sum()
+    a.iter().zip(b).map(|(&x, &y)| x as f64 * y as f64).sum()
 }
 
 fn inf_norm(v: &[f32]) -> f32 {
     v.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+}
+
+fn all_finite(v: &[f32]) -> bool {
+    v.iter().all(|x| x.is_finite())
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
 }
 
 /// Minimize `f` starting from `x0`. `f` must return `(loss, gradient)` with
@@ -71,6 +106,23 @@ pub fn minimize(
     let (mut loss, mut grad) = f(&x);
     assert_eq!(grad.len(), n, "gradient length mismatch");
 
+    // A poisoned start point gives the line search nothing to improve on:
+    // stop immediately (with finite parameters) and let the caller restart.
+    if !loss.is_finite() || !all_finite(&grad) {
+        for v in &mut x {
+            if !v.is_finite() {
+                *v = 0.0;
+            }
+        }
+        return LbfgsResult {
+            x,
+            loss,
+            iters: 0,
+            converged: false,
+            diverged: true,
+        };
+    }
+
     // Curvature history: s_k = x_{k+1} - x_k, y_k = g_{k+1} - g_k.
     let mut s_hist: Vec<Vec<f32>> = Vec::new();
     let mut y_hist: Vec<Vec<f32>> = Vec::new();
@@ -83,6 +135,7 @@ pub fn minimize(
                 loss,
                 iters: iter,
                 converged: true,
+                diverged: false,
             };
         }
 
@@ -122,9 +175,13 @@ pub fn minimize(
             rho_hist.clear();
         }
 
-        // Armijo backtracking line search.
+        // Armijo backtracking line search. Probes with a non-finite loss
+        // or gradient are rejected like any insufficient-decrease step;
+        // the shrinking step backs the search away from the poisoned
+        // region, so a single NaN pocket does not kill the run.
         let mut step = 1.0f32;
         let mut accepted = false;
+        let mut saw_poison = false;
         let mut new_x = x.clone();
         let mut new_loss = loss;
         let mut new_grad = grad.clone();
@@ -133,7 +190,9 @@ pub fn minimize(
                 new_x[i] = x[i] + step * direction[i];
             }
             let (l, g) = f(&new_x);
-            if l.is_finite() && l <= loss + config.c1 * step * dir_deriv as f32 {
+            let finite = l.is_finite() && all_finite(&g);
+            saw_poison |= !finite;
+            if finite && l <= loss + config.c1 * step * dir_deriv as f32 {
                 new_loss = l;
                 new_grad = g;
                 accepted = true;
@@ -142,12 +201,15 @@ pub fn minimize(
             step *= 0.5;
         }
         if !accepted {
-            // No progress possible along this direction.
+            // No progress possible along this direction. If the search was
+            // blocked by non-finite probes, report divergence so callers
+            // can restart; otherwise this is an ordinary stall.
             return LbfgsResult {
                 x,
                 loss,
                 iters: iter,
-                converged: true,
+                converged: !saw_poison,
+                diverged: saw_poison,
             };
         }
 
@@ -176,6 +238,7 @@ pub fn minimize(
                 loss,
                 iters: iter + 1,
                 converged: true,
+                diverged: false,
             };
         }
     }
@@ -185,7 +248,57 @@ pub fn minimize(
         loss,
         iters: config.max_iters,
         converged: false,
+        diverged: false,
     }
+}
+
+/// [`minimize`] wrapped in a bounded retry ladder: when a run diverges on
+/// non-finite losses or gradients, restart from the (sanitized) start
+/// point plus deterministic uniform jitter whose magnitude doubles per
+/// attempt. Returns the first non-diverged result and the number of
+/// restarts consumed; after exhausting `restart.max_restarts` the last
+/// (finite-parameter) diverged result is returned.
+pub fn minimize_robust(
+    mut f: impl FnMut(&[f32]) -> (f32, Vec<f32>),
+    x0: Vec<f32>,
+    config: &LbfgsConfig,
+    restart: &RestartConfig,
+) -> (LbfgsResult, usize) {
+    let mut base = x0;
+    for v in &mut base {
+        if !v.is_finite() {
+            *v = 0.0;
+        }
+    }
+    let mut last = None;
+    for attempt in 0..=restart.max_restarts {
+        let start = if attempt == 0 {
+            base.clone()
+        } else {
+            let scale = restart.jitter * (1u32 << (attempt - 1).min(16)) as f32;
+            base.iter()
+                .enumerate()
+                .map(|(i, &v)| {
+                    let h = splitmix64(restart.seed ^ (attempt as u64) << 32 ^ i as u64);
+                    let unit = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                    v + (unit as f32 * 2.0 - 1.0) * scale
+                })
+                .collect()
+        };
+        let result = minimize(&mut f, start, config);
+        if !result.diverged {
+            return (result, attempt);
+        }
+        last = Some(result);
+    }
+    let mut result = last.expect("at least one attempt runs");
+    // Divergence already forces finite parameters; scrub defensively anyway.
+    for v in &mut result.x {
+        if !v.is_finite() {
+            *v = 0.0;
+        }
+    }
+    (result, restart.max_restarts)
 }
 
 #[cfg(test)]
@@ -279,10 +392,7 @@ mod tests {
             |x| {
                 let loss = (x[0] - 2.0).powi(4) + (x[1] + 1.0).powi(2);
                 losses.push(loss);
-                (
-                    loss,
-                    vec![4.0 * (x[0] - 2.0).powi(3), 2.0 * (x[1] + 1.0)],
-                )
+                (loss, vec![4.0 * (x[0] - 2.0).powi(3), 2.0 * (x[1] + 1.0)])
             },
             vec![5.0, 5.0],
             &LbfgsConfig::default(),
@@ -296,6 +406,100 @@ mod tests {
             monotone_best.push(best);
         }
         assert!(monotone_best.last().unwrap() < &1e-3);
+    }
+
+    #[test]
+    fn poisoned_start_flags_divergence() {
+        let result = minimize(
+            |_| (f32::NAN, vec![f32::NAN]),
+            vec![1.0],
+            &LbfgsConfig::default(),
+        );
+        assert!(result.diverged);
+        assert!(!result.converged);
+        assert_eq!(result.iters, 0);
+        assert!(result.x.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn nan_pocket_mid_run_keeps_params_finite() {
+        // Loss is NaN whenever x drifts below -0.5; the minimum at x = 2
+        // is reachable without entering the pocket, and rejected probes
+        // that land in it must not leak NaN into the result.
+        let result = minimize(
+            |x| {
+                if x[0] < -0.5 {
+                    (f32::NAN, vec![f32::NAN])
+                } else {
+                    ((x[0] - 2.0).powi(2), vec![2.0 * (x[0] - 2.0)])
+                }
+            },
+            vec![0.0],
+            &LbfgsConfig::default(),
+        );
+        assert!(result.x[0].is_finite());
+        assert!((result.x[0] - 2.0).abs() < 1e-3);
+        assert!(!result.diverged);
+    }
+
+    #[test]
+    fn robust_restarts_out_of_poisoned_start() {
+        // The oracle is poisoned exactly at the start point, so attempt 0
+        // diverges immediately; any jittered restart escapes and solves
+        // the quadratic.
+        let (result, restarts) = minimize_robust(
+            |x| {
+                if x[0] == 1.0 {
+                    (f32::INFINITY, vec![f32::INFINITY])
+                } else {
+                    ((x[0] - 3.0).powi(2), vec![2.0 * (x[0] - 3.0)])
+                }
+            },
+            vec![1.0],
+            &LbfgsConfig::default(),
+            &RestartConfig::default(),
+        );
+        assert!(!result.diverged);
+        assert!(restarts >= 1);
+        assert!((result.x[0] - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn robust_gives_up_with_finite_params() {
+        let (result, restarts) = minimize_robust(
+            |_| (f32::NAN, vec![f32::NAN, f32::NAN]),
+            vec![f32::NAN, 5.0],
+            &LbfgsConfig::default(),
+            &RestartConfig::default(),
+        );
+        assert!(result.diverged);
+        assert_eq!(restarts, RestartConfig::default().max_restarts);
+        assert!(result.x.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn robust_is_deterministic() {
+        let oracle = |x: &[f32]| {
+            if x[0].abs() < 0.1 {
+                (f32::NAN, vec![f32::NAN])
+            } else {
+                ((x[0] - 1.0).powi(2), vec![2.0 * (x[0] - 1.0)])
+            }
+        };
+        let (a, ra) = minimize_robust(
+            oracle,
+            vec![0.0],
+            &LbfgsConfig::default(),
+            &RestartConfig::default(),
+        );
+        let (b, rb) = minimize_robust(
+            oracle,
+            vec![0.0],
+            &LbfgsConfig::default(),
+            &RestartConfig::default(),
+        );
+        assert_eq!(ra, rb);
+        assert_eq!(a.x, b.x);
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod spectral;
 pub mod train;
 
 pub use activation::Activation;
-pub use lbfgs::{minimize, LbfgsConfig, LbfgsResult};
+pub use lbfgs::{minimize, minimize_robust, LbfgsConfig, LbfgsResult, RestartConfig};
 pub use matrix::Matrix;
 pub use mlp::{Loss, Mlp, MlpConfig};
 pub use optim::{Adam, Sgd};

@@ -15,7 +15,7 @@
 //!   weights for the L-BFGS optimizer.
 
 use crate::activation::{log_sigmoid, sigmoid, softmax_rows, Activation};
-use crate::lbfgs::{minimize, LbfgsConfig, LbfgsResult};
+use crate::lbfgs::{minimize, minimize_robust, LbfgsConfig, LbfgsResult, RestartConfig};
 use crate::matrix::Matrix;
 use crate::{NnError, Result};
 use rand::Rng;
@@ -174,7 +174,8 @@ impl Mlp {
         let mut offset = 0;
         for (w, b) in self.weights.iter_mut().zip(&mut self.biases) {
             let wlen = w.len();
-            w.as_mut_slice().copy_from_slice(&flat[offset..offset + wlen]);
+            w.as_mut_slice()
+                .copy_from_slice(&flat[offset..offset + wlen]);
             offset += wlen;
             let blen = b.len();
             b.copy_from_slice(&flat[offset..offset + blen]);
@@ -223,7 +224,8 @@ impl Mlp {
         let logits = self.forward(x);
         (0..logits.rows())
             .map(|r| {
-                logits.row(r)
+                logits
+                    .row(r)
                     .iter()
                     .enumerate()
                     .max_by(|a, b| a.1.total_cmp(b.1))
@@ -333,6 +335,35 @@ impl Mlp {
         );
         self.set_params(&result.x);
         result
+    }
+
+    /// [`Mlp::fit_lbfgs`] with the divergence-recovery ladder of
+    /// [`minimize_robust`]: non-finite losses or gradients trigger
+    /// deterministic jittered restarts instead of corrupting the model.
+    /// The fitted parameters are always finite. Returns the optimizer
+    /// report and the number of restarts consumed.
+    pub fn fit_lbfgs_robust(
+        &mut self,
+        x: &Matrix,
+        targets: &Targets<'_>,
+        loss: Loss,
+        config: &LbfgsConfig,
+        restart: &RestartConfig,
+    ) -> (LbfgsResult, usize) {
+        let x0 = self.params();
+        let model = self.clone();
+        let (result, restarts) = minimize_robust(
+            |p| {
+                let mut m = model.clone();
+                m.set_params(p);
+                m.loss_and_grad(x, targets, loss)
+            },
+            x0,
+            config,
+            restart,
+        );
+        self.set_params(&result.x);
+        (result, restarts)
     }
 }
 
@@ -561,11 +592,7 @@ mod tests {
             },
         );
         let preds = mlp.predict_class(&x);
-        let correct = preds
-            .iter()
-            .zip(&classes)
-            .filter(|(a, b)| a == b)
-            .count();
+        let correct = preds.iter().zip(&classes).filter(|(a, b)| a == b).count();
         assert!(correct >= 55, "only {correct}/60 correct");
     }
 

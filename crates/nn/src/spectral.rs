@@ -99,13 +99,7 @@ mod tests {
 
     #[test]
     fn diagonal_matrix_spectral_norm_is_max_entry() {
-        let w = Matrix::from_fn(3, 3, |r, c| {
-            if r == c {
-                [2.0, 5.0, 1.0][r]
-            } else {
-                0.0
-            }
-        });
+        let w = Matrix::from_fn(3, 3, |r, c| if r == c { [2.0, 5.0, 1.0][r] } else { 0.0 });
         let mut rng = StdRng::seed_from_u64(0);
         let mut sn = SpectralNorm::new(3, 3, &mut rng);
         let sigma = sn.estimate(&w, 50);

@@ -1,10 +1,13 @@
 //! Property tests on the neural-network substrate: linear algebra laws,
 //! parameter round-trips, optimizer convergence on random convex
-//! problems, and spectral-norm guarantees.
+//! problems, spectral-norm guarantees, and optimizer robustness under
+//! adversarial (NaN/Inf/huge) inputs from `ig-faults`.
 
+use ig_faults::inject::{adversarial_labels, adversarial_matrix};
+use ig_faults::FaultPlan;
 use ig_nn::activation::{sigmoid, softmax_rows};
-use ig_nn::lbfgs::{minimize, LbfgsConfig};
-use ig_nn::mlp::{Mlp, MlpConfig};
+use ig_nn::lbfgs::{minimize, minimize_robust, LbfgsConfig, RestartConfig};
+use ig_nn::mlp::{Loss, Mlp, MlpConfig, Targets};
 use ig_nn::spectral::SpectralNorm;
 use ig_nn::{Activation, Matrix};
 use proptest::prelude::*;
@@ -148,5 +151,103 @@ proptest! {
         // by a slightly-too-small value; allow that estimation slack. (In
         // GAN training the persistent state across steps closes the gap.)
         prop_assert!(sigma <= 1.1, "post-norm sigma {sigma}");
+    }
+
+    // ---------------- robustness under adversarial inputs ----------------
+
+    #[test]
+    fn minimize_robust_params_stay_finite_under_poisoned_objective(
+        n in 1usize..8,
+        seed in any::<u64>(),
+        poison_rate in 0.0f64..0.6,
+    ) {
+        // A well-behaved quadratic whose evaluations are randomly poisoned
+        // with NaN per a fault plan: the optimizer may diverge, but the
+        // returned parameters must always be finite.
+        let plan = FaultPlan {
+            seed,
+            lbfgs_poison_rate: poison_rate,
+            ..FaultPlan::default()
+        };
+        let mut evals = 0usize;
+        let (result, _restarts) = minimize_robust(
+            |x| {
+                let mut loss = 0.0f32;
+                let mut grad = vec![0.0f32; x.len()];
+                for (g, &xi) in grad.iter_mut().zip(x) {
+                    loss += 0.5 * (xi - 1.0) * (xi - 1.0);
+                    *g = xi - 1.0;
+                }
+                let i = evals;
+                evals += 1;
+                if plan.poison_loss(i) {
+                    loss = f32::NAN;
+                }
+                (loss, grad)
+            },
+            vec![0.0; n],
+            &LbfgsConfig { max_iters: 60, ..Default::default() },
+            &RestartConfig::default(),
+        );
+        prop_assert!(result.x.iter().all(|v| v.is_finite()));
+        if !result.diverged {
+            prop_assert!(result.loss.is_finite());
+        }
+    }
+
+    #[test]
+    fn minimize_robust_sanitizes_adversarial_start_points(
+        n in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        // Start point drawn from the adversarial pool (NaN/Inf/huge cells):
+        // non-finite coordinates are sanitized before the first attempt.
+        // Huge-but-finite coordinates (1e30) can still overflow a
+        // quadratic into Inf, which is a legitimate divergence — but the
+        // returned parameters must be finite either way, and a run that
+        // claims success must actually have reached the minimum.
+        let x0 = adversarial_matrix(1, n, seed, 0.5).as_slice().to_vec();
+        let (result, _restarts) = minimize_robust(
+            |x| {
+                let mut loss = 0.0f32;
+                let mut grad = vec![0.0f32; x.len()];
+                for (g, &xi) in grad.iter_mut().zip(x) {
+                    loss += 0.5 * xi * xi;
+                    *g = xi;
+                }
+                (loss, grad)
+            },
+            x0,
+            &LbfgsConfig { max_iters: 120, ..Default::default() },
+            &RestartConfig::default(),
+        );
+        prop_assert!(result.x.iter().all(|v| v.is_finite()));
+        if !result.diverged {
+            prop_assert!(result.x.iter().all(|v| v.abs() < 1e-2), "{:?}", result.x);
+        }
+    }
+
+    #[test]
+    fn mlp_fit_robust_on_adversarial_data_keeps_params_finite(
+        rows in 2usize..12,
+        cols in 1usize..5,
+        seed in any::<u64>(),
+        hostile_rate in 0.0f64..0.4,
+    ) {
+        let x = adversarial_matrix(rows, cols, seed, hostile_rate);
+        let labels = adversarial_labels(rows, seed ^ 0x5bd1);
+        let targets_m = ig_nn::Matrix::from_vec(
+            rows, 1, labels.iter().map(|&l| l as f32).collect());
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37);
+        let mut mlp = Mlp::new(&MlpConfig::new(cols, vec![4], 1), &mut rng).unwrap();
+        let (result, _restarts) = mlp.fit_lbfgs_robust(
+            &x,
+            &Targets::Binary(&targets_m),
+            Loss::Bce,
+            &LbfgsConfig { max_iters: 40, ..Default::default() },
+            &RestartConfig::default(),
+        );
+        prop_assert!(result.x.iter().all(|v| v.is_finite()));
+        prop_assert!(mlp.params().iter().all(|v| v.is_finite()));
     }
 }

@@ -58,14 +58,20 @@ pub fn paint_crack(img: &mut GrayImage, rng: &mut impl Rng, contrast: f32) -> BB
     let drift = rng.gen_range(-0.5..0.5f32);
     let thickness = rng.gen_range(1.0..2.0f32);
     while (y as usize) < stamp.height() - 2 {
-        let nx = (x + drift + rng.gen_range(-1.4..1.4f32))
-            .clamp(1.0, stamp.width() as f32 - 2.0);
+        let nx = (x + drift + rng.gen_range(-1.4..1.4f32)).clamp(1.0, stamp.width() as f32 - 2.0);
         let ny = y + rng.gen_range(0.6..1.8f32);
         stamp.draw_line(x, y, nx, ny, thickness, contrast);
         // Occasional short side branch.
         if rng.gen_bool(0.08) {
             let bx = (nx + rng.gen_range(-4.0..4.0f32)).clamp(1.0, stamp.width() as f32 - 2.0);
-            stamp.draw_line(nx, ny, bx, ny + rng.gen_range(1.0..3.0), 1.0, contrast * 0.8);
+            stamp.draw_line(
+                nx,
+                ny,
+                bx,
+                ny + rng.gen_range(1.0..3.0),
+                1.0,
+                contrast * 0.8,
+            );
         }
         x = nx;
         y = ny;
@@ -164,9 +170,7 @@ pub fn paint_stamping(img: &mut GrayImage, rng: &mut impl Rng, contrast: f32) ->
             let cy = (y as f32 - side as f32 / 2.0).abs();
             let on = match style {
                 // Hollow square with a centre dot.
-                0 => {
-                    x == 1 || y == 1 || x == side || y == side || (cx < 1.5 && cy < 1.5)
-                }
+                0 => x == 1 || y == 1 || x == side || y == side || (cx < 1.5 && cy < 1.5),
                 // Cross.
                 1 => cx < 1.2 || cy < 1.2,
                 // Two vertical bars.
@@ -257,9 +261,7 @@ mod tests {
             let bbox = paint_stamping(&mut img, &mut rng, -0.4);
             let (cx, _) = bbox.center();
             let frac = cx / img.width() as f32;
-            let near_slot = STAMPING_SLOTS
-                .iter()
-                .any(|&s| (frac - s).abs() < 0.05);
+            let near_slot = STAMPING_SLOTS.iter().any(|&s| (frac - s).abs() < 0.05);
             assert!(near_slot, "stamping at fraction {frac}");
         }
     }

@@ -191,10 +191,7 @@ fn paint_class(
         _ => panic!("NEU has 6 classes"),
     }
     img.clamp(0.0, 1.0);
-    boxes
-        .into_iter()
-        .filter_map(|b| b.clip(w, h))
-        .collect()
+    boxes.into_iter().filter_map(|b| b.clip(w, h)).collect()
 }
 
 #[cfg(test)]

@@ -110,12 +110,7 @@ mod tests {
             ..DatasetSpec::quick(DatasetKind::ProductBubble, 4)
         };
         let d = generate(&spec, DefectKind::Bubble);
-        let max_count = d
-            .images
-            .iter()
-            .map(|i| i.defect_boxes.len())
-            .max()
-            .unwrap();
+        let max_count = d.images.iter().map(|i| i.defect_boxes.len()).max().unwrap();
         assert!(max_count >= 2, "no multi-bubble image in 30 draws");
     }
 

@@ -57,7 +57,14 @@ pub fn strip_styled(seed: u64, width: usize, height: usize, style: StripStyle) -
         StripStyle::Brushed => (0.45, 0.6, 0.35, 0.06),
     };
     let mut out = fbm_image(seed, width, height, 0.015, 2, lo, hi);
-    let bands = band_image(seed.wrapping_add(3), width, 1, band_freq, -band_amp, band_amp);
+    let bands = band_image(
+        seed.wrapping_add(3),
+        width,
+        1,
+        band_freq,
+        -band_amp,
+        band_amp,
+    );
     for y in 0..height {
         for x in 0..width {
             let v = out.get(x, y) + bands.get(x, 0);

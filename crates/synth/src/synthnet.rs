@@ -180,8 +180,7 @@ mod tests {
     fn classes_differ_between_samples() {
         // Two images of the same class from different seeds differ.
         let d = generate(32, 24, 4);
-        let same_class: Vec<&LabeledImage> =
-            d.images.iter().filter(|i| i.label == 0).collect();
+        let same_class: Vec<&LabeledImage> = d.images.iter().filter(|i| i.label == 0).collect();
         assert!(same_class.len() >= 2);
         assert_ne!(same_class[0].image, same_class[1].image);
     }

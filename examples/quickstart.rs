@@ -13,12 +13,11 @@ fn main() {
 
     // 1. An industrial dataset: strip images with scratch defects.
     //    (Synthetic stand-in for the paper's proprietary Product data.)
-    let dataset =
-        inspector_gadget::synth::generate(&DatasetSpec {
-            n: 80,
-            n_defective: 30,
-            ..DatasetSpec::quick(DatasetKind::ProductScratch, 11)
-        });
+    let dataset = inspector_gadget::synth::generate(&DatasetSpec {
+        n: 80,
+        n_defective: 30,
+        ..DatasetSpec::quick(DatasetKind::ProductScratch, 11)
+    });
     println!(
         "dataset: {} images ({} defective), {}x{} px",
         dataset.len(),

@@ -76,5 +76,9 @@ fn main() {
     for (c, name) in NEU_CLASSES.iter().enumerate() {
         println!("  {:<16} {:.3}", name, cm.scores_for(c).f1);
     }
-    println!("macro-F1 {:.3}, accuracy {:.3}", cm.macro_f1(), cm.accuracy());
+    println!(
+        "macro-F1 {:.3}, accuracy {:.3}",
+        cm.macro_f1(),
+        cm.accuracy()
+    );
 }

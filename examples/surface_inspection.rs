@@ -7,9 +7,7 @@
 //! cargo run --release --example surface_inspection
 //! ```
 
-use inspector_gadget::augment::policy::{
-    policy_augment, search_policies, PolicySearchConfig,
-};
+use inspector_gadget::augment::policy::{policy_augment, search_policies, PolicySearchConfig};
 use inspector_gadget::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -66,7 +64,10 @@ fn main() {
         .collect();
 
     let crowd_out = CrowdWorkflow::full().run(&dev, &mut rng);
-    println!("[crowd] {} crack patterns collected", crowd_out.patterns.len());
+    println!(
+        "[crowd] {} crack patterns collected",
+        crowd_out.patterns.len()
+    );
 
     // --- Section 4.2 policy search: score each candidate combination by
     // the weak-label F1 it produces on a dev split.
@@ -90,8 +91,7 @@ fn main() {
             let half = dev_for_eval.len() / 2;
             let dev_images: Vec<&GrayImage> =
                 dev_for_eval[..half].iter().map(|l| &l.image).collect();
-            let dev_labels: Vec<usize> =
-                dev_for_eval[..half].iter().map(|l| l.label).collect();
+            let dev_labels: Vec<usize> = dev_for_eval[..half].iter().map(|l| l.label).collect();
             if dev_labels.iter().all(|&l| l == dev_labels[0]) {
                 return 0.0;
             }

@@ -45,6 +45,7 @@ pub use ig_baselines as baselines;
 pub use ig_core as core;
 pub use ig_crowd as crowd;
 pub use ig_eval as eval;
+pub use ig_faults as faults;
 pub use ig_imaging as imaging;
 pub use ig_nn as nn;
 pub use ig_synth as synth;
@@ -58,6 +59,7 @@ pub mod prelude {
     };
     pub use ig_crowd::{sample_dev_set, CombineStrategy, CrowdWorkflow, WorkerModel};
     pub use ig_eval::{binary_f1, macro_f1, ConfusionMatrix};
+    pub use ig_faults::{FaultPlan, HealthReport};
     pub use ig_imaging::{BBox, GrayImage};
     pub use ig_synth::spec::{DatasetKind, DatasetSpec};
     pub use ig_synth::{Dataset, LabeledImage, TaskType};

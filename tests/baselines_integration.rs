@@ -35,8 +35,7 @@ fn snuba_runs_on_fgf_features() {
         let dev_imgs: Vec<&GrayImage> = dev.iter().map(|l| &l.image).collect();
         let dev_labels: Vec<usize> = dev.iter().map(|l| l.label).collect();
         let dev_features = fg.feature_matrix(&dev_imgs);
-        let rest_imgs: Vec<&GrayImage> =
-            dataset.images[20..].iter().map(|l| &l.image).collect();
+        let rest_imgs: Vec<&GrayImage> = dataset.images[20..].iter().map(|l| &l.image).collect();
         let rest_features = fg.feature_matrix(&rest_imgs);
         let snuba = Snuba::train(
             &dev_features,
@@ -80,10 +79,13 @@ fn self_learning_baselines_run_on_all_architectures() {
         epochs: 4,
         ..Default::default()
     };
-    for arch in [CnnArch::MiniVgg, CnnArch::MiniMobileNet, CnnArch::MiniResNet] {
+    for arch in [
+        CnnArch::MiniVgg,
+        CnnArch::MiniMobileNet,
+        CnnArch::MiniResNet,
+    ] {
         let mut rng = StdRng::seed_from_u64(13);
-        let mut learner =
-            SelfLearner::train(arch, &dev_imgs, &dev_labels, 2, &config, &mut rng);
+        let mut learner = SelfLearner::train(arch, &dev_imgs, &dev_labels, 2, &config, &mut rng);
         let preds = learner.label(&rest);
         assert_eq!(preds.len(), rest.len(), "{arch:?}");
     }
@@ -159,9 +161,14 @@ fn inspector_gadget_vs_goggles_on_tiny_defects() {
 
     // GOGGLES.
     let all_refs: Vec<&GrayImage> = dataset.images.iter().map(|l| &l.image).collect();
-    let dev_pairs: Vec<(usize, usize)> =
-        (0..24).map(|i| (i, dataset.images[i].label)).collect();
-    let goggles = Goggles::fit(&all_refs, &dev_pairs, 2, &GogglesConfig::default(), &mut rng);
+    let dev_pairs: Vec<(usize, usize)> = (0..24).map(|i| (i, dataset.images[i].label)).collect();
+    let goggles = Goggles::fit(
+        &all_refs,
+        &dev_pairs,
+        2,
+        &GogglesConfig::default(),
+        &mut rng,
+    );
     let gg_preds = goggles.label(&test_imgs);
 
     let to_f1 = |preds: &[usize]| {

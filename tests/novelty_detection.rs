@@ -54,8 +54,7 @@ fn out_of_domain_defect_family_is_flagged_more_often() {
     let detector = NoveltyDetector::fit(&dev_features, 0.9);
 
     // In-distribution probe: the remaining scratch images.
-    let scratch_rest: Vec<&GrayImage> =
-        scratch.images[25..].iter().map(|l| &l.image).collect();
+    let scratch_rest: Vec<&GrayImage> = scratch.images[25..].iter().map(|l| &l.image).collect();
     let scratch_flags = detector.flag(&prototype_features(&scratch_rest, &goggles_config));
     let scratch_rate =
         scratch_flags.iter().filter(|&&f| f).count() as f64 / scratch_flags.len() as f64;

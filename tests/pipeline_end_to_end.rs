@@ -111,8 +111,7 @@ fn augmented_pipeline_produces_more_patterns_and_still_works() {
 #[test]
 fn multiclass_pipeline_on_neu() {
     let mut rng = StdRng::seed_from_u64(4);
-    let dataset =
-        inspector_gadget::synth::generate(&DatasetSpec::quick(DatasetKind::Neu, 4));
+    let dataset = inspector_gadget::synth::generate(&DatasetSpec::quick(DatasetKind::Neu, 4));
     let (dev_idx, test_idx) = split(&dataset, 3, &mut rng);
     let dev: Vec<&LabeledImage> = dev_idx.iter().map(|&i| &dataset.images[i]).collect();
     let crowd = CrowdWorkflow::full().run(&dev, &mut rng);
@@ -169,7 +168,11 @@ fn weak_label_output_is_internally_consistent() {
         let row_sum: f32 = out.probabilities.row(r).iter().sum();
         assert!((row_sum - 1.0).abs() < 1e-4, "row {r} sums to {row_sum}");
         // Hard label matches the probability argmax.
-        let argmax = if out.probabilities.get(r, 1) >= 0.5 { 1 } else { 0 };
+        let argmax = if out.probabilities.get(r, 1) >= 0.5 {
+            1
+        } else {
+            0
+        };
         assert_eq!(out.labels[r], argmax);
         // NCC similarities on non-negative images stay in [0, 1].
         assert!((0.0..=1.0 + 1e-4).contains(&out.max_similarities[r]));
