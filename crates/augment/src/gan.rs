@@ -95,6 +95,7 @@ impl RganConfig {
 }
 
 /// A trained RGAN over fixed-size square patterns.
+#[derive(Debug)]
 pub struct Rgan {
     generator: Mlp,
     discriminator: Mlp,
@@ -143,6 +144,8 @@ impl Rgan {
             .iter()
             .map(|p| {
                 resize_bilinear(p, side, side)
+                    // ig-lint: allow(panic) -- patterns are asserted non-empty
+                    // above and `side` comes from a positive config
                     .expect("pattern resize")
                     .pixels()
                     .iter()
@@ -162,6 +165,8 @@ impl Rgan {
             },
             rng,
         )
+        // ig-lint: allow(panic) -- dims are positive literals/config
+        // values validated by GanConfig, so Mlp::new cannot reject them
         .expect("generator config is valid");
         let mut discriminator = Mlp::new(
             &MlpConfig {
@@ -173,6 +178,8 @@ impl Rgan {
             },
             rng,
         )
+        // ig-lint: allow(panic) -- same validated-config argument as the
+        // generator above
         .expect("discriminator config is valid");
 
         let mut g_opt = Adam::for_gan(config.lr);
@@ -342,11 +349,17 @@ impl Rgan {
             .map(|i| {
                 let pixels: Vec<f32> = fake.row(i).iter().map(|&v| (v + 1.0) * 0.5).collect();
                 let square = GrayImage::from_vec(side, side, pixels)
+                    // ig-lint: allow(panic) -- the generator's output layer is
+                    // built with side*side units, so the length always matches
                     .expect("generator output length matches side^2");
                 let &(w, h) = self
                     .original_sizes
                     .choose(rng)
+                    // ig-lint: allow(panic) -- train() asserts the pattern set
+                    // is non-empty, and original_sizes mirrors it
                     .expect("trained on nonempty patterns");
+                // ig-lint: allow(panic) -- (w, h) are dims of a real pattern,
+                // so they are positive and the square source is non-empty
                 resize_bilinear(&square, w, h).expect("resize back to original size")
             })
             .collect()
@@ -361,6 +374,8 @@ impl Rgan {
         (0..count)
             .map(|i| {
                 let pixels: Vec<f32> = fake.row(i).iter().map(|&v| (v + 1.0) * 0.5).collect();
+                // ig-lint: allow(panic) -- generator output length is
+                // side*side by construction
                 GrayImage::from_vec(side, side, pixels).expect("square output")
             })
             .collect()
@@ -369,6 +384,8 @@ impl Rgan {
     /// Discriminator logit for a (square-resized) pattern — diagnostic.
     pub fn discriminator_score(&self, pattern: &GrayImage) -> f32 {
         let side = self.config.pattern_side;
+        // ig-lint: allow(panic) -- side is positive by config; an empty
+        // diagnostic pattern would be a caller bug worth surfacing loudly
         let resized = resize_bilinear(pattern, side, side).expect("resize");
         let row: Vec<f32> = resized.pixels().iter().map(|&v| v * 2.0 - 1.0).collect();
         self.discriminator

@@ -243,6 +243,8 @@ pub fn policy_augment(
     }
     (0..count)
         .map(|_| {
+            // ig-lint: allow(panic) -- guarded by the is_empty early
+            // return at the top of this function
             let src = patterns.choose(rng).expect("patterns nonempty");
             // Apply a random nonempty subset (1..=all) of the combination,
             // mirroring AutoAugment's stochastic application.

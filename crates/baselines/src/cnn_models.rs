@@ -135,6 +135,8 @@ pub fn images_to_tensor(images: &[&GrayImage], side: usize) -> Tensor4 {
         } else {
             (*img).clone()
         };
+        // ig-lint: allow(panic) -- side is a positive model constant and
+        // split_and_stack never produces an empty image from a real input
         let resized = resize_bilinear(&squared, side, side).expect("cnn preprocessing resize");
         let standardized = standardize(&resized);
         let base = i * side * side;

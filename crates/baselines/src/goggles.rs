@@ -65,6 +65,7 @@ impl Default for GogglesConfig {
 }
 
 /// A fitted GOGGLES instance: cluster centroids plus cluster→class names.
+#[derive(Debug)]
 pub struct Goggles {
     config: GogglesConfig,
     centroids: Vec<Vec<f32>>,
@@ -156,7 +157,8 @@ impl Goggles {
         // Centroids in affinity-row space are tied to the fitted set; for
         // labeling new images we store centroids in *feature* space
         // instead (mean prototype per cluster), which generalizes.
-        let mut centroids = vec![vec![0.0f32; feats[0].len()]; num_classes];
+        let feat_dim = feats.first().map_or(0, Vec::len);
+        let mut centroids = vec![vec![0.0f32; feat_dim]; num_classes];
         let mut sizes = vec![0usize; num_classes];
         for (f, &a) in feats.iter().zip(&assignments) {
             for (c, v) in centroids[a].iter_mut().zip(f) {
@@ -208,8 +210,11 @@ fn argmax(v: &[usize]) -> usize {
 /// Standard k-means with k-means++-style seeding.
 fn kmeans(points: &[Vec<f32>], k: usize, iters: usize, rng: &mut impl Rng) -> Vec<usize> {
     let n = points.len();
+    if n == 0 {
+        return Vec::new();
+    }
     let k = k.clamp(1, n);
-    let dim = points[0].len();
+    let dim = points.first().map_or(0, Vec::len);
     // Seeding: first random, rest farthest-distance-biased.
     let mut centers: Vec<Vec<f32>> = Vec::with_capacity(k);
     centers.push(points[rng.gen_range(0..n)].clone());

@@ -12,6 +12,7 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 
 /// A self-learning baseline wrapping one CNN architecture.
+#[derive(Debug)]
 pub struct SelfLearner {
     cnn: Cnn,
     side: usize,

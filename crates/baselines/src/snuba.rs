@@ -51,6 +51,7 @@ impl Default for SnubaConfig {
 
 /// One synthesized labeling function: a tiny logistic model over a
 /// primitive subset plus an abstain threshold on its confidence.
+#[derive(Debug)]
 struct HeuristicLf {
     feature_subset: Vec<usize>,
     model: Labeler,
@@ -64,8 +65,7 @@ impl HeuristicLf {
         let proba = self.model.predict_proba(&sub);
         let (best_class, best_p) = (0..proba.cols())
             .map(|c| (c, proba.get(0, c)))
-            .max_by(|a, b| a.1.total_cmp(&b.1))
-            .expect("at least one class");
+            .max_by(|a, b| a.1.total_cmp(&b.1))?;
         if best_p >= self.confidence_floor {
             Some(best_class)
         } else {
@@ -85,6 +85,7 @@ fn project(full: &Matrix, subset: &[usize]) -> Matrix {
 }
 
 /// A trained Snuba committee.
+#[derive(Debug)]
 pub struct Snuba {
     lfs: Vec<HeuristicLf>,
     label_model: LabelModel,
@@ -237,10 +238,12 @@ fn fit_candidate(
         let mut covered_pred = Vec::new();
         let mut newly_covered = 0usize;
         for r in 0..proba.rows() {
-            let (c, p) = (0..proba.cols())
+            let Some((c, p)) = (0..proba.cols())
                 .map(|c| (c, proba.get(r, c)))
                 .max_by(|a, b| a.1.total_cmp(&b.1))
-                .expect("classes");
+            else {
+                continue;
+            };
             if p >= floor {
                 covered_gold.push(dev_labels[r]);
                 covered_pred.push(c);

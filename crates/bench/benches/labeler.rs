@@ -59,11 +59,13 @@ fn bench_lbfgs_vs_adam(c: &mut Criterion) {
             let mut params = mlp.params();
             for _ in 0..80 {
                 mlp.set_params(&params);
-                let (_, grad) = mlp.loss_and_grad(&x, &Targets::Binary(&targets), Loss::Bce);
+                let (_, grad) = mlp
+                    .loss_and_grad(&x, &Targets::Binary(&targets), Loss::Bce)
+                    .unwrap();
                 opt.step(&mut params, &grad);
             }
             mlp.set_params(&params);
-            mlp.loss(&x, &Targets::Binary(&targets), Loss::Bce)
+            mlp.loss(&x, &Targets::Binary(&targets), Loss::Bce).unwrap()
         })
     });
     group.finish();

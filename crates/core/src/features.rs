@@ -265,6 +265,8 @@ impl FeatureGenerator {
             {
                 let handle = scope.spawn(move |_| {
                     if plan.is_some_and(|p| p.worker_panic(ci)) {
+                        // ig-lint: allow(panic) -- deliberate injected fault;
+                        // the recovery ladder catches it and re-runs the chunk
                         panic!("injected fault: feature worker {ci} panicked");
                     }
                     for (i, (row, img)) in slot.iter_mut().zip(img_chunk).enumerate() {

@@ -158,7 +158,12 @@ impl Labeler {
             |p| {
                 let mut m = model.clone();
                 m.set_params(p);
-                let (mut l, g) = m.loss_and_grad(&x, &targets, loss);
+                // The target/loss pairing is constructed consistently above,
+                // so the Err arm is unreachable; a NaN loss would feed the
+                // non-finite recovery path below either way.
+                let (mut l, g) = m
+                    .loss_and_grad(&x, &targets, loss)
+                    .unwrap_or_else(|_| (f32::NAN, vec![f32::NAN; p.len()]));
                 let i = evals;
                 evals += 1;
                 if plan.is_some_and(|pl| pl.poison_loss(i)) {
@@ -235,7 +240,7 @@ impl Labeler {
         let n_biases = labeler.mlp.output_dim();
         let bias_start = params.len() - n_biases;
         if num_classes == 2 {
-            let p1 = counts[1] / total;
+            let p1 = counts.get(1).copied().unwrap_or_default() / total;
             params[bias_start] = (p1.ln() - (1.0 - p1).ln()) as f32; // logit
         } else {
             for (i, &c) in counts.iter().enumerate() {

@@ -58,6 +58,7 @@ pub struct WeakLabelOutput {
 }
 
 /// A trained Inspector Gadget instance.
+#[derive(Debug)]
 pub struct InspectorGadget {
     feature_gen: FeatureGenerator,
     labeler: Labeler,

@@ -62,8 +62,8 @@ pub fn combine_boxes(all_boxes: &[BBox], strategy: CombineStrategy) -> CombineOu
                 // to the member closest to the group centroid.
                 outliers.extend(members);
             }
-        } else {
-            outliers.push(all_boxes[group[0]]);
+        } else if let Some(&lone) = group.first() {
+            outliers.push(all_boxes[lone]);
         }
     }
     CombineOutput { combined, outliers }

@@ -5,6 +5,7 @@
 //! where the labels are imbalanced" (Section 6.1). Binary tasks report
 //! positive-class F1; the multi-class NEU task reports macro-F1.
 
+use ig_imaging::stats::is_effectively_zero_f64;
 use serde::{Deserialize, Serialize};
 
 /// Precision / recall / F1 triple.
@@ -31,7 +32,10 @@ impl PrfScores {
         } else {
             tp as f64 / (tp + fn_) as f64
         };
-        let f1 = if precision + recall == 0.0 {
+        // An epsilon guard, not `== 0.0`: precision/recall reach this sum
+        // through division, and a denormal-small sum must not survive into
+        // the F1 division below and amplify into a garbage score.
+        let f1 = if is_effectively_zero_f64(precision + recall) {
             0.0
         } else {
             2.0 * precision * recall / (precision + recall)

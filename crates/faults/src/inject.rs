@@ -67,9 +67,10 @@ pub fn adversarial_labels(rows: usize, seed: u64) -> Vec<usize> {
             usize::from(z.decide("labels", i as u64, 0.5))
         })
         .collect();
-    if rows >= 2 {
-        labels[0] = 0;
-        labels[1] = 1;
+    // Slice pattern instead of indexing: provably panic-free.
+    if let [first, second, ..] = labels.as_mut_slice() {
+        *first = 0;
+        *second = 1;
     }
     labels
 }

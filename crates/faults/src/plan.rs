@@ -1,5 +1,7 @@
 //! Deterministic, seeded chaos plans.
 
+use ig_imaging::stats::is_effectively_zero_f64;
+
 /// Fault forced onto a GAN training epoch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GanFault {
@@ -84,15 +86,21 @@ impl FaultPlan {
         }
     }
 
-    /// True when the plan can never inject anything.
+    /// True when the plan can never inject anything. Rates below the
+    /// effective-zero threshold count as off: `decide` compares a hash
+    /// against `rate`, and a denormal-small rate never wins a draw.
     pub fn is_empty(&self) -> bool {
-        self.nan_feature_rate == 0.0
-            && self.inf_feature_rate == 0.0
-            && self.degenerate_pattern_rate == 0.0
-            && self.crowd_no_show_rate == 0.0
-            && self.crowd_spammer_rate == 0.0
-            && self.worker_panic_rate == 0.0
-            && self.lbfgs_poison_rate == 0.0
+        [
+            self.nan_feature_rate,
+            self.inf_feature_rate,
+            self.degenerate_pattern_rate,
+            self.crowd_no_show_rate,
+            self.crowd_spammer_rate,
+            self.worker_panic_rate,
+            self.lbfgs_poison_rate,
+        ]
+        .iter()
+        .all(|&r| is_effectively_zero_f64(r))
             && self.gan_fault_epoch.is_none()
     }
 

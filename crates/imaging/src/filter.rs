@@ -49,7 +49,7 @@ pub fn gaussian_blur(src: &GrayImage, sigma: f32) -> GrayImage {
 
 /// Build a normalized 1-D Gaussian kernel covering ±3 sigma.
 pub fn gaussian_kernel(sigma: f32) -> Vec<f32> {
-    let radius = (3.0 * sigma).ceil().max(1.0) as usize;
+    let radius = (3.0 * sigma).max(1.0).ceil() as usize;
     let mut kernel = Vec::with_capacity(2 * radius + 1);
     let denom = 2.0 * sigma * sigma;
     for i in -(radius as isize)..=(radius as isize) {

@@ -151,12 +151,10 @@ impl GrayImage {
 
     /// Bilinearly sample at a continuous coordinate, replicate padding.
     pub fn sample_bilinear(&self, x: f32, y: f32) -> f32 {
-        let x0 = x.floor();
-        let y0 = y.floor();
-        let tx = x - x0;
-        let ty = y - y0;
-        let x0 = x0 as isize;
-        let y0 = y0 as isize;
+        let tx = x - x.floor();
+        let ty = y - y.floor();
+        let x0 = x.floor() as isize;
+        let y0 = y.floor() as isize;
         let p00 = self.get_clamped(x0, y0);
         let p10 = self.get_clamped(x0 + 1, y0);
         let p01 = self.get_clamped(x0, y0 + 1);
@@ -210,11 +208,12 @@ impl GrayImage {
     /// Returns `None` if the clipped box is empty.
     pub fn crop_bbox(&self, bbox: &BBox) -> Option<GrayImage> {
         let clipped = bbox.clip(self.width, self.height)?;
+        // `clip` already snapped the box to integral pixel edges.
         self.crop(
-            clipped.x as usize,
-            clipped.y as usize,
-            clipped.w as usize,
-            clipped.h as usize,
+            clipped.x.floor() as usize,
+            clipped.y.floor() as usize,
+            clipped.w.floor() as usize,
+            clipped.h.floor() as usize,
         )
         .ok()
     }
@@ -268,8 +267,8 @@ impl GrayImage {
     /// Draw a filled disk centred at `(cx, cy)`.
     pub fn fill_disk(&mut self, cx: f32, cy: f32, radius: f32, value: f32) {
         let r2 = radius * radius;
-        let x0 = (cx - radius).floor().max(0.0) as usize;
-        let y0 = (cy - radius).floor().max(0.0) as usize;
+        let x0 = (cx - radius).max(0.0).floor() as usize;
+        let y0 = (cy - radius).max(0.0).floor() as usize;
         let x1 = ((cx + radius).ceil() as usize + 1).min(self.width);
         let y1 = ((cy + radius).ceil() as usize + 1).min(self.height);
         for y in y0..y1 {

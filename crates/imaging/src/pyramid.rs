@@ -25,15 +25,20 @@ impl Pyramid {
         let min_side = min_side.max(1);
         let mut levels = vec![base.clone()];
         while levels.len() < max_levels.max(1) {
-            let prev = levels.last().expect("pyramid has at least the base level");
+            // `levels` starts non-empty and only grows, but the panic-free
+            // spelling costs nothing.
+            let Some(prev) = levels.last() else { break };
             let (w, h) = prev.dims();
             let (nw, nh) = (w / 2, h / 2);
             if nw < min_side || nh < min_side {
                 break;
             }
             let blurred = gaussian_blur(prev, 1.0);
-            let down = resize_bilinear(&blurred, nw, nh)
-                .expect("downsample target dims already validated");
+            // Target dims were validated above; if resize still refuses,
+            // stop refining instead of tearing the worker down.
+            let Ok(down) = resize_bilinear(&blurred, nw, nh) else {
+                break;
+            };
             levels.push(down);
         }
         Self { levels }

@@ -14,8 +14,8 @@ pub fn resize_nearest(src: &GrayImage, new_w: usize, new_h: usize) -> Result<Gra
     let sx = src.width() as f32 / new_w as f32;
     let sy = src.height() as f32 / new_h as f32;
     Ok(GrayImage::from_fn(new_w, new_h, |x, y| {
-        let src_x = (((x as f32 + 0.5) * sx) as usize).min(src.width() - 1);
-        let src_y = (((y as f32 + 0.5) * sy) as usize).min(src.height() - 1);
+        let src_x = (((x as f32 + 0.5) * sx).floor() as usize).min(src.width() - 1);
+        let src_y = (((y as f32 + 0.5) * sy).floor() as usize).min(src.height() - 1);
         src.get(src_x, src_y)
     }))
 }

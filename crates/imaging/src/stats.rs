@@ -1,6 +1,57 @@
-//! Pixel statistics and normalization helpers.
+//! Pixel statistics, normalization, and float-comparison helpers.
+//!
+//! The comparison helpers ([`approx_eq`], [`is_effectively_zero`] and their
+//! `f64` variants) are the workspace-sanctioned replacement for bare float
+//! `==`/`!=`, which the `float-eq` lint rule bans in library crates: exact
+//! equality guards rot silently once a value passes through arithmetic
+//! (rounding noise) or a fault injector (NaN never equals anything).
 
 use crate::GrayImage;
+
+/// Absolute/relative tolerance used by the `f32` comparison helpers.
+pub const DEFAULT_EPS: f32 = 1e-6;
+
+/// Tolerance used by the `f64` comparison helpers.
+pub const DEFAULT_EPS_F64: f64 = 1e-12;
+
+/// True when `a` and `b` agree within `eps`, absolutely for small values
+/// and relatively for large ones. NaN never compares equal; equal
+/// infinities do.
+pub fn approx_eq(a: f32, b: f32, eps: f32) -> bool {
+    if a == b {
+        return true;
+    }
+    // NaN is never equal; unequal infinities must not pass the relative
+    // test below (inf <= eps * inf would hold).
+    if !a.is_finite() || !b.is_finite() {
+        return false;
+    }
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= eps * scale
+}
+
+/// `f64` counterpart of [`approx_eq`].
+pub fn approx_eq_f64(a: f64, b: f64, eps: f64) -> bool {
+    if a == b {
+        return true;
+    }
+    if !a.is_finite() || !b.is_finite() {
+        return false;
+    }
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= eps * scale
+}
+
+/// True when `x` is zero up to [`DEFAULT_EPS`]. The canonical guard for
+/// "would dividing by this explode?" checks. NaN is not zero.
+pub fn is_effectively_zero(x: f32) -> bool {
+    x.abs() <= DEFAULT_EPS
+}
+
+/// `f64` counterpart of [`is_effectively_zero`].
+pub fn is_effectively_zero_f64(x: f64) -> bool {
+    x.abs() <= DEFAULT_EPS_F64
+}
 
 /// Summary statistics of an image's pixel distribution.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -156,5 +207,37 @@ mod tests {
         // -5 clamps into bin 0; 0.5 lands exactly on the bin-1 boundary; 99
         // clamps into the last bin.
         assert_eq!(h, vec![1, 2]);
+    }
+
+    #[test]
+    fn approx_eq_tolerates_rounding_noise() {
+        assert!(approx_eq(0.1 + 0.2, 0.3, DEFAULT_EPS));
+        assert!(approx_eq_f64(0.1 + 0.2, 0.3, DEFAULT_EPS_F64));
+        assert!(!approx_eq(0.1, 0.2, DEFAULT_EPS));
+    }
+
+    #[test]
+    fn approx_eq_scales_relatively_for_large_magnitudes() {
+        let big = 1.0e12f32;
+        assert!(approx_eq(big, big * (1.0 + 1e-7), DEFAULT_EPS));
+        assert!(!approx_eq(big, big * 1.01, DEFAULT_EPS));
+    }
+
+    #[test]
+    fn approx_eq_rejects_nan_accepts_inf() {
+        assert!(!approx_eq(f32::NAN, f32::NAN, DEFAULT_EPS));
+        assert!(!approx_eq_f64(f64::NAN, 0.0, DEFAULT_EPS_F64));
+        assert!(approx_eq(f32::INFINITY, f32::INFINITY, DEFAULT_EPS));
+        assert!(!approx_eq(f32::INFINITY, f32::NEG_INFINITY, DEFAULT_EPS));
+    }
+
+    #[test]
+    fn effectively_zero_guards() {
+        assert!(is_effectively_zero(0.0));
+        assert!(is_effectively_zero(-1e-9));
+        assert!(!is_effectively_zero(1e-3));
+        assert!(!is_effectively_zero(f32::NAN));
+        assert!(is_effectively_zero_f64(0.0));
+        assert!(!is_effectively_zero_f64(1e-6));
     }
 }

@@ -1,0 +1,202 @@
+//! Per-line `ig-lint` allow annotations.
+//!
+//! Grammar (inside a `//` line comment, anywhere on the line):
+//!
+//! ```text
+//! // ig-lint: allow(hash-iter, float-eq) -- reason the suppression is safe
+//! ```
+//!
+//! The reason after `--` is **mandatory**: an allow that cannot say *why*
+//! the flagged construct is safe does not get to suppress anything, and is
+//! itself reported as a `bad-annotation` violation. A comment that stands
+//! alone on its line applies to the next line of code; a trailing comment
+//! applies to its own line.
+
+use crate::lexer::{Comment, Token};
+use crate::rules::RULE_NAMES;
+
+/// One parsed allow annotation.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Rule names listed inside `allow(…)`.
+    pub rules: Vec<String>,
+    /// Justification text after `--`, if present and non-empty.
+    pub reason: Option<String>,
+    /// Line the annotation comment sits on.
+    pub annotation_line: u32,
+    /// Line of code the annotation suppresses.
+    pub target_line: u32,
+}
+
+/// A malformed annotation (unparseable list, unknown rule, missing reason).
+#[derive(Debug, Clone)]
+pub struct BadAnnotation {
+    pub line: u32,
+    pub problem: String,
+}
+
+/// All annotations of one file, indexed for suppression lookups.
+#[derive(Debug, Default)]
+pub struct AllowIndex {
+    pub allows: Vec<Allow>,
+    pub bad: Vec<BadAnnotation>,
+}
+
+impl AllowIndex {
+    /// Build the index from the lexed comments. `tokens` is consulted to
+    /// resolve which code line an own-line annotation targets.
+    pub fn build(comments: &[Comment], tokens: &[Token]) -> Self {
+        let mut idx = AllowIndex::default();
+        for c in comments {
+            let Some(body) = find_annotation_body(&c.text) else {
+                continue;
+            };
+            match parse_annotation(body) {
+                Ok((rules, reason)) => {
+                    let target_line = if c.own_line {
+                        next_code_line(tokens, c.line).unwrap_or(c.line + 1)
+                    } else {
+                        c.line
+                    };
+                    if reason.is_none() {
+                        idx.bad.push(BadAnnotation {
+                            line: c.line,
+                            problem: "allow annotation is missing its mandatory \
+                                      `-- reason` justification"
+                                .to_string(),
+                        });
+                    }
+                    for r in &rules {
+                        if !RULE_NAMES.contains(&r.as_str()) {
+                            idx.bad.push(BadAnnotation {
+                                line: c.line,
+                                problem: format!(
+                                    "unknown rule `{r}` in allow annotation (known rules: {})",
+                                    RULE_NAMES.join(", ")
+                                ),
+                            });
+                        }
+                    }
+                    idx.allows.push(Allow {
+                        rules,
+                        reason,
+                        annotation_line: c.line,
+                        target_line,
+                    });
+                }
+                Err(problem) => idx.bad.push(BadAnnotation {
+                    line: c.line,
+                    problem,
+                }),
+            }
+        }
+        idx
+    }
+
+    /// Does a well-formed allow for `rule` cover `line`?
+    pub fn is_allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows.iter().any(|a| {
+            a.target_line == line && a.reason.is_some() && a.rules.iter().any(|r| r == rule)
+        })
+    }
+}
+
+/// Locate the text after `ig-lint:` in a comment, if any.
+fn find_annotation_body(comment: &str) -> Option<&str> {
+    let at = comment.find("ig-lint:")?;
+    Some(comment[at + "ig-lint:".len()..].trim())
+}
+
+/// Parse `allow(a, b) -- reason` into its parts.
+fn parse_annotation(body: &str) -> Result<(Vec<String>, Option<String>), String> {
+    let rest = body
+        .strip_prefix("allow")
+        .ok_or_else(|| format!("expected `allow(...)` after `ig-lint:`, found `{body}`"))?
+        .trim_start();
+    let rest = rest
+        .strip_prefix('(')
+        .ok_or_else(|| "expected `(` after `allow`".to_string())?;
+    let close = rest
+        .find(')')
+        .ok_or_else(|| "unclosed `(` in allow annotation".to_string())?;
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return Err("empty rule list in allow annotation".to_string());
+    }
+    let tail = rest[close + 1..].trim();
+    let reason = tail
+        .strip_prefix("--")
+        .map(str::trim)
+        .filter(|r| !r.is_empty())
+        .map(str::to_string);
+    Ok((rules, reason))
+}
+
+/// First line at or after `after_line + 1` that carries a token.
+fn next_code_line(tokens: &[Token], after_line: u32) -> Option<u32> {
+    tokens
+        .iter()
+        .map(|t| t.line)
+        .filter(|&l| l > after_line)
+        .min()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn trailing_annotation_targets_own_line() {
+        let l = lex("let x = m.unwrap(); // ig-lint: allow(panic) -- len checked above\n");
+        let idx = AllowIndex::build(&l.comments, &l.tokens);
+        assert!(idx.bad.is_empty());
+        assert!(idx.is_allowed("panic", 1));
+        assert!(!idx.is_allowed("panic", 2));
+        assert!(!idx.is_allowed("float-eq", 1));
+    }
+
+    #[test]
+    fn own_line_annotation_targets_next_code_line() {
+        let src = "// ig-lint: allow(hash-iter) -- order normalized by sort below\n\nfor k in m.keys() {}\n";
+        let l = lex(src);
+        let idx = AllowIndex::build(&l.comments, &l.tokens);
+        assert!(idx.is_allowed("hash-iter", 3));
+    }
+
+    #[test]
+    fn missing_reason_is_bad_and_does_not_suppress() {
+        let l = lex("let x = m.unwrap(); // ig-lint: allow(panic)\n");
+        let idx = AllowIndex::build(&l.comments, &l.tokens);
+        assert_eq!(idx.bad.len(), 1);
+        assert!(!idx.is_allowed("panic", 1));
+    }
+
+    #[test]
+    fn unknown_rule_is_reported() {
+        let l = lex("// ig-lint: allow(no-such-rule) -- whatever\nlet x = 1;\n");
+        let idx = AllowIndex::build(&l.comments, &l.tokens);
+        assert_eq!(idx.bad.len(), 1);
+        assert!(idx.bad[0].problem.contains("no-such-rule"));
+    }
+
+    #[test]
+    fn multiple_rules_in_one_annotation() {
+        let l = lex("x == 0.0 && v[0] > 1.0 // ig-lint: allow(float-eq, panic) -- fixture\n");
+        let idx = AllowIndex::build(&l.comments, &l.tokens);
+        assert!(idx.is_allowed("float-eq", 1));
+        assert!(idx.is_allowed("panic", 1));
+    }
+
+    #[test]
+    fn plain_comments_are_ignored() {
+        let l = lex("// just a comment mentioning allow(panic)\nlet x = 1;\n");
+        let idx = AllowIndex::build(&l.comments, &l.tokens);
+        assert!(idx.allows.is_empty());
+        assert!(idx.bad.is_empty());
+    }
+}

@@ -1,0 +1,572 @@
+//! A minimal, self-contained Rust lexer.
+//!
+//! The container this workspace builds in has no network access, so the
+//! analyzer cannot depend on `syn`/`proc-macro2`. The rules in this crate
+//! only need a faithful *token* view of each source file — identifiers,
+//! literals, multi-character operators, and line comments with positions —
+//! which this hand-rolled lexer provides. It understands the parts of the
+//! lexical grammar that matter for not mis-firing inside text: nested block
+//! comments, raw strings (`r#"…"#`), byte/char literals vs. lifetimes, raw
+//! identifiers, and numeric literals with suffixes and exponents.
+
+/// Lexical class of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`foo`, `fn`, `r#match`).
+    Ident,
+    /// Lifetime or loop label (`'a`, `'static`).
+    Lifetime,
+    /// Integer literal (`42`, `0xFF`, `1_000u32`).
+    Int,
+    /// Float literal (`1.0`, `2e-3`, `1f32`).
+    Float,
+    /// String, char, or byte literal (contents are opaque to the rules).
+    Str,
+    /// Operator or delimiter; multi-character operators (`::`, `==`, `..=`)
+    /// are a single token.
+    Punct,
+}
+
+/// One token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Token {
+    /// True when the token is this exact identifier.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// True when the token is this exact punctuation.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == s
+    }
+}
+
+/// A `//` line comment, kept out-of-band for annotation parsing.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    pub line: u32,
+    /// True when no token precedes the comment on its line, i.e. the
+    /// comment stands alone and annotates the *following* line.
+    pub own_line: bool,
+}
+
+/// Lexer output: the token stream plus all line comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character operators, longest first so maximal munch works.
+const MULTI_PUNCT: &[&str] = &[
+    "..=", "...", "<<=", ">>=", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else if b & 0xC0 != 0x80 {
+            // Count code points, not bytes, so columns match editors.
+            self.col += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Tokenize `src`. Never fails: unrecognized bytes become single-character
+/// punctuation so the rules can keep scanning the rest of the file.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Lexed::default();
+    let mut last_token_line = 0u32;
+
+    while let Some(b) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek_at(1) == Some(b'/') => {
+                let start = cur.pos;
+                while let Some(c) = cur.peek() {
+                    if c == b'\n' {
+                        break;
+                    }
+                    cur.bump();
+                }
+                out.comments.push(Comment {
+                    text: src[start..cur.pos].to_string(),
+                    line,
+                    own_line: last_token_line != line,
+                });
+            }
+            b'/' if cur.peek_at(1) == Some(b'*') => {
+                cur.bump();
+                cur.bump();
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (cur.peek(), cur.peek_at(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            cur.bump();
+                            cur.bump();
+                            depth += 1;
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            cur.bump();
+                            cur.bump();
+                            depth -= 1;
+                        }
+                        (Some(_), _) => {
+                            cur.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+            }
+            b'r' | b'b' | b'c' if starts_raw_or_byte_literal(&cur) => {
+                let text = lex_prefixed_literal(&mut cur, src);
+                out.tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text,
+                    line,
+                    col,
+                });
+                last_token_line = line;
+            }
+            b'"' => {
+                let text = lex_string(&mut cur, src);
+                out.tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text,
+                    line,
+                    col,
+                });
+                last_token_line = line;
+            }
+            b'\'' => {
+                let tok = lex_quote(&mut cur, src, line, col);
+                out.tokens.push(tok);
+                last_token_line = line;
+            }
+            _ if b.is_ascii_digit() => {
+                let tok = lex_number(&mut cur, src, line, col);
+                out.tokens.push(tok);
+                last_token_line = line;
+            }
+            _ if is_ident_start(b) => {
+                let start = cur.pos;
+                while let Some(c) = cur.peek() {
+                    if !is_ident_continue(c) {
+                        break;
+                    }
+                    cur.bump();
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: src[start..cur.pos].to_string(),
+                    line,
+                    col,
+                });
+                last_token_line = line;
+            }
+            _ => {
+                let text = lex_punct(&mut cur, src);
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text,
+                    line,
+                    col,
+                });
+                last_token_line = line;
+            }
+        }
+    }
+    out
+}
+
+/// Does the cursor sit on `r"`, `r#"`, `r#ident`… no — specifically a raw
+/// string / byte string / byte char / c-string prefix (not a plain ident)?
+fn starts_raw_or_byte_literal(cur: &Cursor) -> bool {
+    let b0 = match cur.peek() {
+        Some(b) => b,
+        None => return false,
+    };
+    match b0 {
+        b'r' | b'c' => match (cur.peek_at(1), cur.peek_at(2)) {
+            (Some(b'"'), _) => true,
+            (Some(b'#'), Some(b'"' | b'#')) => b0 == b'r', // r#"…" / r##"…" (r#ident handled as ident)
+            _ => false,
+        },
+        b'b' => matches!(
+            (cur.peek_at(1), cur.peek_at(2)),
+            (Some(b'"'), _) | (Some(b'\''), _) | (Some(b'r'), Some(b'"' | b'#'))
+        ),
+        _ => false,
+    }
+}
+
+/// Lex `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'x'`, `c"…"`.
+fn lex_prefixed_literal(cur: &mut Cursor, src: &str) -> String {
+    let start = cur.pos;
+    // Consume prefix letters.
+    while matches!(cur.peek(), Some(b'r' | b'b' | b'c')) {
+        if matches!(cur.peek(), Some(b'"' | b'\'' | b'#')) {
+            break;
+        }
+        // Only consume known prefix letters that are actually followed by
+        // a quote or hash eventually; at most two letters (`br`).
+        if cur.pos - start >= 2 {
+            break;
+        }
+        cur.bump();
+    }
+    let raw = src[start..cur.pos].contains('r');
+    match cur.peek() {
+        Some(b'#' | b'"') => {
+            // Raw or plain quoted: count hashes, then scan for `"` + hashes.
+            let mut hashes = 0usize;
+            while cur.peek() == Some(b'#') {
+                hashes += 1;
+                cur.bump();
+            }
+            if cur.peek() == Some(b'"') {
+                cur.bump();
+                'scan: while let Some(c) = cur.bump() {
+                    if !raw && c == b'\\' {
+                        cur.bump();
+                        continue;
+                    }
+                    if c == b'"' {
+                        let mut seen = 0usize;
+                        while seen < hashes {
+                            if cur.peek() == Some(b'#') {
+                                cur.bump();
+                                seen += 1;
+                            } else {
+                                continue 'scan;
+                            }
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+        Some(b'\'') => {
+            // b'x' byte char; `lex_char_body` consumes the opening quote.
+            lex_char_body(cur);
+        }
+        _ => {}
+    }
+    src[start..cur.pos].to_string()
+}
+
+/// Lex a plain `"…"` string starting at the opening quote.
+fn lex_string(cur: &mut Cursor, src: &str) -> String {
+    let start = cur.pos;
+    cur.bump(); // opening quote
+    while let Some(c) = cur.bump() {
+        match c {
+            b'\\' => {
+                cur.bump();
+            }
+            b'"' => break,
+            _ => {}
+        }
+    }
+    src[start..cur.pos].to_string()
+}
+
+/// After the opening `'` of a char literal, consume the body and closing `'`.
+fn lex_char_body(cur: &mut Cursor) {
+    cur.bump(); // opening quote
+    match cur.peek() {
+        Some(b'\\') => {
+            cur.bump();
+            cur.bump();
+            // \u{…}
+            if cur.peek() == Some(b'{') {
+                while let Some(c) = cur.bump() {
+                    if c == b'}' {
+                        break;
+                    }
+                }
+            }
+        }
+        Some(_) => {
+            cur.bump();
+        }
+        None => return,
+    }
+    if cur.peek() == Some(b'\'') {
+        cur.bump();
+    }
+}
+
+/// Disambiguate `'a` (lifetime) from `'a'` (char literal).
+fn lex_quote(cur: &mut Cursor, src: &str, line: u32, col: u32) -> Token {
+    let start = cur.pos;
+    let next = cur.peek_at(1);
+    let after = cur.peek_at(2);
+    let is_lifetime = match (next, after) {
+        (Some(n), Some(a)) => is_ident_start(n) && a != b'\'',
+        (Some(n), None) => is_ident_start(n),
+        _ => false,
+    };
+    if is_lifetime {
+        cur.bump(); // '
+        while let Some(c) = cur.peek() {
+            if !is_ident_continue(c) {
+                break;
+            }
+            cur.bump();
+        }
+        Token {
+            kind: TokenKind::Lifetime,
+            text: src[start..cur.pos].to_string(),
+            line,
+            col,
+        }
+    } else {
+        lex_char_body(cur);
+        Token {
+            kind: TokenKind::Str,
+            text: src[start..cur.pos].to_string(),
+            line,
+            col,
+        }
+    }
+}
+
+/// Lex a numeric literal; decides Int vs Float.
+fn lex_number(cur: &mut Cursor, src: &str, line: u32, col: u32) -> Token {
+    let start = cur.pos;
+    let mut kind = TokenKind::Int;
+
+    if cur.peek() == Some(b'0')
+        && matches!(
+            cur.peek_at(1),
+            Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B')
+        )
+    {
+        cur.bump();
+        cur.bump();
+        while let Some(c) = cur.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+        return Token {
+            kind,
+            text: src[start..cur.pos].to_string(),
+            line,
+            col,
+        };
+    }
+
+    let eat_digits = |cur: &mut Cursor| {
+        while let Some(c) = cur.peek() {
+            if c.is_ascii_digit() || c == b'_' {
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+    };
+    eat_digits(cur);
+
+    // Fractional part: `1.5`, `1.` — but not `1..2` (range) or `1.foo()`.
+    if cur.peek() == Some(b'.') {
+        match cur.peek_at(1) {
+            Some(n) if n.is_ascii_digit() => {
+                kind = TokenKind::Float;
+                cur.bump();
+                eat_digits(cur);
+            }
+            Some(b'.') => {}
+            Some(n) if is_ident_start(n) => {}
+            _ => {
+                kind = TokenKind::Float;
+                cur.bump();
+            }
+        }
+    }
+
+    // Exponent: `1e3`, `2.5E-7`.
+    if matches!(cur.peek(), Some(b'e' | b'E')) {
+        let (sign, digit) = (cur.peek_at(1), cur.peek_at(2));
+        let has_exp = match sign {
+            Some(b'+' | b'-') => matches!(digit, Some(d) if d.is_ascii_digit()),
+            Some(d) if d.is_ascii_digit() => true,
+            _ => false,
+        };
+        if has_exp {
+            kind = TokenKind::Float;
+            cur.bump();
+            if matches!(cur.peek(), Some(b'+' | b'-')) {
+                cur.bump();
+            }
+            eat_digits(cur);
+        }
+    }
+
+    // Type suffix: `1f32` is a float, `1u32` an int.
+    if matches!(cur.peek(), Some(c) if is_ident_start(c)) {
+        let suffix_start = cur.pos;
+        while let Some(c) = cur.peek() {
+            if !is_ident_continue(c) {
+                break;
+            }
+            cur.bump();
+        }
+        let suffix = &src[suffix_start..cur.pos];
+        if suffix == "f32" || suffix == "f64" {
+            kind = TokenKind::Float;
+        }
+    }
+
+    Token {
+        kind,
+        text: src[start..cur.pos].to_string(),
+        line,
+        col,
+    }
+}
+
+/// Lex one operator, preferring the longest match.
+fn lex_punct(cur: &mut Cursor, src: &str) -> String {
+    let rest = &src[cur.pos..];
+    for op in MULTI_PUNCT {
+        if rest.starts_with(op) {
+            for _ in 0..op.len() {
+                cur.bump();
+            }
+            return (*op).to_string();
+        }
+    }
+    let start = cur.pos;
+    cur.bump();
+    src[start..cur.pos].to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = kinds("let x: u32 = a == b;");
+        assert_eq!(toks[0], (TokenKind::Ident, "let".into()));
+        assert!(toks.iter().any(|t| t == &(TokenKind::Punct, "==".into())));
+    }
+
+    #[test]
+    fn float_vs_int_vs_range() {
+        assert_eq!(kinds("1.5")[0].0, TokenKind::Float);
+        assert_eq!(kinds("1e-3")[0].0, TokenKind::Float);
+        assert_eq!(kinds("1f32")[0].0, TokenKind::Float);
+        assert_eq!(kinds("42")[0].0, TokenKind::Int);
+        assert_eq!(kinds("1u32")[0].0, TokenKind::Int);
+        let range = kinds("0..10");
+        assert_eq!(range[0].0, TokenKind::Int);
+        assert_eq!(range[1], (TokenKind::Punct, "..".into()));
+        let method = kinds("1.max(2)");
+        assert_eq!(method[0].0, TokenKind::Int);
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = kinds("&'a str");
+        assert_eq!(toks[1], (TokenKind::Lifetime, "'a".into()));
+        assert_eq!(kinds("'x'")[0].0, TokenKind::Str);
+        assert_eq!(kinds(r"'\n'")[0].0, TokenKind::Str);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"let s = "thread_rng == 1.0";"#);
+        assert!(!toks.iter().any(|t| t.1 == "thread_rng"));
+        let raw = kinds(r##"let s = r#"unwrap() "quoted""#;"##);
+        assert!(!raw.iter().any(|t| t.1 == "unwrap"));
+    }
+
+    #[test]
+    fn comments_are_captured_with_position() {
+        let l = lex("let a = 1; // trailing\n// ig-lint: allow(panic) -- fine\nlet b = 2;");
+        assert_eq!(l.comments.len(), 2);
+        assert!(!l.comments[0].own_line);
+        assert!(l.comments[1].own_line);
+        assert_eq!(l.comments[1].line, 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* outer /* inner */ still comment */ b");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1].1, "b");
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let l = lex("x\n  y");
+        assert_eq!((l.tokens[0].line, l.tokens[0].col), (1, 1));
+        assert_eq!((l.tokens[1].line, l.tokens[1].col), (2, 3));
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents() {
+        let toks = kinds("r#match");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[0].1, "r");
+    }
+}

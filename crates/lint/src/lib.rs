@@ -1,0 +1,128 @@
+//! `ig-lint` — workspace analyzer enforcing the determinism, panic-freedom,
+//! and numeric-safety invariants the fault-injection subsystem's
+//! bit-for-bit reproducibility contract rests on.
+//!
+//! Run as `cargo run -p ig-lint -- check`. See DESIGN.md §"Static
+//! invariants" for the rule catalog and the allow-annotation convention.
+
+pub mod annotations;
+pub mod context;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use annotations::AllowIndex;
+use context::{classify, test_mask, FileClass, FileContext, HOT_PATH_FILES};
+use report::{Diagnostic, Report, ReportedAllow};
+
+/// Analyze one source string as if it lived at `rel_path` (workspace
+/// relative, forward slashes). This is the unit-testable core; the binary
+/// and the fixture tests both go through it.
+pub fn check_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
+    check_source_as(rel_path, src, classify(rel_path))
+}
+
+/// Like [`check_source`], but with the file class pinned by the caller —
+/// fixture tests use this to exercise library-code rules on files that
+/// live under `tests/fixtures/`.
+pub fn check_source_as(rel_path: &str, src: &str, class: FileClass) -> Vec<Diagnostic> {
+    check_source_with(rel_path, src, class, HOT_PATH_FILES.contains(&rel_path))
+}
+
+/// Fully-pinned variant: class and hot-path flag both chosen by the caller.
+pub fn check_source_with(
+    rel_path: &str,
+    src: &str,
+    class: FileClass,
+    hot_path: bool,
+) -> Vec<Diagnostic> {
+    let lexed = lexer::lex(src);
+    let mask = test_mask(&lexed);
+    let allows = AllowIndex::build(&lexed.comments, &lexed.tokens);
+    let ctx = FileContext {
+        path: rel_path,
+        class,
+        tokens: &lexed.tokens,
+        in_test: &mask,
+        allows: &allows,
+        hot_path,
+    };
+    rules::check_file(&ctx)
+}
+
+/// Directories never scanned: build output, VCS, vendored stubs, run
+/// artifacts, sample data, and the linter's own rule-violation fixtures.
+const SKIP_DIRS: &[&str] = &[
+    "target",
+    ".git",
+    ".offline-stubs",
+    "results",
+    "samples",
+    "fixtures",
+    ".github",
+    ".claude",
+];
+
+/// Recursively collect every `.rs` file under `root`, sorted for
+/// deterministic reports.
+pub fn collect_rs_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries = fs::read_dir(&dir)?;
+        for entry in entries {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Analyze the whole workspace rooted at `root`.
+pub fn check_workspace(root: &Path) -> std::io::Result<Report> {
+    let files = collect_rs_files(root)?;
+    let mut report = Report {
+        files_scanned: files.len(),
+        ..Report::default()
+    };
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = fs::read_to_string(path)?;
+        report.violations.extend(check_source(&rel, &src));
+
+        // Re-lex to list surviving allow annotations for the audit trail.
+        let lexed = lexer::lex(&src);
+        let allows = AllowIndex::build(&lexed.comments, &lexed.tokens);
+        for a in allows.allows {
+            if let Some(reason) = a.reason {
+                report.allows.push(ReportedAllow {
+                    path: rel.clone(),
+                    line: a.annotation_line,
+                    rules: a.rules,
+                    reason,
+                });
+            }
+        }
+    }
+    report
+        .violations
+        .sort_by(|a, b| (&a.path, a.line, a.col, &a.rule).cmp(&(&b.path, b.line, b.col, &b.rule)));
+    Ok(report)
+}

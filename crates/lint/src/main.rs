@@ -1,0 +1,135 @@
+//! CLI for the workspace analyzer.
+//!
+//! ```text
+//! cargo run -p ig-lint -- check [--root DIR] [--report PATH] [--quiet]
+//! cargo run -p ig-lint -- rules
+//! ```
+//!
+//! `check` exits 0 when the workspace upholds every invariant, 1 when any
+//! violation (including a malformed allow annotation) survives, and 2 on
+//! usage or I/O errors. A machine-readable report is written to
+//! `results/lint_report.json` unless `--report` overrides the path.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ig_lint::report::Report;
+use ig_lint::rules::rule_descriptions;
+
+struct CheckOpts {
+    root: PathBuf,
+    report_path: PathBuf,
+    quiet: bool,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => match parse_check_opts(&args[1..]) {
+            Ok(opts) => run_check(&opts),
+            Err(e) => {
+                eprintln!("ig-lint: {e}");
+                ExitCode::from(2)
+            }
+        },
+        Some("rules") => {
+            for (name, desc) in rule_descriptions() {
+                println!("{name:16} {desc}");
+            }
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("ig-lint: unknown command `{other}`\n{USAGE}");
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str =
+    "usage: ig-lint check [--root DIR] [--report PATH] [--quiet]\n       ig-lint rules";
+
+fn parse_check_opts(args: &[String]) -> Result<CheckOpts, String> {
+    let mut opts = CheckOpts {
+        root: PathBuf::from("."),
+        report_path: PathBuf::from("results/lint_report.json"),
+        quiet: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => {
+                opts.root = it
+                    .next()
+                    .map(PathBuf::from)
+                    .ok_or("--root requires a directory")?;
+            }
+            "--report" => {
+                opts.report_path = it
+                    .next()
+                    .map(PathBuf::from)
+                    .ok_or("--report requires a path")?;
+            }
+            "--quiet" => opts.quiet = true,
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn run_check(opts: &CheckOpts) -> ExitCode {
+    let report = match ig_lint::check_workspace(&opts.root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ig-lint: scanning {}: {e}", opts.root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if !opts.quiet {
+        for d in &report.violations {
+            eprintln!("{}\n", d.render());
+        }
+    }
+
+    if let Err(e) = write_report(&report, opts) {
+        eprintln!(
+            "ig-lint: writing report {}: {e}",
+            opts.report_path.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    let counts = report.counts();
+    let summary: Vec<String> = counts.iter().map(|(r, n)| format!("{r}: {n}")).collect();
+    if report.violations.is_empty() {
+        if !opts.quiet {
+            println!(
+                "ig-lint: {} files clean, {} allow annotation(s) on record",
+                report.files_scanned,
+                report.allows.len()
+            );
+        }
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "ig-lint: {} violation(s) in {} files scanned ({})",
+            report.violations.len(),
+            report.files_scanned,
+            summary.join(", ")
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn write_report(report: &Report, opts: &CheckOpts) -> std::io::Result<()> {
+    if let Some(dir) = opts.report_path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    std::fs::write(&opts.report_path, report.to_json())
+}

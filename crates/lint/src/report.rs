@@ -1,0 +1,206 @@
+//! Diagnostics, rustc-style rendering, and the JSON report.
+//!
+//! The JSON is written by hand: the workspace's `serde_json` is an offline
+//! stub, and the report is flat enough that a small escaper is all the
+//! machinery needed.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One rule violation at a source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Canonical rule name (`panic`, `float-eq`, …).
+    pub rule: String,
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    pub line: u32,
+    pub col: u32,
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Render in rustc's `error[code]: message\n --> file:line:col` shape so
+    /// editors and CI annotators pick the locations up.
+    pub fn render(&self) -> String {
+        format!(
+            "error[{}]: {}\n  --> {}:{}:{}",
+            self.rule, self.message, self.path, self.line, self.col
+        )
+    }
+}
+
+/// A surviving (used, well-formed) allow annotation, listed in the report
+/// so reviewers can audit every suppression and its reason.
+#[derive(Debug, Clone)]
+pub struct ReportedAllow {
+    pub path: String,
+    pub line: u32,
+    pub rules: Vec<String>,
+    pub reason: String,
+}
+
+/// Full analyzer output for one run.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub files_scanned: usize,
+    pub violations: Vec<Diagnostic>,
+    pub allows: Vec<ReportedAllow>,
+}
+
+impl Report {
+    /// Per-rule violation counts, sorted by rule name.
+    pub fn counts(&self) -> BTreeMap<&str, usize> {
+        let mut m = BTreeMap::new();
+        for d in &self.violations {
+            *m.entry(d.rule.as_str()).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Serialize the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        let _ = writeln!(s, "  \"tool\": \"ig-lint\",");
+        let _ = writeln!(s, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(s, "  \"violation_count\": {},", self.violations.len());
+
+        s.push_str("  \"violations_by_rule\": {");
+        let counts = self.counts();
+        let mut first = true;
+        for (rule, n) in &counts {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            let _ = write!(s, "\n    {}: {}", json_str(rule), n);
+        }
+        s.push_str(if counts.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+
+        s.push_str("  \"violations\": [");
+        for (i, d) in self.violations.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\n    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"col\": {}, \"message\": {}}}",
+                json_str(&d.rule),
+                json_str(&d.path),
+                d.line,
+                d.col,
+                json_str(&d.message)
+            );
+        }
+        s.push_str(if self.violations.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+
+        s.push_str("  \"allows\": [");
+        for (i, a) in self.allows.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let rules = a
+                .rules
+                .iter()
+                .map(|r| json_str(r))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let _ = write!(
+                s,
+                "\n    {{\"path\": {}, \"line\": {}, \"rules\": [{}], \"reason\": {}}}",
+                json_str(&a.path),
+                a.line,
+                rules,
+                json_str(&a.reason)
+            );
+        }
+        s.push_str(if self.allows.is_empty() {
+            "]\n"
+        } else {
+            "\n  ]\n"
+        });
+        s.push('}');
+        s.push('\n');
+        s
+    }
+}
+
+/// JSON string literal with the escapes the report can actually contain.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_rustc_shaped() {
+        let d = Diagnostic {
+            rule: "panic".into(),
+            path: "crates/core/src/labeler.rs".into(),
+            line: 88,
+            col: 17,
+            message: "boom".into(),
+        };
+        let r = d.render();
+        assert!(r.starts_with("error[panic]: boom"));
+        assert!(r.contains("--> crates/core/src/labeler.rs:88:17"));
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_backslashes() {
+        assert_eq!(json_str("a\"b\\c"), r#""a\"b\\c""#);
+        assert_eq!(json_str("tab\there"), r#""tab\there""#);
+    }
+
+    #[test]
+    fn empty_report_is_valid_json_shape() {
+        let r = Report::default();
+        let j = r.to_json();
+        assert!(j.contains("\"violation_count\": 0"));
+        assert!(j.contains("\"violations\": []"));
+        assert!(j.ends_with("}\n"));
+    }
+
+    #[test]
+    fn counts_group_by_rule() {
+        let mut r = Report::default();
+        for rule in ["panic", "panic", "float-eq"] {
+            r.violations.push(Diagnostic {
+                rule: rule.into(),
+                path: "x.rs".into(),
+                line: 1,
+                col: 1,
+                message: String::new(),
+            });
+        }
+        let c = r.counts();
+        assert_eq!(c.get("panic"), Some(&2));
+        assert_eq!(c.get("float-eq"), Some(&1));
+    }
+}

@@ -1,0 +1,94 @@
+//! D1: sources of nondeterminism.
+//!
+//! The fault-injection subsystem's contract is that a clean run is
+//! bit-for-bit reproducible from its seed. Any ambient entropy or wall
+//! clock consulted by pipeline code breaks that silently, so it is banned
+//! everywhere except the experiment drivers and benchmarks. The rule also
+//! applies *inside* tests of library crates: a test that draws from
+//! `thread_rng()` is a flaky test.
+
+use crate::context::{FileClass, FileContext};
+use crate::report::Diagnostic;
+
+/// Identifiers that are nondeterministic wherever they appear.
+const BANNED_IDENTS: &[(&str, &str)] = &[
+    (
+        "thread_rng",
+        "`rand::thread_rng()` seeds from OS entropy; take an `&mut StdRng` \
+         (seeded via `SeedableRng::seed_from_u64`) as a parameter instead",
+    ),
+    (
+        "from_entropy",
+        "`SeedableRng::from_entropy()` is unseeded; derive the RNG from the \
+         run seed instead",
+    ),
+    (
+        "OsRng",
+        "`OsRng` draws from the operating system; derive randomness from the \
+         run seed instead",
+    ),
+];
+
+/// `Type::now` paths that read the wall clock.
+const BANNED_NOW: &[(&str, &str)] = &[
+    (
+        "SystemTime",
+        "`SystemTime::now()` makes results depend on the wall clock; thread a \
+         timestamp in from the caller or drop it from the result",
+    ),
+    (
+        "Instant",
+        "`Instant::now()` reads the monotonic clock; timing belongs in \
+         crates/bench, not in result-producing code",
+    ),
+];
+
+pub fn check(ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+    if ctx.class == FileClass::Exempt {
+        return;
+    }
+    let toks = ctx.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        for (name, why) in BANNED_IDENTS {
+            if t.is_ident(name) {
+                out.push(Diagnostic {
+                    rule: "nondeterminism".to_string(),
+                    path: ctx.path.to_string(),
+                    line: t.line,
+                    col: t.col,
+                    message: (*why).to_string(),
+                });
+            }
+        }
+        for (ty, why) in BANNED_NOW {
+            if t.is_ident(ty)
+                && toks.get(i + 1).is_some_and(|t| t.is_punct("::"))
+                && toks.get(i + 2).is_some_and(|t| t.is_ident("now"))
+            {
+                out.push(Diagnostic {
+                    rule: "nondeterminism".to_string(),
+                    path: ctx.path.to_string(),
+                    line: t.line,
+                    col: t.col,
+                    message: (*why).to_string(),
+                });
+            }
+        }
+        // `rand::random::<T>()` — ambient thread-local RNG in disguise.
+        if t.is_ident("random")
+            && i >= 2
+            && toks[i - 1].is_punct("::")
+            && toks[i - 2].is_ident("rand")
+        {
+            out.push(Diagnostic {
+                rule: "nondeterminism".to_string(),
+                path: ctx.path.to_string(),
+                line: t.line,
+                col: t.col,
+                message: "`rand::random()` uses the ambient thread-local RNG; draw from \
+                          a seeded `StdRng` instead"
+                    .to_string(),
+            });
+        }
+    }
+}

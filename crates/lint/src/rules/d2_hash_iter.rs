@@ -1,0 +1,117 @@
+//! D2: iteration over hash-ordered collections.
+//!
+//! `HashMap`/`HashSet` iteration order is randomized per process (SipHash
+//! keys), so any result that folds over it — feature vectors, worker
+//! tallies, report lines — can differ between two runs with the same
+//! seed. The rule tracks identifiers bound to hash collections within a
+//! file and flags iteration-shaped uses; membership tests and keyed reads
+//! stay legal.
+
+use std::collections::BTreeSet;
+
+use crate::context::{FileClass, FileContext};
+use crate::lexer::TokenKind;
+use crate::report::Diagnostic;
+
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
+
+/// Methods that observe collection order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+pub fn check(ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+    if ctx.class != FileClass::Library {
+        return;
+    }
+    let toks = ctx.tokens;
+
+    // Pass 1: identifiers bound to a hash collection anywhere in the file —
+    // `x: HashMap<…>` (lets, fields, params) or `let x = HashMap::new()`.
+    let mut hash_idents: BTreeSet<&str> = BTreeSet::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident || !HASH_TYPES.contains(&t.text.as_str()) {
+            continue;
+        }
+        // `name : HashMap` (possibly through `&`/`&mut`).
+        let mut j = i;
+        while j >= 1 && (toks[j - 1].is_punct("&") || toks[j - 1].is_ident("mut")) {
+            j -= 1;
+        }
+        if j >= 2 && toks[j - 1].is_punct(":") && toks[j - 2].kind == TokenKind::Ident {
+            hash_idents.insert(toks[j - 2].text.as_str());
+        }
+        // `let [mut] name = HashMap…`.
+        if i >= 2 && toks[i - 1].is_punct("=") {
+            let name_at = i - 2;
+            if toks[name_at].kind == TokenKind::Ident {
+                let let_at = if name_at >= 1 && toks[name_at - 1].is_ident("mut") {
+                    name_at.checked_sub(2)
+                } else {
+                    name_at.checked_sub(1)
+                };
+                if let_at.is_some_and(|k| toks[k].is_ident("let")) {
+                    hash_idents.insert(toks[name_at].text.as_str());
+                }
+            }
+        }
+    }
+
+    for (i, t) in toks.iter().enumerate() {
+        if !ctx.governed(i) {
+            continue;
+        }
+        // `recv.method(` where recv is hash-bound (also `self.field.method(`).
+        if t.kind == TokenKind::Ident
+            && ITER_METHODS.contains(&t.text.as_str())
+            && i >= 2
+            && toks[i - 1].is_punct(".")
+            && toks[i - 2].kind == TokenKind::Ident
+            && hash_idents.contains(toks[i - 2].text.as_str())
+            && toks.get(i + 1).is_some_and(|t| t.is_punct("("))
+        {
+            out.push(diag(ctx, t.line, t.col, &toks[i - 2].text, &t.text));
+        }
+        // `for pat in [&[mut]] recv {` — implicit IntoIterator.
+        if t.is_ident("in") && i > 0 {
+            let mut j = i + 1;
+            while toks
+                .get(j)
+                .is_some_and(|t| t.is_punct("&") || t.is_ident("mut"))
+            {
+                j += 1;
+            }
+            if let Some(recv) = toks.get(j) {
+                if recv.kind == TokenKind::Ident
+                    && hash_idents.contains(recv.text.as_str())
+                    && toks.get(j + 1).is_some_and(|t| t.is_punct("{"))
+                {
+                    out.push(diag(ctx, recv.line, recv.col, &recv.text, "for-in"));
+                }
+            }
+        }
+    }
+}
+
+fn diag(ctx: &FileContext, line: u32, col: u32, recv: &str, how: &str) -> Diagnostic {
+    Diagnostic {
+        rule: "hash-iter".to_string(),
+        path: ctx.path.to_string(),
+        line,
+        col,
+        message: format!(
+            "iterating hash-ordered `{recv}` (via `{how}`) has process-randomized \
+             order; use a BTreeMap/BTreeSet, collect-and-sort, or annotate with \
+             `ig-lint: allow(hash-iter) -- <why order cannot reach results>`"
+        ),
+    }
+}

@@ -1,0 +1,93 @@
+//! The invariant rules. Each rule is a pure function from a
+//! [`FileContext`] to diagnostics; suppression via allow annotations and
+//! malformed-annotation reporting happen in the shared runner here.
+
+mod d1_nondeterminism;
+mod d2_hash_iter;
+mod n1_float_eq;
+mod n2_lossy_cast;
+mod p1_panic;
+
+use crate::context::{FileClass, FileContext};
+use crate::report::Diagnostic;
+
+/// Canonical rule names, as written in `allow(…)` annotations.
+///
+/// `bad-annotation` is reserved for the runner itself and cannot be
+/// allowed away.
+pub const RULE_NAMES: &[&str] = &[
+    "nondeterminism", // D1
+    "hash-iter",      // D2
+    "panic",          // P1
+    "float-eq",       // N1
+    "lossy-cast",     // N2
+];
+
+/// Run every rule over one file, honoring allow annotations, and report
+/// malformed annotations as violations in their own right.
+pub fn check_file(ctx: &FileContext) -> Vec<Diagnostic> {
+    let mut raw: Vec<Diagnostic> = Vec::new();
+    d1_nondeterminism::check(ctx, &mut raw);
+    d2_hash_iter::check(ctx, &mut raw);
+    p1_panic::check(ctx, &mut raw);
+    n1_float_eq::check(ctx, &mut raw);
+    n2_lossy_cast::check(ctx, &mut raw);
+
+    let mut out: Vec<Diagnostic> = raw
+        .into_iter()
+        .filter(|d| !ctx.allows.is_allowed(&d.rule, d.line))
+        .collect();
+
+    // Annotation hygiene only matters where annotations have force; exempt
+    // crates (including this linter, whose docs discuss the syntax) are not
+    // policed.
+    if ctx.class != FileClass::Exempt {
+        for bad in &ctx.allows.bad {
+            out.push(Diagnostic {
+                rule: "bad-annotation".to_string(),
+                path: ctx.path.to_string(),
+                line: bad.line,
+                col: 1,
+                message: bad.problem.clone(),
+            });
+        }
+    }
+
+    out.sort_by(|a, b| (a.line, a.col, &a.rule).cmp(&(b.line, b.col, &b.rule)));
+    out
+}
+
+/// One-line description of each rule, for `ig-lint rules` and the report.
+pub fn rule_descriptions() -> Vec<(&'static str, &'static str)> {
+    vec![
+        (
+            "nondeterminism",
+            "no thread_rng()/from_entropy()/SystemTime::now()/Instant::now() outside \
+             crates/experiments, crates/bench, and examples — clean runs must be \
+             bit-for-bit reproducible from the seed alone",
+        ),
+        (
+            "hash-iter",
+            "no iteration over HashMap/HashSet in result-producing code — iteration \
+             order is randomized per process; use BTreeMap or sort first",
+        ),
+        (
+            "panic",
+            "no unwrap()/expect()/panic!/slice-indexing-by-literal in library crates \
+             outside #[cfg(test)] — recovery ladders need Result, not aborts",
+        ),
+        (
+            "float-eq",
+            "no bare float ==/!= — use ig_imaging::stats::{approx_eq, is_effectively_zero}",
+        ),
+        (
+            "lossy-cast",
+            "no truncating float->int `as` casts in the imaging/nn hot paths — round \
+             explicitly or annotate why truncation is intended",
+        ),
+        (
+            "bad-annotation",
+            "every `ig-lint: allow(...)` must list known rules and carry a `-- reason`",
+        ),
+    ]
+}

@@ -1,0 +1,41 @@
+//! N1: bare float equality.
+//!
+//! `precision + recall == 0.0` style guards silently stop matching the
+//! moment a computation introduces rounding noise (and NaN never equals
+//! anything), which is how divide-by-zero guards rot into NaN factories.
+//! Comparisons where either operand is a float literal must go through the
+//! epsilon helpers in `ig_imaging::stats` or carry an allow annotation
+//! arguing the value is exact (e.g. set from a literal and never computed).
+
+use crate::context::{FileClass, FileContext};
+use crate::lexer::TokenKind;
+use crate::report::Diagnostic;
+
+pub fn check(ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+    if ctx.class != FileClass::Library {
+        return;
+    }
+    let toks = ctx.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if !ctx.governed(i) || !(t.is_punct("==") || t.is_punct("!=")) {
+            continue;
+        }
+        let prev_float = i >= 1 && toks[i - 1].kind == TokenKind::Float;
+        let next_float = toks.get(i + 1).is_some_and(|t| t.kind == TokenKind::Float);
+        if prev_float || next_float {
+            out.push(Diagnostic {
+                rule: "float-eq".to_string(),
+                path: ctx.path.to_string(),
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "bare float `{}` comparison; use \
+                     `ig_imaging::stats::approx_eq`/`is_effectively_zero`, or \
+                     annotate with `ig-lint: allow(float-eq) -- <why the value is \
+                     exact>`",
+                    t.text
+                ),
+            });
+        }
+    }
+}

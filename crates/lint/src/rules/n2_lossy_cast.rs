@@ -1,0 +1,155 @@
+//! N2: truncating float→int casts in the imaging/NN hot paths.
+//!
+//! `x as usize` on a float silently truncates toward zero and saturates on
+//! NaN/overflow — a fine choice when intended, a subtle geometry bug when
+//! not (off-by-one window origins in NCC, mis-sized resize targets). In the
+//! hot-path files the rounding must be spelled out: `expr.floor() as usize`
+//! (or `.ceil()`/`.round()`/`.trunc()`) passes, a bare `expr as usize` on a
+//! float-valued expression fires. Detection is token-level: the source
+//! expression counts as float-valued when it is a float literal, an
+//! `as f32`/`as f64` chain, an identifier bound to `f32`/`f64` somewhere in
+//! the file, or a parenthesized/method expression containing such evidence.
+//! (Identifier typing is per-name within the file — the same granularity as
+//! the hash-iter rule.)
+
+use std::collections::BTreeSet;
+
+use crate::context::{matching_back, FileClass, FileContext};
+use crate::lexer::TokenKind;
+use crate::report::Diagnostic;
+
+/// Integer targets a float cast truncates into.
+const INT_TARGETS: &[&str] = &[
+    "u8", "u16", "u32", "u64", "i8", "i16", "i32", "i64", "usize", "isize",
+];
+
+/// Float-producing methods: seeing one applied right before the cast is
+/// strong evidence the source is float-typed.
+// `clamp`/`min`/`max` are deliberately absent: they exist on integers too
+// and say nothing about the operand's type.
+const FLOAT_METHODS: &[&str] = &[
+    "floor",
+    "ceil",
+    "round",
+    "trunc",
+    "fract",
+    "sqrt",
+    "powf",
+    "powi",
+    "exp",
+    "ln",
+    "log2",
+    "log10",
+    "sin",
+    "cos",
+    "tan",
+    "hypot",
+    "to_degrees",
+    "to_radians",
+];
+
+/// Methods that make the rounding mode explicit: `x.floor() as usize` is
+/// deliberate and passes the rule.
+const ROUNDING_METHODS: &[&str] = &["floor", "ceil", "round", "trunc"];
+
+pub fn check(ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+    if !ctx.hot_path || ctx.class != FileClass::Library {
+        return;
+    }
+    let toks = ctx.tokens;
+
+    // Pass 1: identifiers bound to a float type anywhere in the file —
+    // `x: f32` (params, fields, lets) or `let x = 1.5`.
+    let mut float_idents: BTreeSet<&str> = BTreeSet::new();
+    for (i, t) in toks.iter().enumerate() {
+        let is_float_ty = t.is_ident("f32") || t.is_ident("f64");
+        if is_float_ty {
+            let mut j = i;
+            while j >= 1 && (toks[j - 1].is_punct("&") || toks[j - 1].is_ident("mut")) {
+                j -= 1;
+            }
+            if j >= 2 && toks[j - 1].is_punct(":") && toks[j - 2].kind == TokenKind::Ident {
+                float_idents.insert(toks[j - 2].text.as_str());
+            }
+        }
+        // `let [mut] name = 1.5` — anchored on `let` so deref assignments
+        // like `*w = 0.0` inside closures don't type unrelated names.
+        if t.kind == TokenKind::Float
+            && i >= 3
+            && toks[i - 1].is_punct("=")
+            && toks[i - 2].kind == TokenKind::Ident
+        {
+            let before = &toks[i - 3];
+            if before.is_ident("let")
+                || (before.is_ident("mut") && i >= 4 && toks[i - 4].is_ident("let"))
+            {
+                float_idents.insert(toks[i - 2].text.as_str());
+            }
+        }
+    }
+
+    for (i, t) in toks.iter().enumerate() {
+        if !ctx.governed(i) || !t.is_ident("as") {
+            continue;
+        }
+        let Some(target) = toks.get(i + 1) else {
+            continue;
+        };
+        if target.kind != TokenKind::Ident || !INT_TARGETS.contains(&target.text.as_str()) {
+            continue;
+        }
+        if i == 0 {
+            continue;
+        }
+        let prev = &toks[i - 1];
+        let float_source = match prev.kind {
+            TokenKind::Float => true,
+            // `x as f64 as usize` chains, or a float-bound identifier.
+            TokenKind::Ident if prev.text == "f32" || prev.text == "f64" => true,
+            TokenKind::Ident if float_idents.contains(prev.text.as_str()) => true,
+            // `(expr) as usize` / `x.method() as usize`: look inside the
+            // parens and at the method name for float evidence.
+            TokenKind::Punct if prev.text == ")" => {
+                let open = matching_back(toks, i - 1, "(", ")");
+                match open {
+                    Some(j) => {
+                        let method = (j >= 2
+                            && toks[j - 1].kind == TokenKind::Ident
+                            && toks[j - 2].is_punct("."))
+                        .then(|| toks[j - 1].text.as_str());
+                        if method.is_some_and(|m| ROUNDING_METHODS.contains(&m)) {
+                            false // rounding mode is explicit
+                        } else {
+                            let inner_float = toks[j..i].iter().any(|t| {
+                                t.kind == TokenKind::Float
+                                    || t.is_ident("f32")
+                                    || t.is_ident("f64")
+                                    || FLOAT_METHODS.contains(&t.text.as_str())
+                                    || (t.kind == TokenKind::Ident
+                                        && float_idents.contains(t.text.as_str()))
+                            });
+                            inner_float || method.is_some_and(|m| FLOAT_METHODS.contains(&m))
+                        }
+                    }
+                    None => false,
+                }
+            }
+            _ => false,
+        };
+        if float_source {
+            out.push(Diagnostic {
+                rule: "lossy-cast".to_string(),
+                path: ctx.path.to_string(),
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "float-valued expression cast to `{}` truncates toward zero in a \
+                     hot path; make the rounding explicit (`.floor() as {}`, \
+                     `.round() as {}`) or annotate with \
+                     `ig-lint: allow(lossy-cast) -- <intent>`",
+                    target.text, target.text, target.text
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! P1: panic paths in library code.
+//!
+//! A panic inside the pipeline tears down the worker that the ig-faults
+//! recovery ladders are supposed to catch and reroute; library crates must
+//! surface failure as `Result` and leave aborting to binaries. Flags
+//! `.unwrap()`, `.expect(…)`, the panicking macro family, and slice
+//! indexing by integer literal (`row[0]` on a possibly-empty slice), all
+//! outside `#[cfg(test)]`.
+
+use crate::context::{FileClass, FileContext};
+use crate::lexer::TokenKind;
+use crate::report::Diagnostic;
+
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented", "unreachable"];
+
+pub fn check(ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+    if ctx.class != FileClass::Library {
+        return;
+    }
+    let toks = ctx.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if !ctx.governed(i) || t.kind != TokenKind::Ident {
+            continue;
+        }
+        let prev_is_dot = i >= 1 && toks[i - 1].is_punct(".");
+        let next_is_paren = toks.get(i + 1).is_some_and(|t| t.is_punct("("));
+
+        if prev_is_dot && next_is_paren && (t.text == "unwrap" || t.text == "expect") {
+            out.push(Diagnostic {
+                rule: "panic".to_string(),
+                path: ctx.path.to_string(),
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "`.{}()` can panic in library code; propagate with `?` / \
+                     `ok_or` or annotate with `ig-lint: allow(panic) -- <proof it \
+                     cannot fail>`",
+                    t.text
+                ),
+            });
+        }
+
+        if PANIC_MACROS.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|t| t.is_punct("!"))
+        {
+            out.push(Diagnostic {
+                rule: "panic".to_string(),
+                path: ctx.path.to_string(),
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "`{}!` aborts the worker instead of returning an error the \
+                     recovery ladder can catch",
+                    t.text
+                ),
+            });
+        }
+
+        // `name[<int literal>]` — e.g. `row[0]` panics on an empty slice.
+        if toks.get(i + 1).is_some_and(|t| t.is_punct("["))
+            && toks.get(i + 2).is_some_and(|t| t.kind == TokenKind::Int)
+            && toks.get(i + 3).is_some_and(|t| t.is_punct("]"))
+        {
+            // Skip attribute-ish or declaration positions: require the name
+            // to be used as an expression (preceded by nothing shaped like
+            // `fn`/`let`/`:`… is hard to prove; instead require the indexed
+            // name not be immediately preceded by `fn` or `struct`).
+            let declish = i >= 1 && (toks[i - 1].is_ident("fn") || toks[i - 1].is_ident("struct"));
+            if !declish {
+                let idx = &toks[i + 2];
+                out.push(Diagnostic {
+                    rule: "panic".to_string(),
+                    path: ctx.path.to_string(),
+                    line: idx.line,
+                    col: idx.col,
+                    message: format!(
+                        "indexing `{}[{}]` panics when the slice is shorter; use \
+                         `.get({})` or prove the length with an annotation",
+                        t.text, idx.text, idx.text
+                    ),
+                });
+            }
+        }
+    }
+}

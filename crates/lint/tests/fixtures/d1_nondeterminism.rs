@@ -1,0 +1,29 @@
+//! Fixture: every D1 nondeterminism source, with expected violation lines
+//! asserted in ../rules_fire.rs. Line numbers matter — do not reflow.
+
+use std::time::{Instant, SystemTime};
+
+fn ambient_rng() -> f32 {
+    let mut rng = rand::thread_rng(); // line 7: thread_rng
+    let _ = rand::random::<f32>(); // line 8: rand::random
+    0.0
+}
+
+fn unseeded() {
+    let _rng = StdRng::from_entropy(); // line 13: from_entropy
+    let _os = OsRng; // line 14: OsRng
+}
+
+fn clocks() {
+    let _t = SystemTime::now(); // line 18: SystemTime::now
+    let _i = Instant::now(); // line 19: Instant::now
+}
+
+fn seeded_is_fine(seed: u64) {
+    let _rng = StdRng::seed_from_u64(seed); // no violation
+}
+
+fn annotated() {
+    // ig-lint: allow(nondeterminism) -- fixture: suppression check
+    let _t = SystemTime::now(); // line 28: suppressed by line 27
+}

@@ -1,0 +1,32 @@
+//! Fixture: D2 hash-iteration shapes. Line numbers are asserted — do not
+//! reflow.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+fn typed_binding(scores: &HashMap<u32, f32>) -> f32 {
+    scores.values().sum() // line 7: .values() on hash-bound param
+}
+
+fn let_binding() -> Vec<u32> {
+    let mut seen = HashSet::new();
+    seen.insert(3u32);
+    let mut out = Vec::new();
+    for v in &seen {
+        // (violation on line 14: for-in over hash-bound local)
+        out.push(*v);
+    }
+    out
+}
+
+fn keyed_reads_are_fine(scores: &HashMap<u32, f32>) -> Option<f32> {
+    scores.get(&7).copied() // no violation: not iteration
+}
+
+fn btree_is_fine(ordered: &BTreeMap<u32, f32>) -> f32 {
+    ordered.values().sum() // no violation: ordered collection
+}
+
+fn annotated(scores: &HashMap<u32, f32>) -> f32 {
+    // ig-lint: allow(hash-iter) -- fixture: sum is order-independent
+    scores.values().sum() // line 31: suppressed by line 30
+}

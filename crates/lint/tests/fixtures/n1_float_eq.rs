@@ -1,0 +1,30 @@
+//! Fixture: N1 bare float equality. Line numbers are asserted — do not
+//! reflow.
+
+fn guards(precision: f64, recall: f64) -> f64 {
+    if precision + recall == 0.0 {
+        // (violation on line 5: == with float literal)
+        return 0.0;
+    }
+    2.0 * precision * recall / (precision + recall)
+}
+
+fn inequality(x: f32) -> bool {
+    x != 1.0 // line 13: != with float literal
+}
+
+fn literal_on_left(x: f32) -> bool {
+    0.5 == x // line 17: literal on the left side
+}
+
+fn int_compare_is_fine(n: usize) -> bool {
+    n == 0 // no violation: integer comparison
+}
+
+fn ordering_is_fine(x: f32) -> bool {
+    x < 1.0 && x >= 0.0 // no violation: ordering, not equality
+}
+
+fn annotated(x: f32) -> bool {
+    x == 0.5 // line 29: suppressed // ig-lint: allow(float-eq) -- fixture: sentinel set from this literal
+}

@@ -1,0 +1,32 @@
+//! Fixture: N2 truncating casts. Checked under a hot-path pseudo-filename.
+//! Line numbers are asserted — do not reflow.
+
+fn implicit_truncation(x: f32, scale: f32) -> usize {
+    (x * scale) as usize // line 5: float expr cast without explicit rounding
+}
+
+fn literal_truncation() -> u32 {
+    2.75 as u32 // line 9: float literal cast
+}
+
+fn chained(x: usize) -> u32 {
+    (x as f64 * 0.5) as u32 // line 13: f64 arithmetic cast to u32
+}
+
+fn explicit_floor_is_fine(x: f32) -> usize {
+    (x * 2.0).floor() as usize // no violation: rounding mode explicit
+}
+
+fn explicit_round_is_fine(x: f32) -> usize {
+    x.round() as usize // no violation: rounding mode explicit
+}
+
+fn int_to_int_is_fine(n: usize) -> usize {
+    let y = n as u64;
+    y as usize // no violation: no float evidence
+}
+
+fn annotated(x: f32) -> usize {
+    // ig-lint: allow(lossy-cast) -- fixture: truncation toward zero intended
+    x as usize // line 31: suppressed by line 30
+}

@@ -1,0 +1,41 @@
+//! Fixture: P1 panic paths. Line numbers are asserted — do not reflow.
+
+fn unwraps(v: Option<u32>, r: Result<u32, ()>) -> u32 {
+    let a = v.unwrap(); // line 4: .unwrap()
+    let b = r.expect("present"); // line 5: .expect()
+    a + b
+}
+
+fn macros(kind: u8) -> u8 {
+    match kind {
+        0 => panic!("boom"), // line 11: panic!
+        1 => todo!(),        // line 12: todo!
+        2 => unreachable!(), // line 13: unreachable!
+        k => k,
+    }
+}
+
+fn literal_index(row: &[f32]) -> f32 {
+    row[0] // line 19: slice index by literal
+}
+
+fn variable_index_is_fine(row: &[f32], i: usize) -> f32 {
+    row[i] // no violation: not a literal index
+}
+
+fn unwrap_or_is_fine(v: Option<u32>) -> u32 {
+    v.unwrap_or(0) // no violation: total method
+}
+
+fn annotated(v: Option<u32>) -> u32 {
+    v.unwrap() // line 31: suppressed // ig-lint: allow(panic) -- fixture: caller checked is_some
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1); // no violation: test code
+    }
+}

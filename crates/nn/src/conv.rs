@@ -112,7 +112,7 @@ impl Param {
 }
 
 /// A network layer with training state.
-pub trait Layer {
+pub trait Layer: std::fmt::Debug {
     /// Forward pass; `train` retains caches needed by `backward`.
     fn forward(&mut self, x: &Tensor4, train: bool) -> Tensor4;
     /// Backward pass given the output gradient; returns the input gradient
@@ -126,6 +126,7 @@ pub trait Layer {
 }
 
 /// Standard 2-D convolution with square kernels.
+#[derive(Debug)]
 pub struct Conv2d {
     in_c: usize,
     out_c: usize,
@@ -217,6 +218,8 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, dy: &Tensor4) -> Tensor4 {
+        // ig-lint: allow(panic) -- Layer contract: backward is only called
+        // after forward(train=true), which populates the cache
         let x = self.cache.as_ref().expect("backward before forward(train)");
         let mut dx = Tensor4::zeros(x.n, x.c, x.h, x.w);
         for n in 0..x.n {
@@ -224,6 +227,8 @@ impl Layer for Conv2d {
                 for oy in 0..dy.h {
                     for ox in 0..dy.w {
                         let g = dy.get(n, oc, oy, ox);
+                        // ig-lint: allow(float-eq) -- sparsity fast path:
+                        // skipping exactly-zero gradients is sound for any value
                         if g == 0.0 {
                             continue;
                         }
@@ -268,6 +273,7 @@ impl Layer for Conv2d {
 
 /// Depthwise 3x3-style convolution: one kernel per channel (the core of
 /// MobileNet's depthwise-separable blocks).
+#[derive(Debug)]
 pub struct DepthwiseConv2d {
     channels: usize,
     k: usize,
@@ -347,6 +353,8 @@ impl Layer for DepthwiseConv2d {
     }
 
     fn backward(&mut self, dy: &Tensor4) -> Tensor4 {
+        // ig-lint: allow(panic) -- Layer contract: backward is only called
+        // after forward(train=true), which populates the cache
         let x = self.cache.as_ref().expect("backward before forward(train)");
         let mut dx = Tensor4::zeros(x.n, x.c, x.h, x.w);
         for n in 0..x.n {
@@ -354,6 +362,8 @@ impl Layer for DepthwiseConv2d {
                 for oy in 0..dy.h {
                     for ox in 0..dy.w {
                         let g = dy.get(n, c, oy, ox);
+                        // ig-lint: allow(float-eq) -- sparsity fast path:
+                        // skipping exactly-zero gradients is sound for any value
                         if g == 0.0 {
                             continue;
                         }
@@ -394,6 +404,7 @@ impl Layer for DepthwiseConv2d {
 }
 
 /// Elementwise ReLU.
+#[derive(Debug)]
 pub struct ReluLayer {
     mask: Option<Vec<bool>>,
 }
@@ -435,6 +446,8 @@ impl Layer for ReluLayer {
     }
 
     fn backward(&mut self, dy: &Tensor4) -> Tensor4 {
+        // ig-lint: allow(panic) -- Layer contract: backward follows
+        // forward(train=true), which stores the dropout mask
         let mask = self.mask.as_ref().expect("backward before forward(train)");
         let mut dx = dy.clone();
         for (v, &keep) in dx.as_mut_slice().iter_mut().zip(mask) {
@@ -453,6 +466,7 @@ impl Layer for ReluLayer {
 }
 
 /// 2x2 max pooling with stride 2. Odd trailing rows/columns are dropped.
+#[derive(Debug)]
 pub struct MaxPool2 {
     argmax: Option<Vec<usize>>,
     in_shape: Option<(usize, usize, usize, usize)>,
@@ -520,7 +534,10 @@ impl Layer for MaxPool2 {
         let argmax = self
             .argmax
             .as_ref()
+            // ig-lint: allow(panic) -- Layer contract: backward follows
+            // forward(train=true), which stores the argmax indices
             .expect("backward before forward(train)");
+        // ig-lint: allow(panic) -- same contract covers the cached shape
         let (n, c, h, w) = self.in_shape.expect("backward before forward(train)");
         let mut dx = Tensor4::zeros(n, c, h, w);
         for (&idx, &g) in argmax.iter().zip(dy.as_slice()) {
@@ -538,6 +555,7 @@ impl Layer for MaxPool2 {
 }
 
 /// Global average pooling: `(n, c, h, w)` → `(n, c, 1, 1)`.
+#[derive(Debug)]
 pub struct GlobalAvgPool {
     in_shape: Option<(usize, usize, usize, usize)>,
 }
@@ -577,6 +595,8 @@ impl Layer for GlobalAvgPool {
     }
 
     fn backward(&mut self, dy: &Tensor4) -> Tensor4 {
+        // ig-lint: allow(panic) -- Layer contract: backward follows
+        // forward(train=true), which stores the input shape
         let (n, c, h, w) = self.in_shape.expect("backward before forward(train)");
         let mut dx = Tensor4::zeros(n, c, h, w);
         let inv_area = 1.0 / (h * w) as f32;
@@ -601,6 +621,7 @@ impl Layer for GlobalAvgPool {
 }
 
 /// Fully-connected head on a `(n, c, 1, 1)` tensor: channels → features.
+#[derive(Debug)]
 pub struct DenseLayer {
     in_f: usize,
     out_f: usize,
@@ -648,6 +669,8 @@ impl Layer for DenseLayer {
     }
 
     fn backward(&mut self, dy: &Tensor4) -> Tensor4 {
+        // ig-lint: allow(panic) -- Layer contract: backward is only called
+        // after forward(train=true), which populates the cache
         let x = self.cache.as_ref().expect("backward before forward(train)");
         let feat = self.in_f;
         let mut dx = Tensor4::zeros(x.n, x.c, x.h, x.w);
@@ -655,6 +678,8 @@ impl Layer for DenseLayer {
             let xin = &x.as_slice()[n * feat..(n + 1) * feat];
             for o in 0..self.out_f {
                 let g = dy.get(n, o, 0, 0);
+                // ig-lint: allow(float-eq) -- sparsity fast path:
+                // skipping exactly-zero gradients is sound for any value
                 if g == 0.0 {
                     continue;
                 }
@@ -679,6 +704,7 @@ impl Layer for DenseLayer {
 }
 
 /// Residual wrapper: `y = inner(x) + x`. Inner layers must preserve shape.
+#[derive(Debug)]
 pub struct Residual {
     inner: Vec<Box<dyn Layer>>,
 }
@@ -730,6 +756,7 @@ impl Layer for Residual {
 }
 
 /// A sequential CNN classifier with a softmax cross-entropy objective.
+#[derive(Debug)]
 pub struct Cnn {
     layers: Vec<Box<dyn Layer>>,
     num_classes: usize,

@@ -291,6 +291,8 @@ pub fn minimize_robust(
         }
         last = Some(result);
     }
+    // ig-lint: allow(panic) -- the attempt loop above runs at least once
+    // (restarts+1 iterations), so `last` is always populated here
     let mut result = last.expect("at least one attempt runs");
     // Divergence already forces finite parameters; scrub defensively anyway.
     for v in &mut result.x {

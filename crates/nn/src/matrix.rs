@@ -47,10 +47,10 @@ impl Matrix {
 
     /// Stack row vectors into a matrix. Panics on ragged input.
     pub fn from_rows(rows: &[Vec<f32>]) -> Self {
-        if rows.is_empty() {
+        let Some(first) = rows.first() else {
             return Self::zeros(0, 0);
-        }
-        let cols = rows[0].len();
+        };
+        let cols = first.len();
         let mut data = Vec::with_capacity(rows.len() * cols);
         for r in rows {
             assert_eq!(r.len(), cols, "ragged rows");
@@ -158,6 +158,8 @@ impl Matrix {
             let a_row = self.row(i);
             let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
             for (k, &a) in a_row.iter().enumerate() {
+                // ig-lint: allow(float-eq) -- sparsity fast path: skipping
+                // exactly-zero entries is sound for any value
                 if a == 0.0 {
                     continue;
                 }
@@ -178,6 +180,8 @@ impl Matrix {
             let a_row = self.row(r);
             let b_row = other.row(r);
             for (i, &a) in a_row.iter().enumerate() {
+                // ig-lint: allow(float-eq) -- sparsity fast path: skipping
+                // exactly-zero entries is sound for any value
                 if a == 0.0 {
                     continue;
                 }

@@ -78,6 +78,8 @@ pub struct MlpCache {
 impl MlpCache {
     /// The output logits.
     pub fn logits(&self) -> &Matrix {
+        // ig-lint: allow(panic) -- forward_cache seeds `post` with the input
+        // activation before any layer runs, so the vec is never empty
         self.post.last().expect("cache always holds the input")
     }
 }
@@ -108,7 +110,7 @@ impl Mlp {
         let mut weights = Vec::with_capacity(dims.len() - 1);
         let mut biases = Vec::with_capacity(dims.len() - 1);
         for win in dims.windows(2) {
-            let (fan_in, fan_out) = (win[0], win[1]);
+            let &[fan_in, fan_out] = win else { continue };
             let w = match config.activation {
                 Activation::Relu | Activation::LeakyRelu => Matrix::he(fan_in, fan_out, rng),
                 _ => Matrix::xavier(fan_in, fan_out, rng),
@@ -131,12 +133,13 @@ impl Mlp {
 
     /// Input dimension.
     pub fn input_dim(&self) -> usize {
-        self.weights[0].rows()
+        // `new` always builds at least the output layer.
+        self.weights.first().map_or(0, Matrix::rows)
     }
 
     /// Output dimension.
     pub fn output_dim(&self) -> usize {
-        self.weights.last().expect("at least one layer").cols()
+        self.weights.last().map_or(0, Matrix::cols)
     }
 
     /// Immutable access to a layer's weight matrix (for spectral norm).
@@ -281,14 +284,18 @@ impl Mlp {
     }
 
     /// Mean loss and flat parameter gradient for a standard loss.
-    pub fn loss_and_grad(&self, x: &Matrix, targets: &Targets<'_>, loss: Loss) -> (f32, Vec<f32>) {
+    ///
+    /// Errors with [`NnError::InvalidConfig`] when the loss kind and target
+    /// kind disagree (BCE wants binary targets, cross-entropy wants class
+    /// indices).
+    pub fn loss_and_grad(
+        &self,
+        x: &Matrix,
+        targets: &Targets<'_>,
+        loss: Loss,
+    ) -> Result<(f32, Vec<f32>)> {
         let cache = self.forward_cache(x);
-        let logits = cache.logits();
-        let (loss_value, d_logits) = match (loss, targets) {
-            (Loss::Bce, Targets::Binary(t)) => bce_with_logits(logits, t),
-            (Loss::CrossEntropy, Targets::Classes(c)) => ce_with_logits(logits, c),
-            _ => panic!("loss/target kind mismatch"),
-        };
+        let (loss_value, d_logits) = pair_loss(cache.logits(), targets, loss)?;
         // `backward` folds the L2 term into the weight gradients; the loss
         // needs the matching 0.5·λ·||W||² penalty added explicitly.
         let (grad, _) = self.backward(&cache, &d_logits);
@@ -300,17 +307,14 @@ impl Mlp {
             }
         }
         debug_assert_eq!(grad.len(), self.num_params());
-        (total, grad)
+        Ok((total, grad))
     }
 
     /// Mean loss only (no gradient) — used for early-stopping validation.
-    pub fn loss(&self, x: &Matrix, targets: &Targets<'_>, loss: Loss) -> f32 {
+    /// Same loss/target compatibility contract as [`Mlp::loss_and_grad`].
+    pub fn loss(&self, x: &Matrix, targets: &Targets<'_>, loss: Loss) -> Result<f32> {
         let logits = self.forward(x);
-        match (loss, targets) {
-            (Loss::Bce, Targets::Binary(t)) => bce_with_logits(&logits, t).0,
-            (Loss::CrossEntropy, Targets::Classes(c)) => ce_with_logits(&logits, c).0,
-            _ => panic!("loss/target kind mismatch"),
-        }
+        pair_loss(&logits, targets, loss).map(|(l, _)| l)
     }
 
     /// Fit with L-BFGS (the paper's optimizer for the labeler), returning
@@ -321,20 +325,26 @@ impl Mlp {
         targets: &Targets<'_>,
         loss: Loss,
         config: &LbfgsConfig,
-    ) -> LbfgsResult {
+    ) -> Result<LbfgsResult> {
+        // Reject a mismatched loss/target pairing once, up front, so the
+        // objective closure below stays infallible.
+        check_pair(targets, loss)?;
         let x0 = self.params();
         let model = self.clone();
         let result = minimize(
             |p| {
                 let mut m = model.clone();
                 m.set_params(p);
+                // Pairing was validated above; a NaN loss would trip the
+                // optimizer's divergence handling if it somehow failed.
                 m.loss_and_grad(x, targets, loss)
+                    .unwrap_or_else(|_| (f32::NAN, vec![f32::NAN; p.len()]))
             },
             x0,
             config,
         );
         self.set_params(&result.x);
-        result
+        Ok(result)
     }
 
     /// [`Mlp::fit_lbfgs`] with the divergence-recovery ladder of
@@ -349,7 +359,8 @@ impl Mlp {
         loss: Loss,
         config: &LbfgsConfig,
         restart: &RestartConfig,
-    ) -> (LbfgsResult, usize) {
+    ) -> Result<(LbfgsResult, usize)> {
+        check_pair(targets, loss)?;
         let x0 = self.params();
         let model = self.clone();
         let (result, restarts) = minimize_robust(
@@ -357,14 +368,43 @@ impl Mlp {
                 let mut m = model.clone();
                 m.set_params(p);
                 m.loss_and_grad(x, targets, loss)
+                    .unwrap_or_else(|_| (f32::NAN, vec![f32::NAN; p.len()]))
             },
             x0,
             config,
             restart,
         );
         self.set_params(&result.x);
-        (result, restarts)
+        Ok((result, restarts))
     }
+}
+
+/// Check that the loss kind matches the target kind without running the
+/// network. BCE pairs with [`Targets::Binary`], cross-entropy with
+/// [`Targets::Classes`].
+pub fn check_pair(targets: &Targets<'_>, loss: Loss) -> Result<()> {
+    match (loss, targets) {
+        (Loss::Bce, Targets::Binary(_)) | (Loss::CrossEntropy, Targets::Classes(_)) => Ok(()),
+        (Loss::Bce, Targets::Classes(_)) => Err(NnError::InvalidConfig(
+            "BCE loss needs binary targets, got class indices".into(),
+        )),
+        (Loss::CrossEntropy, Targets::Binary(_)) => Err(NnError::InvalidConfig(
+            "cross-entropy loss needs class indices, got binary targets".into(),
+        )),
+    }
+}
+
+/// Dispatch to the matching loss implementation, or error on a mismatched
+/// pairing.
+fn pair_loss(logits: &Matrix, targets: &Targets<'_>, loss: Loss) -> Result<(f32, Matrix)> {
+    check_pair(targets, loss)?;
+    Ok(match (loss, targets) {
+        (Loss::Bce, Targets::Binary(t)) => bce_with_logits(logits, t),
+        (Loss::CrossEntropy, Targets::Classes(c)) => ce_with_logits(logits, c),
+        // check_pair rejected the cross combinations already; returning a
+        // zero loss here is unreachable but panic-free.
+        _ => (0.0, Matrix::zeros(logits.rows(), logits.cols())),
+    })
 }
 
 /// Mean binary cross-entropy with logits and its gradient.
@@ -463,7 +503,9 @@ mod tests {
         .unwrap();
         let x = Matrix::from_rows(&[vec![0.5, -0.2, 0.8], vec![-1.0, 0.3, 0.1]]);
         let t = Matrix::from_vec(2, 1, vec![1.0, 0.0]);
-        let (_, grad) = mlp.loss_and_grad(&x, &Targets::Binary(&t), Loss::Bce);
+        let (_, grad) = mlp
+            .loss_and_grad(&x, &Targets::Binary(&t), Loss::Bce)
+            .unwrap();
         let p0 = mlp.params();
         let eps = 1e-3f32;
         for i in (0..p0.len()).step_by(3) {
@@ -475,11 +517,15 @@ mod tests {
             pp[i] -= 2.0 * eps;
             minus.set_params(&pp);
             let lp = {
-                let (l, _) = plus.loss_and_grad(&x, &Targets::Binary(&t), Loss::Bce);
+                let (l, _) = plus
+                    .loss_and_grad(&x, &Targets::Binary(&t), Loss::Bce)
+                    .unwrap();
                 l
             };
             let lm = {
-                let (l, _) = minus.loss_and_grad(&x, &Targets::Binary(&t), Loss::Bce);
+                let (l, _) = minus
+                    .loss_and_grad(&x, &Targets::Binary(&t), Loss::Bce)
+                    .unwrap();
                 l
             };
             let numeric = (lp - lm) / (2.0 * eps);
@@ -508,7 +554,9 @@ mod tests {
         .unwrap();
         let x = Matrix::from_rows(&[vec![0.4, -0.7], vec![1.2, 0.5], vec![-0.3, -0.9]]);
         let classes = vec![0usize, 2, 1];
-        let (_, grad) = mlp.loss_and_grad(&x, &Targets::Classes(&classes), Loss::CrossEntropy);
+        let (_, grad) = mlp
+            .loss_and_grad(&x, &Targets::Classes(&classes), Loss::CrossEntropy)
+            .unwrap();
         let p0 = mlp.params();
         let eps = 1e-3f32;
         for i in (0..p0.len()).step_by(2) {
@@ -518,6 +566,7 @@ mod tests {
                 pp[i] += delta;
                 m.set_params(&pp);
                 m.loss_and_grad(&x, &Targets::Classes(&classes), Loss::CrossEntropy)
+                    .unwrap()
                     .0
             };
             let numeric = (eval(eps) - eval(-eps)) / (2.0 * eps);
@@ -545,15 +594,17 @@ mod tests {
             &mut rng,
         )
         .unwrap();
-        let result = mlp.fit_lbfgs(
-            &x,
-            &Targets::Binary(&y),
-            Loss::Bce,
-            &LbfgsConfig {
-                max_iters: 200,
-                ..Default::default()
-            },
-        );
+        let result = mlp
+            .fit_lbfgs(
+                &x,
+                &Targets::Binary(&y),
+                Loss::Bce,
+                &LbfgsConfig {
+                    max_iters: 200,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
         assert!(result.loss < 0.1, "final loss {}", result.loss);
         let p = mlp.predict_sigmoid(&x);
         for (i, &t) in y.as_slice().iter().enumerate() {
@@ -590,7 +641,8 @@ mod tests {
                 max_iters: 150,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         let preds = mlp.predict_class(&x);
         let correct = preds.iter().zip(&classes).filter(|(a, b)| a == b).count();
         assert!(correct >= 55, "only {correct}/60 correct");
@@ -613,7 +665,7 @@ mod tests {
         mlp.set_params(&[1.0, 0.0]); // w=1, b=0 → logit = x
         let x = Matrix::from_vec(1, 1, vec![0.0]);
         let t = Matrix::from_vec(1, 1, vec![1.0]);
-        let loss = mlp.loss(&x, &Targets::Binary(&t), Loss::Bce);
+        let loss = mlp.loss(&x, &Targets::Binary(&t), Loss::Bce).unwrap();
         // -ln σ(0) = ln 2.
         assert!((loss - std::f32::consts::LN_2).abs() < 1e-5);
     }

@@ -240,13 +240,15 @@ proptest! {
             rows, 1, labels.iter().map(|&l| l as f32).collect());
         let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37);
         let mut mlp = Mlp::new(&MlpConfig::new(cols, vec![4], 1), &mut rng).unwrap();
-        let (result, _restarts) = mlp.fit_lbfgs_robust(
-            &x,
-            &Targets::Binary(&targets_m),
-            Loss::Bce,
-            &LbfgsConfig { max_iters: 40, ..Default::default() },
-            &RestartConfig::default(),
-        );
+        let (result, _restarts) = mlp
+            .fit_lbfgs_robust(
+                &x,
+                &Targets::Binary(&targets_m),
+                Loss::Bce,
+                &LbfgsConfig { max_iters: 40, ..Default::default() },
+                &RestartConfig::default(),
+            )
+            .unwrap();
         prop_assert!(result.x.iter().all(|v| v.is_finite()));
         prop_assert!(mlp.params().iter().all(|v| v.is_finite()));
     }

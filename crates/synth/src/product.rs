@@ -17,6 +17,8 @@ pub fn generate(spec: &DatasetSpec, kind: DefectKind) -> Dataset {
         DefectKind::Scratch => paint_scratch,
         DefectKind::Bubble => paint_bubble,
         DefectKind::Stamping => paint_stamping,
+        // ig-lint: allow(panic) -- Product generators are only invoked
+        // with the three Product defect kinds; anything else is a caller bug
         other => panic!("{other:?} is not a Product defect"),
     };
     // Bubbles are small: a defective image usually carries several.
@@ -29,6 +31,7 @@ pub fn generate(spec: &DatasetSpec, kind: DefectKind) -> Dataset {
         DefectKind::Scratch => "Product (scratch)",
         DefectKind::Bubble => "Product (bubble)",
         DefectKind::Stamping => "Product (stamping)",
+        // ig-lint: allow(panic) -- same three-kind dispatch as above
         _ => unreachable!(),
     };
     let style = match kind {

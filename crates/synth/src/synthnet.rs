@@ -139,6 +139,8 @@ fn texture(class: usize, side: usize, seed: u64, rng: &mut StdRng) -> GrayImage 
                 base.get(x, y) + if v > 0.55 { -0.2 } else { 0.0 }
             });
         }
+        // ig-lint: allow(panic) -- class indices are produced modulo
+        // SYNTHNET_CLASSES by the generator loop
         _ => panic!("SynthNet has {SYNTHNET_CLASSES} classes"),
     }
     img.clamp(0.0, 1.0);
