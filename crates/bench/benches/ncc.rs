@@ -5,6 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ig_bench::{defect_pattern, textured_image};
 use ig_imaging::ncc::{match_template, match_template_pyramid, score_map, PyramidMatchConfig};
+use ig_imaging::pyramid::Pyramid;
 
 fn bench_matchers(c: &mut Criterion) {
     let pattern = defect_pattern(16, 7);
@@ -31,5 +32,19 @@ fn bench_score_map(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_matchers, bench_score_map);
+fn bench_pyramid_build(c: &mut Criterion) {
+    // Pins the H1 hoist: `Pyramid::build` computes the Gaussian kernel once
+    // and reuses it across every level (see crates/bench/NOTES.md).
+    let image = textured_image(256, 256, 7);
+    c.bench_function("pyramid_build_256_l4", |b| {
+        b.iter(|| Pyramid::build(&image, 4, 8))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_matchers,
+    bench_score_map,
+    bench_pyramid_build
+);
 criterion_main!(benches);

@@ -42,9 +42,19 @@ pub fn gaussian_blur(src: &GrayImage, sigma: f32) -> GrayImage {
     if sigma <= 0.0 || src.is_empty() {
         return src.clone();
     }
-    let kernel = gaussian_kernel(sigma);
-    let horizontal = convolve_rows(src, &kernel);
-    convolve_rows(&horizontal.transpose(), &kernel).transpose()
+    gaussian_blur_with_kernel(src, &gaussian_kernel(sigma))
+}
+
+/// Separable Gaussian blur with a precomputed kernel from
+/// [`gaussian_kernel`]. Callers that blur many images with the same sigma
+/// (the pyramid builder blurs every level) hoist the kernel allocation out
+/// of their loop and pass it here — the hot-loop-alloc (H1) remedy.
+pub fn gaussian_blur_with_kernel(src: &GrayImage, kernel: &[f32]) -> GrayImage {
+    if kernel.len() <= 1 || src.is_empty() {
+        return src.clone();
+    }
+    let horizontal = convolve_rows(src, kernel);
+    convolve_rows(&horizontal.transpose(), kernel).transpose()
 }
 
 /// Build a normalized 1-D Gaussian kernel covering ±3 sigma.
@@ -172,6 +182,23 @@ mod tests {
             im.pixels().iter().map(|&p| (p - m).powi(2)).sum::<f32>() / im.len() as f32
         };
         assert!(var(&blurred) < var(&img) * 0.1);
+    }
+
+    #[test]
+    fn blur_with_precomputed_kernel_matches_blur() {
+        let img = GrayImage::from_fn(17, 11, |x, y| ((x * 3 + y * 5) % 7) as f32);
+        let kernel = gaussian_kernel(1.0);
+        assert_eq!(
+            gaussian_blur_with_kernel(&img, &kernel),
+            gaussian_blur(&img, 1.0)
+        );
+    }
+
+    #[test]
+    fn blur_with_trivial_kernel_is_identity() {
+        let img = GrayImage::from_fn(4, 4, |x, y| (x + y) as f32);
+        assert_eq!(gaussian_blur_with_kernel(&img, &[1.0]), img);
+        assert_eq!(gaussian_blur_with_kernel(&img, &[]), img);
     }
 
     #[test]

@@ -5,9 +5,13 @@
 //! low-resolution level and only the candidate neighbourhoods are rescored
 //! at full resolution (Section 5.1).
 
-use crate::filter::gaussian_blur;
+use crate::filter::{gaussian_blur_with_kernel, gaussian_kernel};
 use crate::resize::resize_bilinear;
 use crate::GrayImage;
+
+/// Standard deviation of the anti-aliasing blur applied before each
+/// decimation step.
+const PYRAMID_SIGMA: f32 = 1.0;
 
 /// A Gaussian pyramid: `levels[0]` is the original image, each subsequent
 /// level is blurred and downsampled by 2.
@@ -24,6 +28,10 @@ impl Pyramid {
     pub fn build(base: &GrayImage, max_levels: usize, min_side: usize) -> Self {
         let min_side = min_side.max(1);
         let mut levels = vec![base.clone()];
+        // Every level is blurred with the same sigma, so the Gaussian taps
+        // are computed once and reused across the whole pyramid instead of
+        // being reallocated per level (H1 hoist; see crates/bench/NOTES.md).
+        let kernel = gaussian_kernel(PYRAMID_SIGMA);
         while levels.len() < max_levels.max(1) {
             // `levels` starts non-empty and only grows, but the panic-free
             // spelling costs nothing.
@@ -33,7 +41,7 @@ impl Pyramid {
             if nw < min_side || nh < min_side {
                 break;
             }
-            let blurred = gaussian_blur(prev, 1.0);
+            let blurred = gaussian_blur_with_kernel(prev, &kernel);
             // Target dims were validated above; if resize still refuses,
             // stop refining instead of tearing the worker down.
             let Ok(down) = resize_bilinear(&blurred, nw, nh) else {

@@ -48,6 +48,12 @@ impl AllowIndex {
     pub fn build(comments: &[Comment], tokens: &[Token]) -> Self {
         let mut idx = AllowIndex::default();
         for c in comments {
+            // Doc comments describe the annotation grammar without invoking
+            // it (this crate's own docs quote example annotations); only
+            // plain `//` comments are live.
+            if c.doc {
+                continue;
+            }
             let Some(body) = find_annotation_body(&c.text) else {
                 continue;
             };
@@ -190,6 +196,15 @@ mod tests {
         let idx = AllowIndex::build(&l.comments, &l.tokens);
         assert!(idx.is_allowed("float-eq", 1));
         assert!(idx.is_allowed("panic", 1));
+    }
+
+    #[test]
+    fn doc_comments_never_act_as_annotations() {
+        let src = "/// Use `// ig-lint: allow(panic) -- reason` to suppress.\nlet x = 1;\n";
+        let l = lex(src);
+        let idx = AllowIndex::build(&l.comments, &l.tokens);
+        assert!(idx.allows.is_empty());
+        assert!(idx.bad.is_empty());
     }
 
     #[test]

@@ -1,0 +1,195 @@
+//! Suppression-debt budget.
+//!
+//! Every `ig-lint: allow(...)` is debt: a place where the invariant is
+//! argued around instead of upheld. The committed baseline
+//! (`results/lint_baseline.json`) records the budget and the current debt;
+//! `check --baseline` fails when the workspace's live suppression count
+//! exceeds the budget, so debt can only grow by an explicit, reviewed edit
+//! to the committed file.
+//!
+//! The format is produced and consumed only by this module, so the reader
+//! is a minimal key scanner rather than a general JSON parser (the repo
+//! ships no serde; see `report::to_json` for the same trade).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::report::Report;
+
+/// The committed suppression-debt record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Baseline {
+    /// Hard ceiling on workspace-wide allow annotations.
+    pub suppression_budget: usize,
+    /// Allow count at the time the baseline was committed (informational).
+    pub recorded_allows: usize,
+    /// Per-rule suppression counts at commit time (informational).
+    pub by_rule: BTreeMap<String, usize>,
+}
+
+impl Baseline {
+    /// Snapshot a report into a baseline with the given budget.
+    pub fn from_report(report: &Report, suppression_budget: usize) -> Self {
+        let mut by_rule: BTreeMap<String, usize> = BTreeMap::new();
+        for a in &report.allows {
+            for r in &a.rules {
+                *by_rule.entry(r.clone()).or_insert(0) += 1;
+            }
+        }
+        Baseline {
+            suppression_budget,
+            recorded_allows: report.allows.len(),
+            by_rule,
+        }
+    }
+
+    /// Check a live report against the budget. Returns human-readable
+    /// failures; empty means within budget.
+    pub fn enforce(&self, report: &Report) -> Vec<String> {
+        let mut failures = Vec::new();
+        let live = report.allows.len();
+        if live > self.suppression_budget {
+            failures.push(format!(
+                "suppression debt grew: {live} allow annotations exceed the \
+                 committed budget of {} (raise the budget in \
+                 results/lint_baseline.json only with review, or remove a \
+                 suppression)",
+                self.suppression_budget
+            ));
+        }
+        failures
+    }
+
+    /// Render as the committed JSON document.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"suppression_budget\": {},", self.suppression_budget);
+        let _ = writeln!(s, "  \"recorded_allows\": {},", self.recorded_allows);
+        s.push_str("  \"by_rule\": {");
+        let mut first = true;
+        for (rule, n) in &self.by_rule {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            let _ = write!(s, "\n    \"{rule}\": {n}");
+        }
+        if !self.by_rule.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("}\n}\n");
+        s
+    }
+
+    /// Parse the committed document. Tolerant of whitespace and key order;
+    /// errors on missing keys so a truncated file cannot masquerade as a
+    /// zero budget.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let suppression_budget = extract_usize(text, "suppression_budget")
+            .ok_or("baseline missing `suppression_budget`")?;
+        let recorded_allows =
+            extract_usize(text, "recorded_allows").ok_or("baseline missing `recorded_allows`")?;
+        // ig-lint: allow(error-flow) -- by_rule is informational; an absent
+        // map is a valid empty breakdown, and the mandatory keys error above
+        let by_rule = extract_by_rule(text).unwrap_or_default();
+        Ok(Baseline {
+            suppression_budget,
+            recorded_allows,
+            by_rule,
+        })
+    }
+}
+
+/// Find `"key"` and read the unsigned integer after its `:`.
+fn extract_usize(text: &str, key: &str) -> Option<usize> {
+    let needle = format!("\"{key}\"");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text.get(at..)?.trim_start().strip_prefix(':')?.trim_start();
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    if digits.is_empty() {
+        None
+    } else {
+        digits.parse().ok()
+    }
+}
+
+/// Read the `"by_rule": { "name": n, ... }` object.
+fn extract_by_rule(text: &str) -> Option<BTreeMap<String, usize>> {
+    let needle = "\"by_rule\"";
+    let at = text.find(needle)? + needle.len();
+    let rest = text.get(at..)?.trim_start().strip_prefix(':')?.trim_start();
+    let rest = rest.strip_prefix('{')?;
+    let close = rest.find('}')?;
+    let body = &rest[..close];
+    let mut map = BTreeMap::new();
+    for pair in body.split(',') {
+        let pair = pair.trim();
+        if pair.is_empty() {
+            continue;
+        }
+        let (name, value) = pair.split_once(':')?;
+        let name = name.trim().trim_matches('"').to_string();
+        let value: usize = value.trim().parse().ok()?;
+        map.insert(name, value);
+    }
+    Some(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::ReportedAllow;
+
+    fn report_with_allows(n: usize) -> Report {
+        let mut r = Report::default();
+        for i in 0..n {
+            r.allows.push(ReportedAllow {
+                path: format!("crates/x/src/f{i}.rs"),
+                line: 1,
+                rules: vec!["panic".to_string()],
+                reason: "test".to_string(),
+            });
+        }
+        r
+    }
+
+    #[test]
+    fn round_trips_through_render_and_parse() {
+        let b = Baseline::from_report(&report_with_allows(3), 10);
+        let parsed = Baseline::parse(&b.render()).expect("parse");
+        assert_eq!(parsed, b);
+        assert_eq!(parsed.by_rule.get("panic"), Some(&3));
+    }
+
+    #[test]
+    fn within_budget_passes() {
+        let b = Baseline::from_report(&report_with_allows(3), 5);
+        assert!(b.enforce(&report_with_allows(5)).is_empty());
+    }
+
+    #[test]
+    fn over_budget_fails() {
+        let b = Baseline::from_report(&report_with_allows(3), 5);
+        let failures = b.enforce(&report_with_allows(6));
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("budget of 5"));
+    }
+
+    #[test]
+    fn truncated_baseline_is_an_error_not_zero() {
+        assert!(Baseline::parse("{}").is_err());
+        assert!(Baseline::parse("{\"suppression_budget\": 4}").is_err());
+    }
+
+    #[test]
+    fn empty_by_rule_renders_cleanly() {
+        let b = Baseline {
+            suppression_budget: 0,
+            recorded_allows: 0,
+            by_rule: BTreeMap::new(),
+        };
+        let parsed = Baseline::parse(&b.render()).expect("parse");
+        assert_eq!(parsed, b);
+    }
+}

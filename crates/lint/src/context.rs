@@ -2,6 +2,7 @@
 //! exempt, and which token ranges are `#[cfg(test)]`-only.
 
 use crate::annotations::AllowIndex;
+use crate::ast::Ast;
 use crate::lexer::{Lexed, Token};
 
 /// How a file participates in the invariants.
@@ -10,7 +11,7 @@ pub enum FileClass {
     /// Result-producing library code: all rules apply.
     Library,
     /// Driver/experiment/bench code: nondeterminism and panics are allowed
-    /// (`crates/experiments`, `crates/bench`, `crates/lint`, `examples/`).
+    /// (`crates/experiments`, `crates/bench`, `examples/`).
     Exempt,
     /// Test-only code (`tests/`, `benches/` directories): panics and exact
     /// float assertions are idiomatic; determinism rules still apply.
@@ -32,8 +33,9 @@ pub const LIBRARY_CRATES: &[&str] = &[
 ];
 
 /// Crates allowed to use wall clocks, OS entropy, and panicking shortcuts:
-/// experiment drivers, benchmarks, and this linter itself.
-pub const EXEMPT_CRATES: &[&str] = &["experiments", "bench", "lint"];
+/// experiment drivers and benchmarks. The linter itself is deliberately
+/// *not* here — it passes its own rules (self-application).
+pub const EXEMPT_CRATES: &[&str] = &["experiments", "bench"];
 
 /// Imaging/NN hot-path files where the `lossy-cast` rule applies: the NCC
 /// feature generation chain and the MLP/L-BFGS numeric kernels.
@@ -51,6 +53,21 @@ pub const HOT_PATH_FILES: &[&str] = &[
     "crates/nn/src/lbfgs.rs",
     "crates/nn/src/optim.rs",
 ];
+
+/// Files where the H1 `hot-loop-alloc` rule applies: the NCC/pyramid hot
+/// paths in `crates/imaging` and the feature-generation loop in
+/// `crates/core::features`. Per-iteration heap traffic here is a direct
+/// throughput regression (ROADMAP: "fast as the hardware allows").
+pub fn hot_loop_scope(rel_path: &str) -> bool {
+    rel_path.starts_with("crates/imaging/src/") || rel_path == "crates/core/src/features.rs"
+}
+
+/// Files where the E1 `error-flow` rule runs in strict mode: fault-recovery
+/// ladders (`crates/faults`) and the pipeline core (`crates/core`), where a
+/// swallowed `Result` converts "degrade gracefully" into silent corruption.
+pub fn strict_error_scope(rel_path: &str) -> bool {
+    rel_path.starts_with("crates/faults/src/") || rel_path.starts_with("crates/core/src/")
+}
 
 /// Classify a workspace-relative path (forward slashes).
 pub fn classify(rel_path: &str) -> FileClass {
@@ -93,6 +110,12 @@ pub struct FileContext<'a> {
     pub allows: &'a AllowIndex,
     /// True when the `lossy-cast` rule applies to this file.
     pub hot_path: bool,
+    /// Parsed AST of the file (possibly partial — see [`Ast::errors`]).
+    pub ast: &'a Ast,
+    /// True when H1 `hot-loop-alloc` applies ([`hot_loop_scope`]).
+    pub hot_loop: bool,
+    /// True when E1 `error-flow` runs in strict mode ([`strict_error_scope`]).
+    pub strict_errors: bool,
 }
 
 impl<'a> FileContext<'a> {
@@ -226,7 +249,19 @@ mod tests {
         assert_eq!(classify("examples/quickstart.rs"), FileClass::Exempt);
         assert_eq!(classify("src/lib.rs"), FileClass::Library);
         assert_eq!(classify("tests/integration.rs"), FileClass::Test);
-        assert_eq!(classify("crates/lint/src/main.rs"), FileClass::Exempt);
+        // Self-application: the linter is library code to itself.
+        assert_eq!(classify("crates/lint/src/main.rs"), FileClass::Library);
+    }
+
+    #[test]
+    fn rule_scopes() {
+        assert!(hot_loop_scope("crates/imaging/src/ncc.rs"));
+        assert!(hot_loop_scope("crates/core/src/features.rs"));
+        assert!(!hot_loop_scope("crates/core/src/pipeline.rs"));
+        assert!(!hot_loop_scope("crates/nn/src/matrix.rs"));
+        assert!(strict_error_scope("crates/faults/src/health.rs"));
+        assert!(strict_error_scope("crates/core/src/pipeline.rs"));
+        assert!(!strict_error_scope("crates/imaging/src/ncc.rs"));
     }
 
     #[test]

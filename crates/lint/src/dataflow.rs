@@ -1,0 +1,443 @@
+//! Intra-procedural dataflow over `let`-bound locals.
+//!
+//! E1 (error-flow) needs to know, for each local bound from a fallible
+//! call, whether the value ever *reaches a consumer* — `?`, a `match`/
+//! `if let`, a return position, an argument, a method receiver — or whether
+//! it is silently dropped. This pass is deliberately simple: it is a
+//! name-based use scan within one function body, with no aliasing, shadow
+//! tracking beyond "last binding wins per scan", or branch sensitivity.
+//! That is enough for the discard patterns E1 targets, and the cost of the
+//! simplification is only false *negatives* (shadowed names look used).
+
+use crate::ast::{walk_expr, Block, Expr, ExprKind, FnDecl, LetPat, Stmt};
+
+/// How a `let`-bound local is observed to be consumed in the function body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UseKind {
+    /// `x?` — the error is propagated.
+    Propagated,
+    /// `match x { .. }` / `if let .. = x` — both arms are visible.
+    Matched,
+    /// Anything else that reads the name: argument, receiver, field base,
+    /// index, arithmetic, return value, struct field, …
+    Read,
+}
+
+/// The dataflow summary for one `let`-bound local.
+#[derive(Debug)]
+pub struct LocalFlow<'a> {
+    pub name: &'a str,
+    /// Token index of the binding identifier (for line lookup).
+    pub name_tok: usize,
+    /// The initializer expression.
+    pub init: &'a Expr,
+    /// Every observed use, in source order.
+    pub uses: Vec<UseKind>,
+}
+
+impl LocalFlow<'_> {
+    /// True when the local is never read at all after binding.
+    pub fn unused(&self) -> bool {
+        self.uses.is_empty()
+    }
+
+    /// True when at least one use propagates or matches the value.
+    pub fn reaches_sink(&self) -> bool {
+        self.uses
+            .iter()
+            .any(|u| matches!(u, UseKind::Propagated | UseKind::Matched | UseKind::Read))
+    }
+}
+
+/// Scan one function: collect every named `let` binding with an initializer
+/// and every use of that name in the rest of the body.
+///
+/// Scope approximation: a use anywhere in the function after any binding of
+/// the name counts (no shadow/scope splitting). Rules built on this must
+/// therefore treat "has uses" as exonerating, never as incriminating.
+pub fn local_flows<'a>(f: &'a FnDecl) -> Vec<LocalFlow<'a>> {
+    let mut flows: Vec<LocalFlow<'a>> = Vec::new();
+    collect_lets(&f.body, &mut flows);
+    for flow in &mut flows {
+        let mut uses = Vec::new();
+        scan_uses_block(&f.body, flow.name, flow.name_tok, &mut uses);
+        flow.uses = uses;
+    }
+    flows
+}
+
+fn collect_lets<'a>(b: &'a Block, out: &mut Vec<LocalFlow<'a>>) {
+    for s in &b.stmts {
+        match s {
+            Stmt::Let(l) => {
+                if let (LetPat::Name { name, tok }, Some(init)) = (&l.pat, &l.init) {
+                    out.push(LocalFlow {
+                        name,
+                        name_tok: *tok,
+                        init,
+                        uses: Vec::new(),
+                    });
+                }
+                if let Some(init) = &l.init {
+                    collect_lets_in_expr(init, out);
+                }
+                if let Some(eb) = &l.else_block {
+                    collect_lets(eb, out);
+                }
+            }
+            Stmt::Expr(e) => collect_lets_in_expr(&e.expr, out),
+            Stmt::Item(_) | Stmt::Empty(_) => {}
+        }
+    }
+}
+
+fn collect_lets_in_expr<'a>(e: &'a Expr, out: &mut Vec<LocalFlow<'a>>) {
+    walk_expr(e, &mut |inner| match &inner.kind {
+        ExprKind::BlockExpr(b) | ExprKind::Loop { body: b, .. } => collect_lets(b, out),
+        ExprKind::If { then, .. } => collect_lets(then, out),
+        _ => {}
+    });
+}
+
+/// Record every use of `name` in `b`, excluding the binding site itself
+/// (`binding_tok`).
+fn scan_uses_block(b: &Block, name: &str, binding_tok: usize, out: &mut Vec<UseKind>) {
+    for s in &b.stmts {
+        match s {
+            Stmt::Let(l) => {
+                if let Some(init) = &l.init {
+                    scan_uses_expr(init, name, binding_tok, out);
+                }
+                if let Some(eb) = &l.else_block {
+                    scan_uses_block(eb, name, binding_tok, out);
+                }
+            }
+            Stmt::Expr(e) => scan_uses_expr(&e.expr, name, binding_tok, out),
+            Stmt::Item(_) | Stmt::Empty(_) => {}
+        }
+    }
+}
+
+/// Is `e` exactly a one-segment path naming `name`?
+fn is_name(e: &Expr, name: &str) -> bool {
+    matches!(&e.kind, ExprKind::Path(segs) if matches!(segs.as_slice(), [s] if s == name))
+}
+
+fn scan_uses_expr(e: &Expr, name: &str, binding_tok: usize, out: &mut Vec<UseKind>) {
+    // Classify *how* the name is used by looking at the parent node, then
+    // recurse. `walk_expr` alone can't do this (no parent pointer), so this
+    // mirrors its traversal with kind-aware hooks.
+    match &e.kind {
+        ExprKind::Path(segs) => {
+            if matches!(segs.as_slice(), [s] if s == name) && e.span.lo != binding_tok {
+                out.push(UseKind::Read);
+            }
+        }
+        ExprKind::Try(inner) => {
+            if is_name(inner, name) {
+                out.push(UseKind::Propagated);
+            } else {
+                scan_uses_expr(inner, name, binding_tok, out);
+            }
+        }
+        ExprKind::Match { scrutinee, arms } => {
+            if is_name(scrutinee, name) {
+                out.push(UseKind::Matched);
+            } else {
+                scan_uses_expr(scrutinee, name, binding_tok, out);
+            }
+            for (_, arm) in arms {
+                scan_uses_expr(arm, name, binding_tok, out);
+            }
+        }
+        ExprKind::LetCond { expr, .. } => {
+            if is_name(expr, name) {
+                out.push(UseKind::Matched);
+            } else {
+                scan_uses_expr(expr, name, binding_tok, out);
+            }
+        }
+        ExprKind::Call { callee, args } => {
+            scan_uses_expr(callee, name, binding_tok, out);
+            for a in args {
+                scan_uses_expr(a, name, binding_tok, out);
+            }
+        }
+        ExprKind::MethodCall { recv, args, .. } => {
+            scan_uses_expr(recv, name, binding_tok, out);
+            for a in args {
+                scan_uses_expr(a, name, binding_tok, out);
+            }
+        }
+        ExprKind::Macro { args, repeat, .. } => {
+            for a in args {
+                scan_uses_expr(a, name, binding_tok, out);
+            }
+            if let Some((elem, len)) = repeat {
+                scan_uses_expr(elem, name, binding_tok, out);
+                scan_uses_expr(len, name, binding_tok, out);
+            }
+        }
+        ExprKind::Unary(inner) | ExprKind::Cast(inner) | ExprKind::Closure { body: inner } => {
+            scan_uses_expr(inner, name, binding_tok, out)
+        }
+        ExprKind::Field { base, .. } => scan_uses_expr(base, name, binding_tok, out),
+        ExprKind::Index { base, index } => {
+            scan_uses_expr(base, name, binding_tok, out);
+            scan_uses_expr(index, name, binding_tok, out);
+        }
+        ExprKind::Binary { children } => {
+            for c in children {
+                scan_uses_expr(c, name, binding_tok, out);
+            }
+        }
+        ExprKind::Tuple(items) | ExprKind::Array(items) => {
+            for i in items {
+                scan_uses_expr(i, name, binding_tok, out);
+            }
+        }
+        ExprKind::Repeat { elem, len } => {
+            scan_uses_expr(elem, name, binding_tok, out);
+            scan_uses_expr(len, name, binding_tok, out);
+        }
+        ExprKind::StructLit { fields, .. } => {
+            for fe in fields {
+                scan_uses_expr(fe, name, binding_tok, out);
+            }
+        }
+        ExprKind::If { cond, then, els } => {
+            scan_uses_expr(cond, name, binding_tok, out);
+            scan_uses_block(then, name, binding_tok, out);
+            if let Some(e) = els {
+                scan_uses_expr(e, name, binding_tok, out);
+            }
+        }
+        ExprKind::Loop { body, .. } => scan_uses_block(body, name, binding_tok, out),
+        ExprKind::BlockExpr(b) => scan_uses_block(b, name, binding_tok, out),
+        ExprKind::Jump(Some(inner)) => scan_uses_expr(inner, name, binding_tok, out),
+        ExprKind::Jump(None) | ExprKind::Lit { .. } | ExprKind::Opaque => {}
+    }
+}
+
+// ---- fallibility --------------------------------------------------------
+
+/// Method/function names treated as fallible wherever they appear. Kept to
+/// names whose std/workspace meaning is unambiguous; `write!`/`writeln!`
+/// are deliberately absent (formatting into a `String` cannot fail and
+/// `let _ = write!(..)` is the idiomatic discard).
+pub const KNOWN_FALLIBLE: &[&str] = &[
+    "parse",
+    "open",
+    "create",
+    "write_all",
+    "read_to_string",
+    "read_exact",
+    "remove_file",
+    "create_dir_all",
+    "flush",
+    "lock",
+    "recv",
+    "send",
+    "from_str",
+];
+
+/// Chain links that demonstrate the error was looked at — a chain carrying
+/// one of these is never flagged by E1 or rewritten by the fixer.
+pub const ERROR_HANDLED: &[&str] = &[
+    "map_err",
+    "inspect_err",
+    "unwrap_or_else",
+    "or_else",
+    "ok_or",
+    "ok_or_else",
+    "map_or_else",
+    "expect",
+    "unwrap",
+];
+
+use crate::ast::ReturnKind;
+use std::collections::BTreeMap;
+
+pub fn is_fallible_name(name: &str, sigs: &BTreeMap<&str, ReturnKind>) -> bool {
+    if name.starts_with("try_") || KNOWN_FALLIBLE.contains(&name) {
+        return true;
+    }
+    matches!(
+        sigs.get(name),
+        Some(ReturnKind::Result | ReturnKind::Option)
+    )
+}
+
+/// Is `e` a call/method-call whose result is provably fallible?
+pub fn is_fallible_call(e: &Expr, sigs: &BTreeMap<&str, ReturnKind>) -> bool {
+    match &e.kind {
+        ExprKind::Call { callee, .. } => match &callee.kind {
+            ExprKind::Path(segs) => segs.last().is_some_and(|s| is_fallible_name(s, sigs)),
+            _ => false,
+        },
+        ExprKind::MethodCall { recv, method, .. } => {
+            is_fallible_name(method, sigs) || is_fallible_call(recv, sigs)
+        }
+        ExprKind::Try(inner) | ExprKind::Unary(inner) | ExprKind::Cast(inner) => {
+            is_fallible_call(inner, sigs)
+        }
+        _ => false,
+    }
+}
+
+/// Like [`is_fallible_call`], but provably `Result`-producing — the fixer
+/// needs this distinction because `?` on an `Option` does not compile in a
+/// `Result` function. Same-file `Option` returns are excluded; the
+/// known-fallible list is `Result`-flavored by construction.
+pub fn is_result_call(e: &Expr, sigs: &BTreeMap<&str, ReturnKind>) -> bool {
+    fn result_name(name: &str, sigs: &BTreeMap<&str, ReturnKind>) -> bool {
+        if name.starts_with("try_") || KNOWN_FALLIBLE.contains(&name) {
+            return true;
+        }
+        matches!(sigs.get(name), Some(ReturnKind::Result))
+    }
+    match &e.kind {
+        ExprKind::Call { callee, .. } => match &callee.kind {
+            ExprKind::Path(segs) => segs.last().is_some_and(|s| result_name(s, sigs)),
+            _ => false,
+        },
+        ExprKind::MethodCall { recv, method, .. } => {
+            result_name(method, sigs) || is_result_call(recv, sigs)
+        }
+        ExprKind::Try(inner) | ExprKind::Unary(inner) | ExprKind::Cast(inner) => {
+            is_result_call(inner, sigs)
+        }
+        _ => false,
+    }
+}
+
+/// Does the chain contain a link that handles the error?
+pub fn chain_is_handled(e: &Expr) -> bool {
+    chain_methods(e).iter().any(|m| ERROR_HANDLED.contains(m))
+}
+
+// ---- method-chain helpers ----------------------------------------------
+
+/// Walk to the root of a method chain: `a.b().c()?` → the expression `a`.
+pub fn chain_root(e: &Expr) -> &Expr {
+    match &e.kind {
+        ExprKind::MethodCall { recv, .. } => chain_root(recv),
+        ExprKind::Try(inner) | ExprKind::Unary(inner) | ExprKind::Cast(inner) => chain_root(inner),
+        ExprKind::Field { base, .. } => chain_root(base),
+        ExprKind::Index { base, .. } => chain_root(base),
+        _ => e,
+    }
+}
+
+/// Collect method names along a chain, root-first:
+/// `a.open()?.read().ok()` → `["open", "read", "ok"]`.
+pub fn chain_methods(e: &Expr) -> Vec<&str> {
+    let mut out = Vec::new();
+    collect_chain(e, &mut out);
+    out
+}
+
+fn collect_chain<'a>(e: &'a Expr, out: &mut Vec<&'a str>) {
+    match &e.kind {
+        ExprKind::MethodCall { recv, method, .. } => {
+            collect_chain(recv, out);
+            out.push(method);
+        }
+        ExprKind::Try(inner) | ExprKind::Unary(inner) | ExprKind::Cast(inner) => {
+            collect_chain(inner, out)
+        }
+        ExprKind::Field { base, .. } | ExprKind::Index { base, .. } => collect_chain(base, out),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::parse;
+    use crate::lexer::lex;
+
+    fn flows_of(src: &str) -> usize {
+        let ast = parse(&lex(src).tokens);
+        assert!(ast.clean(), "errors: {:?}", ast.errors);
+        local_flows(&ast.fns[0]).len()
+    }
+
+    #[test]
+    fn named_lets_are_collected_including_nested_blocks() {
+        let n = flows_of(
+            "fn f() {\n\
+               let a = g();\n\
+               if c { let b = h(); }\n\
+               for _ in 0..2 { let c = i(); }\n\
+             }\n",
+        );
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn unused_local_has_no_uses() {
+        let src = "fn f() { let r = fallible(); }\n";
+        let ast = parse(&lex(src).tokens);
+        let flows = local_flows(&ast.fns[0]);
+        assert_eq!(flows.len(), 1);
+        assert!(flows[0].unused());
+    }
+
+    #[test]
+    fn try_operator_counts_as_propagation() {
+        let src = "fn f() -> Result<(), E> { let r = fallible(); r?; Ok(()) }\n";
+        let ast = parse(&lex(src).tokens);
+        let flows = local_flows(&ast.fns[0]);
+        assert_eq!(flows[0].uses, vec![UseKind::Propagated]);
+    }
+
+    #[test]
+    fn match_counts_as_matched() {
+        let src = "fn f() { let r = fallible(); match r { Ok(_) => {}, Err(_) => {} } }\n";
+        let ast = parse(&lex(src).tokens);
+        let flows = local_flows(&ast.fns[0]);
+        assert_eq!(flows[0].uses, vec![UseKind::Matched]);
+    }
+
+    #[test]
+    fn if_let_counts_as_matched() {
+        let src = "fn f() { let r = fallible(); if let Err(e) = r { log(e); } }\n";
+        let ast = parse(&lex(src).tokens);
+        let flows = local_flows(&ast.fns[0]);
+        assert_eq!(flows[0].uses, vec![UseKind::Matched]);
+    }
+
+    #[test]
+    fn argument_use_counts_as_read() {
+        let src = "fn f() { let r = fallible(); consume(r); }\n";
+        let ast = parse(&lex(src).tokens);
+        let flows = local_flows(&ast.fns[0]);
+        assert_eq!(flows[0].uses, vec![UseKind::Read]);
+    }
+
+    #[test]
+    fn binding_site_is_not_a_use() {
+        // `let r = r_like();` — the initializer mentions a *different* path.
+        let src = "fn f() { let r = make(); let s = r.clone(); }\n";
+        let ast = parse(&lex(src).tokens);
+        let flows = local_flows(&ast.fns[0]);
+        let r = flows.iter().find(|f| f.name == "r").expect("r flow");
+        assert_eq!(r.uses, vec![UseKind::Read]);
+        let s = flows.iter().find(|f| f.name == "s").expect("s flow");
+        assert!(s.unused());
+    }
+
+    #[test]
+    fn chain_helpers_walk_method_chains() {
+        let src = "fn f() { let x = file.open(p)?.read().ok(); }\n";
+        let ast = parse(&lex(src).tokens);
+        let flows = local_flows(&ast.fns[0]);
+        let init = flows[0].init;
+        assert_eq!(chain_methods(init), vec!["open", "read", "ok"]);
+        assert!(matches!(
+            &chain_root(init).kind,
+            ExprKind::Path(p) if p == &["file"]
+        ));
+    }
+}

@@ -1,0 +1,216 @@
+//! Mechanical rewrites for the safe subset of E1 findings.
+//!
+//! `ig-lint fix` plans byte-level edits for discard patterns whose rewrite
+//! is provably behavior-preserving-or-better:
+//!
+//! - `let _ = <Result call>;` inside a `Result` function → `<call>?;`
+//! - `let _ = <Result call>;` elsewhere → a logged `if let Err` template
+//! - statement-level `<Result call>.ok();` → same two templates
+//!
+//! Only *provably `Result`-producing* initializers are rewritten (see
+//! [`is_result_call`]): a `?` on an `Option` in a `Result` fn would not
+//! compile, and strict-scope "any discarded call" findings stay manual.
+//! Edits are applied bottom-up so earlier offsets stay valid, and the
+//! contract is round-trip: apply → re-check → the rewritten sites are
+//! clean.
+
+use crate::ast::{self, walk_stmts, Expr, ExprKind, LetPat, ReturnKind, Stmt};
+use crate::context::{classify, test_mask, FileClass};
+use crate::dataflow::{chain_is_handled, is_result_call};
+use crate::lexer::{lex, Token};
+
+/// One planned byte-range replacement.
+#[derive(Debug, Clone)]
+pub struct FixEdit {
+    /// Byte range in the original source to replace.
+    pub start: usize,
+    pub end: usize,
+    pub replacement: String,
+    /// Line of the rewritten statement, for the summary.
+    pub line: u32,
+    /// Human-readable description of the rewrite.
+    pub note: String,
+}
+
+/// Byte offset one past the end of token `i`.
+fn token_end(toks: &[Token], i: usize) -> Option<usize> {
+    toks.get(i).map(|t| t.start + t.text.len())
+}
+
+/// Source slice covered by an expression.
+fn expr_src<'s>(src: &'s str, toks: &[Token], e: &Expr) -> Option<&'s str> {
+    let start = toks.get(e.span.lo)?.start;
+    let end = token_end(toks, e.span.hi.checked_sub(1)?)?;
+    src.get(start..end)
+}
+
+/// Plan the safe-subset rewrites for one file. `class` follows
+/// [`classify`] unless pinned by the caller (fixture tests pin Library).
+pub fn plan_fixes(rel_path: &str, src: &str, class: Option<FileClass>) -> Vec<FixEdit> {
+    let class = class.unwrap_or_else(|| classify(rel_path));
+    if class != FileClass::Library {
+        return Vec::new();
+    }
+    let lexed = lex(src);
+    let mask = test_mask(&lexed);
+    let toks = &lexed.tokens;
+    let parsed = ast::parse(toks);
+    let sigs = parsed.signatures();
+    let governed = |i: usize| !mask.get(i).copied().unwrap_or(false);
+
+    let mut edits: Vec<FixEdit> = Vec::new();
+    for f in &parsed.fns {
+        if !governed(f.name_tok) {
+            continue;
+        }
+        let in_result_fn = f.returns == ReturnKind::Result;
+        walk_stmts(&f.body, &mut |s: &Stmt| {
+            let (stmt_span, value, line_tok) = match s {
+                Stmt::Let(l) => {
+                    let (LetPat::Wild(tok), Some(init)) = (&l.pat, &l.init) else {
+                        return;
+                    };
+                    if !governed(*tok) {
+                        return;
+                    }
+                    (l.span, init, *tok)
+                }
+                Stmt::Expr(es) if es.has_semi => {
+                    let ExprKind::MethodCall {
+                        method,
+                        method_tok,
+                        recv,
+                        ..
+                    } = &es.expr.kind
+                    else {
+                        return;
+                    };
+                    if method != "ok" || !governed(*method_tok) {
+                        return;
+                    }
+                    (es.span, recv.as_ref(), *method_tok)
+                }
+                _ => return,
+            };
+            if !is_result_call(value, &sigs) || chain_is_handled(value) {
+                return;
+            }
+            let Some(value_src) = expr_src(src, toks, value) else {
+                return;
+            };
+            let Some(start) = toks.get(stmt_span.lo).map(|t| t.start) else {
+                return;
+            };
+            let Some(end) = stmt_span.hi.checked_sub(1).and_then(|i| token_end(toks, i)) else {
+                return;
+            };
+            let line = toks.get(line_tok).map_or(0, |t| t.line);
+            let (replacement, note) = if in_result_fn {
+                (
+                    format!("{value_src}?;"),
+                    "propagate with `?` (enclosing fn returns Result)".to_string(),
+                )
+            } else {
+                // Indent the template body to the statement's column.
+                let col = toks.get(stmt_span.lo).map_or(1, |t| t.col) as usize;
+                let pad = " ".repeat(col.saturating_sub(1));
+                (
+                    format!(
+                        "if let Err(e) = {value_src} {{\n{pad}    \
+                         eprintln!(\"ignored error: {{e:?}}\");\n{pad}}}"
+                    ),
+                    "log the error (enclosing fn cannot propagate)".to_string(),
+                )
+            };
+            edits.push(FixEdit {
+                start,
+                end,
+                replacement,
+                line,
+                note,
+            });
+        });
+    }
+    // Bottom-up application order; drop any overlap defensively (cannot
+    // happen for disjoint statements, but a parse hiccup must not corrupt
+    // the file).
+    edits.sort_by_key(|e| std::cmp::Reverse(e.start));
+    edits.dedup_by(|a, b| a.start < b.end && b.start < a.end);
+    edits
+}
+
+/// Apply planned edits (must be sorted descending by `start`, as
+/// [`plan_fixes`] returns them).
+pub fn apply_fixes(src: &str, edits: &[FixEdit]) -> String {
+    let mut out = src.to_string();
+    for e in edits {
+        if e.start <= e.end && e.end <= out.len() {
+            out.replace_range(e.start..e.end, &e.replacement);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PATH: &str = "crates/core/src/fixture.rs";
+
+    #[test]
+    fn let_wild_in_result_fn_becomes_try() {
+        let src = "fn save() -> Result<(), E> { Ok(()) }\n\
+                   fn run() -> Result<(), E> {\n    let _ = save();\n    Ok(())\n}\n";
+        let edits = plan_fixes(PATH, src, Some(FileClass::Library));
+        assert_eq!(edits.len(), 1);
+        let fixed = apply_fixes(src, &edits);
+        assert!(fixed.contains("save()?;"), "fixed:\n{fixed}");
+        assert!(!fixed.contains("let _ = save()"));
+    }
+
+    #[test]
+    fn let_wild_in_unit_fn_becomes_logged_match() {
+        let src = "fn save() -> Result<(), E> { Ok(()) }\n\
+                   fn run() {\n    let _ = save();\n}\n";
+        let edits = plan_fixes(PATH, src, Some(FileClass::Library));
+        assert_eq!(edits.len(), 1);
+        let fixed = apply_fixes(src, &edits);
+        assert!(fixed.contains("if let Err(e) = save()"), "fixed:\n{fixed}");
+        assert!(fixed.contains("eprintln!"));
+    }
+
+    #[test]
+    fn statement_ok_is_rewritten() {
+        let src = "fn save() -> Result<(), E> { Ok(()) }\n\
+                   fn run() -> Result<(), E> {\n    save().ok();\n    Ok(())\n}\n";
+        let edits = plan_fixes(PATH, src, Some(FileClass::Library));
+        assert_eq!(edits.len(), 1);
+        let fixed = apply_fixes(src, &edits);
+        assert!(fixed.contains("save()?;"), "fixed:\n{fixed}");
+        assert!(!fixed.contains(".ok()"));
+    }
+
+    #[test]
+    fn option_returning_calls_are_left_alone() {
+        let src = "fn find() -> Option<u8> { None }\n\
+                   fn run() -> Result<(), E> {\n    let _ = find();\n    Ok(())\n}\n";
+        let edits = plan_fixes(PATH, src, Some(FileClass::Library));
+        assert!(edits.is_empty(), "Option discard must stay manual");
+    }
+
+    #[test]
+    fn handled_chains_are_left_alone() {
+        let src = "fn save() -> Result<(), E> { Ok(()) }\n\
+                   fn run() {\n    let _ = save().map_err(|e| log(e));\n}\n";
+        let edits = plan_fixes(PATH, src, Some(FileClass::Library));
+        assert!(edits.is_empty());
+    }
+
+    #[test]
+    fn test_code_is_left_alone() {
+        let src = "fn save() -> Result<(), E> { Ok(()) }\n\
+                   #[cfg(test)]\nmod tests {\n    fn t() { let _ = super::save(); }\n}\n";
+        let edits = plan_fixes(PATH, src, Some(FileClass::Library));
+        assert!(edits.is_empty());
+    }
+}

@@ -34,6 +34,9 @@ pub struct Token {
     pub text: String,
     pub line: u32,
     pub col: u32,
+    /// Byte offset of the token's first character in the source. `text` is
+    /// a verbatim slice, so the token ends at `start + text.len()`.
+    pub start: usize,
 }
 
 impl Token {
@@ -56,6 +59,10 @@ pub struct Comment {
     /// True when no token precedes the comment on its line, i.e. the
     /// comment stands alone and annotates the *following* line.
     pub own_line: bool,
+    /// True for `///` and `//!` doc comments. Doc comments describe the
+    /// annotation grammar without invoking it, so they never carry live
+    /// `ig-lint:` directives.
+    pub doc: bool,
 }
 
 /// Lexer output: the token stream plus all line comments.
@@ -123,6 +130,7 @@ pub fn lex(src: &str) -> Lexed {
 
     while let Some(b) = cur.peek() {
         let (line, col) = (cur.line, cur.col);
+        let start = cur.pos;
         match b {
             b' ' | b'\t' | b'\r' | b'\n' => {
                 cur.bump();
@@ -135,10 +143,13 @@ pub fn lex(src: &str) -> Lexed {
                     }
                     cur.bump();
                 }
+                let text = src[start..cur.pos].to_string();
+                let doc = text.starts_with("///") || text.starts_with("//!");
                 out.comments.push(Comment {
-                    text: src[start..cur.pos].to_string(),
+                    text,
                     line,
                     own_line: last_token_line != line,
+                    doc,
                 });
             }
             b'/' if cur.peek_at(1) == Some(b'*') => {
@@ -171,6 +182,7 @@ pub fn lex(src: &str) -> Lexed {
                     text,
                     line,
                     col,
+                    start,
                 });
                 last_token_line = line;
             }
@@ -181,6 +193,7 @@ pub fn lex(src: &str) -> Lexed {
                     text,
                     line,
                     col,
+                    start,
                 });
                 last_token_line = line;
             }
@@ -207,6 +220,7 @@ pub fn lex(src: &str) -> Lexed {
                     text: src[start..cur.pos].to_string(),
                     line,
                     col,
+                    start,
                 });
                 last_token_line = line;
             }
@@ -217,6 +231,7 @@ pub fn lex(src: &str) -> Lexed {
                     text,
                     line,
                     col,
+                    start,
                 });
                 last_token_line = line;
             }
@@ -366,6 +381,7 @@ fn lex_quote(cur: &mut Cursor, src: &str, line: u32, col: u32) -> Token {
             text: src[start..cur.pos].to_string(),
             line,
             col,
+            start,
         }
     } else {
         lex_char_body(cur);
@@ -374,6 +390,7 @@ fn lex_quote(cur: &mut Cursor, src: &str, line: u32, col: u32) -> Token {
             text: src[start..cur.pos].to_string(),
             line,
             col,
+            start,
         }
     }
 }
@@ -403,6 +420,7 @@ fn lex_number(cur: &mut Cursor, src: &str, line: u32, col: u32) -> Token {
             text: src[start..cur.pos].to_string(),
             line,
             col,
+            start,
         };
     }
 
@@ -472,6 +490,7 @@ fn lex_number(cur: &mut Cursor, src: &str, line: u32, col: u32) -> Token {
         text: src[start..cur.pos].to_string(),
         line,
         col,
+        start,
     }
 }
 

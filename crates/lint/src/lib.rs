@@ -6,7 +6,11 @@
 //! invariants" for the rule catalog and the allow-annotation convention.
 
 pub mod annotations;
+pub mod ast;
+pub mod baseline;
 pub mod context;
+pub mod dataflow;
+pub mod fix;
 pub mod lexer;
 pub mod report;
 pub mod rules;
@@ -15,7 +19,9 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use annotations::AllowIndex;
-use context::{classify, test_mask, FileClass, FileContext, HOT_PATH_FILES};
+use context::{
+    classify, hot_loop_scope, strict_error_scope, test_mask, FileClass, FileContext, HOT_PATH_FILES,
+};
 use report::{Diagnostic, Report, ReportedAllow};
 
 /// Analyze one source string as if it lived at `rel_path` (workspace
@@ -42,6 +48,9 @@ pub fn check_source_with(
     let lexed = lexer::lex(src);
     let mask = test_mask(&lexed);
     let allows = AllowIndex::build(&lexed.comments, &lexed.tokens);
+    // The AST may be partial on malformed input (ast.errors records where);
+    // the token-level rules are unaffected either way.
+    let parsed = ast::parse(&lexed.tokens);
     let ctx = FileContext {
         path: rel_path,
         class,
@@ -49,6 +58,9 @@ pub fn check_source_with(
         in_test: &mask,
         allows: &allows,
         hot_path,
+        ast: &parsed,
+        hot_loop: hot_loop_scope(rel_path),
+        strict_errors: strict_error_scope(rel_path),
     };
     rules::check_file(&ctx)
 }

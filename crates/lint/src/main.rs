@@ -1,25 +1,46 @@
 //! CLI for the workspace analyzer.
 //!
 //! ```text
-//! cargo run -p ig-lint -- check [--root DIR] [--report PATH] [--quiet]
+//! cargo run -p ig-lint -- check [--root DIR] [--report PATH] [--baseline PATH] [--quiet]
+//! cargo run -p ig-lint -- fix [--root DIR] [--dry-run]
+//! cargo run -p ig-lint -- baseline [--root DIR] [--budget N] [--out PATH]
 //! cargo run -p ig-lint -- rules
 //! ```
 //!
 //! `check` exits 0 when the workspace upholds every invariant, 1 when any
-//! violation (including a malformed allow annotation) survives, and 2 on
-//! usage or I/O errors. A machine-readable report is written to
-//! `results/lint_report.json` unless `--report` overrides the path.
+//! violation (including a malformed allow annotation or a busted
+//! suppression budget) survives, and 2 on usage or I/O errors. A
+//! machine-readable report is written to `results/lint_report.json` unless
+//! `--report` overrides the path.
+//!
+//! `fix` applies the mechanical E1 rewrites (see `fix.rs`) in place;
+//! `--dry-run` prints the plan without touching files. `baseline`
+//! regenerates the committed suppression-debt record from the current
+//! workspace state.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use ig_lint::baseline::Baseline;
 use ig_lint::report::Report;
-use ig_lint::rules::rule_descriptions;
+use ig_lint::rules::rule_catalog;
 
 struct CheckOpts {
     root: PathBuf,
     report_path: PathBuf,
+    baseline_path: Option<PathBuf>,
     quiet: bool,
+}
+
+struct FixOpts {
+    root: PathBuf,
+    dry_run: bool,
+}
+
+struct BaselineOpts {
+    root: PathBuf,
+    budget: Option<usize>,
+    out: PathBuf,
 }
 
 fn main() -> ExitCode {
@@ -27,35 +48,37 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("check") => match parse_check_opts(&args[1..]) {
             Ok(opts) => run_check(&opts),
-            Err(e) => {
-                eprintln!("ig-lint: {e}");
-                ExitCode::from(2)
-            }
+            Err(e) => usage_error(&e),
+        },
+        Some("fix") => match parse_fix_opts(&args[1..]) {
+            Ok(opts) => run_fix(&opts),
+            Err(e) => usage_error(&e),
+        },
+        Some("baseline") => match parse_baseline_opts(&args[1..]) {
+            Ok(opts) => run_baseline(&opts),
+            Err(e) => usage_error(&e),
         },
         Some("rules") => {
-            for (name, desc) in rule_descriptions() {
-                println!("{name:16} {desc}");
-            }
+            run_rules();
             ExitCode::SUCCESS
         }
-        Some(other) => {
-            eprintln!("ig-lint: unknown command `{other}`\n{USAGE}");
-            ExitCode::from(2)
-        }
-        None => {
-            eprintln!("{USAGE}");
-            ExitCode::from(2)
-        }
+        Some(other) => usage_error(&format!("unknown command `{other}`")),
+        None => usage_error("missing command"),
     }
 }
 
-const USAGE: &str =
-    "usage: ig-lint check [--root DIR] [--report PATH] [--quiet]\n       ig-lint rules";
+const USAGE: &str = "usage: ig-lint check [--root DIR] [--report PATH] [--baseline PATH] [--quiet]\n       ig-lint fix [--root DIR] [--dry-run]\n       ig-lint baseline [--root DIR] [--budget N] [--out PATH]\n       ig-lint rules";
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("ig-lint: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}
 
 fn parse_check_opts(args: &[String]) -> Result<CheckOpts, String> {
     let mut opts = CheckOpts {
         root: PathBuf::from("."),
         report_path: PathBuf::from("results/lint_report.json"),
+        baseline_path: None,
         quiet: false,
     };
     let mut it = args.iter();
@@ -73,8 +96,67 @@ fn parse_check_opts(args: &[String]) -> Result<CheckOpts, String> {
                     .map(PathBuf::from)
                     .ok_or("--report requires a path")?;
             }
+            "--baseline" => {
+                opts.baseline_path = Some(
+                    it.next()
+                        .map(PathBuf::from)
+                        .ok_or("--baseline requires a path")?,
+                );
+            }
             "--quiet" => opts.quiet = true,
-            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn parse_fix_opts(args: &[String]) -> Result<FixOpts, String> {
+    let mut opts = FixOpts {
+        root: PathBuf::from("."),
+        dry_run: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => {
+                opts.root = it
+                    .next()
+                    .map(PathBuf::from)
+                    .ok_or("--root requires a directory")?;
+            }
+            "--dry-run" => opts.dry_run = true,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn parse_baseline_opts(args: &[String]) -> Result<BaselineOpts, String> {
+    let mut opts = BaselineOpts {
+        root: PathBuf::from("."),
+        budget: None,
+        out: PathBuf::from("results/lint_baseline.json"),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => {
+                opts.root = it
+                    .next()
+                    .map(PathBuf::from)
+                    .ok_or("--root requires a directory")?;
+            }
+            "--budget" => {
+                let n = it.next().ok_or("--budget requires a number")?;
+                opts.budget = Some(n.parse().map_err(|_| format!("bad budget `{n}`"))?);
+            }
+            "--out" => {
+                opts.out = it
+                    .next()
+                    .map(PathBuf::from)
+                    .ok_or("--out requires a path")?;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
         }
     }
     Ok(opts)
@@ -103,9 +185,30 @@ fn run_check(opts: &CheckOpts) -> ExitCode {
         return ExitCode::from(2);
     }
 
+    // Suppression-debt budget: live allow count vs. the committed ceiling.
+    let mut budget_failures = Vec::new();
+    if let Some(path) = &opts.baseline_path {
+        match std::fs::read_to_string(path) {
+            Ok(text) => match Baseline::parse(&text) {
+                Ok(baseline) => budget_failures = baseline.enforce(&report),
+                Err(e) => {
+                    eprintln!("ig-lint: baseline {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            },
+            Err(e) => {
+                eprintln!("ig-lint: reading baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    for f in &budget_failures {
+        eprintln!("ig-lint: {f}");
+    }
+
     let counts = report.counts();
     let summary: Vec<String> = counts.iter().map(|(r, n)| format!("{r}: {n}")).collect();
-    if report.violations.is_empty() {
+    if report.violations.is_empty() && budget_failures.is_empty() {
         if !opts.quiet {
             println!(
                 "ig-lint: {} files clean, {} allow annotation(s) on record",
@@ -115,13 +218,112 @@ fn run_check(opts: &CheckOpts) -> ExitCode {
         }
         ExitCode::SUCCESS
     } else {
-        eprintln!(
-            "ig-lint: {} violation(s) in {} files scanned ({})",
-            report.violations.len(),
-            report.files_scanned,
-            summary.join(", ")
-        );
+        if !report.violations.is_empty() {
+            eprintln!(
+                "ig-lint: {} violation(s) in {} files scanned ({})",
+                report.violations.len(),
+                report.files_scanned,
+                summary.join(", ")
+            );
+        }
         ExitCode::FAILURE
+    }
+}
+
+fn run_fix(opts: &FixOpts) -> ExitCode {
+    let files = match ig_lint::collect_rs_files(&opts.root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("ig-lint: scanning {}: {e}", opts.root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let mut total = 0usize;
+    for path in &files {
+        let rel = path
+            .strip_prefix(&opts.root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("ig-lint: reading {rel}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let edits = ig_lint::fix::plan_fixes(&rel, &src, None);
+        if edits.is_empty() {
+            continue;
+        }
+        for e in &edits {
+            println!("{rel}:{}: {}", e.line, e.note);
+        }
+        total += edits.len();
+        if !opts.dry_run {
+            let fixed = ig_lint::fix::apply_fixes(&src, &edits);
+            if let Err(e) = std::fs::write(path, fixed) {
+                eprintln!("ig-lint: writing {rel}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    println!(
+        "ig-lint: {total} fix(es) {}",
+        if opts.dry_run { "planned" } else { "applied" }
+    );
+    ExitCode::SUCCESS
+}
+
+fn run_baseline(opts: &BaselineOpts) -> ExitCode {
+    let report = match ig_lint::check_workspace(&opts.root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ig-lint: scanning {}: {e}", opts.root.display());
+            return ExitCode::from(2);
+        }
+    };
+    // Default budget: current debt — growth fails immediately, shrink is
+    // always welcome.
+    let budget = opts.budget.unwrap_or(report.allows.len());
+    let baseline = Baseline::from_report(&report, budget);
+    if let Some(dir) = opts.out.parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("ig-lint: creating {}: {e}", dir.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(&opts.out, baseline.render()) {
+        eprintln!("ig-lint: writing {}: {e}", opts.out.display());
+        return ExitCode::from(2);
+    }
+    println!(
+        "ig-lint: baseline written to {} (budget {budget}, {} allows on record)",
+        opts.out.display(),
+        baseline.recorded_allows
+    );
+    ExitCode::SUCCESS
+}
+
+fn run_rules() {
+    println!(
+        "{:<4} {:<15} {:<15} {:<55} DESCRIPTION",
+        "ID", "NAME", "FAMILY", "SCOPE"
+    );
+    for r in rule_catalog() {
+        println!(
+            "{:<4} {:<15} {:<15} {:<55} {}",
+            r.id,
+            r.name,
+            r.family,
+            r.scope,
+            r.description
+                .split_whitespace()
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
     }
 }
 

@@ -1,0 +1,196 @@
+//! E1: error-flow — a `Result`/`Option` produced by a fallible call must
+//! reach a consumer (`?`, `match`/`if let`, a return position, an argument)
+//! or an annotated sink.
+//!
+//! The fault-injection recovery ladders (PR 1) only work if every failure
+//! is *seen*: a `let _ = save_labels(..)` inside a recovery path silently
+//! converts "degrade gracefully" into "corrupt the label matrix". Flags:
+//!
+//! - `let _ = <fallible call>;` — the error is dropped unnamed;
+//! - statement-level `<fallible chain>.ok();` — converted to `Option` and
+//!   immediately discarded;
+//! - `<fallible call>.unwrap_or_default()` — the failure collapses into a
+//!   default value indistinguishable from success;
+//! - a named local bound from a fallible call that is never read again.
+//!
+//! Fallibility is decided conservatively: a call is fallible when its
+//! target is declared *in the same file* with a `Result`/`Option` return
+//! (see [`Ast::signatures`]) or its name is on the known-fallible list.
+//! In strict scope (`crates/faults`, `crates/core` — see
+//! [`strict_error_scope`](crate::context::strict_error_scope)) any
+//! discarded call result is flagged: recovery code must account for every
+//! value it throws away.
+
+use std::collections::BTreeMap;
+
+use crate::ast::{walk_stmts, Expr, ExprKind, LetPat, Stmt};
+use crate::context::{FileClass, FileContext};
+use crate::dataflow::{chain_is_handled, chain_root, is_fallible_call, local_flows};
+use crate::report::Diagnostic;
+
+/// Is `e` any call at all (used by strict scope)?
+fn is_any_call(e: &Expr) -> bool {
+    matches!(
+        e.kind,
+        ExprKind::Call { .. } | ExprKind::MethodCall { .. } | ExprKind::Macro { .. }
+    )
+}
+
+/// Macros whose value position makes a discarded result idiomatic.
+fn is_exempt_macro(e: &Expr) -> bool {
+    matches!(
+        &chain_root(e).kind,
+        ExprKind::Macro { name, .. } if name == "write" || name == "writeln"
+    )
+}
+
+pub fn check(ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+    if ctx.class != FileClass::Library {
+        return;
+    }
+    let sigs = ctx.ast.signatures();
+    let strict = ctx.strict_errors;
+
+    let mut diag = |tok: usize, message: String| {
+        if let Some(t) = ctx.tokens.get(tok) {
+            out.push(Diagnostic {
+                rule: "error-flow".to_string(),
+                path: ctx.path.to_string(),
+                line: t.line,
+                col: t.col,
+                message,
+            });
+        }
+    };
+
+    for f in &ctx.ast.fns {
+        if !ctx.governed(f.name_tok) {
+            continue;
+        }
+
+        // Locals bound from a provably fallible call, for `.ok();`-on-local
+        // and the unused-binding check.
+        let flows = local_flows(f);
+        let fallible_locals: BTreeMap<&str, usize> = flows
+            .iter()
+            .filter(|fl| is_fallible_call(fl.init, &sigs) && !chain_is_handled(fl.init))
+            .map(|fl| (fl.name, fl.name_tok))
+            .collect();
+
+        for fl in &flows {
+            // A fallible binding that is never read again: the error can't
+            // have reached anything. Underscore-prefixed names are spared —
+            // that's the RAII-guard idiom (`let _guard = m.lock()…`).
+            if fl.unused()
+                && !fl.name.starts_with('_')
+                && fallible_locals.contains_key(fl.name)
+                && ctx.governed(fl.name_tok)
+            {
+                diag(
+                    fl.name_tok,
+                    format!(
+                        "`{}` binds a fallible result that never reaches `?`, \
+                         `match`, or any other consumer; propagate the error, log \
+                         it into the HealthReport, or annotate with `ig-lint: \
+                         allow(error-flow) -- <why dropping it is safe>`",
+                        fl.name
+                    ),
+                );
+            }
+        }
+
+        walk_stmts(&f.body, &mut |s: &Stmt| match s {
+            Stmt::Let(l) => {
+                let (LetPat::Wild(tok), Some(init)) = (&l.pat, &l.init) else {
+                    return;
+                };
+                if !ctx.governed(*tok) || is_exempt_macro(init) || chain_is_handled(init) {
+                    return;
+                }
+                let fallible = is_fallible_call(init, &sigs);
+                if fallible || (strict && is_any_call(init)) {
+                    let what = if fallible {
+                        "a fallible result"
+                    } else {
+                        "a call result in strict error-flow scope"
+                    };
+                    diag(
+                        *tok,
+                        format!(
+                            "`let _ =` discards {what}; use `?`, match the error \
+                             into the recovery ladder, or annotate with `ig-lint: \
+                             allow(error-flow) -- <why dropping it is safe>"
+                        ),
+                    );
+                }
+            }
+            Stmt::Expr(es) if es.has_semi => {
+                let e = &es.expr;
+                let ExprKind::MethodCall {
+                    method,
+                    method_tok,
+                    recv,
+                    ..
+                } = &e.kind
+                else {
+                    return;
+                };
+                if !ctx.governed(*method_tok) {
+                    return;
+                }
+                if method == "ok" {
+                    // `expr.ok();` as a whole statement: the Result was
+                    // converted to Option purely to silence must_use.
+                    let root = chain_root(e);
+                    let on_fallible_local = matches!(
+                        &root.kind,
+                        ExprKind::Path(p) if matches!(
+                            p.as_slice(),
+                            [only] if fallible_locals.contains_key(only.as_str())
+                        )
+                    );
+                    if chain_is_handled(recv) || is_exempt_macro(e) {
+                        return;
+                    }
+                    if is_fallible_call(recv, &sigs) || on_fallible_local || strict {
+                        diag(
+                            *method_tok,
+                            "statement-level `.ok()` swallows the error without a \
+                             trace; match it, log it into the HealthReport, or \
+                             annotate with `ig-lint: allow(error-flow) -- <why>`"
+                                .to_string(),
+                        );
+                    }
+                }
+            }
+            _ => {}
+        });
+
+        // `.unwrap_or_default()` anywhere (value or statement position) on a
+        // fallible chain — the expression walker sees every position.
+        crate::ast::walk_block(&f.body, &mut |e: &Expr| {
+            if let ExprKind::MethodCall {
+                method,
+                method_tok,
+                recv,
+                ..
+            } = &e.kind
+            {
+                if method == "unwrap_or_default"
+                    && ctx.governed(*method_tok)
+                    && is_fallible_call(recv, &sigs)
+                    && !chain_is_handled(recv)
+                {
+                    diag(
+                        *method_tok,
+                        "`.unwrap_or_default()` on a fallible call makes failure \
+                         indistinguishable from an empty success; match the error or \
+                         annotate with `ig-lint: allow(error-flow) -- <why a default \
+                         is correct>`"
+                            .to_string(),
+                    );
+                }
+            }
+        });
+    }
+}

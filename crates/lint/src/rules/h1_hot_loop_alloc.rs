@@ -1,0 +1,102 @@
+//! H1: heap allocation inside hot loops.
+//!
+//! The NCC/pyramid kernels in `crates/imaging` and the feature-generation
+//! loop in `crates/core::features` are the throughput floor of the whole
+//! pipeline (ROADMAP: "fast as the hardware allows"). An allocation inside
+//! a loop nested ≥ 2 deep there runs per pixel or per (image × template)
+//! pair — exactly the regression class this rule pins. Depth counts
+//! `for`/`while`/`loop` bodies plus closures passed to per-element iterator
+//! adapters (`.map(|x| …)` inside a `for` is depth 2).
+//!
+//! The remedy is hoisting: allocate scratch buffers once outside the loop
+//! nest and reuse them (see `gaussian_blur_with_kernel` in
+//! `crates/imaging::filter` and its use by `Pyramid::build`).
+
+use crate::ast::{walk_block, Expr, ExprKind};
+use crate::context::{FileClass, FileContext};
+use crate::report::Diagnostic;
+
+/// Types whose associated constructors allocate.
+const ALLOC_TYPES: &[&str] = &["Vec", "Box", "String", "VecDeque", "BTreeMap", "HashMap"];
+
+/// Associated functions on those types that allocate.
+const ALLOC_CTORS: &[&str] = &["new", "with_capacity", "from"];
+
+/// Methods that allocate a fresh buffer from the receiver.
+const ALLOC_METHODS: &[&str] = &[
+    "to_vec",
+    "clone",
+    "to_owned",
+    "to_string",
+    "collect",
+    "concat",
+    "join",
+];
+
+/// Macros that allocate.
+const ALLOC_MACROS: &[&str] = &["vec", "format"];
+
+/// Loop nesting depth at which allocations start being flagged.
+const HOT_DEPTH: u32 = 2;
+
+pub fn check(ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+    if !ctx.hot_loop || ctx.class != FileClass::Library {
+        return;
+    }
+
+    let mut diag = |tok: usize, what: &str| {
+        if let Some(t) = ctx.tokens.get(tok) {
+            out.push(Diagnostic {
+                rule: "hot-loop-alloc".to_string(),
+                path: ctx.path.to_string(),
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "{what} allocates inside a loop nested {HOT_DEPTH}+ deep on a \
+                     hot path; hoist the buffer out of the loop nest and reuse it, \
+                     or annotate with `ig-lint: allow(hot-loop-alloc) -- <why the \
+                     allocation is amortized>`"
+                ),
+            });
+        }
+    };
+
+    for f in &ctx.ast.fns {
+        if !ctx.governed(f.name_tok) {
+            continue;
+        }
+        walk_block(&f.body, &mut |e: &Expr| {
+            if e.depth < HOT_DEPTH {
+                return;
+            }
+            match &e.kind {
+                ExprKind::Call { callee, .. } => {
+                    if let ExprKind::Path(segs) = &callee.kind {
+                        let ty_allocs = segs
+                            .len()
+                            .checked_sub(2)
+                            .and_then(|i| segs.get(i))
+                            .is_some_and(|ty| ALLOC_TYPES.contains(&ty.as_str()));
+                        let ctor = segs
+                            .last()
+                            .is_some_and(|c| ALLOC_CTORS.contains(&c.as_str()));
+                        if ty_allocs && ctor && ctx.governed(callee.span.lo) {
+                            diag(callee.span.lo, &format!("`{}`", segs.join("::")));
+                        }
+                    }
+                }
+                ExprKind::MethodCall {
+                    method, method_tok, ..
+                } if ALLOC_METHODS.contains(&method.as_str()) && ctx.governed(*method_tok) => {
+                    diag(*method_tok, &format!("`.{method}()`"));
+                }
+                ExprKind::Macro { name, name_tok, .. }
+                    if ALLOC_MACROS.contains(&name.as_str()) && ctx.governed(*name_tok) =>
+                {
+                    diag(*name_tok, &format!("`{name}!`"));
+                }
+                _ => {}
+            }
+        });
+    }
+}

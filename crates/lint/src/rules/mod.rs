@@ -4,9 +4,12 @@
 
 mod d1_nondeterminism;
 mod d2_hash_iter;
+mod e1_error_flow;
+mod h1_hot_loop_alloc;
 mod n1_float_eq;
 mod n2_lossy_cast;
 mod p1_panic;
+mod s1_shape_contract;
 
 use crate::context::{FileClass, FileContext};
 use crate::report::Diagnostic;
@@ -21,6 +24,9 @@ pub const RULE_NAMES: &[&str] = &[
     "panic",          // P1
     "float-eq",       // N1
     "lossy-cast",     // N2
+    "error-flow",     // E1
+    "hot-loop-alloc", // H1
+    "shape-contract", // S1
 ];
 
 /// Run every rule over one file, honoring allow annotations, and report
@@ -32,6 +38,9 @@ pub fn check_file(ctx: &FileContext) -> Vec<Diagnostic> {
     p1_panic::check(ctx, &mut raw);
     n1_float_eq::check(ctx, &mut raw);
     n2_lossy_cast::check(ctx, &mut raw);
+    e1_error_flow::check(ctx, &mut raw);
+    h1_hot_loop_alloc::check(ctx, &mut raw);
+    s1_shape_contract::check(ctx, &mut raw);
 
     let mut out: Vec<Diagnostic> = raw
         .into_iter()
@@ -57,37 +66,106 @@ pub fn check_file(ctx: &FileContext) -> Vec<Diagnostic> {
     out
 }
 
-/// One-line description of each rule, for `ig-lint rules` and the report.
-pub fn rule_descriptions() -> Vec<(&'static str, &'static str)> {
+/// Catalog entry for one rule: identity, family, where it applies, and why.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Short id (`E1`), used in docs and the `rules` subcommand.
+    pub id: &'static str,
+    /// Canonical name, as written in `allow(…)` annotations.
+    pub name: &'static str,
+    /// Rule family grouping related invariants.
+    pub family: &'static str,
+    /// Where the rule fires.
+    pub scope: &'static str,
+    pub description: &'static str,
+}
+
+/// Full rule catalog, for `ig-lint rules` and the docs.
+pub fn rule_catalog() -> Vec<RuleInfo> {
     vec![
-        (
-            "nondeterminism",
-            "no thread_rng()/from_entropy()/SystemTime::now()/Instant::now() outside \
-             crates/experiments, crates/bench, and examples — clean runs must be \
-             bit-for-bit reproducible from the seed alone",
-        ),
-        (
-            "hash-iter",
-            "no iteration over HashMap/HashSet in result-producing code — iteration \
-             order is randomized per process; use BTreeMap or sort first",
-        ),
-        (
-            "panic",
-            "no unwrap()/expect()/panic!/slice-indexing-by-literal in library crates \
-             outside #[cfg(test)] — recovery ladders need Result, not aborts",
-        ),
-        (
-            "float-eq",
-            "no bare float ==/!= — use ig_imaging::stats::{approx_eq, is_effectively_zero}",
-        ),
-        (
-            "lossy-cast",
-            "no truncating float->int `as` casts in the imaging/nn hot paths — round \
-             explicitly or annotate why truncation is intended",
-        ),
-        (
-            "bad-annotation",
-            "every `ig-lint: allow(...)` must list known rules and carry a `-- reason`",
-        ),
+        RuleInfo {
+            id: "D1",
+            name: "nondeterminism",
+            family: "determinism",
+            scope: "library crates, non-test code",
+            description: "no thread_rng()/from_entropy()/SystemTime::now()/Instant::now() outside \
+                 crates/experiments, crates/bench, and examples — clean runs must be \
+                 bit-for-bit reproducible from the seed alone",
+        },
+        RuleInfo {
+            id: "D2",
+            name: "hash-iter",
+            family: "determinism",
+            scope: "library crates, non-test code",
+            description: "no iteration over HashMap/HashSet in result-producing code — iteration \
+                 order is randomized per process; use BTreeMap or sort first",
+        },
+        RuleInfo {
+            id: "P1",
+            name: "panic",
+            family: "panic-freedom",
+            scope: "library crates, non-test code",
+            description: "no unwrap()/expect()/panic!/slice-indexing-by-literal in library crates \
+                 outside #[cfg(test)] — recovery ladders need Result, not aborts",
+        },
+        RuleInfo {
+            id: "N1",
+            name: "float-eq",
+            family: "numeric-safety",
+            scope: "library crates, non-test code",
+            description:
+                "no bare float ==/!= — use ig_imaging::stats::{approx_eq, is_effectively_zero}",
+        },
+        RuleInfo {
+            id: "N2",
+            name: "lossy-cast",
+            family: "numeric-safety",
+            scope: "imaging/nn hot-path files (see HOT_PATH_FILES)",
+            description: "no truncating float->int `as` casts in the imaging/nn hot paths — round \
+                 explicitly or annotate why truncation is intended",
+        },
+        RuleInfo {
+            id: "E1",
+            name: "error-flow",
+            family: "error-flow",
+            scope: "library crates; strict in crates/faults and crates/core",
+            description: "a Result/Option from a fallible call must reach `?`, `match`, or an \
+                 annotated sink — `let _ =`, statement-level `.ok()`, and \
+                 `.unwrap_or_default()` swallow the error; strict scope flags any \
+                 discarded call result",
+        },
+        RuleInfo {
+            id: "H1",
+            name: "hot-loop-alloc",
+            family: "hot-loop",
+            scope: "crates/imaging/src and crates/core/src/features.rs",
+            description: "no Vec::new/to_vec/clone/format!/Box::new inside loops nested >= 2 deep \
+                 (adapter closures count as loops) — hoist scratch buffers out of the \
+                 loop nest and reuse them",
+        },
+        RuleInfo {
+            id: "S1",
+            name: "shape-contract",
+            family: "shape-contract",
+            scope: "library crates, non-test code",
+            description: "literal-dimension mismatches the parser can prove: from_vec dims vs. \
+                 data length, ragged from_rows rows, zero resize targets",
+        },
+        RuleInfo {
+            id: "A0",
+            name: "bad-annotation",
+            family: "hygiene",
+            scope: "everywhere annotations have force (non-exempt files)",
+            description:
+                "every `ig-lint: allow(...)` must list known rules and carry a `-- reason`",
+        },
     ]
+}
+
+/// One-line description of each rule, for the report.
+pub fn rule_descriptions() -> Vec<(&'static str, &'static str)> {
+    rule_catalog()
+        .into_iter()
+        .map(|r| (r.name, r.description))
+        .collect()
 }

@@ -1,0 +1,183 @@
+//! S1: shape contracts the parser can prove.
+//!
+//! The label pipeline threads dimensions through `Matrix`/`Tensor4`/
+//! `GrayImage` constructors and the resize/pyramid entry points. Most
+//! shapes are runtime values, but when a call site writes *literals* the
+//! contract is decidable at lint time:
+//!
+//! - `Matrix::from_vec(2, 3, vec![0.0; 5])` — 2×3 ≠ 5;
+//! - `Tensor4::from_vec(1, 1, 2, 2, vec![…])` with a countable length;
+//! - `Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0]])` — ragged rows;
+//! - `resize_bilinear(img, 0, h)` — zero target dimensions, which the
+//!   callee rejects at runtime (`check_dims`), caught here at lint time.
+//!
+//! Anything involving a non-literal dimension or an uncountable data
+//! argument is out of scope — S1 only fires on what it can prove.
+
+use crate::ast::{walk_block, Expr, ExprKind};
+use crate::context::{FileClass, FileContext};
+use crate::lexer::Token;
+use crate::report::Diagnostic;
+
+/// Constructors taking leading `usize` dimensions and a trailing data vec
+/// whose length must equal the dimensions' product.
+const FROM_VEC_TYPES: &[&str] = &["Matrix", "GrayImage", "Tensor4"];
+
+/// Entry points whose trailing two args are target dimensions that must be
+/// non-zero.
+const NONZERO_DIM_FNS: &[&str] = &["resize_bilinear", "resize_nearest"];
+
+/// Parse an integer-literal expression (`5`, `3usize`, `1_000`).
+fn lit_int(e: &Expr, toks: &[Token]) -> Option<u64> {
+    let ExprKind::Lit { tok, .. } = &e.kind else {
+        return None;
+    };
+    let text = &toks.get(*tok)?.text;
+    let digits: String = text
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '_')
+        .filter(|c| *c != '_')
+        .collect();
+    if digits.is_empty() {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Length of a data argument when it is countable: `vec![x; N]`,
+/// `vec![a, b, c]`, `[a, b, c]`, or `Vec::new()`.
+fn countable_len(e: &Expr, toks: &[Token]) -> Option<u64> {
+    match &e.kind {
+        ExprKind::Macro {
+            name, args, repeat, ..
+        } if name == "vec" => match repeat {
+            Some((_, len)) => lit_int(len, toks),
+            None => Some(args.len() as u64),
+        },
+        ExprKind::Array(items) => Some(items.len() as u64),
+        ExprKind::Repeat { len, .. } => lit_int(len, toks),
+        ExprKind::Call { callee, args } if args.is_empty() => match &callee.kind {
+            ExprKind::Path(segs) if segs.ends_with(&["Vec".into(), "new".into()]) => Some(0),
+            _ => None,
+        },
+        ExprKind::Unary(inner) | ExprKind::Cast(inner) => countable_len(inner, toks),
+        ExprKind::MethodCall { recv, method, .. } if method == "to_vec" || method == "clone" => {
+            countable_len(recv, toks)
+        }
+        _ => None,
+    }
+}
+
+pub fn check(ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+    if ctx.class != FileClass::Library {
+        return;
+    }
+
+    let mut diag = |tok: usize, message: String| {
+        if let Some(t) = ctx.tokens.get(tok) {
+            out.push(Diagnostic {
+                rule: "shape-contract".to_string(),
+                path: ctx.path.to_string(),
+                line: t.line,
+                col: t.col,
+                message,
+            });
+        }
+    };
+
+    for f in &ctx.ast.fns {
+        if !ctx.governed(f.name_tok) {
+            continue;
+        }
+        walk_block(&f.body, &mut |e: &Expr| {
+            let ExprKind::Call { callee, args } = &e.kind else {
+                return;
+            };
+            let ExprKind::Path(segs) = &callee.kind else {
+                return;
+            };
+            if !ctx.governed(callee.span.lo) {
+                return;
+            }
+            let last = segs.last().map(String::as_str).unwrap_or("");
+            let ty = segs
+                .len()
+                .checked_sub(2)
+                .and_then(|i| segs.get(i))
+                .map(String::as_str)
+                .unwrap_or("");
+
+            // `Ty::from_vec(d1, …, dn, data)`: product of literal dims must
+            // equal a countable data length.
+            if last == "from_vec" && FROM_VEC_TYPES.contains(&ty) && args.len() >= 2 {
+                let (dims, data) = args.split_at(args.len() - 1);
+                let lits: Vec<u64> = dims.iter().filter_map(|d| lit_int(d, ctx.tokens)).collect();
+                if lits.len() == dims.len() {
+                    if let Some(len) = data.first().and_then(|d| countable_len(d, ctx.tokens)) {
+                        let product: u64 = lits.iter().product();
+                        if product != len {
+                            let dims_str = lits
+                                .iter()
+                                .map(u64::to_string)
+                                .collect::<Vec<_>>()
+                                .join("×");
+                            diag(
+                                callee.span.lo,
+                                format!(
+                                    "`{ty}::from_vec` shape mismatch: dimensions \
+                                     {dims_str} = {product} elements, but the data \
+                                     argument has {len}"
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+
+            // `Matrix::from_rows(&[vec![…], …])`: countable rows must agree.
+            if last == "from_rows" {
+                if let [arg] = args.as_slice() {
+                    let mut rows_arg = arg;
+                    while let ExprKind::Unary(inner) = &rows_arg.kind {
+                        rows_arg = inner;
+                    }
+                    if let ExprKind::Array(rows) = &rows_arg.kind {
+                        let lens: Vec<Option<u64>> =
+                            rows.iter().map(|r| countable_len(r, ctx.tokens)).collect();
+                        let known: Vec<u64> = lens.iter().flatten().copied().collect();
+                        if known.len() == rows.len() {
+                            if let Some(&first) = known.first() {
+                                if known.iter().any(|&l| l != first) {
+                                    diag(
+                                        callee.span.lo,
+                                        format!(
+                                            "`from_rows` rows are ragged: lengths {:?} \
+                                             must all match",
+                                            known
+                                        ),
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+
+            // `resize_*(src, w, h)`: literal zero target dimension.
+            if NONZERO_DIM_FNS.contains(&last) && args.len() >= 3 {
+                for (i, dim) in args[args.len() - 2..].iter().enumerate() {
+                    if lit_int(dim, ctx.tokens) == Some(0) {
+                        let which = if i == 0 { "width" } else { "height" };
+                        diag(
+                            dim.span.lo,
+                            format!(
+                                "`{last}` called with literal zero target {which}; the \
+                                 callee rejects zero dimensions at runtime"
+                            ),
+                        );
+                    }
+                }
+            }
+        });
+    }
+}

@@ -1,0 +1,31 @@
+//! E1 fixture: a fallible result must reach `?`, `match`, or a sink.
+
+fn try_save(path: &str) -> Result<(), String> {
+    Ok(())
+}
+
+pub fn swallows_errors(path: &str) {
+    let _ = try_save(path);
+    try_save(path).ok();
+    let n = from_str(path).unwrap_or_default();
+    let status = try_save(path);
+    consume(n);
+}
+
+pub fn handles_errors(path: &str) -> Result<(), String> {
+    try_save(path)?;
+    if let Err(e) = try_save(path) {
+        log(e);
+    }
+    let r = try_save(path);
+    match r {
+        Ok(()) => {}
+        Err(_) => {}
+    }
+    let _guard = try_save(path);
+    Ok(())
+}
+
+pub fn annotated(path: &str) {
+    let _ = try_save(path); // ig-lint: allow(error-flow) -- best-effort cache write
+}

@@ -1,0 +1,14 @@
+//! E1 strict fixture: recovery code accounts for every discarded result.
+
+pub fn recovery_step(state: &mut State) {
+    let _ = state.rollback();
+    state.checkpoint().ok();
+    let _ = tick_counter();
+}
+
+pub fn degraded_path(state: &mut State) {
+    let mut s = String::new();
+    let _ = write!(s, "degraded");
+    let _guard = state.lock();
+    emit(&s);
+}

@@ -1,0 +1,16 @@
+//! Fix-roundtrip fixture: `ig-lint fix` rewrites every discard, and a
+//! re-check comes back clean.
+
+fn try_save(path: &str) -> Result<(), String> {
+    Ok(())
+}
+
+pub fn propagating(path: &str) -> Result<(), String> {
+    let _ = try_save(path);
+    Ok(())
+}
+
+pub fn logging(path: &str) {
+    let _ = try_save(path);
+    try_save(path).ok();
+}

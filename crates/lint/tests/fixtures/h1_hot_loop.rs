@@ -1,0 +1,45 @@
+//! H1 fixture: per-iteration allocations in hot loop nests.
+
+pub fn per_pixel(rows: usize, cols: usize, window: &[f32]) -> f32 {
+    let mut acc = 0.0;
+    for y in 0..rows {
+        for x in 0..cols {
+            let patch = Vec::new();
+            let name = format!("{y}-{x}");
+            let copy = window.to_vec();
+            acc += score(&patch, &name, &copy);
+        }
+    }
+    acc
+}
+
+pub fn adapter_alloc(items: &[u32], vals: &[u32]) -> Vec<Vec<u32>> {
+    let mut out = Vec::new();
+    for it in items {
+        out.push(vals.iter().map(|v| v.clone()).collect());
+        consume(it);
+    }
+    out
+}
+
+pub fn hoisted(rows: usize, cols: usize) -> f32 {
+    let mut scratch = Vec::new();
+    let mut acc = 0.0;
+    for y in 0..rows {
+        for x in 0..cols {
+            scratch.clear();
+            acc += accumulate(&mut scratch, y, x);
+        }
+    }
+    acc
+}
+
+pub fn amortized(n: usize) {
+    for i in 0..n {
+        for j in 0..n {
+            // ig-lint: allow(hot-loop-alloc) -- grows once then reuses capacity
+            let label = format!("{i}:{j}");
+            emit(&label);
+        }
+    }
+}

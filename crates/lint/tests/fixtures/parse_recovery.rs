@@ -1,0 +1,9 @@
+//! Parser-recovery fixture: an unparsable item must not disable the
+//! token-level rules on the rest of the file.
+
+fn broken(((( {
+
+pub fn still_scanned(opt: Option<u32>) -> u32 {
+    let v = opt.unwrap();
+    v
+}

@@ -1,0 +1,24 @@
+//! S1 fixture: literal shape contracts the parser can prove.
+
+pub fn wrong_shapes(img: &GrayImage) {
+    let a = Matrix::from_vec(2, 3, vec![0.0; 5]);
+    let b = Matrix::from_vec(2, 2, vec![0.0, 1.0, 2.0]);
+    let t = Tensor4::from_vec(1, 2, 2, 2, vec![0.0; 9]);
+    let r = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0]]);
+    let z = resize_bilinear(img, 0, 10);
+    consume(a, b, t, r, z);
+}
+
+pub fn correct_shapes(img: &GrayImage, n: usize) {
+    let a = Matrix::from_vec(2, 3, vec![0.0; 6]);
+    let d = Matrix::from_vec(n, 3, vec![0.0; 6]);
+    let r = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+    let z = resize_bilinear(img, 4, 4);
+    consume(a, d, r, z);
+}
+
+pub fn deliberate_mismatch() {
+    // ig-lint: allow(shape-contract) -- exercises the runtime check
+    let bad = Matrix::from_vec(2, 2, vec![0.0; 3]);
+    consume(bad);
+}

@@ -124,6 +124,94 @@ fn diagnostics_carry_column_and_render() {
 }
 
 #[test]
+fn e1_error_flow_fires_at_expected_lines() {
+    let diags = lint_fixture(include_str!("fixtures/e1_error_flow.rs"));
+    assert_eq!(
+        lines_for(&diags, "error-flow"),
+        vec![8, 9, 10, 11],
+        "diags: {diags:#?}"
+    );
+}
+
+#[test]
+fn e1_strict_scope_flags_any_discard() {
+    let src = include_str!("fixtures/e1_strict.rs");
+    let strict = check_source_with(
+        "crates/faults/src/fixture.rs",
+        src,
+        FileClass::Library,
+        false,
+    );
+    assert_eq!(
+        lines_for(&strict, "error-flow"),
+        vec![4, 5, 6],
+        "diags: {strict:#?}"
+    );
+    // Outside strict scope the same discards are legal: none of the callees
+    // are provably fallible.
+    let lax = check_source_with("fixture.rs", src, FileClass::Library, false);
+    assert!(lines_for(&lax, "error-flow").is_empty(), "diags: {lax:#?}");
+}
+
+#[test]
+fn h1_hot_loop_alloc_fires_at_expected_lines() {
+    let src = include_str!("fixtures/h1_hot_loop.rs");
+    let hot = check_source_with(
+        "crates/imaging/src/fixture.rs",
+        src,
+        FileClass::Library,
+        false,
+    );
+    assert_eq!(
+        lines_for(&hot, "hot-loop-alloc"),
+        vec![7, 8, 9, 19],
+        "diags: {hot:#?}"
+    );
+    // The same allocations off the hot paths are out of scope.
+    let cold = check_source_with("fixture.rs", src, FileClass::Library, false);
+    assert!(
+        lines_for(&cold, "hot-loop-alloc").is_empty(),
+        "diags: {cold:#?}"
+    );
+}
+
+#[test]
+fn s1_shape_contract_fires_at_expected_lines() {
+    let diags = lint_fixture(include_str!("fixtures/s1_shape.rs"));
+    assert_eq!(
+        lines_for(&diags, "shape-contract"),
+        vec![4, 5, 6, 7, 8],
+        "diags: {diags:#?}"
+    );
+}
+
+#[test]
+fn malformed_source_degrades_to_token_rules() {
+    // `fn broken(((( {` never parses; the token-level panic rule must still
+    // fire on the well-formed function below it, and nothing may panic.
+    let diags = lint_fixture(include_str!("fixtures/parse_recovery.rs"));
+    assert_eq!(lines_for(&diags, "panic"), vec![7], "diags: {diags:#?}");
+}
+
+#[test]
+fn fix_roundtrip_clears_error_flow() {
+    let src = include_str!("fixtures/fix_roundtrip.rs");
+    let rel = "crates/faults/src/fixture.rs";
+    let before = check_source_with(rel, src, FileClass::Library, false);
+    assert!(!lines_for(&before, "error-flow").is_empty());
+
+    let fixes = ig_lint::fix::plan_fixes(rel, src, Some(FileClass::Library));
+    assert!(!fixes.is_empty(), "expected mechanical fixes to be planned");
+    let fixed = ig_lint::fix::apply_fixes(src, &fixes);
+
+    let after = check_source_with(rel, &fixed, FileClass::Library, false);
+    assert!(
+        lines_for(&after, "error-flow").is_empty(),
+        "fixed:\n{fixed}\ndiags: {after:#?}"
+    );
+}
+
+#[test]
 fn workspace_walk_skips_fixtures_and_target() {
     // Walk this crate's own directory: the fixtures directory (full of
     // deliberate violations) must not be collected.
