@@ -1,10 +1,12 @@
 //! Ablation bench: feature generation (the FGF bank) serial vs parallel,
-//! and throughput vs pattern count — the pipeline's hot loop.
+//! throughput vs pattern count, and the batched matching engine against
+//! the per-call matchers — the pipeline's hot loop.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ig_bench::{defect_pattern, image_batch};
 use ig_core::{FeatureGenerator, Pattern, PatternSource};
-use ig_imaging::GrayImage;
+use ig_imaging::ncc::PyramidMatchConfig;
+use ig_imaging::{match_template_pyramid, GrayImage};
 
 fn make_generator(num_patterns: usize) -> FeatureGenerator {
     let patterns: Vec<GrayImage> = (0..num_patterns)
@@ -43,5 +45,55 @@ fn bench_parallelism(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pattern_count, bench_parallelism);
+/// The satellite measurement for the batched engine: a 32-image ×
+/// 16-pattern feature matrix, per-call matchers (every cell rebuilds the
+/// image pyramid + integral tables and re-reduces the pattern) vs the
+/// prepared engine (caches built once, work-stealing cell scheduling).
+fn bench_batch_engine(c: &mut Criterion) {
+    let images = image_batch(32, 160, 40, 7);
+    let refs: Vec<&GrayImage> = images.iter().collect();
+    let patterns: Vec<GrayImage> = (0..16)
+        .map(|i| defect_pattern(10 + (i % 4), i as u64))
+        .collect();
+    let config = PyramidMatchConfig::default();
+    let mut group = c.benchmark_group("fgf_batch_32x16");
+    group.sample_size(10);
+    group.bench_function("per_call", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for img in &refs {
+                for pat in &patterns {
+                    acc += match_template_pyramid(img, pat, &config)
+                        .map(|m| m.score)
+                        .unwrap_or(0.0);
+                }
+            }
+            acc
+        })
+    });
+    let serial = FeatureGenerator::new(Pattern::wrap_all(patterns.clone(), PatternSource::Crowd))
+        .expect("nonempty pattern bank")
+        .with_threads(1);
+    group.bench_function("prepared_serial", |b| {
+        b.iter(|| serial.feature_matrix(&refs))
+    });
+    let prepped = serial.prepare_images(&refs);
+    group.bench_function("prepared_images_serial", |b| {
+        b.iter(|| serial.feature_matrix_prepared(&prepped))
+    });
+    let threaded = FeatureGenerator::new(Pattern::wrap_all(patterns, PatternSource::Crowd))
+        .expect("nonempty pattern bank")
+        .with_threads(4);
+    group.bench_function("prepared_threads4", |b| {
+        b.iter(|| threaded.feature_matrix(&refs))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pattern_count,
+    bench_parallelism,
+    bench_batch_engine
+);
 criterion_main!(benches);

@@ -6,14 +6,27 @@
 //! consists of all output values of the FGFs on each image is used as the
 //! input of the labeler". Matching uses the paper's pyramid method by
 //! default; the exact scan exists for the ablation bench.
+//!
+//! This is the pipeline's hot path, so it runs as a **batched matching
+//! engine**: the pattern bank is prepared once at construction
+//! ([`ig_imaging::prepared::PreparedPattern`] — reduced + mean-centred
+//! stacks per pyramid level, plus cached fitted shrinks for oversized
+//! patterns), each image is prepared once per batch
+//! ([`ig_imaging::prepared::PreparedImage`] — pyramid + integral tables),
+//! and the N×M (image × pattern) cell grid is scheduled through a
+//! work-stealing atomic cursor so large images or deep-pyramid patterns
+//! can't serialize a fixed chunk. Scores are bit-identical to the
+//! per-call matchers (pinned by proptests in `crates/core/tests`).
 
 use crate::pattern::Pattern;
 use crate::{CoreError, Result};
 use ig_faults::{FaultKind, FaultPlan, HealthReport, RecoveryAction, Stage};
-use ig_imaging::ncc::{match_template, match_template_pyramid, PyramidMatchConfig};
-use ig_imaging::resize::resize_bilinear;
+use ig_imaging::ncc::PyramidMatchConfig;
+use ig_imaging::prepared::{match_prepared, match_prepared_exact, PreparedImage, PreparedPattern};
 use ig_imaging::GrayImage;
 use ig_nn::Matrix;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// Pixel variance below which a pattern is degenerate: NCC normalizes by
 /// the pattern's standard deviation, so a (near-)constant pattern can
@@ -47,6 +60,10 @@ pub struct FeatureGenerator {
     /// its FGF always emits 0.0 without touching the matcher. Feature
     /// dimensionality stays equal to the pattern count either way.
     active: Vec<bool>,
+    /// Prepared form of each active pattern, built once at construction
+    /// and shared across every image, batch, and clone of this generator.
+    /// `None` for quarantined (or unpreparable) patterns.
+    prepared: Vec<Option<Arc<PreparedPattern>>>,
     backend: MatchBackend,
     pyramid: PyramidMatchConfig,
     threads: usize,
@@ -96,11 +113,37 @@ impl FeatureGenerator {
                 ok
             })
             .collect();
+        let pyramid = PyramidMatchConfig::default();
+        // Prepare the bank once: reduced + centred stacks per level. Every
+        // image this generator ever scores reuses them.
+        let prepared: Vec<Option<Arc<PreparedPattern>>> = patterns
+            .iter()
+            .zip(&active)
+            .enumerate()
+            .map(|(i, (p, &ok))| {
+                if !ok {
+                    return None;
+                }
+                match PreparedPattern::new(&p.image, &pyramid) {
+                    Ok(pp) => Some(Arc::new(pp)),
+                    Err(e) => {
+                        health.record(
+                            Stage::Features,
+                            FaultKind::MatchError,
+                            RecoveryAction::QuarantinedPattern,
+                            format!("pattern {i}: preparation failed ({e}); FGF pinned to 0.0"),
+                        );
+                        None
+                    }
+                }
+            })
+            .collect();
         Ok(Self {
             patterns,
             active,
+            prepared,
             backend: MatchBackend::Pyramid,
-            pyramid: PyramidMatchConfig::default(),
+            pyramid,
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
@@ -134,89 +177,54 @@ impl FeatureGenerator {
         &self.patterns
     }
 
+    /// Total fitted-pattern resizes performed so far across the bank.
+    /// Each build is one bilinear resize, cached per distinct target
+    /// dims — matching one oversized pattern against any number of
+    /// same-shaped images costs exactly one.
+    pub fn fitted_resize_builds(&self) -> usize {
+        self.prepared.iter().flatten().map(|p| p.fit_builds()).sum()
+    }
+
+    /// Build the per-image pyramid + integral caches for a batch. The
+    /// result is reusable across any number of
+    /// [`FeatureGenerator::feature_matrix_prepared`] calls — and across
+    /// generators with *different pattern banks*, because the cache
+    /// depends only on the image and the default pyramid config.
+    pub fn prepare_images(&self, images: &[&GrayImage]) -> Vec<PreparedImage> {
+        images
+            .iter()
+            .map(|img| PreparedImage::new(img, &self.pyramid))
+            .collect()
+    }
+
     /// Feature vector of one image: max NCC score per pattern. Patterns
     /// larger than the image are shrunk to fit (keeping aspect) before
-    /// matching, mirroring the paper's re-adjustment of pattern sizes.
-    /// Quarantined patterns contribute a constant 0.0.
+    /// matching, mirroring the paper's re-adjustment of pattern sizes;
+    /// the shrink is cached on the pattern per target dims. Quarantined
+    /// patterns contribute a constant 0.0.
     pub fn features_for(&self, image: &GrayImage) -> Vec<f32> {
-        self.patterns
-            .iter()
-            .zip(&self.active)
-            .map(|(p, &active)| {
-                if active {
-                    self.match_one(image, &p.image).0
-                } else {
-                    0.0
-                }
-            })
+        let prep = PreparedImage::new(image, &self.pyramid);
+        (0..self.patterns.len())
+            .map(|col| self.match_cell(&prep, col).0)
             .collect()
     }
 
-    /// `features_for` with fault injection and per-value health events:
-    /// matcher errors and non-finite scores are recorded (and sanitized
-    /// to 0.0) instead of silently swallowed.
-    fn features_for_health(
-        &self,
-        image: &GrayImage,
-        row: usize,
-        plan: Option<&FaultPlan>,
-        health: &HealthReport,
-    ) -> Vec<f32> {
-        self.patterns
-            .iter()
-            .zip(&self.active)
-            .enumerate()
-            .map(|(col, (p, &active))| {
-                if !active {
-                    return 0.0;
-                }
-                let (mut v, error) = self.match_one(image, &p.image);
-                if let Some(msg) = error {
-                    health.record(
-                        Stage::Features,
-                        FaultKind::MatchError,
-                        RecoveryAction::SanitizedValue,
-                        format!("image {row}, pattern {col}: {msg}"),
-                    );
-                }
-                if let Some(plan) = plan {
-                    v = plan.corrupt_feature(row, col, v);
-                }
-                if !v.is_finite() {
-                    health.record(
-                        Stage::Features,
-                        FaultKind::NonFiniteFeature,
-                        RecoveryAction::SanitizedValue,
-                        format!("image {row}, pattern {col}: {v} replaced with 0.0"),
-                    );
-                    v = 0.0;
-                }
-                v
-            })
-            .collect()
-    }
-
-    fn match_one(&self, image: &GrayImage, pattern: &GrayImage) -> (f32, Option<String>) {
-        let fitted;
-        let pattern = if pattern.width() > image.width() || pattern.height() > image.height() {
-            let sx = image.width() as f32 / pattern.width() as f32;
-            let sy = image.height() as f32 / pattern.height() as f32;
-            let s = sx.min(sy).min(1.0);
-            let nw = ((pattern.width() as f32 * s) as usize).max(1);
-            let nh = ((pattern.height() as f32 * s) as usize).max(1);
-            match resize_bilinear(pattern, nw, nh) {
-                Ok(img) => {
-                    fitted = img;
-                    &fitted
-                }
-                Err(e) => return (0.0, Some(format!("pattern resize failed: {e}"))),
-            }
-        } else {
-            pattern
+    /// Score one (image, pattern) cell from prepared operands. Quarantined
+    /// patterns score 0.0; matcher errors surface as a message for the
+    /// caller's health report.
+    fn match_cell(&self, image: &PreparedImage, col: usize) -> (f32, Option<String>) {
+        let Some(pattern) = self.prepared.get(col).and_then(|p| p.as_deref()) else {
+            return (0.0, None);
         };
+        let (iw, ih) = image.dims();
+        let fitted = match pattern.fitted_for(iw, ih) {
+            Ok(f) => f,
+            Err(e) => return (0.0, Some(format!("pattern resize failed: {e}"))),
+        };
+        let pattern = fitted.as_deref().unwrap_or(pattern);
         let result = match self.backend {
-            MatchBackend::Exact => match_template(image, pattern),
-            MatchBackend::Pyramid => match_template_pyramid(image, pattern, &self.pyramid),
+            MatchBackend::Exact => match_prepared_exact(image, pattern),
+            MatchBackend::Pyramid => match_prepared(image, pattern, &self.pyramid),
         };
         match result {
             Ok(m) => (m.score, None),
@@ -224,79 +232,191 @@ impl FeatureGenerator {
         }
     }
 
-    /// Feature matrix for a batch of images (rows = images), computed in
-    /// parallel across images with scoped threads. A panicking worker no
-    /// longer aborts the batch — its chunk is recomputed serially.
+    /// [`FeatureGenerator::match_cell`] plus the fault ladder: matcher
+    /// errors and non-finite scores are recorded (and sanitized to 0.0)
+    /// instead of silently swallowed, and the chaos plan may corrupt the
+    /// value first.
+    fn finish_cell(
+        &self,
+        image: &PreparedImage,
+        row: usize,
+        col: usize,
+        plan: Option<&FaultPlan>,
+        health: &HealthReport,
+    ) -> f32 {
+        let (mut v, error) = self.match_cell(image, col);
+        if let Some(msg) = error {
+            health.record(
+                Stage::Features,
+                FaultKind::MatchError,
+                RecoveryAction::SanitizedValue,
+                format!("image {row}, pattern {col}: {msg}"),
+            );
+        }
+        if let Some(plan) = plan {
+            v = plan.corrupt_feature(row, col, v);
+        }
+        if !v.is_finite() {
+            health.record(
+                Stage::Features,
+                FaultKind::NonFiniteFeature,
+                RecoveryAction::SanitizedValue,
+                format!("image {row}, pattern {col}: {v} replaced with 0.0"),
+            );
+            v = 0.0;
+        }
+        v
+    }
+
+    /// Feature matrix for a batch of images (rows = images). Each image
+    /// is prepared once, the pattern bank was prepared at construction,
+    /// and the N×M cell grid is scheduled across worker threads by a
+    /// work-stealing cursor.
     pub fn feature_matrix(&self, images: &[&GrayImage]) -> Matrix {
         self.feature_matrix_with_health(images, None, &HealthReport::new())
     }
 
     /// [`FeatureGenerator::feature_matrix`] with fault injection and
-    /// health reporting. Recovery ladder per chunk: a worker thread that
-    /// panics (injected or real) is joined individually, the panic is
-    /// contained, and its rows are recomputed serially on the calling
-    /// thread, so one bad thread costs latency instead of the batch.
+    /// health reporting. Recovery is cell-granular: a worker thread that
+    /// panics (injected or real) is joined individually, and only the
+    /// cells it claimed but never delivered — plus any left unclaimed —
+    /// are recomputed serially on the calling thread, so one bad thread
+    /// costs a few cells of latency instead of a whole image chunk.
     pub fn feature_matrix_with_health(
         &self,
         images: &[&GrayImage],
         plan: Option<&FaultPlan>,
         health: &HealthReport,
     ) -> Matrix {
-        let n = images.len();
+        // Per-image caches fill lazily inside the worker pool, so image
+        // preparation itself is parallelized across the batch.
+        let slots: Vec<OnceLock<PreparedImage>> = images.iter().map(|_| OnceLock::new()).collect();
+        let prep_of =
+            |i: usize| slots[i].get_or_init(|| PreparedImage::new(images[i], &self.pyramid));
+        self.matrix_engine(images.len(), &prep_of, plan, health)
+    }
+
+    /// Feature matrix over images prepared earlier with
+    /// [`FeatureGenerator::prepare_images`] — skips even the per-batch
+    /// pyramid/integral builds. Rows follow `images` order.
+    pub fn feature_matrix_prepared(&self, images: &[PreparedImage]) -> Matrix {
+        self.feature_matrix_prepared_with_health(images, None, &HealthReport::new())
+    }
+
+    /// [`FeatureGenerator::feature_matrix_prepared`] with fault injection
+    /// and health reporting (same ladder as
+    /// [`FeatureGenerator::feature_matrix_with_health`]).
+    pub fn feature_matrix_prepared_with_health(
+        &self,
+        images: &[PreparedImage],
+        plan: Option<&FaultPlan>,
+        health: &HealthReport,
+    ) -> Matrix {
+        let prep_of = |i: usize| &images[i];
+        self.matrix_engine(images.len(), &prep_of, plan, health)
+    }
+
+    /// The batched engine: schedule all `n × num_patterns` cells over the
+    /// worker pool with an atomic work-stealing cursor, then assemble the
+    /// matrix. `prep_of` yields the prepared form of image `i` (lazily
+    /// built or supplied by the caller).
+    fn matrix_engine<'a, F>(
+        &self,
+        n: usize,
+        prep_of: &F,
+        plan: Option<&FaultPlan>,
+        health: &HealthReport,
+    ) -> Matrix
+    where
+        F: Fn(usize) -> &'a PreparedImage + Sync,
+    {
+        let m = self.patterns.len();
         if n == 0 {
-            return Matrix::zeros(0, self.num_features());
+            return Matrix::zeros(0, m);
         }
-        let threads = self.threads.min(n);
+        let total = n * m;
+        let threads = self.threads.min(total);
+        let mut cells: Vec<Option<f32>> = vec![None; total];
         if threads <= 1 {
-            let rows: Vec<Vec<f32>> = images
-                .iter()
-                .enumerate()
-                .map(|(r, img)| self.features_for_health(img, r, plan, health))
-                .collect();
-            return Matrix::from_rows(&rows);
-        }
-        let mut rows: Vec<Vec<f32>> = vec![Vec::new(); n];
-        let chunk = n.div_ceil(threads);
-        let mut failed_chunks: Vec<usize> = Vec::new();
-        let scope_result = crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for (ci, (slot, img_chunk)) in
-                rows.chunks_mut(chunk).zip(images.chunks(chunk)).enumerate()
-            {
-                let handle = scope.spawn(move |_| {
-                    if plan.is_some_and(|p| p.worker_panic(ci)) {
-                        // ig-lint: allow(panic) -- deliberate injected fault;
-                        // the recovery ladder catches it and re-runs the chunk
-                        panic!("injected fault: feature worker {ci} panicked");
-                    }
-                    for (i, (row, img)) in slot.iter_mut().zip(img_chunk).enumerate() {
-                        *row = self.features_for_health(img, ci * chunk + i, plan, health);
-                    }
-                });
-                handles.push((ci, handle));
-            }
-            // Join each worker individually: a panic surfaces as Err here
-            // instead of tearing down the scope.
-            for (ci, handle) in handles {
-                if handle.join().is_err() {
-                    failed_chunks.push(ci);
+            for i in 0..n {
+                let prep = prep_of(i);
+                for (j, cell) in cells.iter_mut().skip(i * m).take(m).enumerate() {
+                    *cell = Some(self.finish_cell(prep, i, j, plan, health));
                 }
             }
-        });
-        debug_assert!(scope_result.is_ok(), "all workers were joined in-scope");
-        for ci in failed_chunks {
-            health.record(
-                Stage::Features,
-                FaultKind::WorkerPanic,
-                RecoveryAction::SerialRecompute,
-                format!("feature worker chunk {ci} panicked; rows recomputed serially"),
-            );
-            let start = ci * chunk;
-            let end = (start + chunk).min(n);
-            for r in start..end {
-                rows[r] = self.features_for_health(images[r], r, plan, health);
+        } else {
+            let cursor = AtomicUsize::new(0);
+            let mut panicked: Vec<usize> = Vec::new();
+            let scope_result = crossbeam::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for w in 0..threads {
+                    let cursor = &cursor;
+                    let handle = scope.spawn(move |_| {
+                        let poisoned = plan.is_some_and(|p| p.worker_panic(w));
+                        let mut local: Vec<(usize, f32)> = Vec::new();
+                        loop {
+                            let cell = cursor.fetch_add(1, Ordering::Relaxed);
+                            if cell >= total {
+                                break;
+                            }
+                            if poisoned {
+                                // ig-lint: allow(panic) -- deliberate injected
+                                // fault; cell-granular recovery recomputes the
+                                // claimed-but-undelivered cells serially
+                                panic!("injected fault: feature worker {w} panicked");
+                            }
+                            // Pattern-major order: cell c is (image c % n,
+                            // pattern c / n), so workers start on distinct
+                            // images and the per-image cache builds run in
+                            // parallel instead of serializing on image 0.
+                            let (i, j) = (cell % n, cell / n);
+                            local.push((
+                                i * m + j,
+                                self.finish_cell(prep_of(i), i, j, plan, health),
+                            ));
+                        }
+                        local
+                    });
+                    handles.push((w, handle));
+                }
+                // Join each worker individually: a panic surfaces as Err
+                // here instead of tearing down the scope.
+                for (w, handle) in handles {
+                    match handle.join() {
+                        Ok(local) => {
+                            for (idx, v) in local {
+                                cells[idx] = Some(v);
+                            }
+                        }
+                        Err(_) => panicked.push(w),
+                    }
+                }
+            });
+            debug_assert!(scope_result.is_ok(), "all workers were joined in-scope");
+            if !panicked.is_empty() {
+                let lost = cells.iter().filter(|c| c.is_none()).count();
+                for w in &panicked {
+                    health.record(
+                        Stage::Features,
+                        FaultKind::WorkerPanic,
+                        RecoveryAction::SerialRecompute,
+                        format!(
+                            "feature worker {w} panicked; {lost} lost cells recomputed serially"
+                        ),
+                    );
+                }
+                for (idx, cell) in cells.iter_mut().enumerate() {
+                    if cell.is_none() {
+                        let (i, j) = (idx / m, idx % m);
+                        *cell = Some(self.finish_cell(prep_of(i), i, j, plan, health));
+                    }
+                }
             }
         }
+        let rows: Vec<Vec<f32>> = cells
+            .chunks(m)
+            .map(|row| row.iter().map(|c| c.unwrap_or(0.0)).collect())
+            .collect();
         Matrix::from_rows(&rows)
     }
 
@@ -403,6 +523,36 @@ mod tests {
     }
 
     #[test]
+    fn oversized_pattern_resize_runs_once_per_target_dims() {
+        // Regression: the fit used to be recomputed for every image. One
+        // oversized pattern scored against many same-shaped images must
+        // resize exactly once; a second distinct image shape adds one.
+        let big = Pattern::augmented(
+            GrayImage::from_fn(100, 100, |x, y| {
+                0.5 + 0.3 * ((x as f32 * 0.07).sin() * (y as f32 * 0.07).cos())
+            }),
+            PatternSource::Gan,
+        );
+        let fg = FeatureGenerator::new(vec![big]).unwrap().with_threads(4);
+        let images: Vec<GrayImage> = (0..6)
+            .map(|i| {
+                GrayImage::from_fn(32, 24, move |x, y| {
+                    0.5 + 0.3 * (((x + i) as f32 * 0.2).sin() * (y as f32 * 0.2).cos())
+                })
+            })
+            .collect();
+        let refs: Vec<&GrayImage> = images.iter().collect();
+        assert_eq!(fg.fitted_resize_builds(), 0);
+        fg.feature_matrix(&refs);
+        assert_eq!(fg.fitted_resize_builds(), 1, "one resize for 6 images");
+        fg.feature_matrix(&refs);
+        assert_eq!(fg.fitted_resize_builds(), 1, "second batch is cached");
+        let other = GrayImage::from_fn(40, 30, |x, y| 0.4 + 0.01 * ((x * y) % 7) as f32);
+        fg.features_for(&other);
+        assert_eq!(fg.fitted_resize_builds(), 2, "new target dims, one more");
+    }
+
+    #[test]
     fn parallel_matches_serial() {
         let pats = vec![defect_pattern(), defect_pattern()];
         let images: Vec<GrayImage> = (0..7).map(|i| image_with_defect((i * 5, 10))).collect();
@@ -419,6 +569,26 @@ mod tests {
         for (a, b) in serial.as_slice().iter().zip(parallel.as_slice()) {
             assert_eq!(a, b, "parallel result differs");
         }
+    }
+
+    #[test]
+    fn prepared_batch_matches_unprepared() {
+        let pats = vec![defect_pattern(), defect_pattern(), defect_pattern()];
+        let images: Vec<GrayImage> = (0..5).map(|i| image_with_defect((i * 7, 9))).collect();
+        let refs: Vec<&GrayImage> = images.iter().collect();
+        let fg = FeatureGenerator::new(pats).unwrap().with_threads(3);
+        let direct = fg.feature_matrix(&refs);
+        let prepped = fg.prepare_images(&refs);
+        let via_prepared = fg.feature_matrix_prepared(&prepped);
+        assert_eq!(direct.shape(), via_prepared.shape());
+        assert_eq!(direct.as_slice(), via_prepared.as_slice());
+        // And the same prepared set is reusable by a different generator.
+        let fg2 = FeatureGenerator::new(vec![defect_pattern()])
+            .unwrap()
+            .with_threads(2);
+        let m2 = fg2.feature_matrix_prepared(&prepped);
+        assert_eq!(m2.shape(), (5, 1));
+        assert_eq!(m2.as_slice(), fg2.feature_matrix(&refs).as_slice());
     }
 
     #[test]
@@ -472,7 +642,7 @@ mod tests {
             .feature_matrix(&refs);
         let plan = FaultPlan {
             seed: 5,
-            worker_panic_rate: 1.0, // every worker chunk panics
+            worker_panic_rate: 1.0, // every worker panics
             ..FaultPlan::default()
         };
         let health = HealthReport::new();

@@ -13,6 +13,7 @@ use crate::pattern::Pattern;
 use crate::tuning::{tune_labeler_with_health, TuningConfig, TuningReport};
 use crate::Result;
 use ig_faults::{FaultKind, FaultPlan, HealthReport, RecoveryAction, Stage};
+use ig_imaging::prepared::PreparedImage;
 use ig_imaging::GrayImage;
 use ig_nn::Matrix;
 use rand::Rng;
@@ -62,6 +63,10 @@ pub struct WeakLabelOutput {
 pub struct InspectorGadget {
     feature_gen: FeatureGenerator,
     labeler: Labeler,
+    /// Development-set feature matrix computed during training, kept so
+    /// downstream consumers (experiments, error analysis) reuse it
+    /// instead of re-running the matching engine.
+    dev_features: Matrix,
     /// Tuning report when tuning ran.
     pub tuning_report: Option<TuningReport>,
     /// Every fault detected and recovery taken during training.
@@ -112,13 +117,77 @@ impl InspectorGadget {
         plan: Option<&FaultPlan>,
     ) -> Result<Self> {
         let health = HealthReport::new();
-        let mut feature_gen = FeatureGenerator::new_with_health(patterns, plan, &health)?
-            .with_backend(config.backend);
+        let feature_gen = Self::build_feature_gen(patterns, config, plan, &health)?;
+        let features = feature_gen.feature_matrix_with_health(dev_images, plan, &health);
+        Self::finish_training(
+            feature_gen,
+            features,
+            dev_labels,
+            num_classes,
+            config,
+            rng,
+            plan,
+            health,
+        )
+    }
+
+    /// [`InspectorGadget::train_with_plan`] over images prepared once with
+    /// [`FeatureGenerator::prepare_images`] — the per-image pyramid and
+    /// integral caches are supplied by the caller, so training a second
+    /// generator (or ablation arm) on the same development set skips the
+    /// image-preparation work entirely.
+    #[allow(clippy::too_many_arguments)]
+    pub fn train_prepared(
+        patterns: Vec<Pattern>,
+        dev_images: &[PreparedImage],
+        dev_labels: &[usize],
+        num_classes: usize,
+        config: &PipelineConfig,
+        rng: &mut impl Rng,
+        plan: Option<&FaultPlan>,
+    ) -> Result<Self> {
+        let health = HealthReport::new();
+        let feature_gen = Self::build_feature_gen(patterns, config, plan, &health)?;
+        let features = feature_gen.feature_matrix_prepared_with_health(dev_images, plan, &health);
+        Self::finish_training(
+            feature_gen,
+            features,
+            dev_labels,
+            num_classes,
+            config,
+            rng,
+            plan,
+            health,
+        )
+    }
+
+    fn build_feature_gen(
+        patterns: Vec<Pattern>,
+        config: &PipelineConfig,
+        plan: Option<&FaultPlan>,
+        health: &HealthReport,
+    ) -> Result<FeatureGenerator> {
+        let mut feature_gen =
+            FeatureGenerator::new_with_health(patterns, plan, health)?.with_backend(config.backend);
         if config.threads > 0 {
             feature_gen = feature_gen.with_threads(config.threads);
         }
-        let features = feature_gen.feature_matrix_with_health(dev_images, plan, &health);
+        Ok(feature_gen)
+    }
 
+    /// Shared tail of both training entry points: tune (or fit fixed) on
+    /// the computed development features, assembling the final model.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_training(
+        feature_gen: FeatureGenerator,
+        features: Matrix,
+        dev_labels: &[usize],
+        num_classes: usize,
+        config: &PipelineConfig,
+        rng: &mut impl Rng,
+        plan: Option<&FaultPlan>,
+        health: HealthReport,
+    ) -> Result<Self> {
         let (labeler, report) = if config.tune {
             match tune_labeler_with_health(
                 &features,
@@ -166,6 +235,7 @@ impl InspectorGadget {
         Ok(Self {
             feature_gen,
             labeler,
+            dev_features: features,
             tuning_report: report,
             health,
         })
@@ -181,9 +251,26 @@ impl InspectorGadget {
         &self.feature_gen
     }
 
+    /// The development-set feature matrix computed during training.
+    /// Experiments that previously re-matched the dev set after training
+    /// should read this instead — it is exactly what the labeler was
+    /// tuned and fit on.
+    pub fn dev_features(&self) -> &Matrix {
+        &self.dev_features
+    }
+
     /// Generate weak labels for a batch of images.
     pub fn label(&self, images: &[&GrayImage]) -> WeakLabelOutput {
         let features = self.feature_gen.feature_matrix(images);
+        self.label_from_features(&features)
+    }
+
+    /// [`InspectorGadget::label`] over images prepared once with
+    /// [`FeatureGenerator::prepare_images`] — lets callers label the same
+    /// batch with several trained models (ablation arms) while building
+    /// each image's pyramid and integral tables exactly once.
+    pub fn label_prepared(&self, images: &[PreparedImage]) -> WeakLabelOutput {
+        let features = self.feature_gen.feature_matrix_prepared(images);
         self.label_from_features(&features)
     }
 
@@ -348,6 +435,50 @@ mod tests {
         let features = ig.feature_generator().feature_matrix(&refs);
         let via_features = ig.label_from_features(&features);
         assert_eq!(direct.labels, via_features.labels);
+    }
+
+    #[test]
+    fn train_prepared_matches_unprepared_training() {
+        let (patterns, images, labels) = make_task(40, 21);
+        let refs: Vec<&GrayImage> = images.iter().collect();
+        let config = PipelineConfig {
+            tune: false,
+            ..Default::default()
+        };
+        let mut rng_a = StdRng::seed_from_u64(22);
+        let plain = InspectorGadget::train(
+            patterns.clone(),
+            &refs[..30],
+            &labels[..30],
+            2,
+            &config,
+            &mut rng_a,
+        )
+        .unwrap();
+        let prepped = plain.feature_generator().prepare_images(&refs);
+        let mut rng_b = StdRng::seed_from_u64(22);
+        let prepared = InspectorGadget::train_prepared(
+            patterns,
+            &prepped[..30],
+            &labels[..30],
+            2,
+            &config,
+            &mut rng_b,
+            None,
+        )
+        .unwrap();
+        assert_eq!(
+            plain.dev_features().as_slice(),
+            prepared.dev_features().as_slice(),
+            "prepared training must see bit-identical dev features"
+        );
+        let out_a = plain.label(&refs[30..]);
+        let out_b = prepared.label_prepared(&prepped[30..]);
+        assert_eq!(out_a.labels, out_b.labels);
+        assert_eq!(
+            out_a.probabilities.as_slice(),
+            out_b.probabilities.as_slice()
+        );
     }
 
     #[test]

@@ -7,10 +7,12 @@
 //! keeping at least 20 examples per class when possible) and the best
 //! architecture is retrained on the full development set.
 
+use crate::features::FeatureGenerator;
 use crate::labeler::{Labeler, LabelerConfig};
 use crate::{CoreError, Result};
 use ig_eval::metrics::{binary_f1, macro_f1};
 use ig_faults::{FaultKind, HealthReport, RecoveryAction, Stage};
+use ig_imaging::prepared::PreparedImage;
 use ig_nn::lbfgs::LbfgsConfig;
 use ig_nn::train::{paper_fold_count, stratified_kfold};
 use ig_nn::Matrix;
@@ -249,6 +251,31 @@ pub fn tune_labeler_with_health(
     ))
 }
 
+/// Tune straight from prepared images: the batched matching engine runs
+/// exactly once here, and the resulting feature matrix is shared by every
+/// candidate architecture and every cross-validation fold (folds only
+/// `select_rows`; they never re-match patterns). Returns the matrix
+/// alongside the tuned labeler so callers can keep reusing it — e.g. for
+/// the final refit or downstream error analysis.
+#[allow(clippy::too_many_arguments)]
+pub fn tune_labeler_on_prepared(
+    fg: &FeatureGenerator,
+    images: &[PreparedImage],
+    labels: &[usize],
+    num_classes: usize,
+    config: &TuningConfig,
+    rng: &mut impl Rng,
+    health: Option<&HealthReport>,
+) -> Result<(Labeler, TuningReport, Matrix)> {
+    let features = match health {
+        Some(h) => fg.feature_matrix_prepared_with_health(images, None, h),
+        None => fg.feature_matrix_prepared(images),
+    };
+    let (labeler, report) =
+        tune_labeler_with_health(&features, labels, num_classes, config, rng, health)?;
+    Ok((labeler, report, features))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -332,6 +359,48 @@ mod tests {
             .map(|c| c.cv_f1)
             .fold(f64::NEG_INFINITY, f64::max);
         assert!((best_in_list - report.best_cv_f1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tune_on_prepared_matches_tuning_on_computed_features() {
+        use crate::pattern::Pattern;
+        use ig_imaging::GrayImage;
+        let mut pat = GrayImage::filled(7, 7, 0.15);
+        pat.fill_rect(0, 0, 7, 1, 0.6);
+        let fg = FeatureGenerator::new(vec![Pattern::crowd(pat)]).unwrap();
+        let mut images = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..60 {
+            let defect = i % 2 == 1;
+            let mut img = GrayImage::from_fn(48, 32, |x, y| {
+                0.65 + 0.05 * ((x as f32 * 0.4).sin() * (y as f32 * 0.3).cos())
+            });
+            if defect {
+                img.fill_rect(2 + (i % 30), 2 + (i % 20), 7, 7, 0.15);
+            }
+            images.push(img);
+            labels.push(usize::from(defect));
+        }
+        let refs: Vec<&GrayImage> = images.iter().collect();
+        let config = TuningConfig {
+            max_hidden_layers: 1,
+            lbfgs: LbfgsConfig {
+                max_iters: 40,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let features = fg.feature_matrix(&refs);
+        let mut rng_a = StdRng::seed_from_u64(30);
+        let (labeler_a, report_a) =
+            tune_labeler(&features, &labels, 2, &config, &mut rng_a).unwrap();
+        let prepped = fg.prepare_images(&refs);
+        let mut rng_b = StdRng::seed_from_u64(30);
+        let (labeler_b, report_b, shared) =
+            tune_labeler_on_prepared(&fg, &prepped, &labels, 2, &config, &mut rng_b, None).unwrap();
+        assert_eq!(features.as_slice(), shared.as_slice());
+        assert_eq!(report_a.best_hidden, report_b.best_hidden);
+        assert_eq!(labeler_a.predict(&features), labeler_b.predict(&shared));
     }
 
     #[test]

@@ -2,13 +2,29 @@
 //! hostile the feature matrix (NaN, +/-Inf, huge, denormal cells from the
 //! `ig-faults` adversarial generators), fitting never panics and
 //! predictions are always finite, valid probability distributions.
+//!
+//! Also pins the batched matching engine's contracts: the prepared
+//! (cached pyramid/integral) matchers are bit-identical to the per-call
+//! matchers over random inputs, and cell-granular panic recovery
+//! reconstructs the serial result exactly.
 
-use ig_core::{FaultKind, HealthReport, Labeler, LabelerConfig, RecoveryAction};
+use ig_core::{
+    FaultKind, FeatureGenerator, HealthReport, Labeler, LabelerConfig, Pattern, RecoveryAction,
+};
 use ig_faults::inject::{adversarial_labels, adversarial_matrix, corrupt_matrix};
 use ig_faults::FaultPlan;
+use ig_imaging::ncc::PyramidMatchConfig;
+use ig_imaging::{
+    match_prepared, match_prepared_exact, match_template, match_template_pyramid, GrayImage,
+    PreparedImage, PreparedPattern,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
+
+fn random_image(w: usize, h: usize, rng: &mut StdRng) -> GrayImage {
+    GrayImage::from_fn(w, h, |_, _| rng.gen_range(0.0f32..1.0))
+}
 
 /// Probabilities must be finite, in [0, 1], and sum to 1 per row.
 fn assert_valid_distributions(proba: &ig_nn::Matrix) {
@@ -128,6 +144,66 @@ proptest! {
         let mut labeler = Labeler::new(cols, LabelerConfig::new(2), &mut rng).unwrap();
         let _ = labeler.fit(&x, &labels);
         assert_valid_distributions(&labeler.predict_proba(&x));
+    }
+
+    #[test]
+    fn prepared_matchers_bit_identical_to_per_call(
+        iw in 10usize..48,
+        ih in 10usize..40,
+        pw in 2usize..10,
+        ph in 2usize..10,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let img = random_image(iw, ih, &mut rng);
+        let pat = random_image(pw, ph, &mut rng);
+        let config = PyramidMatchConfig::default();
+        let prep_img = PreparedImage::new(&img, &config);
+        let prep_pat = PreparedPattern::new(&pat, &config).unwrap();
+        let a = match_template_pyramid(&img, &pat, &config).unwrap();
+        let b = match_prepared(&prep_img, &prep_pat, &config).unwrap();
+        prop_assert_eq!((a.x, a.y), (b.x, b.y));
+        prop_assert_eq!(a.score.to_bits(), b.score.to_bits(), "pyramid: {} vs {}", a.score, b.score);
+        let a = match_template(&img, &pat).unwrap();
+        let b = match_prepared_exact(&prep_img, &prep_pat).unwrap();
+        prop_assert_eq!((a.x, a.y), (b.x, b.y));
+        prop_assert_eq!(a.score.to_bits(), b.score.to_bits(), "exact: {} vs {}", a.score, b.score);
+    }
+
+    #[test]
+    fn cell_granular_panic_recovery_matches_serial_exactly(
+        n_images in 1usize..6,
+        threads in 2usize..6,
+        panic_rate in 0.3f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let images: Vec<GrayImage> = (0..n_images)
+            .map(|_| random_image(24, 18, &mut rng))
+            .collect();
+        let refs: Vec<&GrayImage> = images.iter().collect();
+        let patterns = vec![
+            Pattern::crowd(random_image(5, 5, &mut rng)),
+            Pattern::crowd(random_image(7, 4, &mut rng)),
+        ];
+        let serial = FeatureGenerator::new(patterns.clone())
+            .unwrap()
+            .with_threads(1)
+            .feature_matrix(&refs);
+        let plan = FaultPlan {
+            seed: seed ^ 0x50f7,
+            worker_panic_rate: panic_rate,
+            ..FaultPlan::default()
+        };
+        let health = HealthReport::new();
+        let recovered = FeatureGenerator::new(patterns)
+            .unwrap()
+            .with_threads(threads)
+            .feature_matrix_with_health(&refs, Some(&plan), &health);
+        prop_assert_eq!(serial.shape(), recovered.shape());
+        for (a, b) in serial.as_slice().iter().zip(recovered.as_slice()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "recovered {} vs serial {}", b, a);
+        }
     }
 
     #[test]

@@ -12,6 +12,19 @@ pub struct Split {
     pub test: Vec<usize>,
 }
 
+impl Split {
+    /// Materialize the split over any parallel slice: `(train, test)`
+    /// item references in index order. Generic so prepared per-image
+    /// caches (or images, or labels) flow through a split without
+    /// cloning or re-deriving indices.
+    pub fn select<'a, T>(&self, items: &'a [T]) -> (Vec<&'a T>, Vec<&'a T>) {
+        (
+            self.train.iter().map(|&i| &items[i]).collect(),
+            self.test.iter().map(|&i| &items[i]).collect(),
+        )
+    }
+}
+
 /// Split `labels.len()` samples into train/test with `test_fraction` of
 /// each class in the test set (rounded; at least one test sample per class
 /// that has ≥ 2 members).
@@ -88,6 +101,22 @@ mod tests {
         let s = stratified_split(&labels, 0.0, &mut rng);
         assert!(s.test.is_empty());
         assert_eq!(s.train.len(), 4);
+    }
+
+    #[test]
+    fn select_materializes_both_sides_in_index_order() {
+        let split = Split {
+            train: vec![0, 2, 3],
+            test: vec![1, 4],
+        };
+        let items = ["a", "b", "c", "d", "e"];
+        let (train, test) = split.select(&items);
+        assert_eq!(train, vec![&"a", &"c", &"d"]);
+        assert_eq!(test, vec![&"b", &"e"]);
+        // Works over any parallel slice, e.g. labels.
+        let labels = [10usize, 11, 12, 13, 14];
+        let (ltrain, _) = split.select(&labels);
+        assert_eq!(ltrain, vec![&10, &12, &13]);
     }
 
     #[test]

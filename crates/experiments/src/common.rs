@@ -7,6 +7,8 @@ use ig_core::{
 };
 use ig_crowd::{sample_dev_set, CrowdWorkflow};
 use ig_eval::metrics::{binary_f1, macro_f1};
+use ig_imaging::ncc::PyramidMatchConfig;
+use ig_imaging::prepared::PreparedImage;
 use ig_nn::Matrix;
 use ig_synth::spec::{DatasetKind, DatasetSpec};
 use ig_synth::{Dataset, LabeledImage, TaskType};
@@ -101,6 +103,11 @@ pub struct Prepared {
     /// Everything not in `dev_order` — the test set whose gold labels
     /// score the weak labels.
     pub test_indices: Vec<usize>,
+    /// Lazily built matching caches (pyramid + integral tables) for the
+    /// dev and test images, shared by every experiment arm that scores
+    /// this dataset.
+    dev_cache: std::sync::OnceLock<Vec<PreparedImage>>,
+    test_cache: std::sync::OnceLock<Vec<PreparedImage>>,
 }
 
 impl Prepared {
@@ -137,7 +144,32 @@ impl Prepared {
             dataset,
             dev_order,
             test_indices,
+            dev_cache: std::sync::OnceLock::new(),
+            test_cache: std::sync::OnceLock::new(),
         }
+    }
+
+    fn prepare(&self, indices: &[usize]) -> Vec<PreparedImage> {
+        let config = PyramidMatchConfig::default();
+        indices
+            .iter()
+            .map(|&i| PreparedImage::new(&self.dataset.images[i].image, &config))
+            .collect()
+    }
+
+    /// Prepared forms of the first `k` dev images (annotation order),
+    /// built once for the full dev set and shared by every arm.
+    pub fn dev_prepared_prefix(&self, k: usize) -> &[PreparedImage] {
+        let all = self.dev_cache.get_or_init(|| self.prepare(&self.dev_order));
+        let k = k.min(all.len());
+        &all[..k]
+    }
+
+    /// Prepared forms of the test images, built once and shared by every
+    /// arm that labels the test set.
+    pub fn test_prepared(&self) -> &[PreparedImage] {
+        self.test_cache
+            .get_or_init(|| self.prepare(&self.test_indices))
     }
 
     /// Number of classes of the task.
@@ -360,22 +392,43 @@ pub fn run_ig_with_patterns(
         tune,
         ..Default::default()
     };
-    let ig = InspectorGadget::train(
-        patterns,
-        &dev_images,
-        &dev_labels,
-        num_classes,
-        &config,
-        &mut rng,
-    )
+    // Every driver passes a prefix of the annotation order, which lets
+    // the dataset-wide prepared-image cache back the training batch; an
+    // arbitrary dev slice falls back to per-call preparation.
+    let dev_is_prefix = dev.len() <= prepared.dev_order.len()
+        && dev
+            .iter()
+            .zip(&prepared.dev_order)
+            .all(|(l, &i)| std::ptr::eq(*l, &prepared.dataset.images[i]));
+    let ig = if dev_is_prefix {
+        InspectorGadget::train_prepared(
+            patterns,
+            prepared.dev_prepared_prefix(dev.len()),
+            &dev_labels,
+            num_classes,
+            &config,
+            &mut rng,
+            None,
+        )
+    } else {
+        InspectorGadget::train(
+            patterns,
+            &dev_images,
+            &dev_labels,
+            num_classes,
+            &config,
+            &mut rng,
+        )
+    }
     .ok()?;
-    let test = prepared.test_images();
-    let test_refs: Vec<&ig_imaging::GrayImage> = test.iter().map(|l| &l.image).collect();
-    let test_features = ig.feature_generator().feature_matrix(&test_refs);
+    let test_features = ig
+        .feature_generator()
+        .feature_matrix_prepared(prepared.test_prepared());
     let out = ig.label_from_features(&test_features);
     let gold = prepared.test_labels();
     let score = f1(num_classes, &gold, &out.labels);
-    let dev_features = ig.feature_generator().feature_matrix(&dev_images);
+    // The dev matrix was already computed (and tuned on) during training.
+    let dev_features = ig.dev_features().clone();
     Some(IgRun {
         f1: score,
         max_similarities: out.max_similarities,

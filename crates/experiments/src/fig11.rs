@@ -10,7 +10,6 @@ use ig_augment::{augment, AugmentMethod};
 use ig_core::labeler::{Labeler, LabelerConfig};
 use ig_core::tuning::{candidate_architectures, tune_labeler, TuningConfig};
 use ig_crowd::CrowdWorkflow;
-use ig_imaging::GrayImage;
 use ig_nn::lbfgs::LbfgsConfig;
 use ig_synth::spec::DatasetKind;
 use rand::rngs::StdRng;
@@ -68,13 +67,12 @@ pub fn run(scale: Scale, seed: u64, out: &str) {
         let Some(fg) = feature_generator(&patterns) else {
             continue;
         };
-        let dev_imgs: Vec<&GrayImage> = dev.iter().map(|l| &l.image).collect();
         let dev_labels: Vec<usize> = dev.iter().map(|l| l.label).collect();
-        let dev_features = fg.feature_matrix(&dev_imgs);
-        let test = prepared.test_images();
-        let test_imgs: Vec<&GrayImage> = test.iter().map(|l| &l.image).collect();
+        // Dev/test matching caches are shared across all five datasets'
+        // architecture sweeps — each image is pyramided exactly once.
+        let dev_features = fg.feature_matrix_prepared(prepared.dev_prepared_prefix(dev.len()));
         let test_labels = prepared.test_labels();
-        let test_features = fg.feature_matrix(&test_imgs);
+        let test_features = fg.feature_matrix_prepared(prepared.test_prepared());
 
         // Evaluate every candidate architecture directly on the test set
         // (the oracle bounds: "maximum and minimum possible F1 scores").

@@ -16,6 +16,9 @@
 //! * [`ncc`] — normalized cross-correlation matching, both brute force and
 //!   coarse-to-fine over a pyramid,
 //! * [`integral`] — integral images used to accelerate the NCC denominator,
+//! * [`prepared`] — batched matching: per-image pyramid/integral caches and
+//!   per-pattern reduced/centred stacks built once and reused across the
+//!   whole (image × pattern) grid,
 //! * [`transform`] — affine warps (rotation, shear, anisotropic scaling)
 //!   used by the policy-based pattern augmenter,
 //! * [`noise`] — value noise / fractional Brownian motion for the synthetic
@@ -33,6 +36,7 @@ pub mod integral;
 pub mod io;
 pub mod ncc;
 pub mod noise;
+pub mod prepared;
 pub mod pyramid;
 pub mod resize;
 pub mod stats;
@@ -41,6 +45,7 @@ pub mod transform;
 pub use geometry::BBox;
 pub use image::GrayImage;
 pub use ncc::{match_template, match_template_pyramid, MatchResult};
+pub use prepared::{match_prepared, match_prepared_exact, PreparedImage, PreparedPattern};
 
 /// Errors produced by imaging operations.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -67,7 +67,7 @@ impl Default for PyramidMatchConfig {
     }
 }
 
-fn validate(image: &GrayImage, pattern: &GrayImage) -> Result<()> {
+pub(crate) fn validate(image: &GrayImage, pattern: &GrayImage) -> Result<()> {
     if image.is_empty() || pattern.is_empty() {
         return Err(ImagingError::EmptyImage);
     }
@@ -82,7 +82,8 @@ fn validate(image: &GrayImage, pattern: &GrayImage) -> Result<()> {
 
 /// A pattern preprocessed for Pearson matching: mean-centred pixels and
 /// their L2 norm.
-struct CenteredPattern {
+#[derive(Debug, Clone)]
+pub(crate) struct CenteredPattern {
     centered: GrayImage,
     norm: f64,
     w: usize,
@@ -90,9 +91,12 @@ struct CenteredPattern {
 }
 
 impl CenteredPattern {
-    fn new(pattern: &GrayImage) -> Self {
-        let n = pattern.len().max(1) as f32;
-        let mean = pattern.pixels().iter().sum::<f32>() / n;
+    pub(crate) fn new(pattern: &GrayImage) -> Self {
+        let n = pattern.len().max(1) as f64;
+        // Accumulate the mean in f64: an f32 sum over a large (e.g.
+        // GAN-sized 256x256) pattern loses enough low bits to shift the
+        // centring, which the norm then bakes into every score.
+        let mean = (pattern.pixels().iter().map(|&p| p as f64).sum::<f64>() / n) as f32;
         let centered = pattern.map(|p| p - mean);
         let norm = centered
             .pixels()
@@ -110,13 +114,14 @@ impl CenteredPattern {
 }
 
 /// Precomputed integrals of the search image.
-struct ImageSums {
+#[derive(Debug, Clone)]
+pub(crate) struct ImageSums {
     values: IntegralImage,
     squares: IntegralImage,
 }
 
 impl ImageSums {
-    fn new(image: &GrayImage) -> Self {
+    pub(crate) fn new(image: &GrayImage) -> Self {
         Self {
             values: IntegralImage::of_values(image),
             squares: IntegralImage::of_squares(image),
@@ -129,7 +134,7 @@ impl ImageSums {
 /// With `Pc = P - mean(P)`:
 /// `score = dot(Pc, W) / (||Pc|| * sqrt(sum W² - n·mean(W)²))`,
 /// using `sum(Pc · W) = sum((P - µP)(W - µW))` since `sum(Pc) = 0`.
-fn pearson_at(
+pub(crate) fn pearson_at(
     image: &GrayImage,
     pattern: &CenteredPattern,
     x: usize,
@@ -256,14 +261,7 @@ pub fn match_template_pyramid(
     config: &PyramidMatchConfig,
 ) -> Result<MatchResult> {
     validate(image, pattern)?;
-    let min_pat = pattern.width().min(pattern.height());
-    // How many times can we halve before the pattern gets useless?
-    let mut levels = 1usize;
-    let mut side = min_pat;
-    while levels < config.max_levels && side / 2 >= config.min_pattern_side {
-        side /= 2;
-        levels += 1;
-    }
+    let levels = levels_for_pattern(pattern.width().min(pattern.height()), config);
     if levels == 1 {
         return match_template(image, pattern);
     }
@@ -349,7 +347,22 @@ pub fn match_template_pyramid(
         .ok_or(ImagingError::EmptyImage)
 }
 
-fn insert_topk(heap: &mut Vec<MatchResult>, item: MatchResult, k: usize) {
+/// Number of pyramid levels the coarse-to-fine search uses for a pattern
+/// whose shorter side is `min_pat` — how many times it can halve before
+/// dropping below `config.min_pattern_side`, capped at `config.max_levels`.
+/// Shared with [`crate::prepared::PreparedPattern`] so the prepared and
+/// per-call paths derive identical level stacks.
+pub(crate) fn levels_for_pattern(min_pat: usize, config: &PyramidMatchConfig) -> usize {
+    let mut levels = 1usize;
+    let mut side = min_pat;
+    while levels < config.max_levels && side / 2 >= config.min_pattern_side {
+        side /= 2;
+        levels += 1;
+    }
+    levels
+}
+
+pub(crate) fn insert_topk(heap: &mut Vec<MatchResult>, item: MatchResult, k: usize) {
     if heap.len() < k {
         heap.push(item);
         heap.sort_by(|a, b| b.score.total_cmp(&a.score));
@@ -562,6 +575,27 @@ mod tests {
         let m = match_template_pyramid(&img, &blob, &cfg).unwrap();
         let exact = match_template(&img, &blob).unwrap();
         assert_eq!((m.x, m.y, m.score), (exact.x, exact.y, exact.score));
+    }
+
+    #[test]
+    fn centred_mean_survives_large_patterns() {
+        // 256x256 (GAN-sized) pattern around 0.7 with a tiny wiggle: an
+        // f32 sum over 65536 such pixels drifts the mean by ~1e-5, which
+        // decentres every pixel by the same amount. The f64 accumulator
+        // keeps the centred pixel sum at f32 rounding level.
+        let pat = GrayImage::from_fn(256, 256, |x, y| {
+            0.7 + 1e-4 * (((x * 31 + y * 17) % 13) as f32 - 6.0)
+        });
+        let prepared = CenteredPattern::new(&pat);
+        let n = pat.len() as f64;
+        let residual = prepared
+            .centered
+            .pixels()
+            .iter()
+            .map(|&p| p as f64)
+            .sum::<f64>()
+            / n;
+        assert!(residual.abs() < 2e-7, "mean residual {residual}");
     }
 
     #[test]

@@ -1,0 +1,429 @@
+//! Prepared-operand NCC matching: each side's preprocessing, built once.
+//!
+//! [`crate::ncc::match_template_pyramid`] rebuilds the image's Gaussian
+//! pyramid and per-level integral tables on every call, and re-derives the
+//! pattern's reduced + mean-centred stack just as often. Over the N×M
+//! (image × pattern) feature grid in `ig-core` that preprocessing is pure
+//! redundancy — the pyramid of image `I` is the same for all M patterns,
+//! and the level stack of pattern `P` is the same for all N images.
+//!
+//! [`PreparedImage`] and [`PreparedPattern`] hoist that work to one build
+//! per operand; [`match_prepared`] / [`match_prepared_exact`] then return
+//! scores **bit-identical** to the per-call matchers (pinned by the parity
+//! tests below and by proptests in `ig-core`). [`PreparedPattern`]
+//! additionally caches the aspect-preserving "fitted" shrinks needed when
+//! a pattern overflows an image, keyed by target dimensions, so the
+//! resize runs once per distinct image shape instead of once per image.
+
+use crate::ncc::{
+    insert_topk, levels_for_pattern, pearson_at, validate, CenteredPattern, ImageSums, MatchResult,
+    PyramidMatchConfig,
+};
+use crate::pyramid::Pyramid;
+use crate::resize::resize_bilinear;
+use crate::{GrayImage, ImagingError, Result};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A search image preprocessed for repeated matching: the Gaussian
+/// pyramid plus value/square integral tables of every level.
+#[derive(Debug, Clone)]
+pub struct PreparedImage {
+    pyramid: Pyramid,
+    sums: Vec<ImageSums>,
+}
+
+impl PreparedImage {
+    /// Preprocess `image` under `config`: build the deepest pyramid any
+    /// pattern may request (`config.max_levels`) and the integral tables
+    /// of every level. A pattern needing fewer levels uses a prefix of
+    /// the stack — prefix levels are identical to what the per-call
+    /// matcher would rebuild, because each level depends only on the one
+    /// above it and the same early-stop dimension rules apply.
+    pub fn new(image: &GrayImage, config: &PyramidMatchConfig) -> Self {
+        let pyramid = Pyramid::build(image, config.max_levels.max(1), 2);
+        let sums = pyramid.levels().iter().map(ImageSums::new).collect();
+        Self { pyramid, sums }
+    }
+
+    /// The full-resolution image.
+    pub fn image(&self) -> &GrayImage {
+        self.pyramid.level(0)
+    }
+
+    /// Full-resolution dimensions.
+    pub fn dims(&self) -> (usize, usize) {
+        self.image().dims()
+    }
+
+    /// Number of cached pyramid levels (≥ 1).
+    pub fn num_levels(&self) -> usize {
+        self.pyramid.num_levels()
+    }
+}
+
+/// One pyramid level of a prepared pattern.
+#[derive(Debug, Clone)]
+struct PatternLevel {
+    reduced: GrayImage,
+    centered: CenteredPattern,
+}
+
+impl PatternLevel {
+    fn of(image: GrayImage) -> PatternLevel {
+        let centered = CenteredPattern::new(&image);
+        PatternLevel {
+            reduced: image,
+            centered,
+        }
+    }
+}
+
+/// Fitted-variant cache entries: target image dims → the shrunk pattern.
+type FittedEntry = ((usize, usize), Arc<PreparedPattern>);
+
+/// A pattern preprocessed for repeated matching: the reduced +
+/// mean-centred stack for every pyramid level, plus a cache of
+/// aspect-preserving "fitted" shrinks for images the pattern overflows.
+#[derive(Debug)]
+pub struct PreparedPattern {
+    /// `levels[0]` is the original pattern; level `l` is reduced by `2^l`.
+    levels: Vec<PatternLevel>,
+    /// Config the stack was built under; fitted variants reuse it so their
+    /// level stacks match what the per-call path would derive.
+    config: PyramidMatchConfig,
+    /// Fitted variants keyed by target dims. A `Vec` linear scan: distinct
+    /// image shapes are few and iteration order stays deterministic.
+    fitted: Mutex<Vec<FittedEntry>>,
+    /// Number of fitted variants ever built (each costs one resize).
+    fit_builds: AtomicUsize,
+}
+
+impl PreparedPattern {
+    /// Preprocess `pattern` under `config`: derive the level count exactly
+    /// as the per-call matcher does, then store each level's reduced image
+    /// and mean-centred form.
+    pub fn new(pattern: &GrayImage, config: &PyramidMatchConfig) -> Result<Self> {
+        let count = levels_for_pattern(pattern.width().min(pattern.height()), config);
+        let mut levels = Vec::with_capacity(count);
+        levels.push(PatternLevel::of(pattern.clone()));
+        for lvl in 1..count {
+            let scale = 1usize << lvl;
+            let pw = (pattern.width() / scale).max(1);
+            let ph = (pattern.height() / scale).max(1);
+            levels.push(PatternLevel::of(resize_bilinear(pattern, pw, ph)?));
+        }
+        Ok(Self {
+            levels,
+            config: *config,
+            fitted: Mutex::new(Vec::new()),
+            fit_builds: AtomicUsize::new(0),
+        })
+    }
+
+    /// Full-resolution pattern dimensions.
+    pub fn dims(&self) -> (usize, usize) {
+        self.levels.first().map_or((0, 0), |l| l.reduced.dims())
+    }
+
+    /// Number of pyramid levels in the stack (≥ 1).
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The variant of this pattern to match against a `iw × ih` image:
+    /// `None` when the pattern already fits, otherwise the same
+    /// aspect-preserving shrink the per-call path computes — built once
+    /// per distinct target dims and served from the cache afterwards.
+    pub fn fitted_for(&self, iw: usize, ih: usize) -> Result<Option<Arc<PreparedPattern>>> {
+        let (pw, ph) = self.dims();
+        if pw == 0 || ph == 0 || (pw <= iw && ph <= ih) {
+            return Ok(None);
+        }
+        let sx = iw as f32 / pw as f32;
+        let sy = ih as f32 / ph as f32;
+        let s = sx.min(sy).min(1.0);
+        let nw = ((pw as f32 * s).floor() as usize).max(1);
+        let nh = ((ph as f32 * s).floor() as usize).max(1);
+        let mut cache = self.fitted.lock();
+        if let Some((_, hit)) = cache.iter().find(|(dims, _)| *dims == (nw, nh)) {
+            return Ok(Some(Arc::clone(hit)));
+        }
+        // Build while holding the lock: oversized patterns are rare, and
+        // this guarantees exactly one resize per distinct target dims even
+        // when several workers reach the same pattern concurrently.
+        let Some(base) = self.levels.first() else {
+            return Err(ImagingError::EmptyImage);
+        };
+        let shrunk = resize_bilinear(&base.reduced, nw, nh)?;
+        let prepared = Arc::new(PreparedPattern::new(&shrunk, &self.config)?);
+        self.fit_builds.fetch_add(1, Ordering::Relaxed);
+        cache.push(((nw, nh), Arc::clone(&prepared)));
+        Ok(Some(prepared))
+    }
+
+    /// How many fitted variants have been built so far. Regression hook:
+    /// matching one oversized pattern against any number of same-sized
+    /// images must report exactly one build.
+    pub fn fit_builds(&self) -> usize {
+        self.fit_builds.load(Ordering::Relaxed)
+    }
+}
+
+/// Exhaustive scan of `level` over the full-resolution image — the shared
+/// tail of [`match_prepared_exact`] and the pyramid fallbacks. Identical
+/// placement order and comparison to [`crate::ncc::match_template`].
+fn scan_exact(image: &PreparedImage, level: &PatternLevel) -> Result<MatchResult> {
+    let img = image.image();
+    let Some(sums) = image.sums.first() else {
+        return Err(ImagingError::EmptyImage);
+    };
+    let (pw, ph) = level.reduced.dims();
+    let mut best = MatchResult {
+        x: 0,
+        y: 0,
+        score: f32::NEG_INFINITY,
+    };
+    for y in 0..=(img.height() - ph) {
+        for x in 0..=(img.width() - pw) {
+            let s = pearson_at(img, &level.centered, x, y, sums);
+            if s > best.score {
+                best = MatchResult { x, y, score: s };
+            }
+        }
+    }
+    Ok(best)
+}
+
+/// Exact brute-force Pearson-NCC match from prepared operands.
+/// Bit-identical to [`crate::ncc::match_template`] on the same inputs.
+pub fn match_prepared_exact(
+    image: &PreparedImage,
+    pattern: &PreparedPattern,
+) -> Result<MatchResult> {
+    let Some(base) = pattern.levels.first() else {
+        return Err(ImagingError::EmptyImage);
+    };
+    validate(image.image(), &base.reduced)?;
+    scan_exact(image, base)
+}
+
+/// Coarse-to-fine pyramid Pearson-NCC match from prepared operands.
+/// Bit-identical to [`crate::ncc::match_template_pyramid`] when both
+/// operands were prepared under the same `config` passed here.
+pub fn match_prepared(
+    image: &PreparedImage,
+    pattern: &PreparedPattern,
+    config: &PyramidMatchConfig,
+) -> Result<MatchResult> {
+    let Some(base) = pattern.levels.first() else {
+        return Err(ImagingError::EmptyImage);
+    };
+    validate(image.image(), &base.reduced)?;
+    // Same effective depth as the per-call path: the pattern's own level
+    // count, clamped by how deep the image could actually be reduced.
+    let levels = pattern.levels.len().min(image.num_levels());
+    if levels == 1 {
+        return scan_exact(image, base);
+    }
+
+    let coarse = levels - 1;
+    let (Some(coarse_lvl), Some(coarse_sums)) =
+        (pattern.levels.get(coarse), image.sums.get(coarse))
+    else {
+        return scan_exact(image, base);
+    };
+    let coarse_img = image.pyramid.level(coarse);
+    let coarse_pat = &coarse_lvl.reduced;
+    if coarse_pat.width() > coarse_img.width() || coarse_pat.height() > coarse_img.height() {
+        return scan_exact(image, base);
+    }
+
+    // Exhaustive scan at the coarsest level, keeping top-k candidates.
+    let mut candidates: Vec<MatchResult> = Vec::new();
+    for y in 0..=(coarse_img.height() - coarse_pat.height()) {
+        for x in 0..=(coarse_img.width() - coarse_pat.width()) {
+            let s = pearson_at(coarse_img, &coarse_lvl.centered, x, y, coarse_sums);
+            insert_topk(
+                &mut candidates,
+                MatchResult { x, y, score: s },
+                config.top_k,
+            );
+        }
+    }
+
+    // Refine candidates through finer levels.
+    for lvl in (0..coarse).rev() {
+        let (Some(pat_lvl), Some(sums)) = (pattern.levels.get(lvl), image.sums.get(lvl)) else {
+            continue;
+        };
+        let img = image.pyramid.level(lvl);
+        let pat = &pat_lvl.reduced;
+        if pat.width() > img.width() || pat.height() > img.height() {
+            continue;
+        }
+        let max_x = img.width() - pat.width();
+        let max_y = img.height() - pat.height();
+        let mut refined: Vec<MatchResult> = Vec::with_capacity(candidates.len());
+        for cand in &candidates {
+            // A coarse coordinate c maps to [2c - r, 2c + r] one level down.
+            let cx = cand.x * 2;
+            let cy = cand.y * 2;
+            let x0 = cx.saturating_sub(config.refine_radius).min(max_x);
+            let y0 = cy.saturating_sub(config.refine_radius).min(max_y);
+            let x1 = (cx + config.refine_radius).min(max_x);
+            let y1 = (cy + config.refine_radius).min(max_y);
+            let mut best = MatchResult {
+                x: x0,
+                y: y0,
+                score: f32::NEG_INFINITY,
+            };
+            for y in y0..=y1 {
+                for x in x0..=x1 {
+                    let s = pearson_at(img, &pat_lvl.centered, x, y, sums);
+                    if s > best.score {
+                        best = MatchResult { x, y, score: s };
+                    }
+                }
+            }
+            refined.push(best);
+        }
+        candidates = refined;
+    }
+
+    candidates
+        .into_iter()
+        .max_by(|a, b| a.score.total_cmp(&b.score))
+        .ok_or(ImagingError::EmptyImage)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ncc::{match_template, match_template_pyramid};
+
+    fn textured(w: usize, h: usize, phase: f32) -> GrayImage {
+        GrayImage::from_fn(w, h, |x, y| {
+            0.4 + 0.25 * ((x as f32 * 0.31 + phase).sin() * (y as f32 * 0.17).cos())
+        })
+    }
+
+    #[test]
+    fn prepared_pyramid_bit_identical_to_per_call() {
+        let cfg = PyramidMatchConfig::default();
+        let img = textured(96, 72, 0.0);
+        let pi = PreparedImage::new(&img, &cfg);
+        for side in [5usize, 9, 16, 33] {
+            let pat = img.crop(20, 10, side, side.min(40)).unwrap();
+            let pp = PreparedPattern::new(&pat, &cfg).unwrap();
+            let per_call = match_template_pyramid(&img, &pat, &cfg).unwrap();
+            let prepared = match_prepared(&pi, &pp, &cfg).unwrap();
+            assert_eq!(
+                (per_call.x, per_call.y, per_call.score),
+                (prepared.x, prepared.y, prepared.score),
+                "side {side}"
+            );
+        }
+    }
+
+    #[test]
+    fn prepared_exact_bit_identical_to_per_call() {
+        let cfg = PyramidMatchConfig::default();
+        let img = textured(48, 40, 1.3);
+        let pat = img.crop(7, 11, 12, 9).unwrap();
+        let pi = PreparedImage::new(&img, &cfg);
+        let pp = PreparedPattern::new(&pat, &cfg).unwrap();
+        let per_call = match_template(&img, &pat).unwrap();
+        let prepared = match_prepared_exact(&pi, &pp).unwrap();
+        assert_eq!(
+            (per_call.x, per_call.y, per_call.score),
+            (prepared.x, prepared.y, prepared.score)
+        );
+    }
+
+    #[test]
+    fn one_prepared_image_serves_many_patterns() {
+        let cfg = PyramidMatchConfig::default();
+        let img = textured(80, 60, 0.7);
+        let pi = PreparedImage::new(&img, &cfg);
+        for (x, y, w, h) in [(0, 0, 6, 6), (30, 20, 14, 14), (50, 30, 22, 18)] {
+            let pat = img.crop(x, y, w, h).unwrap();
+            let pp = PreparedPattern::new(&pat, &cfg).unwrap();
+            let per_call = match_template_pyramid(&img, &pat, &cfg).unwrap();
+            let prepared = match_prepared(&pi, &pp, &cfg).unwrap();
+            assert_eq!((per_call.x, per_call.y), (prepared.x, prepared.y));
+            assert_eq!(per_call.score, prepared.score);
+        }
+    }
+
+    #[test]
+    fn prepared_validates_dims() {
+        let cfg = PyramidMatchConfig::default();
+        let img = GrayImage::filled(8, 8, 0.5);
+        let pi = PreparedImage::new(&img, &cfg);
+        let big = GrayImage::filled(12, 4, 0.5);
+        let pp = PreparedPattern::new(&big, &cfg).unwrap();
+        assert!(matches!(
+            match_prepared(&pi, &pp, &cfg),
+            Err(ImagingError::TemplateTooLarge { .. })
+        ));
+        let empty_img = PreparedImage::new(&GrayImage::new(0, 0), &cfg);
+        let small = PreparedPattern::new(&GrayImage::filled(2, 2, 0.1), &cfg).unwrap();
+        assert!(match_prepared(&empty_img, &small, &cfg).is_err());
+    }
+
+    #[test]
+    fn fitted_cache_builds_once_per_target_dims() {
+        let cfg = PyramidMatchConfig::default();
+        let pat = textured(100, 100, 2.0);
+        let pp = PreparedPattern::new(&pat, &cfg).unwrap();
+        // Pattern fits: no variant needed, nothing built.
+        assert!(pp.fitted_for(120, 120).unwrap().is_none());
+        assert_eq!(pp.fit_builds(), 0);
+        // Oversized for a 32x24 image: one build, then cache hits.
+        let a = pp.fitted_for(32, 24).unwrap().expect("needs a fit");
+        let b = pp.fitted_for(32, 24).unwrap().expect("needs a fit");
+        assert_eq!(pp.fit_builds(), 1);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.dims(), (24, 24)); // aspect preserved: min scale wins
+                                        // A different image shape with a different target: second build.
+        let c = pp.fitted_for(64, 20).unwrap().expect("needs a fit");
+        assert_eq!(pp.fit_builds(), 2);
+        assert_eq!(c.dims(), (20, 20));
+    }
+
+    #[test]
+    fn fitted_variant_matches_what_per_call_path_computes() {
+        let cfg = PyramidMatchConfig::default();
+        let texture = |x: usize, y: usize, scale: f32| {
+            0.5 + 0.3 * ((x as f32 * scale).sin() * (y as f32 * scale).cos())
+        };
+        let pat = GrayImage::from_fn(100, 100, |x, y| texture(x, y, 0.07));
+        let img = GrayImage::from_fn(32, 24, |x, y| texture(x, y, 0.07 * 100.0 / 32.0));
+        let pp = PreparedPattern::new(&pat, &cfg).unwrap();
+        let fitted = pp.fitted_for(32, 24).unwrap().expect("oversized");
+        // Per-call equivalent: shrink with the same formula, then match.
+        let s = (32.0f32 / 100.0).min(24.0 / 100.0).min(1.0);
+        let nw = ((100.0 * s).floor() as usize).max(1);
+        let nh = ((100.0 * s).floor() as usize).max(1);
+        let shrunk = resize_bilinear(&pat, nw, nh).unwrap();
+        let per_call = match_template_pyramid(&img, &shrunk, &cfg).unwrap();
+        let pi = PreparedImage::new(&img, &cfg);
+        let prepared = match_prepared(&pi, &fitted, &cfg).unwrap();
+        assert_eq!((per_call.x, per_call.y), (prepared.x, prepared.y));
+        assert_eq!(per_call.score, prepared.score);
+    }
+
+    #[test]
+    fn level_stack_matches_per_call_derivation() {
+        let cfg = PyramidMatchConfig::default();
+        // 32px shortest side: 32 -> 16 -> 8 -> 4 gives 4 levels at the
+        // default min_pattern_side of 4 and max_levels of 4.
+        let pp = PreparedPattern::new(&textured(40, 32, 0.1), &cfg).unwrap();
+        assert_eq!(pp.num_levels(), 4);
+        // Tiny pattern: single level, pyramid path falls back to exact.
+        let tiny = PreparedPattern::new(&textured(5, 5, 0.2), &cfg).unwrap();
+        assert_eq!(tiny.num_levels(), 1);
+    }
+}

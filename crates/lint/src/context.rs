@@ -41,6 +41,7 @@ pub const EXEMPT_CRATES: &[&str] = &["experiments", "bench"];
 /// feature generation chain and the MLP/L-BFGS numeric kernels.
 pub const HOT_PATH_FILES: &[&str] = &[
     "crates/imaging/src/ncc.rs",
+    "crates/imaging/src/prepared.rs",
     "crates/imaging/src/integral.rs",
     "crates/imaging/src/resize.rs",
     "crates/imaging/src/pyramid.rs",
