@@ -358,10 +358,15 @@ mod tests {
             let mut img = ig_imaging::noise::white_noise_image(100 + i as u64, 48, 48, 0.35, 0.75);
             let defect = i % 2 == 1;
             if defect {
-                // A faint 3px dot, well inside the grain's dynamic range.
+                // A faint 3px dot at the grain's mid-intensity. It must sit
+                // *inside* the noise range [0.35, 0.75]: painting it darker
+                // (the old 0.25) made the dot the image's unique extreme
+                // value, which max-pooled prototype affinities latch onto —
+                // the test then passed or failed by seed luck instead of
+                // demonstrating the small-defect failure mode.
                 let cx = rng.gen_range(5.0..43.0f32);
                 let cy = rng.gen_range(5.0..43.0f32);
-                img.fill_disk(cx, cy, 1.5, 0.25);
+                img.fill_disk(cx, cy, 1.5, 0.55);
             }
             images.push(img);
             labels.push(usize::from(defect));

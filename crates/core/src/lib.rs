@@ -25,6 +25,7 @@ pub mod labeler;
 pub mod novelty;
 pub mod pattern;
 pub mod pipeline;
+pub mod stages;
 pub mod tuning;
 
 pub use features::{FeatureGenerator, MatchBackend};
@@ -32,11 +33,16 @@ pub use labeler::{Labeler, LabelerConfig};
 pub use novelty::NoveltyDetector;
 pub use pattern::{Pattern, PatternSource};
 pub use pipeline::{InspectorGadget, PipelineConfig, WeakLabelOutput};
+pub use stages::{BuildFeatureGen, ComputeFeatures, DevSet, TrainLabeler};
 pub use tuning::{tune_labeler, tune_labeler_with_health, TuningConfig, TuningReport};
 
 // Chaos-plan and health-report types, re-exported so pipeline callers
 // don't need a direct `ig-faults` dependency.
 pub use ig_faults::{FaultKind, FaultPlan, HealthEvent, HealthReport, RecoveryAction, Stage};
+
+// Runtime types, re-exported so pipeline callers can build contexts and
+// scale plans without a direct `ig-runtime` dependency.
+pub use ig_runtime::{RunContext, ScalePlan, ScaleTier};
 
 /// Errors from the core pipeline.
 #[derive(Debug, Clone, PartialEq, Eq)]

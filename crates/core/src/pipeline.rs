@@ -7,15 +7,19 @@
 //! labels — "after training the Labeler, Inspector Gadget only utilizes
 //! [patterns, feature generator, labeler] for generating weak labels".
 
+use std::sync::Arc;
+
 use crate::features::{FeatureGenerator, MatchBackend};
-use crate::labeler::{Labeler, LabelerConfig};
-use crate::pattern::Pattern;
-use crate::tuning::{tune_labeler_with_health, TuningConfig, TuningReport};
+use crate::labeler::Labeler;
+use crate::stages::{BuildFeatureGen, ComputeFeatures, DevSet, TrainLabeler};
+use crate::tuning::{TuningConfig, TuningReport};
+use crate::Pattern;
 use crate::Result;
-use ig_faults::{FaultKind, FaultPlan, HealthReport, RecoveryAction, Stage};
+use ig_faults::{FaultPlan, HealthReport};
 use ig_imaging::prepared::PreparedImage;
 use ig_imaging::GrayImage;
 use ig_nn::Matrix;
+use ig_runtime::{infallible, Fingerprint, RunContext};
 use rand::Rng;
 
 /// Pipeline configuration.
@@ -61,12 +65,15 @@ pub struct WeakLabelOutput {
 /// A trained Inspector Gadget instance.
 #[derive(Debug)]
 pub struct InspectorGadget {
-    feature_gen: FeatureGenerator,
+    feature_gen: Arc<FeatureGenerator>,
+    /// Fingerprint of the pattern bank + matching config the generator
+    /// was built from; keys every downstream feature-computation stage.
+    bank_fp: Fingerprint,
     labeler: Labeler,
     /// Development-set feature matrix computed during training, kept so
     /// downstream consumers (experiments, error analysis) reuse it
     /// instead of re-running the matching engine.
-    dev_features: Matrix,
+    dev_features: Arc<Matrix>,
     /// Tuning report when tuning ran.
     pub tuning_report: Option<TuningReport>,
     /// Every fault detected and recovery taken during training.
@@ -75,6 +82,9 @@ pub struct InspectorGadget {
 
 impl InspectorGadget {
     /// Train from patterns and a labeled development set.
+    ///
+    /// Thin shim over [`InspectorGadget::train_in`] with an ephemeral
+    /// [`RunContext`] (no fault plan).
     pub fn train(
         patterns: Vec<Pattern>,
         dev_images: &[&GrayImage],
@@ -83,19 +93,23 @@ impl InspectorGadget {
         config: &PipelineConfig,
         rng: &mut impl Rng,
     ) -> Result<Self> {
-        Self::train_with_plan(
+        let ctx = RunContext::new(0);
+        Self::train_in(
+            &ctx,
             patterns,
-            dev_images,
+            DevSet::Raw(dev_images),
             dev_labels,
             num_classes,
             config,
             rng,
-            None,
         )
     }
 
-    /// [`InspectorGadget::train`] under an optional chaos plan, with the
-    /// full training recovery ladder:
+    /// [`InspectorGadget::train`] under an optional chaos plan — a thin
+    /// shim over [`InspectorGadget::train_in`] with the plan installed in
+    /// an ephemeral [`RunContext`].
+    ///
+    /// The full training recovery ladder applies:
     ///
     /// 1. degenerate patterns are quarantined, non-finite / errored
     ///    features sanitized, panicked feature workers recomputed serially;
@@ -116,25 +130,23 @@ impl InspectorGadget {
         rng: &mut impl Rng,
         plan: Option<&FaultPlan>,
     ) -> Result<Self> {
-        let health = HealthReport::new();
-        let feature_gen = Self::build_feature_gen(patterns, config, plan, &health)?;
-        let features = feature_gen.feature_matrix_with_health(dev_images, plan, &health);
-        Self::finish_training(
-            feature_gen,
-            features,
+        let ctx = RunContext::new(0).with_plan(plan.cloned());
+        Self::train_in(
+            &ctx,
+            patterns,
+            DevSet::Raw(dev_images),
             dev_labels,
             num_classes,
             config,
             rng,
-            plan,
-            health,
         )
     }
 
     /// [`InspectorGadget::train_with_plan`] over images prepared once with
-    /// [`FeatureGenerator::prepare_images`] — the per-image pyramid and
-    /// integral caches are supplied by the caller, so training a second
-    /// generator (or ablation arm) on the same development set skips the
+    /// [`FeatureGenerator::prepare_images`] — a thin shim over
+    /// [`InspectorGadget::train_in`]. The per-image pyramid and integral
+    /// caches are supplied by the caller, so training a second generator
+    /// (or ablation arm) on the same development set skips the
     /// image-preparation work entirely.
     #[allow(clippy::too_many_arguments)]
     pub fn train_prepared(
@@ -146,97 +158,67 @@ impl InspectorGadget {
         rng: &mut impl Rng,
         plan: Option<&FaultPlan>,
     ) -> Result<Self> {
-        let health = HealthReport::new();
-        let feature_gen = Self::build_feature_gen(patterns, config, plan, &health)?;
-        let features = feature_gen.feature_matrix_prepared_with_health(dev_images, plan, &health);
-        Self::finish_training(
-            feature_gen,
-            features,
+        let ctx = RunContext::new(0).with_plan(plan.cloned());
+        Self::train_in(
+            &ctx,
+            patterns,
+            DevSet::Prepared(dev_images),
             dev_labels,
             num_classes,
             config,
             rng,
-            plan,
-            health,
         )
     }
 
-    fn build_feature_gen(
+    /// The one training path: run the stage graph under `ctx`.
+    ///
+    /// Stages executed, in order: [`BuildFeatureGen`] (memoized by
+    /// pattern-bank fingerprint), [`ComputeFeatures`] over the dev set
+    /// (memoized by bank + image content + fault plan), and
+    /// [`TrainLabeler`] (never memoized — it consumes `rng`). The fault
+    /// plan comes from `ctx`; faults recorded during this call land both
+    /// in the returned model's [`InspectorGadget::health`] and in the
+    /// context-wide [`RunContext::health`] aggregate.
+    ///
+    /// Under a context whose artifact store already holds this pattern
+    /// bank's generator or this dev set's features (e.g. a second
+    /// experiment arm), those stages are served bit-identically from
+    /// cache instead of recomputing.
+    pub fn train_in(
+        ctx: &RunContext,
         patterns: Vec<Pattern>,
-        config: &PipelineConfig,
-        plan: Option<&FaultPlan>,
-        health: &HealthReport,
-    ) -> Result<FeatureGenerator> {
-        let mut feature_gen =
-            FeatureGenerator::new_with_health(patterns, plan, health)?.with_backend(config.backend);
-        if config.threads > 0 {
-            feature_gen = feature_gen.with_threads(config.threads);
-        }
-        Ok(feature_gen)
-    }
-
-    /// Shared tail of both training entry points: tune (or fit fixed) on
-    /// the computed development features, assembling the final model.
-    #[allow(clippy::too_many_arguments)]
-    fn finish_training(
-        feature_gen: FeatureGenerator,
-        features: Matrix,
+        dev: DevSet<'_>,
         dev_labels: &[usize],
         num_classes: usize,
         config: &PipelineConfig,
         rng: &mut impl Rng,
-        plan: Option<&FaultPlan>,
-        health: HealthReport,
     ) -> Result<Self> {
-        let (labeler, report) = if config.tune {
-            match tune_labeler_with_health(
-                &features,
-                dev_labels,
-                num_classes,
-                &config.tuning,
-                rng,
-                Some(&health),
-            ) {
-                Ok((labeler, report)) => (labeler, Some(report)),
-                Err(e) => {
-                    health.record(
-                        Stage::Tuning,
-                        FaultKind::TuningFailure,
-                        RecoveryAction::FallbackFixedArchitecture,
-                        format!(
-                            "tuning failed ({e}); training fixed {:?}",
-                            config.fixed_hidden
-                        ),
-                    );
-                    let labeler = fit_fixed_or_prior(
-                        &features,
-                        dev_labels,
-                        num_classes,
-                        config,
-                        rng,
-                        plan,
-                        &health,
-                    )?;
-                    (labeler, None)
-                }
-            }
-        } else {
-            let labeler = fit_fixed_or_prior(
-                &features,
-                dev_labels,
-                num_classes,
-                config,
-                rng,
-                plan,
-                &health,
-            )?;
-            (labeler, None)
-        };
+        let health = HealthReport::new();
+        let mut build = BuildFeatureGen::new(patterns, config, &health, ctx);
+        let bank_fp = build.bank_fp();
+        let feature_gen = ctx.run(&mut build)?;
+        let features = infallible(ctx.run(&mut ComputeFeatures::new(
+            bank_fp,
+            &feature_gen,
+            dev,
+            ctx.plan(),
+            &health,
+        )));
+        let (labeler, tuning_report) = ctx.run_owned(&mut TrainLabeler {
+            features: &features,
+            dev_labels,
+            num_classes,
+            config,
+            rng,
+            health: &health,
+        })?;
+        ctx.health().merge(&health);
         Ok(Self {
             feature_gen,
+            bank_fp,
             labeler,
             dev_features: features,
-            tuning_report: report,
+            tuning_report,
             health,
         })
     }
@@ -248,7 +230,14 @@ impl InspectorGadget {
 
     /// Borrow the feature generator (for feature reuse in experiments).
     pub fn feature_generator(&self) -> &FeatureGenerator {
-        &self.feature_gen
+        self.feature_gen.as_ref()
+    }
+
+    /// Fingerprint of the pattern bank + matching config this model was
+    /// trained with — the key under which feature computations for this
+    /// model memoize.
+    pub fn bank_fingerprint(&self) -> Fingerprint {
+        self.bank_fp
     }
 
     /// The development-set feature matrix computed during training.
@@ -256,7 +245,29 @@ impl InspectorGadget {
     /// should read this instead — it is exactly what the labeler was
     /// tuned and fit on.
     pub fn dev_features(&self) -> &Matrix {
-        &self.dev_features
+        self.dev_features.as_ref()
+    }
+
+    /// Feature matrix of any batch under this model's generator, memoized
+    /// in `ctx`'s artifact store: a second arm (or a second model trained
+    /// from the same pattern bank) labeling the same batch reuses the
+    /// cached matrix instead of re-running the matching engine.
+    pub fn features_in(&self, ctx: &RunContext, images: DevSet<'_>) -> Arc<Matrix> {
+        let health = HealthReport::new();
+        infallible(ctx.run(&mut ComputeFeatures::new(
+            self.bank_fp,
+            self.feature_gen.as_ref(),
+            images,
+            None,
+            &health,
+        )))
+    }
+
+    /// [`InspectorGadget::label_prepared`] with the feature matrix
+    /// memoized in `ctx` (see [`InspectorGadget::features_in`]).
+    pub fn label_prepared_in(&self, ctx: &RunContext, images: &[PreparedImage]) -> WeakLabelOutput {
+        let features = self.features_in(ctx, DevSet::Prepared(images));
+        self.label_from_features(&features)
     }
 
     /// Generate weak labels for a batch of images.
@@ -287,56 +298,6 @@ impl InspectorGadget {
             labels,
             probabilities,
             max_similarities,
-        }
-    }
-}
-
-/// Rungs 2 and 3 of the training recovery ladder: fit the fixed fallback
-/// architecture; if that fails too, degrade to the class-prior labeler.
-#[allow(clippy::too_many_arguments)]
-fn fit_fixed_or_prior(
-    features: &Matrix,
-    dev_labels: &[usize],
-    num_classes: usize,
-    config: &PipelineConfig,
-    rng: &mut impl Rng,
-    plan: Option<&FaultPlan>,
-    health: &HealthReport,
-) -> Result<Labeler> {
-    let fixed = Labeler::new(
-        features.cols(),
-        LabelerConfig {
-            hidden: config.fixed_hidden.clone(),
-            num_classes,
-            l2: config.tuning.l2,
-            lbfgs: config.tuning.lbfgs,
-        },
-        rng,
-    )
-    .and_then(|mut labeler| {
-        labeler.fit_with_plan(features, dev_labels, plan, Some(health))?;
-        Ok(labeler)
-    });
-    match fixed {
-        Ok(labeler) => Ok(labeler),
-        Err(e) => {
-            health.record(
-                Stage::Training,
-                FaultKind::TrainingFailure,
-                RecoveryAction::FallbackClassPrior,
-                format!("fixed-architecture fit failed ({e}); using class priors"),
-            );
-            Labeler::class_prior(
-                features.cols(),
-                LabelerConfig {
-                    hidden: Vec::new(),
-                    num_classes,
-                    l2: config.tuning.l2,
-                    lbfgs: config.tuning.lbfgs,
-                },
-                dev_labels,
-                rng,
-            )
         }
     }
 }

@@ -1,0 +1,416 @@
+//! The training pipeline as [`ig_runtime`] stages.
+//!
+//! [`crate::InspectorGadget::train_in`] wires these together: pattern
+//! bank → [`BuildFeatureGen`] → [`ComputeFeatures`] (dev matrix) →
+//! [`TrainLabeler`]. The first two are deterministic functions of their
+//! fingerprinted inputs and memoize in the context's artifact store;
+//! the labeler stage consumes the caller's RNG and therefore never
+//! caches.
+
+use core::convert::Infallible;
+
+use ig_faults::{FaultKind, FaultPlan, HealthReport, RecoveryAction, Stage as FaultStage};
+use ig_imaging::prepared::PreparedImage;
+use ig_imaging::GrayImage;
+use ig_nn::Matrix;
+use ig_runtime::{Fingerprint, FingerprintHasher, Fingerprintable, RunContext, Stage};
+use rand::Rng;
+
+use crate::features::{FeatureGenerator, MatchBackend};
+use crate::labeler::{Labeler, LabelerConfig};
+use crate::pattern::{Pattern, PatternSource};
+use crate::pipeline::PipelineConfig;
+use crate::tuning::{tune_labeler_with_health, TuningReport};
+use crate::{CoreError, Result};
+
+impl Fingerprintable for Pattern {
+    fn fingerprint_into(&self, h: &mut FingerprintHasher) {
+        self.image.fingerprint_into(h);
+        h.write_u64(match self.source {
+            PatternSource::Crowd => 0,
+            PatternSource::Policy => 1,
+            PatternSource::Gan => 2,
+        });
+    }
+}
+
+/// A development (or any labeling) batch in either representation.
+///
+/// Raw images are prepared on the fly by the matching engine; prepared
+/// images carry their pyramid/integral caches. The two produce
+/// bit-identical feature matrices (pinned by
+/// `train_prepared_matches_unprepared_training`), so which one flows in
+/// is purely a performance choice.
+#[derive(Debug, Clone, Copy)]
+pub enum DevSet<'a> {
+    /// Plain images.
+    Raw(&'a [&'a GrayImage]),
+    /// Images with prebuilt matching caches.
+    Prepared(&'a [PreparedImage]),
+}
+
+impl DevSet<'_> {
+    /// Number of images in the batch.
+    pub fn len(&self) -> usize {
+        match self {
+            DevSet::Raw(images) => images.len(),
+            DevSet::Prepared(images) => images.len(),
+        }
+    }
+
+    /// True when the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Fingerprintable for DevSet<'_> {
+    fn fingerprint_into(&self, h: &mut FingerprintHasher) {
+        match self {
+            DevSet::Raw(images) => {
+                h.write_usize(images.len());
+                for image in *images {
+                    image.fingerprint_into(h);
+                }
+            }
+            DevSet::Prepared(images) => {
+                h.write_usize(images.len());
+                for image in *images {
+                    image.fingerprint_into(h);
+                }
+            }
+        }
+    }
+}
+
+/// Fingerprint of a pattern bank under a pipeline config: everything
+/// [`BuildFeatureGen`] reads that can change the generator it builds.
+pub fn bank_fingerprint(
+    patterns: &[Pattern],
+    config: &PipelineConfig,
+    ctx: &RunContext,
+) -> Fingerprint {
+    let mut h = FingerprintHasher::new();
+    patterns.fingerprint_into(&mut h);
+    h.write_u64(match config.backend {
+        MatchBackend::Exact => 0,
+        MatchBackend::Pyramid => 1,
+    });
+    h.write_usize(effective_threads(config, ctx));
+    h.finish()
+}
+
+/// Worker threads a stage should use: an explicit config wins, then the
+/// context budget, then the hardware default (0).
+fn effective_threads(config: &PipelineConfig, ctx: &RunContext) -> usize {
+    if config.threads > 0 {
+        config.threads
+    } else {
+        ctx.threads()
+    }
+}
+
+/// Build the [`FeatureGenerator`]: quarantine degenerate patterns and
+/// prepare the pattern bank for batched matching.
+#[derive(Debug)]
+pub struct BuildFeatureGen<'a> {
+    fp: Fingerprint,
+    patterns: Option<Vec<Pattern>>,
+    config: &'a PipelineConfig,
+    health: &'a HealthReport,
+}
+
+impl<'a> BuildFeatureGen<'a> {
+    /// Stage over an owned pattern bank (consumed on the first run).
+    pub fn new(
+        patterns: Vec<Pattern>,
+        config: &'a PipelineConfig,
+        health: &'a HealthReport,
+        ctx: &RunContext,
+    ) -> BuildFeatureGen<'a> {
+        BuildFeatureGen {
+            fp: bank_fingerprint(&patterns, config, ctx),
+            patterns: Some(patterns),
+            config,
+            health,
+        }
+    }
+
+    /// The bank fingerprint this stage was keyed with.
+    pub fn bank_fp(&self) -> Fingerprint {
+        self.fp
+    }
+}
+
+impl Stage for BuildFeatureGen<'_> {
+    type Output = FeatureGenerator;
+    type Error = CoreError;
+
+    fn id(&self) -> &'static str {
+        "core.feature_gen"
+    }
+
+    fn fingerprint(&self) -> Fingerprint {
+        self.fp
+    }
+
+    fn run(&mut self, ctx: &RunContext) -> Result<FeatureGenerator> {
+        let patterns = self.patterns.take().ok_or(CoreError::NoPatterns)?;
+        let mut feature_gen = FeatureGenerator::new_with_health(patterns, ctx.plan(), self.health)?
+            .with_backend(self.config.backend);
+        let threads = effective_threads(self.config, ctx);
+        if threads > 0 {
+            feature_gen = feature_gen.with_threads(threads);
+        }
+        Ok(feature_gen)
+    }
+}
+
+/// Run the matching engine: one similarity feature per (image, pattern).
+///
+/// The fault plan is an explicit field rather than being read from the
+/// context, because training injects into the dev matrix while labeling
+/// never injects — and the constructor folds the plan into the cache
+/// fingerprint, so the stage opts out of the runtime's automatic plan
+/// keying ([`Stage::plan_sensitive`] is false).
+#[derive(Debug)]
+pub struct ComputeFeatures<'a> {
+    fp: Fingerprint,
+    generator: &'a FeatureGenerator,
+    images: DevSet<'a>,
+    plan: Option<&'a FaultPlan>,
+    health: &'a HealthReport,
+}
+
+impl<'a> ComputeFeatures<'a> {
+    /// Stage computing features of `images` under `generator` (identified
+    /// by `bank_fp` — the generator must be the one built from it).
+    pub fn new(
+        bank_fp: Fingerprint,
+        generator: &'a FeatureGenerator,
+        images: DevSet<'a>,
+        plan: Option<&'a FaultPlan>,
+        health: &'a HealthReport,
+    ) -> ComputeFeatures<'a> {
+        let mut h = FingerprintHasher::new();
+        bank_fp.fingerprint_into(&mut h);
+        images.fingerprint_into(&mut h);
+        plan.fingerprint_into(&mut h);
+        ComputeFeatures {
+            fp: h.finish(),
+            generator,
+            images,
+            plan,
+            health,
+        }
+    }
+}
+
+impl Stage for ComputeFeatures<'_> {
+    type Output = Matrix;
+    type Error = Infallible;
+
+    fn id(&self) -> &'static str {
+        "core.features"
+    }
+
+    fn fingerprint(&self) -> Fingerprint {
+        self.fp
+    }
+
+    fn plan_sensitive(&self) -> bool {
+        false // the constructor already folded the plan in
+    }
+
+    fn run(&mut self, _ctx: &RunContext) -> std::result::Result<Matrix, Infallible> {
+        Ok(match self.images {
+            DevSet::Raw(images) => {
+                self.generator
+                    .feature_matrix_with_health(images, self.plan, self.health)
+            }
+            DevSet::Prepared(images) => {
+                self.generator
+                    .feature_matrix_prepared_with_health(images, self.plan, self.health)
+            }
+        })
+    }
+}
+
+/// Tune (or fit fixed) and train the labeler on a dev feature matrix.
+///
+/// Consumes the caller's RNG — externally-seeded state the store cannot
+/// fingerprint — so this stage never caches; two runs with equal inputs
+/// but different RNG positions are different computations.
+#[derive(Debug)]
+pub struct TrainLabeler<'a, R: Rng> {
+    /// Dev feature matrix (images × patterns).
+    pub features: &'a Matrix,
+    /// Gold labels of the dev set.
+    pub dev_labels: &'a [usize],
+    /// Number of task classes.
+    pub num_classes: usize,
+    /// Pipeline configuration (tuning switch, fixed architecture).
+    pub config: &'a PipelineConfig,
+    /// Caller's RNG, advanced by tuning/initialization.
+    pub rng: &'a mut R,
+    /// Per-call health sink.
+    pub health: &'a HealthReport,
+}
+
+impl<R: Rng> Stage for TrainLabeler<'_, R> {
+    type Output = (Labeler, Option<TuningReport>);
+    type Error = CoreError;
+
+    fn id(&self) -> &'static str {
+        "core.train_labeler"
+    }
+
+    fn fingerprint(&self) -> Fingerprint {
+        Fingerprint::null() // never consulted: the stage is not cacheable
+    }
+
+    fn cacheable(&self) -> bool {
+        false
+    }
+
+    fn run(&mut self, ctx: &RunContext) -> Result<(Labeler, Option<TuningReport>)> {
+        let plan = ctx.plan();
+        if self.config.tune {
+            match tune_labeler_with_health(
+                self.features,
+                self.dev_labels,
+                self.num_classes,
+                &self.config.tuning,
+                self.rng,
+                Some(self.health),
+            ) {
+                Ok((labeler, report)) => Ok((labeler, Some(report))),
+                Err(e) => {
+                    self.health.record(
+                        FaultStage::Tuning,
+                        FaultKind::TuningFailure,
+                        RecoveryAction::FallbackFixedArchitecture,
+                        format!(
+                            "tuning failed ({e}); training fixed {:?}",
+                            self.config.fixed_hidden
+                        ),
+                    );
+                    let labeler = fit_fixed_or_prior(
+                        self.features,
+                        self.dev_labels,
+                        self.num_classes,
+                        self.config,
+                        self.rng,
+                        plan,
+                        self.health,
+                    )?;
+                    Ok((labeler, None))
+                }
+            }
+        } else {
+            let labeler = fit_fixed_or_prior(
+                self.features,
+                self.dev_labels,
+                self.num_classes,
+                self.config,
+                self.rng,
+                plan,
+                self.health,
+            )?;
+            Ok((labeler, None))
+        }
+    }
+}
+
+/// Rungs 2 and 3 of the training recovery ladder: fit the fixed fallback
+/// architecture; if that fails too, degrade to the class-prior labeler.
+#[allow(clippy::too_many_arguments)]
+fn fit_fixed_or_prior(
+    features: &Matrix,
+    dev_labels: &[usize],
+    num_classes: usize,
+    config: &PipelineConfig,
+    rng: &mut impl Rng,
+    plan: Option<&FaultPlan>,
+    health: &HealthReport,
+) -> Result<Labeler> {
+    let fixed = Labeler::new(
+        features.cols(),
+        LabelerConfig {
+            hidden: config.fixed_hidden.clone(),
+            num_classes,
+            l2: config.tuning.l2,
+            lbfgs: config.tuning.lbfgs,
+        },
+        rng,
+    )
+    .and_then(|mut labeler| {
+        labeler.fit_with_plan(features, dev_labels, plan, Some(health))?;
+        Ok(labeler)
+    });
+    match fixed {
+        Ok(labeler) => Ok(labeler),
+        Err(e) => {
+            health.record(
+                FaultStage::Training,
+                FaultKind::TrainingFailure,
+                RecoveryAction::FallbackClassPrior,
+                format!("fixed-architecture fit failed ({e}); using class priors"),
+            );
+            Labeler::class_prior(
+                features.cols(),
+                LabelerConfig {
+                    hidden: Vec::new(),
+                    num_classes,
+                    l2: config.tuning.l2,
+                    lbfgs: config.tuning.lbfgs,
+                },
+                dev_labels,
+                rng,
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_fingerprint_tracks_source() {
+        let img = GrayImage::filled(5, 5, 0.2);
+        let crowd = Pattern::crowd(img.clone());
+        let policy = Pattern::augmented(img, PatternSource::Policy);
+        assert_ne!(crowd.fingerprint(), policy.fingerprint());
+    }
+
+    #[test]
+    fn bank_fingerprint_tracks_backend_and_threads() {
+        let ctx = RunContext::new(0);
+        let patterns = vec![Pattern::crowd(GrayImage::filled(4, 4, 0.3))];
+        let base = PipelineConfig::default();
+        let exact = PipelineConfig {
+            backend: MatchBackend::Exact,
+            ..base.clone()
+        };
+        let threaded = PipelineConfig {
+            threads: 3,
+            ..base.clone()
+        };
+        let fp = bank_fingerprint(&patterns, &base, &ctx);
+        assert_ne!(fp, bank_fingerprint(&patterns, &exact, &ctx));
+        assert_ne!(fp, bank_fingerprint(&patterns, &threaded, &ctx));
+        assert_eq!(fp, bank_fingerprint(&patterns, &base, &ctx));
+    }
+
+    #[test]
+    fn dev_set_len_covers_both_representations() {
+        let images = [GrayImage::filled(6, 6, 0.5)];
+        let refs: Vec<&GrayImage> = images.iter().collect();
+        let raw = DevSet::Raw(&refs);
+        assert_eq!(raw.len(), 1);
+        assert!(!raw.is_empty());
+        let prepared: Vec<PreparedImage> = Vec::new();
+        assert!(DevSet::Prepared(&prepared).is_empty());
+    }
+}

@@ -1,0 +1,80 @@
+//! Full-run determinism: a complete train → label run through the stage
+//! graph is a pure function of the run seed. Two fresh contexts with the
+//! same seed (separate artifact stores, so nothing is shared by
+//! reference) must produce bit-identical weak labels and probabilities,
+//! and memoization must not change the outcome.
+
+use ig_core::{DevSet, InspectorGadget, Pattern, PipelineConfig, RunContext};
+use ig_imaging::GrayImage;
+use ig_nn::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Miniature dark-square detection task (same shape as the unit-test
+/// fixture in `pipeline.rs`): 30 images, one crowd pattern.
+fn make_task(n: usize, seed: u64) -> (Vec<Pattern>, Vec<GrayImage>, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut images = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..n {
+        let defect = i % 2 == 1;
+        let mut img = GrayImage::from_fn(48, 32, |x, y| {
+            0.65 + 0.05 * ((x as f32 * 0.4).sin() * (y as f32 * 0.3).cos())
+        });
+        if defect {
+            let x = rng.gen_range(2..38);
+            let y = rng.gen_range(2..22);
+            img.fill_rect(x, y, 7, 7, 0.15);
+        }
+        images.push(img);
+        labels.push(usize::from(defect));
+    }
+    let mut pat = GrayImage::filled(7, 7, 0.15);
+    pat.fill_rect(0, 0, 7, 1, 0.6);
+    (vec![Pattern::crowd(pat)], images, labels)
+}
+
+/// One full pipeline run under `ctx`: train on the first 20 images, label
+/// the held-out 10. Every random decision derives from the context.
+fn run_once(ctx: &RunContext) -> (Vec<usize>, Matrix) {
+    let (patterns, images, labels) = make_task(30, 5);
+    let refs: Vec<&GrayImage> = images.iter().collect();
+    let config = PipelineConfig {
+        tune: false,
+        threads: 2,
+        ..Default::default()
+    };
+    let mut rng = ctx.rng(0);
+    let ig = InspectorGadget::train_in(
+        ctx,
+        patterns,
+        DevSet::Raw(&refs[..20]),
+        &labels[..20],
+        2,
+        &config,
+        &mut rng,
+    )
+    .expect("training succeeds on the toy task");
+    let out = ig.label(&refs[20..]);
+    (out.labels, out.probabilities)
+}
+
+#[test]
+fn same_seed_produces_identical_weak_labels() {
+    let (labels_a, proba_a) = run_once(&RunContext::new(11));
+    let (labels_b, proba_b) = run_once(&RunContext::new(11));
+    assert_eq!(labels_a, labels_b, "weak labels must be seed-deterministic");
+    assert_eq!(
+        proba_a.as_slice(),
+        proba_b.as_slice(),
+        "probabilities must be bit-identical across fresh runs"
+    );
+}
+
+#[test]
+fn memoization_does_not_change_the_outcome() {
+    let (labels_memo, proba_memo) = run_once(&RunContext::new(11));
+    let (labels_raw, proba_raw) = run_once(&RunContext::new(11).with_memoization(false));
+    assert_eq!(labels_memo, labels_raw);
+    assert_eq!(proba_memo.as_slice(), proba_raw.as_slice());
+}

@@ -1,7 +1,12 @@
 //! Stratified holdout splits.
 
+use ig_runtime::RunContext;
 use rand::seq::SliceRandom;
 use rand::Rng;
+
+/// RNG salt for [`stratified_split_in`]: keeps the split stream disjoint
+/// from every other `ctx.rng(salt)` consumer of the same run seed.
+const SPLIT_SALT: u64 = 0x5911_7000;
 
 /// Index sets of a holdout split.
 #[derive(Debug, Clone)]
@@ -54,6 +59,14 @@ pub fn stratified_split(labels: &[usize], test_fraction: f64, rng: &mut impl Rng
     train.sort_unstable();
     test.sort_unstable();
     Split { train, test }
+}
+
+/// [`stratified_split`] seeded from a [`RunContext`]: the split is a pure
+/// function of the context seed (and the inputs), so every consumer of
+/// the same run derives the same partition without threading an RNG.
+pub fn stratified_split_in(ctx: &RunContext, labels: &[usize], test_fraction: f64) -> Split {
+    let mut rng = ctx.rng(SPLIT_SALT);
+    stratified_split(labels, test_fraction, &mut rng)
 }
 
 #[cfg(test)]
@@ -117,6 +130,21 @@ mod tests {
         let labels = [10usize, 11, 12, 13, 14];
         let (ltrain, _) = split.select(&labels);
         assert_eq!(ltrain, vec![&10, &12, &13]);
+    }
+
+    #[test]
+    fn context_split_is_deterministic_per_seed() {
+        let labels: Vec<usize> = (0..30).map(|i| i % 3).collect();
+        let ctx = RunContext::new(42);
+        let a = stratified_split_in(&ctx, &labels, 0.25);
+        let b = stratified_split_in(&ctx, &labels, 0.25);
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.test, b.test);
+        let other = stratified_split_in(&RunContext::new(43), &labels, 0.25);
+        assert!(
+            a.train != other.train || a.test != other.test,
+            "different seeds should (generically) shuffle differently"
+        );
     }
 
     #[test]

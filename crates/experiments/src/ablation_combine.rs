@@ -4,7 +4,7 @@
 //! patterns"). This driver runs all three combination strategies through
 //! the full pipeline on the Product datasets.
 
-use crate::common::{run_ig_with_patterns, Prepared, Report, Scale};
+use crate::common::{run_ig_with_patterns, ExpEnv, Prepared, Report};
 use ig_crowd::{CombineStrategy, CrowdWorkflow};
 use ig_synth::spec::DatasetKind;
 use rand::rngs::StdRng;
@@ -21,10 +21,12 @@ struct Row {
 }
 
 /// Run the combination-strategy ablation.
-pub fn run(scale: Scale, seed: u64, out: &str) {
-    let mut report = Report::new("ablation_combine", out);
+pub fn run(env: &ExpEnv) {
+    let seed = env.seed();
+    let mut report = Report::new("ablation_combine", &env.out);
     report.line(format!(
-        "Combination-strategy ablation (reproduction extra, scale={scale:?}): weak-label F1"
+        "Combination-strategy ablation (reproduction extra, scale={}): weak-label F1",
+        env.scale().name()
     ));
     report.line(format!(
         "{:<22} {:>9} {:>9} {:>13}   mean pattern px (avg/union/inter)",
@@ -41,7 +43,7 @@ pub fn run(scale: Scale, seed: u64, out: &str) {
         DatasetKind::ProductBubble,
         DatasetKind::ProductStamping,
     ] {
-        let prepared = Prepared::new(kind, scale, seed);
+        let prepared = Prepared::new(&env.ctx, kind);
         let dev = prepared.dev_images();
         let mut scores = [0.0f64; 3];
         let mut areas = [0.0f64; 3];
@@ -60,9 +62,10 @@ pub fn run(scale: Scale, seed: u64, out: &str) {
                 .map(|p| (p.width() * p.height()) as f64)
                 .sum::<f64>()
                 / patterns.len() as f64;
-            scores[i] = run_ig_with_patterns(&prepared, &dev, patterns, false, seed + i as u64)
-                .map(|r| r.f1)
-                .unwrap_or(0.0);
+            scores[i] =
+                run_ig_with_patterns(&env.ctx, &prepared, &dev, patterns, false, seed + i as u64)
+                    .map(|r| r.f1)
+                    .unwrap_or(0.0);
         }
         report.line(format!(
             "{:<22} {:>9.3} {:>9.3} {:>13.3}   {:.0} / {:.0} / {:.0}",

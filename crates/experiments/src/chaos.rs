@@ -9,17 +9,21 @@
 //! evaluations, a diverging GAN epoch). The chaos arm must still return a
 //! trained model; its [`HealthReport`] enumerates every fault detected and
 //! the recovery applied.
+//!
+//! Each arm is a [`RunContext`] clone carrying its own plan: the arms
+//! share the run-wide artifact store (dataset generation and test-image
+//! preparation happen once), while every plan-sensitive stage keys its
+//! cache entries by the plan — the clean arm can never be served a
+//! faulted artifact.
 
-use crate::common::{default_policies, f1, gan_config, Prepared, Report, Scale};
+use crate::common::{default_policies, f1, gan_config, ExpEnv, Prepared, Report};
 use ig_augment::{augment_with_health, AugmentMethod};
 use ig_core::{
-    FaultPlan, HealthEvent, HealthReport, InspectorGadget, MatchBackend, Pattern, PatternSource,
-    PipelineConfig,
+    DevSet, FaultPlan, HealthEvent, HealthReport, InspectorGadget, MatchBackend, Pattern,
+    PatternSource, PipelineConfig, RunContext,
 };
 use ig_crowd::{CrowdWorkflow, WorkerModel};
 use ig_synth::spec::DatasetKind;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -31,19 +35,21 @@ struct ArmRecord {
 }
 
 /// Run the chaos experiment.
-pub fn run(scale: Scale, seed: u64, out: &str) {
-    let mut report = Report::new("chaos", out);
+pub fn run(env: &ExpEnv) {
+    let mut report = Report::new("chaos", &env.out);
     report.line("Chaos: fault injection and recovery across the full pipeline");
     report.line(format!("{:<8} {:>8} {:>8}", "arm", "F1", "faults"));
     let kind = DatasetKind::ProductScratch;
-    let prepared = Prepared::new(kind, scale, seed);
+    let prepared = Prepared::new(&env.ctx, kind);
+    let seed = env.seed();
     let mut records = Vec::new();
     for (arm, plan) in [
         ("clean", FaultPlan::none(seed)),
         ("chaos", FaultPlan::chaos(seed)),
     ] {
+        let arm_ctx = env.ctx.clone().with_plan(Some(plan));
         let health = HealthReport::new();
-        match run_arm(&prepared, kind, scale, seed, Some(&plan), &health) {
+        match run_arm(&arm_ctx, &prepared, kind, &health) {
             Some(score) => {
                 report.line(format!("{arm:<8} {score:>8.3} {:>8}", health.len()));
                 for line in health.render().lines() {
@@ -79,19 +85,21 @@ fn chaos_crew() -> CrowdWorkflow {
     workflow
 }
 
-/// One full pipeline run under an optional plan. Returns the test-set F1;
-/// every stage's fault events are merged into `health` (also on failure,
-/// so a bailed-out arm still carries its diagnosis).
+/// One full pipeline run under the context's fault plan. Returns the
+/// test-set F1; every stage's fault events are merged into `health` (also
+/// on failure, so a bailed-out arm still carries its diagnosis). Training
+/// runs through the stage graph ([`InspectorGadget::train_in`]), so the
+/// recovery ladders execute inside the runtime and the test-image
+/// matching caches come from the shared artifact store.
 fn run_arm(
+    ctx: &RunContext,
     prepared: &Prepared,
     kind: DatasetKind,
-    scale: Scale,
-    seed: u64,
-    plan: Option<&FaultPlan>,
     health: &HealthReport,
 ) -> Option<f64> {
+    let plan = ctx.plan();
     let dev = prepared.dev_images();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = ctx.rng(0);
     let crowd_out = chaos_crew().run_with_health(&dev, &mut rng, plan, health);
     if crowd_out.patterns.is_empty() {
         return None;
@@ -100,9 +108,9 @@ fn run_arm(
     let all_patterns = augment_with_health(
         &crowd_out.patterns,
         AugmentMethod::Both,
-        scale.augment_budget(),
+        ctx.scale().augment_budget,
         &policies,
-        &gan_config(scale),
+        &gan_config(ctx.scale()),
         &mut rng,
         plan,
         health,
@@ -119,20 +127,18 @@ fn run_arm(
         threads: 2,
         ..Default::default()
     };
-    let ig = InspectorGadget::train_with_plan(
+    let ig = InspectorGadget::train_in(
+        ctx,
         patterns,
-        &dev_images,
+        DevSet::Raw(&dev_images),
         &dev_labels,
         prepared.num_classes(),
         &config,
         &mut rng,
-        plan,
     )
     .ok()?;
     health.absorb(&ig.health);
-    let test = prepared.test_images();
-    let test_refs: Vec<&ig_imaging::GrayImage> = test.iter().map(|l| &l.image).collect();
-    let out = ig.label(&test_refs);
+    let out = ig.label_prepared_in(ctx, &prepared.test_prepared(ctx));
     let score = f1(prepared.num_classes(), &prepared.test_labels(), &out.labels);
     Some(score)
 }
@@ -140,7 +146,7 @@ fn run_arm(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ig_core::{FaultKind, RecoveryAction};
+    use ig_core::{FaultKind, RecoveryAction, ScalePlan};
     use ig_faults::GanFault;
 
     /// The acceptance test for the fault subsystem: every fault class the
@@ -174,17 +180,12 @@ mod tests {
             })
             .expect("some seed hits the target fault pattern");
 
-        let prepared = Prepared::new(DatasetKind::ProductScratch, Scale::Quick, 7);
+        let ctx = RunContext::new(7).with_scale(ScalePlan::quick());
+        let prepared = Prepared::new(&ctx, DatasetKind::ProductScratch);
+        let chaos_ctx = ctx.with_plan(Some(plan));
         let health = HealthReport::new();
-        let score = run_arm(
-            &prepared,
-            DatasetKind::ProductScratch,
-            Scale::Quick,
-            7,
-            Some(&plan),
-            &health,
-        )
-        .expect("chaos run still trains");
+        let score = run_arm(&chaos_ctx, &prepared, DatasetKind::ProductScratch, &health)
+            .expect("chaos run still trains");
         assert!(score.is_finite());
 
         for kind in [
@@ -214,31 +215,21 @@ mod tests {
     }
 
     /// Empty plan and no plan must be indistinguishable end to end: same
-    /// RNG stream, same weak labels, same F1, clean health.
+    /// RNG stream, same weak labels, same F1, clean health. The two runs
+    /// share one context store — the plan-keyed cache must not leak
+    /// either arm's artifacts into the other in a way that changes the
+    /// outcome.
     #[test]
     fn empty_plan_leaves_accuracy_unchanged() {
-        let prepared = Prepared::new(DatasetKind::ProductScratch, Scale::Quick, 9);
+        let ctx = RunContext::new(9).with_scale(ScalePlan::quick());
+        let prepared = Prepared::new(&ctx, DatasetKind::ProductScratch);
         let h_none = HealthReport::new();
-        let f1_none = run_arm(
-            &prepared,
-            DatasetKind::ProductScratch,
-            Scale::Quick,
-            9,
-            None,
-            &h_none,
-        )
-        .expect("clean run trains");
-        let empty = FaultPlan::none(9);
+        let f1_none = run_arm(&ctx, &prepared, DatasetKind::ProductScratch, &h_none)
+            .expect("clean run trains");
+        let empty_ctx = ctx.clone().with_plan(Some(FaultPlan::none(9)));
         let h_empty = HealthReport::new();
-        let f1_empty = run_arm(
-            &prepared,
-            DatasetKind::ProductScratch,
-            Scale::Quick,
-            9,
-            Some(&empty),
-            &h_empty,
-        )
-        .expect("clean run trains");
+        let f1_empty = run_arm(&empty_ctx, &prepared, DatasetKind::ProductScratch, &h_empty)
+            .expect("clean run trains");
         assert_eq!(f1_none, f1_empty, "empty plan changed the outcome");
         assert!(h_none.is_clean() && h_empty.is_clean());
     }

@@ -1,121 +1,78 @@
 //! Shared plumbing for the per-table/figure experiment drivers.
+//!
+//! Every driver runs under one [`ExpEnv`]: a [`RunContext`] carrying the
+//! seed, the [`ScalePlan`] and the run-wide artifact store, plus the
+//! output directory. Dataset generation and per-image matching-cache
+//! preparation go through the runtime's stages, so an `all` run (or a
+//! multi-arm driver) generates each dataset and pyramids each image
+//! exactly once — the memoization that the per-driver `OnceLock` caches
+//! used to approximate locally now lives in the shared store.
 
 use ig_augment::policy::{Policy, PolicyOp};
 use ig_augment::{augment, AugmentMethod, RganConfig};
 use ig_core::{
-    FeatureGenerator, InspectorGadget, MatchBackend, Pattern, PatternSource, PipelineConfig,
+    DevSet, FeatureGenerator, InspectorGadget, MatchBackend, Pattern, PatternSource,
+    PipelineConfig, RunContext, ScalePlan, ScaleTier,
 };
 use ig_crowd::{sample_dev_set, CrowdWorkflow};
 use ig_eval::metrics::{binary_f1, macro_f1};
-use ig_imaging::ncc::PyramidMatchConfig;
 use ig_imaging::prepared::PreparedImage;
 use ig_nn::Matrix;
-use ig_synth::spec::{DatasetKind, DatasetSpec};
+use ig_runtime::{infallible, GenerateDataset, PrepareImages};
+use ig_synth::spec::DatasetKind;
 use ig_synth::{Dataset, LabeledImage, TaskType};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
 use std::io::Write as _;
 use std::path::PathBuf;
+use std::sync::Arc;
 
-/// Experiment scale: trades fidelity to Table 1's `N` for runtime.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Scale {
-    /// Tiny — smoke-test in seconds.
-    Quick,
-    /// Paper class ratios at reduced `N` — the default; a full run takes
-    /// CPU-minutes.
-    Medium,
-    /// Table 1's exact `N`/`N_D` (reduced resolution) — slow.
-    Paper,
+/// One experiment invocation's environment: the shared [`RunContext`]
+/// (seed, scale, artifact store) and the output directory.
+pub struct ExpEnv {
+    /// Run-wide context. Drivers clone it to install a fault plan
+    /// ([`RunContext::with_plan`]); the clone shares the artifact store.
+    pub ctx: RunContext,
+    /// Report output directory.
+    pub out: String,
 }
 
-impl Scale {
-    /// Parse from CLI text.
-    pub fn parse(s: &str) -> Option<Scale> {
-        match s {
-            "quick" => Some(Scale::Quick),
-            "medium" => Some(Scale::Medium),
-            "paper" => Some(Scale::Paper),
-            _ => None,
-        }
+impl ExpEnv {
+    /// Scale plan shorthand.
+    pub fn scale(&self) -> &ScalePlan {
+        self.ctx.scale()
     }
 
-    /// Dataset spec for a kind at this scale.
-    pub fn spec(&self, kind: DatasetKind, seed: u64) -> DatasetSpec {
-        match self {
-            Scale::Quick => DatasetSpec::quick(kind, seed),
-            Scale::Medium => DatasetSpec::medium(kind, seed),
-            Scale::Paper => DatasetSpec::paper(kind, seed),
-        }
-    }
-
-    /// Target number of defective dev images (Table 1's `N_DV`), scaled.
-    pub fn dev_defective_target(&self, kind: DatasetKind) -> usize {
-        let paper = match kind {
-            DatasetKind::Ksdd => 10,
-            DatasetKind::ProductScratch => 76,
-            DatasetKind::ProductBubble => 10,
-            DatasetKind::ProductStamping => 15,
-            DatasetKind::Neu => 100, // per class
-        };
-        match self {
-            Scale::Quick => match kind {
-                DatasetKind::Neu => 3,
-                _ => (paper / 8).max(3),
-            },
-            Scale::Medium => match kind {
-                DatasetKind::Ksdd => 8,
-                DatasetKind::ProductScratch => 20,
-                DatasetKind::ProductBubble => 8,
-                DatasetKind::ProductStamping => 10,
-                DatasetKind::Neu => 25,
-            },
-            Scale::Paper => paper,
-        }
-    }
-
-    /// Augmented-pattern budget.
-    pub fn augment_budget(&self) -> usize {
-        match self {
-            Scale::Quick => 16,
-            Scale::Medium => 60,
-            Scale::Paper => 150,
-        }
-    }
-
-    /// CNN epochs for the baseline trainers.
-    pub fn cnn_epochs(&self) -> usize {
-        match self {
-            Scale::Quick => 6,
-            Scale::Medium => 20,
-            Scale::Paper => 30,
-        }
+    /// Seed shorthand.
+    pub fn seed(&self) -> u64 {
+        self.ctx.seed()
     }
 }
 
 /// A dataset with its sampled development order and the held-out rest.
 pub struct Prepared {
-    /// The generated dataset.
-    pub dataset: Dataset,
+    /// The generated dataset (shared via the context's artifact store —
+    /// two drivers asking for the same kind/scale/seed get one copy).
+    pub dataset: Arc<Dataset>,
     /// Dev indices in annotation order (prefixes = smaller dev sets).
     pub dev_order: Vec<usize>,
     /// Everything not in `dev_order` — the test set whose gold labels
     /// score the weak labels.
     pub test_indices: Vec<usize>,
-    /// Lazily built matching caches (pyramid + integral tables) for the
-    /// dev and test images, shared by every experiment arm that scores
-    /// this dataset.
-    dev_cache: std::sync::OnceLock<Vec<PreparedImage>>,
-    test_cache: std::sync::OnceLock<Vec<PreparedImage>>,
 }
 
 impl Prepared {
-    /// Generate and split.
-    pub fn new(kind: DatasetKind, scale: Scale, seed: u64) -> Prepared {
-        let dataset = ig_synth::generate(&scale.spec(kind, seed));
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
-        let mut dev_order = sample_dev_set(&dataset, scale.dev_defective_target(kind), &mut rng);
+    /// Generate (through the context's [`GenerateDataset`] stage) and
+    /// split. The dev sampling uses `ctx.rng(0x5eed)`, preserving the
+    /// legacy `seed ^ 0x5eed` derivation bit for bit.
+    pub fn new(ctx: &RunContext, kind: DatasetKind) -> Prepared {
+        let dataset = infallible(ctx.run(&mut GenerateDataset {
+            spec: ctx.scale().spec(kind, ctx.seed()),
+        }));
+        let mut rng = ctx.rng(0x5eed);
+        let mut dev_order =
+            sample_dev_set(&dataset, ctx.scale().dev_defective_target(kind), &mut rng);
         // Keep at least a third of the data as test and make sure the dev
         // set covers all classes (a tiny sample can hit defectives only,
         // which no labeler can be trained on).
@@ -144,32 +101,28 @@ impl Prepared {
             dataset,
             dev_order,
             test_indices,
-            dev_cache: std::sync::OnceLock::new(),
-            test_cache: std::sync::OnceLock::new(),
         }
     }
 
-    fn prepare(&self, indices: &[usize]) -> Vec<PreparedImage> {
-        let config = PyramidMatchConfig::default();
-        indices
+    fn prepare(&self, ctx: &RunContext, indices: &[usize]) -> Arc<Vec<PreparedImage>> {
+        let images: Vec<&ig_imaging::GrayImage> = indices
             .iter()
-            .map(|&i| PreparedImage::new(&self.dataset.images[i].image, &config))
-            .collect()
+            .map(|&i| &self.dataset.images[i].image)
+            .collect();
+        infallible(ctx.run(&mut PrepareImages::new(images)))
     }
 
-    /// Prepared forms of the first `k` dev images (annotation order),
-    /// built once for the full dev set and shared by every arm.
-    pub fn dev_prepared_prefix(&self, k: usize) -> &[PreparedImage] {
-        let all = self.dev_cache.get_or_init(|| self.prepare(&self.dev_order));
-        let k = k.min(all.len());
-        &all[..k]
+    /// Prepared forms (pyramid + integral tables) of the full dev set in
+    /// annotation order, memoized in the context's artifact store: every
+    /// arm that scores this dataset shares one build.
+    pub fn dev_prepared(&self, ctx: &RunContext) -> Arc<Vec<PreparedImage>> {
+        self.prepare(ctx, &self.dev_order)
     }
 
-    /// Prepared forms of the test images, built once and shared by every
-    /// arm that labels the test set.
-    pub fn test_prepared(&self) -> &[PreparedImage] {
-        self.test_cache
-            .get_or_init(|| self.prepare(&self.test_indices))
+    /// Prepared forms of the test images, memoized like
+    /// [`Prepared::dev_prepared`].
+    pub fn test_prepared(&self, ctx: &RunContext) -> Arc<Vec<PreparedImage>> {
+        self.prepare(ctx, &self.test_indices)
     }
 
     /// Number of classes of the task.
@@ -302,15 +255,15 @@ pub fn default_policies(kind: DatasetKind) -> Vec<Policy> {
 }
 
 /// GAN config scaled for experiments.
-pub fn gan_config(scale: Scale) -> RganConfig {
-    match scale {
-        Scale::Quick => RganConfig::quick(),
-        Scale::Medium => RganConfig {
+pub fn gan_config(scale: &ScalePlan) -> RganConfig {
+    match scale.tier {
+        ScaleTier::Quick => RganConfig::quick(),
+        ScaleTier::Medium => RganConfig {
             epochs: 150,
             pattern_side: 12,
             ..RganConfig::default()
         },
-        Scale::Paper => RganConfig {
+        ScaleTier::Paper => RganConfig {
             epochs: 400,
             ..RganConfig::default()
         },
@@ -335,14 +288,15 @@ pub struct IgRun {
 ///
 /// `dev` is the (possibly prefixed) development set; patterns come from
 /// the crowd workflow, get augmented with `method`, then the tuned
-/// labeler weak-labels the test set.
+/// labeler weak-labels the test set. All cacheable stages memoize in
+/// `ctx`'s artifact store.
 #[allow(clippy::too_many_arguments)]
 pub fn run_inspector_gadget(
+    ctx: &RunContext,
     prepared: &Prepared,
     dev: &[&LabeledImage],
     method: AugmentMethod,
     budget: usize,
-    scale: Scale,
     tune: bool,
     kind: DatasetKind,
     seed: u64,
@@ -358,14 +312,15 @@ pub fn run_inspector_gadget(
         method,
         budget,
         &policies,
-        &gan_config(scale),
+        &gan_config(ctx.scale()),
         &mut rng,
     );
-    run_ig_with_patterns(prepared, dev, all_patterns, tune, seed)
+    run_ig_with_patterns(ctx, prepared, dev, all_patterns, tune, seed)
 }
 
 /// Run IG given an explicit pattern set (used by ablations).
 pub fn run_ig_with_patterns(
+    ctx: &RunContext,
     prepared: &Prepared,
     dev: &[&LabeledImage],
     patterns: Vec<ig_imaging::GrayImage>,
@@ -393,37 +348,37 @@ pub fn run_ig_with_patterns(
         ..Default::default()
     };
     // Every driver passes a prefix of the annotation order, which lets
-    // the dataset-wide prepared-image cache back the training batch; an
-    // arbitrary dev slice falls back to per-call preparation.
+    // the store-backed prepared-image artifact serve the training batch;
+    // an arbitrary dev slice falls back to raw images.
     let dev_is_prefix = dev.len() <= prepared.dev_order.len()
         && dev
             .iter()
             .zip(&prepared.dev_order)
             .all(|(l, &i)| std::ptr::eq(*l, &prepared.dataset.images[i]));
-    let ig = if dev_is_prefix {
-        InspectorGadget::train_prepared(
+    let dev_prep = dev_is_prefix.then(|| prepared.dev_prepared(ctx));
+    let ig = match &dev_prep {
+        Some(all) => InspectorGadget::train_in(
+            ctx,
             patterns,
-            prepared.dev_prepared_prefix(dev.len()),
+            DevSet::Prepared(&all[..dev.len()]),
             &dev_labels,
             num_classes,
             &config,
             &mut rng,
-            None,
-        )
-    } else {
-        InspectorGadget::train(
+        ),
+        None => InspectorGadget::train_in(
+            ctx,
             patterns,
-            &dev_images,
+            DevSet::Raw(&dev_images),
             &dev_labels,
             num_classes,
             &config,
             &mut rng,
-        )
+        ),
     }
     .ok()?;
-    let test_features = ig
-        .feature_generator()
-        .feature_matrix_prepared(prepared.test_prepared());
+    let test_prep = prepared.test_prepared(ctx);
+    let test_features = ig.features_in(ctx, DevSet::Prepared(&test_prep));
     let out = ig.label_from_features(&test_features);
     let gold = prepared.test_labels();
     let score = f1(num_classes, &gold, &out.labels);
@@ -434,7 +389,7 @@ pub fn run_ig_with_patterns(
         max_similarities: out.max_similarities,
         weak_labels: out.labels,
         dev_features,
-        test_features,
+        test_features: (*test_features).clone(),
     })
 }
 

@@ -2,10 +2,11 @@
 //! GAN-based) on Product (stamping) — the diminishing-returns curve.
 
 use crate::common::{
-    crowd_patterns, default_policies, gan_config, run_ig_with_patterns, Prepared, Report, Scale,
+    crowd_patterns, default_policies, gan_config, run_ig_with_patterns, ExpEnv, Prepared, Report,
 };
 use ig_augment::gan::Rgan;
 use ig_augment::policy::policy_augment;
+use ig_core::ScaleTier;
 use ig_crowd::CrowdWorkflow;
 use ig_synth::spec::DatasetKind;
 use rand::rngs::StdRng;
@@ -24,42 +25,38 @@ struct Point {
 /// our stamping simulacrum saturates without augmentation, so the sweep
 /// also runs KSDD, where the no-augmentation baseline leaves headroom and
 /// the paper's rising-then-plateauing shape is visible.
-pub fn run(scale: Scale, seed: u64, out: &str) {
-    let mut report = Report::new("fig10", out);
+pub fn run(env: &ExpEnv) {
+    let mut report = Report::new("fig10", &env.out);
     let mut all_points = Vec::new();
     for kind in [DatasetKind::ProductStamping, DatasetKind::Ksdd] {
-        run_for(kind, scale, seed, &mut report, &mut all_points);
+        run_for(env, kind, &mut report, &mut all_points);
     }
     report.finish(&all_points);
 }
 
-fn run_for(
-    kind: DatasetKind,
-    scale: Scale,
-    seed: u64,
-    report: &mut Report,
-    all_points: &mut Vec<Point>,
-) {
+fn run_for(env: &ExpEnv, kind: DatasetKind, report: &mut Report, all_points: &mut Vec<Point>) {
+    let seed = env.seed();
     report.line(format!(
         "
-Figure 10 (reproduction, scale={scale:?}): F1 vs #augmented patterns on {}",
+Figure 10 (reproduction, scale={}): F1 vs #augmented patterns on {}",
+        env.scale().name(),
         kind.display_name()
     ));
-    let prepared = Prepared::new(kind, scale, seed);
+    let prepared = Prepared::new(&env.ctx, kind);
     let dev = prepared.dev_images();
     let base_patterns = crowd_patterns(&dev, &CrowdWorkflow::full(), seed ^ 0xf10);
     if base_patterns.is_empty() {
         report.line("(no crowd patterns; skipping)");
         return;
     }
-    let counts: Vec<usize> = match scale {
-        Scale::Quick => vec![0, 10, 20],
+    let counts: Vec<usize> = match env.scale().tier {
+        ScaleTier::Quick => vec![0, 10, 20],
         _ => vec![0, 20, 40, 60, 80, 100],
     };
     let policies = default_policies(kind);
     // Train the GAN once; sample increasing counts from it.
     let mut rng = StdRng::seed_from_u64(seed ^ 0xf11);
-    let gan = Rgan::train(&base_patterns, &gan_config(scale), &mut rng);
+    let gan = Rgan::train(&base_patterns, &gan_config(env.scale()), &mut rng);
 
     report.line(format!(
         "{:>12} {:>14} {:>14}",
@@ -70,17 +67,29 @@ Figure 10 (reproduction, scale={scale:?}): F1 vs #augmented patterns on {}",
         let mut rng = StdRng::seed_from_u64(seed ^ 0xf12 ^ count as u64);
         let mut policy_set = base_patterns.clone();
         policy_set.extend(policy_augment(&base_patterns, &policies, count, &mut rng));
-        let policy_f1 =
-            run_ig_with_patterns(&prepared, &dev, policy_set, false, seed + count as u64)
-                .map(|r| r.f1)
-                .unwrap_or(0.0);
+        let policy_f1 = run_ig_with_patterns(
+            &env.ctx,
+            &prepared,
+            &dev,
+            policy_set,
+            false,
+            seed + count as u64,
+        )
+        .map(|r| r.f1)
+        .unwrap_or(0.0);
 
         let mut gan_set = base_patterns.clone();
         gan_set.extend(gan.generate(count, &mut rng));
-        let gan_f1 =
-            run_ig_with_patterns(&prepared, &dev, gan_set, false, seed + 1000 + count as u64)
-                .map(|r| r.f1)
-                .unwrap_or(0.0);
+        let gan_f1 = run_ig_with_patterns(
+            &env.ctx,
+            &prepared,
+            &dev,
+            gan_set,
+            false,
+            seed + 1000 + count as u64,
+        )
+        .map(|r| r.f1)
+        .unwrap_or(0.0);
 
         report.line(format!("{count:>12} {policy_f1:>14.3} {gan_f1:>14.3}"));
         points.push(Point {

@@ -4,7 +4,7 @@
 //! the development set.
 
 use crate::common::{
-    crowd_patterns, default_policies, f1, feature_generator, gan_config, Prepared, Report, Scale,
+    crowd_patterns, default_policies, f1, feature_generator, gan_config, ExpEnv, Prepared, Report,
 };
 use ig_augment::{augment, AugmentMethod};
 use ig_core::labeler::{Labeler, LabelerConfig};
@@ -26,10 +26,12 @@ struct Row {
 }
 
 /// Run the Figure 11 reproduction.
-pub fn run(scale: Scale, seed: u64, out: &str) {
-    let mut report = Report::new("fig11", out);
+pub fn run(env: &ExpEnv) {
+    let seed = env.seed();
+    let mut report = Report::new("fig11", &env.out);
     report.line(format!(
-        "Figure 11 (reproduction, scale={scale:?}): F1 range over MLP architectures vs our tuning"
+        "Figure 11 (reproduction, scale={}): F1 range over MLP architectures vs our tuning",
+        env.scale().name()
     ));
     report.line(format!(
         "{:<22} {:>8} {:>8} {:>12}  {}",
@@ -44,7 +46,7 @@ pub fn run(scale: Scale, seed: u64, out: &str) {
     };
     let mut rows = Vec::new();
     for kind in DatasetKind::all() {
-        let prepared = Prepared::new(kind, scale, seed);
+        let prepared = Prepared::new(&env.ctx, kind);
         let dev = prepared.dev_images();
         let num_classes = prepared.num_classes();
         let mut rng = StdRng::seed_from_u64(seed ^ 0xf11a);
@@ -59,20 +61,22 @@ pub fn run(scale: Scale, seed: u64, out: &str) {
         let patterns = augment(
             &base,
             AugmentMethod::Both,
-            scale.augment_budget(),
+            env.scale().augment_budget,
             &default_policies(kind),
-            &gan_config(scale),
+            &gan_config(env.scale()),
             &mut rng,
         );
         let Some(fg) = feature_generator(&patterns) else {
             continue;
         };
         let dev_labels: Vec<usize> = dev.iter().map(|l| l.label).collect();
-        // Dev/test matching caches are shared across all five datasets'
-        // architecture sweeps — each image is pyramided exactly once.
-        let dev_features = fg.feature_matrix_prepared(prepared.dev_prepared_prefix(dev.len()));
+        // Dev/test matching caches live in the context's artifact store,
+        // shared with every other driver that scores these datasets —
+        // each image is pyramided exactly once per run.
+        let dev_prep = prepared.dev_prepared(&env.ctx);
+        let dev_features = fg.feature_matrix_prepared(&dev_prep[..dev.len()]);
         let test_labels = prepared.test_labels();
-        let test_features = fg.feature_matrix_prepared(prepared.test_prepared());
+        let test_features = fg.feature_matrix_prepared(&prepared.test_prepared(&env.ctx));
 
         // Evaluate every candidate architecture directly on the test set
         // (the oracle bounds: "maximum and minimum possible F1 scores").

@@ -2,13 +2,14 @@
 //! Inspector Gadget, Snuba, GOGGLES, self-learning VGG19 / MobileNetV2,
 //! and the transfer-learning baseline.
 
-use crate::common::{f1, run_inspector_gadget, Prepared, Report, Scale};
+use crate::common::{f1, run_inspector_gadget, ExpEnv, Prepared, Report};
 use ig_augment::AugmentMethod;
 use ig_baselines::cnn_models::CnnArch;
 use ig_baselines::goggles::{Goggles, GogglesConfig};
 use ig_baselines::selflearn::{SelfLearnConfig, SelfLearner};
 use ig_baselines::snuba::{Snuba, SnubaConfig};
 use ig_baselines::transfer::{fine_tune, pretrain};
+use ig_core::ScaleTier;
 use ig_imaging::GrayImage;
 use ig_synth::spec::DatasetKind;
 use rand::rngs::StdRng;
@@ -33,20 +34,23 @@ const METHODS: [&str; 6] = [
 ];
 
 /// Run the Figure 9 reproduction.
-pub fn run(scale: Scale, seed: u64, out: &str) {
-    let mut report = Report::new("fig9", out);
+pub fn run(env: &ExpEnv) {
+    let seed = env.seed();
+    let scale = *env.scale();
+    let mut report = Report::new("fig9", &env.out);
     report.line(format!(
-        "Figure 9 (reproduction, scale={scale:?}): weak-label F1 vs dev-set size"
+        "Figure 9 (reproduction, scale={}): weak-label F1 vs dev-set size",
+        scale.name()
     ));
     let cnn_config = SelfLearnConfig {
-        epochs: scale.cnn_epochs(),
+        epochs: scale.cnn_epochs,
         ..Default::default()
     };
     let fractions = [0.4f64, 0.6, 0.8, 1.0];
     let mut points: Vec<Point> = Vec::new();
 
     for kind in DatasetKind::all() {
-        let prepared = Prepared::new(kind, scale, seed);
+        let prepared = Prepared::new(&env.ctx, kind);
         let num_classes = prepared.num_classes();
         let test = prepared.test_images();
         let test_imgs: Vec<&GrayImage> = test.iter().map(|l| &l.image).collect();
@@ -107,12 +111,12 @@ pub fn run(scale: Scale, seed: u64, out: &str) {
 
             // Inspector Gadget (tuning on except at quick scale).
             let ig_run = run_inspector_gadget(
+                &env.ctx,
                 &prepared,
                 &dev,
                 AugmentMethod::Both,
-                scale.augment_budget(),
-                scale,
-                !matches!(scale, Scale::Quick),
+                scale.augment_budget,
+                !matches!(scale.tier, ScaleTier::Quick),
                 kind,
                 seed ^ (dev_size as u64),
             );
@@ -160,10 +164,10 @@ pub fn run(scale: Scale, seed: u64, out: &str) {
             // the sweep's single-core runtime.
             {
                 let mut rng = StdRng::seed_from_u64(seed ^ 0x70 ^ dev_size as u64);
-                let corpus_n = match scale {
-                    Scale::Quick => 64,
-                    Scale::Medium => 200,
-                    Scale::Paper => 640,
+                let corpus_n = match scale.tier {
+                    ScaleTier::Quick => 64,
+                    ScaleTier::Medium => 200,
+                    ScaleTier::Paper => 640,
                 };
                 let synthnet = ig_synth::synthnet::generate(corpus_n, 32, seed ^ 0x71);
                 let src_imgs: Vec<&GrayImage> = synthnet.images.iter().map(|l| &l.image).collect();

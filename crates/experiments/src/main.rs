@@ -2,7 +2,8 @@
 //! "Inspector Gadget" (Heo et al., VLDB 2020).
 //!
 //! ```text
-//! ig-experiments <experiment> [--scale quick|medium|paper] [--seed N] [--out DIR]
+//! ig-experiments <experiment> [--scale tiny|quick|medium|paper] [--seed N]
+//!                [--out DIR] [--no-memo]
 //!
 //! experiments: table1 table2 table3 table4 table5 table6
 //!              fig9 fig10 fig11 combine chaos all
@@ -13,7 +14,15 @@
 //!
 //! `--scale medium` (default) keeps the paper's class ratios at reduced
 //! dataset sizes so a full `all` run finishes in CPU-minutes; `paper`
-//! uses Table 1's exact N. Outputs go to stdout and `<out>/<exp>.{txt,json}`.
+//! uses Table 1's exact N; `tiny` is the CI smoke alias of `quick`.
+//! Outputs go to stdout and `<out>/<exp>.{txt,json}`.
+//!
+//! Every run builds one [`ExpEnv`] whose [`ig_core::RunContext`] is
+//! shared by all drivers it dispatches: datasets, prepared-image caches
+//! and feature matrices memoize in the context's artifact store, so an
+//! `all` run pyramids each image exactly once across experiments.
+//! `--no-memo` disables the store (every stage recomputes) — the A/B for
+//! benchmarking what memoization saves.
 
 mod ablation_combine;
 mod chaos;
@@ -28,26 +37,29 @@ mod table4;
 mod table5;
 mod table6;
 
-use common::Scale;
+use common::ExpEnv;
+use ig_core::{RunContext, ScalePlan};
 
 struct Args {
     experiment: String,
-    scale: Scale,
+    scale: ScalePlan,
     seed: u64,
     out: String,
+    memoize: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = std::env::args().skip(1);
     let experiment = args.next().ok_or("missing experiment name")?;
-    let mut scale = Scale::Medium;
+    let mut scale = ScalePlan::medium();
     let mut seed = 42u64;
     let mut out = "results".to_string();
+    let mut memoize = true;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--scale" => {
                 let v = args.next().ok_or("--scale needs a value")?;
-                scale = Scale::parse(&v).ok_or(format!("unknown scale {v}"))?;
+                scale = ScalePlan::parse(&v).ok_or(format!("unknown scale {v}"))?;
             }
             "--seed" => {
                 let v = args.next().ok_or("--seed needs a value")?;
@@ -55,6 +67,9 @@ fn parse_args() -> Result<Args, String> {
             }
             "--out" => {
                 out = args.next().ok_or("--out needs a value")?;
+            }
+            "--no-memo" => {
+                memoize = false;
             }
             other => return Err(format!("unknown flag {other}")),
         }
@@ -64,6 +79,7 @@ fn parse_args() -> Result<Args, String> {
         scale,
         seed,
         out,
+        memoize,
     })
 }
 
@@ -74,23 +90,29 @@ fn main() {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: ig-experiments <table1..table6|fig9|fig10|fig11|combine|chaos|all> \
-                 [--scale quick|medium|paper] [--seed N] [--out DIR]"
+                 [--scale tiny|quick|medium|paper] [--seed N] [--out DIR] [--no-memo]"
             );
             std::process::exit(2);
         }
     };
+    let env = ExpEnv {
+        ctx: RunContext::new(args.seed)
+            .with_scale(args.scale)
+            .with_memoization(args.memoize),
+        out: args.out,
+    };
     let run = |name: &str| match name {
-        "table1" => table1::run(args.scale, args.seed, &args.out),
-        "table2" => table2::run(args.scale, args.seed, &args.out),
-        "table3" => table3::run(args.scale, args.seed, &args.out),
-        "table4" => table4::run(args.scale, args.seed, &args.out),
-        "table5" => table5::run(args.scale, args.seed, &args.out),
-        "table6" => table6::run(args.scale, args.seed, &args.out),
-        "fig9" => fig9::run(args.scale, args.seed, &args.out),
-        "combine" => ablation_combine::run(args.scale, args.seed, &args.out),
-        "fig10" => fig10::run(args.scale, args.seed, &args.out),
-        "fig11" => fig11::run(args.scale, args.seed, &args.out),
-        "chaos" => chaos::run(args.scale, args.seed, &args.out),
+        "table1" => table1::run(&env),
+        "table2" => table2::run(&env),
+        "table3" => table3::run(&env),
+        "table4" => table4::run(&env),
+        "table5" => table5::run(&env),
+        "table6" => table6::run(&env),
+        "fig9" => fig9::run(&env),
+        "combine" => ablation_combine::run(&env),
+        "fig10" => fig10::run(&env),
+        "fig11" => fig11::run(&env),
+        "chaos" => chaos::run(&env),
         other => {
             eprintln!("unknown experiment {other}");
             std::process::exit(2);
@@ -109,4 +131,12 @@ fn main() {
     } else {
         run(&args.experiment);
     }
+    let store = env.ctx.store();
+    println!(
+        "[runtime: {} stage runs, artifact store {} entries, {} hits / {} misses]",
+        env.ctx.stage_runs(),
+        store.len(),
+        store.hits(),
+        store.misses()
+    );
 }

@@ -1,7 +1,7 @@
 //! Table 1: dataset statistics — image size, N (N_D), N_V (N_DV), defect
 //! and task type — for the generated simulacra.
 
-use crate::common::{all_kinds, task_name, Prepared, Report, Scale};
+use crate::common::{all_kinds, task_name, ExpEnv, Prepared, Report};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -17,10 +17,11 @@ struct Row {
 }
 
 /// Run the Table 1 reproduction.
-pub fn run(scale: Scale, seed: u64, out: &str) {
-    let mut report = Report::new("table1", out);
+pub fn run(env: &ExpEnv) {
+    let mut report = Report::new("table1", &env.out);
     report.line(format!(
-        "Table 1 (reproduction, scale={scale:?}): dataset statistics"
+        "Table 1 (reproduction, scale={}): dataset statistics",
+        env.scale().name()
     ));
     report.line(format!(
         "{:<22} {:>11} {:>12} {:>12}  {:<28} {:<11}",
@@ -28,7 +29,7 @@ pub fn run(scale: Scale, seed: u64, out: &str) {
     ));
     let mut rows = Vec::new();
     for kind in all_kinds() {
-        let prepared = Prepared::new(kind, scale, seed);
+        let prepared = Prepared::new(&env.ctx, kind);
         let (w, h) = prepared.dataset.image_dims();
         let dev = prepared.dev_images();
         let dev_defective = dev.iter().filter(|i| i.is_defective()).count();

@@ -3,10 +3,11 @@
 //! for ImageNet), fine-tune on the target dev set, and report target-test
 //! F1. The paper's finding: generic pre-training wins everywhere.
 
-use crate::common::{f1, Prepared, Report, Scale};
+use crate::common::{f1, ExpEnv, Prepared, Report};
 use ig_baselines::cnn_models::CnnArch;
 use ig_baselines::selflearn::SelfLearnConfig;
 use ig_baselines::transfer::{fine_tune, pretrain};
+use ig_core::ScaleTier;
 use ig_imaging::GrayImage;
 use ig_synth::spec::DatasetKind;
 use rand::rngs::StdRng;
@@ -28,13 +29,15 @@ const TARGETS: [DatasetKind; 4] = [
 ];
 
 /// Run the Table 2 reproduction.
-pub fn run(scale: Scale, seed: u64, out: &str) {
-    let mut report = Report::new("table2", out);
+pub fn run(env: &ExpEnv) {
+    let seed = env.seed();
+    let mut report = Report::new("table2", &env.out);
     report.line(format!(
-        "Table 2 (reproduction, scale={scale:?}): MiniVGG F1 when pre-trained on various sources"
+        "Table 2 (reproduction, scale={}): MiniVGG F1 when pre-trained on various sources",
+        env.scale().name()
     ));
     let config = SelfLearnConfig {
-        epochs: scale.cnn_epochs(),
+        epochs: env.scale().cnn_epochs,
         ..Default::default()
     };
 
@@ -48,13 +51,13 @@ pub fn run(scale: Scale, seed: u64, out: &str) {
 
     let targets: Vec<Prepared> = TARGETS
         .iter()
-        .map(|&k| Prepared::new(k, scale, seed))
+        .map(|&k| Prepared::new(&env.ctx, k))
         .collect();
     let synthnet = ig_synth::synthnet::generate(
-        match scale {
-            Scale::Quick => 64,
-            Scale::Medium => 320,
-            Scale::Paper => 800,
+        match env.scale().tier {
+            ScaleTier::Quick => 64,
+            ScaleTier::Medium => 320,
+            ScaleTier::Paper => 800,
         },
         32,
         seed ^ 0x1111,

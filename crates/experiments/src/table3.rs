@@ -2,7 +2,7 @@
 //! "No avg. (±std/2)" (raw per-worker boxes), "No peer review", and the
 //! full workflow. No pattern augmentation, matching the paper.
 
-use crate::common::{run_ig_with_patterns, Prepared, Report, Scale};
+use crate::common::{run_ig_with_patterns, ExpEnv, Prepared, Report};
 use ig_crowd::{CrowdWorkflow, WorkerModel};
 use ig_synth::spec::DatasetKind;
 use rand::rngs::StdRng;
@@ -25,10 +25,12 @@ const DATASETS: [DatasetKind; 3] = [
 ];
 
 /// Run the Table 3 reproduction.
-pub fn run(scale: Scale, seed: u64, out: &str) {
-    let mut report = Report::new("table3", out);
+pub fn run(env: &ExpEnv) {
+    let seed = env.seed();
+    let mut report = Report::new("table3", &env.out);
     report.line(format!(
-        "Table 3 (reproduction, scale={scale:?}): crowdsourcing workflow ablation (F1)"
+        "Table 3 (reproduction, scale={}): crowdsourcing workflow ablation (F1)",
+        env.scale().name()
     ));
     report.line(format!(
         "{:<22} {:>22} {:>16} {:>14}",
@@ -36,7 +38,7 @@ pub fn run(scale: Scale, seed: u64, out: &str) {
     ));
     let mut rows = Vec::new();
     for kind in DATASETS {
-        let prepared = Prepared::new(kind, scale, seed);
+        let prepared = Prepared::new(&env.ctx, kind);
         let dev = prepared.dev_images();
 
         // No avg: one run per worker, report mean ± std/2 across workers.
@@ -49,9 +51,10 @@ pub fn run(scale: Scale, seed: u64, out: &str) {
                 per_worker.push(0.0);
                 continue;
             }
-            let f1 = run_ig_with_patterns(&prepared, &dev, patterns, false, seed + wi as u64)
-                .map(|r| r.f1)
-                .unwrap_or(0.0);
+            let f1 =
+                run_ig_with_patterns(&env.ctx, &prepared, &dev, patterns, false, seed + wi as u64)
+                    .map(|r| r.f1)
+                    .unwrap_or(0.0);
             per_worker.push(f1);
         }
         let mean = per_worker.iter().sum::<f64>() / per_worker.len().max(1) as f64;
@@ -65,14 +68,14 @@ pub fn run(scale: Scale, seed: u64, out: &str) {
         // No peer review.
         let mut rng = StdRng::seed_from_u64(seed ^ 0x33);
         let patterns = CrowdWorkflow::no_peer_review().run(&dev, &mut rng).patterns;
-        let no_review = run_ig_with_patterns(&prepared, &dev, patterns, false, seed + 11)
+        let no_review = run_ig_with_patterns(&env.ctx, &prepared, &dev, patterns, false, seed + 11)
             .map(|r| r.f1)
             .unwrap_or(0.0);
 
         // Full workflow.
         let mut rng = StdRng::seed_from_u64(seed ^ 0x44);
         let patterns = CrowdWorkflow::full().run(&dev, &mut rng).patterns;
-        let full = run_ig_with_patterns(&prepared, &dev, patterns, false, seed + 13)
+        let full = run_ig_with_patterns(&env.ctx, &prepared, &dev, patterns, false, seed + 13)
             .map(|r| r.f1)
             .unwrap_or(0.0);
 

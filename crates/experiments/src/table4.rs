@@ -1,7 +1,7 @@
 //! Table 4: pattern augmentation ablation — crowd patterns only vs
 //! policy-based vs GAN-based vs both, per dataset.
 
-use crate::common::{all_kinds, run_inspector_gadget, Prepared, Report, Scale};
+use crate::common::{all_kinds, run_inspector_gadget, ExpEnv, Prepared, Report};
 use ig_augment::AugmentMethod;
 use serde::Serialize;
 
@@ -15,24 +15,26 @@ struct Row {
 }
 
 /// Run the Table 4 reproduction.
-pub fn run(scale: Scale, seed: u64, out: &str) {
-    let mut report = Report::new("table4", out);
+pub fn run(env: &ExpEnv) {
+    let seed = env.seed();
+    let mut report = Report::new("table4", &env.out);
     report.line(format!(
-        "Table 4 (reproduction, scale={scale:?}): augmentation impact on weak-label F1"
+        "Table 4 (reproduction, scale={}): augmentation impact on weak-label F1",
+        env.scale().name()
     ));
     report.line(format!(
         "{:<22} {:>9} {:>13} {:>11} {:>11}",
         "Dataset", "No Aug.", "Policy Based", "GAN Based", "Using Both"
     ));
-    let budget = scale.augment_budget();
+    let budget = env.scale().augment_budget;
     let mut rows = Vec::new();
     for kind in all_kinds() {
-        let prepared = Prepared::new(kind, scale, seed);
+        let prepared = Prepared::new(&env.ctx, kind);
         let dev = prepared.dev_images();
         let mut scores = [0.0f64; 4];
         for (i, method) in AugmentMethod::all().into_iter().enumerate() {
             scores[i] =
-                run_inspector_gadget(&prepared, &dev, method, budget, scale, false, kind, seed)
+                run_inspector_gadget(&env.ctx, &prepared, &dev, method, budget, false, kind, seed)
                     .map(|r| r.f1)
                     .unwrap_or(0.0);
         }

@@ -3,7 +3,7 @@
 //! the "tipping point" (how much more gold data dev-only needs to catch
 //! up).
 
-use crate::common::{f1, run_inspector_gadget, Prepared, Report, Scale};
+use crate::common::{f1, run_inspector_gadget, ExpEnv, Prepared, Report};
 use ig_augment::AugmentMethod;
 use ig_baselines::cnn_models::CnnArch;
 use ig_baselines::selflearn::{SelfLearnConfig, SelfLearner};
@@ -23,17 +23,19 @@ struct Row {
 }
 
 /// Run the Table 5 reproduction.
-pub fn run(scale: Scale, seed: u64, out: &str) {
-    let mut report = Report::new("table5", out);
+pub fn run(env: &ExpEnv) {
+    let seed = env.seed();
+    let mut report = Report::new("table5", &env.out);
     report.line(format!(
-        "Table 5 (reproduction, scale={scale:?}): end models on dev-only vs dev+weak labels"
+        "Table 5 (reproduction, scale={}): end models on dev-only vs dev+weak labels",
+        env.scale().name()
     ));
     report.line(format!(
         "{:<22} {:<12} {:>9} {:>9} {:>9}",
         "Dataset", "End Model", "Dev. Set", "WL (IG)", "Tip.Pnt"
     ));
     let config = SelfLearnConfig {
-        epochs: scale.cnn_epochs(),
+        epochs: env.scale().cnn_epochs,
         ..Default::default()
     };
     let mut rows = Vec::new();
@@ -43,7 +45,7 @@ pub fn run(scale: Scale, seed: u64, out: &str) {
         } else {
             CnnArch::MiniVgg
         };
-        let prepared = Prepared::new(kind, scale, seed);
+        let prepared = Prepared::new(&env.ctx, kind);
         let dev = prepared.dev_images();
         let num_classes = prepared.num_classes();
         // Split the held-out pool into a weak-label pool and a final test
@@ -56,11 +58,11 @@ pub fn run(scale: Scale, seed: u64, out: &str) {
 
         // 1. IG weak labels for the weak pool.
         let ig_run = run_inspector_gadget(
+            &env.ctx,
             &prepared,
             &dev,
             AugmentMethod::Both,
-            scale.augment_budget(),
-            scale,
+            env.scale().augment_budget,
             false,
             kind,
             seed,

@@ -2,7 +2,7 @@
 //! matching failure / noisy data / difficult-to-humans, using the
 //! generators' gold noise/difficulty flags.
 
-use crate::common::{all_kinds, run_inspector_gadget, Prepared, Report, Scale};
+use crate::common::{all_kinds, run_inspector_gadget, ExpEnv, Prepared, Report};
 use ig_augment::AugmentMethod;
 use ig_eval::error_analysis::{categorize_errors, SampleDiagnostics};
 use serde::Serialize;
@@ -17,10 +17,12 @@ struct Row {
 }
 
 /// Run the Table 6 reproduction.
-pub fn run(scale: Scale, seed: u64, out: &str) {
-    let mut report = Report::new("table6", out);
+pub fn run(env: &ExpEnv) {
+    let seed = env.seed();
+    let mut report = Report::new("table6", &env.out);
     report.line(format!(
-        "Table 6 (reproduction, scale={scale:?}): error analysis of Inspector Gadget"
+        "Table 6 (reproduction, scale={}): error analysis of Inspector Gadget",
+        env.scale().name()
     ));
     report.line(format!(
         "{:<22} {:>22} {:>16} {:>22}",
@@ -28,14 +30,14 @@ pub fn run(scale: Scale, seed: u64, out: &str) {
     ));
     let mut rows = Vec::new();
     for kind in all_kinds() {
-        let prepared = Prepared::new(kind, scale, seed);
+        let prepared = Prepared::new(&env.ctx, kind);
         let dev = prepared.dev_images();
         let Some(run) = run_inspector_gadget(
+            &env.ctx,
             &prepared,
             &dev,
             AugmentMethod::Both,
-            scale.augment_budget(),
-            scale,
+            env.scale().augment_budget,
             false,
             kind,
             seed,

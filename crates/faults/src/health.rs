@@ -211,6 +211,14 @@ impl HealthReport {
         self.lock().append(&mut moved);
     }
 
+    /// Copy all events from `other` into `self` (in order), leaving
+    /// `other` intact — the aggregation used when a run-wide report
+    /// mirrors a per-training-call report that the model keeps.
+    pub fn merge(&self, other: &HealthReport) {
+        let copied = other.events();
+        self.lock().extend(copied);
+    }
+
     /// Multi-line human-readable rendering.
     pub fn render(&self) -> String {
         let events = self.lock();

@@ -30,6 +30,7 @@ pub const LIBRARY_CRATES: &[&str] = &[
     "baselines",
     "synth",
     "faults",
+    "runtime",
 ];
 
 /// Crates allowed to use wall clocks, OS entropy, and panicking shortcuts:
@@ -64,10 +65,14 @@ pub fn hot_loop_scope(rel_path: &str) -> bool {
 }
 
 /// Files where the E1 `error-flow` rule runs in strict mode: fault-recovery
-/// ladders (`crates/faults`) and the pipeline core (`crates/core`), where a
-/// swallowed `Result` converts "degrade gracefully" into silent corruption.
+/// ladders (`crates/faults`), the pipeline core (`crates/core`), and the
+/// stage-graph runtime (`crates/runtime`), where a swallowed `Result`
+/// converts "degrade gracefully" into silent corruption — or, in the
+/// runtime's case, into serving a stale artifact as if freshly computed.
 pub fn strict_error_scope(rel_path: &str) -> bool {
-    rel_path.starts_with("crates/faults/src/") || rel_path.starts_with("crates/core/src/")
+    rel_path.starts_with("crates/faults/src/")
+        || rel_path.starts_with("crates/core/src/")
+        || rel_path.starts_with("crates/runtime/src/")
 }
 
 /// Classify a workspace-relative path (forward slashes).
@@ -242,6 +247,10 @@ mod tests {
     fn classify_paths() {
         assert_eq!(classify("crates/imaging/src/ncc.rs"), FileClass::Library);
         assert_eq!(
+            classify("crates/runtime/src/context.rs"),
+            FileClass::Library
+        );
+        assert_eq!(
             classify("crates/experiments/src/main.rs"),
             FileClass::Exempt
         );
@@ -262,6 +271,7 @@ mod tests {
         assert!(!hot_loop_scope("crates/nn/src/matrix.rs"));
         assert!(strict_error_scope("crates/faults/src/health.rs"));
         assert!(strict_error_scope("crates/core/src/pipeline.rs"));
+        assert!(strict_error_scope("crates/runtime/src/context.rs"));
         assert!(!strict_error_scope("crates/imaging/src/ncc.rs"));
     }
 

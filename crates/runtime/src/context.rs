@@ -1,0 +1,343 @@
+//! [`RunContext`]: the single carrier of run-wide discipline.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ig_faults::{FaultPlan, HealthReport};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::fingerprint::{Fingerprint, FingerprintHasher, Fingerprintable};
+use crate::scale::ScalePlan;
+use crate::stage::Stage;
+use crate::store::ArtifactStore;
+
+/// Everything a pipeline run shares: the seed, the active fault plan, the
+/// thread budget, the scale plan, the health report and the artifact
+/// store.
+///
+/// Cloning is cheap and *scoped*: the clone shares the store and health
+/// report but may carry a different fault plan (see
+/// [`RunContext::with_plan`]), which is how the chaos experiment runs a
+/// clean arm and a faulted arm over the same memoized dataset artifacts
+/// without ever serving a faulted artifact to the clean arm — the plan is
+/// part of every plan-sensitive cache key.
+#[derive(Debug, Clone)]
+pub struct RunContext {
+    seed: u64,
+    threads: usize,
+    memoize: bool,
+    scale: ScalePlan,
+    plan: Option<FaultPlan>,
+    store: Arc<ArtifactStore>,
+    health: Arc<HealthReport>,
+    stage_runs: Arc<AtomicU64>,
+}
+
+impl RunContext {
+    /// Context with the given seed, no fault plan, hardware-default
+    /// threads, quick scale, memoization on.
+    pub fn new(seed: u64) -> RunContext {
+        RunContext {
+            seed,
+            threads: 0,
+            memoize: true,
+            scale: ScalePlan::quick(),
+            plan: None,
+            store: Arc::new(ArtifactStore::new()),
+            health: Arc::new(HealthReport::new()),
+            stage_runs: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Replace the fault plan (shares the store: plan-sensitive cache
+    /// keys keep the arms apart).
+    pub fn with_plan(mut self, plan: Option<FaultPlan>) -> RunContext {
+        self.plan = plan;
+        self
+    }
+
+    /// Set the worker-thread budget (0 = hardware default).
+    pub fn with_threads(mut self, threads: usize) -> RunContext {
+        self.threads = threads;
+        self
+    }
+
+    /// Set the scale plan.
+    pub fn with_scale(mut self, scale: ScalePlan) -> RunContext {
+        self.scale = scale;
+        self
+    }
+
+    /// Turn memoization on or off (off: every stage recomputes).
+    pub fn with_memoization(mut self, on: bool) -> RunContext {
+        self.memoize = on;
+        self
+    }
+
+    /// The run seed — the root of all seed discipline.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// A deterministic RNG for the given salt: seeded with
+    /// `seed() ^ salt`, so `ctx.rng(0)` reproduces the legacy
+    /// `StdRng::seed_from_u64(seed)` streams exactly.
+    pub fn rng(&self, salt: u64) -> StdRng {
+        StdRng::seed_from_u64(self.seed ^ salt)
+    }
+
+    /// The active fault plan, if any.
+    pub fn plan(&self) -> Option<&FaultPlan> {
+        self.plan.as_ref()
+    }
+
+    /// Worker-thread budget (0 = hardware default).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The scale plan.
+    pub fn scale(&self) -> &ScalePlan {
+        &self.scale
+    }
+
+    /// The shared health report (faults recorded by any stage under this
+    /// context or its clones).
+    pub fn health(&self) -> &HealthReport {
+        &self.health
+    }
+
+    /// The shared artifact store.
+    pub fn store(&self) -> &ArtifactStore {
+        &self.store
+    }
+
+    /// Stages actually executed (cache misses + non-cacheable runs).
+    pub fn stage_runs(&self) -> u64 {
+        self.stage_runs.load(Ordering::Relaxed)
+    }
+
+    /// Cache key for a stage under this context: the stage's own
+    /// fingerprint, the run seed, and (for plan-sensitive stages) the
+    /// fault plan.
+    fn cache_key(&self, stage: &impl Stage) -> Fingerprint {
+        let mut h = FingerprintHasher::new();
+        h.write_str(stage.id());
+        stage.fingerprint().fingerprint_into(&mut h);
+        h.write_u64(self.seed);
+        if stage.plan_sensitive() {
+            self.plan.fingerprint_into(&mut h);
+        }
+        h.finish()
+    }
+
+    /// Execute a stage, serving it from the artifact store when possible.
+    ///
+    /// On a hit the returned `Arc` is the cached artifact itself —
+    /// bit-identical to the original computation by construction. On a
+    /// miss (or for non-cacheable stages) the stage runs and, when
+    /// cacheable, its output is stored for the next caller.
+    pub fn run<S: Stage>(&self, stage: &mut S) -> Result<Arc<S::Output>, S::Error> {
+        let cacheable = self.memoize && stage.cacheable();
+        if cacheable {
+            let key = self.cache_key(stage);
+            if let Some(artifact) = self.store.get(stage.id(), key) {
+                // A downcast failure means two stages share an id; fall
+                // through and recompute (the insert below then repairs
+                // the entry).
+                if let Ok(typed) = artifact.downcast::<S::Output>() {
+                    return Ok(typed);
+                }
+            }
+            self.stage_runs.fetch_add(1, Ordering::Relaxed);
+            let output = Arc::new(stage.run(self)?);
+            self.store.insert(stage.id(), key, output.clone());
+            Ok(output)
+        } else {
+            self.stage_runs.fetch_add(1, Ordering::Relaxed);
+            Ok(Arc::new(stage.run(self)?))
+        }
+    }
+
+    /// Like [`RunContext::run`] but hands back an owned output: moves out
+    /// of the `Arc` when this call produced the only reference (always
+    /// true for non-cacheable stages), clones otherwise.
+    pub fn run_owned<S>(&self, stage: &mut S) -> Result<S::Output, S::Error>
+    where
+        S: Stage,
+        S::Output: Clone,
+    {
+        let arc = self.run(stage)?;
+        match Arc::try_unwrap(arc) {
+            Ok(owned) => Ok(owned),
+            Err(shared) => Ok((*shared).clone()),
+        }
+    }
+}
+
+impl Fingerprintable for Fingerprint {
+    fn fingerprint_into(&self, h: &mut FingerprintHasher) {
+        h.write_u64(self.lo);
+        h.write_u64(self.hi);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use core::convert::Infallible;
+    use std::sync::atomic::AtomicUsize;
+
+    /// Test stage: doubles every element; counts real executions.
+    struct Doubler<'a> {
+        input: Vec<u64>,
+        calls: &'a AtomicUsize,
+        cacheable: bool,
+    }
+
+    impl Stage for Doubler<'_> {
+        type Output = Vec<u64>;
+        type Error = Infallible;
+
+        fn id(&self) -> &'static str {
+            "test.doubler"
+        }
+
+        fn fingerprint(&self) -> Fingerprint {
+            self.input.fingerprint()
+        }
+
+        fn cacheable(&self) -> bool {
+            self.cacheable
+        }
+
+        fn run(&mut self, _ctx: &RunContext) -> Result<Vec<u64>, Infallible> {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            Ok(self.input.iter().map(|v| v * 2).collect())
+        }
+    }
+
+    #[test]
+    fn second_run_is_served_from_cache() {
+        let ctx = RunContext::new(1);
+        let calls = AtomicUsize::new(0);
+        let mut stage = Doubler {
+            input: vec![1, 2, 3],
+            calls: &calls,
+            cacheable: true,
+        };
+        let a = crate::infallible(ctx.run(&mut stage));
+        let b = crate::infallible(ctx.run(&mut stage));
+        assert_eq!(*a, vec![2, 4, 6]);
+        assert!(Arc::ptr_eq(&a, &b), "hit returns the cached artifact");
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        assert_eq!(ctx.stage_runs(), 1);
+    }
+
+    #[test]
+    fn changed_input_recomputes() {
+        let ctx = RunContext::new(1);
+        let calls = AtomicUsize::new(0);
+        let mut a = Doubler {
+            input: vec![1],
+            calls: &calls,
+            cacheable: true,
+        };
+        let mut b = Doubler {
+            input: vec![2],
+            calls: &calls,
+            cacheable: true,
+        };
+        crate::infallible(ctx.run(&mut a));
+        crate::infallible(ctx.run(&mut b));
+        assert_eq!(calls.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn different_seed_recomputes() {
+        let store_sharing = RunContext::new(1);
+        let calls = AtomicUsize::new(0);
+        let mut stage = Doubler {
+            input: vec![1],
+            calls: &calls,
+            cacheable: true,
+        };
+        crate::infallible(store_sharing.run(&mut stage));
+        // Same store, different seed: the clone must not hit.
+        let mut reseeded = store_sharing.clone();
+        reseeded.seed = 2;
+        crate::infallible(reseeded.run(&mut stage));
+        assert_eq!(calls.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn plan_scopes_the_cache() {
+        let clean = RunContext::new(1);
+        let calls = AtomicUsize::new(0);
+        let mut stage = Doubler {
+            input: vec![3],
+            calls: &calls,
+            cacheable: true,
+        };
+        crate::infallible(clean.run(&mut stage));
+        let chaotic = clean.clone().with_plan(Some(FaultPlan::chaos(9)));
+        crate::infallible(chaotic.run(&mut stage));
+        assert_eq!(
+            calls.load(Ordering::Relaxed),
+            2,
+            "plan-sensitive stage must not cross arms"
+        );
+    }
+
+    #[test]
+    fn non_cacheable_always_runs() {
+        let ctx = RunContext::new(1);
+        let calls = AtomicUsize::new(0);
+        let mut stage = Doubler {
+            input: vec![1],
+            calls: &calls,
+            cacheable: false,
+        };
+        crate::infallible(ctx.run(&mut stage));
+        crate::infallible(ctx.run(&mut stage));
+        assert_eq!(calls.load(Ordering::Relaxed), 2);
+        assert!(ctx.store().is_empty());
+    }
+
+    #[test]
+    fn memoization_off_always_runs() {
+        let ctx = RunContext::new(1).with_memoization(false);
+        let calls = AtomicUsize::new(0);
+        let mut stage = Doubler {
+            input: vec![1],
+            calls: &calls,
+            cacheable: true,
+        };
+        crate::infallible(ctx.run(&mut stage));
+        crate::infallible(ctx.run(&mut stage));
+        assert_eq!(calls.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn run_owned_moves_out_of_unique_arc() {
+        let ctx = RunContext::new(1);
+        let calls = AtomicUsize::new(0);
+        let mut stage = Doubler {
+            input: vec![5],
+            calls: &calls,
+            cacheable: false,
+        };
+        let owned: Vec<u64> = crate::infallible(ctx.run_owned(&mut stage));
+        assert_eq!(owned, vec![10]);
+    }
+
+    #[test]
+    fn rng_salt_matches_legacy_xor_derivation() {
+        use rand::RngCore;
+        let ctx = RunContext::new(42);
+        let mut a = ctx.rng(0x5eed);
+        let mut b = StdRng::seed_from_u64(42 ^ 0x5eed);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,48 @@
+//! Stage-graph runtime for the Inspector Gadget pipeline.
+//!
+//! The paper's system is an explicit dataflow — crowdsourced patterns →
+//! augmenter → feature generation functions → labeler → end model (Fig. 2)
+//! — and every layer of this workspace runs some slice of it. This crate
+//! gives those slices one substrate:
+//!
+//! * [`Stage`]: a typed unit of work with a stable id and a structural
+//!   [`Fingerprint`] over its inputs and configuration;
+//! * [`RunContext`]: the single carrier of seed discipline, the active
+//!   [`ig_faults::FaultPlan`], the thread budget, the [`ScalePlan`], a
+//!   shared [`HealthReport`](ig_faults::HealthReport), and the artifact
+//!   store;
+//! * [`ArtifactStore`]: an in-memory content-addressed cache memoizing
+//!   stage outputs by `(stage id, input fingerprint, seed, fault plan)`,
+//!   so e.g. dev-set `PreparedImage`s and the dev feature matrix are
+//!   computed once per run and shared across experiment arms by
+//!   construction.
+//!
+//! Higher layers implement [`Stage`] for their own steps (`ig-core` ports
+//! the training pipeline; `ig-experiments` ports dataset generation and
+//! image preparation) and submit them through [`RunContext::run`].
+
+pub mod context;
+pub mod fingerprint;
+pub mod scale;
+pub mod stage;
+pub mod stages;
+pub mod store;
+
+pub use context::RunContext;
+pub use fingerprint::{Fingerprint, FingerprintHasher, Fingerprintable};
+pub use scale::{ScalePlan, ScaleTier};
+pub use stage::Stage;
+pub use stages::{GenerateDataset, PrepareImages};
+pub use store::ArtifactStore;
+
+/// Collapse a `Result` whose error type is uninhabited.
+///
+/// Stages that cannot fail use [`core::convert::Infallible`] as their
+/// error type; this turns the `Result` that [`RunContext::run`] still
+/// returns back into the bare value without a panic path.
+pub fn infallible<T>(result: Result<T, core::convert::Infallible>) -> T {
+    match result {
+        Ok(value) => value,
+        Err(never) => match never {},
+    }
+}

@@ -1,0 +1,167 @@
+//! Experiment scale plans: every dataset/budget knob in one place.
+//!
+//! Before the runtime existed each experiment driver re-derived dataset
+//! sizes, dev-set targets, augmentation budgets and CNN epochs from a
+//! local `Scale` enum; the [`ScalePlan`] carried by
+//! [`crate::RunContext`] is the single copy they all consume now.
+
+use crate::fingerprint::{FingerprintHasher, Fingerprintable};
+use ig_synth::spec::{DatasetKind, DatasetSpec};
+
+/// Named fidelity tier (how close to Table 1's `N` a run is).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleTier {
+    /// Tiny — smoke-test in seconds (CI runs this as `tiny`).
+    Quick,
+    /// Paper class ratios at reduced `N` — the default; a full run takes
+    /// CPU-minutes.
+    Medium,
+    /// Table 1's exact `N`/`N_D` (reduced resolution) — slow.
+    Paper,
+}
+
+/// Dataset-scaling knobs consumed via [`crate::RunContext::scale`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScalePlan {
+    /// Fidelity tier driving the dataset specs.
+    pub tier: ScaleTier,
+    /// Augmented-pattern budget per run.
+    pub augment_budget: usize,
+    /// Epochs for the CNN end-model baselines.
+    pub cnn_epochs: usize,
+}
+
+impl ScalePlan {
+    /// Smoke-test plan.
+    pub fn quick() -> ScalePlan {
+        ScalePlan {
+            tier: ScaleTier::Quick,
+            augment_budget: 16,
+            cnn_epochs: 6,
+        }
+    }
+
+    /// Default experiment plan.
+    pub fn medium() -> ScalePlan {
+        ScalePlan {
+            tier: ScaleTier::Medium,
+            augment_budget: 60,
+            cnn_epochs: 20,
+        }
+    }
+
+    /// Paper-scale plan.
+    pub fn paper() -> ScalePlan {
+        ScalePlan {
+            tier: ScaleTier::Paper,
+            augment_budget: 150,
+            cnn_epochs: 30,
+        }
+    }
+
+    /// Parse CLI text (`tiny` is an alias of `quick` for CI jobs).
+    pub fn parse(s: &str) -> Option<ScalePlan> {
+        match s {
+            "tiny" | "quick" => Some(ScalePlan::quick()),
+            "medium" => Some(ScalePlan::medium()),
+            "paper" => Some(ScalePlan::paper()),
+            _ => None,
+        }
+    }
+
+    /// Canonical name of the tier.
+    pub fn name(&self) -> &'static str {
+        match self.tier {
+            ScaleTier::Quick => "quick",
+            ScaleTier::Medium => "medium",
+            ScaleTier::Paper => "paper",
+        }
+    }
+
+    /// Dataset spec for a kind at this scale.
+    pub fn spec(&self, kind: DatasetKind, seed: u64) -> DatasetSpec {
+        match self.tier {
+            ScaleTier::Quick => DatasetSpec::quick(kind, seed),
+            ScaleTier::Medium => DatasetSpec::medium(kind, seed),
+            ScaleTier::Paper => DatasetSpec::paper(kind, seed),
+        }
+    }
+
+    /// Target number of defective dev images (Table 1's `N_DV`), scaled.
+    pub fn dev_defective_target(&self, kind: DatasetKind) -> usize {
+        let paper = match kind {
+            DatasetKind::Ksdd => 10,
+            DatasetKind::ProductScratch => 76,
+            DatasetKind::ProductBubble => 10,
+            DatasetKind::ProductStamping => 15,
+            DatasetKind::Neu => 100, // per class
+        };
+        match self.tier {
+            ScaleTier::Quick => match kind {
+                DatasetKind::Neu => 3,
+                _ => (paper / 8).max(3),
+            },
+            ScaleTier::Medium => match kind {
+                DatasetKind::Ksdd => 8,
+                DatasetKind::ProductScratch => 20,
+                DatasetKind::ProductBubble => 8,
+                DatasetKind::ProductStamping => 10,
+                DatasetKind::Neu => 25,
+            },
+            ScaleTier::Paper => paper,
+        }
+    }
+}
+
+impl Fingerprintable for ScalePlan {
+    fn fingerprint_into(&self, h: &mut FingerprintHasher) {
+        h.write_u64(match self.tier {
+            ScaleTier::Quick => 0,
+            ScaleTier::Medium => 1,
+            ScaleTier::Paper => 2,
+        });
+        h.write_usize(self.augment_budget);
+        h.write_usize(self.cnn_epochs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_tiny_alias() {
+        assert_eq!(ScalePlan::parse("tiny"), Some(ScalePlan::quick()));
+        assert_eq!(ScalePlan::parse("quick"), Some(ScalePlan::quick()));
+        assert_eq!(ScalePlan::parse("medium"), Some(ScalePlan::medium()));
+        assert_eq!(ScalePlan::parse("paper"), Some(ScalePlan::paper()));
+        assert_eq!(ScalePlan::parse("huge"), None);
+    }
+
+    #[test]
+    fn budgets_grow_with_tier() {
+        assert!(ScalePlan::quick().augment_budget < ScalePlan::medium().augment_budget);
+        assert!(ScalePlan::medium().augment_budget < ScalePlan::paper().augment_budget);
+        assert!(ScalePlan::quick().cnn_epochs < ScalePlan::paper().cnn_epochs);
+    }
+
+    #[test]
+    fn specs_follow_tier() {
+        let kind = DatasetKind::Ksdd;
+        assert_eq!(
+            ScalePlan::quick().spec(kind, 1),
+            DatasetSpec::quick(kind, 1)
+        );
+        assert_eq!(
+            ScalePlan::paper().spec(kind, 1),
+            DatasetSpec::paper(kind, 1)
+        );
+    }
+
+    #[test]
+    fn dev_target_matches_paper_at_paper_tier() {
+        let plan = ScalePlan::paper();
+        assert_eq!(plan.dev_defective_target(DatasetKind::ProductScratch), 76);
+        assert_eq!(plan.dev_defective_target(DatasetKind::Neu), 100);
+    }
+}

@@ -1,0 +1,50 @@
+//! The [`Stage`] trait: one typed unit of pipeline work.
+
+use crate::context::RunContext;
+use crate::fingerprint::Fingerprint;
+
+/// A typed pipeline step with declared identity and inputs.
+///
+/// Stages are plain structs holding (references to) their inputs and
+/// configuration; [`RunContext::run`] executes them and memoizes their
+/// outputs in the artifact store when [`Stage::cacheable`] allows it.
+///
+/// `run` takes `&mut self` so a stage can *consume* owned inputs (via
+/// `Option::take`) or drive an externally-seeded RNG — stages doing the
+/// latter must report `cacheable() == false`, because RNG state cannot be
+/// fingerprinted.
+pub trait Stage {
+    /// The artifact this stage produces. `Send + Sync + 'static` so it
+    /// can live in the shared store behind an `Arc`.
+    type Output: Send + Sync + 'static;
+    /// Error produced on failure (use [`core::convert::Infallible`] for
+    /// stages that cannot fail).
+    type Error;
+
+    /// Stable identifier, namespaced by crate (e.g. `"core.features"`).
+    /// Two stages with the same id must produce the same output type.
+    fn id(&self) -> &'static str;
+
+    /// Structural fingerprint over every input and configuration field
+    /// that can affect the output. Never consulted when
+    /// [`Stage::cacheable`] is false — such stages may return
+    /// [`Fingerprint::null`].
+    fn fingerprint(&self) -> Fingerprint;
+
+    /// Whether the output may be memoized. Default: yes.
+    fn cacheable(&self) -> bool {
+        true
+    }
+
+    /// Whether the output depends on the run's [`ig_faults::FaultPlan`].
+    /// Plan-sensitive stages (the default) get the plan folded into their
+    /// cache key, so a chaos arm never reuses a clean arm's artifact;
+    /// plan-independent stages (dataset generation, image preparation)
+    /// opt out and share artifacts across arms.
+    fn plan_sensitive(&self) -> bool {
+        true
+    }
+
+    /// Execute the stage. Called at most once per cache miss.
+    fn run(&mut self, ctx: &RunContext) -> Result<Self::Output, Self::Error>;
+}

@@ -1,0 +1,126 @@
+//! In-memory content-addressed artifact store.
+//!
+//! Artifacts are memoized stage outputs keyed by `(stage id, key
+//! fingerprint)`; the key fingerprint is derived by [`crate::RunContext`]
+//! from the stage's input fingerprint plus the run's seed and fault plan,
+//! so a hit is only possible when replaying the exact same computation —
+//! and the cached value is then bit-identical to what a recompute would
+//! produce.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::fingerprint::Fingerprint;
+
+/// Store key: stage identity plus the full input/seed/plan fingerprint.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Key {
+    id: &'static str,
+    fp: Fingerprint,
+}
+
+/// Thread-safe artifact cache shared by every stage under one
+/// [`crate::RunContext`] (and its plan-scoped clones).
+#[derive(Debug, Default)]
+pub struct ArtifactStore {
+    entries: Mutex<HashMap<Key, Arc<dyn Any + Send + Sync>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ArtifactStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Look up an artifact; counts a hit or a miss.
+    pub fn get(&self, id: &'static str, fp: Fingerprint) -> Option<Arc<dyn Any + Send + Sync>> {
+        let found = self.lock().get(&Key { id, fp }).cloned();
+        match found {
+            Some(artifact) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(artifact)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert (or replace) an artifact.
+    pub fn insert(&self, id: &'static str, fp: Fingerprint, artifact: Arc<dyn Any + Send + Sync>) {
+        self.lock().insert(Key { id, fp }, artifact);
+    }
+
+    /// Number of cached artifacts.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Lookups served from cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to compute so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Drop every cached artifact (counters are kept).
+    pub fn clear(&self) {
+        self.lock().clear();
+    }
+
+    fn lock(&self) -> MutexGuard<'_, HashMap<Key, Arc<dyn Any + Send + Sync>>> {
+        // A poisoned map only means a panic elsewhere while holding the
+        // lock; the map itself is always in a consistent state between
+        // `get`/`insert` calls, so recover rather than propagate.
+        self.entries.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::Fingerprintable;
+
+    #[test]
+    fn get_after_insert_round_trips() {
+        let store = ArtifactStore::new();
+        let fp = 1u64.fingerprint();
+        assert!(store.get("s", fp).is_none());
+        store.insert("s", fp, Arc::new(vec![1u32, 2, 3]));
+        let found = store
+            .get("s", fp)
+            .and_then(|a| a.downcast::<Vec<u32>>().ok());
+        assert_eq!(found.as_deref(), Some(&vec![1u32, 2, 3]));
+        assert_eq!((store.hits(), store.misses()), (1, 1));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn distinct_ids_do_not_collide() {
+        let store = ArtifactStore::new();
+        let fp = 7u64.fingerprint();
+        store.insert("a", fp, Arc::new(1u32));
+        assert!(store.get("b", fp).is_none());
+    }
+
+    #[test]
+    fn clear_empties_the_store() {
+        let store = ArtifactStore::new();
+        store.insert("a", 1u64.fingerprint(), Arc::new(1u32));
+        store.clear();
+        assert!(store.is_empty());
+    }
+}

@@ -1,0 +1,174 @@
+//! Property tests for artifact memoization: the cache must be *sound*
+//! (a hit is bit-identical to what a fresh computation would produce —
+//! in fact it is the very same `Arc`) and *precise* (any change to a
+//! stage's declared inputs, the run seed, or the fault plan of a
+//! plan-sensitive stage forces a recompute).
+//!
+//! Two stage families are exercised: a synthetic stage whose fingerprint
+//! covers an input vector plus a config scalar, and the real
+//! [`PrepareImages`] stage over random images, where a single perturbed
+//! pixel must change the fingerprint.
+
+use core::convert::Infallible;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use ig_faults::FaultPlan;
+use ig_imaging::GrayImage;
+use ig_runtime::{
+    infallible, Fingerprint, FingerprintHasher, Fingerprintable, PrepareImages, RunContext, Stage,
+};
+use proptest::prelude::*;
+
+/// Synthetic cacheable stage: output is a pure function of `input`,
+/// `gain` and the run seed; `calls` counts real executions.
+struct ScaleAdd<'a> {
+    input: Vec<u64>,
+    gain: u64,
+    calls: &'a AtomicUsize,
+}
+
+impl Stage for ScaleAdd<'_> {
+    type Output = Vec<u64>;
+    type Error = Infallible;
+
+    fn id(&self) -> &'static str {
+        "test.scale_add"
+    }
+
+    fn fingerprint(&self) -> Fingerprint {
+        let mut h = FingerprintHasher::new();
+        self.input.fingerprint_into(&mut h);
+        h.write_u64(self.gain);
+        h.finish()
+    }
+
+    fn run(&mut self, ctx: &RunContext) -> Result<Vec<u64>, Infallible> {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        Ok(self
+            .input
+            .iter()
+            .map(|v| v.wrapping_mul(self.gain) ^ ctx.seed())
+            .collect())
+    }
+}
+
+fn random_image(w: usize, h: usize, seed: u64) -> GrayImage {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    GrayImage::from_fn(w, h, |_, _| rng.gen_range(0.0f32..1.0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Identical stage + identical context ⇒ the second run is served from
+    /// the cache: zero extra executions and literally the same artifact.
+    #[test]
+    fn identical_inputs_and_seed_hit_the_cache(
+        input in proptest::collection::vec(any::<u64>(), 0..32),
+        gain in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let ctx = RunContext::new(seed);
+        let calls = AtomicUsize::new(0);
+        let mut stage = ScaleAdd { input: input.clone(), gain, calls: &calls };
+        let first = infallible(ctx.run(&mut stage));
+        let mut again = ScaleAdd { input, gain, calls: &calls };
+        let second = infallible(ctx.run(&mut again));
+        prop_assert!(Arc::ptr_eq(&first, &second), "hit must return the stored artifact");
+        prop_assert_eq!(&*first, &*second);
+        prop_assert_eq!(calls.load(Ordering::Relaxed), 1);
+    }
+
+    /// Any fingerprint-visible change — a mutated input element, a changed
+    /// config scalar, or a different run seed — forces a recompute, and
+    /// the recomputed artifact reflects the new inputs.
+    #[test]
+    fn any_fingerprint_change_recomputes(
+        input in proptest::collection::vec(any::<u64>(), 1..32),
+        gain in any::<u64>(),
+        seed in any::<u64>(),
+        which in 0usize..3,
+        tweak in 1u64..u64::MAX,
+    ) {
+        let ctx = RunContext::new(seed);
+        let calls = AtomicUsize::new(0);
+        let mut stage = ScaleAdd { input: input.clone(), gain, calls: &calls };
+        infallible(ctx.run(&mut stage));
+
+        let (mut input2, mut gain2, mut ctx2) = (input.clone(), gain, ctx.clone());
+        match which {
+            0 => {
+                let i = (tweak as usize) % input2.len();
+                input2[i] ^= tweak;
+            }
+            1 => gain2 = gain.wrapping_add(tweak),
+            // Same store, different seed: clones share the artifact map,
+            // so only the key separates the runs.
+            _ => ctx2 = RunContext::new(seed.wrapping_add(tweak)),
+        }
+        let mut changed = ScaleAdd { input: input2.clone(), gain: gain2, calls: &calls };
+        let out = infallible(ctx2.run(&mut changed));
+        prop_assert_eq!(calls.load(Ordering::Relaxed), 2, "changed stage must not hit");
+        let expect: Vec<u64> = input2
+            .iter()
+            .map(|v| v.wrapping_mul(gain2) ^ ctx2.seed())
+            .collect();
+        prop_assert_eq!(&*out, &expect);
+    }
+
+    /// The real [`PrepareImages`] stage: same pixels hit, one perturbed
+    /// pixel misses. Plan changes must NOT miss — preparation declares
+    /// itself plan-insensitive, so chaos and clean arms share it.
+    #[test]
+    fn prepare_images_keys_on_pixels_not_plan(
+        w in 4usize..12,
+        h in 4usize..12,
+        img_seed in any::<u64>(),
+        px in any::<usize>(),
+        plan_seed in any::<u64>(),
+    ) {
+        let image = random_image(w, h, img_seed);
+        let ctx = RunContext::new(1);
+        let first = infallible(ctx.run(&mut PrepareImages::new(vec![&image])));
+        let chaotic = ctx.clone().with_plan(Some(FaultPlan::chaos(plan_seed)));
+        let shared = infallible(chaotic.run(&mut PrepareImages::new(vec![&image])));
+        prop_assert!(
+            Arc::ptr_eq(&first, &shared),
+            "plan-insensitive stage must share artifacts across arms"
+        );
+
+        let mut perturbed = image.clone();
+        let i = px % (w * h);
+        let old = perturbed.pixels()[i];
+        perturbed.pixels_mut()[i] = if old > 0.5 { old - 0.5 } else { old + 0.5 };
+        let other = infallible(ctx.run(&mut PrepareImages::new(vec![&perturbed])));
+        prop_assert!(
+            !Arc::ptr_eq(&first, &other),
+            "a changed pixel must change the fingerprint"
+        );
+    }
+
+    /// With memoization disabled the store stays empty, every run
+    /// executes, and outputs still agree bit-for-bit with the memoized
+    /// path — caching must be a pure optimization.
+    #[test]
+    fn memoized_and_unmemoized_runs_agree(
+        input in proptest::collection::vec(any::<u64>(), 0..32),
+        gain in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let memo = RunContext::new(seed);
+        let raw = RunContext::new(seed).with_memoization(false);
+        let calls = AtomicUsize::new(0);
+        let a = infallible(memo.run(&mut ScaleAdd { input: input.clone(), gain, calls: &calls }));
+        let b = infallible(raw.run(&mut ScaleAdd { input: input.clone(), gain, calls: &calls }));
+        let c = infallible(raw.run(&mut ScaleAdd { input, gain, calls: &calls }));
+        prop_assert_eq!(&*a, &*b);
+        prop_assert_eq!(&*b, &*c);
+        prop_assert_eq!(calls.load(Ordering::Relaxed), 3, "unmemoized runs always execute");
+        prop_assert!(raw.store().is_empty());
+    }
+}
