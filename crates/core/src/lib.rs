@@ -38,11 +38,14 @@ pub use tuning::{tune_labeler, tune_labeler_with_health, TuningConfig, TuningRep
 
 // Chaos-plan and health-report types, re-exported so pipeline callers
 // don't need a direct `ig-faults` dependency.
-pub use ig_faults::{FaultKind, FaultPlan, HealthEvent, HealthReport, RecoveryAction, Stage};
+pub use ig_faults::{
+    FaultCount, FaultKind, FaultPlan, HealthEvent, HealthReport, HealthSummary, RecoveryAction,
+    Stage,
+};
 
 // Runtime types, re-exported so pipeline callers can build contexts and
 // scale plans without a direct `ig-runtime` dependency.
-pub use ig_runtime::{RunContext, ScalePlan, ScaleTier};
+pub use ig_runtime::{Clock, DiskStats, DiskStore, RunContext, ScalePlan, ScaleTier, Supervision};
 
 /// Errors from the core pipeline.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -13,7 +13,7 @@ use ig_faults::{FaultKind, FaultPlan, HealthReport, RecoveryAction, Stage as Fau
 use ig_imaging::prepared::PreparedImage;
 use ig_imaging::GrayImage;
 use ig_nn::Matrix;
-use ig_runtime::{Fingerprint, FingerprintHasher, Fingerprintable, RunContext, Stage};
+use ig_runtime::{Durable, Fingerprint, FingerprintHasher, Fingerprintable, RunContext, Stage};
 use rand::Rng;
 
 use crate::features::{FeatureGenerator, MatchBackend};
@@ -234,6 +234,25 @@ impl Stage for ComputeFeatures<'_> {
             }
         })
     }
+
+    // Feature matrices are the expensive artifact a resumed sweep most
+    // wants back. Only clean computations persist: a matrix computed
+    // under an active plan embeds injected faults whose *detection*
+    // events must replay on every run — reading it back from disk would
+    // skip the injection sites and desynchronize the health report.
+    fn encode(&self, output: &Matrix) -> Option<Vec<u8>> {
+        if self.plan.is_some_and(|p| !p.is_empty()) {
+            return None;
+        }
+        Some(output.to_bytes())
+    }
+
+    fn decode(&self, bytes: &[u8]) -> Option<Matrix> {
+        if self.plan.is_some_and(|p| !p.is_empty()) {
+            return None;
+        }
+        Matrix::from_bytes(bytes)
+    }
 }
 
 /// Tune (or fit fixed) and train the labeler on a dev feature matrix.
@@ -401,6 +420,55 @@ mod tests {
         assert_ne!(fp, bank_fingerprint(&patterns, &exact, &ctx));
         assert_ne!(fp, bank_fingerprint(&patterns, &threaded, &ctx));
         assert_eq!(fp, bank_fingerprint(&patterns, &base, &ctx));
+    }
+
+    #[test]
+    fn compute_features_persists_only_clean_runs() {
+        let health = HealthReport::new();
+        let patterns = vec![Pattern::crowd(GrayImage::filled(4, 4, 0.3))];
+        let generator = match FeatureGenerator::new_with_health(patterns, None, &health) {
+            Ok(g) => g,
+            Err(e) => {
+                assert!(false, "generator build failed: {e}");
+                return;
+            }
+        };
+        let images = [GrayImage::filled(6, 6, 0.5)];
+        let refs: Vec<&GrayImage> = images.iter().collect();
+        let matrix = Matrix::from_vec(1, 1, vec![0.5]);
+        let bank = Fingerprint::null();
+
+        let clean = ComputeFeatures::new(bank, &generator, DevSet::Raw(&refs), None, &health);
+        let bytes = clean.encode(&matrix);
+        assert!(bytes.is_some(), "clean features persist");
+        let decoded = bytes.as_deref().and_then(|b| clean.decode(b));
+        assert_eq!(
+            decoded.as_ref().map(Matrix::as_slice),
+            Some(matrix.as_slice()),
+            "round trip is bit-identical"
+        );
+
+        let plan = FaultPlan::chaos(1);
+        let faulted =
+            ComputeFeatures::new(bank, &generator, DevSet::Raw(&refs), Some(&plan), &health);
+        assert!(
+            faulted.encode(&matrix).is_none(),
+            "faulted features must replay their injection sites, not persist"
+        );
+        assert!(bytes.as_deref().and_then(|b| faulted.decode(b)).is_none());
+
+        let empty_plan = FaultPlan::none(1);
+        let benign = ComputeFeatures::new(
+            bank,
+            &generator,
+            DevSet::Raw(&refs),
+            Some(&empty_plan),
+            &health,
+        );
+        assert!(
+            benign.encode(&matrix).is_some(),
+            "an empty plan injects nothing and may persist"
+        );
     }
 
     #[test]

@@ -15,16 +15,26 @@
 //! preparation happen once), while every plan-sensitive stage keys its
 //! cache entries by the plan — the clean arm can never be served a
 //! faulted artifact.
+//!
+//! A third *durability* arm attacks the storage layer instead of the
+//! pipeline: every durable-store write runs under
+//! [`FaultPlan::durability`]-style injectors (torn writes, flipped bits,
+//! stale advisory locks), and a warm restart over the damaged store must
+//! quarantine what the checksums reject, recompute it, and land the cold
+//! pass's F1 exactly. See [`run_durability_arm`].
 
 use crate::common::{default_policies, f1, gan_config, ExpEnv, Prepared, Report};
 use ig_augment::{augment_with_health, AugmentMethod};
 use ig_core::{
     DevSet, FaultPlan, HealthEvent, HealthReport, InspectorGadget, MatchBackend, Pattern,
-    PatternSource, PipelineConfig, RunContext,
+    PatternSource, PipelineConfig, RunContext, ScalePlan,
 };
 use ig_crowd::{CrowdWorkflow, WorkerModel};
-use ig_synth::spec::DatasetKind;
+use ig_runtime::{infallible, DiskStats, DiskStore, GenerateDataset};
+use ig_synth::spec::{DatasetKind, DatasetSpec};
 use serde::Serialize;
+use std::path::Path;
+use std::sync::Arc;
 
 #[derive(Serialize)]
 struct ArmRecord {
@@ -72,7 +82,127 @@ pub fn run(env: &ExpEnv) {
             }
         }
     }
+    // Third arm: durability chaos. The store directory is rebuilt from
+    // scratch every run, so the cold/warm sequence — and hence the event
+    // log serialized below — is deterministic and `--resume`-safe.
+    let store_dir = std::path::PathBuf::from(&env.out).join("chaos-store");
+    match std::fs::remove_dir_all(&store_dir) {
+        // Missing on the first run; nothing to clear either way.
+        Ok(()) | Err(_) => {}
+    }
+    let health = HealthReport::new();
+    match run_durability_arm(*env.ctx.scale(), seed, &store_dir, &health) {
+        Some((cold, warm, disk)) => {
+            report.line(format!("{:<8} {warm:>8.3} {:>8}", "durable", health.len()));
+            report.line(format!(
+                "    cold F1 {cold:.3} vs warm F1 {warm:.3}: {} \
+                 (store: {} hits, {} writes, {} quarantined, {} stale locks broken)",
+                if cold == warm {
+                    "resume is exact"
+                } else {
+                    "MISMATCH"
+                },
+                disk.hits,
+                disk.writes,
+                disk.quarantined,
+                disk.locks_broken,
+            ));
+            for line in health.render().lines() {
+                report.line(format!("    {line}"));
+            }
+            records.push(ArmRecord {
+                arm: "durability".to_string(),
+                f1: warm,
+                fault_events: health.len(),
+                events: health.events(),
+            });
+        }
+        None => {
+            report.line(format!("{:<8} {:>8} (store unavailable)", "durable", "-"));
+        }
+    }
     report.finish(&records);
+}
+
+/// Datasets seeding the durable store in the durability arm: small and
+/// plentiful, so the plan's per-artifact fault draws cover every store
+/// fault class without rigging any single artifact.
+fn probe_specs() -> Vec<DatasetSpec> {
+    (0..12u64)
+        .map(|i| DatasetSpec::quick(DatasetKind::ProductBubble, 1000 + i))
+        .collect()
+}
+
+/// A durability plan whose deterministic per-artifact draws, over the
+/// probe artifacts' durable cache keys, fire every store fault class at
+/// least once — and leave at least one artifact intact so the warm pass
+/// has something to hit.
+fn probe_plan(seed: u64, keys: &[u64]) -> FaultPlan {
+    (0..10_000u64)
+        .map(|i| FaultPlan::durability(seed.wrapping_add(i)))
+        .find(|p| {
+            keys.iter().any(|&k| p.torn_write(k))
+                && keys.iter().any(|&k| p.artifact_bitflip(k))
+                && keys.iter().any(|&k| p.stale_lock(k))
+                && keys
+                    .iter()
+                    .any(|&k| !p.torn_write(k) && !p.artifact_bitflip(k))
+        })
+        .unwrap_or_else(|| FaultPlan::durability(seed))
+}
+
+/// The durability arm: the pipeline itself runs fault-free, but every
+/// durable-tier write goes through the plan's storage injectors. Two
+/// passes share one store directory. The cold pass seeds it — probe
+/// datasets plus the pipeline's own artifacts — through the faulted
+/// writer; the warm pass starts from a fresh context (as a resumed sweep
+/// does after a crash), quarantines every artifact the checksums reject,
+/// recomputes, and must reproduce the cold F1 bit for bit. Returns
+/// `(cold F1, warm F1, warm-pass disk stats)`; store and pipeline events
+/// from both passes accumulate in `health`.
+fn run_durability_arm(
+    scale: ScalePlan,
+    seed: u64,
+    store_dir: &Path,
+    health: &HealthReport,
+) -> Option<(f64, f64, DiskStats)> {
+    let specs = probe_specs();
+    let keys: Vec<u64> = {
+        // Plan-insensitive stages key by (id, fingerprint, seed) only, so
+        // a planless context derives the same durable keys the faulted
+        // contexts below will write under.
+        let keyer = RunContext::new(seed);
+        specs
+            .iter()
+            .map(|&spec| keyer.cache_key_for(&GenerateDataset { spec }).lo)
+            .collect()
+    };
+    let plan = probe_plan(seed, &keys);
+    let mut cold = None;
+    let mut warm = None;
+    let mut stats = DiskStats::default();
+    for pass in 0..2 {
+        let disk = Arc::new(DiskStore::open(store_dir).ok()?);
+        let ctx = RunContext::new(seed)
+            .with_scale(scale)
+            .with_plan(Some(plan.clone()))
+            .with_disk(Arc::clone(&disk));
+        for &spec in &specs {
+            // The artifact itself is beside the point; writing it through
+            // the faulted store (and re-reading it on the warm pass) is.
+            let _probe = infallible(ctx.run(&mut GenerateDataset { spec }));
+        }
+        let prepared = Prepared::new(&ctx, DatasetKind::ProductScratch);
+        let score = run_arm(&ctx, &prepared, DatasetKind::ProductScratch, health)?;
+        health.absorb(ctx.health());
+        if pass == 0 {
+            cold = Some(score);
+        } else {
+            warm = Some(score);
+        }
+        stats = disk.stats();
+    }
+    Some((cold?, warm?, stats))
 }
 
 /// A five-worker crew: large enough that an injected no-show plus an
@@ -167,6 +297,9 @@ mod tests {
                 crowd_spammer_rate: 0.25,
                 worker_panic_rate: 0.9,
                 lbfgs_poison_rate: 0.02,
+                torn_write_rate: 0.0,
+                artifact_bitflip_rate: 0.0,
+                stale_lock_rate: 0.0,
                 gan_fault_epoch: Some(1),
                 gan_fault: GanFault::Diverge,
             })
@@ -232,5 +365,30 @@ mod tests {
             .expect("clean run trains");
         assert_eq!(f1_none, f1_empty, "empty plan changed the outcome");
         assert!(h_none.is_clean() && h_empty.is_clean());
+    }
+
+    /// Durability acceptance: with the store under fault injection, every
+    /// storage fault class fires, each recovery is recorded, and the warm
+    /// (resumed) pass reproduces the cold pass's F1 bit for bit while
+    /// actually hitting the durable tier.
+    #[test]
+    fn durability_arm_survives_store_chaos() {
+        let dir = std::env::temp_dir().join(format!("ig-chaos-durable-{}", std::process::id()));
+        match std::fs::remove_dir_all(&dir) {
+            Ok(()) | Err(_) => {}
+        }
+        let health = HealthReport::new();
+        let (cold, warm, stats) =
+            run_durability_arm(ScalePlan::quick(), 7, &dir, &health).expect("durability arm runs");
+        assert_eq!(cold, warm, "a resumed sweep must land the identical F1");
+        assert!(health.count(FaultKind::ArtifactCorruption) >= 1);
+        assert!(health.count(FaultKind::StaleLock) >= 1);
+        assert!(health.count_action(RecoveryAction::QuarantinedArtifact) >= 1);
+        assert!(health.count_action(RecoveryAction::BrokeStaleLock) >= 1);
+        assert!(stats.hits >= 1, "warm pass must hit the durable tier");
+        assert!(stats.quarantined >= 1);
+        match std::fs::remove_dir_all(&dir) {
+            Ok(()) | Err(_) => {}
+        }
     }
 }

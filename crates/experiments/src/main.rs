@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! ig-experiments <experiment> [--scale tiny|quick|medium|paper] [--seed N]
-//!                [--out DIR] [--no-memo]
+//!                [--out DIR] [--no-memo] [--store DIR] [--resume]
+//!                [--health-exit]
 //!
 //! experiments: table1 table2 table3 table4 table5 table6
 //!              fig9 fig10 fig11 combine chaos all
@@ -15,7 +16,8 @@
 //! `--scale medium` (default) keeps the paper's class ratios at reduced
 //! dataset sizes so a full `all` run finishes in CPU-minutes; `paper`
 //! uses Table 1's exact N; `tiny` is the CI smoke alias of `quick`.
-//! Outputs go to stdout and `<out>/<exp>.{txt,json}`.
+//! Outputs go to stdout and `<out>/<exp>.{txt,json}`, plus a run-wide
+//! `<out>/health.json` (fault summary + event log).
 //!
 //! Every run builds one [`ExpEnv`] whose [`ig_core::RunContext`] is
 //! shared by all drivers it dispatches: datasets, prepared-image caches
@@ -23,6 +25,19 @@
 //! `all` run pyramids each image exactly once across experiments.
 //! `--no-memo` disables the store (every stage recomputes) — the A/B for
 //! benchmarking what memoization saves.
+//!
+//! `--store DIR` adds a crash-safe on-disk tier beneath the in-memory
+//! store: durable stages (dataset generation, clean feature matrices)
+//! persist as checksummed artifacts, so a rerun pointed at the same
+//! directory warm-starts from whatever a killed sweep already computed.
+//! Because every stage is a pure function of its key, the resumed run's
+//! result files are byte-identical to an uninterrupted one. `--resume`
+//! is the shorthand that defaults the store to `<out>/store`.
+//!
+//! `--health-exit` turns the health summary into the exit code: 0 for a
+//! clean run, 3 for completed-with-recovered-faults, 4 when any fault
+//! had no recovery — so sweep schedulers can distinguish "trust it",
+//! "trust it but inspect the log", and "rerun it" without parsing JSON.
 
 mod ablation_combine;
 mod chaos;
@@ -38,7 +53,9 @@ mod table5;
 mod table6;
 
 use common::ExpEnv;
-use ig_core::{RunContext, ScalePlan};
+use ig_core::{HealthReport, RunContext, ScalePlan};
+use ig_runtime::{Clock, DiskStore};
+use std::sync::Arc;
 
 struct Args {
     experiment: String,
@@ -46,6 +63,9 @@ struct Args {
     seed: u64,
     out: String,
     memoize: bool,
+    store: Option<String>,
+    resume: bool,
+    health_exit: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -55,6 +75,9 @@ fn parse_args() -> Result<Args, String> {
     let mut seed = 42u64;
     let mut out = "results".to_string();
     let mut memoize = true;
+    let mut store = None;
+    let mut resume = false;
+    let mut health_exit = false;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--scale" => {
@@ -71,6 +94,15 @@ fn parse_args() -> Result<Args, String> {
             "--no-memo" => {
                 memoize = false;
             }
+            "--store" => {
+                store = Some(args.next().ok_or("--store needs a value")?);
+            }
+            "--resume" => {
+                resume = true;
+            }
+            "--health-exit" => {
+                health_exit = true;
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -80,7 +112,33 @@ fn parse_args() -> Result<Args, String> {
         seed,
         out,
         memoize,
+        store,
+        resume,
+        health_exit,
     })
+}
+
+/// Serialize the run-wide health report to `<out>/health.json`: the
+/// machine-readable summary first, then the full event log. CI's crash
+/// drill excludes this one file from its byte-compare — store hit/miss
+/// recovery events legitimately differ between a cold run and a resumed
+/// one, while every other result file must not.
+fn write_health_json(out_dir: &str, health: &HealthReport) {
+    #[derive(serde::Serialize)]
+    struct HealthDoc {
+        summary: ig_core::HealthSummary,
+        events: Vec<ig_core::HealthEvent>,
+    }
+    let doc = HealthDoc {
+        summary: health.summary(),
+        events: health.events(),
+    };
+    if std::fs::create_dir_all(out_dir).is_err() {
+        return;
+    }
+    if let Ok(json) = serde_json::to_string_pretty(&doc) {
+        let _ = std::fs::write(std::path::Path::new(out_dir).join("health.json"), json);
+    }
 }
 
 fn main() {
@@ -90,16 +148,44 @@ fn main() {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: ig-experiments <table1..table6|fig9|fig10|fig11|combine|chaos|all> \
-                 [--scale tiny|quick|medium|paper] [--seed N] [--out DIR] [--no-memo]"
+                 [--scale tiny|quick|medium|paper] [--seed N] [--out DIR] [--no-memo] \
+                 [--store DIR] [--resume] [--health-exit]"
             );
             std::process::exit(2);
         }
     };
+    // Wall-clock deadlines are a driver concern: the runtime only ever
+    // sees this injected monotonic clock, never `Instant` itself.
+    let origin = std::time::Instant::now();
+    let mut ctx = RunContext::new(args.seed)
+        .with_scale(args.scale)
+        .with_memoization(args.memoize)
+        .with_clock(Clock::new(move || origin.elapsed().as_millis() as u64));
+    // `--resume` is `--store <out>/store`: both attach the durable tier,
+    // and resuming is nothing more than rerunning over a store directory
+    // that already holds a previous (possibly killed) run's artifacts.
+    let store_dir = args
+        .store
+        .clone()
+        .or_else(|| args.resume.then(|| format!("{}/store", args.out)));
+    let mut disk = None;
+    if let Some(dir) = &store_dir {
+        match DiskStore::open(dir) {
+            Ok(store) => {
+                let store = Arc::new(store);
+                ctx = ctx.with_disk(Arc::clone(&store));
+                println!("[store: durable tier at {dir}]");
+                disk = Some(store);
+            }
+            Err(e) => {
+                eprintln!("error: cannot open durable store at {dir}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
     let env = ExpEnv {
-        ctx: RunContext::new(args.seed)
-            .with_scale(args.scale)
-            .with_memoization(args.memoize),
-        out: args.out,
+        ctx,
+        out: args.out.clone(),
     };
     let run = |name: &str| match name {
         "table1" => table1::run(&env),
@@ -139,4 +225,28 @@ fn main() {
         store.hits(),
         store.misses()
     );
+    if let Some(disk) = &disk {
+        let s = disk.stats();
+        println!(
+            "[store: {} disk hits / {} misses, {} writes, {} quarantined, {} stale locks broken]",
+            s.hits, s.misses, s.writes, s.quarantined, s.locks_broken
+        );
+    }
+    let summary = env.ctx.health().summary();
+    write_health_json(&env.out, env.ctx.health());
+    println!(
+        "[health: {} fault(s), {} recovered, {} unrecovered -> {}/health.json]",
+        summary.total_faults, summary.recovered, summary.unrecovered, env.out
+    );
+    if args.health_exit {
+        // 0 = clean, 3 = completed with every fault recovered, 4 = at
+        // least one fault had no recovery action — "trust it", "inspect
+        // the log", "rerun it".
+        if summary.unrecovered > 0 {
+            std::process::exit(4);
+        }
+        if summary.total_faults > 0 {
+            std::process::exit(3);
+        }
+    }
 }

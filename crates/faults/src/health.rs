@@ -20,6 +20,8 @@ pub enum Stage {
     Training,
     /// End-to-end pipeline orchestration.
     Pipeline,
+    /// Durable artifact store (on-disk persistence tier).
+    Store,
 }
 
 impl fmt::Display for Stage {
@@ -31,6 +33,7 @@ impl fmt::Display for Stage {
             Stage::Tuning => "tuning",
             Stage::Training => "training",
             Stage::Pipeline => "pipeline",
+            Stage::Store => "store",
         };
         f.write_str(s)
     }
@@ -61,6 +64,18 @@ pub enum FaultKind {
     GanDivergence,
     /// GAN generator collapsed to near-identical outputs.
     GanModeCollapse,
+    /// An on-disk artifact failed integrity verification (bad magic,
+    /// truncated/torn file, checksum or key mismatch, undecodable payload).
+    ArtifactCorruption,
+    /// An advisory store lock was held by a process that no longer exists.
+    StaleLock,
+    /// The durable store hit an OS-level I/O error (persistence skipped;
+    /// the in-memory tier still serves the artifact).
+    StoreIoError,
+    /// A supervised stage returned an error (retry ladder engaged).
+    StageFailure,
+    /// A supervised stage finished but overran its deadline.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for FaultKind {
@@ -77,6 +92,11 @@ impl fmt::Display for FaultKind {
             FaultKind::TrainingFailure => "training failure",
             FaultKind::GanDivergence => "gan divergence",
             FaultKind::GanModeCollapse => "gan mode collapse",
+            FaultKind::ArtifactCorruption => "artifact corruption",
+            FaultKind::StaleLock => "stale lock",
+            FaultKind::StoreIoError => "store i/o error",
+            FaultKind::StageFailure => "stage failure",
+            FaultKind::DeadlineExceeded => "deadline exceeded",
         };
         f.write_str(s)
     }
@@ -103,6 +123,12 @@ pub enum RecoveryAction {
     RolledBackSnapshot,
     /// Dropped GAN output and used policy-based augmentation only.
     PolicyOnlyAugmentation,
+    /// Moved the corrupt on-disk artifact aside and recomputed it.
+    QuarantinedArtifact,
+    /// Removed an advisory lock whose owning process is dead.
+    BrokeStaleLock,
+    /// Re-ran the failed stage after a backoff delay.
+    RetriedWithBackoff,
     /// Fault was recorded but needed no intervention.
     NoneRequired,
 }
@@ -119,6 +145,9 @@ impl fmt::Display for RecoveryAction {
             RecoveryAction::FallbackClassPrior => "fallback class prior",
             RecoveryAction::RolledBackSnapshot => "rolled back snapshot",
             RecoveryAction::PolicyOnlyAugmentation => "policy-only augmentation",
+            RecoveryAction::QuarantinedArtifact => "quarantined artifact",
+            RecoveryAction::BrokeStaleLock => "broke stale lock",
+            RecoveryAction::RetriedWithBackoff => "retried with backoff",
             RecoveryAction::NoneRequired => "none required",
         };
         f.write_str(s)
@@ -219,6 +248,34 @@ impl HealthReport {
         self.lock().extend(copied);
     }
 
+    /// Aggregate the report into a serializable [`HealthSummary`]:
+    /// per-kind counts in first-seen order plus the recovered /
+    /// unrecovered split that drives driver exit-code policy.
+    pub fn summary(&self) -> HealthSummary {
+        let events = self.lock();
+        let mut by_kind: Vec<FaultCount> = Vec::new();
+        let mut recovered = 0usize;
+        let mut unrecovered = 0usize;
+        for e in events.iter() {
+            let kind = e.kind.to_string();
+            match by_kind.iter_mut().find(|c| c.kind == kind) {
+                Some(c) => c.count += 1,
+                None => by_kind.push(FaultCount { kind, count: 1 }),
+            }
+            if e.action == RecoveryAction::NoneRequired {
+                unrecovered += 1;
+            } else {
+                recovered += 1;
+            }
+        }
+        HealthSummary {
+            total_faults: events.len(),
+            recovered,
+            unrecovered,
+            by_kind,
+        }
+    }
+
     /// Multi-line human-readable rendering.
     pub fn render(&self) -> String {
         let events = self.lock();
@@ -242,6 +299,38 @@ impl Clone for HealthReport {
         Self {
             events: Mutex::new(self.events()),
         }
+    }
+}
+
+/// One fault class and how often it fired (see [`HealthReport::summary`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct FaultCount {
+    /// Display name of the fault class.
+    pub kind: String,
+    /// Events of that class.
+    pub count: usize,
+}
+
+/// Serializable roll-up of a [`HealthReport`], embedded in driver JSON so
+/// a sweep's output distinguishes "clean" from "completed with recovered
+/// faults" without replaying the log.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct HealthSummary {
+    /// Total events recorded.
+    pub total_faults: usize,
+    /// Events where a recovery action was applied.
+    pub recovered: usize,
+    /// Events recorded with [`RecoveryAction::NoneRequired`] (observed,
+    /// nothing to roll back).
+    pub unrecovered: usize,
+    /// Per-kind counts in first-seen order.
+    pub by_kind: Vec<FaultCount>,
+}
+
+impl HealthSummary {
+    /// True when no fault was recorded at all.
+    pub fn is_clean(&self) -> bool {
+        self.total_faults == 0
     }
 }
 
@@ -300,6 +389,48 @@ mod tests {
         let text = report.render();
         assert!(text.contains("gan mode collapse"));
         assert!(text.contains("policy-only augmentation"));
+    }
+
+    #[test]
+    fn summary_counts_and_recovery_split() {
+        let report = HealthReport::new();
+        assert!(report.summary().is_clean());
+        report.record(
+            Stage::Store,
+            FaultKind::ArtifactCorruption,
+            RecoveryAction::QuarantinedArtifact,
+            "checksum mismatch".into(),
+        );
+        report.record(
+            Stage::Store,
+            FaultKind::ArtifactCorruption,
+            RecoveryAction::QuarantinedArtifact,
+            "torn file".into(),
+        );
+        report.record(
+            Stage::Pipeline,
+            FaultKind::DeadlineExceeded,
+            RecoveryAction::NoneRequired,
+            "stage x".into(),
+        );
+        let summary = report.summary();
+        assert_eq!(summary.total_faults, 3);
+        assert_eq!(summary.recovered, 2);
+        assert_eq!(summary.unrecovered, 1);
+        assert_eq!(
+            summary.by_kind,
+            vec![
+                FaultCount {
+                    kind: "artifact corruption".into(),
+                    count: 2
+                },
+                FaultCount {
+                    kind: "deadline exceeded".into(),
+                    count: 1
+                },
+            ]
+        );
+        assert!(!summary.is_clean());
     }
 
     #[test]

@@ -24,5 +24,7 @@ pub mod inject;
 mod plan;
 pub mod sanitize;
 
-pub use health::{FaultKind, HealthEvent, HealthReport, RecoveryAction, Stage};
+pub use health::{
+    FaultCount, FaultKind, HealthEvent, HealthReport, HealthSummary, RecoveryAction, Stage,
+};
 pub use plan::{FaultPlan, GanFault};

@@ -38,6 +38,15 @@ pub struct FaultPlan {
     pub worker_panic_rate: f64,
     /// Probability an L-BFGS evaluation returns a non-finite loss.
     pub lbfgs_poison_rate: f64,
+    /// Probability a durable-store write lands truncated (a torn write:
+    /// the file exists but its payload stops short of the declared length).
+    pub torn_write_rate: f64,
+    /// Probability one payload bit of a durable-store write is flipped
+    /// after its checksum was computed (silent media corruption).
+    pub artifact_bitflip_rate: f64,
+    /// Probability a dead process's advisory lock file is left on an
+    /// artifact just before the store tries to write it.
+    pub stale_lock_rate: f64,
     /// Epoch at which GAN training is forced to misbehave, if any.
     pub gan_fault_epoch: Option<usize>,
     /// What the GAN fault looks like when `gan_fault_epoch` fires.
@@ -55,6 +64,9 @@ impl Default for FaultPlan {
             crowd_spammer_rate: 0.0,
             worker_panic_rate: 0.0,
             lbfgs_poison_rate: 0.0,
+            torn_write_rate: 0.0,
+            artifact_bitflip_rate: 0.0,
+            stale_lock_rate: 0.0,
             gan_fault_epoch: None,
             gan_fault: GanFault::Diverge,
         }
@@ -83,6 +95,20 @@ impl FaultPlan {
             lbfgs_poison_rate: 0.02,
             gan_fault_epoch: Some(1),
             gan_fault: GanFault::Diverge,
+            ..Self::default()
+        }
+    }
+
+    /// Preset exercising only the durable-store fault classes (torn
+    /// writes, bit flips, stale locks) at rates high enough that a
+    /// handful of artifacts hits every class.
+    pub fn durability(seed: u64) -> Self {
+        Self {
+            seed,
+            torn_write_rate: 0.3,
+            artifact_bitflip_rate: 0.3,
+            stale_lock_rate: 0.3,
+            ..Self::default()
         }
     }
 
@@ -98,6 +124,9 @@ impl FaultPlan {
             self.crowd_spammer_rate,
             self.worker_panic_rate,
             self.lbfgs_poison_rate,
+            self.torn_write_rate,
+            self.artifact_bitflip_rate,
+            self.stale_lock_rate,
         ]
         .iter()
         .all(|&r| is_effectively_zero_f64(r))
@@ -168,6 +197,25 @@ impl FaultPlan {
         self.decide("lbfgs-poison", iter as u64, self.lbfgs_poison_rate)
     }
 
+    /// Should the durable write of artifact `key` land truncated?
+    /// `key` is the low word of the artifact's content fingerprint, so
+    /// the decision is a pure function of *which* artifact is written.
+    pub fn torn_write(&self, key: u64) -> bool {
+        self.decide("store-torn-write", key, self.torn_write_rate)
+    }
+
+    /// Should one payload bit of artifact `key` be flipped after its
+    /// checksum was computed? (Torn write wins when both fire.)
+    pub fn artifact_bitflip(&self, key: u64) -> bool {
+        !self.torn_write(key) && self.decide("store-bitflip", key, self.artifact_bitflip_rate)
+    }
+
+    /// Should a dead process's lock file be planted on artifact `key`
+    /// just before the store writes it?
+    pub fn stale_lock(&self, key: u64) -> bool {
+        self.decide("store-stale-lock", key, self.stale_lock_rate)
+    }
+
     /// GAN fault scheduled for `epoch`, if any.
     pub fn gan_fault_at(&self, epoch: usize) -> Option<GanFault> {
         match self.gan_fault_epoch {
@@ -230,6 +278,32 @@ mod tests {
             (1500..2500).contains(&hits),
             "expected ~2000 hits at rate 0.2, got {hits}"
         );
+    }
+
+    #[test]
+    fn durability_preset_fires_every_store_fault_class() {
+        let plan = FaultPlan::durability(5);
+        assert!(!plan.is_empty());
+        assert!((0..40).any(|k| plan.torn_write(k)));
+        assert!((0..40).any(|k| plan.artifact_bitflip(k)));
+        assert!((0..40).any(|k| plan.stale_lock(k)));
+        // Clean plans never fire them.
+        let none = FaultPlan::none(5);
+        assert!((0..1000)
+            .all(|k| !none.torn_write(k) && !none.artifact_bitflip(k) && !none.stale_lock(k)));
+    }
+
+    #[test]
+    fn torn_write_and_bitflip_are_exclusive() {
+        let plan = FaultPlan {
+            seed: 9,
+            torn_write_rate: 0.5,
+            artifact_bitflip_rate: 0.5,
+            ..FaultPlan::default()
+        };
+        for k in 0..300 {
+            assert!(!(plan.torn_write(k) && plan.artifact_bitflip(k)));
+        }
     }
 
     #[test]

@@ -272,7 +272,29 @@ mod tests {
         assert!(strict_error_scope("crates/faults/src/health.rs"));
         assert!(strict_error_scope("crates/core/src/pipeline.rs"));
         assert!(strict_error_scope("crates/runtime/src/context.rs"));
+        // The durable-persistence layer: a swallowed I/O or codec Result
+        // here is exactly the "silent corruption" E1 strict mode exists
+        // for. Pin the modules by name so a future split of the runtime
+        // crate cannot quietly drop them from scope.
+        assert!(strict_error_scope("crates/runtime/src/disk.rs"));
+        assert!(strict_error_scope("crates/runtime/src/codec.rs"));
+        assert!(strict_error_scope("crates/runtime/src/store.rs"));
         assert!(!strict_error_scope("crates/imaging/src/ncc.rs"));
+    }
+
+    #[test]
+    fn runtime_is_a_library_crate() {
+        // The stage-graph runtime (including its persistence modules)
+        // must stay under full invariant coverage: D1 keeps wall clocks
+        // and ambient entropy out of the durability protocol, P1 keeps
+        // panics out of the artifact parser.
+        assert!(LIBRARY_CRATES.contains(&"runtime"));
+        assert_eq!(classify("crates/runtime/src/disk.rs"), FileClass::Library);
+        assert_eq!(classify("crates/runtime/src/codec.rs"), FileClass::Library);
+        assert_eq!(
+            classify("crates/runtime/tests/durability.rs"),
+            FileClass::Test
+        );
     }
 
     #[test]

@@ -1,16 +1,50 @@
 //! [`RunContext`]: the single carrier of run-wide discipline.
 
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
-use ig_faults::{FaultPlan, HealthReport};
+use ig_faults::{FaultKind, FaultPlan, HealthReport, RecoveryAction};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::disk::DiskStore;
 use crate::fingerprint::{Fingerprint, FingerprintHasher, Fingerprintable};
 use crate::scale::ScalePlan;
 use crate::stage::Stage;
 use crate::store::ArtifactStore;
+
+/// Injected monotonic time source, in milliseconds from an arbitrary
+/// origin.
+///
+/// Library code must not read wall clocks (a clean run is bit-for-bit
+/// reproducible from its seed, and ambient time breaks that silently), so
+/// the runtime never calls `Instant::now` itself. Drivers that want
+/// deadline supervision install a clock — typically built from a
+/// monotonic timer in the exempt `experiments`/`bench` crates, or from a
+/// deterministic counter in tests. With no clock installed, deadlines are
+/// simply not checked; retries and backoff work regardless.
+#[derive(Clone)]
+pub struct Clock(Arc<dyn Fn() -> u64 + Send + Sync>);
+
+impl Clock {
+    /// Wrap a time source returning milliseconds from a fixed origin.
+    pub fn new(source: impl Fn() -> u64 + Send + Sync + 'static) -> Clock {
+        Clock(Arc::new(source))
+    }
+
+    /// Current reading, in milliseconds.
+    pub fn now_ms(&self) -> u64 {
+        (self.0)()
+    }
+}
+
+impl fmt::Debug for Clock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Clock(injected)")
+    }
+}
 
 /// Everything a pipeline run shares: the seed, the active fault plan, the
 /// thread budget, the scale plan, the health report and the artifact
@@ -32,6 +66,7 @@ pub struct RunContext {
     store: Arc<ArtifactStore>,
     health: Arc<HealthReport>,
     stage_runs: Arc<AtomicU64>,
+    clock: Option<Clock>,
 }
 
 impl RunContext {
@@ -47,6 +82,7 @@ impl RunContext {
             store: Arc::new(ArtifactStore::new()),
             health: Arc::new(HealthReport::new()),
             stage_runs: Arc::new(AtomicU64::new(0)),
+            clock: None,
         }
     }
 
@@ -72,6 +108,26 @@ impl RunContext {
     /// Turn memoization on or off (off: every stage recomputes).
     pub fn with_memoization(mut self, on: bool) -> RunContext {
         self.memoize = on;
+        self
+    }
+
+    /// Attach a durable on-disk tier beneath the artifact store (shared
+    /// by every clone of this context — the store is shared).
+    pub fn with_disk(self, disk: Arc<DiskStore>) -> RunContext {
+        self.store.attach_disk(disk);
+        self
+    }
+
+    /// Bound the in-memory artifact store (0 = unbounded); see
+    /// [`ArtifactStore::set_capacity`].
+    pub fn with_store_capacity(self, capacity: usize) -> RunContext {
+        self.store.set_capacity(capacity);
+        self
+    }
+
+    /// Install a monotonic clock enabling deadline supervision.
+    pub fn with_clock(mut self, clock: Clock) -> RunContext {
+        self.clock = Some(clock);
         self
     }
 
@@ -118,6 +174,19 @@ impl RunContext {
         self.stage_runs.load(Ordering::Relaxed)
     }
 
+    /// The installed clock, if any.
+    pub fn clock(&self) -> Option<&Clock> {
+        self.clock.as_ref()
+    }
+
+    /// The cache key [`RunContext::run`] would use for `stage`. The same
+    /// key addresses the artifact in the durable tier, so harnesses can
+    /// locate (or deliberately corrupt) a stage's on-disk artifact in
+    /// crash drills without duplicating the key derivation.
+    pub fn cache_key_for(&self, stage: &impl Stage) -> Fingerprint {
+        self.cache_key(stage)
+    }
+
     /// Cache key for a stage under this context: the stage's own
     /// fingerprint, the run seed, and (for plan-sensitive stages) the
     /// fault plan.
@@ -134,30 +203,142 @@ impl RunContext {
 
     /// Execute a stage, serving it from the artifact store when possible.
     ///
-    /// On a hit the returned `Arc` is the cached artifact itself —
-    /// bit-identical to the original computation by construction. On a
-    /// miss (or for non-cacheable stages) the stage runs and, when
-    /// cacheable, its output is stored for the next caller.
+    /// Lookup order on a cacheable stage: the in-memory tier, then (when
+    /// a [`DiskStore`] is attached) the durable tier — a disk hit is
+    /// decoded via [`Stage::decode`], promoted into memory, and returned.
+    /// On a hit the returned `Arc` is bit-identical to the original
+    /// computation by construction: the memory tier holds the original
+    /// artifact, and the durable tier's encode/decode contract plus
+    /// checksum verification guarantee the same for disk. On a full miss
+    /// (or for non-cacheable stages) the stage runs under its
+    /// [`Stage::supervision`] policy and, when cacheable, its output is
+    /// stored — and written behind to the durable tier when the stage
+    /// opts in via [`Stage::encode`].
     pub fn run<S: Stage>(&self, stage: &mut S) -> Result<Arc<S::Output>, S::Error> {
         let cacheable = self.memoize && stage.cacheable();
-        if cacheable {
-            let key = self.cache_key(stage);
-            if let Some(artifact) = self.store.get(stage.id(), key) {
-                // A downcast failure means two stages share an id; fall
-                // through and recompute (the insert below then repairs
-                // the entry).
-                if let Ok(typed) = artifact.downcast::<S::Output>() {
-                    return Ok(typed);
+        if !cacheable {
+            self.stage_runs.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::new(self.execute(stage)?));
+        }
+        let key = self.cache_key(stage);
+        if let Some(artifact) = self.store.get(stage.id(), key) {
+            // A downcast failure means two stages share an id; fall
+            // through and recompute (the insert below then repairs
+            // the entry).
+            if let Ok(typed) = artifact.downcast::<S::Output>() {
+                return Ok(typed);
+            }
+        }
+        if let Some(output) = self.load_durable(stage, key) {
+            let output = Arc::new(output);
+            self.store.insert(stage.id(), key, output.clone());
+            return Ok(output);
+        }
+        self.stage_runs.fetch_add(1, Ordering::Relaxed);
+        let output = Arc::new(self.execute(stage)?);
+        self.store.insert(stage.id(), key, output.clone());
+        self.save_durable(stage, key, &output);
+        Ok(output)
+    }
+
+    /// Read-through from the durable tier: load, verify (inside
+    /// [`DiskStore::load`]) and decode. A payload that passes checksum
+    /// verification but fails [`Stage::decode`] was written by an
+    /// incompatible codec; it is quarantined like any other corruption so
+    /// the recompute below can overwrite it cleanly.
+    fn load_durable<S: Stage>(&self, stage: &S, key: Fingerprint) -> Option<S::Output> {
+        let disk = self.store.disk()?;
+        let bytes = disk.load(stage.id(), key, &self.health)?;
+        match stage.decode(&bytes) {
+            Some(output) => Some(output),
+            None => {
+                disk.quarantine_artifact(
+                    stage.id(),
+                    key,
+                    "verified payload failed to decode (stale codec?)",
+                    &self.health,
+                );
+                None
+            }
+        }
+    }
+
+    /// Write-behind to the durable tier for stages that opt in. Failures
+    /// are recorded in the health report by the store; the in-memory
+    /// artifact keeps serving either way.
+    fn save_durable<S: Stage>(&self, stage: &S, key: Fingerprint, output: &S::Output) {
+        let Some(disk) = self.store.disk() else {
+            return;
+        };
+        let Some(bytes) = stage.encode(output) else {
+            return;
+        };
+        disk.save(stage.id(), key, &bytes, self.plan.as_ref(), &self.health);
+    }
+
+    /// Run the stage under its supervision policy: a bounded
+    /// retry-with-backoff ladder, then a post-hoc deadline check against
+    /// the installed clock. Every retry and every overrun is recorded in
+    /// the shared health report.
+    fn execute<S: Stage>(&self, stage: &mut S) -> Result<S::Output, S::Error> {
+        let supervision = stage.supervision();
+        let started = self.clock.as_ref().map(Clock::now_ms);
+        let mut attempt = 0u32;
+        let result = loop {
+            match stage.run(self) {
+                Ok(output) => break Ok(output),
+                Err(_) if attempt < supervision.retries => {
+                    attempt += 1;
+                    let backoff = supervision.backoff_ms(attempt);
+                    self.health.record(
+                        ig_faults::Stage::Pipeline,
+                        FaultKind::StageFailure,
+                        RecoveryAction::RetriedWithBackoff,
+                        format!(
+                            "{}: attempt {attempt}/{} failed, retrying after {backoff} ms",
+                            stage.id(),
+                            supervision.retries,
+                        ),
+                    );
+                    if backoff > 0 {
+                        std::thread::sleep(Duration::from_millis(backoff));
+                    }
+                }
+                Err(e) => {
+                    if supervision.retries > 0 {
+                        self.health.record(
+                            ig_faults::Stage::Pipeline,
+                            FaultKind::StageFailure,
+                            RecoveryAction::NoneRequired,
+                            format!(
+                                "{}: failed after {attempt} retr{}",
+                                stage.id(),
+                                if attempt == 1 { "y" } else { "ies" },
+                            ),
+                        );
+                    }
+                    break Err(e);
                 }
             }
-            self.stage_runs.fetch_add(1, Ordering::Relaxed);
-            let output = Arc::new(stage.run(self)?);
-            self.store.insert(stage.id(), key, output.clone());
-            Ok(output)
-        } else {
-            self.stage_runs.fetch_add(1, Ordering::Relaxed);
-            Ok(Arc::new(stage.run(self)?))
+        };
+        if supervision.deadline_ms > 0 {
+            if let (Some(clock), Some(start)) = (self.clock.as_ref(), started) {
+                let elapsed = clock.now_ms().saturating_sub(start);
+                if elapsed > supervision.deadline_ms {
+                    self.health.record(
+                        ig_faults::Stage::Pipeline,
+                        FaultKind::DeadlineExceeded,
+                        RecoveryAction::NoneRequired,
+                        format!(
+                            "{}: ran {elapsed} ms against a {} ms deadline",
+                            stage.id(),
+                            supervision.deadline_ms,
+                        ),
+                    );
+                }
+            }
         }
+        result
     }
 
     /// Like [`RunContext::run`] but hands back an owned output: moves out
@@ -339,5 +520,293 @@ mod tests {
         let mut a = ctx.rng(0x5eed);
         let mut b = StdRng::seed_from_u64(42 ^ 0x5eed);
         assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    /// Fails the first `failures` executions, then succeeds.
+    struct Flaky<'a> {
+        failures: usize,
+        calls: &'a AtomicUsize,
+        supervision: crate::Supervision,
+    }
+
+    impl Stage for Flaky<'_> {
+        type Output = u64;
+        type Error = &'static str;
+
+        fn id(&self) -> &'static str {
+            "test.flaky"
+        }
+
+        fn fingerprint(&self) -> Fingerprint {
+            Fingerprint::null()
+        }
+
+        fn cacheable(&self) -> bool {
+            false
+        }
+
+        fn supervision(&self) -> crate::Supervision {
+            self.supervision
+        }
+
+        fn run(&mut self, _ctx: &RunContext) -> Result<u64, &'static str> {
+            let call = self.calls.fetch_add(1, Ordering::Relaxed);
+            if call < self.failures {
+                Err("injected failure")
+            } else {
+                Ok(call as u64)
+            }
+        }
+    }
+
+    #[test]
+    fn retry_ladder_recovers_and_records() {
+        let ctx = RunContext::new(1);
+        let calls = AtomicUsize::new(0);
+        let mut stage = Flaky {
+            failures: 2,
+            calls: &calls,
+            supervision: crate::Supervision::retry(3),
+        };
+        assert_eq!(ctx.run(&mut stage).map(|v| *v), Ok(2));
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
+        assert_eq!(ctx.health().count(FaultKind::StageFailure), 2);
+        assert_eq!(
+            ctx.health()
+                .count_action(RecoveryAction::RetriedWithBackoff),
+            2
+        );
+    }
+
+    #[test]
+    fn exhausted_retries_surface_the_error() {
+        let ctx = RunContext::new(1);
+        let calls = AtomicUsize::new(0);
+        let mut stage = Flaky {
+            failures: 10,
+            calls: &calls,
+            supervision: crate::Supervision::retry(2),
+        };
+        assert_eq!(ctx.run(&mut stage).map(|v| *v), Err("injected failure"));
+        assert_eq!(calls.load(Ordering::Relaxed), 3, "1 try + 2 retries");
+        // 2 retry events + 1 exhaustion event.
+        assert_eq!(ctx.health().count(FaultKind::StageFailure), 3);
+    }
+
+    #[test]
+    fn fail_fast_stage_never_retries() {
+        let ctx = RunContext::new(1);
+        let calls = AtomicUsize::new(0);
+        let mut stage = Flaky {
+            failures: 10,
+            calls: &calls,
+            supervision: crate::Supervision::fail_fast(),
+        };
+        assert!(ctx.run(&mut stage).is_err());
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        assert!(ctx.health().is_clean());
+    }
+
+    #[test]
+    fn deadline_overrun_is_recorded_via_injected_clock() {
+        // Deterministic clock: advances 100 "ms" per reading.
+        let ticks = Arc::new(AtomicU64::new(0));
+        let source = Arc::clone(&ticks);
+        let clock = Clock::new(move || source.fetch_add(100, Ordering::Relaxed));
+        let ctx = RunContext::new(1).with_clock(clock);
+        let calls = AtomicUsize::new(0);
+        let mut stage = Flaky {
+            failures: 0,
+            calls: &calls,
+            supervision: crate::Supervision::fail_fast().with_deadline_ms(50),
+        };
+        assert!(ctx.run(&mut stage).is_ok());
+        assert_eq!(ctx.health().count(FaultKind::DeadlineExceeded), 1);
+        // A generous deadline stays quiet.
+        let mut relaxed = Flaky {
+            failures: 0,
+            calls: &calls,
+            supervision: crate::Supervision::fail_fast().with_deadline_ms(10_000),
+        };
+        assert!(ctx.run(&mut relaxed).is_ok());
+        assert_eq!(ctx.health().count(FaultKind::DeadlineExceeded), 1);
+    }
+
+    /// Cacheable, durable stage: doubles its input and persists via the
+    /// codec, so disk hits can be distinguished from recomputes by the
+    /// call counter.
+    struct DurableDoubler<'a> {
+        input: Vec<u64>,
+        calls: &'a AtomicUsize,
+    }
+
+    impl Stage for DurableDoubler<'_> {
+        type Output = Vec<u64>;
+        type Error = core::convert::Infallible;
+
+        fn id(&self) -> &'static str {
+            "test.durable-doubler"
+        }
+
+        fn fingerprint(&self) -> Fingerprint {
+            self.input.fingerprint()
+        }
+
+        fn plan_sensitive(&self) -> bool {
+            false
+        }
+
+        fn run(&mut self, _ctx: &RunContext) -> Result<Vec<u64>, Self::Error> {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            Ok(self.input.iter().map(|v| v * 2).collect())
+        }
+
+        fn encode(&self, output: &Vec<u64>) -> Option<Vec<u8>> {
+            let mut enc = crate::Enc::new();
+            enc.put_usize(output.len());
+            for &v in output {
+                enc.put_u64(v);
+            }
+            Some(enc.into_bytes())
+        }
+
+        fn decode(&self, bytes: &[u8]) -> Option<Vec<u64>> {
+            let mut dec = crate::Dec::new(bytes);
+            let len = dec.usize_()?;
+            let mut out = Vec::new();
+            for _ in 0..len {
+                out.push(dec.u64()?);
+            }
+            dec.done().then_some(out)
+        }
+    }
+
+    fn temp_disk(tag: &str) -> Arc<DiskStore> {
+        let root = std::env::temp_dir().join(format!("ig-ctx-{tag}-{}", std::process::id()));
+        match std::fs::remove_dir_all(&root) {
+            Ok(()) | Err(_) => {}
+        }
+        match DiskStore::open(root) {
+            Ok(disk) => Arc::new(disk),
+            Err(e) => {
+                assert!(false, "open failed: {e}");
+                unreachable!()
+            }
+        }
+    }
+
+    #[test]
+    fn fresh_context_resumes_from_the_durable_tier() {
+        let disk = temp_disk("resume");
+        let calls = AtomicUsize::new(0);
+        let writer = RunContext::new(7).with_disk(disk.clone());
+        let mut stage = DurableDoubler {
+            input: vec![1, 2, 3],
+            calls: &calls,
+        };
+        let first = crate::infallible(writer.run(&mut stage));
+        assert_eq!(*first, vec![2, 4, 6]);
+        assert_eq!(disk.stats().writes, 1);
+
+        // A brand-new context (fresh memory store, same seed) simulates a
+        // restarted process: the artifact must come from disk, decoded
+        // bit-identically, without re-executing the stage.
+        let resumed = RunContext::new(7).with_disk(disk.clone());
+        let second = crate::infallible(resumed.run(&mut stage));
+        assert_eq!(*second, *first);
+        assert_eq!(calls.load(Ordering::Relaxed), 1, "no recompute on resume");
+        assert_eq!(resumed.stage_runs(), 0);
+        assert_eq!(disk.stats().hits, 1);
+
+        // A different seed keys differently and must recompute.
+        let reseeded = RunContext::new(8).with_disk(disk.clone());
+        crate::infallible(reseeded.run(&mut stage));
+        assert_eq!(calls.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn corrupt_durable_artifact_is_quarantined_and_recomputed() {
+        let disk = temp_disk("corrupt");
+        let calls = AtomicUsize::new(0);
+        let writer = RunContext::new(7).with_disk(disk.clone());
+        let mut stage = DurableDoubler {
+            input: vec![9],
+            calls: &calls,
+        };
+        let first = crate::infallible(writer.run(&mut stage));
+        // Corrupt the file on disk behind the store's back.
+        let key = writer.cache_key(&stage);
+        let path = disk.artifact_path(stage.id(), key);
+        let mut bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) => {
+                assert!(false, "read failed: {e}");
+                return;
+            }
+        };
+        if let Some(last) = bytes.last_mut() {
+            *last ^= 0x40;
+        }
+        match std::fs::write(&path, &bytes) {
+            Ok(()) => {}
+            Err(e) => {
+                assert!(false, "write failed: {e}");
+                return;
+            }
+        }
+        let resumed = RunContext::new(7).with_disk(disk.clone());
+        let recomputed = crate::infallible(resumed.run(&mut stage));
+        assert_eq!(*recomputed, *first, "recompute, never serve corruption");
+        assert_eq!(calls.load(Ordering::Relaxed), 2);
+        assert_eq!(
+            resumed.health().count(FaultKind::ArtifactCorruption),
+            1,
+            "corruption recorded in the health report"
+        );
+        assert_eq!(disk.stats().quarantined, 1);
+        // The recompute rewrote a clean artifact: a third context hits disk.
+        let third = RunContext::new(7).with_disk(disk.clone());
+        crate::infallible(third.run(&mut stage));
+        assert_eq!(calls.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn eviction_then_refetch_recomputes_deterministically() {
+        let ctx = RunContext::new(3).with_store_capacity(1);
+        let calls = AtomicUsize::new(0);
+        let mut a = DurableDoubler {
+            input: vec![10, 20],
+            calls: &calls,
+        };
+        let mut b = DurableDoubler {
+            input: vec![30],
+            calls: &calls,
+        };
+        let first = crate::infallible(ctx.run(&mut a)).as_ref().clone();
+        // Inserting `b` evicts `a` (capacity 1, no live Arc held).
+        crate::infallible(ctx.run(&mut b));
+        assert_eq!(ctx.store().len(), 1);
+        let refetched = crate::infallible(ctx.run(&mut a));
+        assert_eq!(*refetched, first, "recompute is bit-identical");
+        assert_eq!(calls.load(Ordering::Relaxed), 3, "a ran twice, b once");
+    }
+
+    #[test]
+    fn faulted_plan_skips_nothing_but_chaos_arms_stay_apart_on_disk() {
+        // A plan-insensitive durable stage shares its artifact across
+        // arms; a plan-sensitive one must not collide on disk either.
+        let disk = temp_disk("arms");
+        let calls = AtomicUsize::new(0);
+        let clean = RunContext::new(5).with_disk(disk.clone());
+        let chaotic = clean.clone().with_plan(Some(FaultPlan::chaos(5)));
+        let mut stage = DurableDoubler {
+            input: vec![4],
+            calls: &calls,
+        };
+        crate::infallible(clean.run(&mut stage));
+        crate::infallible(chaotic.run(&mut stage));
+        // Plan-insensitive: the chaos arm reuses the clean artifact from
+        // the shared memory tier.
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
     }
 }

@@ -18,8 +18,10 @@ use ig_imaging::GrayImage;
 use ig_nn::Matrix;
 use ig_synth::spec::{DatasetKind, DatasetSpec};
 
-/// A 128-bit content fingerprint.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// A 128-bit content fingerprint. Ordered (lexicographically by `lo`
+/// then `hi`) so stores can keep fingerprint-keyed maps with
+/// deterministic iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Fingerprint {
     /// Low 64 bits (stream A).
     pub lo: u64,
@@ -309,6 +311,9 @@ impl Fingerprintable for FaultPlan {
         h.write_f64(self.crowd_spammer_rate);
         h.write_f64(self.worker_panic_rate);
         h.write_f64(self.lbfgs_poison_rate);
+        h.write_f64(self.torn_write_rate);
+        h.write_f64(self.artifact_bitflip_rate);
+        h.write_f64(self.stale_lock_rate);
         match self.gan_fault_epoch {
             None => h.write_bool(false),
             Some(epoch) => {
@@ -420,5 +425,32 @@ mod tests {
         };
         assert_ne!(base.fingerprint(), epoch.fingerprint());
         assert_ne!(epoch.fingerprint(), collapse.fingerprint());
+    }
+
+    #[test]
+    fn fault_plan_fingerprint_covers_durability_fields() {
+        let base = FaultPlan::none(3);
+        let variants = [
+            FaultPlan {
+                torn_write_rate: 0.1,
+                ..base.clone()
+            },
+            FaultPlan {
+                artifact_bitflip_rate: 0.1,
+                ..base.clone()
+            },
+            FaultPlan {
+                stale_lock_rate: 0.1,
+                ..base.clone()
+            },
+        ];
+        for v in &variants {
+            assert_ne!(base.fingerprint(), v.fingerprint(), "{v:?}");
+        }
+        assert_ne!(
+            variants[0].fingerprint(),
+            variants[1].fingerprint(),
+            "rates must land in distinct hash positions"
+        );
     }
 }

@@ -15,23 +15,36 @@
 //!   stage outputs by `(stage id, input fingerprint, seed, fault plan)`,
 //!   so e.g. dev-set `PreparedImage`s and the dev feature matrix are
 //!   computed once per run and shared across experiment arms by
-//!   construction.
+//!   construction — capacity-bounded with LRU eviction that never drops
+//!   an artifact a caller still holds;
+//! * [`DiskStore`]: a crash-safe on-disk tier beneath the memory store
+//!   (temp-file + fsync + atomic rename, checksum-verified loads,
+//!   quarantine of corrupt artifacts, advisory pid locks), which is what
+//!   makes killed sweeps resumable and warm starts possible — see the
+//!   [`disk`] module docs for the durability protocol;
+//! * [`Supervision`]: per-stage bounded retry-with-backoff ladders and
+//!   post-hoc deadlines (via an injected [`Clock`]), recorded in the
+//!   shared health report.
 //!
 //! Higher layers implement [`Stage`] for their own steps (`ig-core` ports
 //! the training pipeline; `ig-experiments` ports dataset generation and
 //! image preparation) and submit them through [`RunContext::run`].
 
+pub mod codec;
 pub mod context;
+pub mod disk;
 pub mod fingerprint;
 pub mod scale;
 pub mod stage;
 pub mod stages;
 pub mod store;
 
-pub use context::RunContext;
+pub use codec::{Dec, Durable, Enc};
+pub use context::{Clock, RunContext};
+pub use disk::{DiskStats, DiskStore};
 pub use fingerprint::{Fingerprint, FingerprintHasher, Fingerprintable};
 pub use scale::{ScalePlan, ScaleTier};
-pub use stage::Stage;
+pub use stage::{Stage, Supervision};
 pub use stages::{GenerateDataset, PrepareImages};
 pub use store::ArtifactStore;
 

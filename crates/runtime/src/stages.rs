@@ -9,6 +9,7 @@ use ig_imaging::GrayImage;
 use ig_synth::spec::DatasetSpec;
 use ig_synth::Dataset;
 
+use crate::codec::Durable;
 use crate::context::RunContext;
 use crate::fingerprint::{Fingerprint, FingerprintHasher, Fingerprintable};
 use crate::stage::Stage;
@@ -44,6 +45,17 @@ impl Stage for GenerateDataset {
 
     fn run(&mut self, _ctx: &RunContext) -> Result<Dataset, Infallible> {
         Ok(ig_synth::generate(&self.spec))
+    }
+
+    // Generation is the most expensive plan-independent stage, so it
+    // persists to the durable tier: a resumed sweep reads the dataset
+    // back bit-identically instead of regenerating it.
+    fn encode(&self, output: &Dataset) -> Option<Vec<u8>> {
+        Some(output.to_bytes())
+    }
+
+    fn decode(&self, bytes: &[u8]) -> Option<Dataset> {
+        Dataset::from_bytes(bytes)
     }
 }
 
@@ -143,6 +155,31 @@ mod tests {
             "plan-independent stage shares artifacts across arms"
         );
         assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn generate_dataset_survives_the_durable_round_trip() {
+        let spec = DatasetSpec::quick(DatasetKind::ProductBubble, 9);
+        let stage = GenerateDataset { spec };
+        let dataset = ig_synth::generate(&spec);
+        let bytes = match stage.encode(&dataset) {
+            Some(b) => b,
+            None => {
+                assert!(false, "GenerateDataset must opt into durability");
+                return;
+            }
+        };
+        let back = match stage.decode(&bytes) {
+            Some(d) => d,
+            None => {
+                assert!(false, "encoded dataset must decode");
+                return;
+            }
+        };
+        assert_eq!(back.name, dataset.name);
+        assert_eq!(back.len(), dataset.len());
+        // Truncated payloads are rejected, not mis-decoded.
+        assert!(stage.decode(&bytes[..bytes.len() / 2]).is_none());
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! In-memory content-addressed artifact store.
+//! In-memory content-addressed artifact store (tier 1 of 2).
 //!
 //! Artifacts are memoized stage outputs keyed by `(stage id, key
 //! fingerprint)`; the key fingerprint is derived by [`crate::RunContext`]
@@ -6,54 +6,117 @@
 //! so a hit is only possible when replaying the exact same computation —
 //! and the cached value is then bit-identical to what a recompute would
 //! produce.
+//!
+//! The store is capacity-bounded: when more than `capacity` artifacts are
+//! resident, the least-recently-used entries are evicted — but never an
+//! artifact some caller still holds an `Arc` to (eviction only drops the
+//! store's own reference, and dropping it while shared would merely split
+//! the cache, so such entries are skipped until released). A
+//! [`crate::DiskStore`] may be attached beneath as a read-through /
+//! write-behind tier ([`ArtifactStore::attach_disk`]); the
+//! [`crate::RunContext`] consults it on memory misses and persists
+//! durable stage outputs after computing them, which is what makes
+//! `--resume` and cross-process warm starts work.
 
 use std::any::Any;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
+use crate::disk::DiskStore;
 use crate::fingerprint::Fingerprint;
 
 /// Store key: stage identity plus the full input/seed/plan fingerprint.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// `Ord` so the entry map iterates deterministically (eviction scans must
+/// not depend on hash order).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 struct Key {
     id: &'static str,
     fp: Fingerprint,
+}
+
+/// One resident artifact with its last-touched stamp.
+#[derive(Debug)]
+struct Entry {
+    artifact: Arc<dyn Any + Send + Sync>,
+    stamp: u64,
 }
 
 /// Thread-safe artifact cache shared by every stage under one
 /// [`crate::RunContext`] (and its plan-scoped clones).
 #[derive(Debug, Default)]
 pub struct ArtifactStore {
-    entries: Mutex<HashMap<Key, Arc<dyn Any + Send + Sync>>>,
+    entries: Mutex<BTreeMap<Key, Entry>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+    /// Maximum resident artifacts; 0 = unbounded.
+    capacity: AtomicUsize,
+    /// Logical clock for LRU stamps (monotone per store, no wall clock).
+    clock: AtomicU64,
+    disk: OnceLock<Arc<DiskStore>>,
 }
 
 impl ArtifactStore {
-    /// Empty store.
+    /// Empty, unbounded store with no disk tier.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Look up an artifact; counts a hit or a miss.
+    /// Attach the on-disk tier. Idempotent-at-most-once: the first disk
+    /// wins and later attempts are ignored (the runtime attaches exactly
+    /// one per store; racing attachers would otherwise split the cache).
+    pub fn attach_disk(&self, disk: Arc<DiskStore>) {
+        match self.disk.set(disk) {
+            Ok(()) | Err(_) => {}
+        }
+    }
+
+    /// The attached disk tier, if any.
+    pub fn disk(&self) -> Option<&Arc<DiskStore>> {
+        self.disk.get()
+    }
+
+    /// Bound the resident artifact count (0 = unbounded). Shrinking below
+    /// the current occupancy evicts immediately.
+    pub fn set_capacity(&self, capacity: usize) {
+        self.capacity.store(capacity, Ordering::Relaxed);
+        let mut entries = self.lock();
+        self.evict_over_capacity(&mut entries);
+    }
+
+    /// Current capacity bound (0 = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity.load(Ordering::Relaxed)
+    }
+
+    /// Look up an artifact; counts a hit or a miss and refreshes the
+    /// entry's LRU stamp on a hit.
     pub fn get(&self, id: &'static str, fp: Fingerprint) -> Option<Arc<dyn Any + Send + Sync>> {
-        let found = self.lock().get(&Key { id, fp }).cloned();
-        match found {
-            Some(artifact) => {
+        let mut entries = self.lock();
+        match entries.get_mut(&Key { id, fp }) {
+            Some(entry) => {
+                entry.stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+                let artifact = entry.artifact.clone();
+                drop(entries);
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(artifact)
             }
             None => {
+                drop(entries);
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
     }
 
-    /// Insert (or replace) an artifact.
+    /// Insert (or replace) an artifact, evicting LRU entries if the
+    /// capacity bound is now exceeded.
     pub fn insert(&self, id: &'static str, fp: Fingerprint, artifact: Arc<dyn Any + Send + Sync>) {
-        self.lock().insert(Key { id, fp }, artifact);
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut entries = self.lock();
+        entries.insert(Key { id, fp }, Entry { artifact, stamp });
+        self.evict_over_capacity(&mut entries);
     }
 
     /// Number of cached artifacts.
@@ -76,12 +139,45 @@ impl ArtifactStore {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// Drop every cached artifact (counters are kept).
+    /// Artifacts evicted by the capacity bound so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Drop every cached artifact (counters and capacity are kept).
     pub fn clear(&self) {
         self.lock().clear();
     }
 
-    fn lock(&self) -> MutexGuard<'_, HashMap<Key, Arc<dyn Any + Send + Sync>>> {
+    /// Evict least-recently-used entries until the capacity bound holds.
+    ///
+    /// An entry whose `Arc` is still held outside the store
+    /// (`strong_count > 1`) is never evicted: dropping the store's
+    /// reference would not free the artifact, only orphan it from future
+    /// hits. When every entry is live the map may temporarily exceed the
+    /// bound; the next insert retries.
+    fn evict_over_capacity(&self, entries: &mut BTreeMap<Key, Entry>) {
+        let capacity = self.capacity.load(Ordering::Relaxed);
+        if capacity == 0 {
+            return;
+        }
+        while entries.len() > capacity {
+            let victim = entries
+                .iter()
+                .filter(|(_, e)| Arc::strong_count(&e.artifact) == 1)
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(key) => {
+                    entries.remove(&key);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => return, // every entry is pinned by a live Arc
+            }
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, BTreeMap<Key, Entry>> {
         // A poisoned map only means a panic elsewhere while holding the
         // lock; the map itself is always in a consistent state between
         // `get`/`insert` calls, so recover rather than propagate.
@@ -122,5 +218,92 @@ mod tests {
         store.insert("a", 1u64.fingerprint(), Arc::new(1u32));
         store.clear();
         assert!(store.is_empty());
+    }
+
+    #[test]
+    fn lru_respects_the_capacity_bound() {
+        let store = ArtifactStore::new();
+        store.set_capacity(2);
+        store.insert("a", 1u64.fingerprint(), Arc::new(1u32));
+        store.insert("b", 2u64.fingerprint(), Arc::new(2u32));
+        // Touch "a" so "b" becomes the least recently used.
+        assert!(store.get("a", 1u64.fingerprint()).is_some());
+        store.insert("c", 3u64.fingerprint(), Arc::new(3u32));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.evictions(), 1);
+        assert!(store.get("b", 2u64.fingerprint()).is_none(), "LRU evicted");
+        assert!(store.get("a", 1u64.fingerprint()).is_some());
+        assert!(store.get("c", 3u64.fingerprint()).is_some());
+    }
+
+    #[test]
+    fn eviction_never_drops_a_live_arc() {
+        let store = ArtifactStore::new();
+        store.set_capacity(1);
+        store.insert("a", 1u64.fingerprint(), Arc::new(1u32));
+        let live = store.get("a", 1u64.fingerprint());
+        assert!(live.is_some());
+        // "a" is pinned by `live`; inserting "b" may overflow but must
+        // not evict "a".
+        store.insert("b", 2u64.fingerprint(), Arc::new(2u32));
+        assert!(
+            store.get("a", 1u64.fingerprint()).is_some(),
+            "pinned artifact must survive eviction pressure"
+        );
+        drop(live);
+        // Released: the next insert can finally enforce the bound.
+        store.insert("c", 3u64.fingerprint(), Arc::new(3u32));
+        assert!(store.len() <= 2);
+        assert!(store.evictions() >= 1);
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts_immediately() {
+        let store = ArtifactStore::new();
+        for i in 0..4u64 {
+            store.insert("s", i.fingerprint(), Arc::new(i));
+        }
+        assert_eq!(store.len(), 4);
+        store.set_capacity(1);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.evictions(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_means_unbounded() {
+        let store = ArtifactStore::new();
+        assert_eq!(store.capacity(), 0);
+        for i in 0..64u64 {
+            store.insert("s", i.fingerprint(), Arc::new(i));
+        }
+        assert_eq!(store.len(), 64);
+        assert_eq!(store.evictions(), 0);
+    }
+
+    #[test]
+    fn attach_disk_is_first_wins() {
+        let store = ArtifactStore::new();
+        assert!(store.disk().is_none());
+        let root = std::env::temp_dir().join(format!("ig-store-attach-{}", std::process::id()));
+        let disk = match DiskStore::open(&root) {
+            Ok(d) => Arc::new(d),
+            Err(e) => {
+                assert!(false, "open failed: {e}");
+                return;
+            }
+        };
+        store.attach_disk(disk.clone());
+        let second = match DiskStore::open(&root) {
+            Ok(d) => Arc::new(d),
+            Err(e) => {
+                assert!(false, "open failed: {e}");
+                return;
+            }
+        };
+        store.attach_disk(second);
+        assert!(
+            store.disk().is_some_and(|d| Arc::ptr_eq(d, &disk)),
+            "first attached disk wins"
+        );
     }
 }

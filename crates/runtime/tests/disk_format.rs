@@ -1,0 +1,181 @@
+//! Property tests for the durable tier's serialization surface: the
+//! artifact file format must round-trip arbitrary payloads bit for bit
+//! through [`DiskStore::save`]/[`DiskStore::load`], and any damage — a
+//! truncated (torn) file or a single flipped bit anywhere in the file,
+//! header or payload — must be rejected, quarantined and recorded, never
+//! mis-decoded. The typed codec ([`Enc`]/[`Dec`]/[`Durable`]) gets the
+//! same treatment over [`Matrix`] and [`GrayImage`] artifacts.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use ig_faults::{FaultKind, HealthReport, RecoveryAction};
+use ig_imaging::GrayImage;
+use ig_nn::Matrix;
+use ig_runtime::{Dec, DiskStore, Durable, Enc, Fingerprint};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Fresh store root per proptest case: pid separates parallel test
+/// binaries, the counter separates cases within this one.
+fn fresh_store() -> DiskStore {
+    static CASE: AtomicUsize = AtomicUsize::new(0);
+    let case = CASE.fetch_add(1, Ordering::Relaxed);
+    let root = std::env::temp_dir().join(format!("ig-fmt-{}-{case}", std::process::id()));
+    match std::fs::remove_dir_all(&root) {
+        // First use of this case number: nothing to clear.
+        Ok(()) | Err(_) => {}
+    }
+    match DiskStore::open(root) {
+        Ok(store) => store,
+        Err(e) => {
+            assert!(false, "store open failed: {e}");
+            unreachable!()
+        }
+    }
+}
+
+fn read_artifact(store: &DiskStore, id: &str, fp: Fingerprint) -> Vec<u8> {
+    match std::fs::read(store.artifact_path(id, fp)) {
+        Ok(bytes) => bytes,
+        Err(e) => {
+            assert!(false, "artifact unreadable: {e}");
+            unreachable!()
+        }
+    }
+}
+
+fn write_artifact(store: &DiskStore, id: &str, fp: Fingerprint, bytes: &[u8]) {
+    match std::fs::write(store.artifact_path(id, fp), bytes) {
+        Ok(()) => {}
+        Err(e) => assert!(false, "artifact unwritable: {e}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary payloads (including empty) round-trip bit for bit.
+    #[test]
+    fn any_payload_round_trips(
+        payload in proptest::collection::vec(any::<u8>(), 0..2048),
+        lo in any::<u64>(), hi in any::<u64>(),
+    ) {
+        let store = fresh_store();
+        let health = HealthReport::new();
+        let fp = Fingerprint { lo, hi };
+        prop_assert!(store.save("prop.payload", fp, &payload, None, &health));
+        prop_assert_eq!(store.load("prop.payload", fp, &health), Some(payload));
+        prop_assert!(health.is_clean());
+    }
+
+    /// A file truncated at any prefix length is rejected and quarantined.
+    #[test]
+    fn truncated_artifact_is_rejected(
+        payload in proptest::collection::vec(any::<u8>(), 1..512),
+        cut in any::<proptest::sample::Index>(),
+    ) {
+        let store = fresh_store();
+        let health = HealthReport::new();
+        let fp = Fingerprint { lo: 7, hi: 9 };
+        prop_assert!(store.save("prop.torn", fp, &payload, None, &health));
+        let bytes = read_artifact(&store, "prop.torn", fp);
+        write_artifact(&store, "prop.torn", fp, &bytes[..cut.index(bytes.len())]);
+        prop_assert_eq!(store.load("prop.torn", fp, &health), None);
+        prop_assert_eq!(health.count(FaultKind::ArtifactCorruption), 1);
+        prop_assert_eq!(health.count_action(RecoveryAction::QuarantinedArtifact), 1);
+        prop_assert_eq!(store.stats().quarantined, 1);
+        // The quarantine emptied the slot: the next load is a plain miss.
+        prop_assert_eq!(store.load("prop.torn", fp, &health), None);
+        prop_assert_eq!(store.stats().quarantined, 1);
+    }
+
+    /// One flipped bit anywhere — magic, header fields, length prefixes,
+    /// checksum or payload — is rejected, never served.
+    #[test]
+    fn any_single_bit_flip_is_rejected(
+        payload in proptest::collection::vec(any::<u8>(), 1..512),
+        pos in any::<proptest::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let store = fresh_store();
+        let health = HealthReport::new();
+        let fp = Fingerprint { lo: 3, hi: 5 };
+        prop_assert!(store.save("prop.flip", fp, &payload, None, &health));
+        let mut bytes = read_artifact(&store, "prop.flip", fp);
+        let at = pos.index(bytes.len());
+        bytes[at] ^= 1 << bit;
+        write_artifact(&store, "prop.flip", fp, &bytes);
+        prop_assert_eq!(store.load("prop.flip", fp, &health), None);
+        prop_assert_eq!(health.count(FaultKind::ArtifactCorruption), 1);
+    }
+
+    /// Typed codec: matrices round-trip bit-identically, and truncating
+    /// the encoding at any prefix is rejected by [`Durable::from_bytes`].
+    #[test]
+    fn matrix_codec_round_trips_and_rejects_truncation(
+        rows in 1usize..6, cols in 1usize..6, seed in any::<u64>(),
+        cut in any::<proptest::sample::Index>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-4.0f32..4.0));
+        let bytes = m.to_bytes();
+        match Matrix::from_bytes(&bytes) {
+            Some(back) => prop_assert_eq!(back.as_slice(), m.as_slice()),
+            None => prop_assert!(false, "encoded matrix failed to decode"),
+        }
+        let cut_at = cut.index(bytes.len());
+        if cut_at < bytes.len() {
+            prop_assert!(Matrix::from_bytes(&bytes[..cut_at]).is_none());
+        }
+    }
+
+    /// Typed codec: images round-trip bit-identically; a flipped bit in
+    /// the dimensions header cannot smuggle in a misshapen image.
+    #[test]
+    fn image_codec_round_trips(w in 1usize..12, h in 1usize..12, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let img = GrayImage::from_fn(w, h, |_, _| rng.gen_range(0.0f32..1.0));
+        let bytes = img.to_bytes();
+        match GrayImage::from_bytes(&bytes) {
+            Some(back) => {
+                prop_assert_eq!(back.width(), w);
+                prop_assert_eq!(back.height(), h);
+                prop_assert_eq!(back.pixels(), img.pixels());
+            }
+            None => prop_assert!(false, "encoded image failed to decode"),
+        }
+        // Doubling the declared width makes pixel count inconsistent.
+        let mut tampered = Enc::new();
+        tampered.put_usize(w * 2);
+        tampered.put_usize(h);
+        tampered.put_f32s(img.pixels());
+        prop_assert!(GrayImage::from_bytes(&tampered.into_bytes()).is_none());
+    }
+
+    /// Trailing garbage after a valid encoding is rejected: a durable
+    /// payload is exactly one artifact, not a prefix of one.
+    #[test]
+    fn trailing_bytes_are_rejected(extra in 1usize..16) {
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let mut bytes = m.to_bytes();
+        bytes.extend(std::iter::repeat(0u8).take(extra));
+        prop_assert!(Matrix::from_bytes(&bytes).is_none());
+    }
+}
+
+/// The low-level decoder never reads past its input: every accessor on an
+/// exhausted cursor is `None`, not a panic.
+#[test]
+fn decoder_is_total_on_underrun() {
+    let mut enc = Enc::new();
+    enc.put_u64(42);
+    let bytes = enc.into_bytes();
+    for cut in 0..bytes.len() {
+        let mut dec = Dec::new(&bytes[..cut]);
+        assert!(dec.u64().is_none());
+    }
+    let mut dec = Dec::new(&bytes);
+    assert_eq!(dec.u64(), Some(42));
+    assert!(dec.done());
+}
