@@ -225,6 +225,9 @@ impl Stage for ComputeFeatures<'_> {
     fn run(&mut self, _ctx: &RunContext) -> std::result::Result<Matrix, Infallible> {
         Ok(match self.images {
             DevSet::Raw(images) => {
+                // ig-lint: allow(fingerprint-completeness) -- keyed by proxy:
+                // `new()` documents that `generator` must be the one built
+                // from `bank_fp`, and `bank_fp` is folded into `self.fp`
                 self.generator
                     .feature_matrix_with_health(images, self.plan, self.health)
             }

@@ -59,6 +59,41 @@ pub struct FnDecl {
     pub body: Block,
     /// Span from the `fn` keyword through the body's closing brace.
     pub span: Span,
+    /// Parameter names in declaration order (`self` included when present;
+    /// pattern parameters the parser cannot name are omitted).
+    pub params: Vec<String>,
+    /// Inline-`mod` path from the file root to this fn (empty at top level).
+    pub module: Vec<String>,
+}
+
+/// One flattened leaf of a `use` tree: `use a::b::{c, d as e};` yields two
+/// decls. Globs record a trailing `*` segment with alias `*`.
+#[derive(Debug, Clone)]
+pub struct UseDecl {
+    /// Full path segments as written (`crate`/`self`/`super` preserved).
+    pub path: Vec<String>,
+    /// Name the import binds locally: the alias after `as`, else the last
+    /// real segment (`use a::b::{self}` binds `b`).
+    pub alias: String,
+    /// Inline-`mod` path of the module the `use` sits in.
+    pub module: Vec<String>,
+    pub line: u32,
+}
+
+/// One `impl` block header plus the fns declared inside it.
+#[derive(Debug)]
+pub struct ImplDecl {
+    /// `impl Trait for Type` trait path; `None` for inherent impls.
+    pub trait_path: Option<Vec<String>>,
+    /// Path of the implementing type, generics stripped (`Type`, `a::Type`).
+    pub self_path: Vec<String>,
+    /// Indices into [`Ast::fns`] of fns declared in this block (including
+    /// fns nested inside method bodies — an over-approximation callers
+    /// filter by name when it matters).
+    pub fn_ids: Vec<usize>,
+    /// Inline-`mod` path of the module the impl sits in.
+    pub module: Vec<String>,
+    pub span: Span,
 }
 
 /// A `{ ... }` block.
@@ -178,6 +213,10 @@ pub enum ExprKind {
     StructLit {
         path: Vec<String>,
         fields: Vec<Expr>,
+        /// Field name for each entry of `fields`, in the same order.
+        /// `None` for shorthand init (the value expr *is* the name) and
+        /// for entries the parser could not attribute.
+        names: Vec<Option<String>>,
     },
     /// `if cond { .. } else ..` (`cond` covers `if let` via `Binary`).
     If {
@@ -215,6 +254,10 @@ pub struct ParseError {
 #[derive(Debug, Default)]
 pub struct Ast {
     pub fns: Vec<FnDecl>,
+    /// Flattened `use` declarations, in source order.
+    pub uses: Vec<UseDecl>,
+    /// `impl` blocks, in source order.
+    pub impls: Vec<ImplDecl>,
     pub errors: Vec<ParseError>,
 }
 
@@ -296,6 +339,7 @@ pub fn parse(toks: &[Token]) -> Ast {
         nest: 0,
         no_struct: 0,
         adapter_arg: false,
+        mods: Vec::new(),
         fuel: toks.len().saturating_mul(16).saturating_add(1024),
         ast: Ast::default(),
     };
@@ -319,6 +363,8 @@ struct Parser<'t> {
     /// True while parsing the argument list of an iterator adapter: closure
     /// bodies there run per element and get `depth + 1`.
     adapter_arg: bool,
+    /// Inline-`mod` path from the file root to the current item position.
+    mods: Vec<String>,
     fuel: usize,
     ast: Ast,
 }
@@ -553,9 +599,12 @@ impl<'t> Parser<'t> {
         let Some(t) = self.peek() else { return };
         match t.text.as_str() {
             "fn" => self.fn_item(),
-            "impl" | "mod" | "trait" => {
+            "impl" => self.impl_item(),
+            "mod" => self.mod_item(),
+            "use" => self.use_item(),
+            "trait" => {
                 self.bump();
-                // Scan to the body brace (or `;` for `mod name;`).
+                // Scan to the body brace (or `;` for an alias bound).
                 let mut found_body = false;
                 while let Some(t) = self.peek() {
                     if self.out_of_fuel() {
@@ -654,6 +703,7 @@ impl<'t> Parser<'t> {
         if self.at_punct("<") {
             self.skip_angles();
         }
+        let mut params = Vec::new();
         if self.at_punct("(") {
             let params_at = self.pos;
             if !self.skip_group("(", ")") {
@@ -661,6 +711,8 @@ impl<'t> Parser<'t> {
                 // file; step back inside it and let recovery continue.
                 self.pos = params_at + 1;
                 self.error("unclosed fn parameter list");
+            } else {
+                params = param_names(&self.toks[params_at + 1..self.pos.saturating_sub(1)]);
             }
         }
         let mut returns = ReturnKind::Unit;
@@ -692,6 +744,244 @@ impl<'t> Parser<'t> {
             returns,
             body,
             span: Span { lo, hi: self.pos },
+            params,
+            module: self.mods.clone(),
+        });
+    }
+
+    /// Parse the type path after `impl` (or after `for`): ident segments
+    /// joined by `::`, generics and leading `&`/`dyn`/`mut` stripped.
+    fn type_path(&mut self) -> Vec<String> {
+        while self.at_punct("&")
+            || self.at_punct("&&")
+            || self.at_ident("mut")
+            || self.at_ident("dyn")
+        {
+            self.bump();
+        }
+        let mut segs = Vec::new();
+        loop {
+            if self.out_of_fuel() {
+                break;
+            }
+            match self.peek() {
+                Some(t)
+                    if t.kind == TokenKind::Ident && !t.is_ident("for") && !t.is_ident("where") =>
+                {
+                    segs.push(t.text.clone());
+                    self.bump();
+                }
+                _ => break,
+            }
+            if self.at_punct("<") {
+                self.skip_angles();
+            }
+            if self.at_punct("::") {
+                self.bump();
+                continue;
+            }
+            break;
+        }
+        segs
+    }
+
+    /// `impl (<..>)? TraitPath (for TypePath)? (where ..)? { items }` —
+    /// records the header and the index range of fns parsed in the body.
+    fn impl_item(&mut self) {
+        let lo = self.pos;
+        self.bump(); // `impl`
+        if self.at_punct("<") {
+            self.skip_angles();
+        }
+        self.eat_punct("!"); // negative impls
+        let first = self.type_path();
+        let (trait_path, self_path) = if self.eat_ident("for") {
+            (Some(first), self.type_path())
+        } else {
+            (None, first)
+        };
+        // `where` clause / anything else before the body.
+        while let Some(t) = self.peek() {
+            if self.out_of_fuel() {
+                return;
+            }
+            match t.text.as_str() {
+                "{" => break,
+                ";" => {
+                    self.bump();
+                    return;
+                }
+                "<" => self.skip_angles(),
+                "(" => {
+                    self.skip_group("(", ")");
+                }
+                "[" => {
+                    self.skip_group("[", "]");
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+        if !self.eat_punct("{") {
+            return;
+        }
+        let fns_lo = self.ast.fns.len();
+        self.items_until(Some("}"));
+        self.eat_punct("}");
+        self.ast.impls.push(ImplDecl {
+            trait_path,
+            self_path,
+            fn_ids: (fns_lo..self.ast.fns.len()).collect(),
+            module: self.mods.clone(),
+            span: Span { lo, hi: self.pos },
+        });
+    }
+
+    /// `mod name;` or `mod name { items }` — pushes onto the module path
+    /// while the body parses.
+    fn mod_item(&mut self) {
+        self.bump(); // `mod`
+        let name = match self.peek() {
+            Some(t) if t.kind == TokenKind::Ident => {
+                let n = t.text.clone();
+                self.bump();
+                n
+            }
+            _ => {
+                self.error("expected mod name");
+                return;
+            }
+        };
+        if self.eat_punct(";") {
+            return;
+        }
+        if !self.eat_punct("{") {
+            self.error("expected mod body");
+            return;
+        }
+        self.mods.push(name);
+        self.items_until(Some("}"));
+        self.eat_punct("}");
+        self.mods.pop();
+    }
+
+    /// `use tree;` — flattens the use tree into [`Ast::uses`] leaves.
+    fn use_item(&mut self) {
+        let line = self.peek().map_or(0, |t| t.line);
+        self.bump(); // `use`
+        let mut prefix = Vec::new();
+        self.use_tree(&mut prefix, line, 0);
+        // Recover to the end of the item whatever the tree looked like.
+        while let Some(t) = self.peek() {
+            if self.out_of_fuel() {
+                return;
+            }
+            if t.is_punct(";") {
+                self.bump();
+                return;
+            }
+            if t.is_punct("{") {
+                self.skip_group("{", "}");
+                continue;
+            }
+            if t.is_punct("}") {
+                return; // don't eat the enclosing module's close
+            }
+            self.bump();
+        }
+    }
+
+    /// One branch of a use tree; `prefix` holds the segments accumulated so
+    /// far and is restored before returning.
+    fn use_tree(&mut self, prefix: &mut Vec<String>, line: u32, depth: u32) {
+        let mark = prefix.len();
+        if depth > 16 {
+            return; // pathological nesting; recovery in use_item skips the rest
+        }
+        loop {
+            if self.out_of_fuel() {
+                break;
+            }
+            if self.at_punct("{") {
+                self.bump();
+                loop {
+                    if self.out_of_fuel() {
+                        break;
+                    }
+                    let Some(t) = self.peek() else { break };
+                    if t.is_punct("}") {
+                        self.bump();
+                        break;
+                    }
+                    if t.is_punct(",") {
+                        self.bump();
+                        continue;
+                    }
+                    let before = self.pos;
+                    self.use_tree(prefix, line, depth + 1);
+                    if self.pos == before {
+                        self.bump();
+                    }
+                }
+                break;
+            }
+            if self.at_punct("*") {
+                self.bump();
+                let mut path = prefix.clone();
+                path.push("*".to_string());
+                self.record_use(path, "*".to_string(), line);
+                break;
+            }
+            match self.peek() {
+                Some(t) if t.kind == TokenKind::Ident && !t.is_ident("as") => {
+                    prefix.push(t.text.clone());
+                    self.bump();
+                }
+                _ => break,
+            }
+            if self.at_punct("::") {
+                self.bump();
+                continue;
+            }
+            // End of this branch's path: optional rename, then record.
+            let alias = if self.eat_ident("as") {
+                match self.peek() {
+                    Some(t) if t.kind == TokenKind::Ident || t.is_punct("_") => {
+                        let a = t.text.clone();
+                        self.bump();
+                        a
+                    }
+                    _ => String::new(),
+                }
+            } else {
+                String::new()
+            };
+            let mut path = prefix.clone();
+            // `use a::b::{self}` binds `b`, not `self`.
+            if path.last().is_some_and(|s| s == "self") && path.len() > 1 {
+                path.pop();
+            }
+            let alias = if alias.is_empty() {
+                path.last().cloned().unwrap_or_default()
+            } else {
+                alias
+            };
+            self.record_use(path, alias, line);
+            break;
+        }
+        prefix.truncate(mark);
+    }
+
+    fn record_use(&mut self, path: Vec<String>, alias: String, line: u32) {
+        if path.is_empty() || self.ast.uses.len() >= 1024 {
+            return;
+        }
+        self.ast.uses.push(UseDecl {
+            path,
+            alias,
+            module: self.mods.clone(),
+            line,
         });
     }
 
@@ -1645,6 +1935,7 @@ impl<'t> Parser<'t> {
         if self.at_punct("{") && self.no_struct == 0 {
             self.bump();
             let mut fields = Vec::new();
+            let mut names = Vec::new();
             loop {
                 if self.out_of_fuel() {
                     break;
@@ -1661,18 +1952,29 @@ impl<'t> Parser<'t> {
                     self.bump();
                     continue;
                 }
-                // `field: expr` or shorthand `field`.
+                // `field: expr` or shorthand `field` (shorthand keeps
+                // `None`: the value expr carries the name).
+                let mut name = None;
                 if t.kind == TokenKind::Ident && self.peek_at(1).is_some_and(|n| n.is_punct(":")) {
+                    name = Some(t.text.clone());
                     self.bump();
                     self.bump();
                 }
                 let before = self.pos;
                 fields.push(self.expr());
+                names.push(name);
                 if self.pos == before {
                     self.bump();
                 }
             }
-            return self.mk(ExprKind::StructLit { path: segs, fields }, lo);
+            return self.mk(
+                ExprKind::StructLit {
+                    path: segs,
+                    fields,
+                    names,
+                },
+                lo,
+            );
         }
         self.mk(ExprKind::Path(segs), lo)
     }
@@ -1748,6 +2050,41 @@ impl<'t> Parser<'t> {
 }
 
 /// Classify the tokens of a return type.
+/// Extract parameter names from the tokens between a fn's parentheses:
+/// at bracket depth 0 and outside type position, `name :` introduces a
+/// parameter and a bare `self` is the receiver. Pattern parameters
+/// (`(a, b): (u32, u32)`) are omitted — callers treat them as unnamed.
+fn param_names(toks: &[Token]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut in_type = false;
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        match t.text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "<" => depth += 1,
+            "<<" => depth += 2,
+            ">" => depth -= 1,
+            ">>" => depth -= 2,
+            "," if depth == 0 => in_type = false,
+            ":" if depth == 0 => in_type = true,
+            _ => {
+                if depth == 0 && !in_type && t.kind == TokenKind::Ident {
+                    if t.is_ident("self") {
+                        out.push("self".to_string());
+                    } else if toks.get(i + 1).is_some_and(|n| n.is_punct(":")) {
+                        out.push(t.text.clone());
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
 fn classify_return(ty: &[Token]) -> ReturnKind {
     // Strip leading `&`/`impl`/`dyn`/lifetimes, then read the path until `<`.
     let mut segs: Vec<&str> = Vec::new();

@@ -1,11 +1,15 @@
-//! Suppression-debt budget.
+//! Suppression-debt budget and ledger.
 //!
 //! Every `ig-lint: allow(...)` is debt: a place where the invariant is
 //! argued around instead of upheld. The committed baseline
-//! (`results/lint_baseline.json`) records the budget and the current debt;
-//! `check --baseline` fails when the workspace's live suppression count
-//! exceeds the budget, so debt can only grow by an explicit, reviewed edit
-//! to the committed file.
+//! (`results/lint_baseline.json`) records the budget and one ledger entry
+//! per live suppression, keyed by **(rule, content hash of the suppressed
+//! line)**. The path and line are recorded only as hints for humans: when
+//! a file is renamed or the line drifts, the hash still matches and the
+//! debt is recognized as the *same* debt, not new debt. Conversely a
+//! brand-new suppression — even one within budget — fails enforcement
+//! until the committed ledger is regenerated, so debt can only grow by an
+//! explicit, reviewed edit to the committed file.
 //!
 //! The format is produced and consumed only by this module, so the reader
 //! is a minimal key scanner rather than a general JSON parser (the repo
@@ -16,6 +20,21 @@ use std::fmt::Write as _;
 
 use crate::report::Report;
 
+/// One ledger entry: a recorded suppression.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct BaselineEntry {
+    /// Rule the suppression targets (one entry per rule of a multi-rule
+    /// allow).
+    pub rule: String,
+    /// FNV-1a 64 hash of the suppressed line's content, annotation
+    /// stripped — the identity key.
+    pub content_hash: u64,
+    /// Path at record time. Hint only; never used for matching.
+    pub path: String,
+    /// Line at record time. Hint only; never used for matching.
+    pub line: u32,
+}
+
 /// The committed suppression-debt record.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Baseline {
@@ -23,28 +42,35 @@ pub struct Baseline {
     pub suppression_budget: usize,
     /// Allow count at the time the baseline was committed (informational).
     pub recorded_allows: usize,
-    /// Per-rule suppression counts at commit time (informational).
-    pub by_rule: BTreeMap<String, usize>,
+    /// The ledger, sorted by (rule, hash, path, line).
+    pub entries: Vec<BaselineEntry>,
 }
 
 impl Baseline {
     /// Snapshot a report into a baseline with the given budget.
     pub fn from_report(report: &Report, suppression_budget: usize) -> Self {
-        let mut by_rule: BTreeMap<String, usize> = BTreeMap::new();
+        let mut entries = Vec::new();
         for a in &report.allows {
             for r in &a.rules {
-                *by_rule.entry(r.clone()).or_insert(0) += 1;
+                entries.push(BaselineEntry {
+                    rule: r.clone(),
+                    content_hash: a.content_hash,
+                    path: a.path.clone(),
+                    line: a.line,
+                });
             }
         }
+        entries.sort();
         Baseline {
             suppression_budget,
             recorded_allows: report.allows.len(),
-            by_rule,
+            entries,
         }
     }
 
-    /// Check a live report against the budget. Returns human-readable
-    /// failures; empty means within budget.
+    /// Check a live report against the budget and ledger. Returns
+    /// human-readable failures; empty means within budget and every live
+    /// suppression is on record.
     pub fn enforce(&self, report: &Report) -> Vec<String> {
         let mut failures = Vec::new();
         let live = report.allows.len();
@@ -57,48 +83,98 @@ impl Baseline {
                 self.suppression_budget
             ));
         }
+        // Multiset match by (rule, hash): renames and line drift keep
+        // matching, new suppressions do not.
+        let mut ledger: BTreeMap<(&str, u64), usize> = BTreeMap::new();
+        for e in &self.entries {
+            *ledger.entry((e.rule.as_str(), e.content_hash)).or_insert(0) += 1;
+        }
+        for a in &report.allows {
+            for r in &a.rules {
+                let slot = ledger.entry((r.as_str(), a.content_hash)).or_insert(0);
+                if *slot > 0 {
+                    *slot -= 1;
+                } else {
+                    failures.push(format!(
+                        "unrecorded suppression: allow({r}) at {}:{} is not in \
+                         the committed ledger (run `ig-lint baseline` and \
+                         review the diff to record it)",
+                        a.path, a.line
+                    ));
+                }
+            }
+        }
         failures
     }
 
-    /// Render as the committed JSON document.
+    /// Render as the committed JSON document, one ledger entry per line.
     pub fn render(&self) -> String {
         let mut s = String::new();
         s.push_str("{\n");
         let _ = writeln!(s, "  \"suppression_budget\": {},", self.suppression_budget);
         let _ = writeln!(s, "  \"recorded_allows\": {},", self.recorded_allows);
-        s.push_str("  \"by_rule\": {");
-        let mut first = true;
-        for (rule, n) in &self.by_rule {
-            if !first {
+        s.push_str("  \"entries\": [");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
                 s.push(',');
             }
-            first = false;
-            let _ = write!(s, "\n    \"{rule}\": {n}");
+            let _ = write!(
+                s,
+                "\n    {{\"rule\": {}, \"hash\": \"{:016x}\", \"path\": {}, \"line\": {}}}",
+                crate::report::json_str(&e.rule),
+                e.content_hash,
+                crate::report::json_str(&e.path),
+                e.line
+            );
         }
-        if !self.by_rule.is_empty() {
-            s.push_str("\n  ");
-        }
-        s.push_str("}\n}\n");
+        s.push_str(if self.entries.is_empty() {
+            "]\n}\n"
+        } else {
+            "\n  ]\n}\n"
+        });
         s
     }
 
-    /// Parse the committed document. Tolerant of whitespace and key order;
-    /// errors on missing keys so a truncated file cannot masquerade as a
-    /// zero budget.
+    /// Parse the committed document. Tolerant of whitespace, strict about
+    /// presence: every key including the `entries` array is mandatory, so
+    /// a truncated file cannot masquerade as an empty ledger.
     pub fn parse(text: &str) -> Result<Self, String> {
         let suppression_budget = extract_usize(text, "suppression_budget")
             .ok_or("baseline missing `suppression_budget`")?;
         let recorded_allows =
             extract_usize(text, "recorded_allows").ok_or("baseline missing `recorded_allows`")?;
-        // ig-lint: allow(error-flow) -- by_rule is informational; an absent
-        // map is a valid empty breakdown, and the mandatory keys error above
-        let by_rule = extract_by_rule(text).unwrap_or_default();
+        let entries = extract_entries(text)?;
         Ok(Baseline {
             suppression_budget,
             recorded_allows,
-            by_rule,
+            entries,
         })
     }
+}
+
+/// FNV-1a 64 over the given line of `src` (1-based), with any trailing
+/// `// ig-lint:` annotation stripped so editing a suppression's *reason*
+/// does not change the suppressed line's identity.
+pub fn line_content_hash(src: &str, line: u32) -> u64 {
+    let content = src
+        .lines()
+        .nth(line.saturating_sub(1) as usize)
+        .unwrap_or("");
+    let content = match content.find("// ig-lint:") {
+        Some(at) => content.get(..at).unwrap_or(content),
+        None => content,
+    };
+    fnv1a(content.trim().as_bytes())
+}
+
+/// FNV-1a 64-bit: tiny, dependency-free, stable across platforms.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// Find `"key"` and read the unsigned integer after its `:`.
@@ -114,26 +190,55 @@ fn extract_usize(text: &str, key: &str) -> Option<usize> {
     }
 }
 
-/// Read the `"by_rule": { "name": n, ... }` object.
-fn extract_by_rule(text: &str) -> Option<BTreeMap<String, usize>> {
-    let needle = "\"by_rule\"";
-    let at = text.find(needle)? + needle.len();
+/// Find `"key"` and read the quoted string after its `:`.
+fn extract_str<'t>(text: &'t str, key: &str) -> Option<&'t str> {
+    let needle = format!("\"{key}\"");
+    let at = text.find(&needle)? + needle.len();
     let rest = text.get(at..)?.trim_start().strip_prefix(':')?.trim_start();
-    let rest = rest.strip_prefix('{')?;
-    let close = rest.find('}')?;
-    let body = &rest[..close];
-    let mut map = BTreeMap::new();
-    for pair in body.split(',') {
-        let pair = pair.trim();
-        if pair.is_empty() {
-            continue;
-        }
-        let (name, value) = pair.split_once(':')?;
-        let name = name.trim().trim_matches('"').to_string();
-        let value: usize = value.trim().parse().ok()?;
-        map.insert(name, value);
+    let rest = rest.strip_prefix('"')?;
+    let close = rest.find('"')?;
+    rest.get(..close)
+}
+
+/// Read the `"entries": [...]` ledger. The renderer emits one object per
+/// line, so the scanner splits on `{`-delimited object bodies.
+fn extract_entries(text: &str) -> Result<Vec<BaselineEntry>, String> {
+    let needle = "\"entries\"";
+    let at = text
+        .find(needle)
+        .ok_or("baseline missing `entries` ledger")?
+        + needle.len();
+    let rest = text
+        .get(at..)
+        .and_then(|r| r.trim_start().strip_prefix(':'))
+        .map(str::trim_start)
+        .and_then(|r| r.strip_prefix('['))
+        .ok_or("baseline `entries` is not an array")?;
+    let close = rest
+        .rfind(']')
+        .ok_or("baseline `entries` array is unterminated")?;
+    let body = rest.get(..close).unwrap_or("");
+    let mut entries = Vec::new();
+    for obj in body.split('{').skip(1) {
+        let obj = obj.split('}').next().unwrap_or("");
+        let rule = extract_str(obj, "rule")
+            .ok_or("ledger entry missing `rule`")?
+            .to_string();
+        let hash_hex = extract_str(obj, "hash").ok_or("ledger entry missing `hash`")?;
+        let content_hash = u64::from_str_radix(hash_hex, 16)
+            .map_err(|_| format!("ledger entry has malformed hash `{hash_hex}`"))?;
+        let path = extract_str(obj, "path")
+            .ok_or("ledger entry missing `path`")?
+            .to_string();
+        let line = extract_usize(obj, "line").ok_or("ledger entry missing `line`")? as u32;
+        entries.push(BaselineEntry {
+            rule,
+            content_hash,
+            path,
+            line,
+        });
     }
-    Some(map)
+    Ok(entries)
 }
 
 #[cfg(test)]
@@ -141,55 +246,121 @@ mod tests {
     use super::*;
     use crate::report::ReportedAllow;
 
-    fn report_with_allows(n: usize) -> Report {
-        let mut r = Report::default();
-        for i in 0..n {
-            r.allows.push(ReportedAllow {
-                path: format!("crates/x/src/f{i}.rs"),
-                line: 1,
-                rules: vec!["panic".to_string()],
-                reason: "test".to_string(),
-            });
+    fn allow(path: &str, line: u32, rule: &str, hash: u64) -> ReportedAllow {
+        ReportedAllow {
+            path: path.to_string(),
+            line,
+            rules: vec![rule.to_string()],
+            reason: "test".to_string(),
+            content_hash: hash,
         }
-        r
+    }
+
+    fn report_with(allows: Vec<ReportedAllow>) -> Report {
+        Report {
+            allows,
+            ..Report::default()
+        }
+    }
+
+    fn report_with_n(n: usize) -> Report {
+        report_with(
+            (0..n)
+                .map(|i| allow(&format!("crates/x/src/f{i}.rs"), 1, "panic", i as u64))
+                .collect(),
+        )
     }
 
     #[test]
     fn round_trips_through_render_and_parse() {
-        let b = Baseline::from_report(&report_with_allows(3), 10);
+        let b = Baseline::from_report(&report_with_n(3), 10);
         let parsed = Baseline::parse(&b.render()).expect("parse");
         assert_eq!(parsed, b);
-        assert_eq!(parsed.by_rule.get("panic"), Some(&3));
+        assert_eq!(parsed.entries.len(), 3);
     }
 
     #[test]
-    fn within_budget_passes() {
-        let b = Baseline::from_report(&report_with_allows(3), 5);
-        assert!(b.enforce(&report_with_allows(5)).is_empty());
+    fn within_budget_and_on_ledger_passes() {
+        let r = report_with_n(3);
+        let b = Baseline::from_report(&r, 5);
+        assert!(b.enforce(&r).is_empty());
     }
 
     #[test]
     fn over_budget_fails() {
-        let b = Baseline::from_report(&report_with_allows(3), 5);
-        let failures = b.enforce(&report_with_allows(6));
+        let b = Baseline::from_report(&report_with_n(6), 5);
+        let failures = b.enforce(&report_with_n(6));
         assert_eq!(failures.len(), 1);
         assert!(failures[0].contains("budget of 5"));
+    }
+
+    #[test]
+    fn rename_and_line_drift_still_match_the_ledger() {
+        // Recorded at old path/line; the file is then renamed and the
+        // annotation drifts 40 lines. Identity is the content hash, so
+        // this is the same debt, not new debt.
+        let b = Baseline::from_report(
+            &report_with(vec![allow("crates/a/src/old.rs", 10, "panic", 0xfeed)]),
+            5,
+        );
+        let moved = report_with(vec![allow("crates/a/src/renamed.rs", 50, "panic", 0xfeed)]);
+        assert!(b.enforce(&moved).is_empty());
+    }
+
+    #[test]
+    fn new_suppression_fails_even_within_budget() {
+        let b = Baseline::from_report(
+            &report_with(vec![allow("crates/a/src/f.rs", 10, "panic", 0xfeed)]),
+            5,
+        );
+        let grown = report_with(vec![
+            allow("crates/a/src/f.rs", 10, "panic", 0xfeed),
+            allow("crates/a/src/f.rs", 90, "panic", 0xbeef),
+        ]);
+        let failures = b.enforce(&grown);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("unrecorded suppression"));
+        assert!(failures[0].contains("f.rs:90"));
+    }
+
+    #[test]
+    fn same_rule_different_line_needs_its_own_entry() {
+        // Two identical-content lines may share a hash; the ledger is a
+        // multiset, so one entry covers exactly one suppression.
+        let one = report_with(vec![allow("crates/a/src/f.rs", 10, "panic", 7)]);
+        let two = report_with(vec![
+            allow("crates/a/src/f.rs", 10, "panic", 7),
+            allow("crates/a/src/g.rs", 20, "panic", 7),
+        ]);
+        let b = Baseline::from_report(&one, 5);
+        assert_eq!(b.enforce(&two).len(), 1);
+        assert!(Baseline::from_report(&two, 5).enforce(&two).is_empty());
     }
 
     #[test]
     fn truncated_baseline_is_an_error_not_zero() {
         assert!(Baseline::parse("{}").is_err());
         assert!(Baseline::parse("{\"suppression_budget\": 4}").is_err());
+        // A budget with no ledger is a truncation, not an empty ledger.
+        assert!(Baseline::parse("{\"suppression_budget\": 4, \"recorded_allows\": 0}").is_err());
     }
 
     #[test]
-    fn empty_by_rule_renders_cleanly() {
+    fn empty_ledger_renders_cleanly() {
         let b = Baseline {
             suppression_budget: 0,
             recorded_allows: 0,
-            by_rule: BTreeMap::new(),
+            entries: Vec::new(),
         };
         let parsed = Baseline::parse(&b.render()).expect("parse");
         assert_eq!(parsed, b);
+    }
+
+    #[test]
+    fn annotation_reason_edits_do_not_change_line_identity() {
+        let v1 = "fn f() {\n    x.unwrap(); // ig-lint: allow(panic) -- checked\n}\n";
+        let v2 = "fn f() {\n    x.unwrap(); // ig-lint: allow(panic) -- len proven above\n}\n";
+        assert_eq!(line_content_hash(v1, 2), line_content_hash(v2, 2));
+        assert_ne!(line_content_hash(v1, 2), line_content_hash(v1, 1));
     }
 }

@@ -1,0 +1,190 @@
+//! Workspace call graph over the [`crate::symbols`] table.
+//!
+//! Nodes are workspace fns plus explicit `Unknown` nodes for everything
+//! resolution cannot pin down (external crates, receiver-blind method
+//! calls, macro-generated names). Construction is bounded and
+//! deterministic: files arrive sorted, symbol ids are assigned in file
+//! order, unknown nodes are interned by label into a `BTreeMap`, and the
+//! JSON dump sorts edges — the same workspace always produces the same
+//! bytes regardless of thread count or environment.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::ast::{walk_block, ExprKind};
+use crate::context::FileContext;
+use crate::symbols::{Resolution, Symbols};
+
+/// Hard cap on recorded call sites; beyond it the graph stops growing
+/// (never approached by this workspace — a runaway-input backstop).
+const MAX_SITES: usize = 262_144;
+
+/// One node of the graph.
+#[derive(Debug)]
+pub struct Node {
+    /// Display label: the fn's full path, or the unresolved callee
+    /// (`std::fs::write`, `.push`) for `Unknown` nodes.
+    pub label: String,
+    /// Symbol index for fn nodes; `None` marks an `Unknown` node.
+    pub sym: Option<usize>,
+}
+
+/// One call site: node `caller` invokes node `callee` at token `tok` of
+/// file `file`.
+#[derive(Debug, Clone, Copy)]
+pub struct CallSite {
+    pub caller: usize,
+    pub callee: usize,
+    pub file: usize,
+    pub tok: usize,
+}
+
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    pub nodes: Vec<Node>,
+    /// Deduplicated edges, sorted (caller, callee).
+    pub edges: Vec<(usize, usize)>,
+    /// Every call site, in deterministic (file, fn, token) order.
+    pub sites: Vec<CallSite>,
+    /// Node id of symbol `i` — the identity map today (fn nodes are
+    /// allocated first, in symbol order), kept explicit so unknown-node
+    /// allocation can never silently break callers.
+    pub node_of_sym: Vec<usize>,
+    /// Adjacency list over `nodes`.
+    pub adj: Vec<Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Build the graph for the files in `ctxs` (sorted order expected).
+    pub fn build(ctxs: &[FileContext], sy: &Symbols) -> CallGraph {
+        let mut g = CallGraph::default();
+        for (i, s) in sy.fns.iter().enumerate() {
+            g.node_of_sym.push(g.nodes.len());
+            g.nodes.push(Node {
+                label: s.path.clone(),
+                sym: Some(i),
+            });
+        }
+        let mut unknown = BTreeMap::<String, usize>::new();
+        let mut edge_set = BTreeSet::new();
+        for (si, s) in sy.fns.iter().enumerate() {
+            let ctx = &ctxs[s.file];
+            let module = sy.fn_module(s.file, ctx.ast, s.fn_idx);
+            let caller_node = g.node_of_sym[si];
+            let body = &ctx.ast.fns[s.fn_idx].body;
+            walk_block(body, &mut |e| {
+                let (res, tok) = match &e.kind {
+                    ExprKind::Call { callee, .. } => match &callee.kind {
+                        ExprKind::Path(segs) => {
+                            (sy.resolve_path(s.file, &module, segs), callee.span.lo)
+                        }
+                        _ => return,
+                    },
+                    ExprKind::MethodCall {
+                        recv,
+                        method,
+                        method_tok,
+                        ..
+                    } => {
+                        let on_self = matches!(&recv.kind,
+                            ExprKind::Path(p) if matches!(p.as_slice(), [s] if s == "self"));
+                        let st = if on_self {
+                            s.self_type.as_deref()
+                        } else {
+                            None
+                        };
+                        (sy.resolve_method(st, method), *method_tok)
+                    }
+                    _ => return,
+                };
+                if g.sites.len() >= MAX_SITES {
+                    return;
+                }
+                let callees: Vec<usize> = match res {
+                    Resolution::Fns(ids) => ids.iter().map(|&i| g.node_of_sym[i]).collect(),
+                    Resolution::External(label) => {
+                        vec![intern_unknown(&mut g.nodes, &mut unknown, &label)]
+                    }
+                };
+                for c in callees {
+                    edge_set.insert((caller_node, c));
+                    g.sites.push(CallSite {
+                        caller: caller_node,
+                        callee: c,
+                        file: s.file,
+                        tok,
+                    });
+                }
+            });
+        }
+        g.edges = edge_set.into_iter().collect();
+        g.adj = vec![Vec::new(); g.nodes.len()];
+        for &(a, b) in &g.edges {
+            g.adj[a].push(b);
+        }
+        g
+    }
+
+    /// Node ids reachable from `starts` (inclusive), breadth-first.
+    pub fn reachable(&self, starts: &[usize]) -> Vec<bool> {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for &s in starts {
+            if s < seen.len() && !seen[s] {
+                seen[s] = true;
+                queue.push_back(s);
+            }
+        }
+        while let Some(n) = queue.pop_front() {
+            for &m in &self.adj[n] {
+                if !seen[m] {
+                    seen[m] = true;
+                    queue.push_back(m);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Byte-stable JSON dump: node labels in id order, edges sorted.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(self.nodes.len() * 48);
+        s.push_str("{\n  \"nodes\": [\n");
+        for (i, n) in self.nodes.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"id\": {}, \"kind\": \"{}\", \"label\": {}}}{}\n",
+                i,
+                if n.sym.is_some() { "fn" } else { "unknown" },
+                crate::report::json_str(&n.label),
+                if i + 1 == self.nodes.len() { "" } else { "," }
+            ));
+        }
+        s.push_str("  ],\n  \"edges\": [\n");
+        for (i, (a, b)) in self.edges.iter().enumerate() {
+            s.push_str(&format!(
+                "    [{}, {}]{}\n",
+                a,
+                b,
+                if i + 1 == self.edges.len() { "" } else { "," }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+fn intern_unknown(
+    nodes: &mut Vec<Node>,
+    interner: &mut BTreeMap<String, usize>,
+    label: &str,
+) -> usize {
+    if let Some(&id) = interner.get(label) {
+        return id;
+    }
+    let id = nodes.len();
+    nodes.push(Node {
+        label: label.to_string(),
+        sym: None,
+    });
+    interner.insert(label.to_string(), id);
+    id
+}

@@ -56,6 +56,34 @@ pub const HOT_PATH_FILES: &[&str] = &[
     "crates/nn/src/optim.rs",
 ];
 
+/// Persistence modules blessed for ambient effects under P1
+/// `stage-purity`: the durable store's disk tier and the run context's
+/// artifact plumbing are *where* filesystem work is supposed to live, so
+/// effects reachable through them are the contract, not a violation.
+pub const PERSISTENCE_FILES: &[&str] = &[
+    "crates/runtime/src/store.rs",
+    "crates/runtime/src/disk.rs",
+    "crates/runtime/src/codec.rs",
+    "crates/runtime/src/context.rs",
+];
+
+/// Deterministic parallel engines blessed for *thread-spawn* effects only
+/// under P1: scoped work-stealing with deterministic reduction. Clock,
+/// filesystem, and env access are still violations here.
+pub const ENGINE_FILES: &[&str] = &[
+    "crates/core/src/features.rs",
+    "crates/imaging/src/prepared.rs",
+];
+
+/// Files where the C1 `lock-discipline` rule applies: the LRU store and
+/// disk tier of the runtime (Mutex + advisory pid lock) and the prepared-
+/// pattern cache of the imaging engine (its only lock on the hot path).
+pub fn lock_scope(rel_path: &str) -> bool {
+    rel_path == "crates/runtime/src/store.rs"
+        || rel_path == "crates/runtime/src/disk.rs"
+        || rel_path == "crates/imaging/src/prepared.rs"
+}
+
 /// Files where the H1 `hot-loop-alloc` rule applies: the NCC/pyramid hot
 /// paths in `crates/imaging` and the feature-generation loop in
 /// `crates/core::features`. Per-iteration heap traffic here is a direct

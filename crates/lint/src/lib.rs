@@ -8,25 +8,110 @@
 pub mod annotations;
 pub mod ast;
 pub mod baseline;
+pub mod callgraph;
 pub mod context;
 pub mod dataflow;
 pub mod fix;
 pub mod lexer;
 pub mod report;
 pub mod rules;
+pub mod symbols;
 
 use std::fs;
 use std::path::{Path, PathBuf};
 
 use annotations::AllowIndex;
+use callgraph::CallGraph;
 use context::{
     classify, hot_loop_scope, strict_error_scope, test_mask, FileClass, FileContext, HOT_PATH_FILES,
 };
 use report::{Diagnostic, Report, ReportedAllow};
+use symbols::Symbols;
+
+/// One source file queued for analysis, with class and hot-path pinned.
+#[derive(Debug)]
+pub struct SourceUnit {
+    /// Workspace-relative path with forward slashes.
+    pub rel_path: String,
+    pub src: String,
+    pub class: FileClass,
+    pub hot_path: bool,
+}
+
+impl SourceUnit {
+    /// Classify by path, as the workspace walk does.
+    pub fn classified(rel_path: &str, src: String) -> SourceUnit {
+        SourceUnit {
+            rel_path: rel_path.to_string(),
+            src,
+            class: classify(rel_path),
+            hot_path: HOT_PATH_FILES.contains(&rel_path),
+        }
+    }
+}
+
+/// Per-file analysis artifacts kept alive for the workspace pass.
+struct ParsedUnit {
+    lexed: lexer::Lexed,
+    mask: Vec<bool>,
+    allows: AllowIndex,
+    ast: ast::Ast,
+}
+
+fn parse_unit(u: &SourceUnit) -> ParsedUnit {
+    let lexed = lexer::lex(&u.src);
+    let mask = test_mask(&lexed);
+    let allows = AllowIndex::build(&lexed.comments, &lexed.tokens);
+    // The AST may be partial on malformed input (ast.errors records where);
+    // the token-level rules are unaffected either way.
+    let ast = ast::parse(&lexed.tokens);
+    ParsedUnit {
+        lexed,
+        mask,
+        allows,
+        ast,
+    }
+}
+
+fn contexts<'a>(units: &'a [SourceUnit], parsed: &'a [ParsedUnit]) -> Vec<FileContext<'a>> {
+    units
+        .iter()
+        .zip(parsed)
+        .map(|(u, p)| FileContext {
+            path: &u.rel_path,
+            class: u.class,
+            tokens: &p.lexed.tokens,
+            in_test: &p.mask,
+            allows: &p.allows,
+            hot_path: u.hot_path,
+            ast: &p.ast,
+            hot_loop: hot_loop_scope(&u.rel_path),
+            strict_errors: strict_error_scope(&u.rel_path),
+        })
+        .collect()
+}
+
+/// Analyze a set of units as one workspace: the per-file rules on each
+/// unit, then the symbol table + call graph and the workspace rule
+/// families (F1 fingerprint-completeness, P1 stage-purity, C1
+/// lock-discipline) across all of them.
+pub fn check_units(units: &[SourceUnit]) -> Vec<Diagnostic> {
+    let parsed: Vec<ParsedUnit> = units.iter().map(parse_unit).collect();
+    let ctxs = contexts(units, &parsed);
+    let mut diags = Vec::new();
+    for ctx in &ctxs {
+        diags.extend(rules::check_file(ctx));
+    }
+    let sy = Symbols::build(&ctxs);
+    let graph = CallGraph::build(&ctxs, &sy);
+    rules::check_workspace_rules(&ctxs, &sy, &graph, &mut diags);
+    diags
+}
 
 /// Analyze one source string as if it lived at `rel_path` (workspace
 /// relative, forward slashes). This is the unit-testable core; the binary
-/// and the fixture tests both go through it.
+/// and the fixture tests both go through it. The file forms a one-file
+/// workspace, so the workspace rule families run too.
 pub fn check_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
     check_source_as(rel_path, src, classify(rel_path))
 }
@@ -45,24 +130,32 @@ pub fn check_source_with(
     class: FileClass,
     hot_path: bool,
 ) -> Vec<Diagnostic> {
-    let lexed = lexer::lex(src);
-    let mask = test_mask(&lexed);
-    let allows = AllowIndex::build(&lexed.comments, &lexed.tokens);
-    // The AST may be partial on malformed input (ast.errors records where);
-    // the token-level rules are unaffected either way.
-    let parsed = ast::parse(&lexed.tokens);
-    let ctx = FileContext {
-        path: rel_path,
+    let units = [SourceUnit {
+        rel_path: rel_path.to_string(),
+        src: src.to_string(),
         class,
-        tokens: &lexed.tokens,
-        in_test: &mask,
-        allows: &allows,
         hot_path,
-        ast: &parsed,
-        hot_loop: hot_loop_scope(rel_path),
-        strict_errors: strict_error_scope(rel_path),
-    };
-    rules::check_file(&ctx)
+    }];
+    check_units(&units)
+}
+
+/// Build the workspace call graph for `root` and return its byte-stable
+/// JSON dump (`ig-lint callgraph`; CI commits it to
+/// `results/callgraph.json` and fails on drift).
+pub fn callgraph_json(root: &Path) -> std::io::Result<String> {
+    Ok(callgraph_json_for_units(&load_units(root)?))
+}
+
+/// In-memory variant of [`callgraph_json`]: build the graph over the
+/// given units and dump it. Total on malformed input — unparseable files
+/// contribute whatever their recovered partial ASTs hold, and unresolved
+/// callees become `unknown` nodes rather than errors.
+pub fn callgraph_json_for_units(units: &[SourceUnit]) -> String {
+    let parsed: Vec<ParsedUnit> = units.iter().map(parse_unit).collect();
+    let ctxs = contexts(units, &parsed);
+    let sy = Symbols::build(&ctxs);
+    let graph = CallGraph::build(&ctxs, &sy);
+    graph.to_json()
 }
 
 /// Directories never scanned: build output, VCS, vendored stubs, run
@@ -103,30 +196,39 @@ pub fn collect_rs_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
     Ok(out)
 }
 
-/// Analyze the whole workspace rooted at `root`.
-pub fn check_workspace(root: &Path) -> std::io::Result<Report> {
+/// Read every scanned `.rs` file under `root` into classified units.
+fn load_units(root: &Path) -> std::io::Result<Vec<SourceUnit>> {
     let files = collect_rs_files(root)?;
-    let mut report = Report {
-        files_scanned: files.len(),
-        ..Report::default()
-    };
+    let mut units = Vec::with_capacity(files.len());
     for path in &files {
         let rel = path
             .strip_prefix(root)
             .unwrap_or(path)
             .to_string_lossy()
             .replace('\\', "/");
-        let src = fs::read_to_string(path)?;
-        report.violations.extend(check_source(&rel, &src));
+        units.push(SourceUnit::classified(&rel, fs::read_to_string(path)?));
+    }
+    Ok(units)
+}
 
-        // Re-lex to list surviving allow annotations for the audit trail.
-        let lexed = lexer::lex(&src);
+/// Analyze the whole workspace rooted at `root`.
+pub fn check_workspace(root: &Path) -> std::io::Result<Report> {
+    let units = load_units(root)?;
+    let mut report = Report {
+        files_scanned: units.len(),
+        ..Report::default()
+    };
+    report.violations = check_units(&units);
+    // Re-lex to list surviving allow annotations for the audit trail.
+    for u in &units {
+        let lexed = lexer::lex(&u.src);
         let allows = AllowIndex::build(&lexed.comments, &lexed.tokens);
         for a in allows.allows {
             if let Some(reason) = a.reason {
                 report.allows.push(ReportedAllow {
-                    path: rel.clone(),
+                    path: u.rel_path.clone(),
                     line: a.annotation_line,
+                    content_hash: baseline::line_content_hash(&u.src, a.target_line),
                     rules: a.rules,
                     reason,
                 });

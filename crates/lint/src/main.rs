@@ -4,7 +4,8 @@
 //! cargo run -p ig-lint -- check [--root DIR] [--report PATH] [--baseline PATH] [--quiet]
 //! cargo run -p ig-lint -- fix [--root DIR] [--dry-run]
 //! cargo run -p ig-lint -- baseline [--root DIR] [--budget N] [--out PATH]
-//! cargo run -p ig-lint -- rules
+//! cargo run -p ig-lint -- callgraph [--root DIR] [--out PATH]
+//! cargo run -p ig-lint -- rules [--markdown] [--check [--readme PATH]]
 //! ```
 //!
 //! `check` exits 0 when the workspace upholds every invariant, 1 when any
@@ -16,7 +17,10 @@
 //! `fix` applies the mechanical E1 rewrites (see `fix.rs`) in place;
 //! `--dry-run` prints the plan without touching files. `baseline`
 //! regenerates the committed suppression-debt record from the current
-//! workspace state.
+//! workspace state. `callgraph` dumps the byte-stable workspace call
+//! graph. `rules --markdown` prints the catalog as a markdown table, and
+//! `rules --check` fails when the `README.md` rule table (the block
+//! between the `<!-- ig-lint-rules -->` markers) has drifted from it.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -43,6 +47,17 @@ struct BaselineOpts {
     out: PathBuf,
 }
 
+struct CallgraphOpts {
+    root: PathBuf,
+    out: PathBuf,
+}
+
+struct RulesOpts {
+    markdown: bool,
+    check: bool,
+    readme: PathBuf,
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -58,16 +73,20 @@ fn main() -> ExitCode {
             Ok(opts) => run_baseline(&opts),
             Err(e) => usage_error(&e),
         },
-        Some("rules") => {
-            run_rules();
-            ExitCode::SUCCESS
-        }
+        Some("callgraph") => match parse_callgraph_opts(&args[1..]) {
+            Ok(opts) => run_callgraph(&opts),
+            Err(e) => usage_error(&e),
+        },
+        Some("rules") => match parse_rules_opts(&args[1..]) {
+            Ok(opts) => run_rules(&opts),
+            Err(e) => usage_error(&e),
+        },
         Some(other) => usage_error(&format!("unknown command `{other}`")),
         None => usage_error("missing command"),
     }
 }
 
-const USAGE: &str = "usage: ig-lint check [--root DIR] [--report PATH] [--baseline PATH] [--quiet]\n       ig-lint fix [--root DIR] [--dry-run]\n       ig-lint baseline [--root DIR] [--budget N] [--out PATH]\n       ig-lint rules";
+const USAGE: &str = "usage: ig-lint check [--root DIR] [--report PATH] [--baseline PATH] [--quiet]\n       ig-lint fix [--root DIR] [--dry-run]\n       ig-lint baseline [--root DIR] [--budget N] [--out PATH]\n       ig-lint callgraph [--root DIR] [--out PATH]\n       ig-lint rules [--markdown] [--check [--readme PATH]]";
 
 fn usage_error(msg: &str) -> ExitCode {
     eprintln!("ig-lint: {msg}\n{USAGE}");
@@ -307,14 +326,159 @@ fn run_baseline(opts: &BaselineOpts) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn run_rules() {
+fn parse_callgraph_opts(args: &[String]) -> Result<CallgraphOpts, String> {
+    let mut opts = CallgraphOpts {
+        root: PathBuf::from("."),
+        out: PathBuf::from("results/callgraph.json"),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => {
+                opts.root = it
+                    .next()
+                    .map(PathBuf::from)
+                    .ok_or("--root requires a directory")?;
+            }
+            "--out" => {
+                opts.out = it
+                    .next()
+                    .map(PathBuf::from)
+                    .ok_or("--out requires a path")?;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn parse_rules_opts(args: &[String]) -> Result<RulesOpts, String> {
+    let mut opts = RulesOpts {
+        markdown: false,
+        check: false,
+        readme: PathBuf::from("README.md"),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--markdown" => opts.markdown = true,
+            "--check" => opts.check = true,
+            "--readme" => {
+                opts.readme = it
+                    .next()
+                    .map(PathBuf::from)
+                    .ok_or("--readme requires a path")?;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn run_callgraph(opts: &CallgraphOpts) -> ExitCode {
+    let json = match ig_lint::callgraph_json(&opts.root) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("ig-lint: scanning {}: {e}", opts.root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(dir) = opts.out.parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("ig-lint: creating {}: {e}", dir.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(&opts.out, &json) {
+        eprintln!("ig-lint: writing {}: {e}", opts.out.display());
+        return ExitCode::from(2);
+    }
+    println!("ig-lint: call graph written to {}", opts.out.display());
+    ExitCode::SUCCESS
+}
+
+/// The README's generated rule table, marker lines included.
+fn rules_markdown() -> String {
+    let mut s = String::from(RULES_BEGIN);
+    s.push('\n');
+    s.push_str("| ID | Name | Family | Scope | Invariant |\n");
+    s.push_str("|----|------|--------|-------|-----------|\n");
+    for r in rule_catalog() {
+        s.push_str(&format!(
+            "| {} | `{}` | {} | {} | {} |\n",
+            r.id,
+            r.name,
+            r.family,
+            r.scope,
+            r.description
+                .split_whitespace()
+                .collect::<Vec<_>>()
+                .join(" ")
+        ));
+    }
+    s.push_str(RULES_END);
+    s.push('\n');
+    s
+}
+
+const RULES_BEGIN: &str = "<!-- ig-lint-rules:begin (generated: `ig-lint rules --markdown`) -->";
+const RULES_END: &str = "<!-- ig-lint-rules:end -->";
+
+fn run_rules(opts: &RulesOpts) -> ExitCode {
+    if opts.check {
+        let text = match std::fs::read_to_string(&opts.readme) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("ig-lint: reading {}: {e}", opts.readme.display());
+                return ExitCode::from(2);
+            }
+        };
+        let expected = rules_markdown();
+        let begin = text.find(RULES_BEGIN);
+        let end = text.find(RULES_END);
+        let block = match (begin, end) {
+            (Some(b), Some(e)) if e > b => text.get(b..e + RULES_END.len() + 1),
+            _ => None,
+        };
+        return match block {
+            Some(b) if b == expected => {
+                println!(
+                    "ig-lint: {} rule table matches the catalog",
+                    opts.readme.display()
+                );
+                ExitCode::SUCCESS
+            }
+            Some(_) => {
+                eprintln!(
+                    "ig-lint: {} rule table has drifted from the catalog — replace the \
+                     block between the ig-lint-rules markers with the output of \
+                     `cargo run -p ig-lint -- rules --markdown`",
+                    opts.readme.display()
+                );
+                ExitCode::FAILURE
+            }
+            None => {
+                eprintln!(
+                    "ig-lint: {} has no ig-lint-rules marker block to check",
+                    opts.readme.display()
+                );
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if opts.markdown {
+        print!("{}", rules_markdown());
+        return ExitCode::SUCCESS;
+    }
     println!(
-        "{:<4} {:<15} {:<15} {:<55} DESCRIPTION",
+        "{:<4} {:<25} {:<15} {:<55} DESCRIPTION",
         "ID", "NAME", "FAMILY", "SCOPE"
     );
     for r in rule_catalog() {
         println!(
-            "{:<4} {:<15} {:<15} {:<55} {}",
+            "{:<4} {:<25} {:<15} {:<55} {}",
             r.id,
             r.name,
             r.family,
@@ -325,6 +489,7 @@ fn run_rules() {
                 .join(" ")
         );
     }
+    ExitCode::SUCCESS
 }
 
 fn write_report(report: &Report, opts: &CheckOpts) -> std::io::Result<()> {

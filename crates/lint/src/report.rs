@@ -38,6 +38,9 @@ pub struct ReportedAllow {
     pub line: u32,
     pub rules: Vec<String>,
     pub reason: String,
+    /// FNV-1a 64 of the suppressed line's content (annotation stripped) —
+    /// the baseline ledger's rename-stable identity key.
+    pub content_hash: u64,
 }
 
 /// Full analyzer output for one run.
@@ -115,10 +118,11 @@ impl Report {
                 .join(", ");
             let _ = write!(
                 s,
-                "\n    {{\"path\": {}, \"line\": {}, \"rules\": [{}], \"reason\": {}}}",
+                "\n    {{\"path\": {}, \"line\": {}, \"rules\": [{}], \"hash\": \"{:016x}\", \"reason\": {}}}",
                 json_str(&a.path),
                 a.line,
                 rules,
+                a.content_hash,
                 json_str(&a.reason)
             );
         }
@@ -134,7 +138,7 @@ impl Report {
 }
 
 /// JSON string literal with the escapes the report can actually contain.
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

@@ -2,31 +2,42 @@
 //! [`FileContext`] to diagnostics; suppression via allow annotations and
 //! malformed-annotation reporting happen in the shared runner here.
 
+mod c1_lock_discipline;
 mod d1_nondeterminism;
 mod d2_hash_iter;
 mod e1_error_flow;
+mod f1_fingerprint;
 mod h1_hot_loop_alloc;
 mod n1_float_eq;
 mod n2_lossy_cast;
 mod p1_panic;
+mod p1_stage_purity;
 mod s1_shape_contract;
 
+use std::collections::BTreeMap;
+
+use crate::annotations::AllowIndex;
+use crate::callgraph::CallGraph;
 use crate::context::{FileClass, FileContext};
 use crate::report::Diagnostic;
+use crate::symbols::Symbols;
 
 /// Canonical rule names, as written in `allow(…)` annotations.
 ///
 /// `bad-annotation` is reserved for the runner itself and cannot be
 /// allowed away.
 pub const RULE_NAMES: &[&str] = &[
-    "nondeterminism", // D1
-    "hash-iter",      // D2
-    "panic",          // P1
-    "float-eq",       // N1
-    "lossy-cast",     // N2
-    "error-flow",     // E1
-    "hot-loop-alloc", // H1
-    "shape-contract", // S1
+    "nondeterminism",           // D1
+    "hash-iter",                // D2
+    "panic",                    // P1
+    "float-eq",                 // N1
+    "lossy-cast",               // N2
+    "error-flow",               // E1
+    "hot-loop-alloc",           // H1
+    "shape-contract",           // S1
+    "fingerprint-completeness", // F1
+    "stage-purity",             // P1
+    "lock-discipline",          // C1
 ];
 
 /// Run every rule over one file, honoring allow annotations, and report
@@ -66,6 +77,27 @@ pub fn check_file(ctx: &FileContext) -> Vec<Diagnostic> {
     out
 }
 
+/// Run the workspace-level rule families (F1 fingerprint-completeness,
+/// P1 stage-purity, C1 lock-discipline) over the symbol table + call
+/// graph, honoring each firing file's allow annotations.
+pub fn check_workspace_rules(
+    ctxs: &[FileContext],
+    sy: &Symbols,
+    graph: &CallGraph,
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut raw: Vec<Diagnostic> = Vec::new();
+    f1_fingerprint::check(ctxs, sy, graph, &mut raw);
+    p1_stage_purity::check(ctxs, sy, graph, &mut raw);
+    c1_lock_discipline::check(ctxs, sy, graph, &mut raw);
+    let allows: BTreeMap<&str, &AllowIndex> = ctxs.iter().map(|c| (c.path, c.allows)).collect();
+    out.extend(raw.into_iter().filter(|d| {
+        allows
+            .get(d.path.as_str())
+            .map_or(true, |a| !a.is_allowed(&d.rule, d.line))
+    }));
+}
+
 /// Catalog entry for one rule: identity, family, where it applies, and why.
 #[derive(Debug, Clone, Copy)]
 pub struct RuleInfo {
@@ -101,7 +133,7 @@ pub fn rule_catalog() -> Vec<RuleInfo> {
                  order is randomized per process; use BTreeMap or sort first",
         },
         RuleInfo {
-            id: "P1",
+            id: "PF1",
             name: "panic",
             family: "panic-freedom",
             scope: "library crates, non-test code",
@@ -150,6 +182,35 @@ pub fn rule_catalog() -> Vec<RuleInfo> {
             scope: "library crates, non-test code",
             description: "literal-dimension mismatches the parser can prove: from_vec dims vs. \
                  data length, ragged from_rows rows, zero resize targets",
+        },
+        RuleInfo {
+            id: "F1",
+            name: "fingerprint-completeness",
+            family: "stage-contract",
+            scope: "every non-test `impl Stage` block in library crates",
+            description: "every `self` field and keyed `ctx` accessor (`threads`, `scale`) the \
+                 `run()` closure reads must be folded into `fingerprint()` — a missed \
+                 input serves stale cached artifacts; the inverse (hashed but never \
+                 read) silently over-invalidates the cache",
+        },
+        RuleInfo {
+            id: "P1",
+            name: "stage-purity",
+            family: "stage-contract",
+            scope: "code reachable from any `Stage::run` (interprocedural)",
+            description: "no ambient effects — filesystem, env, wall clock, thread spawns, \
+                 process launches — reachable from `run()` outside the blessed \
+                 ig-runtime persistence modules (engines may spawn scoped threads); \
+                 effects make memoized artifacts depend on machine state",
+        },
+        RuleInfo {
+            id: "C1",
+            name: "lock-discipline",
+            family: "stage-contract",
+            scope: "runtime store/disk and the imaging prepared-pattern cache",
+            description: "lock acquisition must follow one partial order (no cycles), `?` must \
+                 not fire while the advisory pid lock is held (the lock file leaks), \
+                 and no early exit may hold two guards at once",
         },
         RuleInfo {
             id: "A0",

@@ -1,0 +1,148 @@
+//! P1: stage purity — no ambient effects reachable from `Stage::run`.
+//!
+//! A memoized artifact is replayed instead of recomputed, so anything
+//! `run()` observes besides its fingerprinted inputs — the filesystem,
+//! the environment, the wall clock, unscoped threads, child processes —
+//! makes "cache hit" and "recompute" observably different runs. D1
+//! already bans clocks and entropy *lexically*; this rule extends the
+//! determinism argument across call boundaries using the workspace call
+//! graph: every call site whose callee degrades to an effectful
+//! `Unknown` node is reported if any stage's `run()` reaches its caller.
+//!
+//! Two scopes are blessed: the runtime persistence modules
+//! ([`PERSISTENCE_FILES`]) may perform any effect (durability *is* their
+//! contract — crash-consistency is tested by fault injection, not
+//! forbidden), and the deterministic parallel engines ([`ENGINE_FILES`])
+//! may spawn scoped threads (their reductions are order-independent).
+
+use std::collections::{BTreeSet, VecDeque};
+
+use crate::callgraph::CallGraph;
+use crate::context::{FileClass, FileContext, ENGINE_FILES, PERSISTENCE_FILES};
+use crate::report::Diagnostic;
+use crate::symbols::Symbols;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Effect {
+    Fs,
+    Env,
+    Time,
+    Thread,
+    Process,
+}
+
+/// Classify an `Unknown` node label as an ambient effect. Labels are
+/// absolutized call paths (`std::fs::write`) or receiver-blind method
+/// names (`.spawn`).
+fn effect_of(label: &str) -> Option<(Effect, &'static str)> {
+    if label.ends_with("SystemTime::now") || label.ends_with("Instant::now") {
+        return Some((Effect::Time, "reads the wall clock"));
+    }
+    if label.starts_with("std::fs::")
+        || label.starts_with("fs::")
+        || label.contains("File::")
+        || label.contains("OpenOptions")
+    {
+        return Some((Effect::Fs, "touches the filesystem"));
+    }
+    if label.starts_with("std::env::") || label.starts_with("env::") {
+        return Some((Effect::Env, "reads the process environment"));
+    }
+    if label.contains("thread::spawn")
+        || label.contains("thread::scope")
+        || label.contains("thread::sleep")
+        || label == ".spawn"
+    {
+        return Some((Effect::Thread, "spawns or parks threads"));
+    }
+    if label.contains("Command::new") || label.starts_with("std::process::") {
+        return Some((Effect::Process, "launches or inspects processes"));
+    }
+    None
+}
+
+pub fn check(ctxs: &[FileContext], sy: &Symbols, graph: &CallGraph, out: &mut Vec<Diagnostic>) {
+    // Entry points: every non-test `Stage::run` in library code.
+    let entries: Vec<usize> = sy
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| {
+            s.trait_name.as_deref() == Some("Stage")
+                && s.name == "run"
+                && !s.in_test
+                && ctxs[s.file].class == FileClass::Library
+        })
+        .map(|(i, _)| i)
+        .collect();
+    if entries.is_empty() {
+        return;
+    }
+    // Joint BFS with provenance: each node remembers the first entry (in
+    // symbol order) that reaches it, so diagnostics can name the stage.
+    let mut prov: Vec<Option<usize>> = vec![None; graph.nodes.len()];
+    let mut queue = VecDeque::new();
+    for &e in &entries {
+        let n = graph.node_of_sym[e];
+        if prov[n].is_none() {
+            prov[n] = Some(e);
+            queue.push_back(n);
+        }
+    }
+    while let Some(n) = queue.pop_front() {
+        for &m in &graph.adj[n] {
+            if prov[m].is_none() {
+                prov[m] = prov[n];
+                queue.push_back(m);
+            }
+        }
+    }
+    let mut seen = BTreeSet::new();
+    for site in &graph.sites {
+        let Some(&Some(entry)) = prov.get(site.caller) else {
+            continue;
+        };
+        let node = &graph.nodes[site.callee];
+        if node.sym.is_some() {
+            continue;
+        }
+        let Some((effect, why)) = effect_of(&node.label) else {
+            continue;
+        };
+        let fctx = &ctxs[site.file];
+        if PERSISTENCE_FILES.contains(&fctx.path) {
+            continue;
+        }
+        if effect == Effect::Thread && ENGINE_FILES.contains(&fctx.path) {
+            continue;
+        }
+        // Test helpers reached through name-fallback resolution.
+        if graph.nodes[site.caller]
+            .sym
+            .is_some_and(|cs| sy.fns[cs].in_test)
+            || !fctx.governed(site.tok)
+        {
+            continue;
+        }
+        if !seen.insert((site.file, site.tok)) {
+            continue;
+        }
+        let (line, col) = fctx
+            .tokens
+            .get(site.tok)
+            .map_or((0, 1), |t| (t.line, t.col));
+        out.push(Diagnostic {
+            rule: "stage-purity".to_string(),
+            path: fctx.path.to_string(),
+            line,
+            col,
+            message: format!(
+                "`{}` {why} and is reachable from `{}` — a stage's output must be a \
+                 pure function of its fingerprint, or a cache hit and a recompute \
+                 diverge; inject the effect through `RunContext` or move it into the \
+                 runtime persistence layer",
+                node.label, sy.fns[entry].path
+            ),
+        });
+    }
+}

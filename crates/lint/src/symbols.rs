@@ -1,0 +1,363 @@
+//! Workspace symbol table: every `fn` in every scanned file, addressed by
+//! its full module path, plus the per-file import environment needed to
+//! resolve call paths (`use`-aware, `crate`/`self`/`super`-aware).
+//!
+//! Resolution is deliberately *name-based and total*: anything that cannot
+//! be pinned to a workspace fn degrades to an external path string (the
+//! call graph turns those into explicit `Unknown` nodes). There is no type
+//! inference — method calls resolve through the receiver only when it is
+//! literally `self`, otherwise by workspace-unique method name.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::ast::Ast;
+use crate::context::FileContext;
+
+/// One workspace function symbol.
+#[derive(Debug)]
+pub struct FnSym {
+    /// Index of the file (into the slice `Symbols::build` was given).
+    pub file: usize,
+    /// Index into that file's `Ast::fns`.
+    pub fn_idx: usize,
+    /// Full path, e.g. `ig_runtime::disk::DiskStore::save`.
+    pub path: String,
+    /// Bare fn name.
+    pub name: String,
+    /// Last segment of the `impl` self type, for methods.
+    pub self_type: Option<String>,
+    /// Last segment of the implemented trait, for trait-impl methods.
+    pub trait_name: Option<String>,
+    /// Index into the file's `Ast::impls`, for methods.
+    pub impl_idx: Option<usize>,
+    /// Declared inside `#[cfg(test)]` / `#[test]` code.
+    pub in_test: bool,
+}
+
+/// What a call path resolves to.
+#[derive(Debug)]
+pub enum Resolution {
+    /// Workspace fns (several when the same name is declared repeatedly —
+    /// e.g. one method per impl block).
+    Fns(Vec<usize>),
+    /// Not a workspace fn; the absolutized path names it (`std::fs::write`).
+    External(String),
+}
+
+/// The workspace symbol table.
+#[derive(Debug, Default)]
+pub struct Symbols {
+    pub fns: Vec<FnSym>,
+    /// Full path → symbol indices (duplicates possible across cfg blocks).
+    pub by_path: BTreeMap<String, Vec<usize>>,
+    /// Bare name → symbol indices.
+    pub by_name: BTreeMap<String, Vec<usize>>,
+    /// (self-type last segment, method name) → symbol indices.
+    pub methods: BTreeMap<(String, String), Vec<usize>>,
+    /// Method name → symbol indices (for receiver-blind resolution).
+    pub by_method_name: BTreeMap<String, Vec<usize>>,
+    /// Per file: `fn_idx` → symbol index.
+    pub fn_of: Vec<BTreeMap<usize, usize>>,
+    /// Per file: local alias → absolutized import path.
+    pub imports: Vec<BTreeMap<String, Vec<String>>>,
+    /// Per file: absolutized base paths of glob imports (`use x::*`).
+    pub globs: Vec<Vec<Vec<String>>>,
+    /// Per file: module path derived from the file's workspace path.
+    pub module_of_file: Vec<Vec<String>>,
+    /// Root module names of every scanned crate (`ig_runtime`, …).
+    pub crate_roots: BTreeSet<String>,
+}
+
+/// Map a workspace-relative file path to its module path.
+/// `crates/runtime/src/disk.rs` → `[ig_runtime, disk]`;
+/// `crates/x/src/a/mod.rs` → `[ig_x, a]`; `src/lib.rs` →
+/// `[inspector_gadget]`; test/bench/example files get a unique synthetic
+/// root so their fns never collide with library paths.
+pub fn module_path(rel: &str) -> Vec<String> {
+    let rel = rel.strip_suffix(".rs").unwrap_or(rel);
+    let segs: Vec<&str> = rel.split('/').filter(|s| !s.is_empty()).collect();
+    let (root, rest): (String, &[&str]) = match segs.as_slice() {
+        ["crates", c, "src", rest @ ..] => (format!("ig_{}", c.replace('-', "_")), rest),
+        ["crates", c, kind, rest @ ..] => (
+            format!("ig_{}_{}", c.replace('-', "_"), kind.replace('-', "_")),
+            rest,
+        ),
+        ["src", rest @ ..] => ("inspector_gadget".to_string(), rest),
+        [kind, rest @ ..] => (format!("root_{}", kind.replace('-', "_")), rest),
+        [] => ("unknown".to_string(), &[]),
+    };
+    let mut out = vec![root];
+    for (i, s) in rest.iter().enumerate() {
+        let last = i + 1 == rest.len();
+        if last && (*s == "lib" || *s == "main" || *s == "mod") {
+            continue;
+        }
+        out.push(s.replace('-', "_"));
+    }
+    out
+}
+
+impl Symbols {
+    /// Build the table over all files of a (possibly single-file) workspace.
+    /// Files must already be in deterministic (sorted) order — symbol ids
+    /// are assigned in file order, so the table inherits that determinism.
+    pub fn build(ctxs: &[FileContext]) -> Symbols {
+        let mut sy = Symbols::default();
+        for ctx in ctxs {
+            let m = module_path(ctx.path);
+            if let Some(root) = m.first() {
+                sy.crate_roots.insert(root.clone());
+            }
+            sy.module_of_file.push(m);
+        }
+        // Pass 1: declare fns.
+        for (fi, ctx) in ctxs.iter().enumerate() {
+            let file_mod = sy.module_of_file[fi].clone();
+            let mut fn_map = BTreeMap::new();
+            // Impl membership: fn index → impl index (first impl wins).
+            let mut impl_of: BTreeMap<usize, usize> = BTreeMap::new();
+            for (ii, im) in ctx.ast.impls.iter().enumerate() {
+                for &f in &im.fn_ids {
+                    impl_of.entry(f).or_insert(ii);
+                }
+            }
+            for (fni, f) in ctx.ast.fns.iter().enumerate() {
+                let impl_idx = impl_of.get(&fni).copied();
+                let (self_type, trait_name) = match impl_idx {
+                    Some(ii) => {
+                        let im = &ctx.ast.impls[ii];
+                        (
+                            im.self_path.last().cloned(),
+                            im.trait_path.as_ref().and_then(|t| t.last().cloned()),
+                        )
+                    }
+                    None => (None, None),
+                };
+                let mut path_segs = file_mod.clone();
+                path_segs.extend(f.module.iter().cloned());
+                if let Some(st) = &self_type {
+                    path_segs.push(st.clone());
+                }
+                path_segs.push(f.name.clone());
+                let path = path_segs.join("::");
+                let idx = sy.fns.len();
+                let in_test = ctx.in_test.get(f.name_tok).copied().unwrap_or(false);
+                sy.by_path.entry(path.clone()).or_default().push(idx);
+                sy.by_name.entry(f.name.clone()).or_default().push(idx);
+                if let Some(st) = &self_type {
+                    sy.methods
+                        .entry((st.clone(), f.name.clone()))
+                        .or_default()
+                        .push(idx);
+                    sy.by_method_name
+                        .entry(f.name.clone())
+                        .or_default()
+                        .push(idx);
+                }
+                fn_map.insert(fni, idx);
+                sy.fns.push(FnSym {
+                    file: fi,
+                    fn_idx: fni,
+                    path,
+                    name: f.name.clone(),
+                    self_type,
+                    trait_name,
+                    impl_idx,
+                    in_test,
+                });
+            }
+            sy.fn_of.push(fn_map);
+        }
+        // Pass 2: absolutize imports (needs every crate root known).
+        for (fi, ctx) in ctxs.iter().enumerate() {
+            let mut imports = BTreeMap::new();
+            let mut globs = Vec::new();
+            for u in &ctx.ast.uses {
+                let mut base = sy.module_of_file[fi].clone();
+                base.extend(u.module.iter().cloned());
+                let abs = sy.absolutize(&u.path, &base);
+                if u.alias == "*" {
+                    let mut g = abs;
+                    if g.last().is_some_and(|s| s == "*") {
+                        g.pop();
+                    }
+                    if globs.len() < 64 {
+                        globs.push(g);
+                    }
+                } else if !u.alias.is_empty() {
+                    imports.insert(u.alias.clone(), abs);
+                }
+            }
+            sy.imports.push(imports);
+            sy.globs.push(globs);
+        }
+        sy
+    }
+
+    /// Rewrite `crate`/`self`/`super` prefixes against `module` (the module
+    /// the path was written in). Other roots pass through unchanged.
+    pub fn absolutize(&self, path: &[String], module: &[String]) -> Vec<String> {
+        let mut out: Vec<String>;
+        let mut rest = path;
+        match path.first().map(String::as_str) {
+            Some("crate") => {
+                out = vec![module.first().cloned().unwrap_or_default()];
+                rest = &path[1..];
+            }
+            Some("self") => {
+                out = module.to_vec();
+                rest = &path[1..];
+            }
+            Some("super") => {
+                out = module.to_vec();
+                while rest.first().is_some_and(|s| s == "super") {
+                    out.pop();
+                    rest = &rest[1..];
+                }
+            }
+            _ => out = Vec::new(),
+        }
+        out.extend(rest.iter().cloned());
+        out
+    }
+
+    /// Resolve a call path written inside file `fi`, module `module`
+    /// (file module + inline mods of the enclosing fn). Total: anything
+    /// unresolvable comes back as [`Resolution::External`].
+    pub fn resolve_path(&self, fi: usize, module: &[String], segs: &[String]) -> Resolution {
+        if segs.is_empty() {
+            return Resolution::External(String::new());
+        }
+        if let [bare] = segs {
+            return self.resolve_bare(fi, module, bare);
+        }
+        // Expand a leading alias (`use std::fs;` → `fs::write`), then
+        // absolutize relative prefixes.
+        let mut path = segs.to_vec();
+        if let Some(exp) = path.first().and_then(|p0| self.imports[fi].get(p0)) {
+            let mut p = exp.clone();
+            p.extend(path.iter().skip(1).cloned());
+            path = p;
+        }
+        let abs = self.absolutize(&path, module);
+        let joined = abs.join("::");
+        if let Some(ids) = self.by_path.get(&joined) {
+            return Resolution::Fns(ids.clone());
+        }
+        // `Type::method` (possibly behind a module path): key on the last
+        // two segments when the next-to-last looks like a type.
+        if abs.len() >= 2 {
+            let ty = &abs[abs.len() - 2];
+            let name = &abs[abs.len() - 1];
+            if ty.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+                if let Some(ids) = self.methods.get(&(ty.clone(), name.clone())) {
+                    return Resolution::Fns(ids.clone());
+                }
+            }
+        }
+        // Glob imports: try each base.
+        for g in &self.globs[fi] {
+            let mut cand = g.clone();
+            cand.extend(abs.iter().cloned());
+            if let Some(ids) = self.by_path.get(&cand.join("::")) {
+                return Resolution::Fns(ids.clone());
+            }
+        }
+        Resolution::External(joined)
+    }
+
+    fn resolve_bare(&self, fi: usize, module: &[String], name: &String) -> Resolution {
+        // Same module first.
+        let mut cand = module.to_vec();
+        cand.push(name.clone());
+        if let Some(ids) = self.by_path.get(&cand.join("::")) {
+            return Resolution::Fns(ids.clone());
+        }
+        // Enclosing modules (covers fns in inline `mod tests` calling file-
+        // level helpers through the ubiquitous `use super::*`).
+        let mut m = module.to_vec();
+        while m.pop().is_some() {
+            let mut cand = m.clone();
+            cand.push(name.clone());
+            if let Some(ids) = self.by_path.get(&cand.join("::")) {
+                return Resolution::Fns(ids.clone());
+            }
+        }
+        // Exact import.
+        if let Some(p) = self.imports[fi].get(name) {
+            let joined = p.join("::");
+            if let Some(ids) = self.by_path.get(&joined) {
+                return Resolution::Fns(ids.clone());
+            }
+            return Resolution::External(joined);
+        }
+        // Glob imports.
+        for g in &self.globs[fi] {
+            let mut cand = g.clone();
+            cand.push(name.clone());
+            if let Some(ids) = self.by_path.get(&cand.join("::")) {
+                return Resolution::Fns(ids.clone());
+            }
+        }
+        // Workspace-unique bare name.
+        if let Some(ids) = self.by_name.get(name) {
+            if ids.len() == 1 {
+                return Resolution::Fns(ids.clone());
+            }
+        }
+        Resolution::External(name.clone())
+    }
+
+    /// Resolve `recv.method(..)` where `recv` is literally `self` inside a
+    /// method of `self_type`; falls back to workspace-unique method name.
+    pub fn resolve_method(&self, self_type: Option<&str>, method: &str) -> Resolution {
+        if let Some(st) = self_type {
+            if let Some(ids) = self.methods.get(&(st.to_string(), method.to_string())) {
+                return Resolution::Fns(ids.clone());
+            }
+        }
+        match self.by_method_name.get(method) {
+            Some(ids) if ids.len() == 1 => Resolution::Fns(ids.clone()),
+            _ => Resolution::External(format!(".{method}")),
+        }
+    }
+
+    /// Full module path of fn `fn_idx` in file `fi` (file path + inline
+    /// mods), *without* the self-type segment — the namespace its bare
+    /// calls resolve in.
+    pub fn fn_module(&self, fi: usize, ast: &Ast, fn_idx: usize) -> Vec<String> {
+        let mut m = self.module_of_file[fi].clone();
+        if let Some(f) = ast.fns.get(fn_idx) {
+            m.extend(f.module.iter().cloned());
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn module_path_maps_workspace_layout() {
+        assert_eq!(module_path("crates/runtime/src/lib.rs"), vec!["ig_runtime"]);
+        assert_eq!(
+            module_path("crates/runtime/src/disk.rs"),
+            vec!["ig_runtime", "disk"]
+        );
+        assert_eq!(module_path("crates/x/src/a/mod.rs"), vec!["ig_x", "a"]);
+        assert_eq!(module_path("src/lib.rs"), vec!["inspector_gadget"]);
+        assert_eq!(
+            module_path("crates/runtime/tests/memoization.rs"),
+            vec!["ig_runtime_tests", "memoization"]
+        );
+    }
+
+    #[test]
+    fn hyphenated_crate_dirs_become_underscored_roots() {
+        assert_eq!(
+            module_path("crates/my-crate/src/lib.rs"),
+            vec!["ig_my_crate"]
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! P1 fixture: ambient effects reachable from `Stage::run`, directly and
+//! through a helper, next to a pure stage that stays silent.
+
+pub struct Fingerprint(u64);
+pub struct RunContext;
+pub trait Stage {
+    fn fingerprint(&self) -> Fingerprint;
+    fn run(&mut self, ctx: &RunContext) -> u64;
+}
+
+fn load_side_table(path: &str) -> u64 {
+    match std::fs::read_to_string(path) {
+        Ok(text) => text.len() as u64,
+        Err(_) => 0,
+    }
+}
+
+pub struct Impure;
+
+impl Stage for Impure {
+    fn fingerprint(&self) -> Fingerprint {
+        Fingerprint(0)
+    }
+    fn run(&mut self, _ctx: &RunContext) -> u64 {
+        let n = load_side_table("side.json");
+        let scale = match std::env::var("IG_SCALE") {
+            Ok(v) => v.len() as u64,
+            Err(_) => 1,
+        };
+        n * scale
+    }
+}
+
+pub struct Pure {
+    pub seedlike: u64,
+}
+
+impl Stage for Pure {
+    fn fingerprint(&self) -> Fingerprint {
+        Fingerprint(self.seedlike)
+    }
+    fn run(&mut self, _ctx: &RunContext) -> u64 {
+        self.seedlike.wrapping_mul(3)
+    }
+}

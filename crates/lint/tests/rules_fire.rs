@@ -212,6 +212,69 @@ fn fix_roundtrip_clears_error_flow() {
 }
 
 #[test]
+fn f1_fingerprint_fires_at_expected_lines() {
+    let diags = check_source_with(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/f1_stage.rs"),
+        FileClass::Library,
+        false,
+    );
+    // 35: `self.deep` read through the inherent `helper()` (interprocedural);
+    // 43: `self.relic` hashed but never read; 47: `self.bins` read-unhashed;
+    // 49: `ctx.threads()` influences run() but is not keyed.
+    assert_eq!(
+        lines_for(&diags, "fingerprint-completeness"),
+        vec![35, 43, 47, 49],
+        "diags: {diags:#?}"
+    );
+    // The clean stage contributes nothing.
+    assert!(diags
+        .iter()
+        .filter(|d| d.rule == "fingerprint-completeness")
+        .all(|d| !d.message.contains("Clean")));
+}
+
+#[test]
+fn p1_stage_purity_fires_at_expected_lines() {
+    let diags = check_source_with(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/p1_stage.rs"),
+        FileClass::Library,
+        false,
+    );
+    // 12: `std::fs::read_to_string` reached through the free helper;
+    // 26: `std::env::var` called directly in run(). `Pure` stays silent.
+    assert_eq!(
+        lines_for(&diags, "stage-purity"),
+        vec![12, 26],
+        "diags: {diags:#?}"
+    );
+    assert!(diags
+        .iter()
+        .filter(|d| d.rule == "stage-purity")
+        .all(|d| d.message.contains("Impure::run")));
+}
+
+#[test]
+fn c1_lock_discipline_fires_at_expected_lines() {
+    let diags = check_source_with(
+        "crates/runtime/src/store.rs",
+        include_str!("fixtures/c1_locks.rs"),
+        FileClass::Library,
+        false,
+    );
+    // 15: Store.index→Store.journal ordering that `backward()` reverses
+    // (cycle); 16: `?` with both guards held; 36: `?` under the advisory
+    // pid lock. `disciplined()` (read before lock, drop before return) is
+    // silent.
+    assert_eq!(
+        lines_for(&diags, "lock-discipline"),
+        vec![15, 16, 36],
+        "diags: {diags:#?}"
+    );
+}
+
+#[test]
 fn workspace_walk_skips_fixtures_and_target() {
     // Walk this crate's own directory: the fixtures directory (full of
     // deliberate violations) must not be collected.

@@ -1,0 +1,129 @@
+//! Workspace-level analysis properties: the call graph is deterministic
+//! (byte-identical dumps) and total (malformed input degrades to
+//! `unknown` nodes, never a panic), cross-crate resolution stitches
+//! `use`-imported calls, and the mechanical fixer is idempotent.
+
+use ig_lint::{callgraph_json_for_units, SourceUnit};
+
+fn unit(rel: &str, src: &str) -> SourceUnit {
+    SourceUnit::classified(rel, src.to_string())
+}
+
+#[test]
+fn callgraph_dump_is_deterministic() {
+    let units = vec![
+        unit(
+            "crates/core/src/lib.rs",
+            "pub mod features;\npub fn entry() { features::compute(); }\n",
+        ),
+        unit(
+            "crates/core/src/features.rs",
+            "pub fn compute() { helper(); helper(); }\nfn helper() {}\n",
+        ),
+        unit(
+            "crates/runtime/src/lib.rs",
+            "use ig_core::entry;\npub fn drive() { entry(); std::fs::write(\"x\", \"y\").ok(); }\n",
+        ),
+    ];
+    let a = callgraph_json_for_units(&units);
+    let b = callgraph_json_for_units(&units);
+    assert_eq!(a, b, "same units must produce byte-identical dumps");
+    assert!(a.contains("\"nodes\""));
+    assert!(a.contains("\"edges\""));
+}
+
+#[test]
+fn callgraph_resolves_cross_crate_use_imports() {
+    let units = vec![
+        unit(
+            "crates/core/src/lib.rs",
+            "pub fn shared_entry() { internal(); }\nfn internal() {}\n",
+        ),
+        unit(
+            "crates/runtime/src/lib.rs",
+            "use ig_core::shared_entry;\npub fn drive() { shared_entry(); }\n",
+        ),
+    ];
+    let json = callgraph_json_for_units(&units);
+    // `drive` must link to the *fn node* for ig_core::shared_entry, not an
+    // unknown: the label appears exactly once (one node, kind fn).
+    let label = "\"label\": \"ig_core::shared_entry\"";
+    assert_eq!(json.matches(label).count(), 1, "dump:\n{json}");
+    let line = json
+        .lines()
+        .find(|l| l.contains(label))
+        .expect("node present");
+    assert!(line.contains("\"kind\": \"fn\""), "line: {line}");
+}
+
+#[test]
+fn callgraph_is_total_on_malformed_and_unresolvable_input() {
+    let units = vec![
+        unit("crates/core/src/broken.rs", "fn broken(((( {\n"),
+        unit(
+            "crates/core/src/partial.rs",
+            "fn ok() { std::mem::transmute_garbage::<<>(); some_external_fn(); }\nfn also_ok() { ok(); }\n",
+        ),
+        unit("crates/core/src/empty.rs", ""),
+        unit(
+            "crates/core/src/weird.rs",
+            "fn w() { (1 + 2).undefined_method(); crate::no::such::path(); }\n",
+        ),
+    ];
+    // Must not panic, and whatever could not resolve shows up as
+    // `unknown` nodes instead of being dropped.
+    let json = callgraph_json_for_units(&units);
+    assert!(json.contains("\"kind\": \"unknown\""), "dump:\n{json}");
+    assert!(json.contains(".undefined_method"), "dump:\n{json}");
+}
+
+#[test]
+fn callgraph_interns_unknowns_by_label() {
+    let units = vec![unit(
+        "crates/core/src/lib.rs",
+        "pub fn a() { std::fs::write(\"x\", \"1\").ok(); }\npub fn b() { std::fs::write(\"y\", \"2\").ok(); }\n",
+    )];
+    let json = callgraph_json_for_units(&units);
+    assert_eq!(
+        json.matches("\"label\": \"std::fs::write\"").count(),
+        1,
+        "two call sites, one interned unknown node; dump:\n{json}"
+    );
+}
+
+#[test]
+fn fix_then_lint_is_idempotent_over_fixtures() {
+    // Applying the mechanical fixes once must reach a fixed point: a
+    // second plan over the fixed source is empty, and re-applying changes
+    // nothing. Run every fixture under the strict-errors scope so the
+    // fixer sees the most rewrite opportunities it ever would.
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let rel = "crates/faults/src/fixture.rs";
+    let mut fixtures = 0;
+    let mut planned = 0;
+    for entry in std::fs::read_dir(&dir).expect("fixtures dir") {
+        let path = entry.expect("entry").path();
+        if path.extension().map_or(true, |e| e != "rs") {
+            continue;
+        }
+        fixtures += 1;
+        let src = std::fs::read_to_string(&path).expect("read fixture");
+        let first = ig_lint::fix::plan_fixes(rel, &src, None);
+        planned += first.len();
+        let fixed = ig_lint::fix::apply_fixes(&src, &first);
+        let second = ig_lint::fix::plan_fixes(rel, &fixed, None);
+        assert!(
+            second.is_empty(),
+            "{}: second fix pass is not a no-op: {second:#?}",
+            path.display()
+        );
+        assert_eq!(
+            ig_lint::fix::apply_fixes(&fixed, &second),
+            fixed,
+            "{}: re-applying an empty plan must not edit",
+            path.display()
+        );
+    }
+    assert!(fixtures >= 10, "fixture sweep found only {fixtures} files");
+    assert!(planned > 0, "expected at least one fixture to need fixes");
+}

@@ -245,9 +245,24 @@ impl DiskStore {
         for _ in 0..2 {
             match OpenOptions::new().write(true).create_new(true).open(lock) {
                 Ok(mut file) => {
-                    file.write_all(std::process::id().to_string().as_bytes())?;
-                    file.sync_all()?;
-                    return Ok(true);
+                    // Stamping can fail (disk full, injected fault) after the
+                    // lock file already exists. Propagating without removing
+                    // it would leave a lock owned by this *live* pid, which
+                    // the stale-lock breaker refuses to reclaim — every later
+                    // save from this process would be silently skipped.
+                    let stamped = file
+                        .write_all(std::process::id().to_string().as_bytes())
+                        .and_then(|()| file.sync_all());
+                    match stamped {
+                        Ok(()) => return Ok(true),
+                        Err(e) => {
+                            drop(file);
+                            if let Err(rm) = fs::remove_file(lock) {
+                                self.record_io(health, lock, "unlock", &rm);
+                            }
+                            return Err(e);
+                        }
+                    }
                 }
                 Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
                     let owner = match fs::read_to_string(lock) {

@@ -151,6 +151,62 @@ proptest! {
         );
     }
 
+    /// The incident class ig-lint's F1 (fingerprint-completeness) exists
+    /// to prevent, reproduced on purpose: a stage whose fingerprint omits
+    /// a field `run()` reads. Two differently-configured stages collide on
+    /// one cache key and the second is served the first's (stale, wrong)
+    /// artifact — while the correctly-keyed twin from the same inputs
+    /// recomputes. F1 flags the `UnderKeyed` shape at lint time; this test
+    /// pins the runtime behavior that makes that flag worth failing CI on.
+    #[test]
+    fn unhashed_field_serves_stale_artifact(
+        input in proptest::collection::vec(any::<u64>(), 1..32),
+        gain in any::<u64>(),
+        tweak in 1u64..u64::MAX,
+        seed in any::<u64>(),
+    ) {
+        struct UnderKeyed<'a> {
+            input: Vec<u64>,
+            gain: u64,
+            calls: &'a AtomicUsize,
+        }
+        impl Stage for UnderKeyed<'_> {
+            type Output = Vec<u64>;
+            type Error = Infallible;
+            fn id(&self) -> &'static str {
+                "test.under_keyed"
+            }
+            // BUG under test: `gain` is read by run() but not hashed.
+            fn fingerprint(&self) -> Fingerprint {
+                let mut h = FingerprintHasher::new();
+                self.input.fingerprint_into(&mut h);
+                h.finish()
+            }
+            fn run(&mut self, _ctx: &RunContext) -> Result<Vec<u64>, Infallible> {
+                self.calls.fetch_add(1, Ordering::Relaxed);
+                Ok(self.input.iter().map(|v| v.wrapping_mul(self.gain)).collect())
+            }
+        }
+        let ctx = RunContext::new(seed);
+        let calls = AtomicUsize::new(0);
+        let gain2 = gain.wrapping_add(tweak);
+        let first = infallible(ctx.run(&mut UnderKeyed { input: input.clone(), gain, calls: &calls }));
+        let stale = infallible(ctx.run(&mut UnderKeyed { input: input.clone(), gain: gain2, calls: &calls }));
+        prop_assert!(
+            Arc::ptr_eq(&first, &stale),
+            "under-keyed stage collides: the second config is served the first's artifact"
+        );
+        prop_assert_eq!(calls.load(Ordering::Relaxed), 1, "the stale hit never executed");
+        // The correctly-keyed stage over the same inputs recomputes and
+        // yields the artifact the stale hit should have produced.
+        let kcalls = AtomicUsize::new(0);
+        infallible(ctx.run(&mut ScaleAdd { input: input.clone(), gain, calls: &kcalls }));
+        let fresh = infallible(ctx.run(&mut ScaleAdd { input: input.clone(), gain: gain2, calls: &kcalls }));
+        prop_assert_eq!(kcalls.load(Ordering::Relaxed), 2, "keyed stage must not collide");
+        let expect: Vec<u64> = input.iter().map(|v| v.wrapping_mul(gain2) ^ ctx.seed()).collect();
+        prop_assert_eq!(&*fresh, &expect);
+    }
+
     /// With memoization disabled the store stays empty, every run
     /// executes, and outputs still agree bit-for-bit with the memoized
     /// path — caching must be a pure optimization.
