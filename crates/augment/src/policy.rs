@@ -238,14 +238,17 @@ pub fn policy_augment(
     count: usize,
     rng: &mut impl Rng,
 ) -> Vec<GrayImage> {
-    if patterns.is_empty() || policies.is_empty() {
+    let Some(first) = patterns.first() else {
+        return Vec::new();
+    };
+    if policies.is_empty() {
         return Vec::new();
     }
     (0..count)
         .map(|_| {
-            // ig-lint: allow(panic) -- guarded by the is_empty early
-            // return at the top of this function
-            let src = patterns.choose(rng).expect("patterns nonempty");
+            // `choose` is Some whenever the slice is non-empty, which the
+            // `first()` guard above established.
+            let src = patterns.choose(rng).unwrap_or(first);
             // Apply a random nonempty subset (1..=all) of the combination,
             // mirroring AutoAugment's stochastic application.
             let n_apply = rng.gen_range(1..=policies.len());

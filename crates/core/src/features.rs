@@ -355,6 +355,10 @@ impl FeatureGenerator {
                         let poisoned = plan.is_some_and(|p| p.worker_panic(w));
                         let mut local: Vec<(usize, f32)> = Vec::new();
                         loop {
+                            // ig-lint: allow(atomic-ordering) -- work-stealing
+                            // ticket: each worker only needs a unique cell
+                            // index; cell data flows through the per-worker
+                            // locals joined under the scope, not the counter
                             let cell = cursor.fetch_add(1, Ordering::Relaxed);
                             if cell >= total {
                                 break;

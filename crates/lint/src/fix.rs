@@ -6,6 +6,10 @@
 //! - `let _ = <Result call>;` inside a `Result` function → `<call>?;`
 //! - `let _ = <Result call>;` elsewhere → a logged `if let Err` template
 //! - statement-level `<Result call>.ok();` → same two templates
+//! - discarded join results (`let _ = h.join();`, `h.join();`,
+//!   `h.join().ok();`) → a logged `if let Err` template that surfaces the
+//!   panic payload. Never `?`: a `JoinHandle`'s `Err` is `Box<dyn Any>`,
+//!   which no `From` impl can propagate.
 //!
 //! Only *provably `Result`-producing* initializers are rewritten (see
 //! [`is_result_call`]): a `?` on an `Option` in a `Result` fn would not
@@ -44,6 +48,30 @@ fn expr_src<'s>(src: &'s str, toks: &[Token], e: &Expr) -> Option<&'s str> {
     src.get(start..end)
 }
 
+/// If `e` is a no-arg `.join()` chain — possibly wrapped in trailing
+/// `.ok()` layers — return the subexpression ending at the `join` call
+/// (the value the rewrite keeps) and the `join` token. The no-arg guard
+/// keeps separator joins (`Vec<String>::join(", ")`) out of scope.
+fn join_value(e: &Expr) -> Option<(&Expr, usize)> {
+    let ExprKind::MethodCall {
+        method,
+        method_tok,
+        recv,
+        args,
+    } = &e.kind
+    else {
+        return None;
+    };
+    if !args.is_empty() {
+        return None;
+    }
+    match method.as_str() {
+        "join" => Some((e, *method_tok)),
+        "ok" => join_value(recv.as_ref()),
+        _ => None,
+    }
+}
+
 /// Plan the safe-subset rewrites for one file. `class` follows
 /// [`classify`] unless pinned by the caller (fixture tests pin Library).
 pub fn plan_fixes(rel_path: &str, src: &str, class: Option<FileClass>) -> Vec<FixEdit> {
@@ -65,7 +93,7 @@ pub fn plan_fixes(rel_path: &str, src: &str, class: Option<FileClass>) -> Vec<Fi
         }
         let in_result_fn = f.returns == ReturnKind::Result;
         walk_stmts(&f.body, &mut |s: &Stmt| {
-            let (stmt_span, value, line_tok) = match s {
+            let (stmt_span, value, line_tok, is_join) = match s {
                 Stmt::Let(l) => {
                     let (LetPat::Wild(tok), Some(init)) = (&l.pat, &l.init) else {
                         return;
@@ -73,26 +101,36 @@ pub fn plan_fixes(rel_path: &str, src: &str, class: Option<FileClass>) -> Vec<Fi
                     if !governed(*tok) {
                         return;
                     }
-                    (l.span, init, *tok)
+                    match join_value(init) {
+                        Some((v, _)) => (l.span, v, *tok, true),
+                        None => (l.span, init, *tok, false),
+                    }
                 }
                 Stmt::Expr(es) if es.has_semi => {
-                    let ExprKind::MethodCall {
-                        method,
-                        method_tok,
-                        recv,
-                        ..
-                    } = &es.expr.kind
-                    else {
-                        return;
-                    };
-                    if method != "ok" || !governed(*method_tok) {
-                        return;
+                    if let Some((v, jt)) = join_value(&es.expr) {
+                        if !governed(jt) {
+                            return;
+                        }
+                        (es.span, v, jt, true)
+                    } else {
+                        let ExprKind::MethodCall {
+                            method,
+                            method_tok,
+                            recv,
+                            ..
+                        } = &es.expr.kind
+                        else {
+                            return;
+                        };
+                        if method != "ok" || !governed(*method_tok) {
+                            return;
+                        }
+                        (es.span, recv.as_ref(), *method_tok, false)
                     }
-                    (es.span, recv.as_ref(), *method_tok)
                 }
                 _ => return,
             };
-            if !is_result_call(value, &sigs) || chain_is_handled(value) {
+            if !is_join && (!is_result_call(value, &sigs) || chain_is_handled(value)) {
                 return;
             }
             let Some(value_src) = expr_src(src, toks, value) else {
@@ -105,7 +143,17 @@ pub fn plan_fixes(rel_path: &str, src: &str, class: Option<FileClass>) -> Vec<Fi
                 return;
             };
             let line = toks.get(line_tok).map_or(0, |t| t.line);
-            let (replacement, note) = if in_result_fn {
+            let (replacement, note) = if is_join {
+                let col = toks.get(stmt_span.lo).map_or(1, |t| t.col) as usize;
+                let pad = " ".repeat(col.saturating_sub(1));
+                (
+                    format!(
+                        "if let Err(e) = {value_src} {{\n{pad}    \
+                         eprintln!(\"worker thread panicked: {{e:?}}\");\n{pad}}}"
+                    ),
+                    "surface the panic payload (a JoinHandle error cannot use `?`)".to_string(),
+                )
+            } else if in_result_fn {
                 (
                     format!("{value_src}?;"),
                     "propagate with `?` (enclosing fn returns Result)".to_string(),
@@ -204,6 +252,46 @@ mod tests {
                    fn run() {\n    let _ = save().map_err(|e| log(e));\n}\n";
         let edits = plan_fixes(PATH, src, Some(FileClass::Library));
         assert!(edits.is_empty());
+    }
+
+    #[test]
+    fn discarded_join_is_logged_even_in_result_fn() {
+        // `?` never applies to a JoinHandle (Err is Box<dyn Any>), so the
+        // rewrite stays the logged form inside Result functions too.
+        let src = "fn run() -> Result<(), E> {\n    let h = std::thread::spawn(|| 1);\n    \
+                   let _ = h.join();\n    Ok(())\n}\n";
+        let edits = plan_fixes(PATH, src, Some(FileClass::Library));
+        assert_eq!(edits.len(), 1);
+        let fixed = apply_fixes(src, &edits);
+        assert!(
+            fixed.contains("if let Err(e) = h.join()"),
+            "fixed:\n{fixed}"
+        );
+        assert!(fixed.contains("worker thread panicked"));
+        assert!(!fixed.contains("h.join()?"));
+    }
+
+    #[test]
+    fn statement_join_ok_drops_the_ok_layer() {
+        let src = "fn run() {\n    let h = std::thread::spawn(|| 1);\n    h.join().ok();\n}\n";
+        let edits = plan_fixes(PATH, src, Some(FileClass::Library));
+        assert_eq!(edits.len(), 1);
+        let fixed = apply_fixes(src, &edits);
+        assert!(
+            fixed.contains("if let Err(e) = h.join() {"),
+            "fixed:\n{fixed}"
+        );
+        assert!(!fixed.contains(".ok()"));
+    }
+
+    #[test]
+    fn separator_join_is_left_alone() {
+        // `slice::join(sep)` takes an argument; only no-arg joins are
+        // JoinHandle joins.
+        let src = "fn run() {\n    let parts = vec![String::new()];\n    \
+                   let _ = parts.join(\", \");\n}\n";
+        let edits = plan_fixes(PATH, src, Some(FileClass::Library));
+        assert!(edits.is_empty(), "edits: {edits:#?}");
     }
 
     #[test]

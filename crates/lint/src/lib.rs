@@ -16,6 +16,7 @@ pub mod lexer;
 pub mod report;
 pub mod rules;
 pub mod symbols;
+pub mod threads;
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -27,6 +28,7 @@ use context::{
 };
 use report::{Diagnostic, Report, ReportedAllow};
 use symbols::Symbols;
+use threads::ThreadTopology;
 
 /// One source file queued for analysis, with class and hot-path pinned.
 #[derive(Debug)]
@@ -92,9 +94,10 @@ fn contexts<'a>(units: &'a [SourceUnit], parsed: &'a [ParsedUnit]) -> Vec<FileCo
 }
 
 /// Analyze a set of units as one workspace: the per-file rules on each
-/// unit, then the symbol table + call graph and the workspace rule
-/// families (F1 fingerprint-completeness, P1 stage-purity, C1
-/// lock-discipline) across all of them.
+/// unit, then the symbol table + call graph + thread topology and the
+/// workspace rule families (F1 fingerprint-completeness, P1
+/// stage-purity, C1 lock-discipline, A1 atomic-ordering, D1
+/// salt-determinism) across all of them.
 pub fn check_units(units: &[SourceUnit]) -> Vec<Diagnostic> {
     let parsed: Vec<ParsedUnit> = units.iter().map(parse_unit).collect();
     let ctxs = contexts(units, &parsed);
@@ -104,7 +107,8 @@ pub fn check_units(units: &[SourceUnit]) -> Vec<Diagnostic> {
     }
     let sy = Symbols::build(&ctxs);
     let graph = CallGraph::build(&ctxs, &sy);
-    rules::check_workspace_rules(&ctxs, &sy, &graph, &mut diags);
+    let topo = ThreadTopology::build(&ctxs, &sy);
+    rules::check_workspace_rules(&ctxs, &sy, &graph, &topo, &mut diags);
     diags
 }
 
@@ -156,6 +160,24 @@ pub fn callgraph_json_for_units(units: &[SourceUnit]) -> String {
     let sy = Symbols::build(&ctxs);
     let graph = CallGraph::build(&ctxs, &sy);
     graph.to_json()
+}
+
+/// Build the workspace thread topology for `root` and return its
+/// byte-stable JSON dump (`ig-lint threads`; CI commits it to
+/// `results/threads.json` and fails on drift).
+pub fn threads_json(root: &Path) -> std::io::Result<String> {
+    Ok(threads_json_for_units(&load_units(root)?))
+}
+
+/// In-memory variant of [`threads_json`]: every spawn site with its
+/// escape set, in (file, line) order. Total on malformed input — sites
+/// the recovered AST holds are classified, the rest simply absent.
+pub fn threads_json_for_units(units: &[SourceUnit]) -> String {
+    let parsed: Vec<ParsedUnit> = units.iter().map(parse_unit).collect();
+    let ctxs = contexts(units, &parsed);
+    let sy = Symbols::build(&ctxs);
+    let topo = ThreadTopology::build(&ctxs, &sy);
+    topo.to_json(&ctxs, &sy)
 }
 
 /// Directories never scanned: build output, VCS, vendored stubs, run

@@ -5,6 +5,7 @@
 //! cargo run -p ig-lint -- fix [--root DIR] [--dry-run]
 //! cargo run -p ig-lint -- baseline [--root DIR] [--budget N] [--out PATH]
 //! cargo run -p ig-lint -- callgraph [--root DIR] [--out PATH]
+//! cargo run -p ig-lint -- threads [--root DIR] [--out PATH]
 //! cargo run -p ig-lint -- rules [--markdown] [--check [--readme PATH]]
 //! ```
 //!
@@ -18,7 +19,10 @@
 //! `--dry-run` prints the plan without touching files. `baseline`
 //! regenerates the committed suppression-debt record from the current
 //! workspace state. `callgraph` dumps the byte-stable workspace call
-//! graph. `rules --markdown` prints the catalog as a markdown table, and
+//! graph; `threads` dumps the thread topology (every spawn site with its
+//! closure-capture escape set) the same way — both are committed under
+//! `results/` and drift-checked in CI. `rules --markdown` prints the
+//! catalog as a markdown table, and
 //! `rules --check` fails when the `README.md` rule table (the block
 //! between the `<!-- ig-lint-rules -->` markers) has drifted from it.
 
@@ -52,6 +56,11 @@ struct CallgraphOpts {
     out: PathBuf,
 }
 
+struct ThreadsOpts {
+    root: PathBuf,
+    out: PathBuf,
+}
+
 struct RulesOpts {
     markdown: bool,
     check: bool,
@@ -77,6 +86,10 @@ fn main() -> ExitCode {
             Ok(opts) => run_callgraph(&opts),
             Err(e) => usage_error(&e),
         },
+        Some("threads") => match parse_threads_opts(&args[1..]) {
+            Ok(opts) => run_threads(&opts),
+            Err(e) => usage_error(&e),
+        },
         Some("rules") => match parse_rules_opts(&args[1..]) {
             Ok(opts) => run_rules(&opts),
             Err(e) => usage_error(&e),
@@ -86,7 +99,7 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: ig-lint check [--root DIR] [--report PATH] [--baseline PATH] [--quiet]\n       ig-lint fix [--root DIR] [--dry-run]\n       ig-lint baseline [--root DIR] [--budget N] [--out PATH]\n       ig-lint callgraph [--root DIR] [--out PATH]\n       ig-lint rules [--markdown] [--check [--readme PATH]]";
+const USAGE: &str = "usage: ig-lint check [--root DIR] [--report PATH] [--baseline PATH] [--quiet]\n       ig-lint fix [--root DIR] [--dry-run]\n       ig-lint baseline [--root DIR] [--budget N] [--out PATH]\n       ig-lint callgraph [--root DIR] [--out PATH]\n       ig-lint threads [--root DIR] [--out PATH]\n       ig-lint rules [--markdown] [--check [--readme PATH]]";
 
 fn usage_error(msg: &str) -> ExitCode {
     eprintln!("ig-lint: {msg}\n{USAGE}");
@@ -373,6 +386,56 @@ fn parse_rules_opts(args: &[String]) -> Result<RulesOpts, String> {
         }
     }
     Ok(opts)
+}
+
+fn parse_threads_opts(args: &[String]) -> Result<ThreadsOpts, String> {
+    let mut opts = ThreadsOpts {
+        root: PathBuf::from("."),
+        out: PathBuf::from("results/threads.json"),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => {
+                opts.root = it
+                    .next()
+                    .map(PathBuf::from)
+                    .ok_or("--root requires a directory")?;
+            }
+            "--out" => {
+                opts.out = it
+                    .next()
+                    .map(PathBuf::from)
+                    .ok_or("--out requires a path")?;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn run_threads(opts: &ThreadsOpts) -> ExitCode {
+    let json = match ig_lint::threads_json(&opts.root) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("ig-lint: scanning {}: {e}", opts.root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(dir) = opts.out.parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("ig-lint: creating {}: {e}", dir.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(&opts.out, &json) {
+        eprintln!("ig-lint: writing {}: {e}", opts.out.display());
+        return ExitCode::from(2);
+    }
+    println!("ig-lint: thread topology written to {}", opts.out.display());
+    ExitCode::SUCCESS
 }
 
 fn run_callgraph(opts: &CallgraphOpts) -> ExitCode {

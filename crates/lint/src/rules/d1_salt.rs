@@ -1,0 +1,290 @@
+//! D1: seed/salt determinism — every random stream a stage draws must be
+//! a *named, distinct* derivation of the run seed.
+//!
+//! The runtime's discipline is `ctx.rng(salt)` = `StdRng::seed_from_u64
+//! (seed ^ salt)`: one run seed, many decorrelated streams, each
+//! addressable by its salt. Two stages that pass the **same** salt draw
+//! bit-identical streams — the augmentation "randomly" crops exactly
+//! where the splitter "randomly" sampled — and nothing downstream can
+//! see it: the fingerprints differ, memoization is correct, the labels
+//! are just silently correlated. That bug class is invisible to every
+//! other rule, so this one resolves it statically:
+//!
+//! 1. **Constant salts** — the argument of every `ctx.rng(..)` call in
+//!    library code must resolve at lint time: an integer literal or a
+//!    `const` known workspace-wide. A computed salt cannot be checked
+//!    for collisions (and cannot be grepped for during an incident).
+//! 2. **Cross-stage collisions** — for every `Stage::run` entry point,
+//!    the call graph gives the set of rng sites it reaches; two distinct
+//!    sites with the same salt attributed to different stages fire at
+//!    both sites. (One shared helper reached by several stages is the
+//!    intended pattern and stays silent.)
+//! 3. **Raw seed reuse** — `seed_from_u64(seed)` taking the run seed
+//!    directly (not `seed ^ salt`) recreates stream zero wherever it
+//!    appears; derive through `ctx.rng(SALT)` instead.
+//!
+//! The runtime persistence modules are exempt — `RunContext::rng` is
+//! where the discipline is *implemented*.
+
+use std::collections::BTreeMap;
+
+use crate::ast::{walk_block, Expr, ExprKind};
+use crate::callgraph::CallGraph;
+use crate::context::{FileClass, FileContext, PERSISTENCE_FILES};
+use crate::lexer::TokenKind;
+use crate::report::Diagnostic;
+use crate::symbols::Symbols;
+
+/// Parse a Rust integer literal token (underscores, 0x/0o/0b prefixes,
+/// type suffixes) to its value.
+fn parse_int(text: &str) -> Option<u64> {
+    let t = text.replace('_', "");
+    let (radix, digits) = match t.as_bytes() {
+        [b'0', b'x' | b'X', rest @ ..] => (16, rest),
+        [b'0', b'o' | b'O', rest @ ..] => (8, rest),
+        [b'0', b'b' | b'B', rest @ ..] => (2, rest),
+        rest => (10, rest),
+    };
+    let digits: String = digits
+        .iter()
+        .map(|&b| b as char)
+        .take_while(|c| c.is_digit(radix))
+        .collect();
+    u64::from_str_radix(&digits, radix).ok()
+}
+
+/// Workspace-wide table of integer `const` items, read off the token
+/// stream (items are opaque spans to the AST). A name bound to two
+/// different values maps to `None` — ambiguous, treated as unresolved.
+fn const_table(ctxs: &[FileContext]) -> BTreeMap<String, Option<u64>> {
+    let mut out: BTreeMap<String, Option<u64>> = BTreeMap::new();
+    for ctx in ctxs.iter().filter(|c| c.class == FileClass::Library) {
+        let toks = ctx.tokens;
+        for i in 0..toks.len().saturating_sub(4) {
+            if !toks[i].is_ident("const")
+                || toks[i + 1].kind != TokenKind::Ident
+                || !toks[i + 2].is_punct(":")
+            {
+                continue;
+            }
+            // `const NAME: <type> = <int literal>;` — find the `=` at
+            // bracket depth zero within the type, then the literal.
+            let mut depth = 0i32;
+            for j in i + 3..toks.len().min(i + 24) {
+                let t = &toks[j];
+                if t.is_punct("<") || t.is_punct("(") || t.is_punct("[") {
+                    depth += 1;
+                } else if t.is_punct(">") || t.is_punct(")") || t.is_punct("]") {
+                    depth -= 1;
+                } else if t.is_punct(";") && depth == 0 {
+                    break;
+                } else if t.is_punct("=") && depth == 0 {
+                    let value = toks.get(j + 1).and_then(|lit| {
+                        (lit.kind == TokenKind::Int
+                            && toks.get(j + 2).is_some_and(|s| s.is_punct(";")))
+                        .then(|| parse_int(&lit.text))
+                        .flatten()
+                    });
+                    out.entry(toks[i + 1].text.clone())
+                        .and_modify(|v| {
+                            if *v != value {
+                                *v = None;
+                            }
+                        })
+                        .or_insert(value);
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// One `ctx.rng(..)` call site.
+struct RngSite {
+    file: usize,
+    tok: usize,
+    /// Symbol index of the enclosing fn.
+    sym: usize,
+    salt: Option<u64>,
+}
+
+fn diag(ctx: &FileContext, tok: usize, message: String) -> Diagnostic {
+    let (line, col) = ctx.tokens.get(tok).map_or((0, 1), |t| (t.line, t.col));
+    Diagnostic {
+        rule: "salt-determinism".to_string(),
+        path: ctx.path.to_string(),
+        line,
+        col,
+        message,
+    }
+}
+
+/// Is this expression the *run* seed itself: a bare `seed` binding,
+/// `self.seed`/`ctx.seed`, or a `.seed()` accessor (possibly behind
+/// `&`/`*`)? A seed field of some other struct (`spec.seed`) is that
+/// type's own input contract, not the run-context salting discipline,
+/// and stays out of scope.
+fn is_raw_seed(e: &Expr) -> bool {
+    match &e.kind {
+        ExprKind::Path(segs) => matches!(segs.as_slice(), [only] if only == "seed"),
+        ExprKind::Field { base, name } => {
+            name == "seed"
+                && matches!(
+                    &base.kind,
+                    ExprKind::Path(b) if matches!(b.as_slice(), [r] if r == "self" || r == "ctx")
+                )
+        }
+        ExprKind::MethodCall { method, args, .. } => method == "seed" && args.is_empty(),
+        ExprKind::Unary(inner) => is_raw_seed(inner),
+        _ => false,
+    }
+}
+
+pub fn check(ctxs: &[FileContext], sy: &Symbols, graph: &CallGraph, out: &mut Vec<Diagnostic>) {
+    let consts = const_table(ctxs);
+    let mut sites: Vec<RngSite> = Vec::new();
+    for (si, s) in sy.fns.iter().enumerate() {
+        let ctx = &ctxs[s.file];
+        if ctx.class != FileClass::Library || s.in_test || PERSISTENCE_FILES.contains(&ctx.path) {
+            continue;
+        }
+        let f = &ctx.ast.fns[s.fn_idx];
+        walk_block(&f.body, &mut |e: &Expr| {
+            match &e.kind {
+                ExprKind::MethodCall {
+                    method,
+                    method_tok,
+                    args,
+                    ..
+                } if method == "rng" && args.len() == 1 => {
+                    let Some(arg) = args.first() else { return };
+                    if !ctx.governed(*method_tok) {
+                        return;
+                    }
+                    let salt = match &arg.kind {
+                        ExprKind::Lit {
+                            kind: TokenKind::Int,
+                            tok,
+                        } => ctx.tokens.get(*tok).and_then(|t| parse_int(&t.text)),
+                        ExprKind::Path(segs) => segs
+                            .last()
+                            .and_then(|name| consts.get(name).copied().flatten()),
+                        _ => None,
+                    };
+                    if salt.is_none() {
+                        out.push(diag(
+                            ctx,
+                            *method_tok,
+                            "salt passed to `rng(..)` does not resolve to a compile-time \
+                             constant — salts must be literals or workspace `const`s so \
+                             cross-stage collisions are checkable (and greppable); hoist the \
+                             value into a named `const <STAGE>_SALT: u64`"
+                                .to_string(),
+                        ));
+                    }
+                    sites.push(RngSite {
+                        file: s.file,
+                        tok: *method_tok,
+                        sym: si,
+                        salt,
+                    });
+                }
+                // `seed_from_u64(seed)` — raw seed reuse. `seed ^ salt`
+                // and other derived expressions are the implementation
+                // pattern and stay silent.
+                ExprKind::Call { callee, args } => {
+                    let [arg] = args.as_slice() else { return };
+                    let ExprKind::Path(segs) = &callee.kind else {
+                        return;
+                    };
+                    if segs.last().is_some_and(|m| m == "seed_from_u64") && is_raw_seed(arg) {
+                        let tok = callee.span.hi.saturating_sub(1);
+                        if ctx.governed(tok) {
+                            out.push(diag(
+                                ctx,
+                                tok,
+                                "`seed_from_u64` is fed the run seed directly — this recreates \
+                                 stream zero and bypasses the salting discipline; draw a \
+                                 decorrelated stream via `ctx.rng(<SALT>)` instead"
+                                    .to_string(),
+                            ));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        });
+    }
+    // Stage attribution: which `Stage::run` entries reach each site.
+    let entries: Vec<usize> = sy
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| {
+            s.trait_name.as_deref() == Some("Stage")
+                && s.name == "run"
+                && !s.in_test
+                && ctxs[s.file].class == FileClass::Library
+        })
+        .map(|(i, _)| i)
+        .collect();
+    if entries.is_empty() || sites.is_empty() {
+        return;
+    }
+    let reach: Vec<Vec<bool>> = entries
+        .iter()
+        .map(|&e| graph.reachable(&[graph.node_of_sym[e]]))
+        .collect();
+    let stages_of = |site: &RngSite| -> Vec<usize> {
+        let node = graph.node_of_sym[site.sym];
+        entries
+            .iter()
+            .enumerate()
+            .filter(|(ei, _)| reach[*ei][node])
+            .map(|(_, &e)| e)
+            .collect()
+    };
+    // Group attributed sites by salt; two *distinct sites* whose stage
+    // sets differ on some pair collide.
+    let mut by_salt: BTreeMap<u64, Vec<(usize, Vec<usize>)>> = BTreeMap::new();
+    for (i, site) in sites.iter().enumerate() {
+        let Some(salt) = site.salt else { continue };
+        let stages = stages_of(site);
+        if !stages.is_empty() {
+            by_salt.entry(salt).or_default().push((i, stages));
+        }
+    }
+    for (salt, group) in &by_salt {
+        if group.len() < 2 {
+            continue;
+        }
+        for (ai, (i, stages_a)) in group.iter().enumerate() {
+            let colliding = group.iter().enumerate().any(|(bi, (_, stages_b))| {
+                ai != bi && stages_a.iter().any(|a| stages_b.iter().any(|b| a != b))
+            });
+            if !colliding {
+                continue;
+            }
+            let site = &sites[*i];
+            let ctx = &ctxs[site.file];
+            let stage_names: Vec<&str> = group
+                .iter()
+                .flat_map(|(_, ss)| ss.iter().map(|&s| sy.fns[s].path.as_str()))
+                .collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .collect();
+            out.push(diag(
+                ctx,
+                site.tok,
+                format!(
+                    "salt {salt:#x} is used by multiple stages ({}) — `seed ^ salt` makes their \
+                 random streams bit-identical, silently correlating randomness across stages \
+                 (memoization cannot catch this: the fingerprints still differ); give each \
+                 stage its own salt const",
+                    stage_names.join(", "),
+                ),
+            ));
+        }
+    }
+}

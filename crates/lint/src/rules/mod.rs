@@ -2,12 +2,15 @@
 //! [`FileContext`] to diagnostics; suppression via allow annotations and
 //! malformed-annotation reporting happen in the shared runner here.
 
+mod a1_atomic_ordering;
 mod c1_lock_discipline;
 mod d1_nondeterminism;
+mod d1_salt;
 mod d2_hash_iter;
 mod e1_error_flow;
 mod f1_fingerprint;
 mod h1_hot_loop_alloc;
+mod j1_join;
 mod n1_float_eq;
 mod n2_lossy_cast;
 mod p1_panic;
@@ -21,15 +24,16 @@ use crate::callgraph::CallGraph;
 use crate::context::{FileClass, FileContext};
 use crate::report::Diagnostic;
 use crate::symbols::Symbols;
+use crate::threads::ThreadTopology;
 
 /// Canonical rule names, as written in `allow(…)` annotations.
 ///
 /// `bad-annotation` is reserved for the runner itself and cannot be
 /// allowed away.
 pub const RULE_NAMES: &[&str] = &[
-    "nondeterminism",           // D1
+    "nondeterminism",           // D0
     "hash-iter",                // D2
-    "panic",                    // P1
+    "panic",                    // PF1
     "float-eq",                 // N1
     "lossy-cast",               // N2
     "error-flow",               // E1
@@ -38,6 +42,9 @@ pub const RULE_NAMES: &[&str] = &[
     "fingerprint-completeness", // F1
     "stage-purity",             // P1
     "lock-discipline",          // C1
+    "atomic-ordering",          // A1
+    "join-discipline",          // J1
+    "salt-determinism",         // D1
 ];
 
 /// Run every rule over one file, honoring allow annotations, and report
@@ -52,6 +59,7 @@ pub fn check_file(ctx: &FileContext) -> Vec<Diagnostic> {
     e1_error_flow::check(ctx, &mut raw);
     h1_hot_loop_alloc::check(ctx, &mut raw);
     s1_shape_contract::check(ctx, &mut raw);
+    j1_join::check(ctx, &mut raw);
 
     let mut out: Vec<Diagnostic> = raw
         .into_iter()
@@ -78,18 +86,22 @@ pub fn check_file(ctx: &FileContext) -> Vec<Diagnostic> {
 }
 
 /// Run the workspace-level rule families (F1 fingerprint-completeness,
-/// P1 stage-purity, C1 lock-discipline) over the symbol table + call
-/// graph, honoring each firing file's allow annotations.
+/// P1 stage-purity, C1 lock-discipline, A1 atomic-ordering, D1
+/// salt-determinism) over the symbol table + call graph + thread
+/// topology, honoring each firing file's allow annotations.
 pub fn check_workspace_rules(
     ctxs: &[FileContext],
     sy: &Symbols,
     graph: &CallGraph,
+    topo: &ThreadTopology,
     out: &mut Vec<Diagnostic>,
 ) {
     let mut raw: Vec<Diagnostic> = Vec::new();
     f1_fingerprint::check(ctxs, sy, graph, &mut raw);
     p1_stage_purity::check(ctxs, sy, graph, &mut raw);
     c1_lock_discipline::check(ctxs, sy, graph, &mut raw);
+    a1_atomic_ordering::check(ctxs, sy, topo, &mut raw);
+    d1_salt::check(ctxs, sy, graph, &mut raw);
     let allows: BTreeMap<&str, &AllowIndex> = ctxs.iter().map(|c| (c.path, c.allows)).collect();
     out.extend(raw.into_iter().filter(|d| {
         allows
@@ -116,7 +128,7 @@ pub struct RuleInfo {
 pub fn rule_catalog() -> Vec<RuleInfo> {
     vec![
         RuleInfo {
-            id: "D1",
+            id: "D0",
             name: "nondeterminism",
             family: "determinism",
             scope: "library crates, non-test code",
@@ -211,6 +223,36 @@ pub fn rule_catalog() -> Vec<RuleInfo> {
             description: "lock acquisition must follow one partial order (no cycles), `?` must \
                  not fire while the advisory pid lock is held (the lock file leaks), \
                  and no early exit may hold two guards at once",
+        },
+        RuleInfo {
+            id: "D1",
+            name: "salt-determinism",
+            family: "determinism",
+            scope: "library crates, non-test code (persistence modules exempt)",
+            description: "every `ctx.rng(salt)` must take a compile-time-resolvable salt, no \
+                 two distinct stages may share one (`seed ^ salt` would correlate their \
+                 streams), and `seed_from_u64(seed)` must not bypass the salting \
+                 discipline",
+        },
+        RuleInfo {
+            id: "A1",
+            name: "atomic-ordering",
+            family: "concurrency",
+            scope: "library crates, non-test code, over the thread topology",
+            description: "`Ordering::Relaxed` only for statement-level counters: a Relaxed \
+                 load may not gate control flow, a Relaxed store may not publish across \
+                 a spawn boundary, a Relaxed RMW result may not be consumed as a \
+                 handshake — bless counters per-field with a reason",
+        },
+        RuleInfo {
+            id: "J1",
+            name: "join-discipline",
+            family: "concurrency",
+            scope: "library crates, non-test code",
+            description: "every `std::thread::spawn` handle is joined on all paths (`?`/early \
+                 return included) and the join result is read — a dropped handle \
+                 detaches the thread, a dropped result silences worker panics; \
+                 intentional detaches need a blessed annotation",
         },
         RuleInfo {
             id: "A0",

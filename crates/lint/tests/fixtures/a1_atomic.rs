@@ -1,0 +1,50 @@
+//! A1 fixture: Relaxed gates, cross-spawn publications, and consumed
+//! RMWs fire; statement counters and blessed fields stay silent.
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub struct Counters {
+    hits: AtomicU64,
+    // ig-lint: allow(atomic-ordering) -- ticket counter: only uniqueness
+    // of the returned stamp matters, no memory is published through it
+    clock: AtomicU64,
+    ready: AtomicBool,
+}
+
+impl Counters {
+    pub fn gate_direct(&self, flag: &AtomicBool) {
+        if flag.load(Ordering::Relaxed) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub fn gate_one_hop(&self) -> u64 {
+        let ready = self.ready.load(Ordering::Relaxed);
+        if ready {
+            1
+        } else {
+            0
+        }
+    }
+
+    pub fn consumed_rmw(&self, counter: &AtomicU64) -> u64 {
+        counter.fetch_add(1, Ordering::Relaxed)
+    }
+
+    pub fn blessed_rmw(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+pub fn publish(flag: &'static AtomicBool) {
+    let _bg = std::thread::spawn(move || {
+        while !flag.load(Ordering::Acquire) {}
+    });
+    flag.store(true, Ordering::Relaxed);
+}
+
+pub fn acquire_release(flag: &AtomicBool) {
+    flag.store(true, Ordering::Release);
+    if flag.load(Ordering::Acquire) {
+        flag.store(false, Ordering::Release);
+    }
+}

@@ -1,0 +1,44 @@
+//! D1 fixture: unresolvable salts, cross-stage salt collisions, and raw
+//! seed reuse fire; unique salts and stage-shared helpers stay silent.
+
+pub struct RunContext;
+pub trait Stage {
+    fn run(&mut self, ctx: &mut RunContext) -> u64;
+}
+
+const SPLIT_SALT: u64 = 0x51;
+const AUG_SALT: u64 = 0x51;
+const EVAL_SALT: u64 = 0xE7;
+
+pub struct Splitter;
+pub struct Augmenter;
+pub struct Evaluator;
+
+impl Stage for Splitter {
+    fn run(&mut self, ctx: &mut RunContext) -> u64 {
+        let mut rng = ctx.rng(SPLIT_SALT);
+        shared_helper(ctx) + rng.next()
+    }
+}
+
+impl Stage for Augmenter {
+    fn run(&mut self, ctx: &mut RunContext) -> u64 {
+        let mut rng = ctx.rng(AUG_SALT);
+        shared_helper(ctx) + rng.next()
+    }
+}
+
+impl Stage for Evaluator {
+    fn run(&mut self, ctx: &mut RunContext) -> u64 {
+        let mut rng = ctx.rng(EVAL_SALT);
+        let k = rng.next();
+        let mut wobbly = ctx.rng(k + 1);
+        let raw = StdRng::seed_from_u64(ctx.seed);
+        wobbly.next() + raw.next()
+    }
+}
+
+fn shared_helper(ctx: &mut RunContext) -> u64 {
+    let mut rng = ctx.rng(0x5ABED);
+    rng.next()
+}

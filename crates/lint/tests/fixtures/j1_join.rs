@@ -1,0 +1,55 @@
+//! J1 fixture: detached spawns, never-joined handles, early exits before
+//! the join, and discarded join verdicts fire; disciplined joins and
+//! blessed detaches stay silent.
+
+pub fn detached_statement() {
+    std::thread::spawn(|| loop {});
+}
+
+pub fn detached_let_wild() {
+    let _ = std::thread::spawn(|| 1);
+}
+
+pub fn never_joined() {
+    let worker = std::thread::spawn(|| 2);
+    let sum = 2 + 2;
+    drop(sum);
+}
+
+pub fn early_exit() -> Result<u32, String> {
+    let worker = std::thread::spawn(|| 3);
+    let parsed: u32 = "7".parse().map_err(|_| "bad".to_string())?;
+    let v = worker.join().map_err(|_| "worker panicked".to_string())?;
+    Ok(v + parsed)
+}
+
+pub fn discarded_verdicts() {
+    let a = std::thread::spawn(|| 4);
+    let b = std::thread::spawn(|| 5);
+    let c = std::thread::spawn(|| 6);
+    a.join();
+    let _ = b.join();
+    c.join().ok();
+}
+
+pub fn disciplined() -> u32 {
+    let worker = std::thread::spawn(|| 7);
+    match worker.join() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("worker thread panicked: {e:?}");
+            0
+        }
+    }
+}
+
+pub fn escapes_to_caller() -> std::thread::JoinHandle<u32> {
+    let handle = std::thread::spawn(|| 8);
+    handle
+}
+
+pub fn blessed_detach() {
+    // ig-lint: allow(join-discipline) -- fire-and-forget heartbeat: the
+    // logger thread must outlive this call by design
+    std::thread::spawn(|| loop {});
+}

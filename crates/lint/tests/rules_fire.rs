@@ -275,6 +275,91 @@ fn c1_lock_discipline_fires_at_expected_lines() {
 }
 
 #[test]
+fn a1_atomic_ordering_fires_at_expected_lines() {
+    let diags = check_source_with(
+        "crates/runtime/src/fixture.rs",
+        include_str!("fixtures/a1_atomic.rs"),
+        FileClass::Library,
+        false,
+    );
+    // 15: Relaxed load gating an `if` directly; 21: gate through one
+    // local binding; 30: consumed RMW; 42: Relaxed store whose target is
+    // in the worker closure's escape set. The statement-level counter
+    // (16), the blessed `clock` field (34), and the Acquire/Release
+    // pairs (46-48) stay silent.
+    assert_eq!(
+        lines_for(&diags, "atomic-ordering"),
+        vec![15, 21, 30, 42],
+        "diags: {diags:#?}"
+    );
+}
+
+#[test]
+fn j1_join_discipline_fires_at_expected_lines() {
+    let diags = lint_fixture(include_str!("fixtures/j1_join.rs"));
+    // 6: bare-statement spawn; 10: `let _ =` spawn; 14: handle never
+    // joined; 21: `?` exits before the join; 30-32: join verdicts
+    // discarded. `disciplined`, the escaping handle, and the blessed
+    // detach stay silent.
+    assert_eq!(
+        lines_for(&diags, "join-discipline"),
+        vec![6, 10, 14, 21, 30, 31, 32],
+        "diags: {diags:#?}"
+    );
+}
+
+#[test]
+fn d1_salt_determinism_fires_at_expected_lines() {
+    let diags = check_source_with(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/d1_salt.rs"),
+        FileClass::Library,
+        false,
+    );
+    // 19 + 26: Splitter and Augmenter share salt 0x51; 35: salt is not a
+    // compile-time constant; 36: the run seed fed to `seed_from_u64`
+    // directly. The unique salt (33) and the helper shared by several
+    // stages (42) stay silent.
+    assert_eq!(
+        lines_for(&diags, "salt-determinism"),
+        vec![19, 26, 35, 36],
+        "diags: {diags:#?}"
+    );
+    let collision = diags
+        .iter()
+        .find(|d| d.rule == "salt-determinism" && d.line == 19)
+        .expect("collision diag");
+    assert!(
+        collision.message.contains("Splitter") && collision.message.contains("Augmenter"),
+        "collision must name both stages: {}",
+        collision.message
+    );
+}
+
+#[test]
+fn fix_roundtrip_clears_discarded_joins() {
+    // The mechanical J1 rewrite clears the discarded-verdict shape (lines
+    // 30-32); detached spawns and early exits stay manual findings.
+    let src = include_str!("fixtures/j1_join.rs");
+    let fixes = ig_lint::fix::plan_fixes("crates/core/src/fixture.rs", src, None);
+    assert_eq!(fixes.len(), 3, "fixes: {fixes:#?}");
+    let fixed = ig_lint::fix::apply_fixes(src, &fixes);
+    let after = lint_fixture(&fixed);
+    assert_eq!(
+        lines_for(&after, "join-discipline")
+            .iter()
+            .filter(|&&l| (30..=34).contains(&l))
+            .count(),
+        0,
+        "fixed:\n{fixed}\ndiags: {after:#?}"
+    );
+    assert!(
+        fixed.contains("if let Err(e) = a.join()"),
+        "fixed:\n{fixed}"
+    );
+}
+
+#[test]
 fn workspace_walk_skips_fixtures_and_target() {
     // Walk this crate's own directory: the fixtures directory (full of
     // deliberate violations) must not be collected.

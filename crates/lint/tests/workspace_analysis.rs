@@ -1,9 +1,10 @@
-//! Workspace-level analysis properties: the call graph is deterministic
-//! (byte-identical dumps) and total (malformed input degrades to
-//! `unknown` nodes, never a panic), cross-crate resolution stitches
-//! `use`-imported calls, and the mechanical fixer is idempotent.
+//! Workspace-level analysis properties: the call graph and the thread
+//! topology are deterministic (byte-identical dumps) and total (malformed
+//! input degrades to `unknown` nodes or absent sites, never a panic),
+//! cross-crate resolution stitches `use`-imported calls, and the
+//! mechanical fixer is idempotent.
 
-use ig_lint::{callgraph_json_for_units, SourceUnit};
+use ig_lint::{callgraph_json_for_units, threads_json_for_units, SourceUnit};
 
 fn unit(rel: &str, src: &str) -> SourceUnit {
     SourceUnit::classified(rel, src.to_string())
@@ -89,6 +90,53 @@ fn callgraph_interns_unknowns_by_label() {
         1,
         "two call sites, one interned unknown node; dump:\n{json}"
     );
+}
+
+#[test]
+fn threads_dump_is_deterministic_and_ordered() {
+    let units = vec![
+        unit(
+            "crates/runtime/src/pool.rs",
+            "pub fn fan_out(n: usize) {\n    std::thread::scope(|scope| {\n        for shard in 0..n {\n            scope.spawn(move || shard + 1);\n        }\n    });\n}\n",
+        ),
+        unit(
+            "crates/core/src/driver.rs",
+            "pub fn background(tx: Sender<u32>) {\n    let h = std::thread::spawn(move || tx.send(1));\n    h.join().unwrap();\n}\n",
+        ),
+    ];
+    let a = threads_json_for_units(&units);
+    let b = threads_json_for_units(&units);
+    assert_eq!(a, b, "same units must produce byte-identical dumps");
+    // Sites come out in (file, line) order: core/driver.rs before
+    // runtime/pool.rs, and all three spawn kinds are classified.
+    let core_at = a.find("driver.rs").expect("driver site");
+    let pool_at = a.find("pool.rs").expect("pool site");
+    assert!(core_at < pool_at, "dump:\n{a}");
+    for kind in ["\"thread-spawn\"", "\"scope\"", "\"scoped-spawn\""] {
+        assert!(a.contains(kind), "missing {kind}; dump:\n{a}");
+    }
+    // The worker closure's escape set names the captured binding.
+    assert!(a.contains("\"tx\""), "dump:\n{a}");
+}
+
+#[test]
+fn threads_dump_is_total_on_malformed_input() {
+    let units = vec![
+        unit(
+            "crates/core/src/broken.rs",
+            "fn broken(((( {\n    std::thread::spawn(|| 1);\n",
+        ),
+        unit("crates/core/src/empty.rs", ""),
+        unit(
+            "crates/core/src/ok.rs",
+            "pub fn go() {\n    let h = std::thread::spawn(|| 2);\n    h.join().unwrap();\n}\n",
+        ),
+    ];
+    // Must not panic; whatever the recovered AST holds is classified and
+    // the dump stays well-formed.
+    let json = threads_json_for_units(&units);
+    assert!(json.contains("\"version\": 1"), "dump:\n{json}");
+    assert!(json.contains("ok.rs"), "dump:\n{json}");
 }
 
 #[test]

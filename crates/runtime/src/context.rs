@@ -1,8 +1,12 @@
 //! [`RunContext`]: the single carrier of run-wide discipline.
 
+#[cfg(debug_assertions)]
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+#[cfg(debug_assertions)]
+use std::sync::Mutex;
 use std::time::Duration;
 
 use ig_faults::{FaultKind, FaultPlan, HealthReport, RecoveryAction};
@@ -46,6 +50,23 @@ impl fmt::Debug for Clock {
     }
 }
 
+/// Debug-build salt ledger: the runtime mirror of ig-lint's static
+/// `salt-determinism` rule. Records which stage first drew each
+/// `rng(salt)` and trips (debug/test builds only) when a *different*
+/// stage draws the same salt — `seed ^ salt` makes their streams
+/// bit-identical, and nothing downstream can see it (the fingerprints
+/// still differ, memoization stays correct, the outputs are just
+/// silently correlated). Draws outside any stage (driver code, tests
+/// seeding their own rngs) are not recorded.
+#[cfg(debug_assertions)]
+#[derive(Debug, Default)]
+struct SaltLedger {
+    /// Stack of stage ids currently executing under this context tree.
+    running: Vec<&'static str>,
+    /// First stage to draw each salt.
+    seen: BTreeMap<u64, &'static str>,
+}
+
 /// Everything a pipeline run shares: the seed, the active fault plan, the
 /// thread budget, the scale plan, the health report and the artifact
 /// store.
@@ -67,6 +88,8 @@ pub struct RunContext {
     health: Arc<HealthReport>,
     stage_runs: Arc<AtomicU64>,
     clock: Option<Clock>,
+    #[cfg(debug_assertions)]
+    salts: Arc<Mutex<SaltLedger>>,
 }
 
 impl RunContext {
@@ -83,6 +106,8 @@ impl RunContext {
             health: Arc::new(HealthReport::new()),
             stage_runs: Arc::new(AtomicU64::new(0)),
             clock: None,
+            #[cfg(debug_assertions)]
+            salts: Arc::new(Mutex::new(SaltLedger::default())),
         }
     }
 
@@ -139,8 +164,50 @@ impl RunContext {
     /// A deterministic RNG for the given salt: seeded with
     /// `seed() ^ salt`, so `ctx.rng(0)` reproduces the legacy
     /// `StdRng::seed_from_u64(seed)` streams exactly.
+    ///
+    /// Debug builds additionally record which stage drew each salt and
+    /// panic when two *different* stages share one (see [`SaltLedger`]) —
+    /// the runtime mirror of ig-lint's static `salt-determinism` rule.
     pub fn rng(&self, salt: u64) -> StdRng {
+        #[cfg(debug_assertions)]
+        self.note_salt(salt);
         StdRng::seed_from_u64(self.seed ^ salt)
+    }
+
+    /// Record a salt draw against the currently executing stage; trip on
+    /// a cross-stage collision. Debug-only: compiled out of release
+    /// builds entirely.
+    #[cfg(debug_assertions)]
+    fn note_salt(&self, salt: u64) {
+        let Ok(mut ledger) = self.salts.lock() else {
+            return;
+        };
+        let Some(&stage) = ledger.running.last() else {
+            return;
+        };
+        let first = *ledger.seen.entry(salt).or_insert(stage);
+        debug_assert!(
+            first == stage,
+            "cross-stage salt collision: `{stage}` drew ctx.rng({salt:#x}), already drawn by \
+             `{first}` — `seed ^ salt` makes their random streams bit-identical; give each \
+             stage its own salt const (runtime mirror of ig-lint's salt-determinism rule)"
+        );
+    }
+
+    /// Push/pop the executing stage id around [`Stage::run`] so salt
+    /// draws attribute to the innermost stage.
+    #[cfg(debug_assertions)]
+    fn enter_stage(&self, id: &'static str) {
+        if let Ok(mut ledger) = self.salts.lock() {
+            ledger.running.push(id);
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    fn exit_stage(&self) {
+        if let Ok(mut ledger) = self.salts.lock() {
+            ledger.running.pop();
+        }
     }
 
     /// The active fault plan, if any.
@@ -285,7 +352,12 @@ impl RunContext {
         let started = self.clock.as_ref().map(Clock::now_ms);
         let mut attempt = 0u32;
         let result = loop {
-            match stage.run(self) {
+            #[cfg(debug_assertions)]
+            self.enter_stage(stage.id());
+            let outcome = stage.run(self);
+            #[cfg(debug_assertions)]
+            self.exit_stage();
+            match outcome {
                 Ok(output) => break Ok(output),
                 Err(_) if attempt < supervision.retries => {
                     attempt += 1;
@@ -520,6 +592,70 @@ mod tests {
         let mut a = ctx.rng(0x5eed);
         let mut b = StdRng::seed_from_u64(42 ^ 0x5eed);
         assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    /// Stage that draws `ctx.rng` with a fixed salt during `run`.
+    struct Salty {
+        stage_id: &'static str,
+        salt: u64,
+    }
+
+    impl Stage for Salty {
+        type Output = u64;
+        type Error = Infallible;
+
+        fn id(&self) -> &'static str {
+            self.stage_id
+        }
+
+        fn fingerprint(&self) -> Fingerprint {
+            Fingerprint::null()
+        }
+
+        fn cacheable(&self) -> bool {
+            false
+        }
+
+        fn run(&mut self, ctx: &RunContext) -> Result<u64, Infallible> {
+            use rand::RngCore;
+            Ok(ctx.rng(self.salt).next_u64())
+        }
+    }
+
+    #[test]
+    fn distinct_salts_and_redraws_pass_the_salt_ledger() {
+        let ctx = RunContext::new(1);
+        let mut a = Salty {
+            stage_id: "test.salty-a",
+            salt: 0x5a17,
+        };
+        // The same stage may redraw its own salt (re-runs, retries)...
+        crate::infallible(ctx.run(&mut a));
+        crate::infallible(ctx.run(&mut a));
+        // ...and a different stage with a different salt is the intended
+        // pattern.
+        let mut b = Salty {
+            stage_id: "test.salty-b",
+            salt: 0xb017,
+        };
+        crate::infallible(ctx.run(&mut b));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "cross-stage salt collision")]
+    fn cross_stage_salt_collision_trips_in_debug() {
+        let ctx = RunContext::new(1);
+        let mut a = Salty {
+            stage_id: "test.salty-a",
+            salt: 0x5a17,
+        };
+        let mut b = Salty {
+            stage_id: "test.salty-b",
+            salt: 0x5a17,
+        };
+        crate::infallible(ctx.run(&mut a));
+        crate::infallible(ctx.run(&mut b));
     }
 
     /// Fails the first `failures` executions, then succeeds.

@@ -342,6 +342,9 @@ impl DiskStore {
         reason: &'static str,
         health: &HealthReport,
     ) {
+        // ig-lint: allow(atomic-ordering) -- ticket counter: the returned
+        // sequence number only has to be unique per quarantine filename;
+        // no memory is published through it
         let seq = self.quarantined.fetch_add(1, Ordering::Relaxed);
         let name = path
             .file_name()

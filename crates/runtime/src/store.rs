@@ -50,9 +50,13 @@ pub struct ArtifactStore {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
-    /// Maximum resident artifacts; 0 = unbounded.
+    /// Maximum resident artifacts; 0 = unbounded. `Release` store /
+    /// `Acquire` load: the bound gates eviction control flow.
     capacity: AtomicUsize,
     /// Logical clock for LRU stamps (monotone per store, no wall clock).
+    // ig-lint: allow(atomic-ordering) -- ticket counter: only uniqueness
+    // and per-thread monotonicity of the returned stamp matter; stamps are
+    // compared under the entries mutex, which orders the RMWs
     clock: AtomicU64,
     disk: OnceLock<Arc<DiskStore>>,
 }
@@ -80,14 +84,14 @@ impl ArtifactStore {
     /// Bound the resident artifact count (0 = unbounded). Shrinking below
     /// the current occupancy evicts immediately.
     pub fn set_capacity(&self, capacity: usize) {
-        self.capacity.store(capacity, Ordering::Relaxed);
+        self.capacity.store(capacity, Ordering::Release);
         let mut entries = self.lock();
         self.evict_over_capacity(&mut entries);
     }
 
     /// Current capacity bound (0 = unbounded).
     pub fn capacity(&self) -> usize {
-        self.capacity.load(Ordering::Relaxed)
+        self.capacity.load(Ordering::Acquire)
     }
 
     /// Look up an artifact; counts a hit or a miss and refreshes the
@@ -157,7 +161,7 @@ impl ArtifactStore {
     /// hits. When every entry is live the map may temporarily exceed the
     /// bound; the next insert retries.
     fn evict_over_capacity(&self, entries: &mut BTreeMap<Key, Entry>) {
-        let capacity = self.capacity.load(Ordering::Relaxed);
+        let capacity = self.capacity.load(Ordering::Acquire);
         if capacity == 0 {
             return;
         }

@@ -188,9 +188,10 @@ fn paint_class(
                 ));
             }
         }
-        // ig-lint: allow(panic) -- class indices come from `0..6` loops
-        // in the generator; an out-of-range class is a programming error
-        _ => panic!("NEU has 6 classes"),
+        // Class indices come from `0..6` loops in the generator; an
+        // out-of-range class is a programming error — loud under
+        // debug_assertions, a defect-free image in release.
+        _ => debug_assert!(false, "NEU has 6 classes"),
     }
     img.clamp(0.0, 1.0);
     boxes.into_iter().filter_map(|b| b.clip(w, h)).collect()

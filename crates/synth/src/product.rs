@@ -13,31 +13,27 @@ use rand::{Rng, SeedableRng};
 
 /// Generate one of the three Product datasets.
 pub fn generate(spec: &DatasetSpec, kind: DefectKind) -> Dataset {
-    let painter: fn(&mut GrayImage, &mut StdRng, f32) -> BBox = match kind {
-        DefectKind::Scratch => paint_scratch,
-        DefectKind::Bubble => paint_bubble,
-        DefectKind::Stamping => paint_stamping,
-        // ig-lint: allow(panic) -- Product generators are only invoked
-        // with the three Product defect kinds; anything else is a caller bug
-        other => panic!("{other:?} is not a Product defect"),
+    type Painter = fn(&mut GrayImage, &mut StdRng, f32) -> BBox;
+    // One dispatch for the three Product defect kinds; anything else is a
+    // caller bug, answered with an empty dataset instead of a panic.
+    let dispatch: Option<(Painter, &str, StripStyle)> = match kind {
+        DefectKind::Scratch => Some((paint_scratch, "Product (scratch)", StripStyle::Matte)),
+        DefectKind::Bubble => Some((paint_bubble, "Product (bubble)", StripStyle::Glossy)),
+        DefectKind::Stamping => Some((paint_stamping, "Product (stamping)", StripStyle::Brushed)),
+        _ => None,
+    };
+    let Some((painter, name, style)) = dispatch else {
+        return Dataset {
+            name: format!("Product ({kind:?}: not a Product defect)"),
+            task: TaskType::Binary,
+            images: Vec::new(),
+        };
     };
     // Bubbles are small: a defective image usually carries several.
     let (min_defects, max_defects) = match kind {
         DefectKind::Bubble => (1, 4),
         DefectKind::Scratch => (1, 3),
         _ => (1, 2),
-    };
-    let name = match kind {
-        DefectKind::Scratch => "Product (scratch)",
-        DefectKind::Bubble => "Product (bubble)",
-        DefectKind::Stamping => "Product (stamping)",
-        // ig-lint: allow(panic) -- same three-kind dispatch as above
-        _ => unreachable!(),
-    };
-    let style = match kind {
-        DefectKind::Scratch => StripStyle::Matte,
-        DefectKind::Bubble => StripStyle::Glossy,
-        _ => StripStyle::Brushed,
     };
     let mut rng = StdRng::seed_from_u64(spec.seed);
     let mut images = Vec::with_capacity(spec.n);
@@ -99,10 +95,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not a Product defect")]
     fn crack_is_not_a_product_defect() {
         let spec = DatasetSpec::quick(DatasetKind::ProductScratch, 0);
-        let _ = generate(&spec, DefectKind::Crack);
+        let d = generate(&spec, DefectKind::Crack);
+        assert_eq!(d.len(), 0);
+        assert!(d.name.contains("not a Product defect"));
     }
 
     #[test]
