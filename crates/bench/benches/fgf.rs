@@ -3,10 +3,12 @@
 //! the per-call matchers — the pipeline's hot loop.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use ig_bench::{defect_pattern, image_batch};
+use ig_bench::{defect_pattern, image_batch, textured_image};
 use ig_core::{FeatureGenerator, Pattern, PatternSource};
-use ig_imaging::ncc::PyramidMatchConfig;
-use ig_imaging::{match_template_pyramid, GrayImage};
+use ig_imaging::ncc::{score_map, PyramidMatchConfig};
+use ig_imaging::{
+    match_template_pyramid, score_map_prepared, GrayImage, PreparedImage, PreparedPattern,
+};
 
 fn make_generator(num_patterns: usize) -> FeatureGenerator {
     let patterns: Vec<GrayImage> = (0..num_patterns)
@@ -90,10 +92,38 @@ fn bench_batch_engine(c: &mut Criterion) {
     group.finish();
 }
 
+/// PR 9's large-pattern arm: a dense 64×64-pattern score map over a
+/// 256×192 frame, where the planner routes the prepared path onto the FFT
+/// correlation (pattern area 4096 ≫ the ~512 crossover for these image
+/// dims) while the per-call map stays on the exact row sweep. The
+/// prepared arm reuses cached spectra — the steady-state shape for
+/// repeated scoring against a fixed reference set.
+fn bench_large_pattern(c: &mut Criterion) {
+    let img = textured_image(256, 192, 11);
+    let pat = img.crop(40, 30, 64, 64).expect("crop inside frame");
+    let config = PyramidMatchConfig::default();
+    let mut group = c.benchmark_group("fgf_large_pattern");
+    group.sample_size(10);
+    group.bench_function("brute_sweep", |b| {
+        b.iter(|| score_map(&img, &pat).map(|m| m.get(0, 0)).unwrap_or(0.0))
+    });
+    let prepared_img = PreparedImage::new(&img, &config);
+    let prepared_pat = PreparedPattern::new(&pat, &config).expect("nonempty pattern");
+    group.bench_function("fft_prepared", |b| {
+        b.iter(|| {
+            score_map_prepared(&prepared_img, &prepared_pat)
+                .map(|m| m.get(0, 0))
+                .unwrap_or(0.0)
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_pattern_count,
     bench_parallelism,
-    bench_batch_engine
+    bench_batch_engine,
+    bench_large_pattern
 );
 criterion_main!(benches);

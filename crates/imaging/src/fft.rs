@@ -1,0 +1,375 @@
+//! Zero-dependency iterative radix-2 FFT for dense cross-correlation.
+//!
+//! The brute-force NCC numerator costs `O(W·H·w·h)` multiply-adds; for the
+//! GAN-scale templates the augmenter produces (≥64×64) that term dominates
+//! the whole feature-generation pass. Computing the numerator as
+//! `IFFT(FFT(image) ⊙ conj(FFT(centered pattern)))` over a zero-padded
+//! power-of-two plane is `O(P·log P)` with `P = next_pow2(W)·next_pow2(H)`,
+//! independent of the pattern area. [`crate::planner`] decides per
+//! (image dims, pattern dims) which side of that trade-off wins.
+//!
+//! Exactness contract: FFT scores agree with the brute sweep only to float
+//! rounding (pinned to `1e-4` absolute on unit-range pixels by the parity
+//! tests), so this path is only ever selected on the approximate entry
+//! points — see the dispatch rules in [`crate::prepared`].
+//!
+//! Everything here is plain safe Rust over split re/im `f64` slices: a
+//! bit-reversal permutation plus an iterative Cooley-Tukey butterfly ladder
+//! with precomputed twiddles, built once per padded length and cached by
+//! the planner.
+
+use crate::{GrayImage, ImagingError, Result};
+
+/// A forward/inverse FFT plan for one power-of-two length: the bit-reversal
+/// permutation and the twiddle table `e^{-2πik/n}` for `k < n/2`, computed
+/// once and reused across every row/column transform of that length.
+#[derive(Debug, Clone)]
+pub struct Fft {
+    n: usize,
+    /// `rev[i]` = bit-reversed index of `i` within `log2(n)` bits.
+    rev: Vec<u32>,
+    /// Forward twiddles: `tw_re[k] + i·tw_im[k] = e^{-2πik/n}`, `k < n/2`.
+    tw_re: Vec<f64>,
+    tw_im: Vec<f64>,
+}
+
+impl Fft {
+    /// Build a plan for length `n`, which must be a nonzero power of two.
+    pub fn new(n: usize) -> Result<Self> {
+        if n == 0 || !n.is_power_of_two() {
+            return Err(ImagingError::InvalidDimension(format!(
+                "FFT length {n} is not a nonzero power of two"
+            )));
+        }
+        let bits = n.trailing_zeros();
+        let mut rev = vec![0u32; n];
+        if bits > 0 {
+            for (i, slot) in rev.iter_mut().enumerate() {
+                *slot = (i as u32).reverse_bits() >> (32 - bits);
+            }
+        }
+        let half = n / 2;
+        let mut tw_re = vec![0.0f64; half.max(1)];
+        let mut tw_im = vec![0.0f64; half.max(1)];
+        let step = -2.0 * std::f64::consts::PI / n as f64;
+        for k in 0..half {
+            let angle = step * k as f64;
+            tw_re[k] = angle.cos();
+            tw_im[k] = angle.sin();
+        }
+        Ok(Self {
+            n,
+            rev,
+            tw_re,
+            tw_im,
+        })
+    }
+
+    /// Transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the plan has zero length (never true for a built plan).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// In-place transform of `re`/`im` (each exactly `len()` long).
+    /// `inverse` conjugates the twiddles and scales by `1/n` at the end.
+    fn transform(&self, re: &mut [f64], im: &mut [f64], inverse: bool) -> Result<()> {
+        let n = self.n;
+        if re.len() != n || im.len() != n {
+            return Err(ImagingError::InvalidDimension(format!(
+                "FFT buffer length {}/{} does not match plan length {n}",
+                re.len(),
+                im.len()
+            )));
+        }
+        for (i, &j) in self.rev.iter().enumerate() {
+            let j = j as usize;
+            if i < j {
+                re.swap(i, j);
+                im.swap(i, j);
+            }
+        }
+        let mut len = 2usize;
+        while len <= n {
+            let half = len / 2;
+            let stride = n / len;
+            let mut base = 0usize;
+            while base < n {
+                for k in 0..half {
+                    let wi = k * stride;
+                    let wr = self.tw_re[wi];
+                    let wj = if inverse {
+                        -self.tw_im[wi]
+                    } else {
+                        self.tw_im[wi]
+                    };
+                    let a = base + k;
+                    let b = a + half;
+                    let tr = re[b] * wr - im[b] * wj;
+                    let ti = re[b] * wj + im[b] * wr;
+                    let ar = re[a];
+                    let ai = im[a];
+                    re[a] = ar + tr;
+                    im[a] = ai + ti;
+                    re[b] = ar - tr;
+                    im[b] = ai - ti;
+                }
+                base += len;
+            }
+            len *= 2;
+        }
+        if inverse {
+            let scale = 1.0 / n as f64;
+            for (r, i) in re.iter_mut().zip(im.iter_mut()) {
+                *r *= scale;
+                *i *= scale;
+            }
+        }
+        Ok(())
+    }
+
+    /// Forward DFT in place.
+    pub fn forward(&self, re: &mut [f64], im: &mut [f64]) -> Result<()> {
+        self.transform(re, im, false)
+    }
+
+    /// Inverse DFT in place, including the `1/n` normalisation.
+    pub fn inverse(&self, re: &mut [f64], im: &mut [f64]) -> Result<()> {
+        self.transform(re, im, true)
+    }
+}
+
+/// Row-major 2D transform over a `row.len() × col.len()` plane: every row
+/// through `row`, then every column through `col` (gathered through one
+/// scratch column, so the hot butterflies always run on contiguous data).
+fn fft2d(row: &Fft, col: &Fft, re: &mut [f64], im: &mut [f64], inverse: bool) -> Result<()> {
+    let w = row.len();
+    let h = col.len();
+    if re.len() != w * h || im.len() != w * h {
+        return Err(ImagingError::InvalidDimension(format!(
+            "2D FFT buffer length {} does not match {w}x{h}",
+            re.len()
+        )));
+    }
+    for y in 0..h {
+        let (Some(rr), Some(ri)) = (
+            re.get_mut(y * w..(y + 1) * w),
+            im.get_mut(y * w..(y + 1) * w),
+        ) else {
+            return Err(ImagingError::EmptyImage);
+        };
+        row.transform(rr, ri, inverse)?;
+    }
+    let mut col_re = vec![0.0f64; h];
+    let mut col_im = vec![0.0f64; h];
+    for x in 0..w {
+        for y in 0..h {
+            col_re[y] = re[y * w + x];
+            col_im[y] = im[y * w + x];
+        }
+        col.transform(&mut col_re, &mut col_im, inverse)?;
+        for y in 0..h {
+            re[y * w + x] = col_re[y];
+            im[y * w + x] = col_im[y];
+        }
+    }
+    Ok(())
+}
+
+/// The 2D DFT of a real plane zero-padded to a `w2 × h2` power-of-two
+/// grid. Cached per operand by [`crate::prepared`] so each side's forward
+/// transform runs once per (level, padded dims) no matter how many
+/// correlations reuse it.
+#[derive(Debug, Clone)]
+pub struct Spectrum {
+    w2: usize,
+    h2: usize,
+    re: Vec<f64>,
+    im: Vec<f64>,
+}
+
+impl Spectrum {
+    /// Forward-transform `plane` zero-padded to `row.len() × col.len()`.
+    /// The plane must fit inside the padded grid.
+    pub fn forward(plane: &GrayImage, row: &Fft, col: &Fft) -> Result<Spectrum> {
+        let (w, h) = plane.dims();
+        let (w2, h2) = (row.len(), col.len());
+        if w > w2 || h > h2 {
+            return Err(ImagingError::InvalidDimension(format!(
+                "plane {w}x{h} exceeds padded FFT grid {w2}x{h2}"
+            )));
+        }
+        let mut re = vec![0.0f64; w2 * h2];
+        let mut im = vec![0.0f64; w2 * h2];
+        for y in 0..h {
+            let src = plane.row(y);
+            let Some(dst) = re.get_mut(y * w2..y * w2 + w) else {
+                return Err(ImagingError::EmptyImage);
+            };
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d = *s as f64;
+            }
+        }
+        fft2d(row, col, &mut re, &mut im, false)?;
+        Ok(Spectrum { w2, h2, re, im })
+    }
+
+    /// Padded grid dimensions.
+    pub fn padded_dims(&self) -> (usize, usize) {
+        (self.w2, self.h2)
+    }
+}
+
+/// Valid-placement cross-correlation numerators via the spectral product:
+/// `out[y·out_w + x] = Σ_{v,u} pat(u, v) · img(x+u, y+v)`, computed as
+/// `IFFT(img_spec ⊙ conj(pat_spec))`. Both spectra must share the padded
+/// grid, and every requested placement must fit inside it — padding to
+/// `next_pow2` of the *image* dims suffices because the zero-padded
+/// pattern never wraps around a valid placement.
+pub fn cross_correlation(
+    img: &Spectrum,
+    pat: &Spectrum,
+    row: &Fft,
+    col: &Fft,
+    out_w: usize,
+    out_h: usize,
+) -> Result<Vec<f64>> {
+    let (w2, h2) = img.padded_dims();
+    if pat.padded_dims() != (w2, h2) || row.len() != w2 || col.len() != h2 {
+        return Err(ImagingError::InvalidDimension(format!(
+            "spectra/plan grids disagree: img {:?}, pat {:?}, plans {}x{}",
+            img.padded_dims(),
+            pat.padded_dims(),
+            row.len(),
+            col.len()
+        )));
+    }
+    if out_w > w2 || out_h > h2 {
+        return Err(ImagingError::InvalidDimension(format!(
+            "correlation output {out_w}x{out_h} exceeds padded grid {w2}x{h2}"
+        )));
+    }
+    let len = w2 * h2;
+    let mut re = vec![0.0f64; len];
+    let mut im = vec![0.0f64; len];
+    for k in 0..len {
+        let (ar, ai) = (img.re[k], img.im[k]);
+        let (br, bi) = (pat.re[k], pat.im[k]);
+        // a · conj(b)
+        re[k] = ar * br + ai * bi;
+        im[k] = ai * br - ar * bi;
+    }
+    fft2d(row, col, &mut re, &mut im, true)?;
+    let mut out = vec![0.0f64; out_w * out_h];
+    for y in 0..out_h {
+        for x in 0..out_w {
+            out[y * out_w + x] = re[y * w2 + x];
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dft(re_in: &[f64], im_in: &[f64], inverse: bool) -> (Vec<f64>, Vec<f64>) {
+        let n = re_in.len();
+        let sign = if inverse { 2.0 } else { -2.0 };
+        let mut re = vec![0.0; n];
+        let mut im = vec![0.0; n];
+        for k in 0..n {
+            for m in 0..n {
+                let ang = sign * std::f64::consts::PI * (k * m) as f64 / n as f64;
+                let (s, c) = ang.sin_cos();
+                re[k] += re_in[m] * c - im_in[m] * s;
+                im[k] += re_in[m] * s + im_in[m] * c;
+            }
+        }
+        if inverse {
+            for v in re.iter_mut().chain(im.iter_mut()) {
+                *v /= n as f64;
+            }
+        }
+        (re, im)
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert!(Fft::new(0).is_err());
+        assert!(Fft::new(6).is_err());
+        assert!(Fft::new(1).is_ok());
+        assert!(Fft::new(8).is_ok());
+    }
+
+    #[test]
+    fn forward_matches_naive_dft() {
+        for n in [1usize, 2, 4, 8, 16, 32] {
+            let plan = Fft::new(n).unwrap();
+            let mut re: Vec<f64> = (0..n).map(|i| ((i * 7 + 3) % 13) as f64 * 0.5).collect();
+            let mut im: Vec<f64> = (0..n).map(|i| ((i * 5 + 1) % 11) as f64 * -0.25).collect();
+            let (er, ei) = naive_dft(&re, &im, false);
+            plan.forward(&mut re, &mut im).unwrap();
+            for k in 0..n {
+                assert!((re[k] - er[k]).abs() < 1e-9, "n={n} k={k} re");
+                assert!((im[k] - ei[k]).abs() < 1e-9, "n={n} k={k} im");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let plan = Fft::new(64).unwrap();
+        let orig: Vec<f64> = (0..64).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut re = orig.clone();
+        let mut im = vec![0.0; 64];
+        plan.forward(&mut re, &mut im).unwrap();
+        plan.inverse(&mut re, &mut im).unwrap();
+        for (a, b) in re.iter().zip(&orig) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        for v in &im {
+            assert!(v.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn transform_rejects_wrong_length() {
+        let plan = Fft::new(8).unwrap();
+        let mut re = vec![0.0; 4];
+        let mut im = vec![0.0; 4];
+        assert!(plan.forward(&mut re, &mut im).is_err());
+    }
+
+    #[test]
+    fn cross_correlation_matches_brute_force() {
+        // Odd, non-power-of-two operand dims on purpose.
+        let img = GrayImage::from_fn(13, 9, |x, y| ((x * 5 + y * 3) % 7) as f32 * 0.2 - 0.4);
+        let pat = GrayImage::from_fn(5, 3, |x, y| ((x + 2 * y) % 4) as f32 * 0.3 - 0.2);
+        let w2 = 13usize.next_power_of_two();
+        let h2 = 9usize.next_power_of_two();
+        let row = Fft::new(w2).unwrap();
+        let col = Fft::new(h2).unwrap();
+        let si = Spectrum::forward(&img, &row, &col).unwrap();
+        let sp = Spectrum::forward(&pat, &row, &col).unwrap();
+        let out_w = 13 - 5 + 1;
+        let out_h = 9 - 3 + 1;
+        let corr = cross_correlation(&si, &sp, &row, &col, out_w, out_h).unwrap();
+        for y in 0..out_h {
+            for x in 0..out_w {
+                let mut brute = 0.0f64;
+                for v in 0..3 {
+                    for u in 0..5 {
+                        brute += pat.get(u, v) as f64 * img.get(x + u, y + v) as f64;
+                    }
+                }
+                let got = corr[y * out_w + x];
+                assert!((got - brute).abs() < 1e-9, "({x},{y}): {got} vs {brute}");
+            }
+        }
+    }
+}

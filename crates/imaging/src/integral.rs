@@ -59,6 +59,36 @@ impl IntegralImage {
         self.height
     }
 
+    /// Fill `out[x]` with [`IntegralImage::window_sum`]`(x, y, w, h)` for
+    /// every valid placement `x` in one pass over the two table rows the
+    /// whole output row shares. Bit-identical to the per-placement calls
+    /// (same four lookups combined in the same order), but the reads are
+    /// two contiguous slices instead of scattered indexing — this is what
+    /// lets the dense NCC sweep walk each output row once.
+    ///
+    /// `out` should hold `width - w + 1` slots; extra slots are left
+    /// untouched. Out-of-range `(y, w, h)` writes nothing.
+    pub fn row_window_sums(&self, y: usize, w: usize, h: usize, out: &mut [f64]) {
+        let stride = self.width + 1;
+        if y + h > self.height || w > self.width {
+            debug_assert!(false, "row_window_sums out of range");
+            return;
+        }
+        let (Some(top), Some(bot)) = (
+            self.table.get(y * stride..y * stride + stride),
+            self.table.get((y + h) * stride..(y + h) * stride + stride),
+        ) else {
+            return;
+        };
+        let (Some(top_w), Some(bot_w)) = (top.get(w..), bot.get(w..)) else {
+            return;
+        };
+        // window_sum computes d - b - c + a; keep that exact order.
+        for ((((o, a), b), c), d) in out.iter_mut().zip(top).zip(top_w).zip(bot).zip(bot_w) {
+            *o = *d - *b - *c + *a;
+        }
+    }
+
     /// Sum over the window with top-left `(x, y)` and extent `(w, h)`.
     /// The window must fit inside the image.
     #[inline]

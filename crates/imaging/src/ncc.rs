@@ -84,10 +84,13 @@ pub(crate) fn validate(image: &GrayImage, pattern: &GrayImage) -> Result<()> {
 /// their L2 norm.
 #[derive(Debug, Clone)]
 pub(crate) struct CenteredPattern {
-    centered: GrayImage,
-    norm: f64,
-    w: usize,
-    h: usize,
+    pub(crate) centered: GrayImage,
+    pub(crate) norm: f64,
+    pub(crate) w: usize,
+    pub(crate) h: usize,
+    /// Flat pattern: per-pixel deviation below the shared cutoff, every
+    /// score is pinned to 0.0. Hoisted out of the per-placement path.
+    pub(crate) degenerate: bool,
 }
 
 impl CenteredPattern {
@@ -104,12 +107,223 @@ impl CenteredPattern {
             .map(|&p| (p as f64) * (p as f64))
             .sum::<f64>()
             .sqrt();
+        let area = (pattern.width() * pattern.height()) as f64;
+        let degenerate = norm <= FLAT_PATTERN_TOL * area.sqrt();
         Self {
             centered,
             norm,
             w: pattern.width(),
             h: pattern.height(),
+            degenerate,
         }
+    }
+}
+
+/// Tolerances sized for [0, 1] imagery: a "flat" pattern or window whose
+/// per-pixel deviation is below ~1e-4 carries only float noise. Shared by
+/// the scalar path, the row sweep, and the FFT path so the three kernels
+/// cannot drift on the cutoff.
+pub(crate) const FLAT_WINDOW_TOL: f64 = 1e-8;
+/// See [`FLAT_WINDOW_TOL`]; this one gates the pattern's L2 norm.
+pub(crate) const FLAT_PATTERN_TOL: f64 = 1e-4;
+
+/// The NCC denominator's window term `sum W² - n·mean(W)²` from raw window
+/// moments, or `None` for a degenerate (flat) window. This is the single
+/// home of the flat-window cutoff — every kernel path scores a degenerate
+/// window as 0.0 by observing `None` here.
+#[inline]
+pub(crate) fn variance_term(win_sum: f64, win_sq: f64, n: f64) -> Option<f64> {
+    let term = win_sq - win_sum * win_sum / n;
+    (term > FLAT_WINDOW_TOL * n).then_some(term)
+}
+
+/// [`variance_term`] for the window at `(x, y)` of extent `(w, h)`, read
+/// from the precomputed integral tables.
+#[inline]
+pub(crate) fn window_variance_term(
+    sums: &ImageSums,
+    x: usize,
+    y: usize,
+    w: usize,
+    h: usize,
+) -> Option<f64> {
+    let n = (w * h) as f64;
+    variance_term(
+        sums.values.window_sum(x, y, w, h),
+        sums.squares.window_sum(x, y, w, h),
+        n,
+    )
+}
+
+/// Dot product of a pattern row against an image-row slice, written as
+/// exact-chunked iteration (8 explicit f32 lanes over `chunks_exact(8)`,
+/// merged in a fixed order, sequential tail) so LLVM autovectorizes it
+/// without `unsafe` or target features. Deterministic: the accumulation
+/// order depends only on the slice length, so every caller — the scalar
+/// [`pearson_at`], the row sweep, and the refine path — produces identical
+/// bits for identical inputs.
+#[inline]
+pub(crate) fn dot_rows(pat: &[f32], img: &[f32]) -> f32 {
+    let len = pat.len().min(img.len());
+    let (pat, img) = (&pat[..len], &img[..len]);
+    let mut lanes = [0.0f32; 8];
+    for (pc, ic) in pat.chunks_exact(8).zip(img.chunks_exact(8)) {
+        for ((lane, p), i) in lanes.iter_mut().zip(pc).zip(ic) {
+            *lane += *p * *i;
+        }
+    }
+    let [l0, l1, l2, l3, l4, l5, l6, l7] = lanes;
+    let mut acc = ((l0 + l4) + (l1 + l5)) + ((l2 + l6) + (l3 + l7));
+    let tail = pat.chunks_exact(8).remainder();
+    let itail = img.chunks_exact(8).remainder();
+    for (p, i) in tail.iter().zip(itail) {
+        acc += *p * *i;
+    }
+    acc
+}
+
+/// One-pass dense Pearson sweep over every valid placement, in row-major
+/// order (`y` outer ascending, `x` inner ascending — the scan order every
+/// dense caller used before this path existed).
+///
+/// Instead of calling [`pearson_at`] per placement, each output row reads
+/// its window sum/square terms from the integral tables in one batched
+/// pass ([`IntegralImage::row_window_sums`]) and computes the numerator as
+/// a flat-slice dot product over contiguous rows with an f64 row
+/// accumulator. Both steps preserve the per-placement summation order, so
+/// emitted scores are **bit-identical** to [`pearson_at`] (pinned by the
+/// `row_sweep_bit_identical_to_pearson_at` tests).
+pub(crate) fn ncc_row_sweep(
+    image: &GrayImage,
+    pattern: &CenteredPattern,
+    sums: &ImageSums,
+    mut emit: impl FnMut(usize, usize, f32),
+) {
+    let (pw, ph) = (pattern.w, pattern.h);
+    let (iw, ih) = image.dims();
+    if pw == 0 || ph == 0 || pw > iw || ph > ih {
+        return;
+    }
+    let out_w = iw - pw + 1;
+    let out_h = ih - ph + 1;
+    if pattern.degenerate {
+        for y in 0..out_h {
+            for x in 0..out_w {
+                emit(x, y, 0.0);
+            }
+        }
+        return;
+    }
+    let n = (pw * ph) as f64;
+    // Row scratch, hoisted out of the scan (H1): one window-sum and one
+    // window-square slot per output column, refilled per output row.
+    let mut win_sums = vec![0.0f64; out_w];
+    let mut win_sqs = vec![0.0f64; out_w];
+    for y in 0..out_h {
+        sums.values.row_window_sums(y, pw, ph, &mut win_sums);
+        sums.squares.row_window_sums(y, pw, ph, &mut win_sqs);
+        if pw < 8 {
+            sweep_row_blocked(image, pattern, y, out_w, n, &win_sums, &win_sqs, &mut emit);
+            continue;
+        }
+        for (x, (ws, wq)) in win_sums.iter().zip(&win_sqs).enumerate() {
+            let score = match variance_term(*ws, *wq, n) {
+                None => 0.0,
+                Some(term) => {
+                    let mut num = 0.0f64;
+                    for dy in 0..ph {
+                        let prow = pattern.centered.row(dy);
+                        let irow = &image.row(y + dy)[x..x + pw];
+                        num += dot_rows(prow, irow) as f64;
+                    }
+                    let score = num / (pattern.norm * term.sqrt());
+                    score.clamp(-1.0, 1.0) as f32
+                }
+            };
+            emit(x, y, score);
+        }
+    }
+}
+
+/// One output row of the sweep for narrow patterns (`pw < 8`), register-
+/// blocked: `BLOCK` adjacent placements advance together, sharing every
+/// image-row load and giving the CPU eight independent accumulator chains
+/// instead of one serial f32 chain per placement (the coarse pyramid scan
+/// runs 5–6 px patterns, where [`dot_rows`]' lane trick has no body to
+/// chew on). For `pw < 8` that helper is a plain sequential loop, and the
+/// blocked form keeps each placement's accumulation order exactly —
+/// sequential in-row f32, rows merged into f64 in row-major order — so
+/// emitted scores stay bit-identical to [`pearson_at`].
+#[allow(clippy::too_many_arguments)]
+fn sweep_row_blocked(
+    image: &GrayImage,
+    pattern: &CenteredPattern,
+    y: usize,
+    out_w: usize,
+    n: f64,
+    win_sums: &[f64],
+    win_sqs: &[f64],
+    emit: &mut impl FnMut(usize, usize, f32),
+) {
+    const BLOCK: usize = 8;
+    let (pw, ph) = (pattern.w, pattern.h);
+    let mut x = 0;
+    // Full blocks: eight placements with their own scalar f32 chains.
+    while x + BLOCK <= out_w {
+        let mut nums = [0.0f64; BLOCK];
+        for dy in 0..ph {
+            let prow = pattern.centered.row(dy);
+            // One slice covers all eight windows of this pattern row;
+            // `windows(BLOCK)` yields exactly `pw` eight-wide views.
+            let irow = &image.row(y + dy)[x..x + pw + BLOCK - 1];
+            let (mut r0, mut r1, mut r2, mut r3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            let (mut r4, mut r5, mut r6, mut r7) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            for (p, win) in prow.iter().zip(irow.windows(BLOCK)) {
+                let &[w0, w1, w2, w3, w4, w5, w6, w7] = win else {
+                    continue;
+                };
+                r0 += *p * w0;
+                r1 += *p * w1;
+                r2 += *p * w2;
+                r3 += *p * w3;
+                r4 += *p * w4;
+                r5 += *p * w5;
+                r6 += *p * w6;
+                r7 += *p * w7;
+            }
+            for (num, row) in nums.iter_mut().zip([r0, r1, r2, r3, r4, r5, r6, r7]) {
+                *num += row as f64;
+            }
+        }
+        for (j, num) in nums.iter().enumerate() {
+            let score = match variance_term(win_sums[x + j], win_sqs[x + j], n) {
+                None => 0.0,
+                Some(term) => (num / (pattern.norm * term.sqrt())).clamp(-1.0, 1.0) as f32,
+            };
+            emit(x + j, y, score);
+        }
+        x += BLOCK;
+    }
+    // Tail placements, one at a time (same order as the narrow dot).
+    while x < out_w {
+        let score = match variance_term(win_sums[x], win_sqs[x], n) {
+            None => 0.0,
+            Some(term) => {
+                let mut num = 0.0f64;
+                for dy in 0..ph {
+                    let prow = pattern.centered.row(dy);
+                    let irow = &image.row(y + dy)[x..x + pw];
+                    let mut row = 0.0f32;
+                    for (p, i) in prow.iter().zip(irow) {
+                        row += *p * *i;
+                    }
+                    num += row as f64;
+                }
+                (num / (pattern.norm * term.sqrt())).clamp(-1.0, 1.0) as f32
+            }
+        };
+        emit(x, y, score);
+        x += 1;
     }
 }
 
@@ -142,30 +356,25 @@ pub(crate) fn pearson_at(
     sums: &ImageSums,
 ) -> f32 {
     let (pw, ph) = (pattern.w, pattern.h);
-    let n = (pw * ph) as f64;
-    let win_sum = sums.values.window_sum(x, y, pw, ph);
-    let win_sq = sums.squares.window_sum(x, y, pw, ph);
-    let win_var_term = win_sq - win_sum * win_sum / n;
-    // Tolerances sized for [0, 1] imagery: a "flat" pattern or window whose
-    // per-pixel deviation is below ~1e-4 carries only float noise.
-    if win_var_term <= 1e-8 * n || pattern.norm <= 1e-4 * n.sqrt() {
+    if pattern.degenerate {
         return 0.0;
     }
+    let Some(win_var_term) = window_variance_term(sums, x, y, pw, ph) else {
+        return 0.0;
+    };
     let mut num = 0.0f64;
     for dy in 0..ph {
         let prow = pattern.centered.row(dy);
         let irow = &image.row(y + dy)[x..x + pw];
-        let mut acc = 0.0f32;
-        for (p, i) in prow.iter().zip(irow) {
-            acc += p * i;
-        }
-        num += acc as f64;
+        num += dot_rows(prow, irow) as f64;
     }
     let score = num / (pattern.norm * win_var_term.sqrt());
     score.clamp(-1.0, 1.0) as f32
 }
 
-/// Exact brute-force Pearson-NCC match over every valid placement.
+/// Exact brute-force Pearson-NCC match over every valid placement, driven
+/// by the one-pass [`ncc_row_sweep`] (same scan order and comparison as
+/// the historical per-placement loop).
 pub fn match_template(image: &GrayImage, pattern: &GrayImage) -> Result<MatchResult> {
     validate(image, pattern)?;
     let prepared = CenteredPattern::new(pattern);
@@ -175,14 +384,11 @@ pub fn match_template(image: &GrayImage, pattern: &GrayImage) -> Result<MatchRes
         y: 0,
         score: f32::NEG_INFINITY,
     };
-    for y in 0..=(image.height() - prepared.h) {
-        for x in 0..=(image.width() - prepared.w) {
-            let s = pearson_at(image, &prepared, x, y, &sums);
-            if s > best.score {
-                best = MatchResult { x, y, score: s };
-            }
+    ncc_row_sweep(image, &prepared, &sums, |x, y, s| {
+        if s > best.score {
+            best = MatchResult { x, y, score: s };
         }
-    }
+    });
     Ok(best)
 }
 
@@ -213,11 +419,7 @@ pub fn match_template_ccorr(image: &GrayImage, pattern: &GrayImage) -> Result<Ma
                 for dy in 0..ph {
                     let prow = pattern.row(dy);
                     let irow = &image.row(y + dy)[x..x + pw];
-                    let mut acc = 0.0f32;
-                    for (p, i) in prow.iter().zip(irow) {
-                        acc += p * i;
-                    }
-                    num += acc as f64;
+                    num += dot_rows(prow, irow) as f64;
                 }
                 (num / denom) as f32
             };
@@ -239,11 +441,7 @@ pub fn score_map(image: &GrayImage, pattern: &GrayImage) -> Result<GrayImage> {
     let out_w = image.width() - prepared.w + 1;
     let out_h = image.height() - prepared.h + 1;
     let mut out = GrayImage::new(out_w, out_h);
-    for y in 0..out_h {
-        for x in 0..out_w {
-            out.set(x, y, pearson_at(image, &prepared, x, y, &sums));
-        }
-    }
+    ncc_row_sweep(image, &prepared, &sums, |x, y, s| out.set(x, y, s));
     Ok(out)
 }
 
@@ -292,16 +490,13 @@ pub fn match_template_pyramid(
     let prepared = CenteredPattern::new(coarse_pat);
     let sums = ImageSums::new(coarse_img);
     let mut candidates: Vec<MatchResult> = Vec::new();
-    for y in 0..=(coarse_img.height() - coarse_pat.height()) {
-        for x in 0..=(coarse_img.width() - coarse_pat.width()) {
-            let s = pearson_at(coarse_img, &prepared, x, y, &sums);
-            insert_topk(
-                &mut candidates,
-                MatchResult { x, y, score: s },
-                config.top_k,
-            );
-        }
-    }
+    ncc_row_sweep(coarse_img, &prepared, &sums, |x, y, s| {
+        insert_topk(
+            &mut candidates,
+            MatchResult { x, y, score: s },
+            config.top_k,
+        );
+    });
 
     // Refine candidates through finer levels.
     for lvl in (0..coarse).rev() {
@@ -362,17 +557,28 @@ pub(crate) fn levels_for_pattern(min_pat: usize, config: &PyramidMatchConfig) ->
     levels
 }
 
+/// Keep the top-`k` results, sorted descending by score. Runs once per
+/// coarse placement, so insertion is a binary search + `Vec::insert` into
+/// the (short, already-sorted) list instead of the old push-then-full-sort.
+/// Ordering semantics are unchanged: ties keep insertion order (the stable
+/// sort's behavior), and a full list is only disturbed by a strictly
+/// greater score (same `>` comparison as before).
 pub(crate) fn insert_topk(heap: &mut Vec<MatchResult>, item: MatchResult, k: usize) {
-    if heap.len() < k {
-        heap.push(item);
-        heap.sort_by(|a, b| b.score.total_cmp(&a.score));
-    } else if let Some(last) = heap.last() {
+    if k == 0 {
+        return;
+    }
+    if heap.len() >= k {
+        let Some(last) = heap.last() else { return };
         if item.score > last.score {
             heap.pop();
-            heap.push(item);
-            heap.sort_by(|a, b| b.score.total_cmp(&a.score));
+        } else {
+            return;
         }
     }
+    // Descending order: the insertion point is after every entry scoring
+    // >= the new item, which is exactly where the stable sort placed it.
+    let pos = heap.partition_point(|m| m.score.total_cmp(&item.score) != std::cmp::Ordering::Less);
+    heap.insert(pos, item);
 }
 
 #[cfg(test)]
@@ -614,5 +820,114 @@ mod tests {
         }
         let scores: Vec<f32> = heap.iter().map(|m| m.score).collect();
         assert_eq!(scores, vec![0.9, 0.7, 0.5]);
+    }
+
+    #[test]
+    fn insert_topk_tie_scores_match_push_then_sort() {
+        // Ties must keep insertion order and a full list must only be
+        // disturbed by a strictly greater score — exactly what the old
+        // push-then-stable-sort did. Run both side by side.
+        let items = [
+            (0usize, 0.5f32),
+            (1, 0.7),
+            (2, 0.5),
+            (3, 0.7),
+            (4, 0.4),
+            (5, 0.7),
+            (6, 0.9),
+        ];
+        let k = 4;
+        let mut heap = Vec::new();
+        let mut reference: Vec<MatchResult> = Vec::new();
+        for (i, s) in items {
+            let item = MatchResult {
+                x: i,
+                y: 0,
+                score: s,
+            };
+            insert_topk(&mut heap, item, k);
+            if reference.len() < k {
+                reference.push(item);
+                reference.sort_by(|a, b| b.score.total_cmp(&a.score));
+            } else if reference.last().is_some_and(|last| item.score > last.score) {
+                reference.pop();
+                reference.push(item);
+                reference.sort_by(|a, b| b.score.total_cmp(&a.score));
+            }
+        }
+        let got: Vec<(usize, f32)> = heap.iter().map(|m| (m.x, m.score)).collect();
+        let want: Vec<(usize, f32)> = reference.iter().map(|m| (m.x, m.score)).collect();
+        assert_eq!(got, want);
+        // Spot-check the tie order: both 0.7s that fit arrived before any
+        // displacement, so they sit in arrival order after the 0.9.
+        assert_eq!(
+            heap.iter().map(|m| m.x).collect::<Vec<_>>(),
+            vec![6, 1, 3, 5]
+        );
+    }
+
+    /// Deterministic texture for the parity tests — a tiny LCG so the
+    /// same pixels appear in every environment with no RNG dependency.
+    fn lcg_image(w: usize, h: usize, mut state: u64) -> GrayImage {
+        GrayImage::from_fn(w, h, |_, _| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) % 1000) as f32 / 1000.0
+        })
+    }
+
+    #[test]
+    fn row_sweep_bit_identical_to_pearson_at() {
+        // The one-pass sweep must reproduce `pearson_at` bit for bit at
+        // every placement — same window terms, same dot product, same
+        // clamp. Covers odd dims, near-square and skinny patterns.
+        for (iw, ih, pw, ph, seed) in [
+            (17, 13, 5, 4, 1u64),
+            (24, 24, 8, 8, 2),
+            (31, 9, 7, 3, 3),
+            (12, 29, 3, 11, 4),
+            (9, 9, 9, 9, 5),
+        ] {
+            let img = lcg_image(iw, ih, seed);
+            let pat = lcg_image(pw, ph, seed ^ 0xdead_beef);
+            let centered = CenteredPattern::new(&pat);
+            let sums = ImageSums::new(&img);
+            let mut emitted = 0usize;
+            ncc_row_sweep(&img, &centered, &sums, |x, y, s| {
+                let reference = pearson_at(&img, &centered, x, y, &sums);
+                assert!(
+                    s.to_bits() == reference.to_bits(),
+                    "({iw}x{ih}, {pw}x{ph}) at ({x},{y}): sweep {s} vs pearson {reference}"
+                );
+                emitted += 1;
+            });
+            assert_eq!(emitted, (iw - pw + 1) * (ih - ph + 1));
+        }
+    }
+
+    #[test]
+    fn row_sweep_flat_regions_score_zero_like_pearson_at() {
+        // A flat stripe inside a textured image: the sweep and the scalar
+        // path must agree the degenerate windows score exactly 0.0.
+        let mut img = lcg_image(20, 16, 7);
+        for y in 4..10 {
+            for x in 3..15 {
+                img.set(x, y, 0.5);
+            }
+        }
+        let pat = lcg_image(4, 4, 11);
+        let centered = CenteredPattern::new(&pat);
+        let sums = ImageSums::new(&img);
+        let mut saw_zero = false;
+        ncc_row_sweep(&img, &centered, &sums, |x, y, s| {
+            let reference = pearson_at(&img, &centered, x, y, &sums);
+            assert_eq!(s.to_bits(), reference.to_bits());
+            if x >= 3 && x + 4 <= 15 && y >= 4 && y + 4 <= 10 {
+                assert_eq!(s, 0.0, "flat window at ({x},{y})");
+                saw_zero = true;
+            }
+        });
+        assert!(saw_zero);
     }
 }

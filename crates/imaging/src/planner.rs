@@ -1,0 +1,213 @@
+//! Strategy planner for dense NCC scans: brute row sweep vs FFT.
+//!
+//! The row sweep ([`crate::ncc::ncc_row_sweep`]) costs `O(W·H·w·h)`
+//! multiply-adds; the spectral numerator ([`crate::fft`]) costs
+//! `O(P·log P)` with `P = next_pow2(W)·next_pow2(H)`, independent of the
+//! pattern area. The planner compares the two closed-form cost models per
+//! (image dims, pattern dims) and caches the verdict — plus the FFT plans
+//! for the padded lengths — inside [`NccPlanner`], which
+//! [`crate::prepared::PreparedImage`] owns exactly like the fitted-shrink
+//! cache on the pattern side.
+//!
+//! **Monotone contract** (pinned by proptest): the decision is
+//! `pattern area >= fft_crossover_area(image dims)`, a single threshold in
+//! the area at fixed image dims — once FFT wins for some area it wins for
+//! every larger area.
+
+use crate::fft::Fft;
+use crate::Result;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// How a dense scan's numerators should be computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorrStrategy {
+    /// One-pass integral-table row sweep; bit-identical to `pearson_at`.
+    Sweep,
+    /// Spectral cross-correlation numerator; exact only to float rounding.
+    Fft,
+}
+
+/// Patterns below this area never take the FFT path regardless of the cost
+/// model. Small patterns are where the sweep's cache behaviour shines, the
+/// spectral setup cost never amortises — and the floor keeps the planner
+/// provably out of the small-dimension domains the bit-identicality
+/// proptests sample.
+pub const MIN_FFT_PATTERN_AREA: usize = 256;
+
+/// Model cost of one butterfly relative to one fused sweep multiply-add.
+/// Deliberately pessimistic towards FFT: a wrong "sweep" verdict costs a
+/// constant factor, a wrong "fft" verdict costs accuracy headroom too.
+const FFT_OP_COST: f64 = 8.0;
+
+/// Spectral passes a correlation needs over the padded plane: the image
+/// forward transform amortises across patterns via the spectrum cache, so
+/// charge the pattern forward, the product, and the inverse.
+const FFT_PASSES: f64 = 3.0;
+
+/// Power-of-two padded grid for an image of the given dims. `None` when a
+/// dimension is zero or `next_power_of_two` would overflow.
+pub fn padded_dims(image_dims: (usize, usize)) -> Option<(usize, usize)> {
+    let (w, h) = image_dims;
+    if w == 0 || h == 0 {
+        return None;
+    }
+    Some((
+        w.checked_next_power_of_two()?,
+        h.checked_next_power_of_two()?,
+    ))
+}
+
+/// Smallest pattern area at which the spectral numerator is predicted to
+/// beat the brute sweep on a `image_dims` image. The planner picks FFT
+/// exactly when `pattern area >= fft_crossover_area(image_dims)`, which
+/// makes the decision trivially monotone in the pattern area.
+pub fn fft_crossover_area(image_dims: (usize, usize)) -> usize {
+    let Some((w2, h2)) = padded_dims(image_dims) else {
+        return usize::MAX;
+    };
+    let p = (w2 * h2) as f64;
+    let fft_model = FFT_OP_COST * FFT_PASSES * p * p.log2().max(1.0);
+    // Brute sweep ≈ one MAC per (placement, pattern pixel); placements are
+    // within a constant of W·H, so cost-per-pattern-pixel ≈ W·H.
+    let brute_per_area = (image_dims.0 * image_dims.1) as f64;
+    let crossover = (fft_model / brute_per_area).ceil();
+    if !crossover.is_finite() || crossover >= usize::MAX as f64 {
+        return usize::MAX;
+    }
+    (crossover.max(0.0).ceil() as usize).max(MIN_FFT_PATTERN_AREA)
+}
+
+/// Pure strategy decision for one (image dims, pattern dims) pairing.
+/// Degenerate pairings (zero dims, pattern larger than image) fall back to
+/// [`CorrStrategy::Sweep`], whose kernel rejects them uniformly.
+pub fn plan_strategy(image_dims: (usize, usize), pattern_dims: (usize, usize)) -> CorrStrategy {
+    let (pw, ph) = pattern_dims;
+    if pw == 0 || ph == 0 || pw > image_dims.0 || ph > image_dims.1 {
+        return CorrStrategy::Sweep;
+    }
+    if pw * ph >= fft_crossover_area(image_dims) {
+        CorrStrategy::Fft
+    } else {
+        CorrStrategy::Sweep
+    }
+}
+
+/// Cached decision entry: (image w, image h, pattern w, pattern h).
+type DecisionKey = (usize, usize, usize, usize);
+
+/// Per-image planner state: memoised strategy verdicts and the FFT plans
+/// for the padded lengths this image's scans use. Linear-scan `Vec` caches,
+/// like the fitted-shrink cache — distinct keys are few and iteration
+/// order stays deterministic.
+#[derive(Debug, Default)]
+pub struct NccPlanner {
+    decisions: Mutex<Vec<(DecisionKey, CorrStrategy)>>,
+    plans: Mutex<Vec<(usize, Arc<Fft>)>>,
+}
+
+impl NccPlanner {
+    /// Fresh planner with cold caches.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The strategy for scanning `pattern_dims` over `image_dims`,
+    /// memoised per distinct pairing.
+    pub fn strategy(
+        &self,
+        image_dims: (usize, usize),
+        pattern_dims: (usize, usize),
+    ) -> CorrStrategy {
+        let key = (image_dims.0, image_dims.1, pattern_dims.0, pattern_dims.1);
+        let mut cache = self.decisions.lock();
+        if let Some((_, s)) = cache.iter().find(|(k, _)| *k == key) {
+            return *s;
+        }
+        let s = plan_strategy(image_dims, pattern_dims);
+        cache.push((key, s));
+        s
+    }
+
+    /// The FFT plan for padded length `n`, built once and shared. Building
+    /// while holding the lock guarantees one twiddle table per length even
+    /// under concurrent workers (plans are small; contention is rare).
+    pub fn fft_plan(&self, n: usize) -> Result<Arc<Fft>> {
+        let mut cache = self.plans.lock();
+        if let Some((_, p)) = cache.iter().find(|(len, _)| *len == n) {
+            return Ok(Arc::clone(p));
+        }
+        let plan = Arc::new(Fft::new(n)?);
+        cache.push((n, Arc::clone(&plan)));
+        Ok(plan)
+    }
+
+    /// Number of memoised strategy verdicts (test/diagnostic hook).
+    pub fn decisions_cached(&self) -> usize {
+        self.decisions.lock().len()
+    }
+
+    /// Number of FFT plans built (test/diagnostic hook).
+    pub fn plans_cached(&self) -> usize {
+        self.plans.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_patterns_always_sweep() {
+        // Everything under the area floor sweeps, on any image.
+        for dims in [(32, 32), (256, 192), (1024, 1024)] {
+            assert_eq!(plan_strategy(dims, (10, 10)), CorrStrategy::Sweep);
+            assert_eq!(plan_strategy(dims, (15, 15)), CorrStrategy::Sweep);
+        }
+    }
+
+    #[test]
+    fn large_pattern_on_matched_image_takes_fft() {
+        // The bench case: 64x64 GAN-scale template on a 256x192 frame.
+        assert_eq!(plan_strategy((256, 192), (64, 64)), CorrStrategy::Fft);
+    }
+
+    #[test]
+    fn degenerate_pairings_sweep() {
+        assert_eq!(plan_strategy((0, 0), (4, 4)), CorrStrategy::Sweep);
+        assert_eq!(plan_strategy((16, 16), (0, 3)), CorrStrategy::Sweep);
+        assert_eq!(plan_strategy((16, 16), (32, 8)), CorrStrategy::Sweep);
+    }
+
+    #[test]
+    fn crossover_is_single_threshold() {
+        // Scanning areas upward at fixed image dims must flip at most once.
+        let dims = (256, 192);
+        let cut = fft_crossover_area(dims);
+        assert!(cut >= MIN_FFT_PATTERN_AREA);
+        let mut seen_fft = false;
+        for side in 1..=128usize {
+            let s = plan_strategy(dims, (side, side));
+            match s {
+                CorrStrategy::Fft => seen_fft = true,
+                CorrStrategy::Sweep => {
+                    assert!(!seen_fft, "strategy flipped back to sweep at side {side}")
+                }
+            }
+        }
+        assert!(seen_fft, "fft never selected up to 128x128 on 256x192");
+    }
+
+    #[test]
+    fn planner_memoises_decisions_and_plans() {
+        let p = NccPlanner::new();
+        assert_eq!(p.strategy((256, 192), (64, 64)), CorrStrategy::Fft);
+        assert_eq!(p.strategy((256, 192), (64, 64)), CorrStrategy::Fft);
+        assert_eq!(p.strategy((256, 192), (8, 8)), CorrStrategy::Sweep);
+        assert_eq!(p.decisions_cached(), 2);
+        let a = p.fft_plan(256).unwrap();
+        let b = p.fft_plan(256).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(p.plans_cached(), 1);
+    }
+}

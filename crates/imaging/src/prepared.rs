@@ -15,10 +15,12 @@
 //! a pattern overflows an image, keyed by target dimensions, so the
 //! resize runs once per distinct image shape instead of once per image.
 
+use crate::fft::{cross_correlation, Fft, Spectrum};
 use crate::ncc::{
-    insert_topk, levels_for_pattern, pearson_at, validate, CenteredPattern, ImageSums, MatchResult,
-    PyramidMatchConfig,
+    insert_topk, levels_for_pattern, ncc_row_sweep, pearson_at, validate, window_variance_term,
+    CenteredPattern, ImageSums, MatchResult, PyramidMatchConfig,
 };
+use crate::planner::{padded_dims, CorrStrategy, NccPlanner};
 use crate::pyramid::Pyramid;
 use crate::resize::resize_bilinear;
 use crate::{GrayImage, ImagingError, Result};
@@ -26,12 +28,35 @@ use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
+/// Image-side spectrum cache entries: pyramid level → padded spectrum.
+type LevelSpectrum = (usize, Arc<Spectrum>);
+
 /// A search image preprocessed for repeated matching: the Gaussian
-/// pyramid plus value/square integral tables of every level.
-#[derive(Debug, Clone)]
+/// pyramid plus value/square integral tables of every level, the NCC
+/// strategy planner, and lazily-built padded spectra for levels the
+/// planner routes through the FFT path.
+#[derive(Debug)]
 pub struct PreparedImage {
     pyramid: Pyramid,
     sums: Vec<ImageSums>,
+    /// Sweep-vs-FFT verdicts and twiddle plans, memoised per pairing.
+    planner: NccPlanner,
+    /// Forward transforms of pyramid levels, keyed by level index; built
+    /// on first FFT-path scan of that level, shared by every pattern.
+    spectra: Mutex<Vec<LevelSpectrum>>,
+}
+
+impl Clone for PreparedImage {
+    /// Cloning carries the pyramid and integral tables; the planner and
+    /// spectrum caches are derived data and restart cold.
+    fn clone(&self) -> Self {
+        Self {
+            pyramid: self.pyramid.clone(),
+            sums: self.sums.clone(),
+            planner: NccPlanner::new(),
+            spectra: Mutex::new(Vec::new()),
+        }
+    }
 }
 
 impl PreparedImage {
@@ -44,7 +69,12 @@ impl PreparedImage {
     pub fn new(image: &GrayImage, config: &PyramidMatchConfig) -> Self {
         let pyramid = Pyramid::build(image, config.max_levels.max(1), 2);
         let sums = pyramid.levels().iter().map(ImageSums::new).collect();
-        Self { pyramid, sums }
+        Self {
+            pyramid,
+            sums,
+            planner: NccPlanner::new(),
+            spectra: Mutex::new(Vec::new()),
+        }
     }
 
     /// The full-resolution image.
@@ -60,6 +90,33 @@ impl PreparedImage {
     /// Number of cached pyramid levels (≥ 1).
     pub fn num_levels(&self) -> usize {
         self.pyramid.num_levels()
+    }
+
+    /// The padded forward transform of pyramid level `lvl`, built on
+    /// first use and shared by every pattern scanned over this image.
+    /// FFT plans come first (their lock is released before the spectrum
+    /// lock is taken); building inside the spectrum lock guarantees one
+    /// forward transform per level under concurrent workers.
+    fn level_spectrum(&self, lvl: usize) -> Result<Arc<Spectrum>> {
+        let dims = self
+            .pyramid
+            .level_dims(lvl)
+            .ok_or(ImagingError::EmptyImage)?;
+        let (w2, h2) = padded_dims(dims).ok_or(ImagingError::EmptyImage)?;
+        let row = self.planner.fft_plan(w2)?;
+        let col = self.planner.fft_plan(h2)?;
+        let mut cache = self.spectra.lock();
+        if let Some((_, hit)) = cache.iter().find(|(key, _)| *key == lvl) {
+            return Ok(Arc::clone(hit));
+        }
+        let spec = Arc::new(Spectrum::forward(self.pyramid.level(lvl), &row, &col)?);
+        cache.push((lvl, Arc::clone(&spec)));
+        Ok(spec)
+    }
+
+    /// Number of level spectra built so far (test/diagnostic hook).
+    pub fn spectra_cached(&self) -> usize {
+        self.spectra.lock().len()
     }
 }
 
@@ -83,6 +140,11 @@ impl PatternLevel {
 /// Fitted-variant cache entries: target image dims → the shrunk pattern.
 type FittedEntry = ((usize, usize), Arc<PreparedPattern>);
 
+/// Pattern-side spectrum cache entries: (level, padded w, padded h) →
+/// the centred pattern's forward transform on that grid. Keyed by padded
+/// dims because different image shapes pad to different grids.
+type PatternSpectrum = ((usize, usize, usize), Arc<Spectrum>);
+
 /// A pattern preprocessed for repeated matching: the reduced +
 /// mean-centred stack for every pyramid level, plus a cache of
 /// aspect-preserving "fitted" shrinks for images the pattern overflows.
@@ -98,6 +160,9 @@ pub struct PreparedPattern {
     fitted: Mutex<Vec<FittedEntry>>,
     /// Number of fitted variants ever built (each costs one resize).
     fit_builds: AtomicUsize,
+    /// Centred-pattern spectra for FFT-path scans, keyed by
+    /// (level, padded dims). Built on first use per distinct grid.
+    spectra: Mutex<Vec<PatternSpectrum>>,
 }
 
 impl PreparedPattern {
@@ -119,7 +184,22 @@ impl PreparedPattern {
             config: *config,
             fitted: Mutex::new(Vec::new()),
             fit_builds: AtomicUsize::new(0),
+            spectra: Mutex::new(Vec::new()),
         })
+    }
+
+    /// The centred pattern of level `lvl` forward-transformed on the
+    /// `row.len() × col.len()` padded grid, cached per (level, grid).
+    fn level_spectrum(&self, lvl: usize, row: &Fft, col: &Fft) -> Result<Arc<Spectrum>> {
+        let level = self.levels.get(lvl).ok_or(ImagingError::EmptyImage)?;
+        let key = (lvl, row.len(), col.len());
+        let mut cache = self.spectra.lock();
+        if let Some((_, hit)) = cache.iter().find(|(k, _)| *k == key) {
+            return Ok(Arc::clone(hit));
+        }
+        let spec = Arc::new(Spectrum::forward(&level.centered.centered, row, col)?);
+        cache.push((key, Arc::clone(&spec)));
+        Ok(spec)
     }
 
     /// Full-resolution pattern dimensions.
@@ -196,6 +276,73 @@ fn scan_exact(image: &PreparedImage, level: &PatternLevel) -> Result<MatchResult
     Ok(best)
 }
 
+/// Dense planner-dispatched scan of pattern level `lvl` over the same
+/// pyramid level of `image`, emitting `(x, y, score)` for every valid
+/// placement in row-major order.
+///
+/// Strategy comes from the image's [`NccPlanner`]: the sweep path is
+/// bit-identical to `pearson_at`; the FFT path computes the numerator
+/// spectrally and agrees only to float rounding (≤ 1e-4 absolute on
+/// unit-range pixels — the documented tolerance of the approximate entry
+/// points). Both paths share [`window_variance_term`]'s flat-window
+/// cutoff, so degenerate placements score exactly 0.0 either way.
+fn scan_dense(
+    image: &PreparedImage,
+    pattern: &PreparedPattern,
+    lvl: usize,
+    mut emit: impl FnMut(usize, usize, f32),
+) -> Result<()> {
+    let (Some(pat_lvl), Some(sums)) = (pattern.levels.get(lvl), image.sums.get(lvl)) else {
+        return Err(ImagingError::EmptyImage);
+    };
+    let img = image.pyramid.level(lvl);
+    let (iw, ih) = img.dims();
+    let centered = &pat_lvl.centered;
+    let (pw, ph) = (centered.w, centered.h);
+    if pw == 0 || ph == 0 || pw > iw || ph > ih {
+        return Err(ImagingError::TemplateTooLarge {
+            template: (pw, ph),
+            image: (iw, ih),
+        });
+    }
+    match image.planner.strategy((iw, ih), (pw, ph)) {
+        CorrStrategy::Sweep => {
+            ncc_row_sweep(img, centered, sums, emit);
+            Ok(())
+        }
+        CorrStrategy::Fft => {
+            let (out_w, out_h) = (iw - pw + 1, ih - ph + 1);
+            if centered.degenerate {
+                for y in 0..out_h {
+                    for x in 0..out_w {
+                        emit(x, y, 0.0);
+                    }
+                }
+                return Ok(());
+            }
+            let (w2, h2) = padded_dims((iw, ih)).ok_or(ImagingError::EmptyImage)?;
+            let row = image.planner.fft_plan(w2)?;
+            let col = image.planner.fft_plan(h2)?;
+            let img_spec = image.level_spectrum(lvl)?;
+            let pat_spec = pattern.level_spectrum(lvl, &row, &col)?;
+            let nums = cross_correlation(&img_spec, &pat_spec, &row, &col, out_w, out_h)?;
+            for y in 0..out_h {
+                for x in 0..out_w {
+                    let score = match window_variance_term(sums, x, y, pw, ph) {
+                        None => 0.0,
+                        Some(term) => {
+                            let num = nums.get(y * out_w + x).copied().unwrap_or(0.0);
+                            (num / (centered.norm * term.sqrt())).clamp(-1.0, 1.0) as f32
+                        }
+                    };
+                    emit(x, y, score);
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
 /// Exact brute-force Pearson-NCC match from prepared operands.
 /// Bit-identical to [`crate::ncc::match_template`] on the same inputs.
 pub fn match_prepared_exact(
@@ -211,7 +358,12 @@ pub fn match_prepared_exact(
 
 /// Coarse-to-fine pyramid Pearson-NCC match from prepared operands.
 /// Bit-identical to [`crate::ncc::match_template_pyramid`] when both
-/// operands were prepared under the same `config` passed here.
+/// operands were prepared under the same `config` passed here *and* the
+/// planner keeps the coarse scan on the sweep path (always true below
+/// [`crate::planner::MIN_FFT_PATTERN_AREA`], which covers every pinned
+/// parity domain). When the FFT numerator is selected for a large coarse
+/// pattern, candidate selection tolerates float rounding but the final
+/// score is still produced by the exact refine pass.
 pub fn match_prepared(
     image: &PreparedImage,
     pattern: &PreparedPattern,
@@ -229,11 +381,12 @@ pub fn match_prepared(
     }
 
     let coarse = levels - 1;
-    let (Some(coarse_lvl), Some(coarse_sums)) =
-        (pattern.levels.get(coarse), image.sums.get(coarse))
-    else {
+    let Some(coarse_lvl) = pattern.levels.get(coarse) else {
         return scan_exact(image, base);
     };
+    if image.sums.get(coarse).is_none() {
+        return scan_exact(image, base);
+    }
     let coarse_img = image.pyramid.level(coarse);
     let coarse_pat = &coarse_lvl.reduced;
     if coarse_pat.width() > coarse_img.width() || coarse_pat.height() > coarse_img.height() {
@@ -241,17 +394,14 @@ pub fn match_prepared(
     }
 
     // Exhaustive scan at the coarsest level, keeping top-k candidates.
+    // The planner may route this through the FFT numerator for large
+    // coarse patterns; candidate *selection* then tolerates float-rounding
+    // differences, while every returned score still comes from the exact
+    // refine pass below.
     let mut candidates: Vec<MatchResult> = Vec::new();
-    for y in 0..=(coarse_img.height() - coarse_pat.height()) {
-        for x in 0..=(coarse_img.width() - coarse_pat.width()) {
-            let s = pearson_at(coarse_img, &coarse_lvl.centered, x, y, coarse_sums);
-            insert_topk(
-                &mut candidates,
-                MatchResult { x, y, score: s },
-                config.top_k,
-            );
-        }
-    }
+    scan_dense(image, pattern, coarse, |x, y, score| {
+        insert_topk(&mut candidates, MatchResult { x, y, score }, config.top_k);
+    })?;
 
     // Refine candidates through finer levels.
     for lvl in (0..coarse).rev() {
@@ -298,10 +448,30 @@ pub fn match_prepared(
         .ok_or(ImagingError::EmptyImage)
 }
 
+/// Full-resolution dense score map from prepared operands, dispatched
+/// through the planner. For patterns below the FFT crossover this is
+/// bit-identical to [`crate::ncc::score_map`]; above it the numerator is
+/// computed spectrally and each score agrees with the sweep to within
+/// 1e-4 absolute on unit-range pixels (the documented tolerance of the
+/// approximate entry points — use [`crate::ncc::score_map`] when exact
+/// bits matter more than throughput).
+pub fn score_map_prepared(image: &PreparedImage, pattern: &PreparedPattern) -> Result<GrayImage> {
+    let Some(base) = pattern.levels.first() else {
+        return Err(ImagingError::EmptyImage);
+    };
+    validate(image.image(), &base.reduced)?;
+    let (iw, ih) = image.dims();
+    let (pw, ph) = base.reduced.dims();
+    let mut out = GrayImage::new(iw - pw + 1, ih - ph + 1);
+    scan_dense(image, pattern, 0, |x, y, score| out.set(x, y, score))?;
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ncc::{match_template, match_template_pyramid};
+    use crate::ncc::{match_template, match_template_pyramid, score_map};
+    use crate::planner::plan_strategy;
 
     fn textured(w: usize, h: usize, phase: f32) -> GrayImage {
         GrayImage::from_fn(w, h, |x, y| {
@@ -413,6 +583,75 @@ mod tests {
         let prepared = match_prepared(&pi, &fitted, &cfg).unwrap();
         assert_eq!((per_call.x, per_call.y), (prepared.x, prepared.y));
         assert_eq!(per_call.score, prepared.score);
+    }
+
+    #[test]
+    fn score_map_prepared_bit_identical_below_crossover() {
+        let cfg = PyramidMatchConfig::default();
+        let img = textured(40, 30, 0.4);
+        let pat = img.crop(5, 5, 9, 7).unwrap();
+        let pi = PreparedImage::new(&img, &cfg);
+        let pp = PreparedPattern::new(&pat, &cfg).unwrap();
+        assert_eq!(plan_strategy((40, 30), (9, 7)), CorrStrategy::Sweep);
+        let fast = score_map_prepared(&pi, &pp).unwrap();
+        let reference = score_map(&img, &pat).unwrap();
+        assert_eq!(fast.dims(), reference.dims());
+        for (a, b) in fast.pixels().iter().zip(reference.pixels()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(pi.spectra_cached(), 0, "sweep path must not build spectra");
+    }
+
+    #[test]
+    fn score_map_prepared_fft_path_within_tolerance() {
+        let cfg = PyramidMatchConfig::default();
+        let img = textured(64, 64, 0.9);
+        let pat = img.crop(13, 21, 18, 18).unwrap();
+        // 18x18 = 324 sits above the 64x64 crossover, so this exercises
+        // the spectral numerator end to end.
+        assert_eq!(plan_strategy((64, 64), (18, 18)), CorrStrategy::Fft);
+        let pi = PreparedImage::new(&img, &cfg);
+        let pp = PreparedPattern::new(&pat, &cfg).unwrap();
+        let fast = score_map_prepared(&pi, &pp).unwrap();
+        let reference = score_map(&img, &pat).unwrap();
+        assert_eq!(fast.dims(), reference.dims());
+        let mut max_err = 0.0f32;
+        for (a, b) in fast.pixels().iter().zip(reference.pixels()) {
+            max_err = max_err.max((a - b).abs());
+        }
+        assert!(max_err <= 1e-4, "fft vs sweep max err {max_err}");
+        assert_eq!(pi.spectra_cached(), 1);
+        // The peak must land on the planted crop either way.
+        let m = match_prepared_exact(&pi, &pp).unwrap();
+        assert_eq!((m.x, m.y), (13, 21));
+        // A second pattern on the same image reuses the cached spectrum.
+        let pat2 = img.crop(0, 0, 20, 20).unwrap();
+        let pp2 = PreparedPattern::new(&pat2, &cfg).unwrap();
+        let again = score_map_prepared(&pi, &pp2).unwrap();
+        assert_eq!(again.dims(), (64 - 20 + 1, 64 - 20 + 1));
+        assert_eq!(pi.spectra_cached(), 1, "image spectrum must be shared");
+    }
+
+    #[test]
+    fn match_prepared_fft_coarse_scan_agrees_with_per_call() {
+        // GAN-scale template: 128x128 crop of a 256x256 frame. At the
+        // default 4-level stack the coarse scan sees a 16x16 pattern on a
+        // 32x32 level, which crosses the FFT threshold. The per-call path
+        // stays on the sweep everywhere, so agreement here pins that the
+        // spectral candidates survive rounding and the exact refine pass
+        // lands on the same placement with a bit-identical score.
+        let cfg = PyramidMatchConfig::default();
+        let img = textured(256, 256, 1.7);
+        let pat = img.crop(61, 93, 128, 128).unwrap();
+        assert_eq!(plan_strategy((32, 32), (16, 16)), CorrStrategy::Fft);
+        let pi = PreparedImage::new(&img, &cfg);
+        let pp = PreparedPattern::new(&pat, &cfg).unwrap();
+        let prepared = match_prepared(&pi, &pp, &cfg).unwrap();
+        assert!(pi.spectra_cached() >= 1, "coarse scan should go spectral");
+        let per_call = match_template_pyramid(&img, &pat, &cfg).unwrap();
+        assert_eq!((per_call.x, per_call.y), (prepared.x, prepared.y));
+        assert_eq!(per_call.score.to_bits(), prepared.score.to_bits());
+        assert!(prepared.score > 0.99, "score {}", prepared.score);
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! Property tests for the NCC kernel rungs (PR 9): the one-pass row
+//! sweep, the spectral (FFT) numerator, and the planner's crossover.
+//!
+//! Exactness contract under test:
+//! - `match_template` (row sweep) is bit-identical to
+//!   `match_prepared_exact` (scalar `pearson_at` scan) — the two kernels
+//!   share the dot-product and variance-term helpers, and this pins it.
+//! - the FFT cross-correlation numerator agrees with brute force to
+//!   1e-4 absolute on unit-range pixels, including odd / non-power-of-two
+//!   operand dims;
+//! - the planner's decision is monotone in pattern area at fixed image
+//!   dims: once FFT wins, it wins for every larger pattern.
+
+use ig_imaging::fft::{cross_correlation, Fft, Spectrum};
+use ig_imaging::ncc::{score_map, PyramidMatchConfig};
+use ig_imaging::planner::{fft_crossover_area, plan_strategy, CorrStrategy, MIN_FFT_PATTERN_AREA};
+use ig_imaging::{
+    match_prepared_exact, match_template, score_map_prepared, GrayImage, PreparedImage,
+    PreparedPattern,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_image(w: usize, h: usize, rng: &mut StdRng) -> GrayImage {
+    GrayImage::from_fn(w, h, |_, _| rng.gen_range(0.0f32..1.0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn row_sweep_bit_identical_to_scalar_pearson(
+        iw in 8usize..40,
+        ih in 8usize..36,
+        pw in 2usize..10,
+        ph in 2usize..10,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(pw <= iw && ph <= ih);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let img = random_image(iw, ih, &mut rng);
+        let pat = random_image(pw, ph, &mut rng);
+        // match_template runs the one-pass row sweep; match_prepared_exact
+        // still scans with scalar pearson_at. Same placement, same bits.
+        let sweep = match_template(&img, &pat).unwrap();
+        let cfg = PyramidMatchConfig::default();
+        let pi = PreparedImage::new(&img, &cfg);
+        let pp = PreparedPattern::new(&pat, &cfg).unwrap();
+        let scalar = match_prepared_exact(&pi, &pp).unwrap();
+        prop_assert_eq!((sweep.x, sweep.y), (scalar.x, scalar.y));
+        prop_assert_eq!(sweep.score.to_bits(), scalar.score.to_bits());
+    }
+
+    #[test]
+    fn fft_numerator_within_tolerance_of_brute_force(
+        iw in 5usize..48,
+        ih in 5usize..40,
+        pw in 1usize..12,
+        ph in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(pw <= iw && ph <= ih);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let img = random_image(iw, ih, &mut rng);
+        let pat = random_image(pw, ph, &mut rng);
+        let row = Fft::new(iw.next_power_of_two()).unwrap();
+        let col = Fft::new(ih.next_power_of_two()).unwrap();
+        let si = Spectrum::forward(&img, &row, &col).unwrap();
+        let sp = Spectrum::forward(&pat, &row, &col).unwrap();
+        let out_w = iw - pw + 1;
+        let out_h = ih - ph + 1;
+        let corr = cross_correlation(&si, &sp, &row, &col, out_w, out_h).unwrap();
+        for y in 0..out_h {
+            for x in 0..out_w {
+                let mut brute = 0.0f64;
+                for v in 0..ph {
+                    for u in 0..pw {
+                        brute += pat.get(u, v) as f64 * img.get(x + u, y + v) as f64;
+                    }
+                }
+                let got = corr[y * out_w + x];
+                prop_assert!(
+                    (got - brute).abs() <= 1e-4,
+                    "({iw}x{ih}, {pw}x{ph}) at ({x},{y}): fft {got} vs brute {brute}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn score_map_prepared_fft_dispatch_within_tolerance(
+        iw in 48usize..64,
+        ih in 48usize..64,
+        side in 33usize..40,
+        seed in any::<u64>(),
+    ) {
+        // This domain sits strictly above every crossover it can produce,
+        // so the prepared map always takes the spectral path while the
+        // per-call map stays on the bit-exact sweep.
+        prop_assume!(side <= iw && side <= ih);
+        prop_assert_eq!(plan_strategy((iw, ih), (side, side)), CorrStrategy::Fft);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let img = random_image(iw, ih, &mut rng);
+        let pat = random_image(side, side, &mut rng);
+        let cfg = PyramidMatchConfig::default();
+        let pi = PreparedImage::new(&img, &cfg);
+        let pp = PreparedPattern::new(&pat, &cfg).unwrap();
+        let fast = score_map_prepared(&pi, &pp).unwrap();
+        let reference = score_map(&img, &pat).unwrap();
+        prop_assert_eq!(fast.dims(), reference.dims());
+        for (a, b) in fast.pixels().iter().zip(reference.pixels()) {
+            prop_assert!((a - b).abs() <= 1e-4, "fft {a} vs sweep {b}");
+        }
+    }
+
+    #[test]
+    fn planner_crossover_monotone_in_pattern_area(
+        iw in 1usize..300,
+        ih in 1usize..300,
+    ) {
+        let cut = fft_crossover_area((iw, ih));
+        prop_assert!(cut >= MIN_FFT_PATTERN_AREA);
+        // Walk square patterns upward: the verdict may flip Sweep->Fft at
+        // most once, exactly at the crossover.
+        let mut seen_fft = false;
+        for side in 1..=iw.min(ih) {
+            match plan_strategy((iw, ih), (side, side)) {
+                CorrStrategy::Fft => {
+                    prop_assert!(side * side >= cut);
+                    seen_fft = true;
+                }
+                CorrStrategy::Sweep => {
+                    prop_assert!(!seen_fft, "flipped back to sweep at {side}");
+                    prop_assert!(side * side < cut);
+                }
+            }
+        }
+    }
+}
