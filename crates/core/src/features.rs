@@ -293,7 +293,7 @@ impl FeatureGenerator {
         let slots: Vec<OnceLock<PreparedImage>> = images.iter().map(|_| OnceLock::new()).collect();
         let prep_of =
             |i: usize| slots[i].get_or_init(|| PreparedImage::new(images[i], &self.pyramid));
-        self.matrix_engine(images.len(), &prep_of, plan, health)
+        self.matrix_engine(images.len(), 0, &prep_of, plan, health)
     }
 
     /// Feature matrix over images prepared earlier with
@@ -312,17 +312,39 @@ impl FeatureGenerator {
         plan: Option<&FaultPlan>,
         health: &HealthReport,
     ) -> Matrix {
+        self.feature_matrix_prepared_offset_with_health(images, 0, plan, health)
+    }
+
+    /// [`FeatureGenerator::feature_matrix_prepared_with_health`] for a
+    /// *shard* of a larger batch: `images` are rows
+    /// `row_offset..row_offset + images.len()` of the full matrix. The
+    /// offset keeps the global row coordinate flowing into the fault
+    /// ladder — health messages name the dataset-wide image index, and
+    /// the chaos plan's `corrupt_feature(row, col, ..)` sites fire on the
+    /// same cells whether the matrix is built whole or shard by shard.
+    /// That coordinate stability is what makes sharded execution
+    /// bit-identical to monolithic under any fault plan.
+    pub fn feature_matrix_prepared_offset_with_health(
+        &self,
+        images: &[PreparedImage],
+        row_offset: usize,
+        plan: Option<&FaultPlan>,
+        health: &HealthReport,
+    ) -> Matrix {
         let prep_of = |i: usize| &images[i];
-        self.matrix_engine(images.len(), &prep_of, plan, health)
+        self.matrix_engine(images.len(), row_offset, &prep_of, plan, health)
     }
 
     /// The batched engine: schedule all `n × num_patterns` cells over the
     /// worker pool with an atomic work-stealing cursor, then assemble the
     /// matrix. `prep_of` yields the prepared form of image `i` (lazily
-    /// built or supplied by the caller).
+    /// built or supplied by the caller); `row_offset` translates local
+    /// image indices into global matrix rows for the fault ladder when
+    /// `n` is one shard of a larger batch.
     fn matrix_engine<'a, F>(
         &self,
         n: usize,
+        row_offset: usize,
         prep_of: &F,
         plan: Option<&FaultPlan>,
         health: &HealthReport,
@@ -341,7 +363,7 @@ impl FeatureGenerator {
             for i in 0..n {
                 let prep = prep_of(i);
                 for (j, cell) in cells.iter_mut().skip(i * m).take(m).enumerate() {
-                    *cell = Some(self.finish_cell(prep, i, j, plan, health));
+                    *cell = Some(self.finish_cell(prep, row_offset + i, j, plan, health));
                 }
             }
         } else {
@@ -376,7 +398,7 @@ impl FeatureGenerator {
                             let (i, j) = (cell % n, cell / n);
                             local.push((
                                 i * m + j,
-                                self.finish_cell(prep_of(i), i, j, plan, health),
+                                self.finish_cell(prep_of(i), row_offset + i, j, plan, health),
                             ));
                         }
                         local
@@ -412,7 +434,7 @@ impl FeatureGenerator {
                 for (idx, cell) in cells.iter_mut().enumerate() {
                     if cell.is_none() {
                         let (i, j) = (idx / m, idx % m);
-                        *cell = Some(self.finish_cell(prep_of(i), i, j, plan, health));
+                        *cell = Some(self.finish_cell(prep_of(i), row_offset + i, j, plan, health));
                     }
                 }
             }

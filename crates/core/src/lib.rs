@@ -33,7 +33,7 @@ pub use labeler::{Labeler, LabelerConfig};
 pub use novelty::NoveltyDetector;
 pub use pattern::{Pattern, PatternSource};
 pub use pipeline::{InspectorGadget, PipelineConfig, WeakLabelOutput};
-pub use stages::{BuildFeatureGen, ComputeFeatures, DevSet, TrainLabeler};
+pub use stages::{BuildFeatureGen, ComputeFeatureShard, ComputeFeatures, DevSet, TrainLabeler};
 pub use tuning::{tune_labeler, tune_labeler_with_health, TuningConfig, TuningReport};
 
 // Chaos-plan and health-report types, re-exported so pipeline callers
@@ -45,7 +45,10 @@ pub use ig_faults::{
 
 // Runtime types, re-exported so pipeline callers can build contexts and
 // scale plans without a direct `ig-runtime` dependency.
-pub use ig_runtime::{Clock, DiskStats, DiskStore, RunContext, ScalePlan, ScaleTier, Supervision};
+pub use ig_runtime::{
+    Clock, DiskStats, DiskStore, RunContext, ScalePlan, ScaleTier, ShardPlan, ShardSpec,
+    Supervision,
+};
 
 /// Errors from the core pipeline.
 #[derive(Debug, Clone, PartialEq, Eq)]

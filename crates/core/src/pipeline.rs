@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use crate::features::{FeatureGenerator, MatchBackend};
 use crate::labeler::Labeler;
-use crate::stages::{BuildFeatureGen, ComputeFeatures, DevSet, TrainLabeler};
+use crate::stages::{BuildFeatureGen, ComputeFeatureShard, ComputeFeatures, DevSet, TrainLabeler};
 use crate::tuning::{TuningConfig, TuningReport};
 use crate::Pattern;
 use crate::Result;
@@ -19,7 +19,7 @@ use ig_faults::{FaultPlan, HealthReport};
 use ig_imaging::prepared::PreparedImage;
 use ig_imaging::GrayImage;
 use ig_nn::Matrix;
-use ig_runtime::{infallible, Fingerprint, RunContext};
+use ig_runtime::{infallible, Fingerprint, RunContext, ShardPlan};
 use rand::Rng;
 
 /// Pipeline configuration.
@@ -184,6 +184,13 @@ impl InspectorGadget {
     /// bank's generator or this dev set's features (e.g. a second
     /// experiment arm), those stages are served bit-identically from
     /// cache instead of recomputing.
+    ///
+    /// Under a budgeted scale plan (`ctx.scale().memory_budget_bytes > 0`,
+    /// i.e. the `ooc` tier), a prepared dev set streams through
+    /// [`ComputeFeatureShard`] in budget-sized slices instead of one
+    /// monolithic [`ComputeFeatures`] run; the resulting matrix is
+    /// bit-identical either way, but each shard memoizes, persists, and
+    /// crash-resumes independently.
     pub fn train_in(
         ctx: &RunContext,
         patterns: Vec<Pattern>,
@@ -197,13 +204,18 @@ impl InspectorGadget {
         let mut build = BuildFeatureGen::new(patterns, config, &health, ctx);
         let bank_fp = build.bank_fp();
         let feature_gen = ctx.run(&mut build)?;
-        let features = infallible(ctx.run(&mut ComputeFeatures::new(
-            bank_fp,
-            &feature_gen,
-            dev,
-            ctx.plan(),
-            &health,
-        )));
+        let features = match dev {
+            DevSet::Prepared(images) if ctx.scale().memory_budget_bytes > 0 => {
+                Self::features_sharded(ctx, bank_fp, &feature_gen, images, ctx.plan(), &health)
+            }
+            _ => infallible(ctx.run(&mut ComputeFeatures::new(
+                bank_fp,
+                &feature_gen,
+                dev,
+                ctx.plan(),
+                &health,
+            ))),
+        };
         let (labeler, tuning_report) = ctx.run_owned(&mut TrainLabeler {
             features: &features,
             dev_labels,
@@ -221,6 +233,51 @@ impl InspectorGadget {
             tuning_report,
             health,
         })
+    }
+
+    /// The out-of-core dev matrix: stream `images` through
+    /// [`ComputeFeatureShard`] in budget-sized slices and concatenate the
+    /// row blocks in shard order. Row coordinates stay global inside each
+    /// shard, so the concatenation is bit-identical to the monolithic
+    /// [`ComputeFeatures`] matrix under any fault plan — while each shard
+    /// memoizes (and persists) independently, so a resumed or concurrent
+    /// sweep recomputes only the shards its store is missing.
+    fn features_sharded(
+        ctx: &RunContext,
+        bank_fp: Fingerprint,
+        generator: &FeatureGenerator,
+        images: &[PreparedImage],
+        plan: Option<&FaultPlan>,
+        health: &HealthReport,
+    ) -> Arc<Matrix> {
+        let total_bytes: u64 = images.iter().map(|i| i.approx_bytes() as u64).sum();
+        let shard_plan =
+            ShardPlan::for_budget(images.len(), total_bytes, ctx.scale().memory_budget_bytes);
+        if shard_plan.count <= 1 {
+            // Everything fits: keep the monolithic artifact so warm
+            // stores keyed by `core.features` still hit.
+            return infallible(ctx.run(&mut ComputeFeatures::new(
+                bank_fp,
+                generator,
+                DevSet::Prepared(images),
+                plan,
+                health,
+            )));
+        }
+        let cols = generator.num_features();
+        let mut data = Vec::with_capacity(images.len() * cols);
+        for shard in shard_plan.shards() {
+            let rows = infallible(ctx.run(&mut ComputeFeatureShard::new(
+                bank_fp,
+                generator,
+                &images[shard.start..shard.end],
+                shard,
+                plan,
+                health,
+            )));
+            data.extend_from_slice(rows.as_slice());
+        }
+        Arc::new(Matrix::from_vec(images.len(), cols, data))
     }
 
     /// Number of FGFs.

@@ -13,7 +13,9 @@ use ig_faults::{FaultKind, FaultPlan, HealthReport, RecoveryAction, Stage as Fau
 use ig_imaging::prepared::PreparedImage;
 use ig_imaging::GrayImage;
 use ig_nn::Matrix;
-use ig_runtime::{Durable, Fingerprint, FingerprintHasher, Fingerprintable, RunContext, Stage};
+use ig_runtime::{
+    Durable, Fingerprint, FingerprintHasher, Fingerprintable, RunContext, ShardSpec, Stage,
+};
 use rand::Rng;
 
 use crate::features::{FeatureGenerator, MatchBackend};
@@ -222,6 +224,13 @@ impl Stage for ComputeFeatures<'_> {
         false // the constructor already folded the plan in
     }
 
+    // Clean matrices persist (see `encode`), so a disk miss is worth a
+    // cross-process single-flight claim; faulted runs never persist and
+    // must not take one.
+    fn durable(&self) -> bool {
+        !self.plan.is_some_and(|p| !p.is_empty())
+    }
+
     fn run(&mut self, _ctx: &RunContext) -> std::result::Result<Matrix, Infallible> {
         Ok(match self.images {
             DevSet::Raw(images) => {
@@ -243,6 +252,111 @@ impl Stage for ComputeFeatures<'_> {
     // under an active plan embeds injected faults whose *detection*
     // events must replay on every run — reading it back from disk would
     // skip the injection sites and desynchronize the health report.
+    fn encode(&self, output: &Matrix) -> Option<Vec<u8>> {
+        if self.plan.is_some_and(|p| !p.is_empty()) {
+            return None;
+        }
+        Some(output.to_bytes())
+    }
+
+    fn decode(&self, bytes: &[u8]) -> Option<Matrix> {
+        if self.plan.is_some_and(|p| !p.is_empty()) {
+            return None;
+        }
+        Matrix::from_bytes(bytes)
+    }
+}
+
+/// One shard of [`ComputeFeatures`]: the matching engine over a slice
+/// of prepared images, producing the corresponding rows of the matrix.
+///
+/// The out-of-core tier streams the dev set through this stage one
+/// budget-sized shard at a time, dropping each shard's prepared caches
+/// once its rows are written. Row coordinates stay global — the
+/// constructor offsets the engine's fault ladder by `shard.start` — so
+/// concatenating every shard's rows in index order reproduces the
+/// monolithic matrix bit-identically under any fault plan.
+#[derive(Debug)]
+pub struct ComputeFeatureShard<'a> {
+    fp: Fingerprint,
+    generator: &'a FeatureGenerator,
+    images: &'a [PreparedImage],
+    row_offset: usize,
+    plan: Option<&'a FaultPlan>,
+    health: &'a HealthReport,
+}
+
+impl<'a> ComputeFeatureShard<'a> {
+    /// Stage computing `shard`'s rows of the feature matrix. `images` is
+    /// the shard's slice of the prepared dev set (`shard.len()` images
+    /// whose first global row is `shard.start`), and `generator` must be
+    /// the one built from `bank_fp`.
+    pub fn new(
+        bank_fp: Fingerprint,
+        generator: &'a FeatureGenerator,
+        images: &'a [PreparedImage],
+        shard: ShardSpec,
+        plan: Option<&'a FaultPlan>,
+        health: &'a HealthReport,
+    ) -> ComputeFeatureShard<'a> {
+        // Hashing the generator's arity keeps the key honest if a bank
+        // fingerprint were ever paired with a generator of a different
+        // width — the artifact's column count is part of its identity.
+        // The shard's global row offset is likewise part of the key: two
+        // shards of equal content at different positions fault-ladder
+        // differently.
+        let cols = generator.num_features();
+        let row_offset = shard.start;
+        let mut h = FingerprintHasher::new();
+        bank_fp.fingerprint_into(&mut h);
+        h.write_usize(cols);
+        h.write_usize(row_offset);
+        DevSet::Prepared(images).fingerprint_into(&mut h);
+        plan.fingerprint_into(&mut h);
+        ComputeFeatureShard {
+            fp: h.finish().mix(shard.fingerprint()),
+            generator,
+            images,
+            row_offset,
+            plan,
+            health,
+        }
+    }
+}
+
+impl Stage for ComputeFeatureShard<'_> {
+    type Output = Matrix;
+    type Error = Infallible;
+
+    fn id(&self) -> &'static str {
+        "core.features.shard"
+    }
+
+    fn fingerprint(&self) -> Fingerprint {
+        self.fp
+    }
+
+    fn plan_sensitive(&self) -> bool {
+        false // the constructor already folded the plan in
+    }
+
+    // Shard rows are exactly what a resumed out-of-core sweep wants
+    // back, and each is expensive enough to be worth the cross-process
+    // single-flight claim. Same clean-runs-only rule as
+    // [`ComputeFeatures::encode`].
+    fn durable(&self) -> bool {
+        !self.plan.is_some_and(|p| !p.is_empty())
+    }
+
+    fn run(&mut self, _ctx: &RunContext) -> std::result::Result<Matrix, Infallible> {
+        Ok(self.generator.feature_matrix_prepared_offset_with_health(
+            self.images,
+            self.row_offset,
+            self.plan,
+            self.health,
+        ))
+    }
+
     fn encode(&self, output: &Matrix) -> Option<Vec<u8>> {
         if self.plan.is_some_and(|p| !p.is_empty()) {
             return None;

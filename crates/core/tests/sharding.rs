@@ -1,0 +1,267 @@
+//! Out-of-core sharded feature computation: the `ooc` tier's central
+//! claim is that streaming the dev set through [`ComputeFeatureShard`]
+//! in budget-sized slices is *bit-identical* to the monolithic
+//! [`ig_core::ComputeFeatures`] run — under any shard count and any
+//! fault plan — while each shard memoizes and crash-resumes
+//! independently through the durable store.
+
+use std::sync::Arc;
+
+use ig_core::{
+    ComputeFeatureShard, DevSet, FaultPlan, FeatureGenerator, HealthReport, InspectorGadget,
+    Pattern, PipelineConfig, RunContext, ScalePlan, ShardPlan,
+};
+use ig_imaging::prepared::PreparedImage;
+use ig_imaging::GrayImage;
+use ig_nn::Matrix;
+use ig_runtime::{infallible, DiskStore, Fingerprintable};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A miniature task: images with or without a dark square, and a pattern
+/// bank containing a dark-square crop.
+fn make_task(n: usize, seed: u64) -> (Vec<Pattern>, Vec<GrayImage>, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut images = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..n {
+        let defect = i % 2 == 1;
+        let mut img = GrayImage::from_fn(48, 32, |x, y| {
+            0.65 + 0.05 * ((x as f32 * 0.4).sin() * (y as f32 * 0.3).cos())
+        });
+        if defect {
+            let x = rng.gen_range(2..38);
+            let y = rng.gen_range(2..22);
+            img.fill_rect(x, y, 7, 7, 0.15);
+        }
+        images.push(img);
+        labels.push(usize::from(defect));
+    }
+    let mut pat = GrayImage::filled(7, 7, 0.15);
+    pat.fill_rect(0, 0, 7, 1, 0.6);
+    (vec![Pattern::crowd(pat)], images, labels)
+}
+
+fn build_generator(patterns: Vec<Pattern>, health: &HealthReport) -> FeatureGenerator {
+    match FeatureGenerator::new_with_health(patterns, None, health) {
+        Ok(g) => g,
+        Err(e) => panic!("generator build failed: {e}"),
+    }
+}
+
+/// Stream `prepared` through [`ComputeFeatureShard`] under `ctx` and
+/// concatenate the row blocks — the same loop `train_in` runs in ooc
+/// mode, exposed here so tests can drive arbitrary shard counts.
+fn sharded_matrix(
+    ctx: &RunContext,
+    generator: &FeatureGenerator,
+    prepared: &[PreparedImage],
+    count: usize,
+    plan: Option<&FaultPlan>,
+    health: &HealthReport,
+) -> Matrix {
+    let bank = generator.patterns().fingerprint();
+    let shard_plan = ShardPlan::with_count(prepared.len(), count);
+    let cols = generator.num_features();
+    let mut data = Vec::new();
+    for shard in shard_plan.shards() {
+        let rows = infallible(ctx.run(&mut ComputeFeatureShard::new(
+            bank,
+            generator,
+            &prepared[shard.start..shard.end],
+            shard,
+            plan,
+            health,
+        )));
+        data.extend_from_slice(rows.as_slice());
+    }
+    Matrix::from_vec(prepared.len(), cols, data)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any shard count (including 1 and N), with or without an active
+    /// feature-corruption plan, reproduces the monolithic matrix
+    /// bit-for-bit: the global row offset keeps every injection site at
+    /// the same (image, pattern) coordinate regardless of sharding.
+    #[test]
+    fn sharded_equals_monolithic_bit_identical(
+        n in 3usize..10,
+        count in 1usize..10,
+        seed in any::<u64>(),
+        faulted in any::<bool>(),
+    ) {
+        let (patterns, images, _) = make_task(n, seed);
+        let health = HealthReport::new();
+        let generator = build_generator(patterns, &health);
+        let refs: Vec<&GrayImage> = images.iter().collect();
+        let prepared = generator.prepare_images(&refs);
+        let plan = FaultPlan {
+            seed: seed ^ 0x5ad,
+            nan_feature_rate: 0.25,
+            inf_feature_rate: 0.15,
+            ..FaultPlan::default()
+        };
+        let plan = faulted.then_some(&plan);
+        let whole = generator.feature_matrix_prepared_with_health(&prepared, plan, &health);
+        let ctx = RunContext::new(0);
+        let streamed = sharded_matrix(&ctx, &generator, &prepared, count, plan, &health);
+        prop_assert_eq!(streamed.as_slice(), whole.as_slice());
+        prop_assert_eq!((streamed.rows(), streamed.cols()), (whole.rows(), whole.cols()));
+    }
+}
+
+/// Training under the `ooc` tier (budget far below the prepared set)
+/// produces the same dev features, labels, and probabilities as
+/// monolithic prepared training.
+#[test]
+fn ooc_training_matches_monolithic_training() {
+    let (patterns, images, labels) = make_task(40, 7);
+    let refs: Vec<&GrayImage> = images.iter().collect();
+    let config = PipelineConfig {
+        tune: false,
+        ..Default::default()
+    };
+
+    let mut rng_a = StdRng::seed_from_u64(9);
+    let mono = InspectorGadget::train_prepared(
+        patterns.clone(),
+        &prepare(&patterns, &refs),
+        &labels,
+        2,
+        &config,
+        &mut rng_a,
+        None,
+    )
+    .expect("monolithic training");
+
+    // 64 KiB is far below the prepared set's footprint, so the ooc
+    // context genuinely streams in multiple shards.
+    let scale = ScalePlan::ooc().with_memory_budget(64 << 10);
+    let ctx = RunContext::new(0).with_scale(scale);
+    let mut rng_b = StdRng::seed_from_u64(9);
+    let prepared = prepare(&patterns, &refs);
+    let ooc = InspectorGadget::train_in(
+        &ctx,
+        patterns,
+        DevSet::Prepared(&prepared),
+        &labels,
+        2,
+        &config,
+        &mut rng_b,
+    )
+    .expect("ooc training");
+
+    assert_eq!(
+        mono.dev_features().as_slice(),
+        ooc.dev_features().as_slice(),
+        "sharded dev matrix must be bit-identical"
+    );
+    let out_a = mono.label_prepared(&prepared);
+    let out_b = ooc.label_prepared(&prepared);
+    assert_eq!(out_a.labels, out_b.labels);
+    assert_eq!(
+        out_a.probabilities.as_slice(),
+        out_b.probabilities.as_slice()
+    );
+}
+
+/// Prepare `refs` under a throwaway generator built from `patterns` —
+/// fresh caches each time, so shard budgeting sees a pristine set.
+fn prepare(patterns: &[Pattern], refs: &[&GrayImage]) -> Vec<PreparedImage> {
+    let health = HealthReport::new();
+    build_generator(patterns.to_vec(), &health).prepare_images(refs)
+}
+
+/// A sweep killed mid-stream resumes from its completed shards: the
+/// artifacts it persisted are loaded back instead of recomputed, and
+/// only the missing shards run.
+#[test]
+fn crash_resume_reuses_completed_shard_artifacts() {
+    let (patterns, images, labels) = make_task(24, 11);
+    let refs: Vec<&GrayImage> = images.iter().collect();
+    let config = PipelineConfig {
+        tune: false,
+        ..Default::default()
+    };
+    let dir = std::env::temp_dir().join(format!("ig-shard-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let scale = ScalePlan::ooc().with_memory_budget(64 << 10);
+
+    // First process: compute only the first two shards, then "crash".
+    let health = HealthReport::new();
+    let generator = build_generator(patterns.clone(), &health);
+    let prepared = prepare(&patterns, &refs);
+    let total_bytes: u64 = prepared.iter().map(|i| i.approx_bytes() as u64).sum();
+    let shard_plan = ShardPlan::for_budget(prepared.len(), total_bytes, scale.memory_budget_bytes);
+    assert!(shard_plan.count > 2, "fixture must yield several shards");
+    let disk_a = Arc::new(DiskStore::open(&dir).expect("open store"));
+    let ctx_a = RunContext::new(0)
+        .with_scale(scale)
+        .with_disk(disk_a.clone());
+    // The same key `train_in` will derive, so the resumed run below
+    // finds these artifacts.
+    let bank = ig_core::stages::bank_fingerprint(&patterns, &config, &ctx_a);
+    for shard in &shard_plan.shards()[..2] {
+        infallible(ctx_a.run(&mut ComputeFeatureShard::new(
+            bank,
+            &generator,
+            &prepared[shard.start..shard.end],
+            *shard,
+            None,
+            &health,
+        )));
+    }
+    assert_eq!(disk_a.stats().writes, 2, "two shard artifacts persisted");
+    drop(ctx_a);
+
+    // Second process: full ooc training over the same store root.
+    let disk_b = Arc::new(DiskStore::open(&dir).expect("reopen store"));
+    let ctx_b = RunContext::new(0)
+        .with_scale(scale)
+        .with_disk(disk_b.clone());
+    let prepared_b = prepare(&patterns, &refs);
+    let mut rng = StdRng::seed_from_u64(13);
+    let ooc = InspectorGadget::train_in(
+        &ctx_b,
+        patterns.clone(),
+        DevSet::Prepared(&prepared_b),
+        &labels,
+        2,
+        &config,
+        &mut rng,
+    )
+    .expect("resumed training");
+
+    let stats = disk_b.stats();
+    assert_eq!(
+        stats.hits, 2,
+        "completed shards load instead of recomputing"
+    );
+    assert_eq!(
+        stats.writes,
+        (shard_plan.count - 2) as u64,
+        "only the missing shards are computed and persisted"
+    );
+
+    // And the resumed result is still bit-identical to monolithic.
+    let mut rng_mono = StdRng::seed_from_u64(13);
+    let mono = InspectorGadget::train_prepared(
+        patterns,
+        &prepared_b,
+        &labels,
+        2,
+        &config,
+        &mut rng_mono,
+        None,
+    )
+    .expect("monolithic training");
+    assert_eq!(
+        mono.dev_features().as_slice(),
+        ooc.dev_features().as_slice()
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -263,7 +263,7 @@ pub fn gan_config(scale: &ScalePlan) -> RganConfig {
             pattern_side: 12,
             ..RganConfig::default()
         },
-        ScaleTier::Paper => RganConfig {
+        ScaleTier::Paper | ScaleTier::Ooc => RganConfig {
             epochs: 400,
             ..RganConfig::default()
         },

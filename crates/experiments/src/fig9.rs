@@ -167,7 +167,7 @@ pub fn run(env: &ExpEnv) {
                 let corpus_n = match scale.tier {
                     ScaleTier::Quick => 64,
                     ScaleTier::Medium => 200,
-                    ScaleTier::Paper => 640,
+                    ScaleTier::Paper | ScaleTier::Ooc => 640,
                 };
                 let synthnet = ig_synth::synthnet::generate(corpus_n, 32, seed ^ 0x71);
                 let src_imgs: Vec<&GrayImage> = synthnet.images.iter().map(|l| &l.image).collect();

@@ -2,20 +2,24 @@
 //! "Inspector Gadget" (Heo et al., VLDB 2020).
 //!
 //! ```text
-//! ig-experiments <experiment> [--scale tiny|quick|medium|paper] [--seed N]
-//!                [--out DIR] [--no-memo] [--store DIR] [--resume]
-//!                [--health-exit]
+//! ig-experiments <experiment> [--scale tiny|quick|medium|paper|ooc]
+//!                [--seed N] [--out DIR] [--no-memo] [--store DIR]
+//!                [--resume] [--budget BYTES] [--health-exit]
 //!
 //! experiments: table1 table2 table3 table4 table5 table6
-//!              fig9 fig10 fig11 combine chaos all
+//!              fig9 fig10 fig11 combine chaos ooc all
 //!              ("combine" is an extra ablation of the box-combination
 //!              strategy from Section 3, not a numbered paper table;
-//!              "chaos" is the fault-injection / recovery harness)
+//!              "chaos" is the fault-injection / recovery harness;
+//!              "ooc" is the out-of-core streaming demo)
 //! ```
 //!
 //! `--scale medium` (default) keeps the paper's class ratios at reduced
 //! dataset sizes so a full `all` run finishes in CPU-minutes; `paper`
-//! uses Table 1's exact N; `tiny` is the CI smoke alias of `quick`.
+//! uses Table 1's exact N; `tiny` is the CI smoke alias of `quick`;
+//! `ooc` streams the paper-scale datasets through the stage graph in
+//! shards sized to a resident-set budget (default 256 MiB; `--budget`
+//! overrides the budget at any scale, `0` = unbounded/monolithic).
 //! Outputs go to stdout and `<out>/<exp>.{txt,json}`, plus a run-wide
 //! `<out>/health.json` (fault summary + event log).
 //!
@@ -45,6 +49,7 @@ mod common;
 mod fig10;
 mod fig11;
 mod fig9;
+mod ooc;
 mod table1;
 mod table2;
 mod table3;
@@ -82,7 +87,7 @@ fn parse_args() -> Result<Args, String> {
         match flag.as_str() {
             "--scale" => {
                 let v = args.next().ok_or("--scale needs a value")?;
-                scale = ScalePlan::parse(&v).ok_or(format!("unknown scale {v}"))?;
+                scale = ScalePlan::parse(&v)?;
             }
             "--seed" => {
                 let v = args.next().ok_or("--seed needs a value")?;
@@ -99,6 +104,11 @@ fn parse_args() -> Result<Args, String> {
             }
             "--resume" => {
                 resume = true;
+            }
+            "--budget" => {
+                let v = args.next().ok_or("--budget needs a value (bytes)")?;
+                let bytes = v.parse().map_err(|_| format!("bad budget {v}"))?;
+                scale = scale.with_memory_budget(bytes);
             }
             "--health-exit" => {
                 health_exit = true;
@@ -147,9 +157,9 @@ fn main() {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: ig-experiments <table1..table6|fig9|fig10|fig11|combine|chaos|all> \
-                 [--scale tiny|quick|medium|paper] [--seed N] [--out DIR] [--no-memo] \
-                 [--store DIR] [--resume] [--health-exit]"
+                "usage: ig-experiments <table1..table6|fig9|fig10|fig11|combine|chaos|ooc|all> \
+                 [--scale tiny|quick|medium|paper|ooc] [--seed N] [--out DIR] [--no-memo] \
+                 [--store DIR] [--resume] [--budget BYTES] [--health-exit]"
             );
             std::process::exit(2);
         }
@@ -199,6 +209,7 @@ fn main() {
         "fig10" => fig10::run(&env),
         "fig11" => fig11::run(&env),
         "chaos" => chaos::run(&env),
+        "ooc" => ooc::run(&env),
         other => {
             eprintln!("unknown experiment {other}");
             std::process::exit(2);
@@ -228,8 +239,9 @@ fn main() {
     if let Some(disk) = &disk {
         let s = disk.stats();
         println!(
-            "[store: {} disk hits / {} misses, {} writes, {} quarantined, {} stale locks broken]",
-            s.hits, s.misses, s.writes, s.quarantined, s.locks_broken
+            "[store: {} disk hits / {} misses, {} writes, {} quarantined, {} stale locks broken, \
+             {} flight waits]",
+            s.hits, s.misses, s.writes, s.quarantined, s.locks_broken, s.flight_waits
         );
     }
     let summary = env.ctx.health().summary();

@@ -57,7 +57,7 @@ pub fn run(env: &ExpEnv) {
         match env.scale().tier {
             ScaleTier::Quick => 64,
             ScaleTier::Medium => 320,
-            ScaleTier::Paper => 800,
+            ScaleTier::Paper | ScaleTier::Ooc => 800,
         },
         32,
         seed ^ 0x1111,

@@ -193,6 +193,13 @@ pub struct Spectrum {
 }
 
 impl Spectrum {
+    /// Approximate heap footprint of the complex plane, in bytes. Spectra
+    /// dominate a prepared operand's cache growth, so the out-of-core
+    /// shard budgeter counts them explicitly.
+    pub fn approx_bytes(&self) -> usize {
+        (self.re.len() + self.im.len()) * core::mem::size_of::<f64>()
+    }
+
     /// Forward-transform `plane` zero-padded to `row.len() × col.len()`.
     /// The plane must fit inside the padded grid.
     pub fn forward(plane: &GrayImage, row: &Fft, col: &Fft) -> Result<Spectrum> {

@@ -97,6 +97,13 @@ impl GrayImage {
         self.data.is_empty()
     }
 
+    /// Approximate heap footprint of the pixel buffer, in bytes. Used by
+    /// the out-of-core shard budgeter; an estimate, not an accounting.
+    #[inline]
+    pub fn approx_bytes(&self) -> usize {
+        self.data.len() * core::mem::size_of::<f32>()
+    }
+
     /// Borrow the raw row-major pixel buffer.
     #[inline]
     pub fn pixels(&self) -> &[f32] {

@@ -18,6 +18,11 @@ pub struct IntegralImage {
 }
 
 impl IntegralImage {
+    /// Approximate heap footprint of the accumulator table, in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.table.len() * core::mem::size_of::<f64>()
+    }
+
     /// Build the integral image of `f(pixel)` for each pixel — pass
     /// `|p| p` for plain sums or `|p| p * p` for squared sums.
     pub fn build(src: &GrayImage, f: impl Fn(f32) -> f64) -> Self {

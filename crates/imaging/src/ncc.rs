@@ -335,6 +335,11 @@ pub(crate) struct ImageSums {
 }
 
 impl ImageSums {
+    /// Approximate heap footprint of both accumulator tables, in bytes.
+    pub(crate) fn approx_bytes(&self) -> usize {
+        self.values.approx_bytes() + self.squares.approx_bytes()
+    }
+
     pub(crate) fn new(image: &GrayImage) -> Self {
         Self {
             values: IntegralImage::of_values(image),

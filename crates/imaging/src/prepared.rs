@@ -118,6 +118,23 @@ impl PreparedImage {
     pub fn spectra_cached(&self) -> usize {
         self.spectra.lock().len()
     }
+
+    /// Approximate heap footprint, in bytes: every pyramid level, both
+    /// integral tables per level, and any spectra cached so far. An
+    /// estimate for the out-of-core shard budgeter, not an accounting —
+    /// but it must track the dominant buffers, including caches that
+    /// grow after construction.
+    pub fn approx_bytes(&self) -> usize {
+        let spectra: usize = {
+            let cache = self.spectra.lock();
+            cache.iter().map(|(_, spec)| spec.approx_bytes()).sum()
+            // Lock dropped before any further work: this estimator takes
+            // one lock at a time, always in its own scope.
+        };
+        self.pyramid.approx_bytes()
+            + self.sums.iter().map(ImageSums::approx_bytes).sum::<usize>()
+            + spectra
+    }
 }
 
 /// One pyramid level of a prepared pattern.
@@ -248,6 +265,27 @@ impl PreparedPattern {
     /// images must report exactly one build.
     pub fn fit_builds(&self) -> usize {
         self.fit_builds.load(Ordering::Relaxed)
+    }
+
+    /// Approximate heap footprint, in bytes: every level's reduced and
+    /// mean-centred plane, cached spectra, and every fitted variant
+    /// (recursively). The fitted `Arc`s are cloned out of the lock before
+    /// recursing so this estimator never holds two locks at once.
+    pub fn approx_bytes(&self) -> usize {
+        let own: usize = self
+            .levels
+            .iter()
+            .map(|l| l.reduced.approx_bytes() + l.centered.centered.approx_bytes())
+            .sum();
+        let spectra: usize = {
+            let cache = self.spectra.lock();
+            cache.iter().map(|(_, spec)| spec.approx_bytes()).sum()
+        };
+        let variants: Vec<Arc<PreparedPattern>> = {
+            let cache = self.fitted.lock();
+            cache.iter().map(|(_, v)| Arc::clone(v)).collect()
+        };
+        own + spectra + variants.iter().map(|v| v.approx_bytes()).sum::<usize>()
     }
 }
 
@@ -652,6 +690,44 @@ mod tests {
         assert_eq!((per_call.x, per_call.y), (prepared.x, prepared.y));
         assert_eq!(per_call.score.to_bits(), prepared.score.to_bits());
         assert!(prepared.score > 0.99, "score {}", prepared.score);
+    }
+
+    #[test]
+    fn approx_bytes_tracks_the_dominant_buffers() {
+        let cfg = PyramidMatchConfig::default();
+        let img = textured(64, 64, 0.9);
+        let pi = PreparedImage::new(&img, &cfg);
+        // At minimum: the base level's pixels plus its two f64 integral
+        // tables. 64*64*4 + 2*65*65*8 — use the structural lower bound
+        // rather than magic numbers.
+        let pixel_floor = img.len() * core::mem::size_of::<f32>();
+        let table_floor = 2 * (64 + 1) * (64 + 1) * core::mem::size_of::<f64>();
+        let cold = pi.approx_bytes();
+        assert!(
+            cold >= pixel_floor + table_floor,
+            "cold estimate {cold} below structural floor {}",
+            pixel_floor + table_floor
+        );
+        // Driving the FFT path builds a level spectrum; the estimate must
+        // see the cache grow.
+        let pat = img.crop(13, 21, 18, 18).unwrap();
+        let pp = PreparedPattern::new(&pat, &cfg).unwrap();
+        let pp_cold = pp.approx_bytes();
+        assert!(pp_cold >= pat.len() * 2 * core::mem::size_of::<f32>());
+        score_map_prepared(&pi, &pp).unwrap();
+        assert!(
+            pi.approx_bytes() > cold,
+            "cached spectrum must grow the image estimate"
+        );
+        assert!(
+            pp.approx_bytes() > pp_cold,
+            "cached spectrum must grow the pattern estimate"
+        );
+        // Fitted variants count recursively.
+        let big = PreparedPattern::new(&textured(100, 100, 2.0), &cfg).unwrap();
+        let before = big.approx_bytes();
+        big.fitted_for(32, 24).unwrap().expect("needs a fit");
+        assert!(big.approx_bytes() > before, "fitted variant must count");
     }
 
     #[test]

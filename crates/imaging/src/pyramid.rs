@@ -62,6 +62,11 @@ impl Pyramid {
         &self.levels[i]
     }
 
+    /// Approximate heap footprint of every level's pixel buffer, in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.levels.iter().map(GrayImage::approx_bytes).sum()
+    }
+
     /// Borrow all levels, coarsest last.
     pub fn levels(&self) -> &[GrayImage] {
         &self.levels

@@ -94,6 +94,13 @@ impl Matrix {
         (self.rows, self.cols)
     }
 
+    /// Approximate heap footprint of the element buffer, in bytes. Used
+    /// by the out-of-core shard budgeter to size feature-matrix shards.
+    #[inline]
+    pub fn approx_bytes(&self) -> usize {
+        self.data.len() * core::mem::size_of::<f32>()
+    }
+
     /// Element count.
     #[inline]
     pub fn len(&self) -> usize {

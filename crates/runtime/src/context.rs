@@ -13,7 +13,7 @@ use ig_faults::{FaultKind, FaultPlan, HealthReport, RecoveryAction};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::disk::DiskStore;
+use crate::disk::{DiskStore, Flight};
 use crate::fingerprint::{Fingerprint, FingerprintHasher, Fingerprintable};
 use crate::scale::ScalePlan;
 use crate::stage::Stage;
@@ -281,6 +281,12 @@ impl RunContext {
     /// [`Stage::supervision`] policy and, when cacheable, its output is
     /// stored — and written behind to the durable tier when the stage
     /// opts in via [`Stage::encode`].
+    ///
+    /// Stages that also declare [`Stage::durable`] route their disk miss
+    /// through [`DiskStore::begin_flight`] instead: the first process to
+    /// claim the key computes and publishes, concurrent processes wait
+    /// and read the published artifact back — each artifact is computed
+    /// once per store root, not once per process.
     pub fn run<S: Stage>(&self, stage: &mut S) -> Result<Arc<S::Output>, S::Error> {
         let cacheable = self.memoize && stage.cacheable();
         if !cacheable {
@@ -296,7 +302,15 @@ impl RunContext {
                 return Ok(typed);
             }
         }
-        if let Some(output) = self.load_durable(stage, key) {
+        if stage.durable() {
+            // Expensive-and-persistable: claim single-flight production so
+            // concurrent processes on one store root compute each artifact
+            // exactly once. Falls through only when the flight could not
+            // settle the output (no disk, or a quarantined decode).
+            if let Some(output) = self.run_flight(stage, key)? {
+                return Ok(output);
+            }
+        } else if let Some(output) = self.load_durable(stage, key) {
             let output = Arc::new(output);
             self.store.insert(stage.id(), key, output.clone());
             return Ok(output);
@@ -306,6 +320,58 @@ impl RunContext {
         self.store.insert(stage.id(), key, output.clone());
         self.save_durable(stage, key, &output);
         Ok(output)
+    }
+
+    /// Single-flight read-through for stages that declare
+    /// [`Stage::durable`]: claim production of the artifact, or wait for
+    /// the process already producing it (see [`DiskStore::begin_flight`]).
+    /// `Ok(Some(..))` is the settled output — decoded from another
+    /// process's published artifact, or computed here under the claim.
+    /// `Ok(None)` sends the caller to the ordinary recompute path: no disk
+    /// is attached, or a published artifact failed [`Stage::decode`] and
+    /// was quarantined.
+    fn run_flight<S: Stage>(
+        &self,
+        stage: &mut S,
+        key: Fingerprint,
+    ) -> Result<Option<Arc<S::Output>>, S::Error> {
+        let Some(disk) = self.store.disk() else {
+            return Ok(None);
+        };
+        match disk.begin_flight(stage.id(), key, self.plan.as_ref(), &self.health) {
+            Flight::Ready(bytes) => match stage.decode(&bytes) {
+                Some(output) => {
+                    let output = Arc::new(output);
+                    self.store.insert(stage.id(), key, output.clone());
+                    Ok(Some(output))
+                }
+                None => {
+                    disk.quarantine_artifact(
+                        stage.id(),
+                        key,
+                        "verified payload failed to decode (stale codec?)",
+                        &self.health,
+                    );
+                    Ok(None)
+                }
+            },
+            Flight::Producer(claim) => {
+                self.stage_runs.fetch_add(1, Ordering::Relaxed);
+                // A failed execute drops `claim` unpublished, releasing
+                // the lock so a waiting process inherits production.
+                let output = Arc::new(self.execute(stage)?);
+                self.store.insert(stage.id(), key, output.clone());
+                match stage.encode(&output) {
+                    Some(bytes) => {
+                        claim.publish(&bytes, self.plan.as_ref(), &self.health);
+                    }
+                    // `durable()` promised an encode; tolerate a refusal
+                    // by releasing the claim unpublished.
+                    None => drop(claim),
+                }
+                Ok(Some(output))
+            }
+        }
     }
 
     /// Read-through from the durable tier: load, verify (inside
@@ -792,6 +858,10 @@ mod tests {
             false
         }
 
+        fn durable(&self) -> bool {
+            true
+        }
+
         fn run(&mut self, _ctx: &RunContext) -> Result<Vec<u64>, Self::Error> {
             self.calls.fetch_add(1, Ordering::Relaxed);
             Ok(self.input.iter().map(|v| v * 2).collect())
@@ -904,6 +974,41 @@ mod tests {
         let third = RunContext::new(7).with_disk(disk.clone());
         crate::infallible(third.run(&mut stage));
         assert_eq!(calls.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn concurrent_durable_runs_share_one_flight() {
+        // Two contexts with *separate* memory stores over one disk root
+        // stand in for two processes: the durable stage must execute once
+        // — one producer, everyone else waits and decodes.
+        let disk = temp_disk("flight");
+        let calls = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..3)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let ctx = RunContext::new(11).with_disk(disk.clone());
+                        let mut stage = DurableDoubler {
+                            input: vec![6, 7],
+                            calls: &calls,
+                        };
+                        crate::infallible(ctx.run(&mut stage)).as_ref().clone()
+                    })
+                })
+                .collect();
+            for worker in workers {
+                match worker.join() {
+                    Ok(out) => assert_eq!(out, vec![12, 14]),
+                    Err(_) => assert!(false, "worker panicked"),
+                }
+            }
+        });
+        assert_eq!(
+            calls.load(Ordering::Relaxed),
+            1,
+            "single-flight: exactly one producer per store root"
+        );
+        assert_eq!(disk.stats().writes, 1);
     }
 
     #[test]

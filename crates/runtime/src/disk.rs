@@ -34,6 +34,18 @@
 //! [`FaultKind::StaleLock`]. Because the store is content-addressed, two
 //! writers racing on the same key would write identical bytes, so lock
 //! loss is a wasted write, never corruption.
+//!
+//! On top of the write-behind lock, [`DiskStore::begin_flight`] extends
+//! the same lock file into a *single-flight* claim taken **before** an
+//! expensive stage executes: the first process to create the lock becomes
+//! the producer ([`Flight::Producer`]); any other process asking for the
+//! same key sleeps in short polls — counted as `flight_waits` — until the
+//! producer publishes and unlocks, then reads the verified artifact back
+//! ([`Flight::Ready`]) instead of recomputing. A producer that dies
+//! mid-flight leaves a dead-pid lock, which the next claimant breaks via
+//! the ordinary stale-lock ladder and inherits the producer role — so two
+//! concurrent sweeps over one store root warm-start from each other and
+//! every artifact is computed by exactly one live process.
 
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Write};
@@ -66,6 +78,10 @@ pub struct DiskStats {
     pub quarantined: u64,
     /// Advisory locks broken because their owner was dead.
     pub locks_broken: u64,
+    /// Poll sleeps spent waiting for another process's in-flight
+    /// production of an artifact this process then read instead of
+    /// recomputing (see [`DiskStore::begin_flight`]).
+    pub flight_waits: u64,
 }
 
 /// Content-addressed, crash-safe artifact directory (see module docs).
@@ -77,6 +93,98 @@ pub struct DiskStore {
     writes: AtomicU64,
     quarantined: AtomicU64,
     locks_broken: AtomicU64,
+    flight_waits: AtomicU64,
+}
+
+/// How long a flight waiter sleeps between polls of the producer's lock.
+const FLIGHT_POLL: std::time::Duration = std::time::Duration::from_millis(5);
+/// Upper bound on polls before a waiter gives up on the producer and
+/// recomputes locally (~10 s). A correct-but-slow producer past this bound
+/// costs one duplicate computation, never a wrong answer: the store is
+/// content-addressed and writes are atomic renames.
+const FLIGHT_MAX_POLLS: u64 = 2000;
+
+/// Outcome of [`DiskStore::begin_flight`]: either this process owns
+/// production of the artifact, or another process already produced it.
+#[derive(Debug)]
+pub enum Flight<'a> {
+    /// This process holds the claim: compute the output, then
+    /// [`FlightGuard::publish`] it (or drop the guard on failure, which
+    /// releases the claim so another process can take over).
+    Producer(FlightGuard<'a>),
+    /// A verified artifact already exists (possibly published moments ago
+    /// by another process this one waited on): decode these bytes.
+    Ready(Vec<u8>),
+}
+
+/// RAII claim on producing one artifact. Holds the advisory lock file;
+/// dropping without publishing removes the lock so waiters can claim.
+#[derive(Debug)]
+pub struct FlightGuard<'a> {
+    store: &'a DiskStore,
+    id: String,
+    fp: Fingerprint,
+    path: PathBuf,
+    /// Whether this guard actually holds the lock file. An unarmed guard
+    /// (claim failed on I/O error or wait timeout) still publishes — the
+    /// write is atomic and content-addressed, so racing a live producer is
+    /// a wasted write, never corruption — but removes no lock.
+    armed: bool,
+}
+
+impl FlightGuard<'_> {
+    /// Durably write the computed payload, then release the claim.
+    /// Returns `true` when the artifact reached disk. `plan` injects the
+    /// same durability fault classes as [`DiskStore::save`].
+    pub fn publish(
+        mut self,
+        payload: &[u8],
+        plan: Option<&FaultPlan>,
+        health: &HealthReport,
+    ) -> bool {
+        let mut bytes = compose_artifact(&self.id, self.fp, payload);
+        inject_write_faults(&mut bytes, self.fp, plan);
+        let written = match self.store.write_atomic(&self.path, &bytes) {
+            Ok(()) => {
+                self.store.writes.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Err(e) => {
+                self.store.record_io(health, &self.path, "write", &e);
+                false
+            }
+        };
+        self.release(Some(health));
+        written
+    }
+
+    /// Remove the lock file if this guard holds it.
+    fn release(&mut self, health: Option<&HealthReport>) {
+        if !self.armed {
+            return;
+        }
+        self.armed = false;
+        let lock = lock_path(&self.path);
+        match fs::remove_file(&lock) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => {
+                if let Some(health) = health {
+                    self.store.record_io(health, &lock, "unlock", &e);
+                }
+            }
+        }
+    }
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        // Abandoned claim (stage failed or guard dropped unpublished):
+        // release so a waiting process can inherit production instead of
+        // polling until our pid dies. No health handle here; an unlikely
+        // remove error degrades to the ordinary stale-lock ladder.
+        self.release(None);
+    }
 }
 
 impl DiskStore {
@@ -93,6 +201,7 @@ impl DiskStore {
             writes: AtomicU64::new(0),
             quarantined: AtomicU64::new(0),
             locks_broken: AtomicU64::new(0),
+            flight_waits: AtomicU64::new(0),
         };
         store.sweep_dead_writers()?;
         Ok(store)
@@ -111,6 +220,7 @@ impl DiskStore {
             writes: self.writes.load(Ordering::Relaxed),
             quarantined: self.quarantined.load(Ordering::Relaxed),
             locks_broken: self.locks_broken.load(Ordering::Relaxed),
+            flight_waits: self.flight_waits.load(Ordering::Relaxed),
         }
     }
 
@@ -236,6 +346,94 @@ impl DiskStore {
             File::open(dir)?.sync_all()?;
         }
         Ok(())
+    }
+
+    /// Claim single-flight production of the artifact for `(id, fp)`, or
+    /// wait for the process that already claimed it (see module docs).
+    ///
+    /// The loop, in priority order: a verified artifact on disk wins
+    /// immediately ([`Flight::Ready`]); otherwise the first process to
+    /// create the lock file becomes the producer ([`Flight::Producer`]);
+    /// a lock owned by a dead pid is broken through the ordinary
+    /// stale-lock ladder inside [`Self::acquire_lock`]; a lock owned by a
+    /// live pid puts this process to sleep in short polls, counted in
+    /// `flight_waits`, re-checking the artifact each round. I/O errors and
+    /// wait timeouts degrade to an *unarmed* producer: the caller computes
+    /// locally and publishing stays safe because writes are atomic and
+    /// content-addressed. `plan` injects the same planted-stale-lock fault
+    /// as [`Self::save`] (torn writes and bit flips are injected at
+    /// [`FlightGuard::publish`] time), so the flight path is subject to
+    /// every durability fault class the write-behind path is.
+    pub fn begin_flight(
+        &self,
+        id: &str,
+        fp: Fingerprint,
+        plan: Option<&FaultPlan>,
+        health: &HealthReport,
+    ) -> Flight<'_> {
+        let path = self.artifact_path(id, fp);
+        let guard = |armed| FlightGuard {
+            store: self,
+            id: id.to_string(),
+            fp,
+            path: path.clone(),
+            armed,
+        };
+        if let Some(dir) = path.parent() {
+            if let Err(e) = fs::create_dir_all(dir) {
+                self.record_io(health, &path, "create dir", &e);
+                return Flight::Producer(guard(false));
+            }
+        }
+        // Fault injection: plant a lock owned by a dead pid so the claim
+        // loop below must detect and break it before producing.
+        if plan.is_some_and(|p| p.stale_lock(fp.lo)) {
+            self.plant_stale_lock(&path);
+        }
+        let lock = lock_path(&path);
+        let mut polls = 0u64;
+        loop {
+            // An existing artifact beats any claim — including one this
+            // process could take: a waiter whose producer just published
+            // lands here on its re-check. Guard with `exists` so polling
+            // does not inflate the miss counter every 5 ms.
+            if path.exists() {
+                if let Some(bytes) = self.load(id, fp, health) {
+                    return Flight::Ready(bytes);
+                }
+                // Verification failed: the file was quarantined and the
+                // serving path is clear again — fall through to claim.
+            }
+            match self.acquire_lock(&lock, health) {
+                Ok(true) => {
+                    // Double-check under the lock: the producer this
+                    // process raced may have published between the
+                    // exists() probe above and this acquisition. Serving
+                    // the fresh artifact beats recomputing it.
+                    let mut claimed = guard(true);
+                    if path.exists() {
+                        if let Some(bytes) = self.load(id, fp, health) {
+                            claimed.release(Some(health));
+                            return Flight::Ready(bytes);
+                        }
+                    }
+                    return Flight::Producer(claimed);
+                }
+                Ok(false) => {
+                    // A live producer holds the claim: wait for it.
+                    if polls >= FLIGHT_MAX_POLLS {
+                        return Flight::Producer(guard(false));
+                    }
+                    polls += 1;
+                    self.flight_waits.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(FLIGHT_POLL);
+                }
+                Err(e) => {
+                    self.record_io(health, &lock, "flight claim", &e);
+                    return Flight::Producer(guard(false));
+                }
+            }
+        }
     }
 
     /// Try to take the advisory lock. `Ok(true)` = acquired, `Ok(false)` =
@@ -734,6 +932,123 @@ mod tests {
         }
         assert!(!dead.exists(), "dead writer's tmp file must be swept");
         assert!(live.exists(), "live writer's tmp file must survive");
+    }
+
+    #[test]
+    fn flight_over_an_existing_artifact_is_ready_immediately() {
+        let store = open("flight-ready");
+        let health = HealthReport::new();
+        let fp = 12u64.fingerprint();
+        assert!(store.save("test.stage", fp, b"already here", None, &health));
+        match store.begin_flight("test.stage", fp, None, &health) {
+            Flight::Ready(bytes) => assert_eq!(bytes, b"already here"),
+            Flight::Producer(_) => assert!(false, "artifact on disk must short-circuit the claim"),
+        }
+        assert_eq!(store.stats().flight_waits, 0, "no producer to wait on");
+    }
+
+    #[test]
+    fn flight_producer_publishes_and_releases_the_lock() {
+        let store = open("flight-produce");
+        let health = HealthReport::new();
+        let fp = 13u64.fingerprint();
+        let guard = match store.begin_flight("test.stage", fp, None, &health) {
+            Flight::Producer(guard) => guard,
+            Flight::Ready(_) => {
+                assert!(false, "empty store cannot be ready");
+                return;
+            }
+        };
+        let lock = lock_path(&store.artifact_path("test.stage", fp));
+        assert!(
+            lock.exists(),
+            "producer must hold the claim while computing"
+        );
+        assert!(guard.publish(b"produced", None, &health));
+        assert!(!lock.exists(), "publish must release the claim");
+        assert_eq!(
+            store.load("test.stage", fp, &health),
+            Some(b"produced".to_vec())
+        );
+        assert!(health.is_clean());
+    }
+
+    #[test]
+    fn abandoned_flight_releases_the_claim_for_the_next_caller() {
+        let store = open("flight-abandon");
+        let health = HealthReport::new();
+        let fp = 14u64.fingerprint();
+        match store.begin_flight("test.stage", fp, None, &health) {
+            Flight::Producer(guard) => drop(guard), // stage failed: publish nothing
+            Flight::Ready(_) => assert!(false, "empty store cannot be ready"),
+        }
+        // The next claimant inherits production instead of waiting.
+        match store.begin_flight("test.stage", fp, None, &health) {
+            Flight::Producer(_) => {}
+            Flight::Ready(_) => assert!(false, "nothing was published"),
+        }
+        assert_eq!(store.stats().flight_waits, 0, "no live producer to wait on");
+    }
+
+    #[test]
+    fn flight_breaks_a_dead_producers_lock_and_inherits() {
+        let store = open("flight-dead");
+        let health = HealthReport::new();
+        let fp = 15u64.fingerprint();
+        let path = store.artifact_path("test.stage", fp);
+        let Some(dir) = path.parent() else {
+            assert!(false, "artifact path has no parent");
+            return;
+        };
+        match fs::create_dir_all(dir).and_then(|()| fs::write(lock_path(&path), "0")) {
+            Ok(()) => {}
+            Err(e) => {
+                assert!(false, "setup failed: {e}");
+                return;
+            }
+        }
+        match store.begin_flight("test.stage", fp, None, &health) {
+            Flight::Producer(_) => {}
+            Flight::Ready(_) => assert!(false, "nothing was published"),
+        }
+        assert_eq!(store.stats().locks_broken, 1);
+        assert_eq!(health.count(FaultKind::StaleLock), 1);
+    }
+
+    #[test]
+    fn waiter_sleeps_until_the_producer_publishes_then_reads() {
+        let store = open("flight-wait");
+        let fp = 16u64.fingerprint();
+        std::thread::scope(|scope| {
+            let producer = scope.spawn(|| {
+                let health = HealthReport::new();
+                let guard = match store.begin_flight("test.stage", fp, None, &health) {
+                    Flight::Producer(guard) => guard,
+                    Flight::Ready(_) => return false,
+                };
+                // Hold the claim long enough that the waiter provably
+                // sleeps at least once before we publish.
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                guard.publish(b"from producer", None, &health)
+            });
+            // Let the producer take the lock first.
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            let health = HealthReport::new();
+            match store.begin_flight("test.stage", fp, None, &health) {
+                Flight::Ready(bytes) => assert_eq!(bytes, b"from producer"),
+                // The waiter must not inherit production from a live
+                // producer in this process (same pid, provably alive).
+                Flight::Producer(_) => assert!(false, "waiter stole a live claim"),
+            }
+            match producer.join() {
+                Ok(published) => assert!(published, "producer failed to publish"),
+                Err(_) => assert!(false, "producer panicked"),
+            }
+        });
+        assert!(
+            store.stats().flight_waits > 0,
+            "waiter must have slept at least one poll"
+        );
     }
 
     #[test]

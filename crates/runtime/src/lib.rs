@@ -24,7 +24,11 @@
 //!   [`disk`] module docs for the durability protocol;
 //! * [`Supervision`]: per-stage bounded retry-with-backoff ladders and
 //!   post-hoc deadlines (via an injected [`Clock`]), recorded in the
-//!   shared health report.
+//!   shared health report;
+//! * [`shard`]: deterministic out-of-core streaming — a [`ShardPlan`]
+//!   sized to the scale plan's memory budget splits a dataset into
+//!   [`ShardSpec`]s, and [`Sharded`] runs a [`ShardableStage`] once per
+//!   shard with shard-granular memoization and crash resume.
 //!
 //! Higher layers implement [`Stage`] for their own steps (`ig-core` ports
 //! the training pipeline; `ig-experiments` ports dataset generation and
@@ -35,15 +39,17 @@ pub mod context;
 pub mod disk;
 pub mod fingerprint;
 pub mod scale;
+pub mod shard;
 pub mod stage;
 pub mod stages;
 pub mod store;
 
 pub use codec::{Dec, Durable, Enc};
 pub use context::{Clock, RunContext};
-pub use disk::{DiskStats, DiskStore};
+pub use disk::{DiskStats, DiskStore, Flight, FlightGuard};
 pub use fingerprint::{Fingerprint, FingerprintHasher, Fingerprintable};
 pub use scale::{ScalePlan, ScaleTier};
+pub use shard::{ShardPlan, ShardSpec, ShardableStage, Sharded};
 pub use stage::{Stage, Supervision};
 pub use stages::{GenerateDataset, PrepareImages};
 pub use store::ArtifactStore;

@@ -18,6 +18,10 @@ pub enum ScaleTier {
     Medium,
     /// Table 1's exact `N`/`N_D` (reduced resolution) — slow.
     Paper,
+    /// Out-of-core: paper-scale datasets streamed through the stage graph
+    /// in shards sized to [`ScalePlan::memory_budget_bytes`]. The tier
+    /// past `paper` — same data, bounded resident set.
+    Ooc,
 }
 
 /// Dataset-scaling knobs consumed via [`crate::RunContext::scale`].
@@ -29,6 +33,11 @@ pub struct ScalePlan {
     pub augment_budget: usize,
     /// Epochs for the CNN end-model baselines.
     pub cnn_epochs: usize,
+    /// Resident-set budget for sharded execution, in bytes; `0` means
+    /// unbounded (monolithic). The shard budgeter
+    /// ([`crate::shard::ShardPlan`]) divides a dataset's estimated bytes
+    /// by this to pick the shard count.
+    pub memory_budget_bytes: u64,
 }
 
 impl ScalePlan {
@@ -38,6 +47,7 @@ impl ScalePlan {
             tier: ScaleTier::Quick,
             augment_budget: 16,
             cnn_epochs: 6,
+            memory_budget_bytes: 0,
         }
     }
 
@@ -47,6 +57,7 @@ impl ScalePlan {
             tier: ScaleTier::Medium,
             augment_budget: 60,
             cnn_epochs: 20,
+            memory_budget_bytes: 0,
         }
     }
 
@@ -56,16 +67,42 @@ impl ScalePlan {
             tier: ScaleTier::Paper,
             augment_budget: 150,
             cnn_epochs: 30,
+            memory_budget_bytes: 0,
+        }
+    }
+
+    /// Out-of-core plan: paper-scale datasets with a bounded resident
+    /// set (default 256 MiB, override with
+    /// [`ScalePlan::with_memory_budget`]).
+    pub fn ooc() -> ScalePlan {
+        ScalePlan {
+            tier: ScaleTier::Ooc,
+            augment_budget: 150,
+            cnn_epochs: 30,
+            memory_budget_bytes: 256 << 20,
+        }
+    }
+
+    /// Same plan with a different resident-set budget (`0` = unbounded).
+    pub fn with_memory_budget(self, bytes: u64) -> ScalePlan {
+        ScalePlan {
+            memory_budget_bytes: bytes,
+            ..self
         }
     }
 
     /// Parse CLI text (`tiny` is an alias of `quick` for CI jobs).
-    pub fn parse(s: &str) -> Option<ScalePlan> {
+    /// Unknown tiers name the valid set so drivers can surface the
+    /// message instead of silently falling back.
+    pub fn parse(s: &str) -> Result<ScalePlan, String> {
         match s {
-            "tiny" | "quick" => Some(ScalePlan::quick()),
-            "medium" => Some(ScalePlan::medium()),
-            "paper" => Some(ScalePlan::paper()),
-            _ => None,
+            "tiny" | "quick" => Ok(ScalePlan::quick()),
+            "medium" => Ok(ScalePlan::medium()),
+            "paper" => Ok(ScalePlan::paper()),
+            "ooc" => Ok(ScalePlan::ooc()),
+            other => Err(format!(
+                "unknown scale tier `{other}` (valid: tiny|quick|medium|paper|ooc)"
+            )),
         }
     }
 
@@ -75,15 +112,17 @@ impl ScalePlan {
             ScaleTier::Quick => "quick",
             ScaleTier::Medium => "medium",
             ScaleTier::Paper => "paper",
+            ScaleTier::Ooc => "ooc",
         }
     }
 
-    /// Dataset spec for a kind at this scale.
+    /// Dataset spec for a kind at this scale. The `ooc` tier streams the
+    /// paper-scale datasets — same data, bounded memory.
     pub fn spec(&self, kind: DatasetKind, seed: u64) -> DatasetSpec {
         match self.tier {
             ScaleTier::Quick => DatasetSpec::quick(kind, seed),
             ScaleTier::Medium => DatasetSpec::medium(kind, seed),
-            ScaleTier::Paper => DatasetSpec::paper(kind, seed),
+            ScaleTier::Paper | ScaleTier::Ooc => DatasetSpec::paper(kind, seed),
         }
     }
 
@@ -108,7 +147,7 @@ impl ScalePlan {
                 DatasetKind::ProductStamping => 10,
                 DatasetKind::Neu => 25,
             },
-            ScaleTier::Paper => paper,
+            ScaleTier::Paper | ScaleTier::Ooc => paper,
         }
     }
 }
@@ -119,9 +158,11 @@ impl Fingerprintable for ScalePlan {
             ScaleTier::Quick => 0,
             ScaleTier::Medium => 1,
             ScaleTier::Paper => 2,
+            ScaleTier::Ooc => 3,
         });
         h.write_usize(self.augment_budget);
         h.write_usize(self.cnn_epochs);
+        h.write_u64(self.memory_budget_bytes);
     }
 }
 
@@ -131,11 +172,39 @@ mod tests {
 
     #[test]
     fn parse_accepts_tiny_alias() {
-        assert_eq!(ScalePlan::parse("tiny"), Some(ScalePlan::quick()));
-        assert_eq!(ScalePlan::parse("quick"), Some(ScalePlan::quick()));
-        assert_eq!(ScalePlan::parse("medium"), Some(ScalePlan::medium()));
-        assert_eq!(ScalePlan::parse("paper"), Some(ScalePlan::paper()));
-        assert_eq!(ScalePlan::parse("huge"), None);
+        assert_eq!(ScalePlan::parse("tiny"), Ok(ScalePlan::quick()));
+        assert_eq!(ScalePlan::parse("quick"), Ok(ScalePlan::quick()));
+        assert_eq!(ScalePlan::parse("medium"), Ok(ScalePlan::medium()));
+        assert_eq!(ScalePlan::parse("paper"), Ok(ScalePlan::paper()));
+        assert_eq!(ScalePlan::parse("ooc"), Ok(ScalePlan::ooc()));
+    }
+
+    #[test]
+    fn parse_rejection_names_the_valid_tiers() {
+        let err = match ScalePlan::parse("huge") {
+            Ok(_) => String::new(),
+            Err(e) => e,
+        };
+        assert!(err.contains("huge"), "names the offending input: {err}");
+        for tier in ["tiny", "quick", "medium", "paper", "ooc"] {
+            assert!(err.contains(tier), "names `{tier}`: {err}");
+        }
+    }
+
+    #[test]
+    fn ooc_streams_the_paper_datasets_under_a_budget() {
+        let plan = ScalePlan::ooc();
+        let kind = DatasetKind::ProductScratch;
+        assert_eq!(plan.spec(kind, 1), DatasetSpec::paper(kind, 1));
+        assert_eq!(plan.dev_defective_target(kind), 76);
+        assert!(plan.memory_budget_bytes > 0, "ooc is budgeted by default");
+        let tight = plan.with_memory_budget(1 << 20);
+        assert_eq!(tight.memory_budget_bytes, 1 << 20);
+        assert_ne!(
+            plan.fingerprint(),
+            tight.fingerprint(),
+            "budget reaches the plan fingerprint"
+        );
     }
 
     #[test]

@@ -91,6 +91,9 @@ pub trait Stage {
     /// [`Fingerprint::null`].
     fn fingerprint(&self) -> Fingerprint;
 
+    /// Execute the stage. Called at most once per cache miss.
+    fn run(&mut self, ctx: &RunContext) -> Result<Self::Output, Self::Error>;
+
     /// Whether the output may be memoized. Default: yes.
     fn cacheable(&self) -> bool {
         true
@@ -109,6 +112,21 @@ pub trait Stage {
     /// miss. Default: fail fast, no deadline.
     fn supervision(&self) -> Supervision {
         Supervision::fail_fast()
+    }
+
+    /// Whether this stage persists to the durable tier *under the current
+    /// inputs* — i.e. whether [`Stage::encode`] would return `Some` for
+    /// its output. The runtime consults this hint **before** executing:
+    /// on a durable stage's disk miss it opens a single-flight claim
+    /// ([`crate::disk::DiskStore::begin_flight`]), so a concurrent
+    /// process computing the same artifact is waited on and its result
+    /// read back instead of recomputed. Memory-only stages (the default)
+    /// skip the claim entirely. Implementations must keep this consistent
+    /// with `encode`: returning `true` while `encode` returns `None`
+    /// makes peers wait for an artifact that never appears (they time out
+    /// into a recompute — correct, but wasteful).
+    fn durable(&self) -> bool {
+        false
     }
 
     /// Serialize the output for the durable on-disk tier. `None` (the

@@ -12,6 +12,7 @@ use ig_synth::Dataset;
 use crate::codec::Durable;
 use crate::context::RunContext;
 use crate::fingerprint::{Fingerprint, FingerprintHasher, Fingerprintable};
+use crate::shard::{ShardSpec, ShardableStage};
 use crate::stage::Stage;
 
 /// Generate a synthetic dataset from a [`DatasetSpec`].
@@ -55,6 +56,51 @@ impl Stage for GenerateDataset {
     }
 
     fn decode(&self, bytes: &[u8]) -> Option<Dataset> {
+        Dataset::from_bytes(bytes)
+    }
+
+    fn durable(&self) -> bool {
+        // Expensive + persisted: worth a single-flight claim so
+        // concurrent sweeps over one store root generate each dataset
+        // exactly once.
+        true
+    }
+}
+
+/// Out-of-core execution of [`GenerateDataset`]: each shard materializes
+/// only images `start..end` of the shuffled dataset (bit-identical to the
+/// same slice of the monolithic output) via the synth crate's two-pass
+/// replay, so peak memory is one shard plus one in-flight image instead
+/// of the whole dataset.
+impl ShardableStage for GenerateDataset {
+    type Output = Dataset;
+    type Error = Infallible;
+
+    fn id(&self) -> &'static str {
+        "synth.generate"
+    }
+
+    fn fingerprint(&self) -> Fingerprint {
+        self.spec.fingerprint()
+    }
+
+    fn run_shard(&mut self, _ctx: &RunContext, shard: &ShardSpec) -> Result<Dataset, Infallible> {
+        Ok(ig_synth::generate_range(&self.spec, shard.start, shard.end))
+    }
+
+    fn plan_sensitive(&self) -> bool {
+        false
+    }
+
+    fn durable(&self) -> bool {
+        true
+    }
+
+    fn encode_shard(&self, output: &Dataset) -> Option<Vec<u8>> {
+        Some(output.to_bytes())
+    }
+
+    fn decode_shard(&self, bytes: &[u8]) -> Option<Dataset> {
         Dataset::from_bytes(bytes)
     }
 }
@@ -180,6 +226,27 @@ mod tests {
         assert_eq!(back.len(), dataset.len());
         // Truncated payloads are rejected, not mis-decoded.
         assert!(stage.decode(&bytes[..bytes.len() / 2]).is_none());
+    }
+
+    #[test]
+    fn sharded_generation_reassembles_the_monolithic_dataset() {
+        use crate::shard::{ShardPlan, Sharded};
+        let ctx = RunContext::new(4);
+        let spec = DatasetSpec::quick(DatasetKind::Neu, 8);
+        let whole = infallible(ctx.run(&mut GenerateDataset { spec }));
+        let plan = ShardPlan::with_count(whole.len(), 3);
+        let mut seen = 0usize;
+        for shard in plan.shards() {
+            let part = infallible(ctx.run(&mut Sharded::new(GenerateDataset { spec }, shard)));
+            for (offset, img) in part.images.iter().enumerate() {
+                let reference = &whole.images[seen + offset];
+                assert_eq!(img.image, reference.image, "image {}", seen + offset);
+                assert_eq!(img.label, reference.label);
+                assert_eq!(img.noisy, reference.noisy);
+            }
+            seen += part.len();
+        }
+        assert_eq!(seen, whole.len(), "shards must cover the whole dataset");
     }
 
     #[test]

@@ -8,11 +8,11 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
-/// Generate the KSDD stand-in (Table 1 row 1): one defect type — cracks —
-/// whose shape "varies significantly".
-pub fn generate(spec: &DatasetSpec) -> Dataset {
-    let mut rng = StdRng::seed_from_u64(spec.seed);
-    let mut images = Vec::with_capacity(spec.n);
+/// Emit every image slot in generation (pre-shuffle) order, threading all
+/// random draws through `rng` exactly as [`generate`] always has. The one
+/// emission loop serves both the monolithic path and the out-of-core
+/// replay ([`generate_range`]), so their RNG streams cannot drift apart.
+fn emit(spec: &DatasetSpec, rng: &mut StdRng, sink: &mut dyn FnMut(LabeledImage)) {
     for i in 0..spec.n {
         let defective = i < spec.n_defective;
         let surface_seed = spec.seed.wrapping_mul(31).wrapping_add(i as u64);
@@ -27,14 +27,14 @@ pub fn generate(spec: &DatasetSpec) -> Dataset {
             };
             let count = if rng.gen_bool(0.2) { 2 } else { 1 };
             for _ in 0..count {
-                defect_boxes.push(paint_crack(&mut image, &mut rng, -magnitude));
+                defect_boxes.push(paint_crack(&mut image, rng, -magnitude));
             }
         }
         let noisy = rng.gen_bool(spec.noisy_fraction);
         if noisy {
-            image = corrupt_with_noise(&image, surface_seed.wrapping_add(99), &mut rng);
+            image = corrupt_with_noise(&image, surface_seed.wrapping_add(99), rng);
         }
-        images.push(LabeledImage {
+        sink(LabeledImage {
             image,
             label: usize::from(defective),
             defect_boxes,
@@ -42,11 +42,30 @@ pub fn generate(spec: &DatasetSpec) -> Dataset {
             difficult,
         });
     }
+}
+
+/// Generate the KSDD stand-in (Table 1 row 1): one defect type — cracks —
+/// whose shape "varies significantly".
+pub fn generate(spec: &DatasetSpec) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut images = Vec::with_capacity(spec.n);
+    emit(spec, &mut rng, &mut |img| images.push(img));
     images.shuffle(&mut rng);
     Dataset {
         name: "KSDD".to_string(),
         task: TaskType::Binary,
         images,
+    }
+}
+
+/// Images `start..end` of [`generate`]'s (shuffled) output, bit-identical,
+/// holding at most one off-shard image at a time — see
+/// [`crate::replay_range`].
+pub fn generate_range(spec: &DatasetSpec, start: usize, end: usize) -> Dataset {
+    Dataset {
+        name: "KSDD".to_string(),
+        task: TaskType::Binary,
+        images: crate::replay_range(spec, emit, start, end),
     }
 }
 

@@ -158,6 +158,84 @@ pub fn generate(spec: &DatasetSpec) -> Dataset {
     }
 }
 
+/// Generate only images `start..end` of [`generate`]'s output —
+/// bit-identical to slicing the full dataset, without materializing it.
+///
+/// This is the synthesis half of the runtime's out-of-core tier: a
+/// sharded run asks each shard for its slice of the *shuffled* dataset,
+/// so slices must agree with the monolithic path image-for-image. Ranges
+/// past the end are clamped; an inverted range is empty.
+pub fn generate_range(spec: &DatasetSpec, start: usize, end: usize) -> Dataset {
+    match spec.kind {
+        spec::DatasetKind::Ksdd => ksdd::generate_range(spec, start, end),
+        spec::DatasetKind::ProductScratch => {
+            product::generate_range(spec, DefectKind::Scratch, start, end)
+        }
+        spec::DatasetKind::ProductBubble => {
+            product::generate_range(spec, DefectKind::Bubble, start, end)
+        }
+        spec::DatasetKind::ProductStamping => {
+            product::generate_range(spec, DefectKind::Stamping, start, end)
+        }
+        spec::DatasetKind::Neu => neu::generate_range(spec, start, end),
+    }
+}
+
+/// Replay machinery behind every generator's `generate_range`: produce
+/// images `start..end` of the shuffled output while holding at most one
+/// off-range image in memory.
+///
+/// The generators draw one sequential RNG stream per dataset — surface
+/// parameters, defect painting, and the final shuffle all interleave on
+/// it — so a slice cannot skip ahead: the draws for image `k` depend on
+/// every draw before it. Instead the slot loop runs twice from the same
+/// seed:
+///
+/// 1. **Census pass** — run `emit`, dropping every image as it is built
+///    (peak: one image), purely to advance the RNG to the shuffle point;
+///    then shuffle an index vector exactly as [`generate`] shuffles the
+///    image vector. Fisher–Yates performs identical swaps for any
+///    same-length vector under the same RNG state, so `order[j]` is the
+///    pre-shuffle slot that lands at post-shuffle position `j`.
+/// 2. **Keep pass** — run `emit` again from a fresh RNG, keeping only the
+///    slots that land in `start..end` and dropping the rest as they are
+///    built.
+///
+/// Painting runs twice per shard, but painting is orders of magnitude
+/// cheaper than the pyramid/NCC work downstream of generation — the
+/// memory bound is what matters at the `ooc` tier.
+fn replay_range<F>(spec: &DatasetSpec, emit: F, start: usize, end: usize) -> Vec<LabeledImage>
+where
+    F: Fn(&DatasetSpec, &mut rand::rngs::StdRng, &mut dyn FnMut(LabeledImage)),
+{
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(spec.seed);
+    let mut n = 0usize;
+    emit(spec, &mut rng, &mut |_| n += 1);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut rng);
+    let end = end.min(n);
+    let start = start.min(end);
+    // wanted[slot] = output position (relative to `start`), or MAX.
+    let mut wanted: Vec<usize> = vec![usize::MAX; n];
+    for (j, &slot) in order[start..end].iter().enumerate() {
+        wanted[slot] = j;
+    }
+    let mut out: Vec<Option<LabeledImage>> = (start..end).map(|_| None).collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(spec.seed);
+    let mut slot = 0usize;
+    emit(spec, &mut rng, &mut |img| {
+        if let Some(&dst) = wanted.get(slot) {
+            if dst != usize::MAX {
+                out[dst] = Some(img);
+            }
+        }
+        slot += 1;
+    });
+    out.into_iter().flatten().collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,6 +259,75 @@ mod tests {
             let d = generate(&s);
             assert!(!d.is_empty(), "{kind:?} generated nothing");
             assert_eq!(d.len(), s.n);
+        }
+    }
+
+    fn assert_same_image(a: &LabeledImage, b: &LabeledImage, at: String) {
+        assert_eq!(a.label, b.label, "{at}: label");
+        assert_eq!(a.noisy, b.noisy, "{at}: noisy");
+        assert_eq!(a.difficult, b.difficult, "{at}: difficult");
+        assert_eq!(a.defect_boxes.len(), b.defect_boxes.len(), "{at}: boxes");
+        assert_eq!(a.image, b.image, "{at}: pixels");
+    }
+
+    #[test]
+    fn generate_range_is_a_bit_identical_slice_for_every_kind() {
+        for kind in [
+            spec::DatasetKind::Ksdd,
+            spec::DatasetKind::ProductScratch,
+            spec::DatasetKind::ProductBubble,
+            spec::DatasetKind::ProductStamping,
+            spec::DatasetKind::Neu,
+        ] {
+            let s = DatasetSpec::quick(kind, 17);
+            let whole = generate(&s);
+            let n = whole.len();
+            for (start, end) in [(0, n), (0, n / 2), (n / 3, (2 * n) / 3), (n - 1, n)] {
+                let slice = generate_range(&s, start, end);
+                assert_eq!(slice.name, whole.name, "{kind:?}");
+                assert_eq!(slice.task, whole.task, "{kind:?}");
+                assert_eq!(slice.len(), end - start, "{kind:?} [{start}..{end}]");
+                for (j, img) in slice.images.iter().enumerate() {
+                    assert_same_image(
+                        img,
+                        &whole.images[start + j],
+                        format!("{kind:?} [{start}..{end}] + {j}"),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generate_range_clamps_out_of_bounds() {
+        let s = DatasetSpec::quick(spec::DatasetKind::Ksdd, 21);
+        let whole = generate(&s);
+        let n = whole.len();
+        let past = generate_range(&s, n, n + 10);
+        assert!(past.is_empty(), "range past the end is empty");
+        let clamped = generate_range(&s, n - 2, n + 10);
+        assert_eq!(clamped.len(), 2, "end clamps to n");
+        let inverted = generate_range(&s, 5, 3);
+        assert!(inverted.is_empty(), "inverted range is empty");
+    }
+
+    #[test]
+    fn shards_reassemble_the_whole_dataset() {
+        let s = DatasetSpec::quick(spec::DatasetKind::ProductBubble, 33);
+        let whole = generate(&s);
+        let n = whole.len();
+        for count in [1usize, 3, n] {
+            let mut cursor = 0usize;
+            let mut streamed = Vec::new();
+            for i in 0..count {
+                let end = ((i + 1) * n) / count;
+                streamed.extend(generate_range(&s, cursor, end).images);
+                cursor = end;
+            }
+            assert_eq!(streamed.len(), n, "count={count}");
+            for (j, img) in streamed.iter().enumerate() {
+                assert_same_image(img, &whole.images[j], format!("count={count} image {j}"));
+            }
         }
     }
 }

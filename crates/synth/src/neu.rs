@@ -25,11 +25,12 @@ pub const NEU_CLASSES: [&str; 6] = [
     "scratches",
 ];
 
-/// Generate the NEU stand-in: `spec.n` images split evenly over 6 classes.
-pub fn generate(spec: &DatasetSpec) -> Dataset {
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+/// Emit every image slot in generation (pre-shuffle) order — class-major,
+/// `per_class` images each — threading all random draws through `rng`
+/// exactly as [`generate`] always has. Shared by the monolithic path and
+/// the out-of-core replay ([`generate_range`]).
+fn emit(spec: &DatasetSpec, rng: &mut StdRng, sink: &mut dyn FnMut(LabeledImage)) {
     let per_class = (spec.n / 6).max(1);
-    let mut images = Vec::with_capacity(per_class * 6);
     for class in 0..6 {
         for i in 0..per_class {
             let surface_seed = spec
@@ -39,12 +40,12 @@ pub fn generate(spec: &DatasetSpec) -> Dataset {
             let mut image = rolled_steel(surface_seed, spec.width, spec.height);
             let difficult = rng.gen_bool(spec.difficult_fraction);
             let strength = if difficult { 0.35 } else { 1.0 };
-            let defect_boxes = paint_class(&mut image, class, strength, surface_seed, &mut rng);
+            let defect_boxes = paint_class(&mut image, class, strength, surface_seed, rng);
             let noisy = rng.gen_bool(spec.noisy_fraction);
             if noisy {
-                image = corrupt_with_noise(&image, surface_seed.wrapping_add(3), &mut rng);
+                image = corrupt_with_noise(&image, surface_seed.wrapping_add(3), rng);
             }
-            images.push(LabeledImage {
+            sink(LabeledImage {
                 image,
                 label: class,
                 defect_boxes,
@@ -53,11 +54,31 @@ pub fn generate(spec: &DatasetSpec) -> Dataset {
             });
         }
     }
+}
+
+/// Generate the NEU stand-in: `spec.n` images split evenly over 6 classes.
+pub fn generate(spec: &DatasetSpec) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let per_class = (spec.n / 6).max(1);
+    let mut images = Vec::with_capacity(per_class * 6);
+    emit(spec, &mut rng, &mut |img| images.push(img));
     images.shuffle(&mut rng);
     Dataset {
         name: "NEU".to_string(),
         task: TaskType::MultiClass(6),
         images,
+    }
+}
+
+/// Images `start..end` of [`generate`]'s (shuffled) output, bit-identical,
+/// holding at most one off-shard image at a time — see
+/// [`crate::replay_range`]. NEU's slot count is `max(n / 6, 1) * 6`, which
+/// may differ from `spec.n`; ranges index the *actual* output.
+pub fn generate_range(spec: &DatasetSpec, start: usize, end: usize) -> Dataset {
+    Dataset {
+        name: "NEU".to_string(),
+        task: TaskType::MultiClass(6),
+        images: crate::replay_range(spec, emit, start, end),
     }
 }
 

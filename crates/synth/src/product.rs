@@ -11,23 +11,26 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
-/// Generate one of the three Product datasets.
-pub fn generate(spec: &DatasetSpec, kind: DefectKind) -> Dataset {
-    type Painter = fn(&mut GrayImage, &mut StdRng, f32) -> BBox;
-    // One dispatch for the three Product defect kinds; anything else is a
-    // caller bug, answered with an empty dataset instead of a panic.
-    let dispatch: Option<(Painter, &str, StripStyle)> = match kind {
-        DefectKind::Scratch => Some((paint_scratch, "Product (scratch)", StripStyle::Matte)),
-        DefectKind::Bubble => Some((paint_bubble, "Product (bubble)", StripStyle::Glossy)),
-        DefectKind::Stamping => Some((paint_stamping, "Product (stamping)", StripStyle::Brushed)),
-        _ => None,
-    };
-    let Some((painter, name, style)) = dispatch else {
-        return Dataset {
-            name: format!("Product ({kind:?}: not a Product defect)"),
-            task: TaskType::Binary,
-            images: Vec::new(),
-        };
+type Painter = fn(&mut GrayImage, &mut StdRng, f32) -> BBox;
+
+/// Per-kind generation parameters, resolved once per dataset.
+struct Setup {
+    painter: Painter,
+    name: &'static str,
+    style: StripStyle,
+    min_defects: usize,
+    max_defects: usize,
+}
+
+/// One dispatch for the three Product defect kinds; anything else is a
+/// caller bug, answered with `None` (the callers return an empty dataset
+/// instead of panicking).
+fn setup(kind: DefectKind) -> Option<Setup> {
+    let (painter, name, style): (Painter, &'static str, StripStyle) = match kind {
+        DefectKind::Scratch => (paint_scratch, "Product (scratch)", StripStyle::Matte),
+        DefectKind::Bubble => (paint_bubble, "Product (bubble)", StripStyle::Glossy),
+        DefectKind::Stamping => (paint_stamping, "Product (stamping)", StripStyle::Brushed),
+        _ => return None,
     };
     // Bubbles are small: a defective image usually carries several.
     let (min_defects, max_defects) = match kind {
@@ -35,12 +38,32 @@ pub fn generate(spec: &DatasetSpec, kind: DefectKind) -> Dataset {
         DefectKind::Scratch => (1, 3),
         _ => (1, 2),
     };
-    let mut rng = StdRng::seed_from_u64(spec.seed);
-    let mut images = Vec::with_capacity(spec.n);
+    Some(Setup {
+        painter,
+        name,
+        style,
+        min_defects,
+        max_defects,
+    })
+}
+
+fn not_a_product_defect(kind: DefectKind) -> Dataset {
+    Dataset {
+        name: format!("Product ({kind:?}: not a Product defect)"),
+        task: TaskType::Binary,
+        images: Vec::new(),
+    }
+}
+
+/// Emit every image slot in generation (pre-shuffle) order, threading all
+/// random draws through `rng` exactly as [`generate`] always has — shared
+/// by the monolithic path and the out-of-core replay
+/// ([`generate_range`]).
+fn emit(spec: &DatasetSpec, setup: &Setup, rng: &mut StdRng, sink: &mut dyn FnMut(LabeledImage)) {
     for i in 0..spec.n {
         let defective = i < spec.n_defective;
         let surface_seed = spec.seed.wrapping_mul(37).wrapping_add(i as u64);
-        let mut image = strip_styled(surface_seed, spec.width, spec.height, style);
+        let mut image = strip_styled(surface_seed, spec.width, spec.height, setup.style);
         let difficult = defective && rng.gen_bool(spec.difficult_fraction);
         let mut defect_boxes = Vec::new();
         if defective {
@@ -49,16 +72,16 @@ pub fn generate(spec: &DatasetSpec, kind: DefectKind) -> Dataset {
             } else {
                 rng.gen_range(0.25..0.45)
             };
-            let count = rng.gen_range(min_defects..=max_defects);
+            let count = rng.gen_range(setup.min_defects..=setup.max_defects);
             for _ in 0..count {
-                defect_boxes.push(painter(&mut image, &mut rng, -magnitude));
+                defect_boxes.push((setup.painter)(&mut image, rng, -magnitude));
             }
         }
         let noisy = rng.gen_bool(spec.noisy_fraction);
         if noisy {
-            image = corrupt_with_noise(&image, surface_seed.wrapping_add(7), &mut rng);
+            image = corrupt_with_noise(&image, surface_seed.wrapping_add(7), rng);
         }
-        images.push(LabeledImage {
+        sink(LabeledImage {
             image,
             label: usize::from(defective),
             defect_boxes,
@@ -66,9 +89,39 @@ pub fn generate(spec: &DatasetSpec, kind: DefectKind) -> Dataset {
             difficult,
         });
     }
+}
+
+/// Generate one of the three Product datasets.
+pub fn generate(spec: &DatasetSpec, kind: DefectKind) -> Dataset {
+    let Some(setup) = setup(kind) else {
+        return not_a_product_defect(kind);
+    };
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut images = Vec::with_capacity(spec.n);
+    emit(spec, &setup, &mut rng, &mut |img| images.push(img));
     images.shuffle(&mut rng);
     Dataset {
-        name: name.to_string(),
+        name: setup.name.to_string(),
+        task: TaskType::Binary,
+        images,
+    }
+}
+
+/// Images `start..end` of [`generate`]'s (shuffled) output, bit-identical,
+/// holding at most one off-shard image at a time — see
+/// [`crate::replay_range`].
+pub fn generate_range(spec: &DatasetSpec, kind: DefectKind, start: usize, end: usize) -> Dataset {
+    let Some(setup) = setup(kind) else {
+        return not_a_product_defect(kind);
+    };
+    let images = crate::replay_range(
+        spec,
+        |spec, rng, sink| emit(spec, &setup, rng, sink),
+        start,
+        end,
+    );
+    Dataset {
+        name: setup.name.to_string(),
         task: TaskType::Binary,
         images,
     }
